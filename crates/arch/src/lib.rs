@@ -1,0 +1,51 @@
+//! The topology-templated accelerator architecture (paper Sec. 4.4, Fig. 8).
+//!
+//! RoboShape lowers the scheduled traversal patterns (pattern ①) and
+//! blocked matrix plans (pattern ②) onto a *template architecture* with
+//! three knobs: the forward- and backward-traversal PE counts and the
+//! matrix block size. This crate models everything about that hardware
+//! except its cycle-by-cycle behaviour (which lives in `roboshape-sim`):
+//!
+//! * [`AcceleratorKnobs`] — the generator knobs (`PEs_fwd`, `PEs_bwd`,
+//!   `size_block`, mat-mul units);
+//! * [`AcceleratorDesign`] — a fully-elaborated design point: schedules,
+//!   blocked-mat-mul plan, storage sizing, resource estimates, clock
+//!   period, and end-to-end latency;
+//! * [`FullDesignModel`] — LUT/DSP cost of a complete design, solved
+//!   *exactly* from the paper's Table 2 (three robots, three coefficients
+//!   per resource — see DESIGN.md for the derivation);
+//! * [`DseModel`] — the PE-level cost model used for the design-space
+//!   studies of Figs. 12/13/15/16 (the paper necessarily uses a separate
+//!   model there: the VC707 has fewer total LUTs than any Table 2 design);
+//! * [`rc_design`] — the Robomorphic Computing baseline generator (naive
+//!   per-link parallelism, no branching support), reproducing the paper's
+//!   claim that RC cannot scale past the 7-link iiwa on the XCVU9P;
+//! * [`Platform`] — FPGA resource envelopes (VCU118/XCVU9P, VC707) with
+//!   the 80% usability threshold of Sec. 5.5;
+//! * [`clock_period_ns`] — the synthesized-clock model (18–22 ns across
+//!   the paper's three implementations, scaling with the forward schedule).
+
+#![warn(missing_docs)]
+
+mod design;
+mod knobs;
+mod platform;
+pub mod power;
+mod resources;
+mod storage;
+
+pub use design::{clock_period_ns, AcceleratorDesign, KernelKind};
+pub use knobs::{AcceleratorKnobs, MatmulUnits};
+pub use platform::Platform;
+pub use power::{PowerModel, PowerReport};
+pub use resources::{rc_resources, DseModel, FullDesignModel, Resources};
+pub use storage::StorageReport;
+
+/// Utilization threshold the paper applies when fitting designs onto a
+/// platform (Sec. 5.5: "We set the threshold to 80% of total resources").
+pub const UTILIZATION_THRESHOLD: f64 = 0.80;
+
+/// RC baseline resources for an `n`-link robot (see [`rc_resources`]).
+pub fn rc_design(n: usize) -> Resources {
+    rc_resources(n)
+}

@@ -1,0 +1,93 @@
+//! Benchmarks of the application-layer crates built on the framework:
+//! collision checking (Fig. 2's other bottleneck), trajectory
+//! optimization (the motivating workload), and the host-side
+//! topology-exploiting factorization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roboshape::{Dynamics, TopologyCholesky};
+use roboshape_bench::{fixture, implemented};
+use roboshape_collision::{CollisionWorld, SphereDecomposition};
+use roboshape_linalg::Vec3;
+use roboshape_robots::{zoo, Zoo};
+use roboshape_trajopt::{optimize, IlqrConfig, ReferenceGradients};
+use std::hint::black_box;
+
+fn bench_collision_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collision_check");
+    for which in implemented() {
+        let f = fixture(which);
+        let spheres = SphereDecomposition::from_model(&f.robot, 3);
+        let world = CollisionWorld::new()
+            .ignoring_links_within(2)
+            .with_obstacle(Vec3::new(0.5, 0.5, -0.5), 0.2);
+        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &f, |b, f| {
+            b.iter(|| world.check(&f.robot, &spheres, black_box(&f.q)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_collision_edge(c: &mut Criterion) {
+    let f = fixture(Zoo::Iiwa);
+    let spheres = SphereDecomposition::from_model(&f.robot, 3);
+    let world = CollisionWorld::new().with_obstacle(Vec3::new(2.0, 0.0, 0.0), 0.2);
+    let from = vec![0.0; 7];
+    let to = vec![0.5; 7];
+    c.bench_function("collision_edge_iiwa", |b| {
+        b.iter(|| world.edge_is_free(&f.robot, &spheres, black_box(&from), black_box(&to), 8))
+    });
+}
+
+fn bench_ilqr_iteration(c: &mut Criterion) {
+    // One short solve (2 iterations, small horizon): the per-iteration cost
+    // is dominated by the gradient evaluations the paper accelerates.
+    let robot = zoo(Zoo::Iiwa);
+    let n = robot.num_links();
+    let cfg = IlqrConfig { horizon: 10, iters: 2, ..IlqrConfig::default() };
+    let target = vec![0.2; n];
+    let mut g = c.benchmark_group("ilqr_short_solve");
+    g.sample_size(10);
+    g.bench_function("iiwa", |b| {
+        b.iter(|| optimize(&robot, black_box(&vec![0.0; n]), &target, &cfg, &ReferenceGradients))
+    });
+    g.finish();
+}
+
+fn bench_topology_cholesky(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mass_matrix_solve");
+    for which in implemented() {
+        let f = fixture(which);
+        let dyn_ = Dynamics::new(&f.robot);
+        let m = dyn_.mass_matrix(&f.q);
+        let topo = f.robot.topology().clone();
+        let b_vec: Vec<f64> = (0..f.robot.num_links()).map(|i| i as f64 * 0.1).collect();
+        g.bench_with_input(
+            BenchmarkId::new("topology_ltl", which.name()),
+            &(topo, m.clone(), b_vec.clone()),
+            |bench, (topo, m, rhs)| {
+                bench.iter(|| {
+                    TopologyCholesky::new(topo, black_box(m)).unwrap().solve(rhs)
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dense", which.name()),
+            &(m, b_vec),
+            |bench, (m, rhs)| {
+                bench.iter(|| {
+                    roboshape_linalg::Cholesky::new(black_box(m)).unwrap().solve_vec(rhs)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    applications,
+    bench_collision_check,
+    bench_collision_edge,
+    bench_ilqr_iteration,
+    bench_topology_cholesky
+);
+criterion_main!(applications);

@@ -1,0 +1,109 @@
+//! Microbenchmarks of the reference rigid-body-dynamics substrate.
+//!
+//! These are real measured CPU times on the build machine for the
+//! algorithms the accelerator replaces — the honest counterpart to the
+//! calibrated analytical CPU model documented in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use roboshape::{Dynamics, SparsityPattern};
+use roboshape_bench::{fixture, implemented};
+use std::hint::black_box;
+
+fn bench_rnea(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rnea");
+    for which in implemented() {
+        let f = fixture(which);
+        let dyn_ = Dynamics::new(&f.robot);
+        let zero = vec![0.0; f.robot.num_links()];
+        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &f, |b, f| {
+            b.iter(|| dyn_.rnea(black_box(&f.q), black_box(&f.qd), black_box(&zero)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_mass_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mass_matrix");
+    for which in implemented() {
+        let f = fixture(which);
+        let dyn_ = Dynamics::new(&f.robot);
+        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &f, |b, f| {
+            b.iter(|| dyn_.mass_matrix(black_box(&f.q)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_rnea_derivatives(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rnea_derivatives");
+    for which in implemented() {
+        let f = fixture(which);
+        let dyn_ = Dynamics::new(&f.robot);
+        let zero = vec![0.0; f.robot.num_links()];
+        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &f, |b, f| {
+            b.iter(|| dyn_.rnea_derivatives(black_box(&f.q), black_box(&f.qd), black_box(&zero)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fd_derivatives(c: &mut Criterion) {
+    // The full ∇FD kernel the accelerator implements (paper Alg. 1).
+    let mut g = c.benchmark_group("fd_derivatives");
+    for which in implemented() {
+        let f = fixture(which);
+        let dyn_ = Dynamics::new(&f.robot);
+        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &f, |b, f| {
+            b.iter(|| dyn_.fd_derivatives(black_box(&f.q), black_box(&f.qd), black_box(&f.tau)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_aba(c: &mut Criterion) {
+    // O(N) forward dynamics (Featherstone's ABA) — the Table 1 kernel.
+    let mut g = c.benchmark_group("aba");
+    for which in implemented() {
+        let f = fixture(which);
+        let dyn_ = Dynamics::new(&f.robot);
+        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &f, |b, f| {
+            b.iter(|| dyn_.aba(black_box(&f.q), black_box(&f.qd), black_box(&f.tau)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_forward_kinematics(c: &mut Criterion) {
+    let mut g = c.benchmark_group("forward_kinematics");
+    for which in implemented() {
+        let f = fixture(which);
+        let dyn_ = Dynamics::new(&f.robot);
+        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &f, |b, f| {
+            b.iter(|| dyn_.forward_kinematics(black_box(&f.q)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_sparsity_pattern(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sparsity_pattern");
+    for which in implemented() {
+        let f = fixture(which);
+        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &f, |b, f| {
+            b.iter(|| SparsityPattern::mass_matrix(black_box(f.robot.topology())))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    substrates,
+    bench_rnea,
+    bench_mass_matrix,
+    bench_rnea_derivatives,
+    bench_fd_derivatives,
+    bench_aba,
+    bench_forward_kinematics,
+    bench_sparsity_pattern
+);
+criterion_main!(substrates);

@@ -1,0 +1,559 @@
+//! Implementation of the `roboshape` command-line tool.
+//!
+//! ```text
+//! roboshape info <robot.urdf>                      topology + metrics + patterns
+//! roboshape generate <robot.urdf> [options]        emit Verilog + design report
+//!     --pe-fwd N --pe-bwd N --block N              explicit knobs (default: hybrid heuristic)
+//!     --out DIR                                    output directory (default: roboshape_out)
+//! roboshape sweep <robot.urdf> [--pareto]          design-space CSV on stdout
+//! roboshape verify <robot.urdf>                    simulate the generated design vs reference
+//! ```
+//!
+//! The argument parser is hand-rolled (the workspace's dependency policy —
+//! see DESIGN.md §5); it supports `--flag value` and `--flag=value`.
+
+#![warn(missing_docs)]
+
+use roboshape::{
+    pareto_frontier, simulate, AcceleratorKnobs, Constraints, Framework, ParallelismProfile,
+    SparsityPattern,
+};
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A CLI failure: message plus suggested exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CliError {
+    fn new(message: impl Into<String>) -> CliError {
+        CliError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
+  info      print topology, metrics and pattern analysis
+  generate  emit Verilog + design report (--pe-fwd N --pe-bwd N --block N --out DIR)
+  sweep     print the design-space CSV (--pareto for the frontier only)
+  verify    simulate the generated design against the reference library
+  gantt     draw the generated schedule as an ASCII timeline (--width N)
+  kernels   compare FK / inverse-dynamics / gradient accelerators
+  energy    power and energy report (with and without PE gating)
+  soc       co-design accelerators for several URDFs (extra paths after the first)";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The subcommand.
+    pub command: Command,
+    /// Path to the URDF file.
+    pub urdf: PathBuf,
+}
+
+/// The CLI subcommands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `roboshape info`.
+    Info,
+    /// `roboshape generate`.
+    Generate {
+        /// Explicit knobs (`None` = framework heuristic).
+        knobs: Option<AcceleratorKnobs>,
+        /// Output directory.
+        out: PathBuf,
+    },
+    /// `roboshape sweep`.
+    Sweep {
+        /// Restrict output to the Pareto frontier.
+        pareto_only: bool,
+    },
+    /// `roboshape verify`.
+    Verify,
+    /// `roboshape gantt`.
+    Gantt {
+        /// Chart width in columns.
+        width: usize,
+    },
+    /// `roboshape kernels`.
+    Kernels,
+    /// `roboshape energy`.
+    Energy,
+    /// `roboshape soc` (the first URDF is `Cli::urdf`; the rest ride
+    /// along here).
+    Soc {
+        /// Additional robot description paths.
+        extra: Vec<PathBuf>,
+    },
+}
+
+/// Parses the argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] with a usage hint for unknown commands, missing
+/// paths, or malformed options.
+pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(|| CliError::new(USAGE))?;
+    let urdf = it
+        .next()
+        .ok_or_else(|| CliError::new("missing <robot.urdf> argument"))?;
+    let rest: Vec<&String> = it.collect();
+    let get_opt = |name: &str| -> Result<Option<String>, CliError> {
+        let mut i = 0;
+        while i < rest.len() {
+            let a = rest[i].as_str();
+            if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                return Ok(Some(v.to_string()));
+            }
+            if a == name {
+                return rest
+                    .get(i + 1)
+                    .map(|v| Some(v.to_string()))
+                    .ok_or_else(|| CliError::new(format!("option {name} needs a value")));
+            }
+            i += 1;
+        }
+        Ok(None)
+    };
+    let get_usize = |name: &str| -> Result<Option<usize>, CliError> {
+        match get_opt(name)? {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<usize>()
+                .map(Some)
+                .map_err(|_| CliError::new(format!("option {name} needs an integer, got `{v}`"))),
+        }
+    };
+
+    let command = match cmd.as_str() {
+        "info" => Command::Info,
+        "verify" => Command::Verify,
+        "gantt" => Command::Gantt { width: get_usize("--width")?.unwrap_or(80).max(1) },
+        "kernels" => Command::Kernels,
+        "energy" => Command::Energy,
+        "soc" => Command::Soc {
+            extra: rest
+                .iter()
+                .filter(|a| !a.starts_with("--"))
+                .map(PathBuf::from)
+                .collect(),
+        },
+        "sweep" => Command::Sweep {
+            pareto_only: rest.iter().any(|a| a.as_str() == "--pareto"),
+        },
+        "generate" => {
+            let pe_fwd = get_usize("--pe-fwd")?;
+            let pe_bwd = get_usize("--pe-bwd")?;
+            let block = get_usize("--block")?;
+            let knobs = match (pe_fwd, pe_bwd, block) {
+                (None, None, None) => None,
+                (f, b, blk) => {
+                    // Partial knobs: fall back to 1 so the user sees the
+                    // effect of what they set; the heuristic path is the
+                    // no-flags case.
+                    Some(AcceleratorKnobs::new(
+                        f.unwrap_or(1).max(1),
+                        b.unwrap_or(1).max(1),
+                        blk.unwrap_or(1).max(1),
+                    ))
+                }
+            };
+            let out = get_opt("--out")?
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("roboshape_out"));
+            Command::Generate { knobs, out }
+        }
+        other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
+    };
+    Ok(Cli { command, urdf: PathBuf::from(urdf) })
+}
+
+/// Executes a parsed CLI invocation; returns the text to print.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unreadable files, invalid URDF, or output
+/// I/O failures.
+pub fn run(cli: &Cli) -> Result<String, CliError> {
+    let urdf = std::fs::read_to_string(&cli.urdf)
+        .map_err(|e| CliError::new(format!("cannot read {}: {e}", cli.urdf.display())))?;
+    let fw = Framework::from_urdf(&urdf)
+        .map_err(|e| CliError::new(format!("invalid URDF: {e}")))?;
+    let robot = fw.robot().clone();
+
+    let mut out = String::new();
+    match &cli.command {
+        Command::Info => {
+            let _ = writeln!(out, "robot: {} ({} links)", robot.name(), robot.num_links());
+            let _ = writeln!(out, "metrics: {}", fw.metrics());
+            let _ = writeln!(out, "topology:\n{}", robot.topology().render());
+            let p = ParallelismProfile::of(robot.topology());
+            let _ = writeln!(out, "forward parallelism per step:  {:?}", p.forward);
+            let _ = writeln!(out, "backward parallelism per step: {:?}", p.backward);
+            let pat = SparsityPattern::mass_matrix(robot.topology());
+            let _ = writeln!(
+                out,
+                "mass matrix: {} nonzeros ({:.0}% sparse)\n{}",
+                pat.nnz(),
+                pat.sparsity() * 100.0,
+                pat.render()
+            );
+        }
+        Command::Generate { knobs, out: out_dir } => {
+            let accel = match knobs {
+                Some(k) => fw.generate_with_knobs(*k),
+                None => fw.generate(Constraints::unconstrained()),
+            };
+            let k = accel.knobs();
+            let d = accel.design();
+            std::fs::create_dir_all(out_dir)
+                .map_err(|e| CliError::new(format!("cannot create {}: {e}", out_dir.display())))?;
+            for (name, src) in accel.verilog().files() {
+                std::fs::write(out_dir.join(name), src)
+                    .map_err(|e| CliError::new(format!("cannot write {name}: {e}")))?;
+            }
+            let r = accel.resources();
+            let report = format!(
+                "robot: {}\nknobs: PEs_fwd={} PEs_bwd={} block={}\ncycles: {} (no pipelining: {})\nclock: {:.1} ns\nlatency: {:.2} us\nresources: {:.0} LUTs, {:.0} DSPs\n",
+                robot.name(),
+                k.pe_fwd,
+                k.pe_bwd,
+                k.block_size,
+                d.compute_cycles(),
+                d.compute_cycles_no_pipelining(),
+                d.clock_ns(),
+                d.compute_latency_us(),
+                r.luts,
+                r.dsps
+            );
+            std::fs::write(out_dir.join("report.txt"), &report)
+                .map_err(|e| CliError::new(format!("cannot write report: {e}")))?;
+            let _ = writeln!(out, "{report}");
+            let _ = writeln!(out, "wrote Verilog + report to {}", out_dir.display());
+        }
+        Command::Sweep { pareto_only } => {
+            let points = fw.design_space();
+            let selected = if *pareto_only { pareto_frontier(&points) } else { points };
+            let _ = writeln!(out, "pe_fwd,pe_bwd,block,traversal_cycles,total_cycles,luts,dsps");
+            for p in selected {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{:.0},{:.0}",
+                    p.pe_fwd,
+                    p.pe_bwd,
+                    p.block,
+                    p.traversal_cycles,
+                    p.total_cycles,
+                    p.resources.luts,
+                    p.resources.dsps
+                );
+            }
+        }
+        Command::Gantt { width } => {
+            let accel = fw.generate(Constraints::unconstrained());
+            let d = accel.design();
+            let _ = writeln!(
+                out,
+                "schedule for {} at PEs=({},{}), makespan {} cycles:",
+                robot.name(),
+                accel.knobs().pe_fwd,
+                accel.knobs().pe_bwd,
+                d.schedule().makespan()
+            );
+            let _ = writeln!(out, "{}", d.schedule().render_gantt(d.task_graph(), *width));
+            let _ = writeln!(out, "legend: F RNEA-fwd, B RNEA-bwd, g grad-fwd, b grad-bwd, . idle");
+        }
+        Command::Kernels => {
+            use roboshape::{simulate_inverse_dynamics, simulate_kinematics, KernelKind};
+            let knobs = fw.choose_knobs(Constraints::unconstrained());
+            let n = robot.num_links();
+            let q: Vec<f64> = (0..n).map(|i| 0.2 * (i as f64 + 1.0).sin()).collect();
+            let _ = writeln!(
+                out,
+                "{:<20} {:>8} {:>10} {:>12}",
+                "kernel", "tasks", "cycles", "latency us"
+            );
+            for kernel in [
+                KernelKind::ForwardKinematics,
+                KernelKind::InverseDynamics,
+                KernelKind::DynamicsGradient,
+            ] {
+                let d = roboshape::AcceleratorDesign::generate_for_kernel(
+                    robot.topology(),
+                    knobs,
+                    kernel,
+                );
+                // Functionally verify each design before reporting it.
+                match kernel {
+                    KernelKind::ForwardKinematics => {
+                        let _ = simulate_kinematics(&robot, &d, &q);
+                    }
+                    KernelKind::InverseDynamics => {
+                        let _ =
+                            simulate_inverse_dynamics(&robot, &d, &q, &vec![0.1; n], &vec![0.0; n]);
+                    }
+                    KernelKind::DynamicsGradient => {
+                        let _ = simulate(&robot, &d, &q, &vec![0.1; n], &vec![0.2; n]);
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<20} {:>8} {:>10} {:>12.2}",
+                    format!("{kernel:?}"),
+                    d.task_graph().len(),
+                    d.compute_cycles(),
+                    d.compute_latency_us()
+                );
+            }
+        }
+        Command::Energy => {
+            use roboshape::PowerModel;
+            let accel = fw.generate(Constraints::unconstrained());
+            let plain = PowerModel::new().evaluate(accel.design());
+            let gated = PowerModel::new().with_power_gating().evaluate(accel.design());
+            let _ = writeln!(out, "robot: {} ({} links)", robot.name(), robot.num_links());
+            let _ = writeln!(
+                out,
+                "static {:.2} W + dynamic {:.2} W = {:.2} W (utilization {:.0}%)",
+                plain.static_w,
+                plain.dynamic_w,
+                plain.total_w(),
+                plain.utilization * 100.0
+            );
+            let _ = writeln!(
+                out,
+                "with PE power gating: {:.2} W (saves {:.2} W of idle leakage)",
+                gated.total_w(),
+                plain.total_w() - gated.total_w()
+            );
+            let _ = writeln!(
+                out,
+                "energy per gradient evaluation: {:.1} uJ",
+                plain.energy_per_eval_uj()
+            );
+        }
+        Command::Soc { extra } => {
+            use roboshape::{co_design, sweep_design_space, Platform, UTILIZATION_THRESHOLD};
+            let mut robots = vec![robot.clone()];
+            for path in extra {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError::new(format!("cannot read {}: {e}", path.display())))?;
+                robots.push(
+                    Framework::from_urdf(&text)
+                        .map_err(|e| CliError::new(format!("invalid URDF {}: {e}", path.display())))?
+                        .robot()
+                        .clone(),
+                );
+            }
+            let spaces: Vec<_> = robots
+                .iter()
+                .map(|r| sweep_design_space(r.topology()))
+                .collect();
+            for platform in Platform::all() {
+                match co_design(&spaces, platform, UTILIZATION_THRESHOLD) {
+                    Some(alloc) => {
+                        let _ = writeln!(
+                            out,
+                            "{}: worst latency {} cycles, {:.0} LUTs / {:.0} DSPs total",
+                            platform.name, alloc.worst_latency, alloc.total.luts, alloc.total.dsps
+                        );
+                        for (r, p) in robots.iter().zip(&alloc.assignments) {
+                            let _ = writeln!(
+                                out,
+                                "  {:<12} ({:>2},{:>2},b{:<2}) {:>5} cycles {:>9.0} LUTs",
+                                r.name(),
+                                p.pe_fwd,
+                                p.pe_bwd,
+                                p.block,
+                                p.total_cycles,
+                                p.resources.luts
+                            );
+                        }
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "{}: the {} accelerators do not fit together",
+                            platform.name,
+                            robots.len()
+                        );
+                    }
+                }
+            }
+        }
+        Command::Verify => {
+            let accel = fw.generate(Constraints::unconstrained());
+            let n = robot.num_links();
+            let q: Vec<f64> = (0..n).map(|i| (0.27 * (i as f64 + 1.0)).sin()).collect();
+            let qd: Vec<f64> = (0..n).map(|i| 0.2 * (0.4 * i as f64).cos()).collect();
+            let tau: Vec<f64> = (0..n).map(|i| 0.5 - 0.06 * i as f64).collect();
+            let sim = simulate(&robot, accel.design(), &q, &qd, &tau);
+            let err = sim.verify(&robot, &q, &qd, &tau);
+            let _ = writeln!(
+                out,
+                "simulated {} tasks + {} mat-mul ops in {} cycles",
+                sim.stats.tasks_executed, sim.stats.matmul_ops, sim.stats.cycles
+            );
+            let _ = writeln!(out, "max gradient deviation vs reference: {err:.3e}");
+            if err > 1e-8 {
+                return Err(CliError::new(format!("verification FAILED: error {err:.3e}")));
+            }
+            let _ = writeln!(out, "VERIFIED");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_robots::{zoo_urdf, Zoo};
+
+    fn args(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn write_urdf(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("roboshape_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.urdf"));
+        std::fs::write(&path, zoo_urdf(Zoo::Hyq)).unwrap();
+        path
+    }
+
+    #[test]
+    fn parses_commands() {
+        let c = parse_args(&args(&["info", "r.urdf"])).unwrap();
+        assert_eq!(c.command, Command::Info);
+        let c = parse_args(&args(&["sweep", "r.urdf", "--pareto"])).unwrap();
+        assert_eq!(c.command, Command::Sweep { pareto_only: true });
+        let c = parse_args(&args(&["generate", "r.urdf", "--pe-fwd", "3", "--block=4"])).unwrap();
+        match c.command {
+            Command::Generate { knobs: Some(k), .. } => {
+                assert_eq!(k.pe_fwd, 3);
+                assert_eq!(k.block_size, 4);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&[]).is_err());
+        assert!(parse_args(&args(&["info"])).is_err());
+        assert!(parse_args(&args(&["frobnicate", "r.urdf"])).is_err());
+        assert!(parse_args(&args(&["generate", "r.urdf", "--pe-fwd", "three"])).is_err());
+        assert!(parse_args(&args(&["generate", "r.urdf", "--pe-fwd"])).is_err());
+    }
+
+    #[test]
+    fn info_runs_on_a_real_urdf() {
+        let path = write_urdf("info");
+        let cli = parse_args(&args(&["info", path.to_str().unwrap()])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("12 links"));
+        assert!(out.contains("75% sparse"));
+    }
+
+    #[test]
+    fn generate_writes_verilog_bundle() {
+        let path = write_urdf("generate");
+        let out_dir = std::env::temp_dir().join("roboshape_cli_tests/gen_out");
+        let cli = parse_args(&args(&[
+            "generate",
+            path.to_str().unwrap(),
+            "--pe-fwd",
+            "3",
+            "--pe-bwd",
+            "3",
+            "--block",
+            "3",
+            "--out",
+            out_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("PEs_fwd=3"));
+        assert!(out_dir.join("roboshape_top.v").exists());
+        assert!(out_dir.join("report.txt").exists());
+    }
+
+    #[test]
+    fn verify_passes_on_a_real_robot() {
+        let path = write_urdf("verify");
+        let cli = parse_args(&args(&["verify", path.to_str().unwrap()])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("VERIFIED"));
+    }
+
+    #[test]
+    fn sweep_emits_csv() {
+        let path = write_urdf("sweep");
+        let cli = parse_args(&args(&["sweep", path.to_str().unwrap(), "--pareto"])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.starts_with("pe_fwd,pe_bwd,block"));
+        assert!(out.lines().count() > 2);
+    }
+
+    #[test]
+    fn kernels_command_reports_three_kernels() {
+        let path = write_urdf("kernels");
+        let cli = parse_args(&args(&["kernels", path.to_str().unwrap()])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("ForwardKinematics"));
+        assert!(out.contains("InverseDynamics"));
+        assert!(out.contains("DynamicsGradient"));
+    }
+
+    #[test]
+    fn energy_command_reports_gating() {
+        let path = write_urdf("energy");
+        let cli = parse_args(&args(&["energy", path.to_str().unwrap()])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("power gating"));
+        assert!(out.contains("uJ"));
+    }
+
+    #[test]
+    fn soc_command_co_designs_two_robots() {
+        let a = write_urdf("soc_a");
+        let dir = std::env::temp_dir().join("roboshape_cli_tests");
+        let b = dir.join("soc_b.urdf");
+        std::fs::write(&b, zoo_urdf(Zoo::Iiwa)).unwrap();
+        let cli = parse_args(&args(&["soc", a.to_str().unwrap(), b.to_str().unwrap()])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("worst latency"));
+        assert!(out.contains("iiwa"));
+        assert!(out.contains("HyQ"));
+    }
+
+    #[test]
+    fn gantt_draws_a_timeline() {
+        let path = write_urdf("gantt");
+        let cli = parse_args(&args(&["gantt", path.to_str().unwrap(), "--width", "40"])).unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("legend:"));
+        assert!(out.contains("fwd0"));
+        assert!(out.lines().any(|l| l.contains('F')));
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let cli = parse_args(&args(&["info", "/nonexistent/robot.urdf"])).unwrap();
+        let err = run(&cli).unwrap_err();
+        assert!(err.message.contains("cannot read"));
+    }
+}

@@ -1,0 +1,22 @@
+//! The `roboshape` command-line entry point (see the library crate for
+//! the command implementations and `roboshape --help`-style usage).
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--help") || args.is_empty() {
+        println!("{}", roboshape_cli::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match roboshape_cli::parse_args(&args).and_then(|cli| roboshape_cli::run(&cli)) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("roboshape: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

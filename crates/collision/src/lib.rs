@@ -1,0 +1,452 @@
+//! Sphere-based collision checking for rigid-body robots.
+//!
+//! The paper's Fig. 2 places *collision detection* next to the dynamics
+//! gradients as the other bottleneck kernel of motion planning ("e.g.,
+//! collision detection for sampling-based planning [Murray et al.]"), and
+//! notes RoboShape is complementary to its accelerators. This crate
+//! provides that substrate for the repository's planning examples: a
+//! sphere decomposition of each link swept through forward kinematics
+//! (pattern ① again — every collision query is a topology traversal),
+//! checked against workspace obstacles and against the robot's own
+//! non-adjacent links.
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_collision::{CollisionWorld, SphereDecomposition};
+//! use roboshape_linalg::Vec3;
+//! use roboshape_robots::{zoo, Zoo};
+//!
+//! let robot = zoo(Zoo::Iiwa);
+//! let spheres = SphereDecomposition::from_model(&robot, 2);
+//! // An obstacle far away: the straight arm is collision-free.
+//! let world = CollisionWorld::new().with_obstacle(Vec3::new(5.0, 0.0, 0.0), 0.2);
+//! let report = world.check(&robot, &spheres, &vec![0.0; 7]);
+//! assert!(report.is_free());
+//! ```
+
+#![warn(missing_docs)]
+
+use roboshape_dynamics::Dynamics;
+use roboshape_linalg::Vec3;
+use roboshape_urdf::RobotModel;
+
+/// A sphere in some frame: center and radius.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sphere {
+    /// Center position.
+    pub center: Vec3,
+    /// Radius (> 0).
+    pub radius: f64,
+}
+
+impl Sphere {
+    /// Creates a sphere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius <= 0`.
+    pub fn new(center: Vec3, radius: f64) -> Sphere {
+        assert!(radius > 0.0, "sphere radius must be positive");
+        Sphere { center, radius }
+    }
+
+    /// Signed separation to another sphere (negative when penetrating).
+    pub fn separation(&self, other: &Sphere) -> f64 {
+        (self.center - other.center).norm() - self.radius - other.radius
+    }
+}
+
+/// A per-link sphere covering of the robot (collision geometry in link
+/// frames).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SphereDecomposition {
+    per_link: Vec<Vec<Sphere>>,
+}
+
+impl SphereDecomposition {
+    /// Builds an empty decomposition for `n` links (fill with
+    /// [`SphereDecomposition::set_link`]).
+    pub fn empty(n: usize) -> SphereDecomposition {
+        SphereDecomposition { per_link: vec![Vec::new(); n] }
+    }
+
+    /// Sets the spheres of one link (link-frame coordinates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `link` is out of range.
+    pub fn set_link(&mut self, link: usize, spheres: Vec<Sphere>) -> &mut Self {
+        self.per_link[link] = spheres;
+        self
+    }
+
+    /// Derives a decomposition from the model's inertial geometry:
+    /// `spheres_per_link` spheres spaced from the joint origin to twice
+    /// the centre of mass (the rod the zoo robots are built from), with a
+    /// radius proportional to the rod length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spheres_per_link == 0`.
+    pub fn from_model(model: &RobotModel, spheres_per_link: usize) -> SphereDecomposition {
+        assert!(spheres_per_link > 0, "need at least one sphere per link");
+        let mut d = SphereDecomposition::empty(model.num_links());
+        for i in 0..model.num_links() {
+            let com = model.link(i).inertia.com().unwrap_or(Vec3::ZERO);
+            let tip = com * 2.0;
+            let len = tip.norm().max(0.04);
+            let radius = (len * 0.25).max(0.02);
+            let spheres = (0..spheres_per_link)
+                .map(|k| {
+                    let t = (k as f64 + 0.5) / spheres_per_link as f64;
+                    Sphere::new(tip * t, radius)
+                })
+                .collect();
+            d.set_link(i, spheres);
+        }
+        d
+    }
+
+    /// The spheres of one link.
+    pub fn link(&self, link: usize) -> &[Sphere] {
+        &self.per_link[link]
+    }
+
+    /// Total sphere count.
+    pub fn total_spheres(&self) -> usize {
+        self.per_link.iter().map(Vec::len).sum()
+    }
+}
+
+/// One detected contact.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Contact {
+    /// Two non-adjacent links intersect.
+    SelfCollision {
+        /// First link.
+        link_a: usize,
+        /// Second link.
+        link_b: usize,
+        /// Penetration depth (> 0).
+        depth: f64,
+    },
+    /// A link intersects a workspace obstacle.
+    Obstacle {
+        /// The link.
+        link: usize,
+        /// Obstacle index in the world.
+        obstacle: usize,
+        /// Penetration depth (> 0).
+        depth: f64,
+    },
+}
+
+/// Result of a collision query.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CollisionReport {
+    /// Every detected contact.
+    pub contacts: Vec<Contact>,
+    /// The smallest separation seen anywhere (negative when colliding).
+    pub min_separation: f64,
+    /// Sphere-pair tests performed (the work a collision accelerator
+    /// would parallelize).
+    pub pairs_tested: usize,
+}
+
+impl CollisionReport {
+    /// `true` when no contact was found.
+    pub fn is_free(&self) -> bool {
+        self.contacts.is_empty()
+    }
+}
+
+/// Workspace obstacles (spheres in the base frame).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollisionWorld {
+    obstacles: Vec<Sphere>,
+    ignore_within: usize,
+}
+
+impl Default for CollisionWorld {
+    fn default() -> Self {
+        CollisionWorld { obstacles: Vec::new(), ignore_within: 1 }
+    }
+}
+
+impl CollisionWorld {
+    /// An empty world (self-collision checked for all non-adjacent pairs).
+    pub fn new() -> CollisionWorld {
+        CollisionWorld::default()
+    }
+
+    /// Skips self-collision pairs within `distance` kinematic hops (1 =
+    /// adjacent links only, the default; 2 also skips grandparent and
+    /// sibling pairs — useful for hands whose fingers legitimately sit
+    /// close to the palm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance == 0`.
+    pub fn ignoring_links_within(mut self, distance: usize) -> CollisionWorld {
+        assert!(distance > 0, "adjacent links always touch at their joint");
+        self.ignore_within = distance;
+        self
+    }
+
+    /// Adds a spherical obstacle (base-frame coordinates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius <= 0`.
+    pub fn with_obstacle(mut self, center: Vec3, radius: f64) -> CollisionWorld {
+        self.obstacles.push(Sphere::new(center, radius));
+        self
+    }
+
+    /// The obstacles.
+    pub fn obstacles(&self) -> &[Sphere] {
+        &self.obstacles
+    }
+
+    /// Checks configuration `q`: forward kinematics carries every link
+    /// sphere into the base frame, then tests link-vs-obstacle and
+    /// non-adjacent link-vs-link pairs (adjacent links legitimately touch
+    /// at their shared joint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` or the decomposition dimensions disagree with the
+    /// model.
+    pub fn check(
+        &self,
+        model: &RobotModel,
+        spheres: &SphereDecomposition,
+        q: &[f64],
+    ) -> CollisionReport {
+        let n = model.num_links();
+        assert_eq!(q.len(), n, "q dimension mismatch");
+        assert_eq!(spheres.per_link.len(), n, "decomposition dimension mismatch");
+        let fk = Dynamics::new(model).forward_kinematics(q);
+        let topo = model.topology();
+
+        // World-frame spheres per link (points map back through ⁱX⁰).
+        let world_spheres: Vec<Vec<Sphere>> = (0..n)
+            .map(|i| {
+                spheres
+                    .link(i)
+                    .iter()
+                    .map(|s| Sphere {
+                        center: fk.x_base[i].transform_point_back(s.center),
+                        radius: s.radius,
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut report = CollisionReport { min_separation: f64::INFINITY, ..Default::default() };
+        // Link vs obstacles.
+        for (i, link_spheres) in world_spheres.iter().enumerate() {
+            for s in link_spheres {
+                for (oi, o) in self.obstacles.iter().enumerate() {
+                    let sep = s.separation(o);
+                    report.pairs_tested += 1;
+                    report.min_separation = report.min_separation.min(sep);
+                    if sep < 0.0 {
+                        report.contacts.push(Contact::Obstacle {
+                            link: i,
+                            obstacle: oi,
+                            depth: -sep,
+                        });
+                    }
+                }
+            }
+        }
+        // Self-collision, skipping kinematically-near pairs.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let near = topo
+                    .path_between(a, b)
+                    .map(|p| p.len() - 1 <= self.ignore_within)
+                    .unwrap_or(false);
+                if near {
+                    continue;
+                }
+                let mut worst = f64::INFINITY;
+                for sa in &world_spheres[a] {
+                    for sb in &world_spheres[b] {
+                        let sep = sa.separation(sb);
+                        report.pairs_tested += 1;
+                        worst = worst.min(sep);
+                    }
+                }
+                report.min_separation = report.min_separation.min(worst);
+                if worst < 0.0 {
+                    report.contacts.push(Contact::SelfCollision {
+                        link_a: a,
+                        link_b: b,
+                        depth: -worst,
+                    });
+                }
+            }
+        }
+        report
+    }
+
+    /// `true` when the straight-line joint-space motion from `from` to
+    /// `to` stays collision-free at `steps` interpolated configurations
+    /// (inclusive of the endpoint) — the edge check of a sampling-based
+    /// planner.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or `steps == 0`.
+    pub fn edge_is_free(
+        &self,
+        model: &RobotModel,
+        spheres: &SphereDecomposition,
+        from: &[f64],
+        to: &[f64],
+        steps: usize,
+    ) -> bool {
+        assert!(steps > 0, "need at least one interpolation step");
+        assert_eq!(from.len(), to.len(), "endpoint dimension mismatch");
+        for k in 1..=steps {
+            let t = k as f64 / steps as f64;
+            let q: Vec<f64> = from
+                .iter()
+                .zip(to)
+                .map(|(a, b)| a + t * (b - a))
+                .collect();
+            if !self.check(model, spheres, &q).is_free() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_robots::{zoo, Zoo};
+    use roboshape_spatial::{Joint, SpatialInertia, Xform};
+    use roboshape_urdf::RobotBuilder;
+
+    /// Three-link planar arm that can fold back onto itself.
+    fn folding_arm() -> RobotModel {
+        let mut b = RobotBuilder::new("folder");
+        let mut parent = None;
+        for k in 0..3 {
+            let tree = if k == 0 {
+                Xform::identity()
+            } else {
+                Xform::from_translation(Vec3::new(0.0, 0.0, -0.4))
+            };
+            let h = b.add_link(
+                format!("l{k}"),
+                parent,
+                Joint::revolute(Vec3::unit_y()).with_tree_xform(tree),
+                SpatialInertia::point_like(1.0, Vec3::new(0.0, 0.0, -0.2), 0.01),
+            );
+            parent = Some(h);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn straight_arm_is_free() {
+        let robot = folding_arm();
+        let spheres = SphereDecomposition::from_model(&robot, 3);
+        let world = CollisionWorld::new();
+        let r = world.check(&robot, &spheres, &[0.0, 0.0, 0.0]);
+        assert!(r.is_free(), "{:?}", r.contacts);
+        assert!(r.min_separation > 0.0);
+        assert!(r.pairs_tested > 0);
+    }
+
+    #[test]
+    fn folded_arm_self_collides() {
+        let robot = folding_arm();
+        let spheres = SphereDecomposition::from_model(&robot, 3);
+        let world = CollisionWorld::new();
+        // Fold both distal joints by ~π: link 2 comes back over link 0.
+        let r = world.check(&robot, &spheres, &[0.0, 3.0, 3.0]);
+        assert!(!r.is_free());
+        assert!(r
+            .contacts
+            .iter()
+            .any(|c| matches!(c, Contact::SelfCollision { link_a: 0, link_b: 2, .. })));
+    }
+
+    #[test]
+    fn obstacle_at_the_tip_is_detected() {
+        let robot = folding_arm();
+        let spheres = SphereDecomposition::from_model(&robot, 3);
+        // The straight arm hangs to z = -1.2; put an obstacle there.
+        let world = CollisionWorld::new().with_obstacle(Vec3::new(0.0, 0.0, -1.1), 0.15);
+        let hit = world.check(&robot, &spheres, &[0.0, 0.0, 0.0]);
+        assert!(!hit.is_free());
+        assert!(hit.contacts.iter().any(|c| matches!(c, Contact::Obstacle { link: 2, .. })));
+        // Swing the base joint away: free again.
+        let free = world.check(&robot, &spheres, &[1.5, 0.0, 0.0]);
+        assert!(free.is_free(), "{:?}", free.contacts);
+    }
+
+    #[test]
+    fn edge_checking_catches_mid_motion_collisions() {
+        let robot = folding_arm();
+        let spheres = SphereDecomposition::from_model(&robot, 3);
+        let world = CollisionWorld::new().with_obstacle(Vec3::new(0.0, 0.0, -1.1), 0.15);
+        // Both endpoints are free but the straight-line path sweeps the
+        // tip through the obstacle.
+        let from = vec![1.2, 0.0, 0.0];
+        let to = vec![-1.2, 0.0, 0.0];
+        assert!(world.check(&robot, &spheres, &from).is_free());
+        assert!(world.check(&robot, &spheres, &to).is_free());
+        assert!(!world.edge_is_free(&robot, &spheres, &from, &to, 16));
+    }
+
+    #[test]
+    fn zoo_robots_are_free_at_rest_in_an_empty_world() {
+        // Jaco's fingers sit close to the palm: use the distance-2 filter
+        // there (the standard self-collision matrix treatment).
+        for (which, ignore) in [(Zoo::Iiwa, 1), (Zoo::Hyq, 1), (Zoo::Jaco3, 2)] {
+            let robot = zoo(which);
+            let spheres = SphereDecomposition::from_model(&robot, 2);
+            let world = CollisionWorld::new().ignoring_links_within(ignore);
+            let n = robot.num_links();
+            let r = world.check(&robot, &spheres, &vec![0.0; n]);
+            assert!(r.is_free(), "{which:?}: {:?}", r.contacts);
+        }
+    }
+
+    #[test]
+    fn distance_filter_trades_coverage() {
+        let robot = folding_arm();
+        let spheres = SphereDecomposition::from_model(&robot, 3);
+        let folded = [0.0, 3.0, 3.0];
+        // Default (adjacent-only) catches the 0-2 fold; distance-2 filter
+        // deliberately ignores it.
+        assert!(!CollisionWorld::new().check(&robot, &spheres, &folded).is_free());
+        assert!(CollisionWorld::new()
+            .ignoring_links_within(2)
+            .check(&robot, &spheres, &folded)
+            .is_free());
+    }
+
+    #[test]
+    fn separation_math() {
+        let a = Sphere::new(Vec3::ZERO, 1.0);
+        let b = Sphere::new(Vec3::new(3.0, 0.0, 0.0), 1.0);
+        assert!((a.separation(&b) - 1.0).abs() < 1e-12);
+        let c = Sphere::new(Vec3::new(1.5, 0.0, 0.0), 1.0);
+        assert!(a.separation(&c) < 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_panics() {
+        Sphere::new(Vec3::ZERO, 0.0);
+    }
+}

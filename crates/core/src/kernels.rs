@@ -1,0 +1,136 @@
+//! The topology-pattern kernel registry (paper Table 1, Fig. 2).
+//!
+//! The paper catalogues the robotics algorithm families whose bottleneck
+//! kernels are built from the two topology patterns. This registry encodes
+//! that catalogue so the experiment harness can regenerate Table 1 and so
+//! downstream SoC studies can reason about which kernels share hardware.
+
+/// How a kernel's traversal work scales with robot size `N`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraversalScaling {
+    /// One pass over the links (`O(N)`).
+    Linear,
+    /// Per-link × per-ancestor work (`O(N²)`), like ∇RNEA.
+    Quadratic,
+}
+
+/// One entry of the paper's Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelInfo {
+    /// Kernel or algorithm family name.
+    pub name: &'static str,
+    /// The pipeline stage it serves (perception / localization / planning
+    /// & control).
+    pub pipeline_stage: &'static str,
+    /// Uses pattern ① (topology traversals); `None` if not.
+    pub traversal: Option<TraversalScaling>,
+    /// Uses pattern ② (large topology-based matrices).
+    pub topology_matrices: bool,
+    /// Canonical reference (paper citation).
+    pub reference: &'static str,
+    /// Where this repository implements the kernel (`None` = catalogued
+    /// only).
+    pub implemented_in: Option<&'static str>,
+}
+
+/// The Table 1 catalogue: robotics kernels and the topology patterns they
+/// are built from.
+pub fn kernel_table() -> Vec<KernelInfo> {
+    vec![
+        KernelInfo {
+            name: "Forward/inverse kinematics",
+            pipeline_stage: "planning & control",
+            traversal: Some(TraversalScaling::Linear),
+            topology_matrices: false,
+            reference: "Featherstone 2008",
+            implemented_in: Some("roboshape-dynamics::forward_kinematics / KernelKind::ForwardKinematics"),
+        },
+        KernelInfo {
+            name: "Inverse dynamics (RNEA)",
+            pipeline_stage: "planning & control",
+            traversal: Some(TraversalScaling::Linear),
+            topology_matrices: false,
+            reference: "Luh, Walker & Paul 1980",
+            implemented_in: Some("roboshape-dynamics::rnea / KernelKind::InverseDynamics"),
+        },
+        KernelInfo {
+            name: "Forward dynamics (ABA / CRBA + solve)",
+            pipeline_stage: "planning & control",
+            traversal: Some(TraversalScaling::Linear),
+            topology_matrices: true,
+            reference: "Featherstone 1983; Walker & Orin 1982",
+            implemented_in: Some("roboshape-dynamics::{aba, forward_dynamics}"),
+        },
+        KernelInfo {
+            name: "Mass matrix (CRBA)",
+            pipeline_stage: "planning & control",
+            traversal: Some(TraversalScaling::Linear),
+            topology_matrices: true,
+            reference: "Featherstone 2008",
+            implemented_in: Some("roboshape-dynamics::mass_matrix (CRBA)"),
+        },
+        KernelInfo {
+            name: "Dynamics gradients (∇RNEA, ∇FD)",
+            pipeline_stage: "planning & control",
+            traversal: Some(TraversalScaling::Quadratic),
+            topology_matrices: true,
+            reference: "Carpentier & Mansard 2018",
+            implemented_in: Some("roboshape-dynamics::fd_derivatives + the generated accelerator"),
+        },
+        KernelInfo {
+            name: "Second-order DDP derivatives",
+            pipeline_stage: "planning & control",
+            traversal: Some(TraversalScaling::Quadratic),
+            topology_matrices: true,
+            reference: "Nganga & Wensing 2021",
+            implemented_in: None,
+        },
+        KernelInfo {
+            name: "Whole-body EKF localization",
+            pipeline_stage: "mapping & localization",
+            traversal: Some(TraversalScaling::Linear),
+            topology_matrices: true,
+            reference: "paper Fig. 2",
+            implemented_in: Some("roboshape-estimation::Ekf"),
+        },
+        KernelInfo {
+            name: "Collision detection (sampling-based planning)",
+            pipeline_stage: "planning & control",
+            traversal: None,
+            topology_matrices: false,
+            reference: "Murray et al. 2016",
+            implemented_in: Some("roboshape-collision (substrate; RoboShape is complementary)"),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_both_patterns_represented() {
+        let table = kernel_table();
+        assert!(table.len() >= 6);
+        assert!(table.iter().any(|k| k.traversal == Some(TraversalScaling::Quadratic)));
+        assert!(table.iter().any(|k| k.topology_matrices));
+        // The contrast case: a bottleneck kernel that uses neither pattern
+        // (RoboShape is complementary to its accelerators).
+        assert!(table.iter().any(|k| k.traversal.is_none() && !k.topology_matrices));
+    }
+
+    #[test]
+    fn most_of_the_catalogue_is_implemented_here() {
+        let table = kernel_table();
+        let implemented = table.iter().filter(|k| k.implemented_in.is_some()).count();
+        assert!(implemented >= 6, "only {implemented} kernels implemented");
+    }
+
+    #[test]
+    fn dynamics_gradients_use_both_patterns_quadratically() {
+        let table = kernel_table();
+        let grad = table.iter().find(|k| k.name.contains("∇FD")).unwrap();
+        assert_eq!(grad.traversal, Some(TraversalScaling::Quadratic));
+        assert!(grad.topology_matrices);
+    }
+}

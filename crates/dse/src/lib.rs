@@ -1,0 +1,46 @@
+//! Design-space exploration for RoboShape accelerators
+//! (paper Secs. 5.3–5.5).
+//!
+//! Because the architecture is parameterized by physically meaningful
+//! topology knobs, the design space per robot is "tractable (1000s of
+//! design points)" (paper Fig. 12): the full cross product of forward PEs
+//! × backward PEs × block size is `N³`. This crate provides:
+//!
+//! * [`sweep_design_space`] — evaluates every knob setting (latency via
+//!   the real scheduler + blocked-mat-mul plan, resources via the DSE
+//!   model), parallelized with crossbeam scoped threads;
+//! * [`pareto_frontier`] — the latency/LUT Pareto front of Fig. 12;
+//! * [`AllocationStrategy`] / [`evaluate_strategies`] — the six
+//!   resource-allocation strategies of Fig. 13 (Total Links, Average and
+//!   Maximum Leaf Depth, Maximum Descendants, the Hybrid heuristic, and
+//!   exhaustive Optimal Minimum Latency);
+//! * [`constrained_selection`] — the Fig. 16 study: under a platform's
+//!   80% utilization threshold, compare the maximally-allocated feasible
+//!   point against the true minimum-latency feasible point.
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_dse::{pareto_frontier, sweep_design_space};
+//! use roboshape_topology::Topology;
+//!
+//! let topo = Topology::chain(5);
+//! let points = sweep_design_space(&topo);
+//! assert_eq!(points.len(), 5 * 5 * 5);
+//! let frontier = pareto_frontier(&points);
+//! assert!(!frontier.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod constrained;
+mod soc;
+mod stats;
+mod strategies;
+mod sweep;
+
+pub use constrained::{constrained_selection, ConstrainedSelection};
+pub use soc::{co_design, SocAllocation};
+pub use stats::{design_space_stats, DesignSpaceStats, Quartiles};
+pub use strategies::{evaluate_strategies, AllocationStrategy, StrategyOutcome};
+pub use sweep::{pareto_frontier, sweep_design_space, DesignPoint};

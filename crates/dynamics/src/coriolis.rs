@@ -1,0 +1,165 @@
+//! The Coriolis matrix via Christoffel symbols — an analysis utility.
+//!
+//! The manipulator equation `M(q)q̈ + C(q, q̇)q̇ + g(q) = τ` admits the
+//! Christoffel-symbol Coriolis factorization, whose defining property —
+//! `Ṁ − 2C` skew-symmetric — underlies passivity-based control and makes
+//! a strong cross-check of the whole dynamics stack: `M` (CRBA), the RNEA
+//! bias, and gravity must all agree with a matrix assembled from nothing
+//! but `∂M/∂q`.
+//!
+//! This is an `O(N³)` analysis tool (finite differences over the CRBA),
+//! not a hot-path kernel; the accelerator never needs it.
+
+use crate::Dynamics;
+use roboshape_linalg::DMat;
+
+impl Dynamics<'_> {
+    /// The gravity torque `g(q) = RNEA(q, 0, 0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != self.dim()`.
+    pub fn gravity_torque(&self, q: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        self.rnea(q, &vec![0.0; n], &vec![0.0; n])
+    }
+
+    /// The Christoffel-symbol Coriolis matrix `C(q, q̇)`:
+    ///
+    /// ```text
+    /// C[i][j] = Σ_k ½ (∂M[i][j]/∂q_k + ∂M[i][k]/∂q_j − ∂M[j][k]/∂q_i) q̇_k
+    /// ```
+    ///
+    /// with `∂M/∂q` by central differences over the CRBA (step `1e-6`).
+    /// Satisfies `C(q, q̇)·q̇ = bias(q, q̇) − g(q)` and the skew-symmetry
+    /// of `Ṁ − 2C` (both property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn coriolis_matrix(&self, q: &[f64], qd: &[f64]) -> DMat {
+        let n = self.dim();
+        assert_eq!(q.len(), n, "q dimension mismatch");
+        assert_eq!(qd.len(), n, "qd dimension mismatch");
+        let h = 1e-6;
+        // dm[k] = ∂M/∂q_k.
+        let mut dm: Vec<DMat> = Vec::with_capacity(n);
+        let mut qp = q.to_vec();
+        for k in 0..n {
+            qp[k] = q[k] + h;
+            let plus = self.mass_matrix(&qp);
+            qp[k] = q[k] - h;
+            let minus = self.mass_matrix(&qp);
+            qp[k] = q[k];
+            dm.push((&plus - &minus).scaled(0.5 / h));
+        }
+        DMat::from_fn(n, n, |i, j| {
+            (0..n)
+                .map(|k| 0.5 * (dm[k][(i, j)] + dm[j][(i, k)] - dm[i][(j, k)]) * qd[k])
+                .sum()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_robots::{random_robot, zoo, RandomRobotConfig, Zoo};
+
+    fn setup(which: Zoo, seed: u64) -> (roboshape_urdf::RobotModel, Vec<f64>, Vec<f64>) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let robot = zoo(which);
+        let n = robot.num_links();
+        let q = (0..n).map(|_| rng.gen_range(-1.2..1.2)).collect();
+        let qd = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        (robot, q, qd)
+    }
+
+    /// C(q, q̇)·q̇ reproduces the velocity-dependent part of the RNEA bias.
+    #[test]
+    fn coriolis_times_qd_matches_bias() {
+        for which in [Zoo::Iiwa, Zoo::Hyq, Zoo::Jaco2] {
+            let (robot, q, qd) = setup(which, 31 + which as u64);
+            let n = robot.num_links();
+            let dyn_ = Dynamics::new(&robot);
+            let c = dyn_.coriolis_matrix(&q, &qd);
+            let cqd = c.mul_vec(&qd);
+            let bias = dyn_.rnea(&q, &qd, &vec![0.0; n]);
+            let gravity = dyn_.gravity_torque(&q);
+            for i in 0..n {
+                let expected = bias[i] - gravity[i];
+                assert!(
+                    (cqd[i] - expected).abs() < 1e-5 * (1.0 + expected.abs()),
+                    "{which:?} row {i}: {} vs {expected}",
+                    cqd[i]
+                );
+            }
+        }
+    }
+
+    /// The passivity property: `Ṁ − 2C` is skew-symmetric (with `Ṁ`
+    /// assembled from the same `∂M/∂q` stencil as a directional
+    /// derivative along q̇).
+    #[test]
+    fn mdot_minus_two_c_is_skew_symmetric() {
+        let (robot, q, qd) = setup(Zoo::Baxter, 77);
+        let n = robot.num_links();
+        let dyn_ = Dynamics::new(&robot);
+        let c = dyn_.coriolis_matrix(&q, &qd);
+        // Ṁ = Σ_k ∂M/∂q_k q̇_k via a directional finite difference.
+        let h = 1e-6;
+        let q_plus: Vec<f64> = q.iter().zip(&qd).map(|(a, b)| a + h * b).collect();
+        let q_minus: Vec<f64> = q.iter().zip(&qd).map(|(a, b)| a - h * b).collect();
+        let mdot = (&dyn_.mass_matrix(&q_plus) - &dyn_.mass_matrix(&q_minus)).scaled(0.5 / h);
+        let s = &mdot - &c.scaled(2.0);
+        for i in 0..n {
+            for j in 0..n {
+                assert!(
+                    (s[(i, j)] + s[(j, i)]).abs() < 1e-4 * (1.0 + s[(i, j)].abs()),
+                    "({i}, {j}): {} vs {}",
+                    s[(i, j)],
+                    s[(j, i)]
+                );
+            }
+        }
+    }
+
+    /// The full manipulator equation closes: M q̈ + C q̇ + g = τ for q̈
+    /// from the ABA.
+    #[test]
+    fn manipulator_equation_closes_on_random_robots() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(404);
+        for trial in 0..4 {
+            let robot = random_robot(
+                &mut rng,
+                RandomRobotConfig {
+                    links: 3 + trial,
+                    branch_prob: 0.3,
+                    new_limb_prob: 0.2,
+                    allow_prismatic: false,
+                },
+            );
+            let n = robot.num_links();
+            let dyn_ = Dynamics::new(&robot);
+            let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let qd: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let tau: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let qdd = dyn_.aba(&q, &qd, &tau);
+            let m = dyn_.mass_matrix(&q);
+            let c = dyn_.coriolis_matrix(&q, &qd);
+            let g = dyn_.gravity_torque(&q);
+            let lhs_m = m.mul_vec(&qdd);
+            let lhs_c = c.mul_vec(&qd);
+            for i in 0..n {
+                let lhs = lhs_m[i] + lhs_c[i] + g[i];
+                assert!(
+                    (lhs - tau[i]).abs() < 1e-5 * (1.0 + tau[i].abs()),
+                    "trial {trial} row {i}: {lhs} vs {}",
+                    tau[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Analytical derivatives of the RNEA (paper Alg. 3, ∇RNEA).
+//!
+//! For each *seed* joint `j`, a modified forward pass propagates the
+//! partial derivatives of link velocity, acceleration and force down the
+//! subtree of `j`, and a modified backward pass accumulates force
+//! derivatives up to the root — the per-link × per-seed `O(N²)` task
+//! pattern of the paper's Fig. 4b, which is exactly what the accelerator's
+//! `∇`-stage schedules onto PEs.
+//!
+//! The derivative recursions (with `δ = ∂/∂x_j`, everything in link
+//! coordinates, and the seed terms from the identity
+//! `∂(X(q)·u)/∂q = −S × (X·u)` — property-tested in the spatial crate):
+//!
+//! ```text
+//! δv_i = X_i δv_λ            [+ −S_j × (X_j v_λ)   if i = j, x = q]
+//!                            [+ S_j                 if i = j, x = q̇]
+//! δa_i = X_i δa_λ + δv_i × S_i q̇_i
+//!                            [+ −S_j × (X_j a_λ)   if i = j, x = q]
+//!                            [+ v_j × S_j           if i = j, x = q̇]
+//! δf_i = I_i δa_i + δv_i ×* I_i v_i + v_i ×* I_i δv_i
+//! backward: δτ_i = S_iᵀ δf_i,
+//!           δf_λ += X_iᵀ δf_i  [+ X_jᵀ (S_j ×* f_j) if i = j, x = q]
+//! ```
+
+use crate::rnea::RneaCache;
+use crate::Dynamics;
+use roboshape_linalg::DMat;
+use roboshape_spatial::{cross_force, cross_motion, ForceVec, MotionVec};
+use roboshape_urdf::RobotModel;
+
+/// Which input the derivative is taken with respect to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wrt {
+    /// Position `q`.
+    Q,
+    /// Velocity `q̇`.
+    Qd,
+}
+
+/// Per-link derivative state propagated by the ∇RNEA passes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkDeriv {
+    /// `∂v_i/∂x_j`.
+    pub dv: MotionVec,
+    /// `∂a_i/∂x_j`.
+    pub da: MotionVec,
+    /// `∂f_i/∂x_j` (before child accumulation in the forward step; total
+    /// after the backward accumulation).
+    pub df: ForceVec,
+}
+
+/// Executes the forward derivative step for link `i` with seed joint `j`
+/// (`is_seed = (i == j)`). Needs the value-level [`RneaCache`] and the
+/// parent's value and derivative states.
+///
+/// This is the arithmetic a `∇`-stage forward PE task performs in the
+/// accelerator (one call per (link, seed) pair).
+#[allow(clippy::too_many_arguments)] // mirrors the PE datapath's port list
+pub fn fwd_deriv_step(
+    model: &RobotModel,
+    i: usize,
+    is_seed: bool,
+    wrt: Wrt,
+    qd_i: f64,
+    cache: &RneaCache,
+    v_parent: MotionVec,
+    a_parent: MotionVec,
+    parent: &LinkDeriv,
+) -> LinkDeriv {
+    let s = model.joint(i).motion_subspace();
+    let xup = &cache.xup[i];
+    let v_i = cache.v[i];
+    let inertia = &model.link(i).inertia;
+
+    let mut dv = xup.apply_motion(parent.dv);
+    let mut da = xup.apply_motion(parent.da);
+    if is_seed {
+        match wrt {
+            Wrt::Q => {
+                dv += -cross_motion(s, xup.apply_motion(v_parent));
+                da += -cross_motion(s, xup.apply_motion(a_parent));
+            }
+            Wrt::Qd => {
+                dv += s;
+                da += cross_motion(v_i, s);
+            }
+        }
+    }
+    da += cross_motion(dv, s * qd_i);
+    let df = inertia.apply(da) + cross_force(dv, inertia.apply(v_i)) + cross_force(v_i, inertia.apply(dv));
+    LinkDeriv { dv, da, df }
+}
+
+/// Executes the backward derivative step for link `i` with seed `j`:
+/// returns `∂τ_i/∂x_j` and the force-derivative contribution for the
+/// parent. `df_total` must already include all child contributions, and
+/// `f_total` is the value-level total force from the cache.
+pub fn bwd_deriv_step(
+    model: &RobotModel,
+    i: usize,
+    is_seed: bool,
+    wrt: Wrt,
+    cache: &RneaCache,
+    df_total: ForceVec,
+) -> (f64, ForceVec) {
+    let s = model.joint(i).motion_subspace();
+    let xup = &cache.xup[i];
+    let dtau = s.dot_force(df_total);
+    let mut to_parent = xup.apply_force_transpose(df_total);
+    if is_seed && wrt == Wrt::Q {
+        to_parent += xup.apply_force_transpose(cross_force(s, cache.f[i]));
+    }
+    (dtau, to_parent)
+}
+
+/// The analytical RNEA derivative matrices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RneaDerivatives {
+    /// `∂τ/∂q` — entry `(i, j)` is `∂τ_i/∂q_j`.
+    pub dtau_dq: DMat,
+    /// `∂τ/∂q̇`.
+    pub dtau_dqd: DMat,
+}
+
+impl Dynamics<'_> {
+    /// Analytical first-order derivatives of the inverse dynamics
+    /// (paper Alg. 3): `∂τ/∂q` and `∂τ/∂q̇` at `(q, q̇, q̈)`.
+    ///
+    /// Entry `(i, j)` is nonzero only when links `i` and `j` share a
+    /// root-to-leaf path — the same topology-induced sparsity as the mass
+    /// matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on input dimension mismatch.
+    pub fn rnea_derivatives(&self, q: &[f64], qd: &[f64], qdd: &[f64]) -> RneaDerivatives {
+        let cache = self.rnea_cache(q, qd, qdd);
+        self.rnea_derivatives_cached(qd, &cache)
+    }
+
+    /// Same as [`Dynamics::rnea_derivatives`] but reusing an existing
+    /// [`RneaCache`] (avoids recomputing the value-level RNEA — the
+    /// accelerator keeps these in its on-chip RNEA-output buffers).
+    pub fn rnea_derivatives_cached(&self, qd: &[f64], cache: &RneaCache) -> RneaDerivatives {
+        let n = self.dim();
+        assert_eq!(qd.len(), n, "qd dimension mismatch");
+        let model = self.model();
+        let topo = model.topology();
+        let a_base = MotionVec::from_parts(roboshape_linalg::Vec3::ZERO, -self.gravity());
+
+        let mut dtau_dq = DMat::zeros(n, n);
+        let mut dtau_dqd = DMat::zeros(n, n);
+
+        for (wrt, out) in [(Wrt::Q, &mut dtau_dq), (Wrt::Qd, &mut dtau_dqd)] {
+            for j in 0..n {
+                // Forward derivative pass (nonzero only inside subtree(j)).
+                let mut state = vec![LinkDeriv::default(); n];
+                for i in j..n {
+                    if !is_affected(topo, i, j) {
+                        continue;
+                    }
+                    let (v_parent, a_parent, parent_state) = match topo.parent(i) {
+                        Some(p) => (cache.v[p], cache.a[p], state[p]),
+                        None => (MotionVec::ZERO, a_base, LinkDeriv::default()),
+                    };
+                    state[i] = fwd_deriv_step(
+                        model, i, i == j, wrt, qd[i], cache, v_parent, a_parent, &parent_state,
+                    );
+                }
+                // Backward derivative pass with child accumulation.
+                let mut df: Vec<ForceVec> = state.iter().map(|s| s.df).collect();
+                for i in (0..n).rev() {
+                    let in_scope = is_affected(topo, i, j) || topo.is_ancestor(i, j);
+                    if !in_scope {
+                        continue;
+                    }
+                    let (dtau, to_parent) = bwd_deriv_step(model, i, i == j, wrt, cache, df[i]);
+                    out[(i, j)] = dtau;
+                    if let Some(p) = topo.parent(i) {
+                        df[p] += to_parent;
+                    }
+                }
+            }
+        }
+        RneaDerivatives { dtau_dq, dtau_dqd }
+    }
+}
+
+/// `true` when link `i` is `j` or a descendant of `j`.
+fn is_affected(topo: &roboshape_topology::Topology, i: usize, j: usize) -> bool {
+    i == j || topo.is_ancestor(j, i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric;
+    use roboshape_robots::{random_robot, zoo, RandomRobotConfig, Zoo};
+
+    fn check_against_fd(robot: &roboshape_urdf::RobotModel, seed: u64, tol: f64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        let qd: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let qdd: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let dyn_ = Dynamics::new(robot);
+        let analytic = dyn_.rnea_derivatives(&q, &qd, &qdd);
+        let numeric_dq = numeric::fd_dtau_dq(&dyn_, &q, &qd, &qdd, 1e-6);
+        let numeric_dqd = numeric::fd_dtau_dqd(&dyn_, &q, &qd, &qdd, 1e-6);
+        let err_q = analytic.dtau_dq.max_abs_diff(&numeric_dq).unwrap();
+        let err_qd = analytic.dtau_dqd.max_abs_diff(&numeric_dqd).unwrap();
+        let scale = 1.0 + numeric_dq.max_abs().max(numeric_dqd.max_abs());
+        assert!(err_q < tol * scale, "{}: dtau_dq error {err_q} (scale {scale})", robot.name());
+        assert!(err_qd < tol * scale, "{}: dtau_dqd error {err_qd}", robot.name());
+    }
+
+    #[test]
+    fn matches_finite_differences_on_zoo() {
+        for which in Zoo::ALL {
+            let robot = zoo(which);
+            check_against_fd(&robot, 7 + which as u64, 1e-5);
+        }
+    }
+
+    #[test]
+    fn matches_finite_differences_on_random_robots() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..8 {
+            let robot = random_robot(
+                &mut rng,
+                RandomRobotConfig {
+                    links: 2 + trial,
+                    branch_prob: 0.35,
+                    new_limb_prob: 0.2,
+                    allow_prismatic: true,
+                },
+            );
+            check_against_fd(&robot, 1000 + trial as u64, 1e-5);
+        }
+    }
+
+    #[test]
+    fn sparsity_matches_topology() {
+        let robot = zoo(Zoo::Baxter);
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|i| 0.1 * i as f64).collect();
+        let qd = vec![0.4; n];
+        let qdd = vec![0.2; n];
+        let d = Dynamics::new(&robot).rnea_derivatives(&q, &qd, &qdd);
+        let topo = robot.topology();
+        for i in 0..n {
+            for j in 0..n {
+                if !topo.supports(i, j) {
+                    assert_eq!(d.dtau_dq[(i, j)], 0.0, "dtau_dq[{i}][{j}]");
+                    assert_eq!(d.dtau_dqd[(i, j)], 0.0, "dtau_dqd[{i}][{j}]");
+                }
+            }
+        }
+    }
+
+    /// ∂τ/∂q̈ = M — validates the whole derivative machinery from another
+    /// angle: differentiating along q̈ with the same seeds recovers CRBA.
+    #[test]
+    fn qdd_direction_recovers_mass_matrix() {
+        let robot = zoo(Zoo::Hyq);
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|i| (0.37 * i as f64).sin()).collect();
+        let qd = vec![0.3; n];
+        let dyn_ = Dynamics::new(&robot);
+        let m = dyn_.mass_matrix(&q);
+        // Finite difference along q̈ (linear, so exact up to rounding).
+        let base = dyn_.rnea(&q, &qd, &vec![0.0; n]);
+        for j in 0..n {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let col = dyn_.rnea(&q, &qd, &e);
+            for i in 0..n {
+                assert!((col[i] - base[i] - m[(i, j)]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Forward-dynamics gradients (paper Alg. 1, ∇FD) — the accelerated kernel.
+//!
+//! Differentiating `τ = ID(q, q̇, q̈)` at fixed `τ` gives
+//! `0 = ∂ID/∂x + M · ∂q̈/∂x`, hence
+//!
+//! ```text
+//! ∂q̈/∂q  = −M⁻¹ · ∂τ/∂q |_(q̈ = FD(q, q̇, τ))
+//! ∂q̈/∂q̇ = −M⁻¹ · ∂τ/∂q̇
+//! ```
+//!
+//! — an RNEA, a ∇RNEA (pattern ①), and two `N×N` multiplications by `M⁻¹`
+//! (pattern ②), exactly the three accelerator stages of the paper's Fig. 8.
+
+use crate::Dynamics;
+use roboshape_linalg::{Cholesky, DMat};
+
+/// The outputs of a forward-dynamics gradient evaluation, exposing every
+/// intermediate a caller (or the accelerator) might reuse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FdDerivatives {
+    /// The joint accelerations `q̈ = FD(q, q̇, τ)`.
+    pub qdd: Vec<f64>,
+    /// The mass matrix `M(q)`.
+    pub mass_matrix: DMat,
+    /// Its inverse `M⁻¹` (shares `M`'s block sparsity for independent
+    /// limbs).
+    pub minv: DMat,
+    /// `∂q̈/∂q`.
+    pub dqdd_dq: DMat,
+    /// `∂q̈/∂q̇`.
+    pub dqdd_dqd: DMat,
+}
+
+impl Dynamics<'_> {
+    /// Forward dynamics gradients (paper Alg. 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or a non-positive-definite mass matrix.
+    pub fn fd_derivatives(&self, q: &[f64], qd: &[f64], tau: &[f64]) -> FdDerivatives {
+        let qdd = self.forward_dynamics(q, qd, tau);
+        let mass_matrix = self.mass_matrix(q);
+        let minv = Cholesky::new(&mass_matrix)
+            .expect("mass matrix must be positive-definite")
+            .inverse();
+        let id_grads = self.rnea_derivatives(q, qd, &qdd);
+        let dqdd_dq = minv.mul_mat(&id_grads.dtau_dq).scaled(-1.0);
+        let dqdd_dqd = minv.mul_mat(&id_grads.dtau_dqd).scaled(-1.0);
+        FdDerivatives { qdd, mass_matrix, minv, dqdd_dq, dqdd_dqd }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numeric;
+    use roboshape_robots::{random_robot, zoo, RandomRobotConfig, Zoo};
+
+    fn check(robot: &roboshape_urdf::RobotModel, seed: u64, tol: f64) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.2..1.2)).collect();
+        let qd: Vec<f64> = (0..n).map(|_| rng.gen_range(-0.8..0.8)).collect();
+        let tau: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.5..1.5)).collect();
+        let dyn_ = Dynamics::new(robot);
+        let g = dyn_.fd_derivatives(&q, &qd, &tau);
+        let num_dq = numeric::fd_dqdd_dq(&dyn_, &q, &qd, &tau, 1e-6);
+        let num_dqd = numeric::fd_dqdd_dqd(&dyn_, &q, &qd, &tau, 1e-6);
+        let scale = 1.0 + num_dq.max_abs().max(num_dqd.max_abs());
+        let e1 = g.dqdd_dq.max_abs_diff(&num_dq).unwrap();
+        let e2 = g.dqdd_dqd.max_abs_diff(&num_dqd).unwrap();
+        assert!(e1 < tol * scale, "{}: dqdd_dq error {e1} scale {scale}", robot.name());
+        assert!(e2 < tol * scale, "{}: dqdd_dqd error {e2} scale {scale}", robot.name());
+    }
+
+    #[test]
+    fn matches_finite_differences_on_implemented_robots() {
+        for which in Zoo::IMPLEMENTED {
+            check(&zoo(which), 42 + which as u64, 2e-4);
+        }
+    }
+
+    #[test]
+    fn matches_finite_differences_on_random_robots() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(555);
+        for trial in 0..5 {
+            let robot = random_robot(
+                &mut rng,
+                RandomRobotConfig {
+                    links: 3 + trial,
+                    branch_prob: 0.3,
+                    new_limb_prob: 0.25,
+                    allow_prismatic: false,
+                },
+            );
+            check(&robot, 900 + trial as u64, 2e-4);
+        }
+    }
+
+    #[test]
+    fn minv_inherits_block_sparsity() {
+        // HyQ's legs are independent: M and M⁻¹ are block-diagonal with the
+        // same pattern (inverse of block-diagonal is block-diagonal,
+        // paper Sec. 3.2).
+        let robot = zoo(Zoo::Hyq);
+        let n = robot.num_links();
+        let g = Dynamics::new(&robot).fd_derivatives(
+            &vec![0.2; n],
+            &vec![0.1; n],
+            &vec![0.5; n],
+        );
+        let topo = robot.topology();
+        for i in 0..n {
+            for j in 0..n {
+                if !topo.supports(i, j) {
+                    assert!(
+                        g.minv[(i, j)].abs() < 1e-10,
+                        "M⁻¹[{i}][{j}] = {} should be (numerically) zero",
+                        g.minv[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outputs_are_consistent() {
+        let robot = zoo(Zoo::Iiwa);
+        let n = robot.num_links();
+        let dyn_ = Dynamics::new(&robot);
+        let g = dyn_.fd_derivatives(&vec![0.3; n], &vec![0.0; n], &vec![1.0; n]);
+        // M · M⁻¹ = I.
+        let eye = roboshape_linalg::DMat::identity(n);
+        assert!(g.mass_matrix.mul_mat(&g.minv).max_abs_diff(&eye).unwrap() < 1e-8);
+        // qdd matches a direct forward-dynamics call.
+        let qdd = dyn_.forward_dynamics(&vec![0.3; n], &vec![0.0; n], &vec![1.0; n]);
+        for i in 0..n {
+            assert!((qdd[i] - g.qdd[i]).abs() < 1e-12);
+        }
+    }
+}

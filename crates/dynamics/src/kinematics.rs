@@ -1,0 +1,164 @@
+//! Forward kinematics: link poses and Jacobians.
+//!
+//! The first Table 1 kernel family — a pure pattern-① forward traversal.
+//! Beyond rounding out the kernel catalogue, the Jacobian gives the
+//! test-suite another independent identity: `v_link = J(q) q̇` must match
+//! the RNEA's propagated link velocities.
+
+use crate::Dynamics;
+use roboshape_linalg::{DMat, Vec3};
+use roboshape_spatial::Xform;
+
+/// The pose of every link: the transform `ⁱX⁰` carrying base-frame motion
+/// vectors into each link frame, plus the link origin position in the
+/// base frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardKinematics {
+    /// Per-link base→link transforms.
+    pub x_base: Vec<Xform>,
+    /// Per-link origin positions in the base frame.
+    pub positions: Vec<Vec3>,
+}
+
+impl Dynamics<'_> {
+    /// Forward kinematics at configuration `q` (paper Table 1, pattern ①:
+    /// one forward traversal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // parallel per-link arrays
+    pub fn forward_kinematics(&self, q: &[f64]) -> ForwardKinematics {
+        let n = self.dim();
+        assert_eq!(q.len(), n, "q dimension mismatch");
+        let model = self.model();
+        let topo = model.topology();
+        let mut x_base: Vec<Xform> = Vec::with_capacity(n);
+        let mut positions = Vec::with_capacity(n);
+        for i in 0..n {
+            let xi = model.joint(i).child_xform(q[i]);
+            let xb = match topo.parent(i) {
+                Some(p) => xi.compose(&x_base[p]),
+                None => xi,
+            };
+            // `ⁱX⁰` stores exactly the link origin in base coordinates.
+            positions.push(xb.translation());
+            x_base.push(xb);
+        }
+        ForwardKinematics { x_base, positions }
+    }
+
+    /// The geometric Jacobian of link `link` at `q`: the 6×N matrix with
+    /// `v_link = J(q) · q̇` in *link coordinates*. Column `j` is zero
+    /// unless joint `j` is `link` or one of its ancestors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or `link >= self.dim()`.
+    pub fn link_jacobian(&self, q: &[f64], link: usize) -> DMat {
+        let n = self.dim();
+        assert!(link < n, "link index out of range");
+        let fk = self.forward_kinematics(q);
+        let model = self.model();
+        let topo = model.topology();
+        let mut j = DMat::zeros(6, n);
+        // Ancestor chain including the link itself.
+        let mut chain = topo.ancestors(link);
+        chain.insert(0, link);
+        for &a in &chain {
+            // S_a lives in frame a; carry it to the target link frame:
+            // ˡX₀ · (ᵃX₀)⁻¹ maps a-coordinates to link coordinates.
+            let a_to_link = fk.x_base[link].compose(&fk.x_base[a].inverse());
+            let col = a_to_link.apply_motion(model.joint(a).motion_subspace());
+            let arr = col.as_vec6().to_array();
+            for r in 0..6 {
+                j[(r, a)] = arr[r];
+            }
+        }
+        j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_robots::{zoo, Zoo};
+
+    #[test]
+    fn chain_stretches_along_z_at_zero_configuration() {
+        // The zoo iiwa hangs links along −z at q = 0 (rod links of 0.3 m).
+        let robot = zoo(Zoo::Iiwa);
+        let dyn_ = Dynamics::new(&robot);
+        let fk = dyn_.forward_kinematics(&vec![0.0; 7]);
+        for i in 1..7 {
+            assert!(
+                fk.positions[i].z < fk.positions[i - 1].z - 1e-9,
+                "link {i} should hang below link {}",
+                i - 1
+            );
+            assert!(fk.positions[i].x.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rotating_the_base_joint_swings_the_tip() {
+        let robot = zoo(Zoo::Iiwa);
+        let dyn_ = Dynamics::new(&robot);
+        let mut q = vec![0.0; 7];
+        q[1] = std::f64::consts::FRAC_PI_2; // second joint is about y
+        let fk = dyn_.forward_kinematics(&q);
+        // The arm folds sideways: the tip should have a large |x|.
+        assert!(fk.positions[6].x.abs() > 0.5, "tip at {:?}", fk.positions[6]);
+    }
+
+    #[test]
+    fn jacobian_times_qd_matches_rnea_velocity() {
+        for which in [Zoo::Iiwa, Zoo::Baxter, Zoo::Jaco3] {
+            let robot = zoo(which);
+            let n = robot.num_links();
+            let dyn_ = Dynamics::new(&robot);
+            let q: Vec<f64> = (0..n).map(|i| (0.23 * (i as f64 + 1.0)).sin()).collect();
+            let qd: Vec<f64> = (0..n).map(|i| 0.3 - 0.05 * i as f64).collect();
+            let cache = dyn_.rnea_cache(&q, &qd, &vec![0.0; n]);
+            for link in [0, n / 2, n - 1] {
+                let j = dyn_.link_jacobian(&q, link);
+                let v = j.mul_vec(&qd);
+                let expected = cache.v[link].as_vec6().to_array();
+                for r in 0..6 {
+                    assert!(
+                        (v[r] - expected[r]).abs() < 1e-8,
+                        "{which:?} link {link} row {r}: {} vs {}",
+                        v[r],
+                        expected[r]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_sparsity_follows_ancestry() {
+        let robot = zoo(Zoo::Baxter);
+        let dyn_ = Dynamics::new(&robot);
+        let q = vec![0.2; 15];
+        let topo = robot.topology();
+        let link = 10; // inside the second arm
+        let j = dyn_.link_jacobian(&q, link);
+        for col in 0..15 {
+            let col_norm: f64 = (0..6).map(|r| j[(r, col)].abs()).sum();
+            let on_chain = col == link || topo.is_ancestor(col, link);
+            if on_chain {
+                assert!(col_norm > 1e-9, "chain column {col} should be nonzero");
+            } else {
+                assert_eq!(col_norm, 0.0, "off-chain column {col} must be zero");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_link_panics() {
+        let robot = zoo(Zoo::Iiwa);
+        Dynamics::new(&robot).link_jacobian(&vec![0.0; 7], 7);
+    }
+}

@@ -1,0 +1,86 @@
+//! Finite-difference oracles for validating the analytical gradients.
+//!
+//! Central differences with a caller-chosen step; used only by tests and
+//! by the experiment harness's self-checks, never on the hot path.
+
+use crate::Dynamics;
+use roboshape_linalg::DMat;
+
+fn central_diff(
+    n: usize,
+    h: f64,
+    mut eval: impl FnMut(&[f64]) -> Vec<f64>,
+    x: &[f64],
+) -> DMat {
+    let mut out = DMat::zeros(n, n);
+    let mut xp = x.to_vec();
+    for j in 0..n {
+        xp[j] = x[j] + h;
+        let plus = eval(&xp);
+        xp[j] = x[j] - h;
+        let minus = eval(&xp);
+        xp[j] = x[j];
+        for i in 0..n {
+            out[(i, j)] = (plus[i] - minus[i]) / (2.0 * h);
+        }
+    }
+    out
+}
+
+/// Central-difference estimate of `∂τ/∂q`.
+///
+/// # Panics
+///
+/// Panics on input dimension mismatch.
+pub fn fd_dtau_dq(dyn_: &Dynamics<'_>, q: &[f64], qd: &[f64], qdd: &[f64], h: f64) -> DMat {
+    central_diff(dyn_.dim(), h, |qq| dyn_.rnea(qq, qd, qdd), q)
+}
+
+/// Central-difference estimate of `∂τ/∂q̇`.
+///
+/// # Panics
+///
+/// Panics on input dimension mismatch.
+pub fn fd_dtau_dqd(dyn_: &Dynamics<'_>, q: &[f64], qd: &[f64], qdd: &[f64], h: f64) -> DMat {
+    central_diff(dyn_.dim(), h, |qq| dyn_.rnea(q, qq, qdd), qd)
+}
+
+/// Central-difference estimate of `∂q̈/∂q` for the forward dynamics.
+///
+/// # Panics
+///
+/// Panics on input dimension mismatch.
+pub fn fd_dqdd_dq(dyn_: &Dynamics<'_>, q: &[f64], qd: &[f64], tau: &[f64], h: f64) -> DMat {
+    central_diff(dyn_.dim(), h, |qq| dyn_.forward_dynamics(qq, qd, tau), q)
+}
+
+/// Central-difference estimate of `∂q̈/∂q̇` for the forward dynamics.
+///
+/// # Panics
+///
+/// Panics on input dimension mismatch.
+pub fn fd_dqdd_dqd(dyn_: &Dynamics<'_>, q: &[f64], qd: &[f64], tau: &[f64], h: f64) -> DMat {
+    central_diff(dyn_.dim(), h, |qq| dyn_.forward_dynamics(q, qq, tau), qd)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_robots::{zoo, Zoo};
+
+    #[test]
+    fn finite_difference_is_plausible_on_pendulum_like_robot() {
+        // Gravity torque of iiwa's first joint: ∂τ/∂q should be symmetric-ish
+        // in magnitude and finite.
+        let robot = zoo(Zoo::Iiwa);
+        let dyn_ = Dynamics::new(&robot);
+        let n = robot.num_links();
+        let q = vec![0.2; n];
+        let qd = vec![0.0; n];
+        let qdd = vec![0.0; n];
+        let d = fd_dtau_dq(&dyn_, &q, &qd, &qdd, 1e-6);
+        assert_eq!(d.rows(), n);
+        assert!(d.max_abs() > 0.0);
+        assert!(d.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

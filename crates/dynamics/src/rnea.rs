@@ -1,0 +1,343 @@
+//! The recursive Newton–Euler algorithm (paper Alg. 2) and its per-link
+//! step functions.
+//!
+//! The per-link functions [`fwd_link_step`] and [`bwd_link_step`] are the
+//! *exact* units of work the accelerator's processing elements execute:
+//! the task graph (taskgraph crate) schedules one forward and one backward
+//! task per link, and the cycle-level simulator calls these functions when
+//! a PE retires the corresponding task, so the hardware model and the
+//! reference implementation share one definition of the arithmetic.
+
+use crate::Dynamics;
+use roboshape_spatial::{cross_force, cross_motion, ForceVec, MotionVec, Xform};
+use roboshape_urdf::RobotModel;
+
+/// Output of one forward-pass link step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkForward {
+    /// Parent→link transform at the current configuration.
+    pub xup: Xform,
+    /// Link spatial velocity (link coordinates).
+    pub v: MotionVec,
+    /// Link spatial acceleration (link coordinates).
+    pub a: MotionVec,
+    /// Link net spatial force before child contributions.
+    pub f: ForceVec,
+}
+
+/// Executes the forward-pass step for link `i` of `model` given its
+/// parent's velocity and acceleration (use the gravity-seeded base
+/// acceleration for roots).
+///
+/// Computes (Featherstone, eqs. 5.7–5.9):
+///
+/// ```text
+/// v_i = X_i v_λ + S_i q̇_i
+/// a_i = X_i a_λ + S_i q̈_i + v_i × S_i q̇_i
+/// f_i = I_i a_i + v_i ×* I_i v_i
+/// ```
+///
+/// # Panics
+///
+/// Panics if `i >= model.num_links()`.
+pub fn fwd_link_step(
+    model: &RobotModel,
+    i: usize,
+    q_i: f64,
+    qd_i: f64,
+    qdd_i: f64,
+    v_parent: MotionVec,
+    a_parent: MotionVec,
+) -> LinkForward {
+    let joint = model.joint(i);
+    let s = joint.motion_subspace();
+    let xup = joint.child_xform(q_i);
+    let vj = s * qd_i;
+    let v = xup.apply_motion(v_parent) + vj;
+    let a = xup.apply_motion(a_parent) + s * qdd_i + cross_motion(v, vj);
+    let inertia = &model.link(i).inertia;
+    let f = inertia.apply(a) + cross_force(v, inertia.apply(v));
+    LinkForward { xup, v, a, f }
+}
+
+/// Executes the backward-pass step for link `i`: returns the joint torque
+/// `τ_i = S_iᵀ f_i` and the force contribution `X_iᵀ f_i` to accumulate
+/// onto the parent (`f` must already include all child contributions).
+pub fn bwd_link_step(model: &RobotModel, i: usize, xup: &Xform, f: ForceVec) -> (f64, ForceVec) {
+    let s = model.joint(i).motion_subspace();
+    (s.dot_force(f), xup.apply_force_transpose(f))
+}
+
+/// All intermediate quantities of an RNEA evaluation, exposed because the
+/// gradient pass consumes them (paper Fig. 8c stores exactly these in the
+/// accelerator's "RNEA outputs" buffers).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RneaCache {
+    /// Per-link parent→link transforms at the evaluated configuration.
+    pub xup: Vec<Xform>,
+    /// Per-link spatial velocities.
+    pub v: Vec<MotionVec>,
+    /// Per-link spatial accelerations.
+    pub a: Vec<MotionVec>,
+    /// Per-link total spatial forces (after child accumulation).
+    pub f: Vec<ForceVec>,
+    /// Joint torques.
+    pub tau: Vec<f64>,
+}
+
+impl Dynamics<'_> {
+    /// Inverse dynamics `τ = RNEA(q, q̇, q̈)` (paper Alg. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input slice length differs from [`Dynamics::dim`].
+    pub fn rnea(&self, q: &[f64], qd: &[f64], qdd: &[f64]) -> Vec<f64> {
+        self.rnea_cache(q, qd, qdd).tau
+    }
+
+    /// Inverse dynamics, returning every intermediate quantity
+    /// ([`RneaCache`]) for downstream reuse (gradients, simulator
+    /// verification) — avoiding duplicate work.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input slice length differs from [`Dynamics::dim`].
+    pub fn rnea_cache(&self, q: &[f64], qd: &[f64], qdd: &[f64]) -> RneaCache {
+        let n = self.dim();
+        assert_eq!(q.len(), n, "q dimension mismatch");
+        assert_eq!(qd.len(), n, "qd dimension mismatch");
+        assert_eq!(qdd.len(), n, "qdd dimension mismatch");
+        let model = self.model();
+        let topo = model.topology();
+        let a_base = MotionVec::from_parts(roboshape_linalg::Vec3::ZERO, -self.gravity());
+
+        let mut xup = Vec::with_capacity(n);
+        let mut v = Vec::with_capacity(n);
+        let mut a = Vec::with_capacity(n);
+        let mut f = Vec::with_capacity(n);
+        for i in 0..n {
+            let (vp, ap) = match topo.parent(i) {
+                Some(p) => (v[p], a[p]),
+                None => (MotionVec::ZERO, a_base),
+            };
+            let out = fwd_link_step(model, i, q[i], qd[i], qdd[i], vp, ap);
+            xup.push(out.xup);
+            v.push(out.v);
+            a.push(out.a);
+            f.push(out.f);
+        }
+
+        let mut tau = vec![0.0; n];
+        for i in (0..n).rev() {
+            let (t, to_parent) = bwd_link_step(model, i, &xup[i], f[i]);
+            tau[i] = t;
+            if let Some(p) = topo.parent(i) {
+                f[p] += to_parent;
+            }
+        }
+        RneaCache { xup, v, a, f, tau }
+    }
+
+    /// Total kinetic energy `Σ ½ v_iᵀ I_i v_i` at `(q, q̇)`; equals
+    /// `½ q̇ᵀ M(q) q̇` (property-tested).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn kinetic_energy(&self, q: &[f64], qd: &[f64]) -> f64 {
+        let n = self.dim();
+        let cache = self.rnea_cache(q, qd, &vec![0.0; n]);
+        (0..n)
+            .map(|i| self.model().link(i).inertia.kinetic_energy(cache.v[i]))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_linalg::Vec3;
+    use roboshape_robots::{random_robot, zoo, RandomRobotConfig, Zoo};
+    use roboshape_spatial::{Joint, SpatialInertia};
+    use roboshape_urdf::RobotBuilder;
+
+    /// A point-mass pendulum: revolute about y at the base, bob of mass m
+    /// at distance l below the joint. Closed form:
+    /// τ = (I_c + m l²)·q̈ + m·g·l·sin(q).
+    fn pendulum(m: f64, l: f64, i_c: f64) -> roboshape_urdf::RobotModel {
+        let mut b = RobotBuilder::new("pendulum");
+        b.add_link(
+            "bob",
+            None,
+            Joint::revolute(Vec3::unit_y()),
+            SpatialInertia::point_like(m, Vec3::new(0.0, 0.0, -l), i_c),
+        );
+        b.build()
+    }
+
+    #[test]
+    fn pendulum_gravity_torque() {
+        let robot = pendulum(2.0, 0.5, 0.0);
+        let dyn_ = Dynamics::new(&robot);
+        for q in [-1.2, -0.3, 0.0, 0.4, 1.5] {
+            let tau = dyn_.rnea(&[q], &[0.0], &[0.0]);
+            let expected = 2.0 * 9.81 * 0.5 * q.sin();
+            assert!(
+                (tau[0] - expected).abs() < 1e-9,
+                "q={q}: got {} expected {expected}",
+                tau[0]
+            );
+        }
+    }
+
+    #[test]
+    fn pendulum_inertial_torque() {
+        let (m, l, ic) = (1.5, 0.4, 0.02);
+        let robot = pendulum(m, l, ic);
+        // Disable gravity to isolate the inertial term.
+        let dyn_ = Dynamics::new(&robot).with_gravity(Vec3::ZERO);
+        let qdd = 2.5;
+        let tau = dyn_.rnea(&[0.7], &[0.0], &[qdd]);
+        let expected = (ic + m * l * l) * qdd;
+        assert!((tau[0] - expected).abs() < 1e-9, "got {} expected {expected}", tau[0]);
+    }
+
+    #[test]
+    fn pendulum_centrifugal_force_is_torque_free() {
+        // A spinning pendulum at constant velocity with no gravity needs no
+        // torque (centrifugal force is radial).
+        let robot = pendulum(1.0, 0.3, 0.0);
+        let dyn_ = Dynamics::new(&robot).with_gravity(Vec3::ZERO);
+        let tau = dyn_.rnea(&[0.4], &[3.0], &[0.0]);
+        assert!(tau[0].abs() < 1e-9, "got {}", tau[0]);
+    }
+
+    #[test]
+    fn gravity_compensation_holds_robot_still() {
+        // τ = RNEA(q, 0, 0) is the gravity-compensation torque: applying it
+        // in forward dynamics yields zero acceleration.
+        let robot = zoo(Zoo::Baxter);
+        let dyn_ = Dynamics::new(&robot);
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|i| 0.3 * (i as f64 + 1.0).sin()).collect();
+        let tau = dyn_.rnea(&q, &vec![0.0; n], &vec![0.0; n]);
+        let qdd = dyn_.forward_dynamics(&q, &vec![0.0; n], &tau);
+        for (i, &a) in qdd.iter().enumerate() {
+            assert!(a.abs() < 1e-7, "link {i}: residual acceleration {a}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_on_all_zoo_robots() {
+        for which in Zoo::ALL {
+            let robot = zoo(which);
+            let dyn_ = Dynamics::new(&robot);
+            let n = robot.num_links();
+            let q: Vec<f64> = (0..n).map(|i| (0.17 * (i as f64 + 1.0)).sin()).collect();
+            let qd: Vec<f64> = (0..n).map(|i| 0.5 * (0.3 * i as f64).cos()).collect();
+            let tau: Vec<f64> = (0..n).map(|i| 0.4 * (i as f64 - 2.0)).collect();
+            let qdd = dyn_.forward_dynamics(&q, &qd, &tau);
+            let tau_back = dyn_.rnea(&q, &qd, &qdd);
+            for i in 0..n {
+                assert!(
+                    (tau_back[i] - tau[i]).abs() < 1e-7,
+                    "{which:?} link {i}: {} vs {}",
+                    tau_back[i],
+                    tau[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_inverse_roundtrip_on_random_robots() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for trial in 0..12 {
+            let cfg = RandomRobotConfig {
+                links: 2 + trial % 9,
+                branch_prob: 0.3,
+                new_limb_prob: 0.15,
+                allow_prismatic: true,
+            };
+            let robot = random_robot(&mut rng, cfg);
+            let dyn_ = Dynamics::new(&robot);
+            let n = robot.num_links();
+            use rand::Rng;
+            let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.5..1.5)).collect();
+            let qd: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let tau: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let qdd = dyn_.forward_dynamics(&q, &qd, &tau);
+            let tau_back = dyn_.rnea(&q, &qd, &qdd);
+            for i in 0..n {
+                assert!(
+                    (tau_back[i] - tau[i]).abs() < 1e-6,
+                    "trial {trial} link {i}: {} vs {}",
+                    tau_back[i],
+                    tau[i]
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "q dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let robot = zoo(Zoo::Iiwa);
+        Dynamics::new(&robot).rnea(&[0.0], &[0.0], &[0.0]);
+    }
+
+    #[test]
+    fn rnea_is_affine_in_qdd() {
+        // τ(q, q̇, q̈) = τ(q, q̇, 0) + M(q)·q̈ — superposition of the inertial
+        // term, for arbitrary branching robots.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(808);
+        for which in [Zoo::Hyq, Zoo::Jaco3] {
+            let robot = zoo(which);
+            let n = robot.num_links();
+            let dyn_ = Dynamics::new(&robot);
+            let q: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let qd: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let qdd: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let bias = dyn_.rnea(&q, &qd, &vec![0.0; n]);
+            let m = dyn_.mass_matrix(&q);
+            let mqdd = m.mul_vec(&qdd);
+            let full = dyn_.rnea(&q, &qd, &qdd);
+            for i in 0..n {
+                assert!(
+                    (full[i] - bias[i] - mqdd[i]).abs() < 1e-8,
+                    "{which:?} link {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gravity_torque_is_linear_in_gravity() {
+        let robot = zoo(Zoo::Baxter);
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|i| 0.23 * (i as f64 + 1.0).sin()).collect();
+        let g1 = Dynamics::new(&robot).rnea(&q, &vec![0.0; n], &vec![0.0; n]);
+        let g2 = Dynamics::new(&robot)
+            .with_gravity(Vec3::new(0.0, 0.0, -19.62))
+            .rnea(&q, &vec![0.0; n], &vec![0.0; n]);
+        for i in 0..n {
+            assert!((g2[i] - 2.0 * g1[i]).abs() < 1e-9, "link {i}");
+        }
+    }
+
+    #[test]
+    fn cache_exposes_intermediates() {
+        let robot = zoo(Zoo::Hyq);
+        let n = robot.num_links();
+        let cache = Dynamics::new(&robot).rnea_cache(&vec![0.1; n], &vec![0.2; n], &vec![0.0; n]);
+        assert_eq!(cache.v.len(), n);
+        assert_eq!(cache.a.len(), n);
+        assert_eq!(cache.f.len(), n);
+        assert_eq!(cache.xup.len(), n);
+        // Root link velocity is purely its own joint motion.
+        let s = robot.joint(0).motion_subspace();
+        assert!((cache.v[0] - s * 0.2).norm() < 1e-12);
+    }
+}

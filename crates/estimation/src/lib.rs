@@ -1,0 +1,397 @@
+//! Whole-body EKF joint-state estimation.
+//!
+//! The paper's Table 1 and Fig. 2 list "localization with an extended
+//! Kalman filter (EKF)" among the algorithm families built from topology
+//! patterns: the EKF's predict step linearizes the rigid-body dynamics
+//! (the same `∂q̈/∂q`, `∂q̈/∂q̇` gradients the accelerator computes) and
+//! its update step uses forward-kinematics Jacobians — both topology
+//! traversals. This crate implements that filter over the joint state
+//! `x = (q, q̇)`:
+//!
+//! * **predict** — semi-implicit Euler through the forward dynamics, with
+//!   the state-transition Jacobian assembled from the analytical dynamics
+//!   gradients (paper Alg. 1);
+//! * **update** — noisy joint-encoder measurements (`z = q + v`) and/or a
+//!   task-space tip-position measurement through the link Jacobian.
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_estimation::{Ekf, EkfConfig};
+//! use roboshape_robots::{zoo, Zoo};
+//!
+//! let robot = zoo(Zoo::Iiwa);
+//! let mut ekf = Ekf::new(&robot, &vec![0.0; 7], EkfConfig::default());
+//! ekf.predict(&vec![0.0; 7], 0.01);
+//! ekf.update_encoders(&vec![0.01; 7]);
+//! assert_eq!(ekf.state().q.len(), 7);
+//! ```
+
+#![warn(missing_docs)]
+#![allow(clippy::needless_range_loop)] // parallel (q, q̇) block indexing
+
+use roboshape_dynamics::Dynamics;
+use roboshape_linalg::{Cholesky, DMat};
+use roboshape_urdf::RobotModel;
+
+pub use roboshape_sim::{AcceleratorGradients, GradientProvider, ReferenceGradients};
+
+/// Filter noise parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EkfConfig {
+    /// Process noise on positions (per step, variance).
+    pub q_process: f64,
+    /// Process noise on velocities (per step, variance).
+    pub qd_process: f64,
+    /// Joint-encoder measurement variance.
+    pub encoder_noise: f64,
+    /// Tip-position measurement variance (per axis).
+    pub tip_noise: f64,
+    /// Initial state variance.
+    pub initial_variance: f64,
+}
+
+impl Default for EkfConfig {
+    fn default() -> Self {
+        EkfConfig {
+            q_process: 1e-6,
+            qd_process: 1e-4,
+            encoder_noise: 1e-4,
+            tip_noise: 1e-4,
+            initial_variance: 0.1,
+        }
+    }
+}
+
+/// The filter's state estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointState {
+    /// Estimated joint positions.
+    pub q: Vec<f64>,
+    /// Estimated joint velocities.
+    pub qd: Vec<f64>,
+}
+
+/// An extended Kalman filter over a robot's joint state.
+#[derive(Debug, Clone)]
+pub struct Ekf<'m> {
+    robot: &'m RobotModel,
+    config: EkfConfig,
+    q: Vec<f64>,
+    qd: Vec<f64>,
+    /// Covariance over `(q, q̇)`.
+    p: DMat,
+}
+
+impl<'m> Ekf<'m> {
+    /// Initializes the filter at rest at `q0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q0.len() != robot.num_links()`.
+    pub fn new(robot: &'m RobotModel, q0: &[f64], config: EkfConfig) -> Ekf<'m> {
+        let n = robot.num_links();
+        assert_eq!(q0.len(), n, "q0 dimension mismatch");
+        let mut p = DMat::zeros(2 * n, 2 * n);
+        for i in 0..2 * n {
+            p[(i, i)] = config.initial_variance;
+        }
+        Ekf { robot, config, q: q0.to_vec(), qd: vec![0.0; n], p }
+    }
+
+    /// The current estimate.
+    pub fn state(&self) -> JointState {
+        JointState { q: self.q.clone(), qd: self.qd.clone() }
+    }
+
+    /// The current covariance over `(q, q̇)`.
+    pub fn covariance(&self) -> &DMat {
+        &self.p
+    }
+
+    /// Trace of the covariance (total uncertainty).
+    pub fn uncertainty(&self) -> f64 {
+        (0..self.p.rows()).map(|i| self.p[(i, i)]).sum()
+    }
+
+    /// Predict step: integrates the dynamics under torque `tau` for `dt`
+    /// seconds and propagates the covariance through the analytical
+    /// dynamics gradients (the paper's ∇FD kernel).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-positive `dt`.
+    pub fn predict(&mut self, tau: &[f64], dt: f64) {
+        self.predict_with(&ReferenceGradients, tau, dt);
+    }
+
+    /// Predict step with an explicit gradient source — pass an
+    /// [`AcceleratorGradients`] to run the covariance linearization
+    /// through the simulated accelerator (the paper's drop-in-engine
+    /// claim, applied to localization).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or non-positive `dt`.
+    pub fn predict_with(&mut self, provider: &impl GradientProvider, tau: &[f64], dt: f64) {
+        let n = self.robot.num_links();
+        assert_eq!(tau.len(), n, "tau dimension mismatch");
+        assert!(dt > 0.0, "dt must be positive");
+        let dynamics = Dynamics::new(self.robot);
+        let qdd = dynamics.forward_dynamics(&self.q, &self.qd, tau);
+        let (dqdd_dq, dqdd_dqd) = provider.gradients(self.robot, &self.q, &self.qd, tau);
+
+        // Mean propagation (semi-implicit Euler).
+        for i in 0..n {
+            self.qd[i] += dt * qdd[i];
+            self.q[i] += dt * self.qd[i];
+        }
+
+        // Jacobian of the step.
+        let dim = 2 * n;
+        let mut a = DMat::identity(dim);
+        for i in 0..n {
+            for j in 0..n {
+                let gq = dt * dqdd_dq[(i, j)];
+                let gqd = dt * dqdd_dqd[(i, j)];
+                a[(n + i, j)] += gq;
+                a[(n + i, n + j)] += gqd;
+                a[(i, j)] += dt * gq;
+                a[(i, n + j)] += dt * gqd + if i == j { dt } else { 0.0 };
+            }
+        }
+        let mut p = a.mul_mat(&self.p).mul_mat(&a.transpose());
+        for i in 0..n {
+            p[(i, i)] += self.config.q_process;
+            p[(n + i, n + i)] += self.config.qd_process;
+        }
+        self.p = p;
+    }
+
+    /// Generic linear-measurement update: `z = H x + v`, `v ~ N(0, r·I)`.
+    fn update_linear(&mut self, h: &DMat, z: &[f64], predicted: &[f64], r: f64) {
+        let dim = self.p.rows();
+        let m = h.rows();
+        // Innovation covariance S = H P Hᵀ + R.
+        let mut s = h.mul_mat(&self.p).mul_mat(&h.transpose());
+        for i in 0..m {
+            s[(i, i)] += r;
+        }
+        let chol = Cholesky::new(&s).expect("innovation covariance is SPD");
+        // Kalman gain K = P Hᵀ S⁻¹ (via solves against S).
+        let pht = self.p.mul_mat(&h.transpose());
+        // K = pht · S⁻¹  ⇒  Kᵀ = S⁻¹ · phtᵀ.
+        let k_t = chol.solve_mat(&pht.transpose());
+        let k = k_t.transpose();
+        // State update.
+        let innovation: Vec<f64> = z.iter().zip(predicted).map(|(a, b)| a - b).collect();
+        let dx = k.mul_vec(&innovation);
+        let n = self.q.len();
+        for i in 0..n {
+            self.q[i] += dx[i];
+            self.qd[i] += dx[n + i];
+        }
+        // Covariance update (Joseph-free form P = (I − K H) P, then
+        // re-symmetrized).
+        let kh = k.mul_mat(h);
+        let eye = DMat::identity(dim);
+        let mut p = (&eye - &kh).mul_mat(&self.p);
+        for i in 0..dim {
+            for j in (i + 1)..dim {
+                let sym = 0.5 * (p[(i, j)] + p[(j, i)]);
+                p[(i, j)] = sym;
+                p[(j, i)] = sym;
+            }
+        }
+        self.p = p;
+    }
+
+    /// Update with joint-encoder measurements `z = q + noise`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn update_encoders(&mut self, z: &[f64]) {
+        let n = self.robot.num_links();
+        assert_eq!(z.len(), n, "measurement dimension mismatch");
+        let h = DMat::from_fn(n, 2 * n, |i, j| if i == j { 1.0 } else { 0.0 });
+        let predicted = self.q.clone();
+        self.update_linear(&h, z, &predicted, self.config.encoder_noise);
+    }
+
+    /// Update with a base-frame position measurement of `link`'s origin
+    /// (e.g. a motion-capture marker or a foot/tool contact constraint) —
+    /// linearized through the forward-kinematics Jacobian (pattern ①).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or an out-of-range link.
+    pub fn update_tip_position(&mut self, link: usize, z: &[f64; 3]) {
+        let n = self.robot.num_links();
+        assert!(link < n, "link index out of range");
+        let dynamics = Dynamics::new(self.robot);
+        let fk = dynamics.forward_kinematics(&self.q);
+        let predicted = fk.positions[link].to_array();
+        // The position Jacobian in base coordinates: the link Jacobian's
+        // linear rows, rotated from link to base frame.
+        let j_link = dynamics.link_jacobian(&self.q, link);
+        let rot_to_base = fk.x_base[link].inverse().rotation();
+        let mut h = DMat::zeros(3, 2 * n);
+        for col in 0..n {
+            let v = roboshape_linalg::Vec3::new(
+                j_link[(3, col)],
+                j_link[(4, col)],
+                j_link[(5, col)],
+            );
+            let world = rot_to_base * v;
+            h[(0, col)] = world.x;
+            h[(1, col)] = world.y;
+            h[(2, col)] = world.z;
+        }
+        self.update_linear(&h, z, &predicted, self.config.tip_noise);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use roboshape_robots::{zoo, Zoo};
+
+    /// Ground-truth simulator emitting noisy encoder readings.
+    struct TruthSim<'m> {
+        dynamics: Dynamics<'m>,
+        q: Vec<f64>,
+        qd: Vec<f64>,
+    }
+
+    impl<'m> TruthSim<'m> {
+        fn step(&mut self, tau: &[f64], dt: f64) {
+            let qdd = self.dynamics.forward_dynamics(&self.q, &self.qd, tau);
+            for i in 0..self.q.len() {
+                self.qd[i] += dt * qdd[i];
+                self.q[i] += dt * self.qd[i];
+            }
+        }
+    }
+
+    fn rms(a: &[f64], b: &[f64]) -> f64 {
+        (a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>() / a.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn encoder_updates_pull_a_wrong_prior_to_the_truth() {
+        let robot = zoo(Zoo::Iiwa);
+        let n = robot.num_links();
+        let dynamics = Dynamics::new(&robot);
+        let hold = dynamics.rnea(&vec![0.3; n], &vec![0.0; n], &vec![0.0; n]);
+        let mut truth = TruthSim { dynamics, q: vec![0.3; n], qd: vec![0.0; n] };
+        // Start the filter 0.2 rad off on every joint.
+        let mut ekf = Ekf::new(&robot, &vec![0.1; n], EkfConfig::default());
+        let initial_err = rms(&ekf.state().q, &truth.q);
+
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let dt = 0.01;
+        for _ in 0..60 {
+            truth.step(&hold, dt);
+            ekf.predict(&hold, dt);
+            let z: Vec<f64> = truth
+                .q
+                .iter()
+                .map(|q| q + rng.gen_range(-0.01..0.01))
+                .collect();
+            ekf.update_encoders(&z);
+        }
+        let final_err = rms(&ekf.state().q, &truth.q);
+        assert!(
+            final_err < 0.05 * initial_err.max(0.01),
+            "EKF did not converge: {initial_err} -> {final_err}"
+        );
+        assert!(ekf.uncertainty() < 0.1 * 2.0 * n as f64 * 0.1);
+    }
+
+    #[test]
+    fn velocity_is_observable_through_encoders_over_time() {
+        let robot = zoo(Zoo::Hyq);
+        let n = robot.num_links();
+        let dynamics = Dynamics::new(&robot);
+        // Free fall from a bent pose: nonzero true velocities develop.
+        let mut truth = TruthSim { dynamics, q: vec![0.4; n], qd: vec![0.0; n] };
+        let mut ekf = Ekf::new(&robot, &vec![0.4; n], EkfConfig::default());
+        let tau = vec![0.0; n];
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            truth.step(&tau, 0.005);
+            ekf.predict(&tau, 0.005);
+            let z: Vec<f64> = truth.q.iter().map(|q| q + rng.gen_range(-0.003..0.003)).collect();
+            ekf.update_encoders(&z);
+        }
+        let vel_err = rms(&ekf.state().qd, &truth.qd);
+        let vel_scale = rms(&truth.qd, &vec![0.0; n]).max(0.1);
+        assert!(
+            vel_err < 0.3 * vel_scale,
+            "velocity estimate off: err {vel_err} vs scale {vel_scale}"
+        );
+    }
+
+    #[test]
+    fn tip_measurements_reduce_uncertainty() {
+        let robot = zoo(Zoo::Iiwa);
+        let n = robot.num_links();
+        let mut ekf = Ekf::new(&robot, &vec![0.2; n], EkfConfig::default());
+        let before = ekf.uncertainty();
+        let dynamics = Dynamics::new(&robot);
+        let tip_truth = dynamics.forward_kinematics(&vec![0.2; n]).positions[n - 1];
+        ekf.update_tip_position(n - 1, &tip_truth.to_array());
+        assert!(ekf.uncertainty() < before, "tip update must inform the state");
+    }
+
+    #[test]
+    fn updates_never_increase_uncertainty() {
+        let robot = zoo(Zoo::Jaco2);
+        let n = robot.num_links();
+        let mut ekf = Ekf::new(&robot, &vec![0.1; n], EkfConfig::default());
+        for k in 0..5 {
+            let before = ekf.uncertainty();
+            ekf.update_encoders(&vec![0.1 + 0.01 * k as f64; n]);
+            assert!(ekf.uncertainty() <= before + 1e-9, "step {k}");
+        }
+    }
+
+    #[test]
+    fn accelerator_gradient_predictions_match_reference() {
+        use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs};
+        let robot = zoo(Zoo::Hyq);
+        let n = robot.num_links();
+        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(3, 3, 3));
+        let tau = vec![0.2; n];
+        let mut reference = Ekf::new(&robot, &vec![0.1; n], EkfConfig::default());
+        let mut hw = Ekf::new(&robot, &vec![0.1; n], EkfConfig::default());
+        for _ in 0..5 {
+            reference.predict(&tau, 0.01);
+            hw.predict_with(&AcceleratorGradients::new(&design), &tau, 0.01);
+            reference.update_encoders(&vec![0.12; n]);
+            hw.update_encoders(&vec![0.12; n]);
+        }
+        let dq: f64 = reference
+            .state()
+            .q
+            .iter()
+            .zip(&hw.state().q)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        assert!(dq < 1e-10, "state drift {dq}");
+        assert!(
+            reference.covariance().max_abs_diff(hw.covariance()).unwrap() < 1e-10,
+            "covariance drift"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "dt must be positive")]
+    fn zero_dt_panics() {
+        let robot = zoo(Zoo::Iiwa);
+        let mut ekf = Ekf::new(&robot, &vec![0.0; 7], EkfConfig::default());
+        ekf.predict(&vec![0.0; 7], 0.0);
+    }
+}

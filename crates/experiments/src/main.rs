@@ -1,0 +1,48 @@
+//! The `experiments` binary: regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments <name>      print one report (table1..table3, fig4..fig16, verify)
+//! experiments all         print every report
+//! experiments list        list available reports
+//! ```
+
+use roboshape_experiments::all_reports;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
+    let reports = match arg.as_str() {
+        "all" => all_reports(),
+        "list" => {
+            println!("available reports:");
+            for (name, _) in all_reports_names() {
+                println!("  {name}");
+            }
+            println!("  all");
+            return ExitCode::SUCCESS;
+        }
+        name => {
+            let found: Vec<_> = all_reports().into_iter().filter(|(n, _)| *n == name).collect();
+            if found.is_empty() {
+                eprintln!("unknown report `{name}`; try `experiments list`");
+                return ExitCode::FAILURE;
+            }
+            found
+        }
+    };
+    for (_, body) in reports {
+        println!("{body}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn all_reports_names() -> Vec<(&'static str, ())> {
+    [
+        "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ext_kernels", "ext_energy", "ext_soc",
+        "ext_scaling", "ext_robomorphic", "ext_coschedule", "ext_ablation", "ext_batch", "ext_throughput", "verify",
+    ]
+    .iter()
+    .map(|n| (*n, ()))
+    .collect()
+}

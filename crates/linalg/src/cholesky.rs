@@ -1,0 +1,246 @@
+//! Cholesky factorisation and SPD solves.
+//!
+//! The dynamics-gradient kernel (paper Alg. 1) needs `M⁻¹`, the inverse of
+//! the joint-space mass matrix. `M` is symmetric positive-definite, so we
+//! factor `M = L Lᵀ` and solve. A block-diagonal-aware inverse (exploiting
+//! limb independence, paper Sec. 3.2) lives in `roboshape-blocksparse`; this
+//! module provides the dense primitive it builds on.
+
+use crate::DMat;
+use core::fmt;
+
+/// Error returned when a matrix cannot be Cholesky-factorised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CholeskyError {
+    /// The matrix is not square.
+    NotSquare,
+    /// A non-positive pivot was encountered (matrix not positive-definite).
+    NotPositiveDefinite {
+        /// Index of the failing pivot.
+        pivot: usize,
+    },
+}
+
+impl fmt::Display for CholeskyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CholeskyError::NotSquare => write!(f, "matrix is not square"),
+            CholeskyError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive-definite (pivot {pivot})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CholeskyError {}
+
+/// Lower-triangular Cholesky factor `L` of a symmetric positive-definite
+/// matrix `A = L Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use roboshape_linalg::{Cholesky, DMat};
+/// # fn main() -> Result<(), roboshape_linalg::CholeskyError> {
+/// let a = DMat::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let chol = Cholesky::new(&a)?;
+/// let inv = chol.inverse();
+/// let should_be_identity = a.mul_mat(&inv);
+/// assert!(should_be_identity.max_abs_diff(&DMat::identity(2)).unwrap() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cholesky {
+    l: DMat,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CholeskyError::NotSquare`] for non-square input and
+    /// [`CholeskyError::NotPositiveDefinite`] when a pivot is not strictly
+    /// positive.
+    pub fn new(a: &DMat) -> Result<Cholesky, CholeskyError> {
+        if a.rows() != a.cols() {
+            return Err(CholeskyError::NotSquare);
+        }
+        let n = a.rows();
+        let mut l = DMat::zeros(n, n);
+        for j in 0..n {
+            let mut diag = a[(j, j)];
+            for k in 0..j {
+                diag -= l[(j, k)] * l[(j, k)];
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(CholeskyError::NotPositiveDefinite { pivot: j });
+            }
+            let ljj = diag.sqrt();
+            l[(j, j)] = ljj;
+            for i in (j + 1)..n {
+                let mut v = a[(i, j)];
+                for k in 0..j {
+                    v -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = v / ljj;
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &DMat {
+        &self.l
+    }
+
+    /// Solves `A x = b` for a single right-hand side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "right-hand side dimension mismatch");
+        // Forward substitution: L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.l[(i, k)] * y[k];
+            }
+            y[i] /= self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.l[(k, i)] * x[k];
+            }
+            x[i] /= self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A X = B` column-by-column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.dim()`.
+    pub fn solve_mat(&self, b: &DMat) -> DMat {
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "right-hand side dimension mismatch");
+        let mut out = DMat::zeros(n, b.cols());
+        let mut col = vec![0.0; n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve_vec(&col);
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// The full inverse `A⁻¹`.
+    pub fn inverse(&self) -> DMat {
+        self.solve_mat(&DMat::identity(self.dim()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Random SPD matrix via `A = G Gᵀ + n·I`.
+    fn arb_spd(max: usize) -> impl Strategy<Value = DMat> {
+        (1..=max).prop_flat_map(|n| {
+            proptest::collection::vec(-2.0..2.0f64, n * n).prop_map(move |data| {
+                let g = DMat::from_fn(n, n, |i, j| data[i * n + j]);
+                let mut a = g.mul_mat(&g.transpose());
+                for i in 0..n {
+                    a[(i, i)] += n as f64;
+                }
+                a
+            })
+        })
+    }
+
+    #[test]
+    fn factor_known_matrix() {
+        let a = DMat::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]]);
+        let chol = Cholesky::new(&a).unwrap();
+        let expected = DMat::from_rows(&[&[2.0, 0.0, 0.0], &[6.0, 1.0, 0.0], &[-8.0, 5.0, 3.0]]);
+        assert!(chol.factor().max_abs_diff(&expected).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        assert_eq!(Cholesky::new(&DMat::zeros(2, 3)), Err(CholeskyError::NotSquare));
+    }
+
+    #[test]
+    fn indefinite_rejected() {
+        let a = DMat::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(
+            Cholesky::new(&a),
+            Err(CholeskyError::NotPositiveDefinite { pivot: 1 })
+        );
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert_eq!(CholeskyError::NotSquare.to_string(), "matrix is not square");
+        assert!(CholeskyError::NotPositiveDefinite { pivot: 3 }
+            .to_string()
+            .contains("pivot 3"));
+    }
+
+    #[test]
+    fn one_by_one() {
+        let a = DMat::from_rows(&[&[9.0]]);
+        let chol = Cholesky::new(&a).unwrap();
+        assert_eq!(chol.solve_vec(&[18.0]), vec![2.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn factor_reconstructs(a in arb_spd(8)) {
+            let chol = Cholesky::new(&a).unwrap();
+            let l = chol.factor();
+            let reconstructed = l.mul_mat(&l.transpose());
+            prop_assert!(reconstructed.max_abs_diff(&a).unwrap() < 1e-8);
+        }
+
+        #[test]
+        fn solve_satisfies_system(a in arb_spd(8)) {
+            let n = a.rows();
+            let b: Vec<f64> = (0..n).map(|i| (i as f64) - 1.5).collect();
+            let chol = Cholesky::new(&a).unwrap();
+            let x = chol.solve_vec(&b);
+            let ax = a.mul_vec(&x);
+            for i in 0..n {
+                prop_assert!((ax[i] - b[i]).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn inverse_is_two_sided(a in arb_spd(7)) {
+            let n = a.rows();
+            let inv = Cholesky::new(&a).unwrap().inverse();
+            let eye = DMat::identity(n);
+            prop_assert!(a.mul_mat(&inv).max_abs_diff(&eye).unwrap() < 1e-8);
+            prop_assert!(inv.mul_mat(&a).max_abs_diff(&eye).unwrap() < 1e-8);
+        }
+    }
+}

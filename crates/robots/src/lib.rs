@@ -1,0 +1,42 @@
+//! Robot zoo for the RoboShape reproduction.
+//!
+//! The paper evaluates six robots of diverse topology (Fig. 11, Table 3):
+//!
+//! | robot | shape | links |
+//! |---|---|---|
+//! | iiwa | 7-link serial manipulator | 7 |
+//! | HyQ | quadruped: 4 × 3-link legs | 12 |
+//! | Baxter | torso: 1-link head + two 7-link arms | 15 |
+//! | Jaco-2 | 6-link arm + 2 two-link fingers | 10 |
+//! | Jaco-3 | 6-link arm + 3 two-link fingers | 12 |
+//! | HyQ+arm | HyQ + 7-link arm | 19 |
+//!
+//! The real robots' proprietary URDF inertial parameters are not shipped
+//! here; the zoo builds each robot with the paper's exact *topology* and
+//! physically plausible masses and inertias (see DESIGN.md — only the
+//! topology affects the accelerator-generation results being reproduced;
+//! inertial values only change the floating-point outputs, which are
+//! verified internally against the reference dynamics library).
+//!
+//! Every zoo robot is also available as a generated URDF document via
+//! [`roboshape_urdf::write_urdf`], so the full URDF-in pipeline of the
+//! framework can be driven end-to-end.
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_robots::{zoo, Zoo};
+//!
+//! let baxter = zoo(Zoo::Baxter);
+//! assert_eq!(baxter.num_links(), 15);
+//! let m = baxter.topology().metrics();
+//! assert_eq!(m.max_leaf_depth, 7);
+//! ```
+
+#![warn(missing_docs)]
+
+mod random;
+mod zoo;
+
+pub use random::{random_robot, RandomRobotConfig};
+pub use zoo::{extra_robot, zoo, zoo_urdf, ExtraRobot, Zoo};

@@ -1,0 +1,166 @@
+//! Synthetic random robots for property-based testing and design-space
+//! studies beyond the six paper robots.
+
+use rand::Rng;
+use roboshape_linalg::{Mat3, Vec3};
+use roboshape_spatial::{Joint, SpatialInertia, Xform};
+use roboshape_urdf::{LinkHandle, RobotBuilder, RobotModel};
+
+/// Configuration for [`random_robot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomRobotConfig {
+    /// Number of moving links.
+    pub links: usize,
+    /// Probability that a new link branches off an existing non-tip link
+    /// instead of extending the current chain tip.
+    pub branch_prob: f64,
+    /// Probability that a link hangs directly off the fixed base (extra
+    /// limbs, Baxter-style).
+    pub new_limb_prob: f64,
+    /// Include prismatic joints (otherwise all revolute).
+    pub allow_prismatic: bool,
+}
+
+impl Default for RandomRobotConfig {
+    fn default() -> Self {
+        RandomRobotConfig { links: 8, branch_prob: 0.2, new_limb_prob: 0.1, allow_prismatic: false }
+    }
+}
+
+/// Generates a random, well-conditioned robot: a random tree topology with
+/// random joint axes, origins, and positive-definite inertias.
+///
+/// "Well-conditioned" means every link has strictly positive mass and
+/// rotational inertia, so the mass matrix is positive-definite and all
+/// dynamics algorithms (and their gradients) are well-defined — the
+/// property tests in the dynamics and simulator crates rely on this.
+///
+/// # Panics
+///
+/// Panics if `config.links == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use roboshape_robots::{random_robot, RandomRobotConfig};
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let robot = random_robot(&mut rng, RandomRobotConfig { links: 10, ..Default::default() });
+/// assert_eq!(robot.num_links(), 10);
+/// ```
+pub fn random_robot<R: Rng + ?Sized>(rng: &mut R, config: RandomRobotConfig) -> RobotModel {
+    assert!(config.links > 0, "robot must have at least one link");
+    let mut b = RobotBuilder::new(format!("random_{}", config.links));
+    let mut handles: Vec<LinkHandle> = Vec::new();
+    for i in 0..config.links {
+        let parent = if handles.is_empty() || rng.gen_bool(config.new_limb_prob) {
+            None
+        } else if rng.gen_bool(config.branch_prob) {
+            Some(handles[rng.gen_range(0..handles.len())])
+        } else {
+            Some(*handles.last().expect("nonempty checked above"))
+        };
+        let axis = random_axis(rng);
+        let joint = if config.allow_prismatic && rng.gen_bool(0.2) {
+            Joint::prismatic(axis)
+        } else {
+            Joint::revolute(axis)
+        };
+        let origin = Xform::from_origin(
+            Vec3::new(
+                rng.gen_range(-0.2..0.2),
+                rng.gen_range(-0.2..0.2),
+                rng.gen_range(-0.4..-0.05),
+            ),
+            [
+                rng.gen_range(-0.5..0.5),
+                rng.gen_range(-0.5..0.5),
+                rng.gen_range(-0.5..0.5),
+            ],
+        );
+        let mass = rng.gen_range(0.5..5.0);
+        let com = Vec3::new(
+            rng.gen_range(-0.05..0.05),
+            rng.gen_range(-0.05..0.05),
+            rng.gen_range(-0.3..-0.05),
+        );
+        let i_diag = Vec3::new(
+            rng.gen_range(0.01..0.2),
+            rng.gen_range(0.01..0.2),
+            rng.gen_range(0.01..0.2),
+        );
+        let inertia = SpatialInertia::from_mass_com_inertia(mass, com, Mat3::diagonal(i_diag));
+        let h = b.add_link(format!("link{i}"), parent, joint.with_tree_xform(origin), inertia);
+        handles.push(h);
+    }
+    b.build()
+}
+
+fn random_axis<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    loop {
+        let v = Vec3::new(
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+            rng.gen_range(-1.0..1.0),
+        );
+        if v.norm() > 0.3 {
+            return v.normalized();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn generates_requested_size() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for n in [1, 3, 9, 20] {
+            let r = random_robot(&mut rng, RandomRobotConfig { links: n, ..Default::default() });
+            assert_eq!(r.num_links(), n);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = RandomRobotConfig { links: 12, branch_prob: 0.4, ..Default::default() };
+        let a = random_robot(&mut rand::rngs::StdRng::seed_from_u64(1), cfg);
+        let b = random_robot(&mut rand::rngs::StdRng::seed_from_u64(1), cfg);
+        assert_eq!(a.topology(), b.topology());
+        for i in 0..a.num_links() {
+            assert!(a.link(i).inertia.to_mat6().distance(&b.link(i).inertia.to_mat6()) < 1e-15);
+        }
+    }
+
+    #[test]
+    fn branching_config_actually_branches() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let cfg = RandomRobotConfig { links: 30, branch_prob: 0.8, new_limb_prob: 0.2, ..Default::default() };
+        let r = random_robot(&mut rng, cfg);
+        assert!(
+            !r.topology().branch_links().is_empty() || r.topology().roots().len() > 1,
+            "high branch probability should produce branches"
+        );
+    }
+
+    #[test]
+    fn masses_positive_and_roundtrip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let r = random_robot(&mut rng, RandomRobotConfig { links: 8, allow_prismatic: true, ..Default::default() });
+        for i in 0..r.num_links() {
+            assert!(r.link(i).inertia.mass() > 0.0);
+        }
+        let reparsed = roboshape_urdf::parse_urdf(&roboshape_urdf::write_urdf(&r)).unwrap();
+        assert_eq!(reparsed.topology(), r.topology());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn zero_links_panics() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        random_robot(&mut rng, RandomRobotConfig { links: 0, ..Default::default() });
+    }
+}

@@ -1,0 +1,453 @@
+//! The six paper robots (Fig. 11) built programmatically.
+
+use roboshape_linalg::{Mat3, Vec3};
+use roboshape_spatial::{Joint, SpatialInertia, Xform};
+use roboshape_urdf::{LinkHandle, RobotBuilder, RobotModel};
+
+/// Identifier for one of the paper's six evaluation robots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Zoo {
+    /// KUKA LBR iiwa: 7-link serial manipulator.
+    Iiwa,
+    /// IIT HyQ: hydraulic quadruped, 4 legs × 3 links.
+    Hyq,
+    /// Rethink Baxter torso: 1-link head + two 7-link arms.
+    Baxter,
+    /// Kinova Jaco with 2 fingers: 6-link arm + 2 × 2-link fingers.
+    Jaco2,
+    /// Kinova Jaco with 3 fingers: 6-link arm + 3 × 2-link fingers.
+    Jaco3,
+    /// HyQ with a 7-link manipulator mounted on the trunk.
+    HyqArm,
+}
+
+impl Zoo {
+    /// All six robots in the paper's presentation order.
+    pub const ALL: [Zoo; 6] = [Zoo::Iiwa, Zoo::Hyq, Zoo::Baxter, Zoo::Jaco2, Zoo::Jaco3, Zoo::HyqArm];
+
+    /// The display name used in the experiment printouts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Zoo::Iiwa => "iiwa",
+            Zoo::Hyq => "HyQ",
+            Zoo::Baxter => "Baxter",
+            Zoo::Jaco2 => "Jaco-2",
+            Zoo::Jaco3 => "Jaco-3",
+            Zoo::HyqArm => "HyQ+arm",
+        }
+    }
+
+    /// The three robots with FPGA implementations in the paper
+    /// (Table 2, Figs. 9–10).
+    pub const IMPLEMENTED: [Zoo; 3] = [Zoo::Iiwa, Zoo::Hyq, Zoo::Baxter];
+}
+
+/// A chain link's inertia: a rod of mass `m` and length `l` hanging along
+/// −z from the joint, with a small transverse inertia floor so even light
+/// links are well-conditioned.
+fn rod_inertia(mass: f64, length: f64) -> SpatialInertia {
+    let i_t = (mass * length * length / 12.0).max(1e-4);
+    let i_a = (mass * 0.02 * 0.02).max(5e-5);
+    SpatialInertia::from_mass_com_inertia(
+        mass,
+        Vec3::new(0.0, 0.0, -length / 2.0),
+        Mat3::diagonal(Vec3::new(i_t, i_t, i_a)),
+    )
+}
+
+/// Builds an alternating-axis serial chain (shoulder-to-wrist manipulator
+/// pattern). Returns the handle of the last link.
+fn add_chain(
+    b: &mut RobotBuilder,
+    prefix: &str,
+    mut parent: Option<LinkHandle>,
+    mount: Xform,
+    n: usize,
+    base_mass: f64,
+    link_len: f64,
+) -> LinkHandle {
+    let axes = [Vec3::unit_z(), Vec3::unit_y()];
+    let mut handle = None;
+    for k in 0..n {
+        let axis = axes[k % 2];
+        let tree = if k == 0 {
+            mount
+        } else {
+            Xform::from_translation(Vec3::new(0.0, 0.0, -link_len))
+        };
+        let mass = (base_mass * (1.0 - 0.08 * k as f64)).max(0.3);
+        let h = b.add_link(
+            format!("{prefix}_link{}", k + 1),
+            parent,
+            Joint::revolute(axis).with_tree_xform(tree),
+            rod_inertia(mass, link_len),
+        );
+        parent = Some(h);
+        handle = Some(h);
+    }
+    handle.expect("chain has at least one link")
+}
+
+/// Adds one HyQ leg (hip abduction–adduction about x, hip flexion about y,
+/// knee about y) mounted at `mount` on the fixed trunk.
+fn add_leg(b: &mut RobotBuilder, prefix: &str, mount: Vec3) {
+    let haa = b.add_link(
+        format!("{prefix}_haa"),
+        None,
+        Joint::revolute(Vec3::unit_x()).with_tree_xform(Xform::from_translation(mount)),
+        rod_inertia(2.5, 0.08),
+    );
+    let hfe = b.add_link(
+        format!("{prefix}_hfe"),
+        Some(haa),
+        Joint::revolute(Vec3::unit_y())
+            .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.08, 0.0))),
+        rod_inertia(3.0, 0.35),
+    );
+    b.add_link(
+        format!("{prefix}_kfe"),
+        Some(hfe),
+        Joint::revolute(Vec3::unit_y())
+            .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, -0.35))),
+        rod_inertia(1.0, 0.33),
+    );
+}
+
+/// Adds a Jaco arm: a 6-link chain plus `fingers` two-link fingers on the
+/// hand (the last chain link).
+fn add_jaco(b: &mut RobotBuilder, fingers: usize) {
+    let hand = add_chain(b, "arm", None, Xform::identity(), 6, 1.8, 0.2);
+    for f in 0..fingers {
+        let angle = 2.0 * std::f64::consts::PI * f as f64 / fingers.max(1) as f64;
+        let mount = Xform::from_origin(
+            Vec3::new(0.03 * angle.cos(), 0.03 * angle.sin(), -0.05),
+            [0.0, 0.0, angle],
+        );
+        let proximal = b.add_link(
+            format!("finger{}_proximal", f + 1),
+            Some(hand),
+            Joint::revolute(Vec3::unit_y()).with_tree_xform(mount),
+            rod_inertia(0.08, 0.04),
+        );
+        b.add_link(
+            format!("finger{}_distal", f + 1),
+            Some(proximal),
+            Joint::revolute(Vec3::unit_y())
+                .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, -0.04))),
+            rod_inertia(0.04, 0.03),
+        );
+    }
+}
+
+/// Builds one of the six paper robots.
+///
+/// # Examples
+///
+/// ```
+/// use roboshape_robots::{zoo, Zoo};
+/// assert_eq!(zoo(Zoo::HyqArm).num_links(), 19);
+/// ```
+pub fn zoo(which: Zoo) -> RobotModel {
+    let mut b = RobotBuilder::new(which.name());
+    match which {
+        Zoo::Iiwa => {
+            add_chain(&mut b, "iiwa", None, Xform::identity(), 7, 4.5, 0.3);
+        }
+        Zoo::Hyq => {
+            add_leg(&mut b, "lf", Vec3::new(0.37, 0.21, 0.0));
+            add_leg(&mut b, "rf", Vec3::new(0.37, -0.21, 0.0));
+            add_leg(&mut b, "lh", Vec3::new(-0.37, 0.21, 0.0));
+            add_leg(&mut b, "rh", Vec3::new(-0.37, -0.21, 0.0));
+        }
+        Zoo::Baxter => {
+            b.add_link(
+                "head",
+                None,
+                Joint::revolute(Vec3::unit_z())
+                    .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, 0.6))),
+                rod_inertia(1.5, 0.1),
+            );
+            for (prefix, side) in [("left_arm", 1.0), ("right_arm", -1.0)] {
+                let mount = Xform::from_origin(
+                    Vec3::new(0.06, side * 0.26, 0.4),
+                    [side * 0.5, 0.0, 0.0],
+                );
+                add_chain(&mut b, prefix, None, mount, 7, 3.5, 0.27);
+            }
+        }
+        Zoo::Jaco2 => add_jaco(&mut b, 2),
+        Zoo::Jaco3 => add_jaco(&mut b, 3),
+        Zoo::HyqArm => {
+            add_leg(&mut b, "lf", Vec3::new(0.37, 0.21, 0.0));
+            add_leg(&mut b, "rf", Vec3::new(0.37, -0.21, 0.0));
+            add_leg(&mut b, "lh", Vec3::new(-0.37, 0.21, 0.0));
+            add_leg(&mut b, "rh", Vec3::new(-0.37, -0.21, 0.0));
+            let mount = Xform::from_translation(Vec3::new(0.2, 0.0, 0.15));
+            add_chain(&mut b, "arm", None, mount, 7, 3.0, 0.25);
+        }
+    }
+    b.build()
+}
+
+/// Additional deployment-diversity robots from the paper's Fig. 1 (Spot,
+/// Pepper, Bittle, ...), beyond the six evaluated ones. These are *not*
+/// part of [`Zoo::ALL`] so the paper-exact experiments stay untouched;
+/// they exercise the framework on further shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExtraRobot {
+    /// Petoi Bittle: palm-sized quadruped, 4 × 2-link legs (8 links).
+    Bittle,
+    /// Pepper-like social humanoid: 2-link head + two 5-link arms off a
+    /// torso column (12 links).
+    Pepper,
+    /// A full humanoid: 2-link head, two 7-link arms, two 6-link legs
+    /// (28 links) — bigger than anything in the paper's evaluation.
+    Humanoid,
+}
+
+impl ExtraRobot {
+    /// All extra robots.
+    pub const ALL: [ExtraRobot; 3] = [ExtraRobot::Bittle, ExtraRobot::Pepper, ExtraRobot::Humanoid];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ExtraRobot::Bittle => "Bittle",
+            ExtraRobot::Pepper => "Pepper",
+            ExtraRobot::Humanoid => "Humanoid",
+        }
+    }
+}
+
+/// Builds one of the extra Fig. 1 robots.
+///
+/// # Examples
+///
+/// ```
+/// use roboshape_robots::{extra_robot, ExtraRobot};
+/// assert_eq!(extra_robot(ExtraRobot::Bittle).num_links(), 8);
+/// ```
+pub fn extra_robot(which: ExtraRobot) -> RobotModel {
+    let mut b = RobotBuilder::new(which.name());
+    match which {
+        ExtraRobot::Bittle => {
+            for (name, x, y) in [
+                ("lf", 0.05, 0.04),
+                ("rf", 0.05, -0.04),
+                ("lh", -0.05, 0.04),
+                ("rh", -0.05, -0.04),
+            ] {
+                let shoulder = b.add_link(
+                    format!("{name}_shoulder"),
+                    None,
+                    Joint::revolute(Vec3::unit_y())
+                        .with_tree_xform(Xform::from_translation(Vec3::new(x, y, 0.0))),
+                    rod_inertia(0.02, 0.045),
+                );
+                b.add_link(
+                    format!("{name}_knee"),
+                    Some(shoulder),
+                    Joint::revolute(Vec3::unit_y())
+                        .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, -0.045))),
+                    rod_inertia(0.01, 0.045),
+                );
+            }
+        }
+        ExtraRobot::Pepper => {
+            let neck = b.add_link(
+                "neck",
+                None,
+                Joint::revolute(Vec3::unit_z())
+                    .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, 0.5))),
+                rod_inertia(0.8, 0.08),
+            );
+            b.add_link(
+                "head",
+                Some(neck),
+                Joint::revolute(Vec3::unit_y()),
+                rod_inertia(1.2, 0.12),
+            );
+            for (prefix, side) in [("left_arm", 1.0), ("right_arm", -1.0)] {
+                let mount = Xform::from_origin(
+                    Vec3::new(0.0, side * 0.15, 0.35),
+                    [side * 0.3, 0.0, 0.0],
+                );
+                add_chain(&mut b, prefix, None, mount, 5, 1.2, 0.18);
+            }
+        }
+        ExtraRobot::Humanoid => {
+            let neck = b.add_link(
+                "neck",
+                None,
+                Joint::revolute(Vec3::unit_z())
+                    .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, 0.55))),
+                rod_inertia(1.0, 0.08),
+            );
+            b.add_link(
+                "head",
+                Some(neck),
+                Joint::revolute(Vec3::unit_y()),
+                rod_inertia(3.0, 0.15),
+            );
+            for (prefix, side) in [("left_arm", 1.0), ("right_arm", -1.0)] {
+                let mount = Xform::from_origin(
+                    Vec3::new(0.0, side * 0.2, 0.45),
+                    [side * 0.2, 0.0, 0.0],
+                );
+                add_chain(&mut b, prefix, None, mount, 7, 2.5, 0.25);
+            }
+            for (prefix, side) in [("left_leg", 1.0), ("right_leg", -1.0)] {
+                let mount = Xform::from_translation(Vec3::new(0.0, side * 0.1, -0.1));
+                add_chain(&mut b, prefix, None, mount, 6, 5.0, 0.35);
+            }
+        }
+    }
+    b.build()
+}
+
+/// The robot as a generated URDF document (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use roboshape_robots::{zoo_urdf, Zoo};
+/// use roboshape_urdf::parse_urdf;
+/// let model = parse_urdf(&zoo_urdf(Zoo::Iiwa))?;
+/// assert_eq!(model.num_links(), 7);
+/// # Ok::<(), roboshape_urdf::UrdfError>(())
+/// ```
+pub fn zoo_urdf(which: Zoo) -> String {
+    roboshape_urdf::write_urdf(&zoo(which))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_urdf::parse_urdf;
+
+    #[test]
+    fn link_counts_match_table3() {
+        assert_eq!(zoo(Zoo::Iiwa).num_links(), 7);
+        assert_eq!(zoo(Zoo::Hyq).num_links(), 12);
+        assert_eq!(zoo(Zoo::Baxter).num_links(), 15);
+        assert_eq!(zoo(Zoo::Jaco2).num_links(), 10);
+        assert_eq!(zoo(Zoo::Jaco3).num_links(), 12);
+        assert_eq!(zoo(Zoo::HyqArm).num_links(), 19);
+    }
+
+    #[test]
+    fn iiwa_metrics() {
+        let m = zoo(Zoo::Iiwa).topology().metrics();
+        assert_eq!(m.max_leaf_depth, 7);
+        assert_eq!(m.avg_leaf_depth, 7.0);
+        assert_eq!(m.max_descendants, 7);
+        assert_eq!(m.leaf_depth_stdev, 0.0);
+    }
+
+    #[test]
+    fn hyq_metrics() {
+        let m = zoo(Zoo::Hyq).topology().metrics();
+        assert_eq!(m.max_leaf_depth, 3);
+        assert_eq!(m.avg_leaf_depth, 3.0);
+        assert_eq!(m.max_descendants, 3);
+        assert_eq!(m.leaf_depth_stdev, 0.0);
+    }
+
+    #[test]
+    fn baxter_metrics() {
+        let m = zoo(Zoo::Baxter).topology().metrics();
+        assert_eq!(m.max_leaf_depth, 7);
+        assert!((m.avg_leaf_depth - 5.0).abs() < 1e-12);
+        assert_eq!(m.max_descendants, 7);
+        assert!(m.leaf_depth_stdev > 2.0);
+    }
+
+    #[test]
+    fn jaco_metrics_are_symmetric_with_deep_leaves() {
+        for which in [Zoo::Jaco2, Zoo::Jaco3] {
+            let m = zoo(which).topology().metrics();
+            assert_eq!(m.max_leaf_depth, 8);
+            assert_eq!(m.leaf_depth_stdev, 0.0, "{:?}", which);
+            // The wide bottom: max descendants is the whole robot (root of
+            // the single arm).
+            assert_eq!(m.max_descendants, zoo(which).num_links());
+        }
+    }
+
+    #[test]
+    fn hyq_arm_metrics_match_table3() {
+        let m = zoo(Zoo::HyqArm).topology().metrics();
+        assert_eq!(m.total_links, 19);
+        assert_eq!(m.max_leaf_depth, 7);
+        assert!((m.avg_leaf_depth - 3.8).abs() < 1e-12);
+        assert!((m.leaf_depth_stdev - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_zoo_robots_roundtrip_through_urdf() {
+        for which in Zoo::ALL {
+            let original = zoo(which);
+            let reparsed = parse_urdf(&zoo_urdf(which)).unwrap();
+            assert_eq!(reparsed.num_links(), original.num_links(), "{:?}", which);
+            assert_eq!(reparsed.topology(), original.topology(), "{:?}", which);
+            for i in 0..original.num_links() {
+                let d = original
+                    .link(i)
+                    .inertia
+                    .to_mat6()
+                    .distance(&reparsed.link(i).inertia.to_mat6());
+                assert!(d < 1e-9, "{:?} link {i} inertia drift {d}", which);
+            }
+        }
+    }
+
+    #[test]
+    fn masses_are_positive() {
+        for which in Zoo::ALL {
+            let m = zoo(which);
+            for i in 0..m.num_links() {
+                assert!(m.link(i).inertia.mass() > 0.0, "{:?} link {i}", which);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_robots_have_expected_shapes() {
+        let bittle = extra_robot(ExtraRobot::Bittle);
+        assert_eq!(bittle.num_links(), 8);
+        let m = bittle.topology().metrics();
+        assert_eq!(m.max_leaf_depth, 2);
+        assert_eq!(m.max_descendants, 2);
+
+        let pepper = extra_robot(ExtraRobot::Pepper);
+        assert_eq!(pepper.num_links(), 12);
+        assert_eq!(pepper.topology().roots().len(), 3);
+
+        let humanoid = extra_robot(ExtraRobot::Humanoid);
+        assert_eq!(humanoid.num_links(), 28);
+        let hm = humanoid.topology().metrics();
+        assert_eq!(hm.max_leaf_depth, 7);
+        assert!(hm.leaf_depth_stdev > 0.0, "humanoid limbs are asymmetric");
+    }
+
+    #[test]
+    fn extra_robots_roundtrip_and_have_mass() {
+        for which in ExtraRobot::ALL {
+            let robot = extra_robot(which);
+            let reparsed =
+                parse_urdf(&roboshape_urdf::write_urdf(&robot)).unwrap();
+            assert_eq!(reparsed.topology(), robot.topology(), "{:?}", which);
+            for i in 0..robot.num_links() {
+                assert!(robot.link(i).inertia.mass() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Zoo::Iiwa.name(), "iiwa");
+        assert_eq!(Zoo::HyqArm.name(), "HyQ+arm");
+        assert_eq!(Zoo::ALL.len(), 6);
+        assert_eq!(Zoo::IMPLEMENTED.len(), 3);
+    }
+}

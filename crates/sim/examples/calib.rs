@@ -1,0 +1,35 @@
+use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs};
+use roboshape_robots::{zoo, Zoo};
+use roboshape_taskgraph::{Stage, TaskCosts};
+
+fn main() {
+    let costs = TaskCosts::default();
+    for (which, knobs) in [
+        (Zoo::Iiwa, AcceleratorKnobs::symmetric(7, 7)),
+        (Zoo::Hyq, AcceleratorKnobs::symmetric(3, 6)),
+        (Zoo::Baxter, AcceleratorKnobs::symmetric(4, 4)),
+    ] {
+        let robot = zoo(which);
+        let d = AcceleratorDesign::generate(robot.topology(), knobs);
+        let g = d.task_graph();
+        let serial: u64 = g.tasks().iter().map(|t| costs.of(t.kind)).sum();
+        // cost-weighted critical path
+        let mut depth = vec![0u64; g.len()];
+        for (i, t) in g.tasks().iter().enumerate() {
+            let own = costs.of(t.kind);
+            depth[i] = own + t.deps.iter().map(|d| depth[d.0]).max().unwrap_or(0);
+        }
+        let crit = depth.iter().max().unwrap();
+        let gf = g.stage_tasks(Stage::GradFwd).len();
+        let gb = g.stage_tasks(Stage::GradBwd).len();
+        let nnz = roboshape_blocksparse::SparsityPattern::mass_matrix(robot.topology()).nnz();
+        // stage spans for batching II
+        let spans: Vec<_> = Stage::ALL.iter().map(|&s| d.schedule().stage_span(g, s).unwrap()).collect();
+        println!(
+            "{} n={} fpga_us={:.3} cycles={} np_us={:.3} serial={} crit={} gf={} gb={} nnz={} clk={:.1} mm_lat={} spans={:?}",
+            which.name(), robot.num_links(), d.compute_latency_us(), d.compute_cycles(),
+            d.compute_latency_no_pipelining_us(), serial, crit, gf, gb, nnz, d.clock_ns(),
+            d.compute_cycles() - d.schedule().makespan(), spans
+        );
+    }
+}

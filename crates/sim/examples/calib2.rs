@@ -1,0 +1,42 @@
+use roboshape_robots::{zoo, Zoo};
+use roboshape_taskgraph::{schedule, SchedulerConfig, TaskGraph};
+
+fn main() {
+    for which in Zoo::ALL {
+        let robot = zoo(which);
+        let topo = robot.topology();
+        let n = robot.num_links();
+        let graph = TaskGraph::dynamics_gradient(topo);
+        let m = topo.metrics();
+        print!("{:8} (N={n} maxleaf={} maxdesc={} avg={:.1}): ", which.name(), m.max_leaf_depth, m.max_descendants, m.avg_leaf_depth);
+        // makespan vs symmetric PE count
+        let mut mins = u64::MAX;
+        let mut lat = vec![];
+        for pe in 1..=n {
+            let s = schedule(&graph, &SchedulerConfig::with_pes(pe, pe));
+            lat.push(s.makespan());
+            mins = mins.min(s.makespan());
+        }
+        println!("{:?} min={}", lat, mins);
+        // strategies
+        let avg = m.avg_leaf_depth.round() as usize;
+        let strat = [
+            ("total", n, n),
+            ("avg", avg.max(1), avg.max(1)),
+            ("maxleaf", m.max_leaf_depth, m.max_leaf_depth),
+            ("maxdesc", m.max_descendants, m.max_descendants),
+            ("hybrid", m.max_leaf_depth, m.max_descendants),
+        ];
+        for (name, f, b) in strat {
+            let s = schedule(&graph, &SchedulerConfig::with_pes(f, b));
+            println!("    {name:8} ({f},{b}): makespan={} min_lat={}", s.makespan(), s.makespan() == mins);
+        }
+        // true optimal over full (f,b) grid
+        let mut best = (u64::MAX, 0, 0);
+        for f in 1..=n { for b in 1..=n {
+            let s = schedule(&graph, &SchedulerConfig::with_pes(f, b));
+            if s.makespan() < best.0 { best = (s.makespan(), f, b); }
+        }}
+        println!("    optimal grid min: {} at ({},{})", best.0, best.1, best.2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Derivative-thread execution helpers: the ∇-stage PE operations.
+//!
+//! Each `(link, seed)` derivative thread carries a pair of
+//! [`roboshape_dynamics::LinkDeriv`] states — one for `∂/∂q`, one for
+//! `∂/∂q̇` — mirroring the robomorphic PE datapath, which produces both
+//! partials from the same link data.
+
+use roboshape_dynamics::{bwd_deriv_step, fwd_deriv_step, LinkDeriv, RneaCache, Wrt};
+use roboshape_spatial::{ForceVec, MotionVec};
+use roboshape_topology::Topology;
+use roboshape_urdf::RobotModel;
+use std::collections::HashMap;
+
+/// Derivative state for both partials.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DerivPair {
+    pub dq: LinkDeriv,
+    pub dqd: LinkDeriv,
+}
+
+/// Accumulated derivative forces (child contributions) for both partials.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ForcePair {
+    pub dq: ForceVec,
+    pub dqd: ForceVec,
+}
+
+/// Executes a `GradFwd { link, seed }` task: both partial forward steps.
+///
+/// # Panics
+///
+/// Panics if the parent thread state the schedule promises is missing
+/// (dependency violation).
+#[allow(clippy::too_many_arguments)] // mirrors the PE datapath's port list
+pub(crate) fn grad_fwd(
+    model: &RobotModel,
+    topo: &Topology,
+    link: usize,
+    seed: usize,
+    qd_link: f64,
+    cache: &RneaCache,
+    a_base: MotionVec,
+    dstate: &HashMap<(usize, usize), DerivPair>,
+) -> DerivPair {
+    let is_seed = link == seed;
+    let (v_parent, a_parent, parent_pair) = match topo.parent(link) {
+        Some(p) => {
+            let pair = if p == seed || topo.is_ancestor(seed, p) {
+                *dstate
+                    .get(&(p, seed))
+                    .expect("schedule read of unready derivative parent state")
+            } else {
+                DerivPair::default()
+            };
+            (cache.v[p], cache.a[p], pair)
+        }
+        None => (MotionVec::ZERO, a_base, DerivPair::default()),
+    };
+    DerivPair {
+        dq: fwd_deriv_step(
+            model, link, is_seed, Wrt::Q, qd_link, cache, v_parent, a_parent, &parent_pair.dq,
+        ),
+        dqd: fwd_deriv_step(
+            model, link, is_seed, Wrt::Qd, qd_link, cache, v_parent, a_parent, &parent_pair.dqd,
+        ),
+    }
+}
+
+/// Executes a `GradBwd { link, seed }` task: both partial backward steps.
+/// Returns the `(∂τ/∂q, ∂τ/∂q̇)` entries at `(link, seed)` and pushes the
+/// parent contributions into `dacc`.
+pub(crate) fn grad_bwd(
+    model: &RobotModel,
+    topo: &Topology,
+    link: usize,
+    seed: usize,
+    cache: &RneaCache,
+    dstate: &HashMap<(usize, usize), DerivPair>,
+    dacc: &mut HashMap<(usize, usize), ForcePair>,
+) -> (f64, f64) {
+    let is_seed = link == seed;
+    let local = dstate.get(&(link, seed)).copied().unwrap_or_default();
+    let acc = dacc.get(&(link, seed)).copied().unwrap_or_default();
+    let df_q = local.dq.df + acc.dq;
+    let df_qd = local.dqd.df + acc.dqd;
+    let (dtau_q, to_parent_q) = bwd_deriv_step(model, link, is_seed, Wrt::Q, cache, df_q);
+    let (dtau_qd, to_parent_qd) = bwd_deriv_step(model, link, is_seed, Wrt::Qd, cache, df_qd);
+    if let Some(p) = topo.parent(link) {
+        let e = dacc.entry((p, seed)).or_default();
+        e.dq += to_parent_q;
+        e.dqd += to_parent_qd;
+    }
+    (dtau_q, dtau_qd)
+}

@@ -1,0 +1,80 @@
+//! Pluggable sources of dynamics gradients.
+//!
+//! Both downstream consumers in this repository — the iLQR optimizer and
+//! the whole-body EKF — need `∂q̈/∂q`, `∂q̈/∂q̇` at a state. This trait lets
+//! them run interchangeably on the reference analytical library or on the
+//! cycle-level simulation of a generated accelerator, which is precisely
+//! the paper's deployment claim: the accelerator is a drop-in gradient
+//! engine for motion-control stacks.
+
+use crate::simulate;
+use roboshape_arch::AcceleratorDesign;
+use roboshape_dynamics::Dynamics;
+use roboshape_linalg::DMat;
+use roboshape_urdf::RobotModel;
+
+/// Supplies `(∂q̈/∂q, ∂q̈/∂q̇)` at `(q, q̇, τ)`.
+pub trait GradientProvider {
+    /// Evaluates the gradients.
+    fn gradients(&self, robot: &RobotModel, q: &[f64], qd: &[f64], tau: &[f64]) -> (DMat, DMat);
+}
+
+/// The reference analytical gradients (paper Alg. 1 on the CPU).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReferenceGradients;
+
+impl GradientProvider for ReferenceGradients {
+    fn gradients(&self, robot: &RobotModel, q: &[f64], qd: &[f64], tau: &[f64]) -> (DMat, DMat) {
+        let g = Dynamics::new(robot).fd_derivatives(q, qd, tau);
+        (g.dqdd_dq, g.dqdd_dqd)
+    }
+}
+
+/// Gradients computed by the cycle-level simulation of a generated
+/// accelerator design.
+#[derive(Debug, Clone)]
+pub struct AcceleratorGradients<'d> {
+    design: &'d AcceleratorDesign,
+}
+
+impl<'d> AcceleratorGradients<'d> {
+    /// Wraps a generated dynamics-gradient design.
+    pub fn new(design: &'d AcceleratorDesign) -> AcceleratorGradients<'d> {
+        AcceleratorGradients { design }
+    }
+
+    /// The wrapped design.
+    pub fn design(&self) -> &'d AcceleratorDesign {
+        self.design
+    }
+}
+
+impl GradientProvider for AcceleratorGradients<'_> {
+    fn gradients(&self, robot: &RobotModel, q: &[f64], qd: &[f64], tau: &[f64]) -> (DMat, DMat) {
+        let sim = simulate(robot, self.design, q, qd, tau);
+        (sim.dqdd_dq, sim.dqdd_dqd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_arch::AcceleratorKnobs;
+    use roboshape_robots::{zoo, Zoo};
+
+    #[test]
+    fn providers_agree() {
+        let robot = zoo(Zoo::Hyq);
+        let n = robot.num_links();
+        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(3, 3, 3));
+        let q = vec![0.2; n];
+        let qd = vec![0.1; n];
+        let tau = vec![0.4; n];
+        let (rq, rqd) = ReferenceGradients.gradients(&robot, &q, &qd, &tau);
+        let accel = AcceleratorGradients::new(&design);
+        let (aq, aqd) = accel.gradients(&robot, &q, &qd, &tau);
+        assert!(rq.max_abs_diff(&aq).unwrap() < 1e-9);
+        assert!(rqd.max_abs_diff(&aqd).unwrap() < 1e-9);
+        assert!(std::ptr::eq(accel.design(), &design));
+    }
+}

@@ -1,0 +1,662 @@
+//! Cycle-level simulation of RoboShape-generated accelerators.
+//!
+//! This is the repository's stand-in for the paper's FPGA (see DESIGN.md's
+//! substitution table): the generated design's *real schedules* are
+//! executed task by task in schedule order, each task performing the same
+//! per-link arithmetic the hardware PEs would (the step functions exported
+//! by `roboshape-dynamics`), reading and writing the modelled storage
+//! structures of the template architecture (paper Fig. 8):
+//!
+//! * the RNEA-output buffers (Fig. 8c) hold `X`, `v`, `a`, `f` per link;
+//! * derivative state is staged per `(link, seed)` thread, with branch
+//!   checkpoint traffic counted (Fig. 8e);
+//! * the blocked mass-matrix multiplication executes the NOP-skipping
+//!   [`roboshape_blocksparse::BlockMatmulPlan`] with its per-unit
+//!   accumulators (Fig. 8f).
+//!
+//! The simulator *panics* if the schedule ever asks a PE to read a value
+//! no earlier task produced — a dynamic re-validation of the scheduler's
+//! dependency handling — and its outputs are compared against the
+//! reference `Dynamics::fd_derivatives` in the test-suite (and by
+//! [`Simulation::verify`]), closing the loop: cycle counts come from a
+//! schedule that provably computes the right numbers.
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs};
+//! use roboshape_robots::{zoo, Zoo};
+//! use roboshape_sim::simulate;
+//!
+//! let robot = zoo(Zoo::Hyq);
+//! let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(3, 3, 6));
+//! let n = robot.num_links();
+//! let sim = simulate(&robot, &design, &vec![0.2; n], &vec![0.1; n], &vec![0.5; n]);
+//! assert!(sim.verify(&robot, &vec![0.2; n], &vec![0.1; n], &vec![0.5; n]) < 1e-8);
+//! ```
+
+#![warn(missing_docs)]
+
+use roboshape_arch::AcceleratorDesign;
+use roboshape_dynamics::{bwd_link_step, fwd_link_step, Dynamics, RneaCache};
+use roboshape_linalg::{Cholesky, DMat, Vec3};
+use roboshape_spatial::{ForceVec, MotionVec, Xform};
+use roboshape_taskgraph::TaskKind;
+use roboshape_urdf::RobotModel;
+use std::collections::HashMap;
+
+mod deriv;
+pub mod gradients;
+
+pub use gradients::{AcceleratorGradients, GradientProvider, ReferenceGradients};
+
+/// Execution statistics of one simulated kernel evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimStats {
+    /// Compute cycles (pipelined), from the design's schedule + mat-mul.
+    pub cycles: u64,
+    /// Compute cycles with stage barriers.
+    pub cycles_no_pipelining: u64,
+    /// Traversal tasks executed.
+    pub tasks_executed: usize,
+    /// Block mat-mul operations executed (NOPs excluded).
+    pub matmul_ops: usize,
+    /// Block mat-mul operations skipped as structural NOPs.
+    pub matmul_nops: usize,
+    /// Branch checkpoint restores implied by the schedule.
+    pub checkpoint_restores: usize,
+}
+
+/// The outputs of a simulated dynamics-gradient evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simulation {
+    /// Joint torques from the RNEA stage (at the host-supplied q̈).
+    pub tau: Vec<f64>,
+    /// `∂q̈/∂q` as computed by the accelerator.
+    pub dqdd_dq: DMat,
+    /// `∂q̈/∂q̇` as computed by the accelerator.
+    pub dqdd_dqd: DMat,
+    /// Execution statistics.
+    pub stats: SimStats,
+}
+
+impl Simulation {
+    /// Maximum absolute deviation of the simulated gradients from the
+    /// reference library's `fd_derivatives` at the same inputs.
+    pub fn verify(&self, model: &RobotModel, q: &[f64], qd: &[f64], tau: &[f64]) -> f64 {
+        let reference = Dynamics::new(model).fd_derivatives(q, qd, tau);
+        let e1 = self.dqdd_dq.max_abs_diff(&reference.dqdd_dq).unwrap_or(f64::INFINITY);
+        let e2 = self.dqdd_dqd.max_abs_diff(&reference.dqdd_dqd).unwrap_or(f64::INFINITY);
+        e1.max(e2)
+    }
+}
+
+/// Runs the generated accelerator on one dynamics-gradient evaluation.
+///
+/// Host-side work mirrors the paper's coprocessor deployment (Sec. 5.2):
+/// the host computes `q̈ = FD(q, q̇, τ)` and the inverse mass matrix and
+/// ships them with the per-link inputs; the accelerator runs the RNEA,
+/// the ∇RNEA, and the blocked `M⁻¹` multiplications.
+///
+/// # Panics
+///
+/// Panics on input dimension mismatch, on a non-positive-definite mass
+/// matrix, or if the design's schedule violates a data dependency (which
+/// would indicate a scheduler bug — the test-suite exercises this).
+pub fn simulate(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+) -> Simulation {
+    let n = model.num_links();
+    assert_eq!(design.topology(), model.topology(), "design/model topology mismatch");
+    assert_eq!(q.len(), n, "q dimension mismatch");
+    assert_eq!(qd.len(), n, "qd dimension mismatch");
+    assert_eq!(tau.len(), n, "tau dimension mismatch");
+
+    // ---- Host side: forward dynamics + inverse mass matrix.
+    let dynamics = Dynamics::new(model);
+    let qdd = dynamics.forward_dynamics(q, qd, tau);
+    let mass = dynamics.mass_matrix(q);
+    let minv = Cholesky::new(&mass)
+        .expect("mass matrix must be positive-definite")
+        .inverse();
+
+    // ---- Accelerator: traversal stages, executed in schedule order.
+    let graph = design.task_graph();
+    let schedule = design.schedule();
+    let topo = model.topology();
+    let a_base = MotionVec::from_parts(Vec3::ZERO, -dynamics.gravity());
+
+    // Storage structures (Fig. 8c): filled as tasks retire.
+    let mut cache = RneaCache {
+        xup: vec![Xform::identity(); n],
+        v: vec![MotionVec::ZERO; n],
+        a: vec![MotionVec::ZERO; n],
+        f: vec![ForceVec::ZERO; n],
+        tau: vec![0.0; n],
+    };
+    let mut fwd_done = vec![false; n];
+    let mut bwd_done = vec![false; n];
+    // Local (pre-accumulation) forces and the child-accumulation buffers.
+    let mut f_local = vec![ForceVec::ZERO; n];
+    let mut f_acc = vec![ForceVec::ZERO; n];
+    // Derivative thread state, keyed by (link, seed).
+    let mut dstate: HashMap<(usize, usize), deriv::DerivPair> = HashMap::new();
+    let mut dacc: HashMap<(usize, usize), deriv::ForcePair> = HashMap::new();
+    let mut dtau_dq = DMat::zeros(n, n);
+    let mut dtau_dqd = DMat::zeros(n, n);
+
+    let mut executed = 0usize;
+    for entry in schedule.entries() {
+        let kind = graph.task(entry.task).kind;
+        executed += 1;
+        match kind {
+            TaskKind::RneaFwd { link } => {
+                let (vp, ap) = match topo.parent(link) {
+                    Some(p) => {
+                        assert!(fwd_done[p], "schedule read of unready parent state");
+                        (cache.v[p], cache.a[p])
+                    }
+                    None => (MotionVec::ZERO, a_base),
+                };
+                let out = fwd_link_step(model, link, q[link], qd[link], qdd[link], vp, ap);
+                cache.xup[link] = out.xup;
+                cache.v[link] = out.v;
+                cache.a[link] = out.a;
+                f_local[link] = out.f;
+                fwd_done[link] = true;
+            }
+            TaskKind::RneaBwd { link } => {
+                assert!(fwd_done[link], "backward step before forward state ready");
+                for &c in topo.children(link) {
+                    assert!(bwd_done[c], "parent backward step before child retired");
+                }
+                let f_total = f_local[link] + f_acc[link];
+                cache.f[link] = f_total;
+                let (t, to_parent) = bwd_link_step(model, link, &cache.xup[link], f_total);
+                cache.tau[link] = t;
+                if let Some(p) = topo.parent(link) {
+                    f_acc[p] += to_parent;
+                }
+                bwd_done[link] = true;
+            }
+            TaskKind::GradFwd { link, seed } => {
+                assert!(fwd_done[link], "gradient step before RNEA state ready");
+                let pair = deriv::grad_fwd(
+                    model, topo, link, seed, qd[link], &cache, a_base, &dstate,
+                );
+                dstate.insert((link, seed), pair);
+            }
+            TaskKind::GradBwd { link, seed } => {
+                assert!(bwd_done[link], "gradient backward before RNEA force ready");
+                let (dq_entry, dqd_entry) = deriv::grad_bwd(
+                    model, topo, link, seed, &cache, &dstate, &mut dacc,
+                );
+                dtau_dq[(link, seed)] = dq_entry;
+                dtau_dqd[(link, seed)] = dqd_entry;
+            }
+        }
+    }
+
+    // ---- Accelerator: blocked M⁻¹ multiplication (pattern ②, Fig. 8f).
+    let plan = design
+        .matmul_plan()
+        .expect("simulate() drives the dynamics-gradient kernel, which has a mat-mul stage");
+    let mut b = DMat::zeros(n, 2 * n);
+    for i in 0..n {
+        for j in 0..n {
+            b[(i, j)] = dtau_dq[(i, j)];
+            b[(i, j + n)] = dtau_dqd[(i, j)];
+        }
+    }
+    let c = plan.execute(&minv, &b);
+    let mut dqdd_dq = DMat::zeros(n, n);
+    let mut dqdd_dqd = DMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            dqdd_dq[(i, j)] = -c[(i, j)];
+            dqdd_dqd[(i, j)] = -c[(i, j + n)];
+        }
+    }
+
+    let stats = SimStats {
+        cycles: design.compute_cycles(),
+        cycles_no_pipelining: design.compute_cycles_no_pipelining(),
+        tasks_executed: executed,
+        matmul_ops: plan.ops().len(),
+        matmul_nops: plan.skipped_ops(),
+        checkpoint_restores: schedule.context_switches(graph),
+    };
+    Simulation { tau: cache.tau, dqdd_dq, dqdd_dqd, stats }
+}
+
+/// Simulates a streamed batch of `steps` dynamics-gradient evaluations
+/// (the paper's Fig. 10 coprocessor workload): each step is functionally
+/// simulated, and the batched cycle count comes from *scheduling* the
+/// replicated task graph (not an analytical bound).
+///
+/// Returns the per-step simulations and the measured batched traversal
+/// makespan in cycles (add the design's mat-mul latency once per step for
+/// a total-compute figure).
+///
+/// # Panics
+///
+/// Panics if `inputs` is empty or any input has wrong dimensions.
+pub fn simulate_batch(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
+) -> (Vec<Simulation>, u64) {
+    assert!(!inputs.is_empty(), "need at least one time step");
+    let sims: Vec<Simulation> = inputs
+        .iter()
+        .map(|(q, qd, tau)| simulate(model, design, q, qd, tau))
+        .collect();
+    let knobs = design.knobs();
+    let replicated =
+        roboshape_taskgraph::TaskGraph::replicate(design.task_graph(), inputs.len());
+    let cfg = roboshape_taskgraph::SchedulerConfig::with_pes(knobs.pe_fwd, knobs.pe_bwd);
+    let schedule = roboshape_taskgraph::schedule(&replicated, &cfg);
+    debug_assert!(schedule.validate(&replicated).is_ok());
+    (sims, schedule.makespan())
+}
+
+/// Runs a generated *inverse-dynamics* accelerator
+/// ([`roboshape_arch::KernelKind::InverseDynamics`]) on one evaluation:
+/// returns the joint torques `τ = RNEA(q, q̇, q̈)` and the stats.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, on a design generated for a different
+/// kernel or topology, or on a schedule dependency violation.
+pub fn simulate_inverse_dynamics(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+) -> (Vec<f64>, SimStats) {
+    assert_eq!(
+        design.kernel(),
+        roboshape_arch::KernelKind::InverseDynamics,
+        "design was generated for a different kernel"
+    );
+    let (cache, stats) = run_rnea_schedule(model, design, q, qd, qdd);
+    (cache.tau, stats)
+}
+
+/// Runs a generated *forward-kinematics* accelerator
+/// ([`roboshape_arch::KernelKind::ForwardKinematics`]): returns the
+/// per-link base→link transforms and the stats.
+///
+/// # Panics
+///
+/// Panics on dimension mismatch, on a design generated for a different
+/// kernel or topology, or on a schedule dependency violation.
+pub fn simulate_kinematics(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+) -> (Vec<Xform>, SimStats) {
+    let n = model.num_links();
+    assert_eq!(
+        design.kernel(),
+        roboshape_arch::KernelKind::ForwardKinematics,
+        "design was generated for a different kernel"
+    );
+    assert_eq!(design.topology(), model.topology(), "design/model topology mismatch");
+    assert_eq!(q.len(), n, "q dimension mismatch");
+    let graph = design.task_graph();
+    let schedule = design.schedule();
+    let topo = model.topology();
+    let mut x_base = vec![Xform::identity(); n];
+    let mut done = vec![false; n];
+    let mut executed = 0usize;
+    for entry in schedule.entries() {
+        let TaskKind::RneaFwd { link } = graph.task(entry.task).kind else {
+            panic!("forward-kinematics schedules contain only forward tasks");
+        };
+        executed += 1;
+        let xi = model.joint(link).child_xform(q[link]);
+        x_base[link] = match topo.parent(link) {
+            Some(p) => {
+                assert!(done[p], "schedule read of unready parent pose");
+                xi.compose(&x_base[p])
+            }
+            None => xi,
+        };
+        done[link] = true;
+    }
+    let stats = SimStats {
+        cycles: design.compute_cycles(),
+        cycles_no_pipelining: design.compute_cycles_no_pipelining(),
+        tasks_executed: executed,
+        matmul_ops: 0,
+        matmul_nops: 0,
+        checkpoint_restores: schedule.context_switches(graph),
+    };
+    (x_base, stats)
+}
+
+/// Executes the RNEA forward/backward tasks of a design's schedule with
+/// real arithmetic (shared by the inverse-dynamics kernel simulator).
+fn run_rnea_schedule(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+) -> (RneaCache, SimStats) {
+    let n = model.num_links();
+    assert_eq!(design.topology(), model.topology(), "design/model topology mismatch");
+    assert_eq!(q.len(), n, "q dimension mismatch");
+    assert_eq!(qd.len(), n, "qd dimension mismatch");
+    assert_eq!(qdd.len(), n, "qdd dimension mismatch");
+    let dynamics = Dynamics::new(model);
+    let graph = design.task_graph();
+    let schedule = design.schedule();
+    let topo = model.topology();
+    let a_base = MotionVec::from_parts(Vec3::ZERO, -dynamics.gravity());
+
+    let mut cache = RneaCache {
+        xup: vec![Xform::identity(); n],
+        v: vec![MotionVec::ZERO; n],
+        a: vec![MotionVec::ZERO; n],
+        f: vec![ForceVec::ZERO; n],
+        tau: vec![0.0; n],
+    };
+    let mut fwd_done = vec![false; n];
+    let mut bwd_done = vec![false; n];
+    let mut f_local = vec![ForceVec::ZERO; n];
+    let mut f_acc = vec![ForceVec::ZERO; n];
+    let mut executed = 0usize;
+    for entry in schedule.entries() {
+        executed += 1;
+        match graph.task(entry.task).kind {
+            TaskKind::RneaFwd { link } => {
+                let (vp, ap) = match topo.parent(link) {
+                    Some(p) => {
+                        assert!(fwd_done[p], "schedule read of unready parent state");
+                        (cache.v[p], cache.a[p])
+                    }
+                    None => (MotionVec::ZERO, a_base),
+                };
+                let out = fwd_link_step(model, link, q[link], qd[link], qdd[link], vp, ap);
+                cache.xup[link] = out.xup;
+                cache.v[link] = out.v;
+                cache.a[link] = out.a;
+                f_local[link] = out.f;
+                fwd_done[link] = true;
+            }
+            TaskKind::RneaBwd { link } => {
+                assert!(fwd_done[link], "backward step before forward state ready");
+                let f_total = f_local[link] + f_acc[link];
+                cache.f[link] = f_total;
+                let (t, to_parent) = bwd_link_step(model, link, &cache.xup[link], f_total);
+                cache.tau[link] = t;
+                if let Some(p) = topo.parent(link) {
+                    f_acc[p] += to_parent;
+                }
+                bwd_done[link] = true;
+            }
+            other => panic!("inverse-dynamics schedules cannot contain {other:?}"),
+        }
+    }
+    debug_assert!(bwd_done.iter().all(|&b| b));
+    let stats = SimStats {
+        cycles: design.compute_cycles(),
+        cycles_no_pipelining: design.compute_cycles_no_pipelining(),
+        tasks_executed: executed,
+        matmul_ops: 0,
+        matmul_nops: 0,
+        checkpoint_restores: schedule.context_switches(graph),
+    };
+    (cache, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_arch::AcceleratorKnobs;
+    use roboshape_robots::{random_robot, zoo, RandomRobotConfig, Zoo};
+
+    fn inputs(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (
+            (0..n).map(|_| rng.gen_range(-1.2..1.2)).collect(),
+            (0..n).map(|_| rng.gen_range(-0.8..0.8)).collect(),
+            (0..n).map(|_| rng.gen_range(-1.5..1.5)).collect(),
+        )
+    }
+
+    #[test]
+    fn matches_reference_on_paper_configurations() {
+        // The three Table 2 design points.
+        let configs = [
+            (Zoo::Iiwa, AcceleratorKnobs::symmetric(7, 7)),
+            (Zoo::Hyq, AcceleratorKnobs::symmetric(3, 6)),
+            (Zoo::Baxter, AcceleratorKnobs::symmetric(4, 4)),
+        ];
+        for (which, knobs) in configs {
+            let robot = zoo(which);
+            let design = AcceleratorDesign::generate(robot.topology(), knobs);
+            let n = robot.num_links();
+            let (q, qd, tau) = inputs(n, 7 + which as u64);
+            let sim = simulate(&robot, &design, &q, &qd, &tau);
+            let err = sim.verify(&robot, &q, &qd, &tau);
+            assert!(err < 1e-8, "{which:?}: simulated gradients deviate by {err}");
+            // The RNEA stage's torques equal the applied torques (q̈ came
+            // from forward dynamics with exactly these torques).
+            for i in 0..n {
+                assert!((sim.tau[i] - tau[i]).abs() < 1e-7, "{which:?} τ[{i}]");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_across_knob_sweep() {
+        let robot = zoo(Zoo::Baxter);
+        let n = robot.num_links();
+        let (q, qd, tau) = inputs(n, 99);
+        for pe in [1, 2, 5, 15] {
+            for blk in [1, 4, 7, 15] {
+                let design =
+                    AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(pe, pe, blk));
+                let sim = simulate(&robot, &design, &q, &qd, &tau);
+                let err = sim.verify(&robot, &q, &qd, &tau);
+                assert!(err < 1e-8, "pe={pe} blk={blk}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_on_random_robots() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for trial in 0..6 {
+            let robot = random_robot(
+                &mut rng,
+                RandomRobotConfig {
+                    links: 2 + trial * 2,
+                    branch_prob: 0.3,
+                    new_limb_prob: 0.25,
+                    allow_prismatic: true,
+                },
+            );
+            let n = robot.num_links();
+            let knobs = AcceleratorKnobs::new(1 + trial % 3, 1 + (trial + 1) % 3, 1 + trial % 4);
+            let design = AcceleratorDesign::generate(robot.topology(), knobs);
+            let (q, qd, tau) = inputs(n, 4000 + trial as u64);
+            let sim = simulate(&robot, &design, &q, &qd, &tau);
+            let err = sim.verify(&robot, &q, &qd, &tau);
+            assert!(err < 1e-8, "trial {trial}: {err}");
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let robot = zoo(Zoo::Hyq);
+        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(3, 3, 3));
+        let n = robot.num_links();
+        let (q, qd, tau) = inputs(n, 5);
+        let sim = simulate(&robot, &design, &q, &qd, &tau);
+        assert_eq!(sim.stats.tasks_executed, design.task_graph().len());
+        assert!(sim.stats.cycles > 0);
+        assert!(sim.stats.cycles <= sim.stats.cycles_no_pipelining);
+        // HyQ at block 3: 4 aligned diagonal tiles × 8 B-columns of work,
+        // 12 × 8 NOPs skipped.
+        assert_eq!(sim.stats.matmul_ops, 32);
+        assert_eq!(sim.stats.matmul_nops, 96);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_input_length_panics() {
+        let robot = zoo(Zoo::Iiwa);
+        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
+        simulate(&robot, &design, &[0.0], &[0.0], &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology mismatch")]
+    fn mismatched_design_panics() {
+        let robot = zoo(Zoo::Iiwa);
+        let other = zoo(Zoo::Hyq);
+        let design = AcceleratorDesign::generate(other.topology(), AcceleratorKnobs::symmetric(2, 2));
+        let n = robot.num_links();
+        simulate(&robot, &design, &vec![0.0; n], &vec![0.0; n], &vec![0.0; n]);
+    }
+}
+
+#[cfg(test)]
+mod kernel_tests {
+    use super::*;
+    use roboshape_arch::{AcceleratorKnobs, KernelKind};
+    use roboshape_robots::{zoo, Zoo};
+
+    #[test]
+    fn inverse_dynamics_kernel_matches_reference() {
+        for which in Zoo::ALL {
+            let robot = zoo(which);
+            let n = robot.num_links();
+            let m = robot.topology().metrics();
+            let design = AcceleratorDesign::generate_for_kernel(
+                robot.topology(),
+                AcceleratorKnobs::new(m.max_leaf_depth, m.max_descendants, 1),
+                KernelKind::InverseDynamics,
+            );
+            let q: Vec<f64> = (0..n).map(|i| (0.19 * (i as f64 + 1.0)).sin()).collect();
+            let qd: Vec<f64> = (0..n).map(|i| 0.3 - 0.04 * i as f64).collect();
+            let qdd: Vec<f64> = (0..n).map(|i| 0.1 * i as f64 - 0.2).collect();
+            let (tau, stats) = simulate_inverse_dynamics(&robot, &design, &q, &qd, &qdd);
+            let reference = Dynamics::new(&robot).rnea(&q, &qd, &qdd);
+            for i in 0..n {
+                assert!(
+                    (tau[i] - reference[i]).abs() < 1e-9,
+                    "{which:?} τ[{i}]: {} vs {}",
+                    tau[i],
+                    reference[i]
+                );
+            }
+            assert_eq!(stats.tasks_executed, 2 * n);
+            assert_eq!(stats.matmul_ops, 0);
+        }
+    }
+
+    #[test]
+    fn kinematics_kernel_matches_reference() {
+        for which in [Zoo::Iiwa, Zoo::Baxter, Zoo::Jaco3] {
+            let robot = zoo(which);
+            let n = robot.num_links();
+            let design = AcceleratorDesign::generate_for_kernel(
+                robot.topology(),
+                AcceleratorKnobs::new(3, 3, 1),
+                KernelKind::ForwardKinematics,
+            );
+            let q: Vec<f64> = (0..n).map(|i| 0.2 * (i as f64 + 1.0).cos()).collect();
+            let (poses, stats) = simulate_kinematics(&robot, &design, &q);
+            let reference = Dynamics::new(&robot).forward_kinematics(&q);
+            for i in 0..n {
+                let d = poses[i].to_mat6().distance(&reference.x_base[i].to_mat6());
+                assert!(d < 1e-12, "{which:?} link {i}: pose drift {d}");
+            }
+            assert_eq!(stats.tasks_executed, n);
+        }
+    }
+
+    #[test]
+    fn kernel_designs_order_by_latency() {
+        let robot = zoo(Zoo::Baxter);
+        let knobs = AcceleratorKnobs::new(4, 4, 4);
+        let fk = AcceleratorDesign::generate_for_kernel(
+            robot.topology(),
+            knobs,
+            KernelKind::ForwardKinematics,
+        );
+        let id = AcceleratorDesign::generate_for_kernel(
+            robot.topology(),
+            knobs,
+            KernelKind::InverseDynamics,
+        );
+        let grad = AcceleratorDesign::generate(robot.topology(), knobs);
+        assert!(fk.compute_cycles() < id.compute_cycles());
+        assert!(id.compute_cycles() < grad.compute_cycles());
+        assert!(fk.matmul_plan().is_none());
+        assert!(id.matmul_plan().is_none());
+        assert!(grad.matmul_plan().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "different kernel")]
+    fn wrong_kernel_design_panics() {
+        let robot = zoo(Zoo::Iiwa);
+        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
+        simulate_inverse_dynamics(&robot, &design, &[0.0; 7], &[0.0; 7], &[0.0; 7]);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use roboshape_arch::AcceleratorKnobs;
+    use roboshape_robots::{zoo, Zoo};
+
+    #[test]
+    fn batched_simulation_verifies_every_step_and_pipelines() {
+        let robot = zoo(Zoo::Hyq);
+        let n = robot.num_links();
+        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(3, 3, 3));
+        let inputs: Vec<_> = (0..4)
+            .map(|k| {
+                let f = k as f64;
+                (
+                    vec![0.1 + 0.05 * f; n],
+                    vec![0.2 - 0.02 * f; n],
+                    vec![0.3 * f; n],
+                )
+            })
+            .collect();
+        let (sims, batched) = simulate_batch(&robot, &design, &inputs);
+        assert_eq!(sims.len(), 4);
+        for (k, ((q, qd, tau), sim)) in inputs.iter().zip(&sims).enumerate() {
+            assert!(sim.verify(&robot, q, qd, tau) < 1e-8, "step {k}");
+        }
+        // Streaming pipelines: 4 steps take less than 4× one step but at
+        // least one step.
+        let single = design.schedule().makespan();
+        assert!(batched >= single);
+        assert!(batched < 4 * single, "batched {batched} vs 4x{single}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one time step")]
+    fn empty_batch_panics() {
+        let robot = zoo(Zoo::Iiwa);
+        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
+        simulate_batch(&robot, &design, &[]);
+    }
+}

@@ -1,0 +1,46 @@
+//! Featherstone spatial algebra for the RoboShape reproduction.
+//!
+//! Rigid-body dynamics propagates 6-dimensional *spatial* quantities along
+//! the robot's kinematic tree (paper Sec. 2, "Rigid Body Dynamics &
+//! Gradients"). This crate provides:
+//!
+//! * [`MotionVec`] / [`ForceVec`] — spatial motion (velocity, acceleration)
+//!   and force vectors, angular part on top, linear part below;
+//! * [`Xform`] — Plücker coordinate transforms between link frames;
+//! * [`SpatialInertia`] — per-link 6×6 inertia;
+//! * [`Joint`] — joint models (revolute, prismatic, fixed) with their motion
+//!   subspaces and configuration-dependent transforms.
+//!
+//! Conventions follow Featherstone, *Rigid Body Dynamics Algorithms*
+//! (Springer 2008), the reference the paper itself cites for Algorithms
+//! 1–3: `ᴮXᴬ` carries motion vectors from `A` coordinates to `B`
+//! coordinates, forces transform with the transpose, and the spatial cross
+//! products are `×` (motion) and `×*` (force).
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_linalg::Vec3;
+//! use roboshape_spatial::{Joint, MotionVec, Xform};
+//!
+//! // A revolute joint about z, rotated a quarter turn.
+//! let joint = Joint::revolute(Vec3::unit_z());
+//! let x = joint.joint_xform(std::f64::consts::FRAC_PI_2);
+//! let v = x.apply_motion(MotionVec::from_parts(Vec3::ZERO, Vec3::unit_x()));
+//! assert!((v.linear().y + 1.0).abs() < 1e-12); // x-axis seen from the rotated frame
+//! let _ = Xform::identity();
+//! ```
+
+#![warn(missing_docs)]
+
+mod inertia;
+mod joint;
+pub mod sparsity;
+mod vectors;
+mod xform;
+
+pub use inertia::SpatialInertia;
+pub use joint::{Joint, JointKind};
+pub use sparsity::{inertia_pattern, joint_transform_pattern, Pattern6};
+pub use vectors::{cross_force, cross_motion, ForceVec, MotionVec};
+pub use xform::Xform;

@@ -1,0 +1,144 @@
+//! Robomorphic 6×6 sparsity analysis.
+//!
+//! RoboShape's processing elements inherit the *robomorphic* insight
+//! (paper Sec. 2, "Prior Work"): the per-joint 6×6 spatial transforms and
+//! inertias have structural sparsity fixed by the joint type and link
+//! geometry — "small 6×6 joint/inertia matrices that are 40–60% sparse"
+//! (paper Sec. 6). This module computes those structural patterns, which
+//! size the sparse functional units inside each PE.
+
+use crate::{Joint, SpatialInertia};
+use roboshape_linalg::Mat6;
+
+/// The structural nonzero pattern of a configuration-dependent 6×6
+/// matrix: an entry is structurally nonzero if it is nonzero at *any*
+/// sampled configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern6 {
+    nonzero: [[bool; 6]; 6],
+}
+
+impl Pattern6 {
+    /// The union pattern over a set of matrices.
+    pub fn union_of<'a>(mats: impl IntoIterator<Item = &'a Mat6>, eps: f64) -> Pattern6 {
+        let mut nonzero = [[false; 6]; 6];
+        for m in mats {
+            for (i, row) in nonzero.iter_mut().enumerate() {
+                for (j, cell) in row.iter_mut().enumerate() {
+                    *cell |= m.get(i, j).abs() > eps;
+                }
+            }
+        }
+        Pattern6 { nonzero }
+    }
+
+    /// Structural nonzero count (out of 36).
+    pub fn nnz(&self) -> usize {
+        self.nonzero.iter().flatten().filter(|&&b| b).count()
+    }
+
+    /// Fraction of structural zeros.
+    pub fn sparsity(&self) -> f64 {
+        1.0 - self.nnz() as f64 / 36.0
+    }
+
+    /// Whether entry `(i, j)` is structurally nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds (6×6).
+    pub fn is_nonzero(&self, i: usize, j: usize) -> bool {
+        self.nonzero[i][j]
+    }
+
+    /// ASCII render, `x`/`.` per entry.
+    pub fn render(&self) -> String {
+        let mut s = String::with_capacity(42);
+        for row in &self.nonzero {
+            for &b in row {
+                s.push(if b { 'x' } else { '.' });
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Structural pattern of a joint's parent→child transform `X(q)`, sampled
+/// across the configuration range. Multiplier hardware inside a PE only
+/// needs lanes for these entries.
+pub fn joint_transform_pattern(joint: &Joint, samples: usize) -> Pattern6 {
+    let mats: Vec<Mat6> = (0..samples.max(2))
+        .map(|k| {
+            let q = -3.0 + 6.0 * k as f64 / (samples.max(2) - 1) as f64;
+            joint.child_xform(q).to_mat6()
+        })
+        .collect();
+    Pattern6::union_of(mats.iter(), 1e-12)
+}
+
+/// Structural pattern of a link's 6×6 spatial inertia.
+pub fn inertia_pattern(inertia: &SpatialInertia) -> Pattern6 {
+    Pattern6::union_of([&inertia.to_mat6()], 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Xform;
+    use roboshape_linalg::Vec3;
+
+    #[test]
+    fn aligned_revolute_transform_is_sparse() {
+        // A revolute joint about z with no tree offset: X(q) is block
+        // diagonal with two 2+1 rotation blocks → 10/36 nonzero (72%
+        // sparse functional unit).
+        let joint = Joint::revolute(Vec3::unit_z());
+        let p = joint_transform_pattern(&joint, 16);
+        assert_eq!(p.nnz(), 10, "\n{}", p.render());
+        assert!(p.sparsity() > 0.7);
+    }
+
+    #[test]
+    fn offset_revolute_lands_in_the_robomorphic_band() {
+        // With a link offset the bottom-left block fills in: the paper's
+        // "40-60% sparse" regime for real robot joints.
+        let joint = Joint::revolute(Vec3::unit_z())
+            .with_tree_xform(Xform::from_translation(Vec3::new(0.1, 0.0, -0.3)));
+        let p = joint_transform_pattern(&joint, 16);
+        let s = p.sparsity();
+        assert!((0.35..=0.65).contains(&s), "sparsity {s}\n{}", p.render());
+    }
+
+    #[test]
+    fn prismatic_transforms_are_sparser_than_offset_revolute() {
+        let pris = Joint::prismatic(Vec3::unit_z());
+        let p = joint_transform_pattern(&pris, 16);
+        // Identity rotation: diagonal + the translation skew entries.
+        assert!(p.sparsity() >= 0.6, "{}", p.render());
+    }
+
+    #[test]
+    fn inertia_pattern_reflects_geometry() {
+        // A point mass on the z axis: products of inertia vanish, h has
+        // only x/y skew entries.
+        let i = SpatialInertia::point_like(2.0, Vec3::new(0.0, 0.0, -0.2), 0.01);
+        let p = inertia_pattern(&i);
+        assert!(p.sparsity() > 0.5, "{}", p.render());
+        // Mass block diagonal always present.
+        for k in 3..6 {
+            assert!(p.is_nonzero(k, k));
+        }
+    }
+
+    #[test]
+    fn union_grows_monotonically() {
+        let a = Mat6::identity();
+        let mut b = Mat6::zero();
+        b.set(0, 5, 1.0);
+        let pa = Pattern6::union_of([&a], 1e-12);
+        let pab = Pattern6::union_of([&a, &b], 1e-12);
+        assert_eq!(pa.nnz(), 6);
+        assert_eq!(pab.nnz(), 7);
+    }
+}

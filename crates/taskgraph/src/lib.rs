@@ -1,0 +1,38 @@
+//! Topology-traversal task graphs and PE scheduling (paper Sec. 4.2).
+//!
+//! RoboShape's pattern ① — topology traversals — turns into hardware
+//! through three steps, all implemented here:
+//!
+//! 1. [`TaskGraph::dynamics_gradient`] expands a robot topology into the
+//!    task graph of the ∇FD kernel's traversal stages: the RNEA forward
+//!    and backward passes (one task per link) and the ∇RNEA forward and
+//!    backward passes (one task per `(link, seed)` pair on a shared
+//!    root-to-leaf path — the `O(N²)` pattern of Fig. 4b);
+//! 2. [`schedule`] maps those tasks onto a bounded number of forward and
+//!    backward processing elements with a longest-thread list scheduler
+//!    (the paper's "modified depth-first search"), in pipelined
+//!    (dependency-driven) or stage-barrier mode;
+//! 3. [`Schedule`] reports makespan cycles, per-PE programs, utilization,
+//!    and the branch save/restore events that size the architecture's
+//!    checkpoint storage (Fig. 8e).
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_taskgraph::{schedule, SchedulerConfig, TaskGraph};
+//! use roboshape_topology::Topology;
+//!
+//! let topo = Topology::chain(7); // iiwa
+//! let graph = TaskGraph::dynamics_gradient(&topo);
+//! let sched = schedule(&graph, &SchedulerConfig::with_pes(7, 7));
+//! assert!(sched.validate(&graph).is_ok());
+//! assert!(sched.makespan() > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod graph;
+mod scheduler;
+
+pub use graph::{Stage, Task, TaskGraph, TaskId, TaskKind};
+pub use scheduler::{schedule, PeClass, Schedule, ScheduleEntry, ScheduleError, SchedulerConfig, TaskCosts};

@@ -1,0 +1,52 @@
+//! Robot kinematic-tree topology for the RoboShape reproduction.
+//!
+//! RoboShape's central insight (paper Sec. 3) is that two computational
+//! patterns scale with the robot's *topology* — the tree of rigid links
+//! connected by joints. This crate is the single source of truth for that
+//! structure:
+//!
+//! * [`Topology`] — the link tree (parents, children, depths, subtrees) with
+//!   the structural queries every other crate keys on;
+//! * [`TopologyMetrics`] — the paper's Table 3 shape metrics (total links,
+//!   max/average leaf depth, max descendants, leaf-depth standard
+//!   deviation);
+//! * [`ParallelismProfile`] — the forward/backward traversal parallelism
+//!   analysis of Fig. 14 (forward threads scale with independent limbs,
+//!   backward threads with common-ancestor width).
+//!
+//! Links are indexed `0..n` in *topological order*: every link's parent has
+//! a smaller index. `parent = None` means the link hangs off the fixed base
+//! (robots like Baxter have several such branch roots).
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_topology::Topology;
+//!
+//! // A Baxter-like torso: 1-link head + two 7-link arms off the base.
+//! let mut parents = vec![None]; // head
+//! for arm in 0..2 {
+//!     parents.push(None); // arm root
+//!     let base = parents.len() - 1;
+//!     for k in 1..7 {
+//!         parents.push(Some(base + k - 1));
+//!     }
+//! }
+//! let topo = Topology::new(parents)?;
+//! let m = topo.metrics();
+//! assert_eq!(m.total_links, 15);
+//! assert_eq!(m.max_leaf_depth, 7);
+//! assert!((m.avg_leaf_depth - 5.0).abs() < 1e-12);
+//! assert_eq!(m.max_descendants, 7);
+//! # Ok::<(), roboshape_topology::TopologyError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod metrics;
+mod parallelism;
+mod tree;
+
+pub use metrics::TopologyMetrics;
+pub use parallelism::ParallelismProfile;
+pub use tree::{Topology, TopologyError};

@@ -1,0 +1,67 @@
+//! URDF robot-description parsing and the robot model type.
+//!
+//! The RoboShape framework "takes as inputs a standard robot description
+//! file" (paper Sec. 4, Fig. 7a): a URDF XML file, as shipped by robot
+//! manufacturers. This crate provides:
+//!
+//! * a dependency-free XML parser ([`xml`]) sufficient for URDF;
+//! * the URDF semantic layer ([`parse_urdf`]) — links, joints, inertials,
+//!   origins, axes, with fixed-joint fusion;
+//! * [`RobotModel`] — the in-memory robot: a [`roboshape_topology::Topology`]
+//!   plus per-link spatial inertias and joint models, which every
+//!   downstream crate (dynamics, task-graph generation, accelerator
+//!   generation) consumes;
+//! * [`RobotBuilder`] — programmatic model construction, used by the robot
+//!   zoo and the synthetic-robot generators.
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_urdf::parse_urdf;
+//!
+//! let urdf = r#"
+//! <robot name="two_link">
+//!   <link name="base"/>
+//!   <link name="upper">
+//!     <inertial>
+//!       <origin xyz="0 0 0.15"/>
+//!       <mass value="1.5"/>
+//!       <inertia ixx="0.01" iyy="0.01" izz="0.002" ixy="0" ixz="0" iyz="0"/>
+//!     </inertial>
+//!   </link>
+//!   <link name="lower">
+//!     <inertial>
+//!       <origin xyz="0 0 0.1"/>
+//!       <mass value="0.8"/>
+//!       <inertia ixx="0.005" iyy="0.005" izz="0.001" ixy="0" ixz="0" iyz="0"/>
+//!     </inertial>
+//!   </link>
+//!   <joint name="shoulder" type="revolute">
+//!     <parent link="base"/>
+//!     <child link="upper"/>
+//!     <axis xyz="0 1 0"/>
+//!   </joint>
+//!   <joint name="elbow" type="revolute">
+//!     <parent link="upper"/>
+//!     <child link="lower"/>
+//!     <origin xyz="0 0 0.3"/>
+//!     <axis xyz="0 1 0"/>
+//!   </joint>
+//! </robot>
+//! "#;
+//! let model = parse_urdf(urdf)?;
+//! assert_eq!(model.name(), "two_link");
+//! assert_eq!(model.num_links(), 2); // base is the fixed root
+//! # Ok::<(), roboshape_urdf::UrdfError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod model;
+mod parser;
+mod writer;
+pub mod xml;
+
+pub use model::{LinkHandle, LinkModel, RobotBuilder, RobotModel};
+pub use parser::{parse_urdf, UrdfError};
+pub use writer::write_urdf;

@@ -1,0 +1,245 @@
+//! The in-memory robot model and its programmatic builder.
+
+use roboshape_spatial::{Joint, SpatialInertia};
+use roboshape_topology::Topology;
+
+/// A single moving link: its name and spatial inertia (expressed in the
+/// link's own frame).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkModel {
+    /// Link name (from the URDF, or as given to the builder).
+    pub name: String,
+    /// Spatial inertia in the link frame.
+    pub inertia: SpatialInertia,
+}
+
+/// A complete robot model: the kinematic topology plus per-link inertias
+/// and joint models.
+///
+/// Link `i`'s joint (`joints[i]`) connects it to `topology.parent(i)` (or
+/// to the fixed base when the parent is `None`). Links are in topological
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use roboshape_linalg::Vec3;
+/// use roboshape_spatial::{Joint, SpatialInertia, Xform};
+/// use roboshape_urdf::RobotBuilder;
+///
+/// let mut b = RobotBuilder::new("pendulum");
+/// b.add_link(
+///     "bob",
+///     None,
+///     Joint::revolute(Vec3::unit_y()),
+///     SpatialInertia::point_like(1.0, Vec3::new(0.0, 0.0, -0.5), 0.0),
+/// );
+/// let robot = b.build();
+/// assert_eq!(robot.num_links(), 1);
+/// assert_eq!(robot.link(0).name, "bob");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobotModel {
+    name: String,
+    topology: Topology,
+    links: Vec<LinkModel>,
+    joints: Vec<Joint>,
+    joint_names: Vec<String>,
+}
+
+impl RobotModel {
+    pub(crate) fn from_parts(
+        name: String,
+        topology: Topology,
+        links: Vec<LinkModel>,
+        joints: Vec<Joint>,
+        joint_names: Vec<String>,
+    ) -> RobotModel {
+        assert_eq!(topology.len(), links.len());
+        assert_eq!(topology.len(), joints.len());
+        assert_eq!(topology.len(), joint_names.len());
+        RobotModel { name, topology, links, joints, joint_names }
+    }
+
+    /// Robot name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of moving links `N`.
+    pub fn num_links(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// The kinematic topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Link `i` (name + inertia).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_links()`.
+    pub fn link(&self, i: usize) -> &LinkModel {
+        &self.links[i]
+    }
+
+    /// The joint connecting link `i` to its parent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_links()`.
+    pub fn joint(&self, i: usize) -> &Joint {
+        &self.joints[i]
+    }
+
+    /// The name of link `i`'s parent joint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.num_links()`.
+    pub fn joint_name(&self, i: usize) -> &str {
+        &self.joint_names[i]
+    }
+
+    /// Index of the link named `name`, if any.
+    pub fn link_index(&self, name: &str) -> Option<usize> {
+        self.links.iter().position(|l| l.name == name)
+    }
+
+    /// Iterator over `(index, link, joint)` triples in topological order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &LinkModel, &Joint)> {
+        self.links
+            .iter()
+            .zip(self.joints.iter())
+            .enumerate()
+            .map(|(i, (l, j))| (i, l, j))
+    }
+}
+
+/// Handle returned by [`RobotBuilder::add_link`], used to parent later
+/// links.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkHandle(usize);
+
+/// Incrementally constructs a [`RobotModel`] (used by the robot zoo and
+/// synthetic-robot generators; URDF input goes through
+/// [`crate::parse_urdf`] instead).
+///
+/// Links are appended in topological order by construction: a parent
+/// handle can only come from a previous `add_link` call.
+#[derive(Debug, Clone, Default)]
+pub struct RobotBuilder {
+    name: String,
+    parents: Vec<Option<usize>>,
+    links: Vec<LinkModel>,
+    joints: Vec<Joint>,
+    joint_names: Vec<String>,
+}
+
+impl RobotBuilder {
+    /// Starts a new robot with the given name.
+    pub fn new(name: impl Into<String>) -> RobotBuilder {
+        RobotBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Appends a moving link attached to `parent` (or the fixed base when
+    /// `None`) through `joint`, and returns its handle.
+    ///
+    /// The joint name defaults to `<link-name>_joint`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link with the same name was already added.
+    pub fn add_link(
+        &mut self,
+        name: impl Into<String>,
+        parent: Option<LinkHandle>,
+        joint: Joint,
+        inertia: SpatialInertia,
+    ) -> LinkHandle {
+        let name = name.into();
+        assert!(
+            self.links.iter().all(|l| l.name != name),
+            "duplicate link name `{name}`"
+        );
+        self.parents.push(parent.map(|h| h.0));
+        self.joint_names.push(format!("{name}_joint"));
+        self.links.push(LinkModel { name, inertia });
+        self.joints.push(joint);
+        LinkHandle(self.links.len() - 1)
+    }
+
+    /// Overrides the joint name of the most recently added link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no link has been added yet.
+    pub fn name_last_joint(&mut self, name: impl Into<String>) -> &mut Self {
+        let last = self
+            .joint_names
+            .last_mut()
+            .expect("name_last_joint requires at least one link");
+        *last = name.into();
+        self
+    }
+
+    /// Finalises the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no links were added.
+    pub fn build(self) -> RobotModel {
+        let topology = Topology::new(self.parents).expect("builder guarantees valid parents");
+        RobotModel::from_parts(self.name, topology, self.links, self.joints, self.joint_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_linalg::Vec3;
+    use roboshape_spatial::Xform;
+
+    fn simple_inertia() -> SpatialInertia {
+        SpatialInertia::point_like(1.0, Vec3::new(0.0, 0.0, -0.2), 0.01)
+    }
+
+    #[test]
+    fn builder_constructs_branching_robot() {
+        let mut b = RobotBuilder::new("y");
+        let trunk = b.add_link("trunk", None, Joint::revolute(Vec3::unit_z()), simple_inertia());
+        b.add_link(
+            "left",
+            Some(trunk),
+            Joint::revolute(Vec3::unit_y()).with_tree_xform(Xform::from_translation(Vec3::unit_x())),
+            simple_inertia(),
+        );
+        b.add_link("right", Some(trunk), Joint::revolute(Vec3::unit_y()), simple_inertia());
+        let m = b.build();
+        assert_eq!(m.num_links(), 3);
+        assert_eq!(m.topology().children(0), &[1, 2]);
+        assert_eq!(m.link_index("right"), Some(2));
+        assert_eq!(m.link_index("missing"), None);
+        assert_eq!(m.joint_name(1), "left_joint");
+        assert_eq!(m.iter().count(), 3);
+    }
+
+    #[test]
+    fn joint_names_can_be_overridden() {
+        let mut b = RobotBuilder::new("r");
+        b.add_link("a", None, Joint::revolute(Vec3::unit_z()), simple_inertia());
+        b.name_last_joint("shoulder");
+        let m = b.build();
+        assert_eq!(m.joint_name(0), "shoulder");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate link name")]
+    fn duplicate_link_panics() {
+        let mut b = RobotBuilder::new("r");
+        b.add_link("a", None, Joint::revolute(Vec3::unit_z()), simple_inertia());
+        b.add_link("a", None, Joint::revolute(Vec3::unit_z()), simple_inertia());
+    }
+}

@@ -1,0 +1,580 @@
+//! The URDF semantic layer: XML → [`RobotModel`].
+
+use crate::model::{LinkModel, RobotModel};
+use crate::xml::{self, XmlElement, XmlError};
+use core::fmt;
+use roboshape_linalg::{Mat3, Vec3};
+use roboshape_spatial::{Joint, SpatialInertia, Xform};
+use roboshape_topology::Topology;
+use std::collections::HashMap;
+
+/// Error produced while parsing a URDF document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UrdfError {
+    /// The underlying XML was malformed.
+    Xml(XmlError),
+    /// The root element is not `<robot>`.
+    NotARobot,
+    /// A required attribute was missing.
+    MissingAttr {
+        /// The element the attribute belongs to.
+        element: String,
+        /// The missing attribute.
+        attr: String,
+    },
+    /// A numeric attribute failed to parse.
+    BadNumber {
+        /// The element containing the attribute.
+        element: String,
+        /// The attribute name.
+        attr: String,
+        /// The raw text that failed to parse.
+        text: String,
+    },
+    /// A joint declared an unsupported type.
+    UnknownJointType(String),
+    /// A joint referenced a link that was never declared.
+    MissingLink(String),
+    /// Two links share a name.
+    DuplicateLink(String),
+    /// A link is the child of more than one joint.
+    MultipleParents(String),
+    /// The link/joint graph has no unique root, or is cyclic/disconnected.
+    BadTree(String),
+}
+
+impl fmt::Display for UrdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UrdfError::Xml(e) => write!(f, "{e}"),
+            UrdfError::NotARobot => write!(f, "root element is not <robot>"),
+            UrdfError::MissingAttr { element, attr } => {
+                write!(f, "element <{element}> is missing attribute `{attr}`")
+            }
+            UrdfError::BadNumber { element, attr, text } => {
+                write!(f, "element <{element}> attribute `{attr}` has invalid number `{text}`")
+            }
+            UrdfError::UnknownJointType(t) => write!(f, "unsupported joint type `{t}`"),
+            UrdfError::MissingLink(l) => write!(f, "joint references undeclared link `{l}`"),
+            UrdfError::DuplicateLink(l) => write!(f, "duplicate link `{l}`"),
+            UrdfError::MultipleParents(l) => write!(f, "link `{l}` has multiple parent joints"),
+            UrdfError::BadTree(msg) => write!(f, "invalid kinematic tree: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UrdfError {}
+
+impl From<XmlError> for UrdfError {
+    fn from(e: XmlError) -> Self {
+        UrdfError::Xml(e)
+    }
+}
+
+/// Parses a URDF document into a [`RobotModel`].
+///
+/// The URDF root link (the one that is never a joint child) becomes the
+/// fixed base and is *not* a moving link. Fixed joints are fused: their
+/// child links' inertias are folded into the nearest moving ancestor (or
+/// discarded when that ancestor is the base), exactly as dynamics libraries
+/// like Pinocchio do before running RNEA.
+///
+/// # Errors
+///
+/// Returns a [`UrdfError`] describing the first problem found: malformed
+/// XML, missing attributes, bad numbers, unsupported joint types
+/// (`planar`/`floating`), dangling link references, or a graph that is not
+/// a tree.
+pub fn parse_urdf(input: &str) -> Result<RobotModel, UrdfError> {
+    let root = xml::parse(input)?;
+    if root.name != "robot" {
+        return Err(UrdfError::NotARobot);
+    }
+    let robot_name = root.attr("name").unwrap_or("robot").to_string();
+
+    // Collect links.
+    let mut link_inertia: HashMap<String, SpatialInertia> = HashMap::new();
+    let mut link_order: Vec<String> = Vec::new();
+    for link_el in root.children_named("link") {
+        let name = require_attr(link_el, "name")?.to_string();
+        if link_inertia.contains_key(&name) {
+            return Err(UrdfError::DuplicateLink(name));
+        }
+        link_order.push(name.clone());
+        link_inertia.insert(name, parse_inertial(link_el)?);
+    }
+
+    // Collect joints.
+    struct RawJoint {
+        name: String,
+        kind: String,
+        parent: String,
+        child: String,
+        origin: Xform,
+        axis: Vec3,
+    }
+    let mut joints = Vec::new();
+    for joint_el in root.children_named("joint") {
+        let name = require_attr(joint_el, "name")?.to_string();
+        let kind = require_attr(joint_el, "type")?.to_string();
+        let parent = joint_el
+            .child("parent")
+            .ok_or_else(|| UrdfError::MissingAttr { element: "joint".into(), attr: "parent".into() })
+            .and_then(|p| require_attr(p, "link").map(str::to_string))?;
+        let child = joint_el
+            .child("child")
+            .ok_or_else(|| UrdfError::MissingAttr { element: "joint".into(), attr: "child".into() })
+            .and_then(|c| require_attr(c, "link").map(str::to_string))?;
+        for l in [&parent, &child] {
+            if !link_inertia.contains_key(l) {
+                return Err(UrdfError::MissingLink(l.clone()));
+            }
+        }
+        let origin = parse_origin(joint_el)?;
+        let axis = match joint_el.child("axis") {
+            Some(a) => parse_vec3(a, "xyz")?,
+            None => Vec3::unit_x(),
+        };
+        joints.push(RawJoint { name, kind, parent, child, origin, axis });
+    }
+
+    // Resolve the tree: find the unique root.
+    let mut child_of: HashMap<&str, usize> = HashMap::new();
+    for (ji, j) in joints.iter().enumerate() {
+        if child_of.insert(j.child.as_str(), ji).is_some() {
+            return Err(UrdfError::MultipleParents(j.child.clone()));
+        }
+    }
+    let roots: Vec<&String> = link_order.iter().filter(|l| !child_of.contains_key(l.as_str())).collect();
+    let root_link = match roots.as_slice() {
+        [r] => (*r).clone(),
+        [] => return Err(UrdfError::BadTree("no root link (cycle)".into())),
+        _ => {
+            return Err(UrdfError::BadTree(format!(
+                "multiple root links: {}",
+                roots.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+            )))
+        }
+    };
+
+    // Children adjacency by parent link name.
+    let mut joints_of_parent: HashMap<&str, Vec<usize>> = HashMap::new();
+    for (ji, j) in joints.iter().enumerate() {
+        joints_of_parent.entry(j.parent.as_str()).or_default().push(ji);
+    }
+
+    // Depth-first walk from the root in joint document order, fusing fixed
+    // joints. Depth-first matters for determinism: link indices then match
+    // the natural "one limb after another" order a human (or the
+    // RobotBuilder) would write, and round-tripping through write_urdf is
+    // index-stable.
+    //
+    // For every URDF link we track (moving_parent, offset): the index of the
+    // nearest moving ancestor link (None = the fixed base) and the transform
+    // from that ancestor's frame to this link's frame.
+    struct Walk<'j> {
+        joints: &'j [RawJoint],
+        joints_of_parent: HashMap<&'j str, Vec<usize>>,
+        parents: Vec<Option<usize>>,
+        links: Vec<LinkModel>,
+        out_joints: Vec<Joint>,
+        joint_names: Vec<String>,
+        link_inertia: HashMap<String, SpatialInertia>,
+        visited: usize,
+    }
+
+    impl Walk<'_> {
+        fn visit(
+            &mut self,
+            link_name: &str,
+            moving_parent: Option<usize>,
+            offset: Xform,
+        ) -> Result<(), UrdfError> {
+            let mut child_joints = self
+                .joints_of_parent
+                .get(link_name)
+                .cloned()
+                .unwrap_or_default();
+            child_joints.sort_unstable();
+            for ji in child_joints {
+                let (kind, child, name, axis, origin) = {
+                    let j = &self.joints[ji];
+                    (j.kind.clone(), j.child.clone(), j.name.clone(), j.axis, j.origin)
+                };
+                self.visited += 1;
+                // Transform from the nearest moving ancestor's frame to the
+                // child link frame at q = 0.
+                let tree = origin.compose(&offset);
+                match kind.as_str() {
+                    "revolute" | "continuous" | "prismatic" => {
+                        let joint = if kind == "prismatic" {
+                            Joint::prismatic(axis)
+                        } else {
+                            Joint::revolute(axis)
+                        }
+                        .with_tree_xform(tree);
+                        self.parents.push(moving_parent);
+                        self.out_joints.push(joint);
+                        self.joint_names.push(name);
+                        self.links.push(LinkModel {
+                            name: child.clone(),
+                            inertia: self.link_inertia[&child],
+                        });
+                        let idx = self.links.len() - 1;
+                        self.visit(&child, Some(idx), Xform::identity())?;
+                    }
+                    "fixed" => {
+                        // Fold the child inertia into the moving ancestor.
+                        if let Some(p) = moving_parent {
+                            let folded = self.link_inertia[&child].transform(&tree.inverse());
+                            self.links[p].inertia = self.links[p].inertia.add(&folded);
+                        }
+                        self.visit(&child, moving_parent, tree)?;
+                    }
+                    other => return Err(UrdfError::UnknownJointType(other.to_string())),
+                }
+            }
+            Ok(())
+        }
+    }
+
+    let mut walk = Walk {
+        joints: &joints,
+        joints_of_parent,
+        parents: Vec::new(),
+        links: Vec::new(),
+        out_joints: Vec::new(),
+        joint_names: Vec::new(),
+        link_inertia,
+        visited: 1,
+    };
+    walk.visit(&root_link, None, Xform::identity())?;
+    let Walk { parents, links, out_joints, joint_names, visited, link_inertia, .. } = walk;
+    let link_order_len = link_order.len();
+    let _ = link_inertia;
+
+    if visited != link_order_len {
+        return Err(UrdfError::BadTree(format!(
+            "{visited} of {link_order_len} links reachable from root"
+        )));
+    }
+    if links.is_empty() {
+        return Err(UrdfError::BadTree("robot has no moving links".into()));
+    }
+
+    let topology = Topology::new(parents)
+        .map_err(|e| UrdfError::BadTree(e.to_string()))?;
+    Ok(RobotModel::from_parts(robot_name, topology, links, out_joints, joint_names))
+}
+
+fn require_attr<'a>(el: &'a XmlElement, attr: &str) -> Result<&'a str, UrdfError> {
+    el.attr(attr).ok_or_else(|| UrdfError::MissingAttr {
+        element: el.name.clone(),
+        attr: attr.to_string(),
+    })
+}
+
+fn parse_floats(el: &XmlElement, attr: &str, expected: usize) -> Result<Vec<f64>, UrdfError> {
+    let text = require_attr(el, attr)?;
+    let vals: Result<Vec<f64>, _> = text.split_whitespace().map(str::parse::<f64>).collect();
+    match vals {
+        Ok(v) if v.len() == expected => Ok(v),
+        _ => Err(UrdfError::BadNumber {
+            element: el.name.clone(),
+            attr: attr.to_string(),
+            text: text.to_string(),
+        }),
+    }
+}
+
+fn parse_vec3(el: &XmlElement, attr: &str) -> Result<Vec3, UrdfError> {
+    let v = parse_floats(el, attr, 3)?;
+    Ok(Vec3::new(v[0], v[1], v[2]))
+}
+
+fn parse_scalar(el: &XmlElement, attr: &str) -> Result<f64, UrdfError> {
+    Ok(parse_floats(el, attr, 1)?[0])
+}
+
+/// Parses an `<origin xyz=".." rpy="..">` child into a frame transform.
+fn parse_origin(el: &XmlElement) -> Result<Xform, UrdfError> {
+    match el.child("origin") {
+        None => Ok(Xform::identity()),
+        Some(o) => {
+            let xyz = if o.attr("xyz").is_some() { parse_vec3(o, "xyz")? } else { Vec3::ZERO };
+            let rpy = if o.attr("rpy").is_some() {
+                let v = parse_floats(o, "rpy", 3)?;
+                [v[0], v[1], v[2]]
+            } else {
+                [0.0; 3]
+            };
+            Ok(Xform::from_origin(xyz, rpy))
+        }
+    }
+}
+
+/// Parses a link's `<inertial>` block into a spatial inertia in the link
+/// frame. Links without an inertial block are massless.
+fn parse_inertial(link_el: &XmlElement) -> Result<SpatialInertia, UrdfError> {
+    let Some(inertial) = link_el.child("inertial") else {
+        return Ok(SpatialInertia::zero());
+    };
+    let mass = match inertial.child("mass") {
+        Some(m) => {
+            let v = parse_scalar(m, "value")?;
+            if v < 0.0 || !v.is_finite() {
+                return Err(UrdfError::BadNumber {
+                    element: "mass".into(),
+                    attr: "value".into(),
+                    text: format!("{v} (mass must be a non-negative finite number)"),
+                });
+            }
+            v
+        }
+        None => 0.0,
+    };
+    let (com, rot) = match inertial.child("origin") {
+        Some(o) => {
+            let xyz = if o.attr("xyz").is_some() { parse_vec3(o, "xyz")? } else { Vec3::ZERO };
+            let rpy = if o.attr("rpy").is_some() {
+                let v = parse_floats(o, "rpy", 3)?;
+                Mat3::from_rpy(v[0], v[1], v[2])
+            } else {
+                Mat3::identity()
+            };
+            (xyz, rpy)
+        }
+        None => (Vec3::ZERO, Mat3::identity()),
+    };
+    let i_com = match inertial.child("inertia") {
+        Some(i) => {
+            let ixx = parse_scalar(i, "ixx")?;
+            let iyy = parse_scalar(i, "iyy")?;
+            let izz = parse_scalar(i, "izz")?;
+            let ixy = if i.attr("ixy").is_some() { parse_scalar(i, "ixy")? } else { 0.0 };
+            let ixz = if i.attr("ixz").is_some() { parse_scalar(i, "ixz")? } else { 0.0 };
+            let iyz = if i.attr("iyz").is_some() { parse_scalar(i, "iyz")? } else { 0.0 };
+            let local = Mat3::from_rows([[ixx, ixy, ixz], [ixy, iyy, iyz], [ixz, iyz, izz]]);
+            // Rotate the inertia from the inertial frame into the link frame.
+            rot * local * rot.transpose()
+        }
+        None => Mat3::zero(),
+    };
+    Ok(SpatialInertia::from_mass_com_inertia(mass, com, i_com))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TWO_LINK: &str = r#"
+        <robot name="two_link">
+          <link name="base"/>
+          <link name="upper">
+            <inertial>
+              <origin xyz="0 0 -0.2"/>
+              <mass value="1.5"/>
+              <inertia ixx="0.01" iyy="0.01" izz="0.002"/>
+            </inertial>
+          </link>
+          <link name="lower">
+            <inertial>
+              <origin xyz="0 0 -0.15"/>
+              <mass value="0.8"/>
+              <inertia ixx="0.005" iyy="0.005" izz="0.001"/>
+            </inertial>
+          </link>
+          <joint name="shoulder" type="revolute">
+            <parent link="base"/>
+            <child link="upper"/>
+            <axis xyz="0 1 0"/>
+          </joint>
+          <joint name="elbow" type="revolute">
+            <parent link="upper"/>
+            <child link="lower"/>
+            <origin xyz="0 0 -0.4"/>
+            <axis xyz="0 1 0"/>
+          </joint>
+        </robot>"#;
+
+    #[test]
+    fn parses_two_link_arm() {
+        let m = parse_urdf(TWO_LINK).unwrap();
+        assert_eq!(m.name(), "two_link");
+        assert_eq!(m.num_links(), 2);
+        assert_eq!(m.link(0).name, "upper");
+        assert_eq!(m.link(1).name, "lower");
+        assert_eq!(m.joint_name(0), "shoulder");
+        assert_eq!(m.topology().parent(1), Some(0));
+        assert!((m.joint(1).tree_xform().translation().z - (-0.4)).abs() < 1e-12);
+        assert!((m.link(0).inertia.mass() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_joints_are_fused() {
+        let urdf = r#"
+        <robot name="fused">
+          <link name="base"/>
+          <link name="arm">
+            <inertial><mass value="1.0"/><inertia ixx="0.1" iyy="0.1" izz="0.1"/></inertial>
+          </link>
+          <link name="tool">
+            <inertial><origin xyz="0 0 0"/><mass value="0.5"/><inertia ixx="0.01" iyy="0.01" izz="0.01"/></inertial>
+          </link>
+          <joint name="j1" type="revolute">
+            <parent link="base"/><child link="arm"/><axis xyz="0 0 1"/>
+          </joint>
+          <joint name="mount" type="fixed">
+            <parent link="arm"/><child link="tool"/>
+            <origin xyz="0 0 -0.3"/>
+          </joint>
+        </robot>"#;
+        let m = parse_urdf(urdf).unwrap();
+        assert_eq!(m.num_links(), 1);
+        // The tool's 0.5 kg folded into the arm.
+        assert!((m.link(0).inertia.mass() - 1.5).abs() < 1e-12);
+        // CoM pulled toward the tool (at z = -0.3 in arm coordinates).
+        let com = m.link(0).inertia.com().unwrap();
+        assert!(com.z < -1e-6, "com z = {}", com.z);
+    }
+
+    #[test]
+    fn branching_robot_parses_with_base_roots() {
+        let urdf = r#"
+        <robot name="torso">
+          <link name="chest"/>
+          <link name="head"><inertial><mass value="1"/><inertia ixx="0.1" iyy="0.1" izz="0.1"/></inertial></link>
+          <link name="arm"><inertial><mass value="2"/><inertia ixx="0.1" iyy="0.1" izz="0.1"/></inertial></link>
+          <joint name="neck" type="revolute"><parent link="chest"/><child link="head"/><axis xyz="0 0 1"/></joint>
+          <joint name="shoulder" type="revolute"><parent link="chest"/><child link="arm"/><axis xyz="0 1 0"/></joint>
+        </robot>"#;
+        let m = parse_urdf(urdf).unwrap();
+        assert_eq!(m.num_links(), 2);
+        assert_eq!(m.topology().roots().len(), 2);
+    }
+
+    #[test]
+    fn continuous_joints_are_revolute() {
+        let urdf = r#"
+        <robot name="wheel">
+          <link name="base"/>
+          <link name="rim"><inertial><mass value="1"/><inertia ixx="0.1" iyy="0.1" izz="0.1"/></inertial></link>
+          <joint name="spin" type="continuous"><parent link="base"/><child link="rim"/><axis xyz="0 0 1"/></joint>
+        </robot>"#;
+        let m = parse_urdf(urdf).unwrap();
+        assert_eq!(m.num_links(), 1);
+        assert_eq!(m.joint(0).dof(), 1);
+    }
+
+    #[test]
+    fn unsupported_joint_type_rejected() {
+        let urdf = r#"
+        <robot name="f">
+          <link name="a"/><link name="b"/>
+          <joint name="j" type="floating"><parent link="a"/><child link="b"/></joint>
+        </robot>"#;
+        assert_eq!(
+            parse_urdf(urdf),
+            Err(UrdfError::UnknownJointType("floating".into()))
+        );
+    }
+
+    #[test]
+    fn missing_link_reference_rejected() {
+        let urdf = r#"
+        <robot name="f">
+          <link name="a"/>
+          <joint name="j" type="revolute"><parent link="a"/><child link="ghost"/></joint>
+        </robot>"#;
+        assert_eq!(parse_urdf(urdf), Err(UrdfError::MissingLink("ghost".into())));
+    }
+
+    #[test]
+    fn duplicate_link_rejected() {
+        let urdf = r#"<robot name="f"><link name="a"/><link name="a"/></robot>"#;
+        assert_eq!(parse_urdf(urdf), Err(UrdfError::DuplicateLink("a".into())));
+    }
+
+    #[test]
+    fn multiple_roots_rejected() {
+        let urdf = r#"
+        <robot name="f">
+          <link name="a"/><link name="b"/><link name="c"/>
+          <joint name="j" type="revolute"><parent link="a"/><child link="c"/></joint>
+        </robot>"#;
+        match parse_urdf(urdf) {
+            Err(UrdfError::BadTree(msg)) => assert!(msg.contains("multiple root")),
+            other => panic!("expected BadTree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_graph_rejected() {
+        let urdf = r#"
+        <robot name="f">
+          <link name="a"/><link name="b"/>
+          <joint name="j1" type="revolute"><parent link="a"/><child link="b"/></joint>
+          <joint name="j2" type="revolute"><parent link="b"/><child link="a"/></joint>
+        </robot>"#;
+        match parse_urdf(urdf) {
+            Err(UrdfError::BadTree(_)) => {}
+            other => panic!("expected BadTree, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_robot_root_rejected() {
+        assert_eq!(parse_urdf("<model name=\"x\"/>"), Err(UrdfError::NotARobot));
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let urdf = r#"
+        <robot name="f">
+          <link name="a"/>
+          <link name="b"><inertial><mass value="heavy"/></inertial></link>
+          <joint name="j" type="revolute"><parent link="a"/><child link="b"/></joint>
+        </robot>"#;
+        match parse_urdf(urdf) {
+            Err(UrdfError::BadNumber { attr, .. }) => assert_eq!(attr, "value"),
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_descriptive() {
+        let err = UrdfError::MissingAttr { element: "joint".into(), attr: "type".into() };
+        assert!(err.to_string().contains("joint"));
+        assert!(UrdfError::NotARobot.to_string().contains("robot"));
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+
+    #[test]
+    fn negative_mass_is_an_error_not_a_panic() {
+        let urdf = r#"
+        <robot name="f">
+          <link name="a"/>
+          <link name="b"><inertial><mass value="-0.8"/></inertial></link>
+          <joint name="j" type="revolute"><parent link="a"/><child link="b"/></joint>
+        </robot>"#;
+        match parse_urdf(urdf) {
+            Err(UrdfError::BadNumber { element, .. }) => assert_eq!(element, "mass"),
+            other => panic!("expected BadNumber, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_mass_is_rejected() {
+        let urdf = r#"
+        <robot name="f">
+          <link name="a"/>
+          <link name="b"><inertial><mass value="inf"/></inertial></link>
+          <joint name="j" type="revolute"><parent link="a"/><child link="b"/></joint>
+        </robot>"#;
+        assert!(matches!(parse_urdf(urdf), Err(UrdfError::BadNumber { .. })));
+    }
+}

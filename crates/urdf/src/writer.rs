@@ -1,0 +1,165 @@
+//! URDF export: [`RobotModel`] → URDF XML text.
+//!
+//! The robot zoo builds its models programmatically and exports them
+//! through this writer, so the full framework pipeline (URDF in → hardware
+//! out, paper Fig. 7) can be exercised end-to-end with byte-addressable
+//! robot description files. Round-tripping through [`crate::parse_urdf`]
+//! reproduces the model (tested property-style in the robots crate).
+
+use crate::RobotModel;
+use core::fmt::Write as _;
+use roboshape_spatial::JointKind;
+
+/// Serialises a robot model as a URDF document.
+///
+/// The fixed base becomes a massless `base_link`; every moving link becomes
+/// a `<link>` with its inertial block, connected by a `<joint>` carrying
+/// the joint's tree transform as its `<origin>`.
+///
+/// # Examples
+///
+/// ```
+/// use roboshape_linalg::Vec3;
+/// use roboshape_spatial::{Joint, SpatialInertia};
+/// use roboshape_urdf::{parse_urdf, write_urdf, RobotBuilder};
+///
+/// let mut b = RobotBuilder::new("mini");
+/// b.add_link(
+///     "l1",
+///     None,
+///     Joint::revolute(Vec3::unit_z()),
+///     SpatialInertia::point_like(1.0, Vec3::new(0.0, 0.0, -0.1), 0.01),
+/// );
+/// let urdf = write_urdf(&b.build());
+/// let reparsed = parse_urdf(&urdf)?;
+/// assert_eq!(reparsed.num_links(), 1);
+/// # Ok::<(), roboshape_urdf::UrdfError>(())
+/// ```
+pub fn write_urdf(model: &RobotModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<?xml version=\"1.0\"?>");
+    let _ = writeln!(out, "<robot name=\"{}\">", model.name());
+    let _ = writeln!(out, "  <link name=\"base_link\"/>");
+
+    for i in 0..model.num_links() {
+        let link = model.link(i);
+        let _ = writeln!(out, "  <link name=\"{}\">", link.name);
+        let mass = link.inertia.mass();
+        let com = link.inertia.com().unwrap_or(roboshape_linalg::Vec3::ZERO);
+        let ic = link.inertia.rotational_about_com();
+        let _ = writeln!(out, "    <inertial>");
+        let _ = writeln!(out, "      <origin xyz=\"{} {} {}\"/>", com.x, com.y, com.z);
+        let _ = writeln!(out, "      <mass value=\"{mass}\"/>");
+        let _ = writeln!(
+            out,
+            "      <inertia ixx=\"{}\" ixy=\"{}\" ixz=\"{}\" iyy=\"{}\" iyz=\"{}\" izz=\"{}\"/>",
+            ic.get(0, 0),
+            ic.get(0, 1),
+            ic.get(0, 2),
+            ic.get(1, 1),
+            ic.get(1, 2),
+            ic.get(2, 2)
+        );
+        let _ = writeln!(out, "    </inertial>");
+        let _ = writeln!(out, "  </link>");
+    }
+
+    for i in 0..model.num_links() {
+        let joint = model.joint(i);
+        let (type_name, axis) = match joint.kind() {
+            JointKind::Revolute { axis } => ("revolute", Some(axis)),
+            JointKind::Prismatic { axis } => ("prismatic", Some(axis)),
+            JointKind::Fixed => ("fixed", None),
+        };
+        let parent_name = match model.topology().parent(i) {
+            Some(p) => model.link(p).name.clone(),
+            None => "base_link".to_string(),
+        };
+        let tree = joint.tree_xform();
+        let xyz = tree.translation();
+        // `Xform` stores E (parent→child coordinates); the URDF origin
+        // rotation is the child frame's orientation in the parent, i.e. Eᵀ.
+        let rpy = tree.rotation().transpose().to_rpy();
+        let _ = writeln!(out, "  <joint name=\"{}\" type=\"{type_name}\">", model.joint_name(i));
+        let _ = writeln!(out, "    <parent link=\"{parent_name}\"/>");
+        let _ = writeln!(out, "    <child link=\"{}\"/>", model.link(i).name);
+        let _ = writeln!(
+            out,
+            "    <origin xyz=\"{} {} {}\" rpy=\"{} {} {}\"/>",
+            xyz.x, xyz.y, xyz.z, rpy[0], rpy[1], rpy[2]
+        );
+        if let Some(a) = axis {
+            let _ = writeln!(out, "    <axis xyz=\"{} {} {}\"/>", a.x, a.y, a.z);
+        }
+        if type_name == "revolute" {
+            let _ = writeln!(
+                out,
+                "    <limit lower=\"-3.1416\" upper=\"3.1416\" effort=\"100\" velocity=\"3\"/>"
+            );
+        }
+        let _ = writeln!(out, "  </joint>");
+    }
+
+    let _ = writeln!(out, "</robot>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse_urdf, RobotBuilder};
+    use roboshape_linalg::Vec3;
+    use roboshape_spatial::{Joint, SpatialInertia, Xform};
+
+    #[test]
+    fn roundtrip_preserves_structure_and_inertia() {
+        let mut b = RobotBuilder::new("rt");
+        let trunk = b.add_link(
+            "trunk",
+            None,
+            Joint::revolute(Vec3::unit_z()).with_tree_xform(Xform::from_origin(
+                Vec3::new(0.1, 0.0, 0.4),
+                [0.0, 0.3, 0.0],
+            )),
+            SpatialInertia::point_like(4.0, Vec3::new(0.0, 0.0, -0.2), 0.05),
+        );
+        b.add_link(
+            "wing",
+            Some(trunk),
+            Joint::prismatic(Vec3::unit_x())
+                .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.2, 0.0))),
+            SpatialInertia::point_like(1.0, Vec3::new(0.1, 0.0, 0.0), 0.01),
+        );
+        let original = b.build();
+        let reparsed = parse_urdf(&write_urdf(&original)).unwrap();
+
+        assert_eq!(reparsed.num_links(), original.num_links());
+        assert_eq!(reparsed.topology(), original.topology());
+        for i in 0..original.num_links() {
+            assert_eq!(reparsed.link(i).name, original.link(i).name);
+            let a = original.link(i).inertia.to_mat6();
+            let b = reparsed.link(i).inertia.to_mat6();
+            assert!(a.distance(&b) < 1e-9, "inertia mismatch on link {i}");
+            let xa = original.joint(i).tree_xform().to_mat6();
+            let xb = reparsed.joint(i).tree_xform().to_mat6();
+            assert!(xa.distance(&xb) < 1e-9, "tree xform mismatch on link {i}");
+            assert_eq!(original.joint(i).kind(), reparsed.joint(i).kind());
+        }
+    }
+
+    #[test]
+    fn output_contains_expected_elements() {
+        let mut b = RobotBuilder::new("doc");
+        b.add_link(
+            "only",
+            None,
+            Joint::revolute(Vec3::unit_y()),
+            SpatialInertia::point_like(1.0, Vec3::ZERO, 0.01),
+        );
+        let urdf = write_urdf(&b.build());
+        assert!(urdf.contains("<robot name=\"doc\">"));
+        assert!(urdf.contains("base_link"));
+        assert!(urdf.contains("type=\"revolute\""));
+        assert!(urdf.contains("<axis xyz=\"0 1 0\"/>"));
+    }
+}

@@ -1,0 +1,353 @@
+//! A minimal XML parser, sufficient for URDF files.
+//!
+//! Supports elements, attributes (single- or double-quoted), self-closing
+//! tags, comments, processing instructions / XML declarations, character
+//! data (collected but unused by URDF), and the five predefined entities.
+//! It does **not** support DTDs, namespaces beyond treating `a:b` as a
+//! plain name, or CDATA sections — URDF files in the wild use none of
+//! these.
+
+use core::fmt;
+
+/// A parsed XML element.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct XmlElement {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<XmlElement>,
+    /// Concatenated character data directly inside this element.
+    pub text: String,
+}
+
+impl XmlElement {
+    /// The value of attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The first child element with tag `name`.
+    pub fn child(&self, name: &str) -> Option<&XmlElement> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// All child elements with tag `name`.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a XmlElement> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+}
+
+/// Error produced by the XML parser, with a byte offset into the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct XmlError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+/// Parses a document and returns its root element.
+///
+/// # Errors
+///
+/// Returns [`XmlError`] on malformed input (unclosed tags, mismatched
+/// closing tags, bad attribute syntax, missing root, trailing garbage).
+///
+/// # Examples
+///
+/// ```
+/// let root = roboshape_urdf::xml::parse("<a x=\"1\"><b/></a>")?;
+/// assert_eq!(root.name, "a");
+/// assert_eq!(root.attr("x"), Some("1"));
+/// assert_eq!(root.children.len(), 1);
+/// # Ok::<(), roboshape_urdf::xml::XmlError>(())
+/// ```
+pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
+    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if p.pos < p.input.len() {
+        return Err(p.err("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    input: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> XmlError {
+        XmlError { offset: self.pos, message: message.to_string() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.input.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.input[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_until(&mut self, pat: &str) -> Result<(), XmlError> {
+        match self.input[self.pos..]
+            .windows(pat.len())
+            .position(|w| w == pat.as_bytes())
+        {
+            Some(i) => {
+                self.pos += i + pat.len();
+                Ok(())
+            }
+            None => Err(self.err(&format!("expected `{pat}`"))),
+        }
+    }
+
+    /// Skips whitespace, comments, and processing instructions.
+    fn skip_misc(&mut self) -> Result<(), XmlError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_prolog(&mut self) -> Result<(), XmlError> {
+        self.skip_misc()?;
+        if self.starts_with("<!DOCTYPE") {
+            self.skip_until(">")?;
+            self.skip_misc()?;
+        }
+        Ok(())
+    }
+
+    fn parse_name(&mut self) -> Result<String, XmlError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || matches!(c, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.input[start..self.pos]).into_owned())
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, XmlError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        self.pos += 1;
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                let raw = String::from_utf8_lossy(&self.input[start..self.pos]).into_owned();
+                self.pos += 1;
+                return Ok(unescape(&raw));
+            }
+            self.pos += 1;
+        }
+        Err(self.err("unterminated attribute value"))
+    }
+
+    fn parse_element(&mut self) -> Result<XmlElement, XmlError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.err("expected `<`"));
+        }
+        self.pos += 1;
+        let name = self.parse_name()?;
+        let mut el = XmlElement { name, ..Default::default() };
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.pos += 1;
+                    if self.peek() != Some(b'>') {
+                        return Err(self.err("expected `>` after `/`"));
+                    }
+                    self.pos += 1;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(_) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.err("expected `=` in attribute"));
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    el.attrs.push((key, value));
+                }
+                None => return Err(self.err("unexpected end of input in tag")),
+            }
+        }
+        // Content until the matching close tag.
+        loop {
+            let text_start = self.pos;
+            while let Some(c) = self.peek() {
+                if c == b'<' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > text_start {
+                let chunk = String::from_utf8_lossy(&self.input[text_start..self.pos]);
+                let trimmed = chunk.trim();
+                if !trimmed.is_empty() {
+                    if !el.text.is_empty() {
+                        el.text.push(' ');
+                    }
+                    el.text.push_str(&unescape(trimmed));
+                }
+            }
+            if self.peek().is_none() {
+                return Err(self.err("unexpected end of input in element content"));
+            }
+            if self.starts_with("<!--") {
+                self.pos += 4;
+                self.skip_until("-->")?;
+            } else if self.starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != el.name {
+                    return Err(self.err(&format!(
+                        "mismatched closing tag `{close}` (expected `{}`)",
+                        el.name
+                    )));
+                }
+                self.skip_ws();
+                if self.peek() != Some(b'>') {
+                    return Err(self.err("expected `>` in closing tag"));
+                }
+                self.pos += 1;
+                return Ok(el);
+            } else if self.starts_with("<?") {
+                self.pos += 2;
+                self.skip_until("?>")?;
+            } else {
+                el.children.push(self.parse_element()?);
+            }
+        }
+    }
+}
+
+fn unescape(s: &str) -> String {
+    if !s.contains('&') {
+        return s.to_string();
+    }
+    s.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&quot;", "\"")
+        .replace("&apos;", "'")
+        .replace("&amp;", "&")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_document() {
+        let root = parse("<robot name=\"x\"><link name=\"a\"/><link name=\"b\"/></robot>").unwrap();
+        assert_eq!(root.name, "robot");
+        assert_eq!(root.attr("name"), Some("x"));
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children_named("link").count(), 2);
+        assert!(root.child("joint").is_none());
+    }
+
+    #[test]
+    fn xml_declaration_and_comments() {
+        let doc = "<?xml version=\"1.0\"?>\n<!-- a robot -->\n<r><!-- inner --><c/></r>\n";
+        let root = parse(doc).unwrap();
+        assert_eq!(root.name, "r");
+        assert_eq!(root.children.len(), 1);
+    }
+
+    #[test]
+    fn nested_elements_and_text() {
+        let root = parse("<a>hello <b>world</b> tail</a>").unwrap();
+        assert_eq!(root.text, "hello tail");
+        assert_eq!(root.child("b").unwrap().text, "world");
+    }
+
+    #[test]
+    fn single_quoted_attributes_and_entities() {
+        let root = parse("<a x='1 &amp; 2'/>").unwrap();
+        assert_eq!(root.attr("x"), Some("1 & 2"));
+    }
+
+    #[test]
+    fn doctype_is_skipped() {
+        let root = parse("<!DOCTYPE robot><r/>").unwrap();
+        assert_eq!(root.name, "r");
+    }
+
+    #[test]
+    fn mismatched_close_tag_fails() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn unterminated_fails() {
+        assert!(parse("<a><b/>").is_err());
+        assert!(parse("<a x=\"1>").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_fails() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn error_display_contains_offset() {
+        let err = parse("<a attr></a>").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn attribute_whitespace_tolerance() {
+        let root = parse("<a x = \"1\"   y='2' />").unwrap();
+        assert_eq!(root.attr("x"), Some("1"));
+        assert_eq!(root.attr("y"), Some("2"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Fuzz-style robustness tests: malformed robot descriptions must produce
+//! errors, never panics — a robot description file is untrusted input to
+//! the framework.
+
+use proptest::prelude::*;
+use roboshape_urdf::parse_urdf;
+
+const VALID: &str = r#"
+<robot name="fuzz_base">
+  <link name="base"/>
+  <link name="a">
+    <inertial><origin xyz="0 0 -0.2"/><mass value="1.5"/>
+      <inertia ixx="0.01" iyy="0.01" izz="0.002"/></inertial>
+  </link>
+  <link name="b">
+    <inertial><origin xyz="0 0 -0.1"/><mass value="0.8"/>
+      <inertia ixx="0.005" iyy="0.005" izz="0.001"/></inertial>
+  </link>
+  <joint name="j1" type="revolute">
+    <parent link="base"/><child link="a"/><axis xyz="0 1 0"/>
+  </joint>
+  <joint name="j2" type="revolute">
+    <parent link="a"/><child link="b"/>
+    <origin xyz="0 0 -0.4" rpy="0 0.1 0"/><axis xyz="0 1 0"/>
+  </joint>
+</robot>"#;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(input in ".{0,400}") {
+        let _ = parse_urdf(&input);
+    }
+
+    /// Arbitrary bytes shaped like XML never panic the parser.
+    #[test]
+    fn xmlish_soup_never_panics(parts in proptest::collection::vec("[<>/=\"a-z0-9 ]{0,20}", 0..24)) {
+        let doc = parts.concat();
+        let _ = parse_urdf(&doc);
+    }
+
+    /// Deleting a random slice of a valid document never panics (and, when
+    /// it still parses, yields a structurally valid model).
+    #[test]
+    fn truncation_mutations_never_panic(start in 0usize..500, len in 0usize..200) {
+        let bytes = VALID.as_bytes();
+        let s = start.min(bytes.len());
+        let e = (start + len).min(bytes.len());
+        let mut mutated = Vec::new();
+        mutated.extend_from_slice(&bytes[..s]);
+        mutated.extend_from_slice(&bytes[e..]);
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        if let Ok(model) = parse_urdf(&text) {
+            // Any surviving parse must be internally consistent.
+            prop_assert!(model.num_links() >= 1);
+            for i in 0..model.num_links() {
+                if let Some(p) = model.topology().parent(i) {
+                    prop_assert!(p < i);
+                }
+            }
+        }
+    }
+
+    /// Byte substitutions never panic.
+    #[test]
+    fn substitution_mutations_never_panic(pos in 0usize..500, byte in 0u8..128) {
+        let mut bytes = VALID.as_bytes().to_vec();
+        if pos < bytes.len() {
+            bytes[pos] = byte;
+        }
+        let text = String::from_utf8_lossy(&bytes).into_owned();
+        let _ = parse_urdf(&text);
+    }
+
+    /// Duplicating a random slice never panics.
+    #[test]
+    fn duplication_mutations_never_panic(start in 0usize..500, len in 1usize..80) {
+        let bytes = VALID.as_bytes();
+        let s = start.min(bytes.len());
+        let e = (start + len).min(bytes.len());
+        let mut mutated = Vec::new();
+        mutated.extend_from_slice(&bytes[..e]);
+        mutated.extend_from_slice(&bytes[s..e]);
+        mutated.extend_from_slice(&bytes[e..]);
+        let text = String::from_utf8_lossy(&mutated).into_owned();
+        let _ = parse_urdf(&text);
+    }
+}
+
+#[test]
+fn the_seed_document_is_valid() {
+    let model = parse_urdf(VALID).expect("seed must parse");
+    assert_eq!(model.num_links(), 2);
+}

@@ -1,0 +1,62 @@
+//! SoC co-design: navigating a robot's accelerator design space.
+//!
+//! A robotics SoC will host the dynamics-gradient accelerator next to
+//! other IP, so its area budget is negotiable. This example sweeps
+//! Baxter's full knob space (the paper's Fig. 12), prints the Pareto
+//! frontier, compares the six allocation strategies (Fig. 13), and shows
+//! what an 80%-threshold platform constraint does to the choice (Fig. 16).
+//!
+//! Run with: `cargo run --release --example codesign_sweep`
+
+use roboshape::{constrained_selection, evaluate_strategies, pareto_frontier};
+use roboshape_suite::prelude::*;
+
+fn main() {
+    let robot = zoo(Zoo::Baxter);
+    let fw = Framework::from_model(robot.clone());
+    println!("design space for {} ({} links)", robot.name(), robot.num_links());
+
+    // Fig. 12: the full sweep.
+    let points = fw.design_space();
+    println!("swept {} design points (PEs_fwd x PEs_bwd x block)", points.len());
+    let frontier = pareto_frontier(&points);
+    println!("\nPareto frontier (latency vs LUTs), {} points:", frontier.len());
+    for p in &frontier {
+        println!(
+            "  ({:>2},{:>2}, b{:<2})  {:>5} cycles  {:>9.0} LUTs  {:>6.0} DSPs",
+            p.pe_fwd, p.pe_bwd, p.block, p.total_cycles, p.resources.luts, p.resources.dsps
+        );
+    }
+
+    // Fig. 13: allocation strategies.
+    println!("\nallocation strategies (traversal latency):");
+    for o in evaluate_strategies(robot.topology()) {
+        println!(
+            "  {:<20} PEs=({:>2},{:>2})  {:>5} cycles  {:>9.0} LUTs  {}",
+            o.strategy.name(),
+            o.pe_fwd,
+            o.pe_bwd,
+            o.latency_cycles,
+            o.resources.luts,
+            if o.achieves_min_latency { "min latency" } else { "NON-MIN" }
+        );
+    }
+
+    // Fig. 16: platform thresholds.
+    println!("\nplatform-constrained selection (80% threshold):");
+    for platform in Platform::all() {
+        let sel = constrained_selection(&points, platform);
+        match (sel.max_allocated, sel.min_latency) {
+            (Some(max), Some(min)) => {
+                println!(
+                    "  {:<18} max-alloc ({:>2},{:>2},b{:<2}) {:>5} cyc | tuned ({:>2},{:>2},b{:<2}) {:>5} cyc ({:.0}% fewer LUTs)",
+                    platform.name,
+                    max.pe_fwd, max.pe_bwd, max.block, max.total_cycles,
+                    min.pe_fwd, min.pe_bwd, min.block, min.total_cycles,
+                    100.0 * (1.0 - min.resources.luts / max.resources.luts)
+                );
+            }
+            _ => println!("  {:<18} infeasible", platform.name),
+        }
+    }
+}

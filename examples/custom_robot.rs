@@ -1,0 +1,140 @@
+//! Deploying on a new robot: a mobile manipulator that exists in no zoo.
+//!
+//! The paper's motivation is deployment diversity — every robot shape
+//! needs its own accelerator, without a hardware engineer in the loop.
+//! This example builds a custom quadruped-with-gripper programmatically,
+//! lets RoboShape pick topology-informed knobs for two different FPGA
+//! budgets, and compares the results.
+//!
+//! Run with: `cargo run --release --example custom_robot`
+
+use roboshape::{RobotBuilder, UTILIZATION_THRESHOLD};
+use roboshape_linalg::Vec3;
+use roboshape_spatial::{Joint, SpatialInertia, Xform};
+use roboshape_suite::prelude::*;
+
+/// A quadruped trunk with four 3-link legs and a 5-link arm ending in a
+/// 2-finger gripper: 21 links, three kinds of limbs.
+fn build_robot() -> roboshape::RobotModel {
+    let mut b = RobotBuilder::new("gripper_quadruped");
+    let leg_inertia = |m: f64| SpatialInertia::point_like(m, Vec3::new(0.0, 0.0, -0.15), 0.02);
+
+    for (name, x, y) in [
+        ("lf", 0.3, 0.2),
+        ("rf", 0.3, -0.2),
+        ("lh", -0.3, 0.2),
+        ("rh", -0.3, -0.2),
+    ] {
+        let hip = b.add_link(
+            format!("{name}_hip"),
+            None,
+            Joint::revolute(Vec3::unit_x())
+                .with_tree_xform(Xform::from_translation(Vec3::new(x, y, 0.0))),
+            leg_inertia(2.0),
+        );
+        let thigh = b.add_link(
+            format!("{name}_thigh"),
+            Some(hip),
+            Joint::revolute(Vec3::unit_y()),
+            leg_inertia(2.5),
+        );
+        b.add_link(
+            format!("{name}_shank"),
+            Some(thigh),
+            Joint::revolute(Vec3::unit_y())
+                .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, -0.3))),
+            leg_inertia(0.8),
+        );
+    }
+
+    // The arm: 5 links, then two 2-link fingers.
+    let mut parent = None;
+    for k in 0..5 {
+        let axis = if k % 2 == 0 { Vec3::unit_z() } else { Vec3::unit_y() };
+        let h = b.add_link(
+            format!("arm_{k}"),
+            parent,
+            Joint::revolute(axis)
+                .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, -0.22))),
+            SpatialInertia::point_like(1.5 - 0.2 * k as f64, Vec3::new(0.0, 0.0, -0.11), 0.01),
+        );
+        parent = Some(h);
+    }
+    for f in 0..2 {
+        let side = if f == 0 { 0.03 } else { -0.03 };
+        let proximal = b.add_link(
+            format!("finger{f}_a"),
+            parent,
+            Joint::revolute(Vec3::unit_x())
+                .with_tree_xform(Xform::from_translation(Vec3::new(0.0, side, -0.05))),
+            SpatialInertia::point_like(0.06, Vec3::new(0.0, 0.0, -0.02), 0.001),
+        );
+        b.add_link(
+            format!("finger{f}_b"),
+            Some(proximal),
+            Joint::revolute(Vec3::unit_x())
+                .with_tree_xform(Xform::from_translation(Vec3::new(0.0, 0.0, -0.04))),
+            SpatialInertia::point_like(0.03, Vec3::new(0.0, 0.0, -0.015), 0.001),
+        );
+    }
+    b.build()
+}
+
+fn main() {
+    let robot = build_robot();
+    let fw = Framework::from_model(robot.clone());
+    println!("robot: {} ({} links)", robot.name(), robot.num_links());
+    println!("metrics: {}", fw.metrics());
+    println!("topology:\n{}", robot.topology().render());
+
+    // Two deployment budgets: a big board and a small one.
+    for (label, constraints) in [
+        ("large FPGA", Constraints::unconstrained()),
+        ("small FPGA", Constraints::new(3, 4, 3)),
+    ] {
+        let accel = fw.generate(constraints);
+        let k = accel.knobs();
+        let d = accel.design();
+        // The PE-level (DSE) resource model — the right scale for
+        // comparing knob settings on one robot.
+        let r = d.dse_resources();
+        println!(
+            "\n[{label}] knobs: PEs=({},{}), block={} -> {} cycles ({:.2} us), {:.0} LUTs / {:.0} DSPs",
+            k.pe_fwd,
+            k.pe_bwd,
+            k.block_size,
+            d.compute_cycles(),
+            d.compute_latency_us(),
+            r.luts,
+            r.dsps
+        );
+
+        // Always verify the functional output of the generated design.
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|i| 0.1 * i as f64 - 0.4).collect();
+        let qd = vec![0.2; n];
+        let tau = vec![0.3; n];
+        let err = accel.simulate(&q, &qd, &tau).verify(&robot, &q, &qd, &tau);
+        println!("[{label}] gradient verification error: {err:.2e}");
+        assert!(err < 1e-8);
+    }
+
+    // Which platforms can host the tuned design at the 80% threshold?
+    let points = fw.design_space();
+    for platform in Platform::all() {
+        let sel = roboshape::constrained_selection(&points, platform);
+        match sel.min_latency {
+            Some(p) => println!(
+                "{}: best feasible design ({},{},b{}) at {} cycles ({:.0}% LUTs of threshold {:.0}%)",
+                platform.name,
+                p.pe_fwd,
+                p.pe_bwd,
+                p.block,
+                p.total_cycles,
+                100.0 * p.resources.luts / platform.luts,
+                100.0 * UTILIZATION_THRESHOLD
+            ),
+            None => println!("{}: no feasible design point", platform.name),
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Umbrella crate for the RoboShape reproduction workspace.
+//!
+//! This package exists to host the repository-level integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the library surface
+//! simply re-exports the facade crate. Use [`roboshape`] directly in your
+//! own projects.
+//!
+//! ```
+//! use roboshape_suite::prelude::*;
+//!
+//! let framework = Framework::from_model(zoo(Zoo::Iiwa));
+//! let accel = framework.generate(Constraints::unconstrained());
+//! assert_eq!(accel.knobs().pe_fwd, 7);
+//! ```
+
+#![warn(missing_docs)]
+
+/// The most commonly used types, re-exported for examples and tests.
+pub mod prelude {
+    pub use roboshape::{
+        Accelerator, AcceleratorDesign, AcceleratorKnobs, Constraints, Framework, Platform,
+    };
+    pub use roboshape_robots::{
+        extra_robot, random_robot, zoo, zoo_urdf, ExtraRobot, RandomRobotConfig, Zoo,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_compiles_and_works() {
+        let fw = Framework::from_model(zoo(Zoo::Iiwa));
+        assert_eq!(fw.robot().num_links(), 7);
+    }
+}

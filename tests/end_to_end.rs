@@ -1,0 +1,115 @@
+//! Cross-crate integration: the full framework pipeline on every robot.
+
+use roboshape::{lint, Constraints, Framework};
+use roboshape_suite::prelude::*;
+
+/// URDF text → parse → generate → simulate → verify, for all six robots.
+#[test]
+fn urdf_to_verified_accelerator_for_every_zoo_robot() {
+    for which in Zoo::ALL {
+        let urdf = zoo_urdf(which);
+        let fw = Framework::from_urdf(&urdf).unwrap_or_else(|e| panic!("{which:?}: {e}"));
+        let robot = fw.robot().clone();
+        let accel = fw.generate(Constraints::unconstrained());
+
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|i| (0.21 * (i as f64 + 1.0)).sin()).collect();
+        let qd: Vec<f64> = (0..n).map(|i| 0.3 * (0.4 * i as f64).cos()).collect();
+        let tau: Vec<f64> = (0..n).map(|i| 0.6 - 0.05 * i as f64).collect();
+        let sim = accel.simulate(&q, &qd, &tau);
+        let err = sim.verify(&robot, &q, &qd, &tau);
+        assert!(err < 1e-8, "{which:?}: gradient error {err}");
+
+        // Schedule validity and Verilog well-formedness, end to end.
+        accel
+            .design()
+            .schedule()
+            .validate(accel.design().task_graph())
+            .unwrap_or_else(|e| panic!("{which:?}: {e}"));
+        for (name, src) in accel.verilog().files() {
+            lint(src).unwrap_or_else(|e| panic!("{which:?}/{name}: {e}"));
+        }
+    }
+}
+
+/// The generated knob choice respects both the topology and the caps.
+#[test]
+fn knob_generation_respects_constraints_everywhere() {
+    for which in Zoo::ALL {
+        let fw = Framework::from_model(zoo(which));
+        for cap in [1, 2, 5, 100] {
+            let knobs = fw.choose_knobs(Constraints::new(cap, cap, cap));
+            let m = fw.metrics();
+            assert!(knobs.pe_fwd <= cap.min(m.max_leaf_depth.max(1)));
+            assert!(knobs.pe_bwd <= cap.min(m.max_descendants.max(1)));
+            assert!(knobs.block_size <= cap.min(fw.robot().num_links()));
+        }
+    }
+}
+
+/// Random robots survive the full pipeline too (fuzz-style smoke).
+#[test]
+fn random_robots_survive_the_full_pipeline() {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(20230617);
+    for trial in 0..5 {
+        let robot = random_robot(
+            &mut rng,
+            RandomRobotConfig {
+                links: 3 + 3 * trial,
+                branch_prob: 0.3,
+                new_limb_prob: 0.2,
+                allow_prismatic: true,
+            },
+        );
+        // Round-trip the robot through URDF text first.
+        let urdf = roboshape::write_urdf(&robot);
+        let fw = Framework::from_urdf(&urdf).unwrap();
+        let accel = fw.generate(Constraints::unconstrained());
+        let n = robot.num_links();
+        let q = vec![0.15; n];
+        let qd = vec![-0.1; n];
+        let tau = vec![0.2; n];
+        let err = accel.simulate(&q, &qd, &tau).verify(fw.robot(), &q, &qd, &tau);
+        assert!(err < 1e-8, "trial {trial}: {err}");
+    }
+}
+
+/// Simulator statistics line up with the design's own bookkeeping.
+#[test]
+fn simulation_stats_match_design() {
+    let fw = Framework::from_model(zoo(Zoo::Baxter));
+    let accel = fw.generate_with_knobs(AcceleratorKnobs::symmetric(4, 4));
+    let n = 15;
+    let sim = accel.simulate(&vec![0.1; n], &vec![0.0; n], &vec![0.3; n]);
+    assert_eq!(sim.stats.tasks_executed, accel.design().task_graph().len());
+    assert_eq!(sim.stats.cycles, accel.design().compute_cycles());
+    assert_eq!(
+        sim.stats.matmul_ops + sim.stats.matmul_nops,
+        sim.stats.matmul_ops + accel.design().matmul_plan().unwrap().skipped_ops()
+    );
+}
+
+/// The extra Fig. 1 robots (Bittle, Pepper, a full humanoid) run the
+/// whole pipeline too — including a 28-link robot larger than anything in
+/// the paper's evaluation.
+#[test]
+fn extra_robots_survive_the_full_pipeline() {
+    use roboshape_robots::{extra_robot, ExtraRobot};
+    for which in ExtraRobot::ALL {
+        let robot = extra_robot(which);
+        let fw = Framework::from_model(robot.clone());
+        let accel = fw.generate(Constraints::unconstrained());
+        let n = robot.num_links();
+        let q: Vec<f64> = (0..n).map(|i| 0.15 * ((i as f64) * 0.9).sin()).collect();
+        let qd = vec![0.1; n];
+        let tau = vec![0.2; n];
+        let err = accel.simulate(&q, &qd, &tau).verify(&robot, &q, &qd, &tau);
+        assert!(err < 1e-8, "{which:?}: {err}");
+        accel
+            .design()
+            .schedule()
+            .validate(accel.design().task_graph())
+            .unwrap_or_else(|e| panic!("{which:?}: {e}"));
+    }
+}

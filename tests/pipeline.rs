@@ -1,0 +1,67 @@
+//! The paper's Fig. 2 pipeline, end to end: state estimation →
+//! collision-checked motion planning → optimal control — every stage
+//! running on this repository's topology-traversal kernels, with the
+//! control stage's gradients coming from the simulated accelerator.
+
+use rand::{Rng, SeedableRng};
+use roboshape::{Constraints, Dynamics, Framework};
+use roboshape_collision::{CollisionWorld, SphereDecomposition};
+use roboshape_estimation::{Ekf, EkfConfig};
+use roboshape_suite::prelude::*;
+use roboshape_trajopt::{optimize, AcceleratorGradients, IlqrConfig};
+
+#[test]
+fn estimate_plan_and_control_on_one_robot() {
+    let robot = zoo(Zoo::Iiwa);
+    let n = robot.num_links();
+    let dynamics = Dynamics::new(&robot);
+
+    // --- Stage 1: localization. The robot truly rests at q*, the filter
+    // starts wrong and converges from noisy encoders.
+    let q_true = vec![0.25; n];
+    let hold = dynamics.rnea(&q_true, &vec![0.0; n], &vec![0.0; n]);
+    let mut ekf = Ekf::new(&robot, &vec![0.0; n], EkfConfig::default());
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2023);
+    for _ in 0..40 {
+        ekf.predict(&hold, 0.01);
+        let z: Vec<f64> = q_true.iter().map(|q| q + rng.gen_range(-0.01..0.01)).collect();
+        ekf.update_encoders(&z);
+    }
+    let q_est = ekf.state().q;
+    let est_err: f64 = q_est
+        .iter()
+        .zip(&q_true)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(est_err < 0.02, "estimation error {est_err}");
+
+    // --- Stage 2: planning. A short straight-line motion from the
+    // estimated state must be collision-checked before execution.
+    let spheres = SphereDecomposition::from_model(&robot, 2);
+    let world = CollisionWorld::new();
+    let mut goal = q_est.clone();
+    goal[0] += 0.5;
+    goal[2] -= 0.4;
+    assert!(world.check(&robot, &spheres, &q_est).is_free());
+    assert!(world.check(&robot, &spheres, &goal).is_free());
+    assert!(world.edge_is_free(&robot, &spheres, &q_est, &goal, 10));
+
+    // --- Stage 3: control. Track the goal with iLQR whose gradients all
+    // come from the generated accelerator's cycle-level simulation.
+    let fw = Framework::from_model(robot.clone());
+    let accel = fw.generate(Constraints::new(7, 7, 7));
+    let provider = AcceleratorGradients::new(accel.design());
+    let cfg = IlqrConfig { horizon: 40, iters: 12, terminal_cost: 60.0, ..IlqrConfig::default() };
+    let result = optimize(&robot, &q_est, &goal, &cfg, &provider);
+    assert!(result.final_cost() < 0.5 * result.initial_cost());
+    assert!(
+        result.terminal_error(&goal) < 0.3,
+        "tracking error {}",
+        result.terminal_error(&goal)
+    );
+
+    // --- And the executed trajectory stays collision-free.
+    for state in &result.states {
+        assert!(world.check(&robot, &spheres, &state.q).is_free());
+    }
+}
