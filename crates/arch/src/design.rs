@@ -99,7 +99,9 @@ impl AcceleratorDesign {
         let sched = schedule(&graph, &cfg);
         let sched_np = schedule(&graph, &cfg.without_pipelining());
         let matmul = (kernel == KernelKind::DynamicsGradient).then(|| {
-            let pattern = SparsityPattern::mass_matrix(topo);
+            // The plan's left operand is M⁻¹, whose pattern fills in
+            // relative to M at mid-limb branches.
+            let pattern = SparsityPattern::inverse_mass_matrix(topo);
             BlockMatmulPlan::new(
                 &pattern,
                 2 * topo.len(),
@@ -107,14 +109,34 @@ impl AcceleratorDesign {
                 knobs.matmul_units.resolve(topo.len()),
             )
         });
-        let storage = StorageReport::for_design(topo, &knobs, &graph, &sched);
+        AcceleratorDesign::from_parts(topo.clone(), knobs, kernel, graph, sched, sched_np, matmul)
+    }
+
+    /// Assembles a design from already-elaborated parts: the task graph,
+    /// both schedules and (for the gradient kernel) the blocked mat-mul
+    /// plan. This is the constructor the compilation pipeline uses to
+    /// reuse cached artifacts; the parts must have been produced for this
+    /// exact `(topo, knobs, kernel)` — mixing parts from different design
+    /// points yields a design whose reports disagree with its schedules.
+    /// The storage report is derived here (it is cheap relative to
+    /// scheduling and depends on all the parts).
+    pub fn from_parts(
+        topo: Topology,
+        knobs: AcceleratorKnobs,
+        kernel: KernelKind,
+        graph: TaskGraph,
+        schedule: Schedule,
+        schedule_no_pipeline: Schedule,
+        matmul: Option<BlockMatmulPlan>,
+    ) -> AcceleratorDesign {
+        let storage = StorageReport::for_design(&topo, &knobs, &graph, &schedule);
         AcceleratorDesign {
-            topo: topo.clone(),
+            topo,
             knobs,
             kernel,
             graph,
-            schedule: sched,
-            schedule_no_pipeline: sched_np,
+            schedule,
+            schedule_no_pipeline,
             matmul,
             matmul_model: MatmulLatencyModel::default(),
             storage,
@@ -235,8 +257,13 @@ mod tests {
     fn clock_model_matches_paper_points() {
         // iiwa (7 links, 7 PEs) and HyQ (12 links, 3 PEs) close at 18 ns;
         // Baxter (15 links, 4 PEs) at 22 ns.
-        let iiwa = AcceleratorDesign::generate(&Topology::chain(7), AcceleratorKnobs::symmetric(7, 7));
-        assert!((iiwa.clock_ns() - 18.0).abs() < 0.01, "iiwa {}", iiwa.clock_ns());
+        let iiwa =
+            AcceleratorDesign::generate(&Topology::chain(7), AcceleratorKnobs::symmetric(7, 7));
+        assert!(
+            (iiwa.clock_ns() - 18.0).abs() < 0.01,
+            "iiwa {}",
+            iiwa.clock_ns()
+        );
 
         let mut hyq_parents = Vec::new();
         for _ in 0..4 {
@@ -247,10 +274,18 @@ mod tests {
         }
         let hyq_topo = Topology::new(hyq_parents).unwrap();
         let hyq = AcceleratorDesign::generate(&hyq_topo, AcceleratorKnobs::symmetric(3, 6));
-        assert!((hyq.clock_ns() - 18.0).abs() < 0.01, "HyQ {}", hyq.clock_ns());
+        assert!(
+            (hyq.clock_ns() - 18.0).abs() < 0.01,
+            "HyQ {}",
+            hyq.clock_ns()
+        );
 
         let baxter = AcceleratorDesign::generate(&baxter_like(), AcceleratorKnobs::symmetric(4, 4));
-        assert!((baxter.clock_ns() - 22.0).abs() < 1.01, "Baxter {}", baxter.clock_ns());
+        assert!(
+            (baxter.clock_ns() - 22.0).abs() < 1.01,
+            "Baxter {}",
+            baxter.clock_ns()
+        );
     }
 
     #[test]
@@ -265,7 +300,9 @@ mod tests {
     fn schedules_are_valid() {
         let d = AcceleratorDesign::generate(&baxter_like(), AcceleratorKnobs::new(4, 4, 4));
         d.schedule().validate(d.task_graph()).unwrap();
-        d.schedule_without_pipelining().validate(d.task_graph()).unwrap();
+        d.schedule_without_pipelining()
+            .validate(d.task_graph())
+            .unwrap();
     }
 
     #[test]

@@ -59,7 +59,12 @@ impl AcceleratorKnobs {
             pe_fwd > 0 && pe_bwd > 0 && block_size > 0,
             "knobs must be positive"
         );
-        AcceleratorKnobs { pe_fwd, pe_bwd, block_size, matmul_units: MatmulUnits::PerLink }
+        AcceleratorKnobs {
+            pe_fwd,
+            pe_bwd,
+            block_size,
+            matmul_units: MatmulUnits::PerLink,
+        }
     }
 
     /// The paper's Table 2 style setting: `PEs_fwd = PEs_bwd = pes`.

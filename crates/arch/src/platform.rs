@@ -18,13 +18,21 @@ impl Platform {
     /// Xilinx VCU118 (XCVU9P): 1 182 000 LUTs, 6 840 DSPs — the paper's
     /// implementation platform.
     pub fn vcu118() -> Platform {
-        Platform { name: "VCU118 (XCVU9P)", luts: 1_182_000.0, dsps: 6_840.0 }
+        Platform {
+            name: "VCU118 (XCVU9P)",
+            luts: 1_182_000.0,
+            dsps: 6_840.0,
+        }
     }
 
     /// Xilinx VC707: 303 600 LUTs, 2 800 DSPs — the smaller platform of
     /// the Fig. 16 study.
     pub fn vc707() -> Platform {
-        Platform { name: "VC707", luts: 303_600.0, dsps: 2_800.0 }
+        Platform {
+            name: "VC707",
+            luts: 303_600.0,
+            dsps: 2_800.0,
+        }
     }
 
     /// Both study platforms.

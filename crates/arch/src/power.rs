@@ -87,12 +87,14 @@ impl PowerModel {
                 &crate::AcceleratorKnobs::new(knobs.pe_fwd, knobs.pe_bwd, 1),
             );
             let pe_static = STATIC_W_PER_LUT
-                * (pe_resources.luts - crate::FullDesignModel.estimate(
-                    design.topology().len(),
-                    &crate::AcceleratorKnobs::new(1, 1, 1),
-                )
-                .luts)
-                .max(0.0);
+                * (pe_resources.luts
+                    - crate::FullDesignModel
+                        .estimate(
+                            design.topology().len(),
+                            &crate::AcceleratorKnobs::new(1, 1, 1),
+                        )
+                        .luts)
+                    .max(0.0);
             let idle_fraction = 1.0 - utilization;
             static_w -= pe_static * idle_fraction * (1.0 - GATED_RESIDUAL);
         }
@@ -100,10 +102,7 @@ impl PowerModel {
         // Dynamic energy: busy PE cycles + mat-mul op cycles.
         let busy_pe_cycles: u64 = schedule.entries().iter().map(|e| e.end - e.start).sum();
         let mm_cycles = design.compute_cycles() - schedule.makespan();
-        let mm_units = design
-            .knobs()
-            .matmul_units
-            .resolve(design.topology().len()) as f64;
+        let mm_units = design.knobs().matmul_units.resolve(design.topology().len()) as f64;
         let dyn_j = busy_pe_cycles as f64 * DYN_J_PER_PE_CYCLE
             + mm_cycles as f64 * mm_units * DYN_J_PER_MM_CYCLE;
         let latency_s = design.compute_latency_us() * 1e-6;
@@ -167,8 +166,16 @@ mod tests {
     fn report_is_physically_sane() {
         let d = AcceleratorDesign::generate(&baxter_like(), AcceleratorKnobs::new(4, 4, 4));
         let r = PowerModel::new().evaluate(&d);
-        assert!(r.static_w > 0.1 && r.static_w < 20.0, "static {}", r.static_w);
-        assert!(r.dynamic_w > 0.01 && r.dynamic_w < 50.0, "dynamic {}", r.dynamic_w);
+        assert!(
+            r.static_w > 0.1 && r.static_w < 20.0,
+            "static {}",
+            r.static_w
+        );
+        assert!(
+            r.dynamic_w > 0.01 && r.dynamic_w < 50.0,
+            "dynamic {}",
+            r.dynamic_w
+        );
         assert!(r.utilization > 0.0 && r.utilization <= 1.0);
         assert!(r.energy_per_eval_uj() > 0.0);
         assert!(!r.gated);

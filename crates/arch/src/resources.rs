@@ -35,7 +35,10 @@ impl Resources {
 impl Add for Resources {
     type Output = Resources;
     fn add(self, o: Resources) -> Resources {
-        Resources { luts: self.luts + o.luts, dsps: self.dsps + o.dsps }
+        Resources {
+            luts: self.luts + o.luts,
+            dsps: self.dsps + o.dsps,
+        }
     }
 }
 
@@ -80,7 +83,9 @@ impl FullDesignModel {
         let pe_quad = (knobs.pe_fwd * knobs.pe_fwd + knobs.pe_bwd * knobs.pe_bwd) as f64 / 2.0;
         let sched = nf * nf / knobs.block_size as f64;
         Resources {
-            luts: Self::LUT_PER_PE * pe_lin + Self::LUT_PER_BLK2 * blk2 + Self::LUT_PER_SCHED * sched,
+            luts: Self::LUT_PER_PE * pe_lin
+                + Self::LUT_PER_BLK2 * blk2
+                + Self::LUT_PER_SCHED * sched,
             dsps: Self::DSP_PER_PE2 * pe_quad + Self::DSP_PER_BLK2 * blk2 + Self::DSP_PER_LINK * nf,
         }
     }
@@ -139,7 +144,10 @@ impl DseModel {
 /// ```
 pub fn rc_resources(n: usize) -> Resources {
     let maximal = FullDesignModel.estimate(n, &AcceleratorKnobs::symmetric(n, n));
-    Resources { luts: maximal.luts * 1.125_6, dsps: maximal.dsps * 0.973_0 }
+    Resources {
+        luts: maximal.luts * 1.125_6,
+        dsps: maximal.dsps * 0.973_0,
+    }
 }
 
 #[cfg(test)]
@@ -156,8 +164,16 @@ mod tests {
         ];
         for (name, n, pes, blk, luts, dsps) in rows {
             let r = FullDesignModel.estimate(n, &AcceleratorKnobs::symmetric(pes, blk));
-            assert!((r.luts - luts).abs() < 1.0, "{name}: LUTs {} vs {luts}", r.luts);
-            assert!((r.dsps - dsps).abs() < 0.5, "{name}: DSPs {} vs {dsps}", r.dsps);
+            assert!(
+                (r.luts - luts).abs() < 1.0,
+                "{name}: LUTs {} vs {luts}",
+                r.luts
+            );
+            assert!(
+                (r.dsps - dsps).abs() < 0.5,
+                "{name}: DSPs {} vs {dsps}",
+                r.dsps
+            );
         }
     }
 
@@ -166,7 +182,11 @@ mod tests {
         // Cross-check the percentage view the paper prints: 43.5%/42.9%/73.9%
         // LUTs and 79.6%/44.0%/48.9% DSPs of the XCVU9P.
         let vcu = crate::Platform::vcu118();
-        let configs = [(7, 7, 7, 0.435, 0.796), (12, 3, 6, 0.429, 0.440), (15, 4, 4, 0.739, 0.489)];
+        let configs = [
+            (7, 7, 7, 0.435, 0.796),
+            (12, 3, 6, 0.429, 0.440),
+            (15, 4, 4, 0.739, 0.489),
+        ];
         for (n, pes, blk, lut_pct, dsp_pct) in configs {
             let r = FullDesignModel.estimate(n, &AcceleratorKnobs::symmetric(pes, blk));
             assert!((r.luts / vcu.luts - lut_pct).abs() < 0.001);
@@ -186,7 +206,10 @@ mod tests {
                 }
             };
             let r0 = est(&base);
-            for grown in [AcceleratorKnobs::new(3, 3, 2), AcceleratorKnobs::new(2, 4, 2)] {
+            for grown in [
+                AcceleratorKnobs::new(3, 3, 2),
+                AcceleratorKnobs::new(2, 4, 2),
+            ] {
                 let r = est(&grown);
                 assert!(r.luts > r0.luts);
                 assert!(r.dsps > r0.dsps);
@@ -235,7 +258,11 @@ mod tests {
             best
         };
         let threshold = crate::UTILIZATION_THRESHOLD;
-        assert!(min_for(19) > threshold, "HyQ+arm min LUT share {}", min_for(19));
+        assert!(
+            min_for(19) > threshold,
+            "HyQ+arm min LUT share {}",
+            min_for(19)
+        );
         for n in [7, 10, 12, 15] {
             assert!(min_for(n) <= threshold, "N={n} should fit: {}", min_for(n));
         }
@@ -245,11 +272,21 @@ mod tests {
     fn dse_ranges_match_fig12() {
         // Fig. 12: maximum LUTs per robot range from ~507k (smallest) to
         // ~2600k (largest) across the six robots.
-        let max_for = |n: usize| DseModel.estimate(n, &AcceleratorKnobs::symmetric(n, n)).luts;
+        let max_for = |n: usize| {
+            DseModel
+                .estimate(n, &AcceleratorKnobs::symmetric(n, n))
+                .luts
+        };
         let iiwa_max = max_for(7);
         let hyqarm_max = max_for(19);
-        assert!((450_000.0..650_000.0).contains(&iiwa_max), "iiwa max {iiwa_max}");
-        assert!((2_000_000.0..3_000_000.0).contains(&hyqarm_max), "HyQ+arm max {hyqarm_max}");
+        assert!(
+            (450_000.0..650_000.0).contains(&iiwa_max),
+            "iiwa max {iiwa_max}"
+        );
+        assert!(
+            (2_000_000.0..3_000_000.0).contains(&hyqarm_max),
+            "HyQ+arm max {hyqarm_max}"
+        );
     }
 
     #[test]

@@ -42,14 +42,15 @@ impl StorageReport {
         schedule: &Schedule,
     ) -> StorageReport {
         let n = topo.len();
-        let branches = topo.branch_links().len().max(topo.roots().len().saturating_sub(1));
+        let branches = topo
+            .branch_links()
+            .len()
+            .max(topo.roots().len().saturating_sub(1));
         StorageReport {
             schedule_entries: graph.len(),
             rnea_output_words: n * LINK_STATE_WORDS,
             parent_value_words: (knobs.pe_fwd + knobs.pe_bwd) * 2 * VEC6_WORDS,
-            checkpoint_words: (branches + schedule.context_switches(graph).min(n))
-                * 2
-                * VEC6_WORDS,
+            checkpoint_words: (branches + schedule.context_switches(graph).min(n)) * 2 * VEC6_WORDS,
             accumulator_words: knobs.matmul_units.resolve(n) * knobs.block_size * knobs.block_size,
         }
     }
@@ -91,7 +92,10 @@ mod tests {
         assert_eq!(report.rnea_output_words, 15 * (18 + 36));
         // Per-link mat-mul units by default: 15 units × 4×4 accumulators.
         assert_eq!(report.accumulator_words, 15 * 16);
-        assert!(report.checkpoint_words > 0, "multi-limb robot needs checkpoints");
+        assert!(
+            report.checkpoint_words > 0,
+            "multi-limb robot needs checkpoints"
+        );
         assert!(report.total_words() > report.rnea_output_words);
     }
 

@@ -301,7 +301,10 @@ mod tests {
             let sc = r.speedup_vs_cpu();
             let sg = r.speedup_vs_gpu();
             assert!((2.2..=5.6).contains(&sc), "{z:?}: batched CPU speedup {sc}");
-            assert!((3.9..=11.4).contains(&sg), "{z:?}: batched GPU speedup {sg}");
+            assert!(
+                (3.9..=11.4).contains(&sg),
+                "{z:?}: batched GPU speedup {sg}"
+            );
         }
     }
 

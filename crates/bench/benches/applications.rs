@@ -43,12 +43,24 @@ fn bench_ilqr_iteration(c: &mut Criterion) {
     // is dominated by the gradient evaluations the paper accelerates.
     let robot = zoo(Zoo::Iiwa);
     let n = robot.num_links();
-    let cfg = IlqrConfig { horizon: 10, iters: 2, ..IlqrConfig::default() };
+    let cfg = IlqrConfig {
+        horizon: 10,
+        iters: 2,
+        ..IlqrConfig::default()
+    };
     let target = vec![0.2; n];
     let mut g = c.benchmark_group("ilqr_short_solve");
     g.sample_size(10);
     g.bench_function("iiwa", |b| {
-        b.iter(|| optimize(&robot, black_box(&vec![0.0; n]), &target, &cfg, &ReferenceGradients))
+        b.iter(|| {
+            optimize(
+                &robot,
+                black_box(&vec![0.0; n]),
+                &target,
+                &cfg,
+                &ReferenceGradients,
+            )
+        })
     });
     g.finish();
 }
@@ -66,7 +78,9 @@ fn bench_topology_cholesky(c: &mut Criterion) {
             &(topo, m.clone(), b_vec.clone()),
             |bench, (topo, m, rhs)| {
                 bench.iter(|| {
-                    TopologyCholesky::new(topo, black_box(m)).unwrap().solve(rhs)
+                    TopologyCholesky::new(topo, black_box(m))
+                        .unwrap()
+                        .solve(rhs)
                 })
             },
         );
@@ -75,7 +89,9 @@ fn bench_topology_cholesky(c: &mut Criterion) {
             &(m, b_vec),
             |bench, (m, rhs)| {
                 bench.iter(|| {
-                    roboshape_linalg::Cholesky::new(black_box(m)).unwrap().solve_vec(rhs)
+                    roboshape_linalg::Cholesky::new(black_box(m))
+                        .unwrap()
+                        .solve_vec(rhs)
                 })
             },
         );

@@ -64,18 +64,25 @@ fn bench_fig9_latency(c: &mut Criterion) {
     ];
     for (which, knobs) in configs {
         let topo = zoo(which).topology().clone();
-        g.bench_with_input(BenchmarkId::from_parameter(which.name()), &topo, |b, topo| {
-            b.iter(|| {
-                let d = AcceleratorDesign::generate(black_box(topo), knobs);
-                single_computation(&d)
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(which.name()),
+            &topo,
+            |b, topo| {
+                b.iter(|| {
+                    let d = AcceleratorDesign::generate(black_box(topo), knobs);
+                    single_computation(&d)
+                })
+            },
+        );
     }
     g.finish();
 }
 
 fn bench_fig10_roundtrip(c: &mut Criterion) {
-    let d = AcceleratorDesign::generate(zoo(Zoo::Baxter).topology(), AcceleratorKnobs::symmetric(4, 4));
+    let d = AcceleratorDesign::generate(
+        zoo(Zoo::Baxter).topology(),
+        AcceleratorKnobs::symmetric(4, 4),
+    );
     c.bench_function("fig10_roundtrip", |b| {
         b.iter(|| {
             let batch = batched_computation(black_box(&d), 4);
@@ -149,8 +156,13 @@ fn bench_simulator(c: &mut Criterion) {
 }
 
 fn bench_codegen(c: &mut Criterion) {
-    let d = AcceleratorDesign::generate(zoo(Zoo::Baxter).topology(), AcceleratorKnobs::symmetric(4, 4));
-    c.bench_function("verilog_emit_baxter", |b| b.iter(|| emit_verilog(black_box(&d))));
+    let d = AcceleratorDesign::generate(
+        zoo(Zoo::Baxter).topology(),
+        AcceleratorKnobs::symmetric(4, 4),
+    );
+    c.bench_function("verilog_emit_baxter", |b| {
+        b.iter(|| emit_verilog(black_box(&d)))
+    });
 }
 
 criterion_group!(

@@ -1,0 +1,40 @@
+//! Cold vs. warm full-zoo design-space sweep through the compilation
+//! pipeline. The warm run reuses the shared artifact store (task graphs,
+//! sparsity patterns, schedules, block plans) and must be substantially
+//! faster than the cold run, which rebuilds everything per iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roboshape::{sweep_design_space_with, Pipeline};
+use roboshape_robots::{zoo, Zoo};
+use std::hint::black_box;
+
+/// Sweep the full N²×blocks design space of all six zoo robots.
+fn full_zoo_sweep(pipeline: &Pipeline) -> usize {
+    Zoo::ALL
+        .iter()
+        .map(|&which| sweep_design_space_with(pipeline, zoo(which).topology()).len())
+        .sum()
+}
+
+fn bench_pipeline_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipeline_cache");
+    g.sample_size(10);
+
+    g.bench_function("cold_full_zoo_sweep", |b| {
+        b.iter(|| {
+            let pipeline = Pipeline::new();
+            black_box(full_zoo_sweep(&pipeline))
+        })
+    });
+
+    let warmed = Pipeline::new();
+    full_zoo_sweep(&warmed);
+    g.bench_function("warm_full_zoo_sweep", |b| {
+        b.iter(|| black_box(full_zoo_sweep(&warmed)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline_cache);
+criterion_main!(benches);

@@ -38,7 +38,10 @@ impl fmt::Display for FactorError {
         match self {
             FactorError::ShapeMismatch => write!(f, "matrix shape does not match topology"),
             FactorError::OutsidePattern { row, col } => {
-                write!(f, "nonzero entry ({row}, {col}) outside the topology pattern")
+                write!(
+                    f,
+                    "nonzero entry ({row}, {col}) outside the topology pattern"
+                )
             }
             FactorError::NotPositiveDefinite { pivot } => {
                 write!(f, "matrix is not positive-definite (pivot {pivot})")
@@ -239,7 +242,12 @@ mod tests {
             let xs = sparse.solve(&b);
             let xd = dense.solve_vec(&b);
             for i in 0..n {
-                assert!((xs[i] - xd[i]).abs() < 1e-9, "entry {i}: {} vs {}", xs[i], xd[i]);
+                assert!(
+                    (xs[i] - xd[i]).abs() < 1e-9,
+                    "entry {i}: {} vs {}",
+                    xs[i],
+                    xd[i]
+                );
             }
         }
     }
@@ -251,8 +259,7 @@ mod tests {
             let f = TopologyCholesky::new(&topo, &m).unwrap();
             // Touched entries = diagonal + Σ depth-1 = lower half of the
             // support pattern.
-            let expected: usize =
-                (0..topo.len()).map(|k| 1 + topo.ancestors(k).len()).sum();
+            let expected: usize = (0..topo.len()).map(|k| 1 + topo.ancestors(k).len()).sum();
             assert_eq!(f.touched_entries(), expected);
             // And the factor's nonzeros stay inside (link, ancestor) slots.
             let l = f.factor();
@@ -303,6 +310,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(FactorError::ShapeMismatch.to_string().contains("shape"));
-        assert!(FactorError::OutsidePattern { row: 1, col: 2 }.to_string().contains("(1, 2)"));
+        assert!(FactorError::OutsidePattern { row: 1, col: 2 }
+            .to_string()
+            .contains("(1, 2)"));
     }
 }

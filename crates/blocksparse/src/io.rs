@@ -32,7 +32,10 @@ impl fmt::Display for SparseCodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SparseCodecError::Truncated { expected, got } => {
-                write!(f, "sparse packet truncated: expected {expected} values, got {got}")
+                write!(
+                    f,
+                    "sparse packet truncated: expected {expected} values, got {got}"
+                )
             }
             SparseCodecError::TrailingData => write!(f, "sparse packet has trailing data"),
         }
@@ -51,7 +54,11 @@ impl std::error::Error for SparseCodecError {}
 /// Panics if `m`'s shape differs from the pattern's.
 pub fn encode_sparse(m: &DMat, pattern: &SparsityPattern) -> Bytes {
     let n = pattern.dim();
-    assert_eq!((m.rows(), m.cols()), (n, n), "matrix/pattern shape mismatch");
+    assert_eq!(
+        (m.rows(), m.cols()),
+        (n, n),
+        "matrix/pattern shape mismatch"
+    );
     let mut buf = BytesMut::with_capacity(pattern.nnz() * 4);
     for i in 0..n {
         for j in 0..n {
@@ -188,9 +195,17 @@ mod tests {
         // Paper Sec. 5.2: expected I/O reductions of 3.1× (HyQ) and 2.1×
         // (Baxter); iiwa's matrix is dense, so no reduction.
         let hyq = IoModel::new(SparsityPattern::mass_matrix(&hyq_like()));
-        assert!((hyq.reduction() - 3.1).abs() < 0.05, "HyQ: {}", hyq.reduction());
+        assert!(
+            (hyq.reduction() - 3.1).abs() < 0.05,
+            "HyQ: {}",
+            hyq.reduction()
+        );
         let baxter = IoModel::new(SparsityPattern::mass_matrix(&baxter_like()));
-        assert!((baxter.reduction() - 2.1).abs() < 0.05, "Baxter: {}", baxter.reduction());
+        assert!(
+            (baxter.reduction() - 2.1).abs() < 0.05,
+            "Baxter: {}",
+            baxter.reduction()
+        );
         let iiwa = IoModel::new(SparsityPattern::dense(7));
         assert!((iiwa.reduction() - 1.0).abs() < 1e-12);
     }
@@ -199,7 +214,11 @@ mod tests {
     fn codec_roundtrip_on_patterned_matrix() {
         let p = SparsityPattern::mass_matrix(&baxter_like());
         let m = DMat::from_fn(15, 15, |i, j| {
-            if p.is_nonzero(i, j) { (i as f64) - (j as f64) * 0.5 } else { 0.0 }
+            if p.is_nonzero(i, j) {
+                (i as f64) - (j as f64) * 0.5
+            } else {
+                0.0
+            }
         });
         let packet = encode_sparse(&m, &p);
         assert_eq!(packet.len(), p.nnz() * 4);
@@ -218,15 +237,23 @@ mod tests {
         ));
         let mut long = packet.to_vec();
         long.extend_from_slice(&[0, 0, 0, 0]);
-        assert_eq!(decode_sparse(&long, &p), Err(SparseCodecError::TrailingData));
+        assert_eq!(
+            decode_sparse(&long, &p),
+            Err(SparseCodecError::TrailingData)
+        );
     }
 
     #[test]
     fn error_display() {
-        assert!(SparseCodecError::Truncated { expected: 9, got: 2 }
+        assert!(SparseCodecError::Truncated {
+            expected: 9,
+            got: 2
+        }
+        .to_string()
+        .contains("expected 9"));
+        assert!(SparseCodecError::TrailingData
             .to_string()
-            .contains("expected 9"));
-        assert!(SparseCodecError::TrailingData.to_string().contains("trailing"));
+            .contains("trailing"));
     }
 
     proptest! {

@@ -24,8 +24,7 @@ pub struct SparsityPattern {
 
 impl SparsityPattern {
     /// The mass-matrix pattern of a topology: `(i, j)` is nonzero exactly
-    /// when the links share a root-to-leaf path. The inverse of a
-    /// block-diagonal mass matrix shares this pattern (paper Sec. 3.2).
+    /// when the links share a root-to-leaf path (paper Sec. 3.2).
     pub fn mass_matrix(topo: &Topology) -> SparsityPattern {
         let n = topo.len();
         let mut nonzero = vec![false; n * n];
@@ -37,9 +36,46 @@ impl SparsityPattern {
         SparsityPattern { n, nonzero }
     }
 
+    /// The pattern of the *inverse* mass matrix: `(i, j)` is nonzero
+    /// exactly when the links share a common ancestor (or one supports the
+    /// other), i.e. hang off the same base child.
+    ///
+    /// `M = LᵀL` with `L` sparse along root paths, so `M⁻¹ = L⁻¹L⁻ᵀ`
+    /// fills in at every pair of links connected through a shared
+    /// ancestor — sibling subtrees of a mid-limb branch (e.g. two fingers
+    /// on the same wrist) couple in `M⁻¹` even though their `M` entry is
+    /// structurally zero. Only base-rooted limbs stay decoupled, so this
+    /// pattern is block-diagonal per base subtree and is a superset of
+    /// [`SparsityPattern::mass_matrix`]. Plans that multiply by `M⁻¹` must
+    /// use this pattern; using the mass pattern silently drops the
+    /// fill-in entries.
+    pub fn inverse_mass_matrix(topo: &Topology) -> SparsityPattern {
+        let n = topo.len();
+        // Label every link with its base-rooted subtree; (i, j) couples in
+        // M⁻¹ exactly when the labels match.
+        let mut root = vec![0usize; n];
+        for (i, label) in root.iter_mut().enumerate() {
+            let mut cur = i;
+            while let Some(p) = topo.parent(cur) {
+                cur = p;
+            }
+            *label = cur;
+        }
+        let mut nonzero = vec![false; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                nonzero[i * n + j] = root[i] == root[j];
+            }
+        }
+        SparsityPattern { n, nonzero }
+    }
+
     /// A fully dense `n×n` pattern.
     pub fn dense(n: usize) -> SparsityPattern {
-        SparsityPattern { n, nonzero: vec![true; n * n] }
+        SparsityPattern {
+            n,
+            nonzero: vec![true; n * n],
+        }
     }
 
     /// The pattern of the nonzero entries of a concrete matrix.
@@ -162,7 +198,10 @@ mod tests {
 
     #[test]
     fn paper_sparsity_numbers() {
-        assert_eq!(SparsityPattern::mass_matrix(&Topology::chain(7)).sparsity(), 0.0);
+        assert_eq!(
+            SparsityPattern::mass_matrix(&Topology::chain(7)).sparsity(),
+            0.0
+        );
         assert!((SparsityPattern::mass_matrix(&hyq_like()).sparsity() - 0.75).abs() < 1e-12);
         assert!((SparsityPattern::mass_matrix(&baxter_like()).sparsity() - 0.56).abs() < 1e-12);
     }
@@ -172,6 +211,46 @@ mod tests {
         // Paper Sec. 3.3: Baxter's 15×15 mass matrix has 99 nonzero
         // elements (56% sparse).
         assert_eq!(SparsityPattern::mass_matrix(&baxter_like()).nnz(), 99);
+    }
+
+    #[test]
+    fn inverse_pattern_fills_in_at_mid_limb_branches() {
+        // Two sibling subtrees (3, 4) hang off link 2: M[3][4] is
+        // structurally zero, but M⁻¹[3][4] is not (common ancestor 2).
+        let topo = Topology::new(vec![None, Some(0), Some(1), Some(2), Some(2)]).unwrap();
+        let mass = SparsityPattern::mass_matrix(&topo);
+        let inv = SparsityPattern::inverse_mass_matrix(&topo);
+        assert!(!mass.is_nonzero(3, 4));
+        assert!(inv.is_nonzero(3, 4));
+        // Everything here shares the single base link, so M⁻¹ is dense.
+        assert!(inv.is_dense());
+    }
+
+    #[test]
+    fn inverse_pattern_matches_mass_for_base_branching() {
+        // Limbs that split only at the base (chains, HyQ legs, Baxter
+        // arms) have no fill-in: the patterns coincide.
+        for topo in [Topology::chain(7), hyq_like(), baxter_like()] {
+            assert_eq!(
+                SparsityPattern::inverse_mass_matrix(&topo),
+                SparsityPattern::mass_matrix(&topo)
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_pattern_is_superset_of_mass_pattern() {
+        let topo = Topology::new(vec![None, Some(0), Some(1), Some(1), None, Some(4)]).unwrap();
+        let mass = SparsityPattern::mass_matrix(&topo);
+        let inv = SparsityPattern::inverse_mass_matrix(&topo);
+        for i in 0..topo.len() {
+            for j in 0..topo.len() {
+                assert!(!mass.is_nonzero(i, j) || inv.is_nonzero(i, j));
+            }
+        }
+        // Separate base subtrees stay decoupled even in the inverse.
+        assert!(!inv.is_nonzero(0, 4));
+        assert!(!inv.is_nonzero(3, 5));
     }
 
     #[test]

@@ -71,7 +71,12 @@ impl BlockMatmulPlan {
     /// # Panics
     ///
     /// Panics if `block == 0`, `units == 0`, or `b_cols == 0`.
-    pub fn new(pattern: &SparsityPattern, b_cols: usize, block: usize, units: usize) -> BlockMatmulPlan {
+    pub fn new(
+        pattern: &SparsityPattern,
+        b_cols: usize,
+        block: usize,
+        units: usize,
+    ) -> BlockMatmulPlan {
         assert!(units > 0, "need at least one mat-mul unit");
         assert!(b_cols > 0, "B must have columns");
         let tiling = BlockTiling::new(pattern, block);
@@ -93,7 +98,14 @@ impl BlockMatmulPlan {
                 }
             }
         }
-        BlockMatmulPlan { n, b_cols, block, units, ops, skipped }
+        BlockMatmulPlan {
+            n,
+            b_cols,
+            block,
+            units,
+            ops,
+            skipped,
+        }
     }
 
     /// Matrix dimension `N`.

@@ -79,7 +79,10 @@ impl BlockTiling {
     ///
     /// Panics when out of bounds.
     pub fn tile_nonzero(&self, ti: usize, tj: usize) -> bool {
-        assert!(ti < self.tiles_per_dim && tj < self.tiles_per_dim, "tile out of bounds");
+        assert!(
+            ti < self.tiles_per_dim && tj < self.tiles_per_dim,
+            "tile out of bounds"
+        );
         self.nonzero[ti * self.tiles_per_dim + tj]
     }
 

@@ -5,7 +5,8 @@
 //! roboshape generate <robot.urdf> [options]        emit Verilog + design report
 //!     --pe-fwd N --pe-bwd N --block N              explicit knobs (default: hybrid heuristic)
 //!     --out DIR                                    output directory (default: roboshape_out)
-//! roboshape sweep <robot.urdf> [--pareto]          design-space CSV on stdout
+//!     --timings                                    append per-stage pipeline timings
+//! roboshape sweep <robot.urdf> [--pareto] [--timings]   design-space CSV on stdout
 //! roboshape verify <robot.urdf>                    simulate the generated design vs reference
 //! ```
 //!
@@ -16,7 +17,7 @@
 
 use roboshape::{
     pareto_frontier, simulate, AcceleratorKnobs, Constraints, Framework, ParallelismProfile,
-    SparsityPattern,
+    PipelineStage, SparsityPattern,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -30,7 +31,9 @@ pub struct CliError {
 
 impl CliError {
     fn new(message: impl Into<String>) -> CliError {
-        CliError { message: message.into() }
+        CliError {
+            message: message.into(),
+        }
     }
 }
 
@@ -45,8 +48,8 @@ impl std::error::Error for CliError {}
 /// Usage text.
 pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
   info      print topology, metrics and pattern analysis
-  generate  emit Verilog + design report (--pe-fwd N --pe-bwd N --block N --out DIR)
-  sweep     print the design-space CSV (--pareto for the frontier only)
+  generate  emit Verilog + design report (--pe-fwd N --pe-bwd N --block N --out DIR --timings)
+  sweep     print the design-space CSV (--pareto for the frontier only, --timings for stage stats)
   verify    simulate the generated design against the reference library
   gantt     draw the generated schedule as an ASCII timeline (--width N)
   kernels   compare FK / inverse-dynamics / gradient accelerators
@@ -73,11 +76,15 @@ pub enum Command {
         knobs: Option<AcceleratorKnobs>,
         /// Output directory.
         out: PathBuf,
+        /// Append the per-stage pipeline timing report.
+        timings: bool,
     },
     /// `roboshape sweep`.
     Sweep {
         /// Restrict output to the Pareto frontier.
         pareto_only: bool,
+        /// Append the per-stage pipeline timing report.
+        timings: bool,
     },
     /// `roboshape verify`.
     Verify,
@@ -141,7 +148,9 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let command = match cmd.as_str() {
         "info" => Command::Info,
         "verify" => Command::Verify,
-        "gantt" => Command::Gantt { width: get_usize("--width")?.unwrap_or(80).max(1) },
+        "gantt" => Command::Gantt {
+            width: get_usize("--width")?.unwrap_or(80).max(1),
+        },
         "kernels" => Command::Kernels,
         "energy" => Command::Energy,
         "soc" => Command::Soc {
@@ -153,6 +162,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         },
         "sweep" => Command::Sweep {
             pareto_only: rest.iter().any(|a| a.as_str() == "--pareto"),
+            timings: rest.iter().any(|a| a.as_str() == "--timings"),
         },
         "generate" => {
             let pe_fwd = get_usize("--pe-fwd")?;
@@ -174,11 +184,27 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
             let out = get_opt("--out")?
                 .map(PathBuf::from)
                 .unwrap_or_else(|| PathBuf::from("roboshape_out"));
-            Command::Generate { knobs, out }
+            let timings = rest.iter().any(|a| a.as_str() == "--timings");
+            Command::Generate {
+                knobs,
+                out,
+                timings,
+            }
         }
         other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
     };
-    Ok(Cli { command, urdf: PathBuf::from(urdf) })
+    Ok(Cli {
+        command,
+        urdf: PathBuf::from(urdf),
+    })
+}
+
+/// Appends the `--timings` block: the per-stage pipeline report plus the
+/// artifact-store contents.
+fn append_timings(out: &mut String, fw: &Framework) {
+    let _ = writeln!(out, "\n== pipeline timings ==");
+    let _ = writeln!(out, "{}", fw.pipeline().observer().report());
+    let _ = writeln!(out, "{}", fw.pipeline().store().stats());
 }
 
 /// Executes a parsed CLI invocation; returns the text to print.
@@ -190,8 +216,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
 pub fn run(cli: &Cli) -> Result<String, CliError> {
     let urdf = std::fs::read_to_string(&cli.urdf)
         .map_err(|e| CliError::new(format!("cannot read {}: {e}", cli.urdf.display())))?;
-    let fw = Framework::from_urdf(&urdf)
-        .map_err(|e| CliError::new(format!("invalid URDF: {e}")))?;
+    let fw =
+        Framework::from_urdf(&urdf).map_err(|e| CliError::new(format!("invalid URDF: {e}")))?;
     let robot = fw.robot().clone();
 
     let mut out = String::new();
@@ -212,42 +238,61 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 pat.render()
             );
         }
-        Command::Generate { knobs, out: out_dir } => {
+        Command::Generate {
+            knobs,
+            out: out_dir,
+            timings,
+        } => {
             let accel = match knobs {
                 Some(k) => fw.generate_with_knobs(*k),
                 None => fw.generate(Constraints::unconstrained()),
             };
             let k = accel.knobs();
             let d = accel.design();
+            let report = fw.pipeline().observer().time(PipelineStage::Reports, || {
+                let r = accel.resources();
+                format!(
+                    "robot: {}\nknobs: PEs_fwd={} PEs_bwd={} block={}\ncycles: {} (no pipelining: {})\nclock: {:.1} ns\nlatency: {:.2} us\nresources: {:.0} LUTs, {:.0} DSPs\n",
+                    robot.name(),
+                    k.pe_fwd,
+                    k.pe_bwd,
+                    k.block_size,
+                    d.compute_cycles(),
+                    d.compute_cycles_no_pipelining(),
+                    d.clock_ns(),
+                    d.compute_latency_us(),
+                    r.luts,
+                    r.dsps
+                )
+            });
             std::fs::create_dir_all(out_dir)
                 .map_err(|e| CliError::new(format!("cannot create {}: {e}", out_dir.display())))?;
             for (name, src) in accel.verilog().files() {
                 std::fs::write(out_dir.join(name), src)
                     .map_err(|e| CliError::new(format!("cannot write {name}: {e}")))?;
             }
-            let r = accel.resources();
-            let report = format!(
-                "robot: {}\nknobs: PEs_fwd={} PEs_bwd={} block={}\ncycles: {} (no pipelining: {})\nclock: {:.1} ns\nlatency: {:.2} us\nresources: {:.0} LUTs, {:.0} DSPs\n",
-                robot.name(),
-                k.pe_fwd,
-                k.pe_bwd,
-                k.block_size,
-                d.compute_cycles(),
-                d.compute_cycles_no_pipelining(),
-                d.clock_ns(),
-                d.compute_latency_us(),
-                r.luts,
-                r.dsps
-            );
             std::fs::write(out_dir.join("report.txt"), &report)
                 .map_err(|e| CliError::new(format!("cannot write report: {e}")))?;
             let _ = writeln!(out, "{report}");
             let _ = writeln!(out, "wrote Verilog + report to {}", out_dir.display());
+            if *timings {
+                append_timings(&mut out, &fw);
+            }
         }
-        Command::Sweep { pareto_only } => {
+        Command::Sweep {
+            pareto_only,
+            timings,
+        } => {
             let points = fw.design_space();
-            let selected = if *pareto_only { pareto_frontier(&points) } else { points };
-            let _ = writeln!(out, "pe_fwd,pe_bwd,block,traversal_cycles,total_cycles,luts,dsps");
+            let selected = if *pareto_only {
+                pareto_frontier(&points)
+            } else {
+                points
+            };
+            let _ = writeln!(
+                out,
+                "pe_fwd,pe_bwd,block,traversal_cycles,total_cycles,luts,dsps"
+            );
             for p in selected {
                 let _ = writeln!(
                     out,
@@ -260,6 +305,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                     p.resources.luts,
                     p.resources.dsps
                 );
+            }
+            if *timings {
+                append_timings(&mut out, &fw);
             }
         }
         Command::Gantt { width } => {
@@ -274,7 +322,10 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                 d.schedule().makespan()
             );
             let _ = writeln!(out, "{}", d.schedule().render_gantt(d.task_graph(), *width));
-            let _ = writeln!(out, "legend: F RNEA-fwd, B RNEA-bwd, g grad-fwd, b grad-bwd, . idle");
+            let _ = writeln!(
+                out,
+                "legend: F RNEA-fwd, B RNEA-bwd, g grad-fwd, b grad-bwd, . idle"
+            );
         }
         Command::Kernels => {
             use roboshape::{simulate_inverse_dynamics, simulate_kinematics, KernelKind};
@@ -323,7 +374,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             use roboshape::PowerModel;
             let accel = fw.generate(Constraints::unconstrained());
             let plain = PowerModel::new().evaluate(accel.design());
-            let gated = PowerModel::new().with_power_gating().evaluate(accel.design());
+            let gated = PowerModel::new()
+                .with_power_gating()
+                .evaluate(accel.design());
             let _ = writeln!(out, "robot: {} ({} links)", robot.name(), robot.num_links());
             let _ = writeln!(
                 out,
@@ -353,7 +406,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                     .map_err(|e| CliError::new(format!("cannot read {}: {e}", path.display())))?;
                 robots.push(
                     Framework::from_urdf(&text)
-                        .map_err(|e| CliError::new(format!("invalid URDF {}: {e}", path.display())))?
+                        .map_err(|e| {
+                            CliError::new(format!("invalid URDF {}: {e}", path.display()))
+                        })?
                         .robot()
                         .clone(),
                 );
@@ -409,7 +464,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             );
             let _ = writeln!(out, "max gradient deviation vs reference: {err:.3e}");
             if err > 1e-8 {
-                return Err(CliError::new(format!("verification FAILED: error {err:.3e}")));
+                return Err(CliError::new(format!(
+                    "verification FAILED: error {err:.3e}"
+                )));
             }
             let _ = writeln!(out, "VERIFIED");
         }
@@ -439,7 +496,21 @@ mod tests {
         let c = parse_args(&args(&["info", "r.urdf"])).unwrap();
         assert_eq!(c.command, Command::Info);
         let c = parse_args(&args(&["sweep", "r.urdf", "--pareto"])).unwrap();
-        assert_eq!(c.command, Command::Sweep { pareto_only: true });
+        assert_eq!(
+            c.command,
+            Command::Sweep {
+                pareto_only: true,
+                timings: false
+            }
+        );
+        let c = parse_args(&args(&["sweep", "r.urdf", "--timings"])).unwrap();
+        assert_eq!(
+            c.command,
+            Command::Sweep {
+                pareto_only: false,
+                timings: true
+            }
+        );
         let c = parse_args(&args(&["generate", "r.urdf", "--pe-fwd", "3", "--block=4"])).unwrap();
         match c.command {
             Command::Generate { knobs: Some(k), .. } => {
@@ -506,6 +577,41 @@ mod tests {
         let out = run(&cli).unwrap();
         assert!(out.starts_with("pe_fwd,pe_bwd,block"));
         assert!(out.lines().count() > 2);
+    }
+
+    #[test]
+    fn sweep_with_timings_reports_pipeline_stages() {
+        let path = write_urdf("sweep_timings");
+        let cli = parse_args(&args(&[
+            "sweep",
+            path.to_str().unwrap(),
+            "--pareto",
+            "--timings",
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("== pipeline timings =="));
+        assert!(out.contains("schedules"));
+        assert!(out.contains("points evaluated"));
+        assert!(out.contains("artifact store:"));
+    }
+
+    #[test]
+    fn generate_with_timings_reports_pipeline_stages() {
+        let path = write_urdf("generate_timings");
+        let out_dir = std::env::temp_dir().join("roboshape_cli_tests/gen_timings_out");
+        let cli = parse_args(&args(&[
+            "generate",
+            path.to_str().unwrap(),
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--timings",
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("== pipeline timings =="));
+        assert!(out.contains("parse"));
+        assert!(out.contains("reports"));
     }
 
     #[test]

@@ -96,7 +96,11 @@ pub fn lint(src: &str) -> Result<(), LintError> {
             .filter(|t| *t == word)
             .count()
     };
-    for (open, close) in [("module", "endmodule"), ("case", "endcase"), ("begin", "end")] {
+    for (open, close) in [
+        ("module", "endmodule"),
+        ("case", "endcase"),
+        ("begin", "end"),
+    ] {
         let (o, c) = (count(open), count(close));
         if o != c {
             return Err(LintError {
@@ -105,7 +109,9 @@ pub fn lint(src: &str) -> Result<(), LintError> {
         }
     }
     if count("module") == 0 {
-        return Err(LintError { message: "no module found".into() });
+        return Err(LintError {
+            message: "no module found".into(),
+        });
     }
     Ok(())
 }
@@ -191,7 +197,10 @@ pub fn emit_verilog(design: &AcceleratorDesign) -> VerilogBundle {
     let word_bits = 2 * link_bits + 2;
 
     let files = vec![
-        ("roboshape_top.v".to_string(), emit_top(design, link_bits, word_bits)),
+        (
+            "roboshape_top.v".to_string(),
+            emit_top(design, link_bits, word_bits),
+        ),
         (
             "schedule_rom_fwd.v".to_string(),
             emit_rom(design, PeClass::Forward, link_bits, word_bits),
@@ -232,9 +241,23 @@ fn emit_top(design: &AcceleratorDesign, link_bits: usize, word_bits: usize) -> S
     let _ = writeln!(s, "  output wire [{}:0] dqdd_dqd_out,", 32 * n * n - 1);
     let _ = writeln!(s, "  output wire done");
     let _ = writeln!(s, ");");
-    let _ = writeln!(s, "  wire [{}:0] fwd_task [0:{}];", word_bits - 1, knobs.pe_fwd - 1);
-    let _ = writeln!(s, "  wire [{}:0] bwd_task [0:{}];", word_bits - 1, knobs.pe_bwd - 1);
-    let _ = writeln!(s, "  wire [{}:0] fwd_busy, bwd_busy;", knobs.pe_fwd.max(knobs.pe_bwd) - 1);
+    let _ = writeln!(
+        s,
+        "  wire [{}:0] fwd_task [0:{}];",
+        word_bits - 1,
+        knobs.pe_fwd - 1
+    );
+    let _ = writeln!(
+        s,
+        "  wire [{}:0] bwd_task [0:{}];",
+        word_bits - 1,
+        knobs.pe_bwd - 1
+    );
+    let _ = writeln!(
+        s,
+        "  wire [{}:0] fwd_busy, bwd_busy;",
+        knobs.pe_fwd.max(knobs.pe_bwd) - 1
+    );
     let _ = writeln!(s, "  schedule_rom_fwd u_rom_fwd (.clk(clk), .rst(rst));");
     let _ = writeln!(s, "  schedule_rom_bwd u_rom_bwd (.clk(clk), .rst(rst));");
     for pe in 0..knobs.pe_fwd {
@@ -266,7 +289,10 @@ fn emit_top(design: &AcceleratorDesign, link_bits: usize, word_bits: usize) -> S
     let _ = writeln!(s, "        3'd1: stage_q <= 3'd2;            // RNEA bwd");
     let _ = writeln!(s, "        3'd2: stage_q <= 3'd3;            // grad fwd");
     let _ = writeln!(s, "        3'd3: stage_q <= 3'd4;            // grad bwd");
-    let _ = writeln!(s, "        3'd4: stage_q <= 3'd5;            // block matmul");
+    let _ = writeln!(
+        s,
+        "        3'd4: stage_q <= 3'd5;            // block matmul"
+    );
     let _ = writeln!(s, "        default: stage_q <= 3'd0;");
     let _ = writeln!(s, "      endcase");
     let _ = writeln!(s, "    end");
@@ -277,7 +303,12 @@ fn emit_top(design: &AcceleratorDesign, link_bits: usize, word_bits: usize) -> S
     s
 }
 
-fn emit_rom(design: &AcceleratorDesign, class: PeClass, link_bits: usize, word_bits: usize) -> String {
+fn emit_rom(
+    design: &AcceleratorDesign,
+    class: PeClass,
+    link_bits: usize,
+    word_bits: usize,
+) -> String {
     let graph = design.task_graph();
     let schedule = design.schedule();
     let pes = if class == PeClass::Forward {
@@ -285,7 +316,11 @@ fn emit_rom(design: &AcceleratorDesign, class: PeClass, link_bits: usize, word_b
     } else {
         design.knobs().pe_bwd
     };
-    let name = if class == PeClass::Forward { "schedule_rom_fwd" } else { "schedule_rom_bwd" };
+    let name = if class == PeClass::Forward {
+        "schedule_rom_fwd"
+    } else {
+        "schedule_rom_bwd"
+    };
     let mut s = String::new();
     let _ = writeln!(s, "// Per-PE schedule table ({name}) — Fig. 8a storage");
     let _ = writeln!(s, "module {name} (");
@@ -322,7 +357,10 @@ fn emit_rom(design: &AcceleratorDesign, class: PeClass, link_bits: usize, word_b
 
 fn emit_pe(link_bits: usize, word_bits: usize) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "// Traversal PE: link-step datapath with parent-value and");
+    let _ = writeln!(
+        s,
+        "// Traversal PE: link-step datapath with parent-value and"
+    );
     let _ = writeln!(s, "// branch-checkpoint registers (Fig. 8d/e).");
     let _ = writeln!(s, "module traversal_pe #(");
     let _ = writeln!(s, "  parameter PE_ID = 0,");
@@ -332,7 +370,12 @@ fn emit_pe(link_bits: usize, word_bits: usize) -> String {
     let _ = writeln!(s, "  input wire rst,");
     let _ = writeln!(s, "  input wire [{}:0] task_word", word_bits - 1);
     let _ = writeln!(s, ");");
-    let _ = writeln!(s, "  wire [{}:0] link_idx = task_word[{}:0];", link_bits - 1, link_bits - 1);
+    let _ = writeln!(
+        s,
+        "  wire [{}:0] link_idx = task_word[{}:0];",
+        link_bits - 1,
+        link_bits - 1
+    );
     let _ = writeln!(
         s,
         "  wire [{}:0] seed_idx = task_word[{}:{}];",
@@ -340,8 +383,16 @@ fn emit_pe(link_bits: usize, word_bits: usize) -> String {
         2 * link_bits - 1,
         link_bits
     );
-    let _ = writeln!(s, "  wire [1:0] stage_sel = task_word[{}:{}];", word_bits - 1, 2 * link_bits);
-    let _ = writeln!(s, "  // Parent-value registers (one spatial state): Fig. 8d.");
+    let _ = writeln!(
+        s,
+        "  wire [1:0] stage_sel = task_word[{}:{}];",
+        word_bits - 1,
+        2 * link_bits
+    );
+    let _ = writeln!(
+        s,
+        "  // Parent-value registers (one spatial state): Fig. 8d."
+    );
     let _ = writeln!(s, "  reg [191:0] parent_v_q, parent_a_q;");
     let _ = writeln!(s, "  // Branch checkpoint registers: Fig. 8e.");
     let _ = writeln!(s, "  reg [191:0] ckpt_v_q, ckpt_a_q;");
@@ -355,10 +406,22 @@ fn emit_pe(link_bits: usize, word_bits: usize) -> String {
     let _ = writeln!(s, "      result_q   <= 192'd0;");
     let _ = writeln!(s, "    end else begin");
     let _ = writeln!(s, "      case (stage_sel)");
-    let _ = writeln!(s, "        2'd0: result_q <= parent_v_q ^ {{188'd0, link_idx}}; // fwd step");
-    let _ = writeln!(s, "        2'd1: result_q <= parent_a_q;                        // bwd step");
-    let _ = writeln!(s, "        2'd2: result_q <= ckpt_v_q ^ {{188'd0, seed_idx}};   // grad fwd");
-    let _ = writeln!(s, "        default: result_q <= ckpt_a_q;                       // grad bwd");
+    let _ = writeln!(
+        s,
+        "        2'd0: result_q <= parent_v_q ^ {{188'd0, link_idx}}; // fwd step"
+    );
+    let _ = writeln!(
+        s,
+        "        2'd1: result_q <= parent_a_q;                        // bwd step"
+    );
+    let _ = writeln!(
+        s,
+        "        2'd2: result_q <= ckpt_v_q ^ {{188'd0, seed_idx}};   // grad fwd"
+    );
+    let _ = writeln!(
+        s,
+        "        default: result_q <= ckpt_a_q;                       // grad bwd"
+    );
     let _ = writeln!(s, "      endcase");
     let _ = writeln!(s, "    end");
     let _ = writeln!(s, "  end");
@@ -375,20 +438,37 @@ fn emit_testbench(design: &AcceleratorDesign) -> String {
     let cycles = design.compute_cycles();
     let period_ns = design.clock_ns();
     let mut s = String::new();
-    let _ = writeln!(s, "// Self-checking testbench: {cycles} compute cycles at {period_ns:.1} ns");
+    let _ = writeln!(
+        s,
+        "// Self-checking testbench: {cycles} compute cycles at {period_ns:.1} ns"
+    );
     let _ = writeln!(s, "`timescale 1ns/1ps");
     let _ = writeln!(s, "module roboshape_tb;");
     let _ = writeln!(s, "  reg clk = 1'b0;");
     let _ = writeln!(s, "  reg rst = 1'b1;");
     let _ = writeln!(s, "  reg start = 1'b0;");
     let _ = writeln!(s, "  wire done;");
-    let _ = writeln!(s, "  reg [{}:0] q_in = 0, qd_in = 0, qdd_in = 0;", 32 * n - 1);
+    let _ = writeln!(
+        s,
+        "  reg [{}:0] q_in = 0, qd_in = 0, qdd_in = 0;",
+        32 * n - 1
+    );
     let _ = writeln!(s, "  reg [{}:0] minv_in = 0;", 32 * n * n - 1);
-    let _ = writeln!(s, "  wire [{}:0] dqdd_dq_out, dqdd_dqd_out;", 32 * n * n - 1);
+    let _ = writeln!(
+        s,
+        "  wire [{}:0] dqdd_dq_out, dqdd_dqd_out;",
+        32 * n * n - 1
+    );
     let _ = writeln!(s, "  roboshape_top dut (");
     let _ = writeln!(s, "    .clk(clk), .rst(rst), .start(start),");
-    let _ = writeln!(s, "    .q_in(q_in), .qd_in(qd_in), .qdd_in(qdd_in), .minv_in(minv_in),");
-    let _ = writeln!(s, "    .dqdd_dq_out(dqdd_dq_out), .dqdd_dqd_out(dqdd_dqd_out),");
+    let _ = writeln!(
+        s,
+        "    .q_in(q_in), .qd_in(qd_in), .qdd_in(qdd_in), .minv_in(minv_in),"
+    );
+    let _ = writeln!(
+        s,
+        "    .dqdd_dq_out(dqdd_dq_out), .dqdd_dqd_out(dqdd_dqd_out),"
+    );
     let _ = writeln!(s, "    .done(done)");
     let _ = writeln!(s, "  );");
     let half = period_ns / 2.0;
@@ -401,7 +481,10 @@ fn emit_testbench(design: &AcceleratorDesign) -> String {
     let _ = writeln!(s, "    start = 1'b0;");
     let _ = writeln!(s, "    repeat ({cycles}) @(posedge clk);");
     let _ = writeln!(s, "    if (!done) begin");
-    let _ = writeln!(s, "      $display(\"FAIL: not done after {cycles} cycles\");");
+    let _ = writeln!(
+        s,
+        "      $display(\"FAIL: not done after {cycles} cycles\");"
+    );
     let _ = writeln!(s, "      $fatal;");
     let _ = writeln!(s, "    end");
     let _ = writeln!(s, "    $display(\"PASS: done in {cycles} cycles\");");
@@ -413,7 +496,10 @@ fn emit_testbench(design: &AcceleratorDesign) -> String {
 
 fn emit_mm_unit(block: usize) -> String {
     let mut s = String::new();
-    let _ = writeln!(s, "// Block mat-mul unit: {block}x{block} MAC array + accumulators (Fig. 8f).");
+    let _ = writeln!(
+        s,
+        "// Block mat-mul unit: {block}x{block} MAC array + accumulators (Fig. 8f)."
+    );
     let _ = writeln!(s, "module mm_unit #(");
     let _ = writeln!(s, "  parameter UNIT_ID = 0,");
     let _ = writeln!(s, "  parameter BLK = {block}");
@@ -428,7 +514,10 @@ fn emit_mm_unit(block: usize) -> String {
     let _ = writeln!(s, "        reg [31:0] acc_q;");
     let _ = writeln!(s, "        always @(posedge clk) begin");
     let _ = writeln!(s, "          if (rst) acc_q <= 32'd0;");
-    let _ = writeln!(s, "          else acc_q <= acc_q + 32'd1; // MAC placeholder datapath");
+    let _ = writeln!(
+        s,
+        "          else acc_q <= acc_q + 32'd1; // MAC placeholder datapath"
+    );
     let _ = writeln!(s, "        end");
     let _ = writeln!(s, "      end");
     let _ = writeln!(s, "    end");
@@ -501,7 +590,10 @@ mod tests {
     #[test]
     fn top_instantiates_all_pes_and_units() {
         let d = design();
-        let top = emit_verilog(&d).file("roboshape_top.v").unwrap().to_string();
+        let top = emit_verilog(&d)
+            .file("roboshape_top.v")
+            .unwrap()
+            .to_string();
         for pe in 0..4 {
             assert!(top.contains(&format!("u_fwd_pe_{pe}")));
             assert!(top.contains(&format!("u_bwd_pe_{pe}")));
@@ -562,7 +654,11 @@ mod tests {
         let bits = index_width(n);
         let mut seen = std::collections::HashSet::new();
         for t in d.task_graph().tasks() {
-            assert!(seen.insert(encode_task(t.kind, bits)), "collision for {:?}", t.kind);
+            assert!(
+                seen.insert(encode_task(t.kind, bits)),
+                "collision for {:?}",
+                t.kind
+            );
         }
     }
 }

@@ -68,7 +68,9 @@ impl SphereDecomposition {
     /// Builds an empty decomposition for `n` links (fill with
     /// [`SphereDecomposition::set_link`]).
     pub fn empty(n: usize) -> SphereDecomposition {
-        SphereDecomposition { per_link: vec![Vec::new(); n] }
+        SphereDecomposition {
+            per_link: vec![Vec::new(); n],
+        }
     }
 
     /// Sets the spheres of one link (link-frame coordinates).
@@ -170,7 +172,10 @@ pub struct CollisionWorld {
 
 impl Default for CollisionWorld {
     fn default() -> Self {
-        CollisionWorld { obstacles: Vec::new(), ignore_within: 1 }
+        CollisionWorld {
+            obstacles: Vec::new(),
+            ignore_within: 1,
+        }
     }
 }
 
@@ -226,7 +231,11 @@ impl CollisionWorld {
     ) -> CollisionReport {
         let n = model.num_links();
         assert_eq!(q.len(), n, "q dimension mismatch");
-        assert_eq!(spheres.per_link.len(), n, "decomposition dimension mismatch");
+        assert_eq!(
+            spheres.per_link.len(),
+            n,
+            "decomposition dimension mismatch"
+        );
         let fk = Dynamics::new(model).forward_kinematics(q);
         let topo = model.topology();
 
@@ -244,7 +253,10 @@ impl CollisionWorld {
             })
             .collect();
 
-        let mut report = CollisionReport { min_separation: f64::INFINITY, ..Default::default() };
+        let mut report = CollisionReport {
+            min_separation: f64::INFINITY,
+            ..Default::default()
+        };
         // Link vs obstacles.
         for (i, link_spheres) in world_spheres.iter().enumerate() {
             for s in link_spheres {
@@ -313,11 +325,7 @@ impl CollisionWorld {
         assert_eq!(from.len(), to.len(), "endpoint dimension mismatch");
         for k in 1..=steps {
             let t = k as f64 / steps as f64;
-            let q: Vec<f64> = from
-                .iter()
-                .zip(to)
-                .map(|(a, b)| a + t * (b - a))
-                .collect();
+            let q: Vec<f64> = from.iter().zip(to).map(|(a, b)| a + t * (b - a)).collect();
             if !self.check(model, spheres, &q).is_free() {
                 return false;
             }
@@ -373,10 +381,14 @@ mod tests {
         // Fold both distal joints by ~π: link 2 comes back over link 0.
         let r = world.check(&robot, &spheres, &[0.0, 3.0, 3.0]);
         assert!(!r.is_free());
-        assert!(r
-            .contacts
-            .iter()
-            .any(|c| matches!(c, Contact::SelfCollision { link_a: 0, link_b: 2, .. })));
+        assert!(r.contacts.iter().any(|c| matches!(
+            c,
+            Contact::SelfCollision {
+                link_a: 0,
+                link_b: 2,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -387,7 +399,10 @@ mod tests {
         let world = CollisionWorld::new().with_obstacle(Vec3::new(0.0, 0.0, -1.1), 0.15);
         let hit = world.check(&robot, &spheres, &[0.0, 0.0, 0.0]);
         assert!(!hit.is_free());
-        assert!(hit.contacts.iter().any(|c| matches!(c, Contact::Obstacle { link: 2, .. })));
+        assert!(hit
+            .contacts
+            .iter()
+            .any(|c| matches!(c, Contact::Obstacle { link: 2, .. })));
         // Swing the base joint away: free again.
         let free = world.check(&robot, &spheres, &[1.5, 0.0, 0.0]);
         assert!(free.is_free(), "{:?}", free.contacts);
@@ -428,7 +443,9 @@ mod tests {
         let folded = [0.0, 3.0, 3.0];
         // Default (adjacent-only) catches the 0-2 fold; distance-2 filter
         // deliberately ignores it.
-        assert!(!CollisionWorld::new().check(&robot, &spheres, &folded).is_free());
+        assert!(!CollisionWorld::new()
+            .check(&robot, &spheres, &folded)
+            .is_free());
         assert!(CollisionWorld::new()
             .ignoring_links_within(2)
             .check(&robot, &spheres, &folded)

@@ -43,7 +43,9 @@ pub fn kernel_table() -> Vec<KernelInfo> {
             traversal: Some(TraversalScaling::Linear),
             topology_matrices: false,
             reference: "Featherstone 2008",
-            implemented_in: Some("roboshape-dynamics::forward_kinematics / KernelKind::ForwardKinematics"),
+            implemented_in: Some(
+                "roboshape-dynamics::forward_kinematics / KernelKind::ForwardKinematics",
+            ),
         },
         KernelInfo {
             name: "Inverse dynamics (RNEA)",
@@ -112,11 +114,15 @@ mod tests {
     fn table_has_both_patterns_represented() {
         let table = kernel_table();
         assert!(table.len() >= 6);
-        assert!(table.iter().any(|k| k.traversal == Some(TraversalScaling::Quadratic)));
+        assert!(table
+            .iter()
+            .any(|k| k.traversal == Some(TraversalScaling::Quadratic)));
         assert!(table.iter().any(|k| k.topology_matrices));
         // The contrast case: a bottleneck kernel that uses neither pattern
         // (RoboShape is complementary to its accelerators).
-        assert!(table.iter().any(|k| k.traversal.is_none() && !k.topology_matrices));
+        assert!(table
+            .iter()
+            .any(|k| k.traversal.is_none() && !k.topology_matrices));
     }
 
     #[test]

@@ -47,9 +47,8 @@
 pub mod kernels;
 
 pub use roboshape_arch::{
-    clock_period_ns, power, rc_design, rc_resources, AcceleratorDesign, AcceleratorKnobs,
-    KernelKind,
-    DseModel, FullDesignModel, MatmulUnits, Platform, PowerModel, PowerReport, Resources,
+    clock_period_ns, power, rc_design, rc_resources, AcceleratorDesign, AcceleratorKnobs, DseModel,
+    FullDesignModel, KernelKind, MatmulUnits, Platform, PowerModel, PowerReport, Resources,
     StorageReport, UTILIZATION_THRESHOLD,
 };
 pub use roboshape_baselines::{
@@ -62,18 +61,21 @@ pub use roboshape_blocksparse::{
 };
 pub use roboshape_codegen::{check_bundle, emit_verilog, lint, VerilogBundle};
 pub use roboshape_dse::{
-    co_design, constrained_selection, design_space_stats, evaluate_strategies, pareto_frontier,
-    sweep_design_space, AllocationStrategy, ConstrainedSelection, DesignPoint, DesignSpaceStats,
-    Quartiles, SocAllocation, StrategyOutcome,
+    co_design, constrained_selection, design_space_stats, evaluate_strategies,
+    evaluate_strategies_with, pareto_frontier, sweep_design_space, sweep_design_space_barrier,
+    sweep_design_space_barrier_with, sweep_design_space_with, AllocationStrategy,
+    ConstrainedSelection, DesignPoint, DesignSpaceStats, Quartiles, SocAllocation, StrategyOutcome,
 };
-pub use roboshape_dynamics::{
-    Dynamics, FdDerivatives, ForwardKinematics, RneaDerivatives,
+pub use roboshape_dynamics::{Dynamics, FdDerivatives, ForwardKinematics, RneaDerivatives};
+pub use roboshape_pipeline::{
+    ArtifactStore, PatternKind, Pipeline, PipelineObserver, PipelineReport, PipelineStage,
+    StageReport, StoreStats,
 };
-pub use roboshape_spatial::{inertia_pattern, joint_transform_pattern, Pattern6};
 pub use roboshape_sim::{
     simulate, simulate_batch, simulate_inverse_dynamics, simulate_kinematics, AcceleratorGradients,
     GradientProvider, ReferenceGradients, SimStats, Simulation,
 };
+pub use roboshape_spatial::{inertia_pattern, joint_transform_pattern, Pattern6};
 pub use roboshape_taskgraph::{schedule, Schedule, SchedulerConfig, Stage, TaskCosts, TaskGraph};
 pub use roboshape_topology::{ParallelismProfile, Topology, TopologyMetrics};
 pub use roboshape_urdf::{parse_urdf, write_urdf, RobotBuilder, RobotModel, UrdfError};
@@ -102,19 +104,34 @@ impl Constraints {
             max_pe_fwd > 0 && max_pe_bwd > 0 && max_block > 0,
             "constraints must be positive"
         );
-        Constraints { max_pe_fwd, max_pe_bwd, max_block }
+        Constraints {
+            max_pe_fwd,
+            max_pe_bwd,
+            max_block,
+        }
     }
 
     /// No practical limits (every knob may go up to the robot size).
     pub fn unconstrained() -> Constraints {
-        Constraints { max_pe_fwd: usize::MAX, max_pe_bwd: usize::MAX, max_block: usize::MAX }
+        Constraints {
+            max_pe_fwd: usize::MAX,
+            max_pe_bwd: usize::MAX,
+            max_block: usize::MAX,
+        }
     }
 }
 
 /// The RoboShape framework bound to one robot (paper Fig. 7).
+///
+/// All generation goes through a staged compilation [`Pipeline`] —
+/// by default the process-wide [`Pipeline::global`], so frameworks bound
+/// to the same robot (and repeated sweeps, strategy studies and report
+/// generators) share one warmed artifact store. Use
+/// [`Framework::with_pipeline`] to isolate a framework on its own store.
 #[derive(Debug, Clone)]
 pub struct Framework {
     robot: RobotModel,
+    pipeline: Pipeline,
 }
 
 impl Framework {
@@ -124,12 +141,31 @@ impl Framework {
     ///
     /// Returns a [`UrdfError`] for malformed robot descriptions.
     pub fn from_urdf(urdf: &str) -> Result<Framework, UrdfError> {
-        Ok(Framework { robot: parse_urdf(urdf)? })
+        let pipeline = Pipeline::global().clone();
+        let robot = pipeline
+            .observer()
+            .time(PipelineStage::Parse, || parse_urdf(urdf))?;
+        Ok(Framework { robot, pipeline })
     }
 
     /// Binds the framework to an already-built robot model.
     pub fn from_model(robot: RobotModel) -> Framework {
-        Framework { robot }
+        Framework {
+            robot,
+            pipeline: Pipeline::global().clone(),
+        }
+    }
+
+    /// Rebinds the framework to an explicit compilation pipeline (e.g. a
+    /// cold one for cache-effect measurements).
+    pub fn with_pipeline(mut self, pipeline: Pipeline) -> Framework {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// The compilation pipeline the framework generates through.
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
     }
 
     /// The bound robot.
@@ -139,7 +175,9 @@ impl Framework {
 
     /// The robot's topology metrics (Table 3).
     pub fn metrics(&self) -> TopologyMetrics {
-        self.robot.topology().metrics()
+        self.pipeline
+            .observer()
+            .time(PipelineStage::Topology, || self.robot.topology().metrics())
     }
 
     /// Chooses knob values under the given constraints: the Hybrid
@@ -153,13 +191,16 @@ impl Framework {
         let pe_fwd = m.max_leaf_depth.min(constraints.max_pe_fwd).max(1);
         let pe_bwd = m.max_descendants.min(constraints.max_pe_bwd).max(1);
         // Block size: minimize the blocked-mat-mul latency (NOP skipping
-        // vs padding waste), per-link units.
-        let pattern = SparsityPattern::mass_matrix(topo);
+        // vs padding waste), per-link units. Plans come from the pipeline
+        // store, so a prior sweep makes this a pure lookup.
         let model = MatmulLatencyModel::default();
         let max_block = constraints.max_block.min(n).max(1);
+        let units = MatmulUnits::PerLink.resolve(n);
         let block = (1..=max_block)
             .min_by_key(|&b| {
-                BlockMatmulPlan::new(&pattern, 2 * n, b, n).latency(&model)
+                self.pipeline
+                    .block_plan(topo, PatternKind::InverseMass, 2 * n, b, units)
+                    .latency(&model)
             })
             .expect("non-empty block range");
         AcceleratorKnobs::new(pe_fwd, pe_bwd, block)
@@ -173,15 +214,23 @@ impl Framework {
         self.generate_with_knobs(knobs)
     }
 
-    /// Generates an accelerator at an explicit knob setting.
+    /// Generates an accelerator at an explicit knob setting. Schedules,
+    /// patterns and block plans are reused from the pipeline's artifact
+    /// store when present.
     pub fn generate_with_knobs(&self, knobs: AcceleratorKnobs) -> Accelerator {
-        let design = AcceleratorDesign::generate(self.robot.topology(), knobs);
-        Accelerator { robot: self.robot.clone(), design }
+        let design =
+            self.pipeline
+                .design(self.robot.topology(), knobs, KernelKind::DynamicsGradient);
+        Accelerator {
+            robot: self.robot.clone(),
+            design,
+        }
     }
 
-    /// Sweeps the robot's full design space (Fig. 12).
+    /// Sweeps the robot's full design space (Fig. 12) through the
+    /// framework's pipeline.
     pub fn design_space(&self) -> Vec<DesignPoint> {
-        sweep_design_space(self.robot.topology())
+        sweep_design_space_with(&self.pipeline, self.robot.topology())
     }
 }
 
@@ -278,7 +327,7 @@ mod tests {
         let fw = Framework::from_model(zoo(Zoo::Hyq));
         let knobs = fw.choose_knobs(Constraints::unconstrained());
         assert!(
-            knobs.block_size % 3 == 0,
+            knobs.block_size.is_multiple_of(3),
             "expected leg-aligned block, got {}",
             knobs.block_size
         );

@@ -30,9 +30,7 @@ impl ConstrainedSelection {
     /// infeasible.
     pub fn max_allocation_penalty(&self) -> Option<f64> {
         match (&self.max_allocated, &self.min_latency) {
-            (Some(max), Some(min)) => {
-                Some(max.total_cycles as f64 / min.total_cycles as f64)
-            }
+            (Some(max), Some(min)) => Some(max.total_cycles as f64 / min.total_cycles as f64),
             _ => None,
         }
     }
@@ -53,28 +51,44 @@ pub fn constrained_selection(points: &[DesignPoint], platform: Platform) -> Cons
         .max_by(|a, b| {
             let ka = a.pe_fwd + a.pe_bwd + a.block;
             let kb = b.pe_fwd + b.pe_bwd + b.block;
-            ka.cmp(&kb)
-                .then(a.resources.luts.partial_cmp(&b.resources.luts).expect("finite"))
+            ka.cmp(&kb).then(
+                a.resources
+                    .luts
+                    .partial_cmp(&b.resources.luts)
+                    .expect("finite"),
+            )
         })
         .map(|p| **p);
 
     let min_latency = feasible
         .iter()
         .min_by(|a, b| {
-            a.total_cycles
-                .cmp(&b.total_cycles)
-                .then(a.resources.luts.partial_cmp(&b.resources.luts).expect("finite"))
+            a.total_cycles.cmp(&b.total_cycles).then(
+                a.resources
+                    .luts
+                    .partial_cmp(&b.resources.luts)
+                    .expect("finite"),
+            )
         })
         .map(|p| **p);
 
     // Sanity: the chosen min-latency point is on the feasible Pareto front.
-    debug_assert!(min_latency.is_none() || {
-        let feas: Vec<DesignPoint> = feasible.iter().map(|p| **p).collect();
-        let front = pareto_frontier(&feas);
-        front.iter().any(|f| f.total_cycles == min_latency.expect("some").total_cycles)
-    });
+    debug_assert!(
+        min_latency.is_none() || {
+            let feas: Vec<DesignPoint> = feasible.iter().map(|p| **p).collect();
+            let front = pareto_frontier(&feas);
+            front
+                .iter()
+                .any(|f| f.total_cycles == min_latency.expect("some").total_cycles)
+        }
+    );
 
-    ConstrainedSelection { platform, threshold, max_allocated, min_latency }
+    ConstrainedSelection {
+        platform,
+        threshold,
+        max_allocated,
+        min_latency,
+    }
 }
 
 #[cfg(test)]
@@ -112,7 +126,14 @@ mod tests {
         // minimum latency design points do so by using fewer resources".
         let mut strictly_worse = 0;
         let mut robots_checked = 0;
-        for which in [Zoo::Iiwa, Zoo::Hyq, Zoo::Baxter, Zoo::Jaco2, Zoo::Jaco3, Zoo::HyqArm] {
+        for which in [
+            Zoo::Iiwa,
+            Zoo::Hyq,
+            Zoo::Baxter,
+            Zoo::Jaco2,
+            Zoo::Jaco3,
+            Zoo::HyqArm,
+        ] {
             let pts = sweep_design_space(zoo(which).topology());
             for platform in Platform::all() {
                 let sel = constrained_selection(&pts, platform);

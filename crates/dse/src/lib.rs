@@ -8,7 +8,13 @@
 //!
 //! * [`sweep_design_space`] — evaluates every knob setting (latency via
 //!   the real scheduler + blocked-mat-mul plan, resources via the DSE
-//!   model), parallelized with crossbeam scoped threads;
+//!   model) over a worker pool bounded by the machine's parallelism, with
+//!   all intermediate artifacts cached in the shared compilation-pipeline
+//!   store (`roboshape-pipeline`); `_with` variants accept an explicit
+//!   [`Pipeline`](roboshape_pipeline::Pipeline);
+//! * [`sweep_design_space_barrier`] — the same grid under stage-barrier
+//!   schedules, computed as two `N`-schedule half-sweeps (the barrier
+//!   makespan separates per PE class; pipelining couples them);
 //! * [`pareto_frontier`] — the latency/LUT Pareto front of Fig. 12;
 //! * [`AllocationStrategy`] / [`evaluate_strategies`] — the six
 //!   resource-allocation strategies of Fig. 13 (Total Links, Average and
@@ -42,5 +48,10 @@ mod sweep;
 pub use constrained::{constrained_selection, ConstrainedSelection};
 pub use soc::{co_design, SocAllocation};
 pub use stats::{design_space_stats, DesignSpaceStats, Quartiles};
-pub use strategies::{evaluate_strategies, AllocationStrategy, StrategyOutcome};
-pub use sweep::{pareto_frontier, sweep_design_space, DesignPoint};
+pub use strategies::{
+    evaluate_strategies, evaluate_strategies_with, AllocationStrategy, StrategyOutcome,
+};
+pub use sweep::{
+    pareto_frontier, sweep_design_space, sweep_design_space_barrier,
+    sweep_design_space_barrier_with, sweep_design_space_with, DesignPoint,
+};

@@ -101,8 +101,16 @@ pub fn co_design(
     let total = assignments
         .iter()
         .fold(Resources::default(), |acc, p| acc + p.resources);
-    let worst_latency = assignments.iter().map(|p| p.total_cycles).max().expect("nonempty");
-    Some(SocAllocation { assignments, total, worst_latency })
+    let worst_latency = assignments
+        .iter()
+        .map(|p| p.total_cycles)
+        .max()
+        .expect("nonempty");
+    Some(SocAllocation {
+        assignments,
+        total,
+        worst_latency,
+    })
 }
 
 #[cfg(test)]
@@ -130,7 +138,12 @@ mod tests {
         assert!(alloc.total.dsps <= Platform::vcu118().dsps * UTILIZATION_THRESHOLD);
         assert_eq!(
             alloc.worst_latency,
-            alloc.assignments.iter().map(|p| p.total_cycles).max().unwrap()
+            alloc
+                .assignments
+                .iter()
+                .map(|p| p.total_cycles)
+                .max()
+                .unwrap()
         );
     }
 

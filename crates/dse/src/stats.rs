@@ -35,7 +35,13 @@ impl Quartiles {
             let frac = idx - lo as f64;
             v[lo] * (1.0 - frac) + v[hi] * frac
         };
-        Quartiles { min: v[0], q1: at(0.25), median: at(0.5), q3: at(0.75), max: v[v.len() - 1] }
+        Quartiles {
+            min: v[0],
+            q1: at(0.25),
+            median: at(0.5),
+            q3: at(0.75),
+            max: v[v.len() - 1],
+        }
     }
 }
 
@@ -63,19 +69,29 @@ pub struct DesignSpaceStats {
 /// Panics if `points` is empty.
 pub fn design_space_stats(points: &[DesignPoint]) -> DesignSpaceStats {
     assert!(!points.is_empty(), "empty design space");
-    let latency = Quartiles::of(&points.iter().map(|p| p.total_cycles as f64).collect::<Vec<_>>());
+    let latency = Quartiles::of(
+        &points
+            .iter()
+            .map(|p| p.total_cycles as f64)
+            .collect::<Vec<_>>(),
+    );
     let luts = Quartiles::of(&points.iter().map(|p| p.resources.luts).collect::<Vec<_>>());
     let frontier = pareto_frontier(points);
     let knee = *frontier
         .iter()
         .min_by(|a, b| {
-            let score = |p: &DesignPoint| {
-                p.total_cycles as f64 / latency.max + p.resources.luts / luts.max
-            };
+            let score =
+                |p: &DesignPoint| p.total_cycles as f64 / latency.max + p.resources.luts / luts.max;
             score(a).partial_cmp(&score(b)).expect("finite")
         })
         .expect("frontier of a non-empty space is non-empty");
-    DesignSpaceStats { points: points.len(), latency, luts, frontier_size: frontier.len(), knee }
+    DesignSpaceStats {
+        points: points.len(),
+        latency,
+        luts,
+        frontier_size: frontier.len(),
+        knee,
+    }
 }
 
 #[cfg(test)]

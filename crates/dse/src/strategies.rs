@@ -1,7 +1,8 @@
 //! Resource-allocation strategies (paper Fig. 13, Sec. 5.4 Insight #1).
 
-use roboshape_arch::{AcceleratorKnobs, DseModel, Resources};
-use roboshape_taskgraph::{schedule, SchedulerConfig, TaskGraph};
+use roboshape_arch::{AcceleratorKnobs, DseModel, KernelKind, Resources};
+use roboshape_pipeline::Pipeline;
+use roboshape_taskgraph::SchedulerConfig;
 use roboshape_topology::Topology;
 
 /// The PE-allocation strategies the paper compares.
@@ -65,18 +66,31 @@ pub struct StrategyOutcome {
     pub achieves_min_latency: bool,
 }
 
-/// Evaluates all six strategies on a robot (paper Fig. 13).
+/// Evaluates all six strategies on a robot (paper Fig. 13), through the
+/// process-wide [`Pipeline::global`] artifact store.
 ///
 /// Latency is the traversal-schedule makespan (Sec. 5.4 studies the
 /// traversal patterns; the blocked mat-mul is swept separately in
 /// Fig. 15), and resources use the PE-level model at block size 1 so the
 /// comparison isolates the PE allocation.
 pub fn evaluate_strategies(topo: &Topology) -> Vec<StrategyOutcome> {
+    evaluate_strategies_with(Pipeline::global(), topo)
+}
+
+/// [`evaluate_strategies`] against an explicit pipeline. The exhaustive
+/// reference visits every `(PEf, PEb)` pair, so after a design-space
+/// sweep of the same robot all its schedules come from the store.
+pub fn evaluate_strategies_with(pipeline: &Pipeline, topo: &Topology) -> Vec<StrategyOutcome> {
     let n = topo.len();
     let metrics = topo.metrics();
-    let graph = TaskGraph::dynamics_gradient(topo);
     let latency = |pe_fwd: usize, pe_bwd: usize| -> u64 {
-        schedule(&graph, &SchedulerConfig::with_pes(pe_fwd, pe_bwd)).makespan()
+        pipeline
+            .schedule_for(
+                topo,
+                KernelKind::DynamicsGradient,
+                &SchedulerConfig::with_pes(pe_fwd, pe_bwd),
+            )
+            .makespan()
     };
 
     // Exhaustive reference: minimum latency, then fewest resources.
@@ -102,7 +116,9 @@ pub fn evaluate_strategies(topo: &Topology) -> Vec<StrategyOutcome> {
             let (pe_fwd, pe_bwd) = match strategy {
                 AllocationStrategy::TotalLinks => (n, n),
                 AllocationStrategy::AvgLeafDepth => (avg, avg),
-                AllocationStrategy::MaxLeafDepth => (metrics.max_leaf_depth, metrics.max_leaf_depth),
+                AllocationStrategy::MaxLeafDepth => {
+                    (metrics.max_leaf_depth, metrics.max_leaf_depth)
+                }
                 AllocationStrategy::MaxDescendants => {
                     (metrics.max_descendants, metrics.max_descendants)
                 }

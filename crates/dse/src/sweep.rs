@@ -1,9 +1,14 @@
 //! Exhaustive knob sweeps and Pareto frontiers (paper Fig. 12).
 
-use roboshape_arch::{AcceleratorKnobs, DseModel, MatmulUnits, Resources};
-use roboshape_blocksparse::{BlockMatmulPlan, MatmulLatencyModel, SparsityPattern};
-use roboshape_taskgraph::{schedule, SchedulerConfig, TaskGraph};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use roboshape_arch::{AcceleratorKnobs, DseModel, KernelKind, MatmulUnits, Resources};
+use roboshape_blocksparse::MatmulLatencyModel;
+use roboshape_pipeline::{PatternKind, Pipeline};
+use roboshape_taskgraph::{Schedule, SchedulerConfig, Stage};
 use roboshape_topology::Topology;
+
+const KERNEL: KernelKind = KernelKind::DynamicsGradient;
 
 /// One evaluated design point of a robot's design space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,59 +36,177 @@ impl DesignPoint {
     /// `true` if `self` dominates `other` (no worse in cycles and LUTs,
     /// strictly better in one).
     pub fn dominates(&self, other: &DesignPoint) -> bool {
-        let no_worse = self.total_cycles <= other.total_cycles
-            && self.resources.luts <= other.resources.luts;
-        let strictly = self.total_cycles < other.total_cycles
-            || self.resources.luts < other.resources.luts;
+        let no_worse =
+            self.total_cycles <= other.total_cycles && self.resources.luts <= other.resources.luts;
+        let strictly =
+            self.total_cycles < other.total_cycles || self.resources.luts < other.resources.luts;
         no_worse && strictly
     }
 }
 
-/// Evaluates the full `N³` design space of a robot: every combination of
-/// `PEs_fwd`, `PEs_bwd` ∈ `1..=N` and block size ∈ `1..=N`.
-///
-/// The traversal schedule does not depend on the block size, so `N²`
-/// schedules are computed (in parallel) and each is combined with the `N`
-/// block plans. Points are returned sorted by `(pe_fwd, pe_bwd, block)`.
-pub fn sweep_design_space(topo: &Topology) -> Vec<DesignPoint> {
+/// Per-block-size latencies of the blocked `M⁻¹` multiply, through the
+/// pipeline's BlockPlans stage. The left operand is M⁻¹ (fills in vs. M
+/// at mid-limb branches), so latency is modeled on its pattern.
+fn mm_latencies(pipeline: &Pipeline, topo: &Topology) -> Vec<u64> {
     let n = topo.len();
-    let graph = TaskGraph::dynamics_gradient(topo);
-    let pattern = SparsityPattern::mass_matrix(topo);
     let mm_model = MatmulLatencyModel::default();
     let units = MatmulUnits::PerLink.resolve(n);
-    let mm_latency: Vec<u64> = (1..=n)
-        .map(|b| BlockMatmulPlan::new(&pattern, 2 * n, b, units).latency(&mm_model))
-        .collect();
+    (1..=n)
+        .map(|b| {
+            pipeline
+                .block_plan(topo, PatternKind::InverseMass, 2 * n, b, units)
+                .latency(&mm_model)
+        })
+        .collect()
+}
 
-    let mut points: Vec<Option<Vec<DesignPoint>>> = vec![None; n];
-    crossbeam::thread::scope(|scope| {
-        for (pe_fwd_minus_1, slot) in points.iter_mut().enumerate() {
-            let graph = &graph;
-            let mm_latency = &mm_latency;
-            scope.spawn(move |_| {
-                let pe_fwd = pe_fwd_minus_1 + 1;
-                let mut row = Vec::with_capacity(n * n);
-                for pe_bwd in 1..=n {
-                    let s = schedule(graph, &SchedulerConfig::with_pes(pe_fwd, pe_bwd));
-                    let makespan = s.makespan();
-                    for block in 1..=n {
-                        let knobs = AcceleratorKnobs::new(pe_fwd, pe_bwd, block);
-                        row.push(DesignPoint {
-                            pe_fwd,
-                            pe_bwd,
-                            block,
-                            traversal_cycles: makespan,
-                            total_cycles: makespan + mm_latency[block - 1],
-                            resources: DseModel.estimate(n, &knobs),
-                        });
+fn point(
+    n: usize,
+    pe_fwd: usize,
+    pe_bwd: usize,
+    block: usize,
+    traversal_cycles: u64,
+    mm_cycles: u64,
+) -> DesignPoint {
+    DesignPoint {
+        pe_fwd,
+        pe_bwd,
+        block,
+        traversal_cycles,
+        total_cycles: traversal_cycles + mm_cycles,
+        resources: DseModel.estimate(n, &AcceleratorKnobs::new(pe_fwd, pe_bwd, block)),
+    }
+}
+
+/// Evaluates the full `N³` design space of a robot: every combination of
+/// `PEs_fwd`, `PEs_bwd` ∈ `1..=N` and block size ∈ `1..=N`, through the
+/// process-wide [`Pipeline::global`] artifact store.
+pub fn sweep_design_space(topo: &Topology) -> Vec<DesignPoint> {
+    sweep_design_space_with(Pipeline::global(), topo)
+}
+
+/// [`sweep_design_space`] against an explicit pipeline.
+///
+/// The traversal schedule does not depend on the block size, so `N²`
+/// schedules are computed and each is combined with the `N` block plans;
+/// warm artifacts come straight from the store. The schedule work is
+/// spread over a worker pool bounded by the machine's available
+/// parallelism. Points are returned sorted by `(pe_fwd, pe_bwd, block)`
+/// regardless of worker interleaving.
+pub fn sweep_design_space_with(pipeline: &Pipeline, topo: &Topology) -> Vec<DesignPoint> {
+    let n = topo.len();
+    let mm_latency = mm_latencies(pipeline, topo);
+
+    let workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let mut rows: Vec<(usize, Vec<DesignPoint>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.max(1))
+            .map(|_| {
+                let (next, mm_latency) = (&next, &mm_latency);
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= n {
+                            break;
+                        }
+                        let pe_fwd = idx + 1;
+                        let mut row = Vec::with_capacity(n * n);
+                        for pe_bwd in 1..=n {
+                            let s = pipeline.schedule_for(
+                                topo,
+                                KERNEL,
+                                &SchedulerConfig::with_pes(pe_fwd, pe_bwd),
+                            );
+                            let makespan = s.makespan();
+                            for block in 1..=n {
+                                row.push(point(
+                                    n,
+                                    pe_fwd,
+                                    pe_bwd,
+                                    block,
+                                    makespan,
+                                    mm_latency[block - 1],
+                                ));
+                            }
+                        }
+                        out.push((idx, row));
                     }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    });
+    rows.sort_unstable_by_key(|&(idx, _)| idx);
+    pipeline.observer().add_points((n * n * n) as u64);
+    rows.into_iter().flat_map(|(_, row)| row).collect()
+}
+
+/// The `N³` design space under *stage-barrier* (non-pipelined) schedules,
+/// through [`Pipeline::global`].
+pub fn sweep_design_space_barrier(topo: &Topology) -> Vec<DesignPoint> {
+    sweep_design_space_barrier_with(Pipeline::global(), topo)
+}
+
+/// [`sweep_design_space_barrier`] against an explicit pipeline.
+///
+/// With a barrier between stages the makespan separates: the RNEA/∇RNEA
+/// forward stages run only on forward PEs and the backward stages only on
+/// backward PEs, so `makespan(PEf, PEb) = F(PEf) + B(PEb)`. That permits
+/// two *half-sweeps* — `N` schedules varying `PEf` plus `N` varying `PEb`
+/// — instead of the `N²` a pipelined sweep needs (cross-stage pipelining
+/// couples the two PE classes, so no such split exists there). The
+/// decomposition is asserted against brute force in this module's tests.
+pub fn sweep_design_space_barrier_with(pipeline: &Pipeline, topo: &Topology) -> Vec<DesignPoint> {
+    let n = topo.len();
+    let graph = pipeline.task_graph(topo, KERNEL);
+    let duration = |s: &Schedule, stage: Stage| -> u64 {
+        s.stage_span(&graph, stage)
+            .map_or(0, |(start, end)| end - start)
+    };
+    let half = |fwd: bool| -> Vec<u64> {
+        (1..=n)
+            .map(|pe| {
+                let (pe_fwd, pe_bwd) = if fwd { (pe, 1) } else { (1, pe) };
+                let cfg = SchedulerConfig::with_pes(pe_fwd, pe_bwd).without_pipelining();
+                let s = pipeline.schedule_for(topo, KERNEL, &cfg);
+                if fwd {
+                    duration(&s, Stage::RneaFwd) + duration(&s, Stage::GradFwd)
+                } else {
+                    duration(&s, Stage::RneaBwd) + duration(&s, Stage::GradBwd)
                 }
-                *slot = Some(row);
-            });
+            })
+            .collect()
+    };
+    let fwd_cycles = half(true);
+    let bwd_cycles = half(false);
+    let mm_latency = mm_latencies(pipeline, topo);
+
+    let mut points = Vec::with_capacity(n * n * n);
+    for pe_fwd in 1..=n {
+        for pe_bwd in 1..=n {
+            let makespan = fwd_cycles[pe_fwd - 1] + bwd_cycles[pe_bwd - 1];
+            for block in 1..=n {
+                points.push(point(
+                    n,
+                    pe_fwd,
+                    pe_bwd,
+                    block,
+                    makespan,
+                    mm_latency[block - 1],
+                ));
+            }
         }
-    })
-    .expect("sweep threads must not panic");
-    points.into_iter().flat_map(|row| row.expect("all rows filled")).collect()
+    }
+    pipeline.observer().add_points((n * n * n) as u64);
+    points
 }
 
 /// The Pareto-optimal subset of a design space under (total cycles, LUTs)
@@ -92,9 +215,12 @@ pub fn sweep_design_space(topo: &Topology) -> Vec<DesignPoint> {
 pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
     let mut sorted: Vec<DesignPoint> = points.to_vec();
     sorted.sort_by(|a, b| {
-        a.total_cycles
-            .cmp(&b.total_cycles)
-            .then(a.resources.luts.partial_cmp(&b.resources.luts).expect("finite luts"))
+        a.total_cycles.cmp(&b.total_cycles).then(
+            a.resources
+                .luts
+                .partial_cmp(&b.resources.luts)
+                .expect("finite luts"),
+        )
     });
     let mut frontier: Vec<DesignPoint> = Vec::new();
     let mut best_luts = f64::INFINITY;
@@ -153,10 +279,55 @@ mod tests {
         let frontier = pareto_frontier(&pts);
         for p in &pts {
             let covered = frontier.iter().any(|f| {
-                f == p
-                    || (f.total_cycles <= p.total_cycles && f.resources.luts <= p.resources.luts)
+                f == p || (f.total_cycles <= p.total_cycles && f.resources.luts <= p.resources.luts)
             });
             assert!(covered, "{p:?} not covered by frontier");
+        }
+    }
+
+    #[test]
+    fn barrier_half_sweep_matches_brute_force() {
+        // The N+N half-sweep decomposition makespan(PEf, PEb) =
+        // F(PEf) + B(PEb) must reproduce the full N² barrier schedules —
+        // including on a mid-limb-branching topology.
+        let branched =
+            Topology::new(vec![None, Some(0), Some(1), Some(2), Some(2), Some(4)]).unwrap();
+        for topo in [
+            Topology::chain(5),
+            branched,
+            zoo(Zoo::Hyq).topology().clone(),
+        ] {
+            let n = topo.len();
+            let graph = roboshape_taskgraph::TaskGraph::dynamics_gradient(&topo);
+            let half = sweep_design_space_barrier_with(&Pipeline::new(), &topo);
+            for pe_fwd in 1..=n {
+                for pe_bwd in 1..=n {
+                    let cfg = SchedulerConfig::with_pes(pe_fwd, pe_bwd).without_pipelining();
+                    let brute = roboshape_taskgraph::schedule(&graph, &cfg).makespan();
+                    let p = half
+                        .iter()
+                        .find(|p| p.pe_fwd == pe_fwd && p.pe_bwd == pe_bwd && p.block == 1)
+                        .unwrap();
+                    assert_eq!(
+                        p.traversal_cycles, brute,
+                        "n={n} PEf={pe_fwd} PEb={pe_bwd}: half-sweep diverges"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_sweep_covers_grid_and_bounds_pipelined() {
+        let topo = zoo(Zoo::Jaco2).topology().clone();
+        let pipeline = Pipeline::new();
+        let barrier = sweep_design_space_barrier_with(&pipeline, &topo);
+        let pipelined = sweep_design_space_with(&pipeline, &topo);
+        assert_eq!(barrier.len(), pipelined.len());
+        for (b, p) in barrier.iter().zip(&pipelined) {
+            assert_eq!((b.pe_fwd, b.pe_bwd, b.block), (p.pe_fwd, p.pe_bwd, p.block));
+            // Removing cross-stage pipelining can only lengthen traversal.
+            assert!(b.traversal_cycles >= p.traversal_cycles);
         }
     }
 

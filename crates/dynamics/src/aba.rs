@@ -98,9 +98,8 @@ impl Dynamics<'_> {
                 // Projected articulated inertia and bias of link i, seen
                 // from the parent.
                 let ia_proj = ia[i] - rank1(ui.as_vec6(), di);
-                let pa_proj = pa[i]
-                    + ForceVec::from_vec6(ia_proj * c[i].as_vec6())
-                    + ui * (uui / di);
+                let pa_proj =
+                    pa[i] + ForceVec::from_vec6(ia_proj * c[i].as_vec6()) + ui * (uui / di);
                 ia[p] += congruence(&xup[i], &ia_proj);
                 pa[p] += xup[i].apply_force_transpose(pa_proj);
             }
@@ -171,7 +170,10 @@ mod tests {
             let a = dyn_.forward_dynamics(&q, &qd, &tau);
             let b = dyn_.aba(&q, &qd, &tau);
             for i in 0..n {
-                assert!((a[i] - b[i]).abs() < 1e-6 * (1.0 + a[i].abs()), "trial {trial} link {i}");
+                assert!(
+                    (a[i] - b[i]).abs() < 1e-6 * (1.0 + a[i].abs()),
+                    "trial {trial} link {i}"
+                );
             }
         }
     }

@@ -75,7 +75,12 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let robot = random_robot(
             &mut rng,
-            RandomRobotConfig { links: n, branch_prob: 0.3, new_limb_prob: 0.2, allow_prismatic: true },
+            RandomRobotConfig {
+                links: n,
+                branch_prob: 0.3,
+                new_limb_prob: 0.2,
+                allow_prismatic: true,
+            },
         );
         let q = (0..n).map(|_| rng.gen_range(-1.5..1.5)).collect();
         (robot, q)
@@ -130,7 +135,11 @@ mod tests {
             for i in 0..n {
                 for j in 0..n {
                     if !topo.supports(i, j) {
-                        assert_eq!(m[(i, j)], 0.0, "{which:?} M[{i}][{j}] should be structural zero");
+                        assert_eq!(
+                            m[(i, j)],
+                            0.0,
+                            "{which:?} M[{i}][{j}] should be structural zero"
+                        );
                     }
                 }
             }
@@ -160,7 +169,10 @@ mod tests {
             );
             let q: Vec<f64> = (0..n).map(|i| 0.1 + 0.27 * i as f64).collect();
             let m = mass_matrix_with(&robot, &q);
-            assert!(m.nnz(1e-12) <= structural_nnz, "{which:?} exceeds structural pattern");
+            assert!(
+                m.nnz(1e-12) <= structural_nnz,
+                "{which:?} exceeds structural pattern"
+            );
         }
     }
 

@@ -87,7 +87,9 @@ pub fn fwd_deriv_step(
         }
     }
     da += cross_motion(dv, s * qd_i);
-    let df = inertia.apply(da) + cross_force(dv, inertia.apply(v_i)) + cross_force(v_i, inertia.apply(dv));
+    let df = inertia.apply(da)
+        + cross_force(dv, inertia.apply(v_i))
+        + cross_force(v_i, inertia.apply(dv));
     LinkDeriv { dv, da, df }
 }
 
@@ -164,7 +166,15 @@ impl Dynamics<'_> {
                         None => (MotionVec::ZERO, a_base, LinkDeriv::default()),
                     };
                     state[i] = fwd_deriv_step(
-                        model, i, i == j, wrt, qd[i], cache, v_parent, a_parent, &parent_state,
+                        model,
+                        i,
+                        i == j,
+                        wrt,
+                        qd[i],
+                        cache,
+                        v_parent,
+                        a_parent,
+                        &parent_state,
                     );
                 }
                 // Backward derivative pass with child accumulation.
@@ -211,8 +221,16 @@ mod tests {
         let err_q = analytic.dtau_dq.max_abs_diff(&numeric_dq).unwrap();
         let err_qd = analytic.dtau_dqd.max_abs_diff(&numeric_dqd).unwrap();
         let scale = 1.0 + numeric_dq.max_abs().max(numeric_dqd.max_abs());
-        assert!(err_q < tol * scale, "{}: dtau_dq error {err_q} (scale {scale})", robot.name());
-        assert!(err_qd < tol * scale, "{}: dtau_dqd error {err_qd}", robot.name());
+        assert!(
+            err_q < tol * scale,
+            "{}: dtau_dq error {err_q} (scale {scale})",
+            robot.name()
+        );
+        assert!(
+            err_qd < tol * scale,
+            "{}: dtau_dqd error {err_qd}",
+            robot.name()
+        );
     }
 
     #[test]

@@ -46,7 +46,13 @@ impl Dynamics<'_> {
         let id_grads = self.rnea_derivatives(q, qd, &qdd);
         let dqdd_dq = minv.mul_mat(&id_grads.dtau_dq).scaled(-1.0);
         let dqdd_dqd = minv.mul_mat(&id_grads.dtau_dqd).scaled(-1.0);
-        FdDerivatives { qdd, mass_matrix, minv, dqdd_dq, dqdd_dqd }
+        FdDerivatives {
+            qdd,
+            mass_matrix,
+            minv,
+            dqdd_dq,
+            dqdd_dqd,
+        }
     }
 }
 
@@ -70,8 +76,16 @@ mod tests {
         let scale = 1.0 + num_dq.max_abs().max(num_dqd.max_abs());
         let e1 = g.dqdd_dq.max_abs_diff(&num_dq).unwrap();
         let e2 = g.dqdd_dqd.max_abs_diff(&num_dqd).unwrap();
-        assert!(e1 < tol * scale, "{}: dqdd_dq error {e1} scale {scale}", robot.name());
-        assert!(e2 < tol * scale, "{}: dqdd_dqd error {e2} scale {scale}", robot.name());
+        assert!(
+            e1 < tol * scale,
+            "{}: dqdd_dq error {e1} scale {scale}",
+            robot.name()
+        );
+        assert!(
+            e2 < tol * scale,
+            "{}: dqdd_dqd error {e2} scale {scale}",
+            robot.name()
+        );
     }
 
     #[test]
@@ -106,11 +120,7 @@ mod tests {
         // paper Sec. 3.2).
         let robot = zoo(Zoo::Hyq);
         let n = robot.num_links();
-        let g = Dynamics::new(&robot).fd_derivatives(
-            &vec![0.2; n],
-            &vec![0.1; n],
-            &vec![0.5; n],
-        );
+        let g = Dynamics::new(&robot).fd_derivatives(&vec![0.2; n], &vec![0.1; n], &vec![0.5; n]);
         let topo = robot.topology();
         for i in 0..n {
             for j in 0..n {
@@ -136,8 +146,8 @@ mod tests {
         assert!(g.mass_matrix.mul_mat(&g.minv).max_abs_diff(&eye).unwrap() < 1e-8);
         // qdd matches a direct forward-dynamics call.
         let qdd = dyn_.forward_dynamics(&vec![0.3; n], &vec![0.0; n], &vec![1.0; n]);
-        for i in 0..n {
-            assert!((qdd[i] - g.qdd[i]).abs() < 1e-12);
+        for (direct, grad) in qdd.iter().zip(&g.qdd) {
+            assert!((direct - grad).abs() < 1e-12);
         }
     }
 }

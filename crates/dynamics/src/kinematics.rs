@@ -89,7 +89,7 @@ mod tests {
         // The zoo iiwa hangs links along −z at q = 0 (rod links of 0.3 m).
         let robot = zoo(Zoo::Iiwa);
         let dyn_ = Dynamics::new(&robot);
-        let fk = dyn_.forward_kinematics(&vec![0.0; 7]);
+        let fk = dyn_.forward_kinematics(&[0.0; 7]);
         for i in 1..7 {
             assert!(
                 fk.positions[i].z < fk.positions[i - 1].z - 1e-9,
@@ -108,7 +108,11 @@ mod tests {
         q[1] = std::f64::consts::FRAC_PI_2; // second joint is about y
         let fk = dyn_.forward_kinematics(&q);
         // The arm folds sideways: the tip should have a large |x|.
-        assert!(fk.positions[6].x.abs() > 0.5, "tip at {:?}", fk.positions[6]);
+        assert!(
+            fk.positions[6].x.abs() > 0.5,
+            "tip at {:?}",
+            fk.positions[6]
+        );
     }
 
     #[test]
@@ -159,6 +163,6 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_link_panics() {
         let robot = zoo(Zoo::Iiwa);
-        Dynamics::new(&robot).link_jacobian(&vec![0.0; 7], 7);
+        Dynamics::new(&robot).link_jacobian(&[0.0; 7], 7);
     }
 }

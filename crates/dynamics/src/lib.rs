@@ -74,7 +74,10 @@ pub struct Dynamics<'m> {
 impl<'m> Dynamics<'m> {
     /// Binds the algorithms to `model` with standard gravity.
     pub fn new(model: &'m RobotModel) -> Dynamics<'m> {
-        Dynamics { model, gravity: GRAVITY }
+        Dynamics {
+            model,
+            gravity: GRAVITY,
+        }
     }
 
     /// Overrides the gravity vector (world frame).

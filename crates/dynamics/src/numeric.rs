@@ -6,12 +6,7 @@
 use crate::Dynamics;
 use roboshape_linalg::DMat;
 
-fn central_diff(
-    n: usize,
-    h: f64,
-    mut eval: impl FnMut(&[f64]) -> Vec<f64>,
-    x: &[f64],
-) -> DMat {
+fn central_diff(n: usize, h: f64, mut eval: impl FnMut(&[f64]) -> Vec<f64>, x: &[f64]) -> DMat {
     let mut out = DMat::zeros(n, n);
     let mut xp = x.to_vec();
     for j in 0..n {

@@ -199,7 +199,11 @@ mod tests {
         let qdd = 2.5;
         let tau = dyn_.rnea(&[0.7], &[0.0], &[qdd]);
         let expected = (ic + m * l * l) * qdd;
-        assert!((tau[0] - expected).abs() < 1e-9, "got {} expected {expected}", tau[0]);
+        assert!(
+            (tau[0] - expected).abs() < 1e-9,
+            "got {} expected {expected}",
+            tau[0]
+        );
     }
 
     #[test]

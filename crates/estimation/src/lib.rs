@@ -96,12 +96,21 @@ impl<'m> Ekf<'m> {
         for i in 0..2 * n {
             p[(i, i)] = config.initial_variance;
         }
-        Ekf { robot, config, q: q0.to_vec(), qd: vec![0.0; n], p }
+        Ekf {
+            robot,
+            config,
+            q: q0.to_vec(),
+            qd: vec![0.0; n],
+            p,
+        }
     }
 
     /// The current estimate.
     pub fn state(&self) -> JointState {
-        JointState { q: self.q.clone(), qd: self.qd.clone() }
+        JointState {
+            q: self.q.clone(),
+            qd: self.qd.clone(),
+        }
     }
 
     /// The current covariance over `(q, q̇)`.
@@ -238,11 +247,8 @@ impl<'m> Ekf<'m> {
         let rot_to_base = fk.x_base[link].inverse().rotation();
         let mut h = DMat::zeros(3, 2 * n);
         for col in 0..n {
-            let v = roboshape_linalg::Vec3::new(
-                j_link[(3, col)],
-                j_link[(4, col)],
-                j_link[(5, col)],
-            );
+            let v =
+                roboshape_linalg::Vec3::new(j_link[(3, col)], j_link[(4, col)], j_link[(5, col)]);
             let world = rot_to_base * v;
             h[(0, col)] = world.x;
             h[(1, col)] = world.y;
@@ -285,7 +291,11 @@ mod tests {
         let n = robot.num_links();
         let dynamics = Dynamics::new(&robot);
         let hold = dynamics.rnea(&vec![0.3; n], &vec![0.0; n], &vec![0.0; n]);
-        let mut truth = TruthSim { dynamics, q: vec![0.3; n], qd: vec![0.0; n] };
+        let mut truth = TruthSim {
+            dynamics,
+            q: vec![0.3; n],
+            qd: vec![0.0; n],
+        };
         // Start the filter 0.2 rad off on every joint.
         let mut ekf = Ekf::new(&robot, &vec![0.1; n], EkfConfig::default());
         let initial_err = rms(&ekf.state().q, &truth.q);
@@ -316,14 +326,22 @@ mod tests {
         let n = robot.num_links();
         let dynamics = Dynamics::new(&robot);
         // Free fall from a bent pose: nonzero true velocities develop.
-        let mut truth = TruthSim { dynamics, q: vec![0.4; n], qd: vec![0.0; n] };
+        let mut truth = TruthSim {
+            dynamics,
+            q: vec![0.4; n],
+            qd: vec![0.0; n],
+        };
         let mut ekf = Ekf::new(&robot, &vec![0.4; n], EkfConfig::default());
         let tau = vec![0.0; n];
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         for _ in 0..50 {
             truth.step(&tau, 0.005);
             ekf.predict(&tau, 0.005);
-            let z: Vec<f64> = truth.q.iter().map(|q| q + rng.gen_range(-0.003..0.003)).collect();
+            let z: Vec<f64> = truth
+                .q
+                .iter()
+                .map(|q| q + rng.gen_range(-0.003..0.003))
+                .collect();
             ekf.update_encoders(&z);
         }
         let vel_err = rms(&ekf.state().qd, &truth.qd);
@@ -343,7 +361,10 @@ mod tests {
         let dynamics = Dynamics::new(&robot);
         let tip_truth = dynamics.forward_kinematics(&vec![0.2; n]).positions[n - 1];
         ekf.update_tip_position(n - 1, &tip_truth.to_array());
-        assert!(ekf.uncertainty() < before, "tip update must inform the state");
+        assert!(
+            ekf.uncertainty() < before,
+            "tip update must inform the state"
+        );
     }
 
     #[test]
@@ -382,7 +403,11 @@ mod tests {
             .fold(0.0, f64::max);
         assert!(dq < 1e-10, "state drift {dq}");
         assert!(
-            reference.covariance().max_abs_diff(hw.covariance()).unwrap() < 1e-10,
+            reference
+                .covariance()
+                .max_abs_diff(hw.covariance())
+                .unwrap()
+                < 1e-10,
             "covariance drift"
         );
     }
@@ -391,7 +416,7 @@ mod tests {
     #[should_panic(expected = "dt must be positive")]
     fn zero_dt_panics() {
         let robot = zoo(Zoo::Iiwa);
-        let mut ekf = Ekf::new(&robot, &vec![0.0; 7], EkfConfig::default());
-        ekf.predict(&vec![0.0; 7], 0.0);
+        let mut ekf = Ekf::new(&robot, &[0.0; 7], EkfConfig::default());
+        ekf.predict(&[0.0; 7], 0.0);
     }
 }

@@ -12,9 +12,9 @@
 use roboshape::kernels::{kernel_table, TraversalScaling};
 use roboshape::{
     batched_computation, constrained_selection, coprocessor_roundtrip, evaluate_strategies,
-    single_computation, sweep_design_space, AcceleratorDesign, AcceleratorKnobs,
-    BlockMatmulPlan, BlockTiling, Constraints, Framework, IoModel, MatmulLatencyModel,
-    ParallelismProfile, Platform, SparsityPattern, Stage,
+    single_computation, sweep_design_space, AcceleratorDesign, AcceleratorKnobs, BlockMatmulPlan,
+    BlockTiling, Constraints, Framework, IoModel, MatmulLatencyModel, ParallelismProfile, Platform,
+    SparsityPattern, Stage,
 };
 use roboshape_robots::{zoo, Zoo};
 use std::fmt::Write as _;
@@ -37,8 +37,8 @@ pub fn table1() -> String {
     let _ = writeln!(out, "# Table 1 — topology patterns across robotics kernels");
     let _ = writeln!(
         out,
-        "{:<46} {:<22} {:<10} {:<9} {}",
-        "kernel", "stage", "traversal", "matrices", "implemented in"
+        "{:<46} {:<22} {:<10} {:<9} implemented in",
+        "kernel", "stage", "traversal", "matrices"
     );
     for k in kernel_table() {
         let trav = match k.traversal {
@@ -62,9 +62,16 @@ pub fn table1() -> String {
 /// Table 2: resource utilization of the three implemented designs.
 pub fn table2() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Table 2 — resource utilization on the XCVU9P (VCU118)");
+    let _ = writeln!(
+        out,
+        "# Table 2 — resource utilization on the XCVU9P (VCU118)"
+    );
     let vcu = Platform::vcu118();
-    let paper = [(514_552.0, 5_448.0), (507_158.0, 3_008.0), (873_805.0, 3_342.0)];
+    let paper = [
+        (514_552.0, 5_448.0),
+        (507_158.0, 3_008.0),
+        (873_805.0, 3_342.0),
+    ];
     let _ = writeln!(
         out,
         "{:<8} {:>12} {:>8} {:>12} {:>8}   paper: LUTs / DSPs",
@@ -122,7 +129,13 @@ pub fn fig4() -> String {
     let pattern = SparsityPattern::mass_matrix(topo);
     let mut out = String::new();
     let _ = writeln!(out, "# Fig. 4 — Baxter topology patterns");
-    let _ = writeln!(out, "(a) topology ({} links, {} limbs):\n{}", topo.len(), topo.limbs().len(), topo.render());
+    let _ = writeln!(
+        out,
+        "(a) topology ({} links, {} limbs):\n{}",
+        topo.len(),
+        topo.limbs().len(),
+        topo.render()
+    );
     let _ = writeln!(out, "(b) traversal tasks per stage:");
     for s in Stage::ALL {
         let _ = writeln!(out, "    {:?}: {} tasks", s, graph.stage_tasks(s).len());
@@ -142,7 +155,10 @@ pub fn fig4() -> String {
 /// Fig. 5: topology-informed data placement (storage sizing).
 pub fn fig5() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 5 — branch/parent data placement (storage words)");
+    let _ = writeln!(
+        out,
+        "# Fig. 5 — branch/parent data placement (storage words)"
+    );
     for (z, d) in paper_designs() {
         let s = d.storage();
         let _ = writeln!(
@@ -166,7 +182,12 @@ pub fn fig6() -> String {
     let pattern = SparsityPattern::mass_matrix(baxter.topology());
     let mut out = String::new();
     let _ = writeln!(out, "# Fig. 6 — block tiling of Baxter's mass matrix");
-    let _ = writeln!(out, "(a) 15x15 pattern, {} nonzeros:\n{}", pattern.nnz(), pattern.render());
+    let _ = writeln!(
+        out,
+        "(a) 15x15 pattern, {} nonzeros:\n{}",
+        pattern.nnz(),
+        pattern.render()
+    );
     for b in [4, 6] {
         let t = BlockTiling::new(&pattern, b);
         let _ = writeln!(
@@ -226,13 +247,37 @@ pub fn fig8() -> String {
     let k = d.knobs();
     let mut out = String::new();
     let _ = writeln!(out, "# Fig. 8 — template architecture ({})", z.name());
-    let _ = writeln!(out, "knobs: PEs_fwd={}, PEs_bwd={}, size_block={}", k.pe_fwd, k.pe_bwd, k.block_size);
+    let _ = writeln!(
+        out,
+        "knobs: PEs_fwd={}, PEs_bwd={}, size_block={}",
+        k.pe_fwd, k.pe_bwd, k.block_size
+    );
     let _ = writeln!(out, "(a) schedule storage: {} entries", s.schedule_entries);
-    let _ = writeln!(out, "(b) control FSMs: {} (one per PE)", k.pe_fwd + k.pe_bwd);
-    let _ = writeln!(out, "(c) RNEA output storage: {} words", s.rnea_output_words);
-    let _ = writeln!(out, "(d) parent-link storage: {} words", s.parent_value_words);
-    let _ = writeln!(out, "(e) branch checkpoint registers: {} words", s.checkpoint_words);
-    let _ = writeln!(out, "(f) mat-mul accumulators: {} words", s.accumulator_words);
+    let _ = writeln!(
+        out,
+        "(b) control FSMs: {} (one per PE)",
+        k.pe_fwd + k.pe_bwd
+    );
+    let _ = writeln!(
+        out,
+        "(c) RNEA output storage: {} words",
+        s.rnea_output_words
+    );
+    let _ = writeln!(
+        out,
+        "(d) parent-link storage: {} words",
+        s.parent_value_words
+    );
+    let _ = writeln!(
+        out,
+        "(e) branch checkpoint registers: {} words",
+        s.checkpoint_words
+    );
+    let _ = writeln!(
+        out,
+        "(f) mat-mul accumulators: {} words",
+        s.accumulator_words
+    );
     let _ = writeln!(out, "clock period (modelled): {:.1} ns", d.clock_ns());
     out
 }
@@ -272,11 +317,23 @@ pub fn fig9() -> String {
 pub fn fig10() -> String {
     let steps = 4;
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 10 — coprocessor deployment, {steps} time steps");
+    let _ = writeln!(
+        out,
+        "# Fig. 10 — coprocessor deployment, {steps} time steps"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>10} {:>10} {:>10} {:>8} {:>8} | {:>9} {:>9} {:>8} {:>8}",
-        "robot", "CPU4(us)", "GPU4(us)", "FPGA4(us)", "vs CPU", "vs GPU", "IO(us)", "rt(us)", "vs CPU", "vs GPU"
+        "robot",
+        "CPU4(us)",
+        "GPU4(us)",
+        "FPGA4(us)",
+        "vs CPU",
+        "vs GPU",
+        "IO(us)",
+        "rt(us)",
+        "vs CPU",
+        "vs GPU"
     );
     for (z, d) in paper_designs() {
         let c = batched_computation(&d, steps);
@@ -296,7 +353,10 @@ pub fn fig10() -> String {
             rt.speedup_vs_gpu()
         );
     }
-    let _ = writeln!(out, "\nI/O composition and sparsity compression (paper Sec. 5.2):");
+    let _ = writeln!(
+        out,
+        "\nI/O composition and sparsity compression (paper Sec. 5.2):"
+    );
     for which in [Zoo::Iiwa, Zoo::Hyq, Zoo::Baxter] {
         let io = IoModel::new(SparsityPattern::mass_matrix(zoo(which).topology()));
         let _ = writeln!(
@@ -307,7 +367,10 @@ pub fn fig10() -> String {
             io.reduction()
         );
     }
-    let _ = writeln!(out, "paper: 84/90/92% matrix share; 3.1x (HyQ) and 2.1x (Baxter) reductions");
+    let _ = writeln!(
+        out,
+        "paper: 84/90/92% matrix share; 3.1x (HyQ) and 2.1x (Baxter) reductions"
+    );
     out
 }
 
@@ -321,7 +384,10 @@ pub fn fig11() -> String {
         let _ = writeln!(out, "{} ({}):", which.name(), robot.topology().metrics());
         let _ = writeln!(out, "{}", robot.topology().render());
     }
-    let _ = writeln!(out, "extra Fig. 1 robots (not part of the paper's evaluation):");
+    let _ = writeln!(
+        out,
+        "extra Fig. 1 robots (not part of the paper's evaluation):"
+    );
     for which in ExtraRobot::ALL {
         let robot = extra_robot(which);
         let _ = writeln!(out, "{} ({})", which.name(), robot.topology().metrics());
@@ -366,14 +432,20 @@ pub fn fig12() -> String {
             s.knee.resources.luts
         );
     }
-    let _ = writeln!(out, "paper: 1000s of points; max latencies 829-7230 cycles; max LUTs 507k-2600k");
+    let _ = writeln!(
+        out,
+        "paper: 1000s of points; max latencies 829-7230 cycles; max LUTs 507k-2600k"
+    );
     out
 }
 
 /// Fig. 13: allocation strategies vs latency and resources.
 pub fn fig13() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 13 — allocation strategies (latency / resources)");
+    let _ = writeln!(
+        out,
+        "# Fig. 13 — allocation strategies (latency / resources)"
+    );
     for which in Zoo::ALL {
         let _ = writeln!(out, "{}:", which.name());
         for o in evaluate_strategies(zoo(which).topology()) {
@@ -385,7 +457,11 @@ pub fn fig13() -> String {
                 o.pe_bwd,
                 o.latency_cycles,
                 o.resources.luts,
-                if o.achieves_min_latency { "MIN" } else { "x (non-min)" }
+                if o.achieves_min_latency {
+                    "MIN"
+                } else {
+                    "x (non-min)"
+                }
             );
         }
     }
@@ -419,8 +495,15 @@ pub fn fig15() -> String {
     let pattern = SparsityPattern::mass_matrix(hyq.topology());
     let model = MatmulLatencyModel::default();
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 15 — blocked mat-mul latency vs block size (HyQ, 3 units)");
-    let _ = writeln!(out, "{:>6} {:>8} {:>8} {:>10}", "block", "ops", "NOPs", "cycles");
+    let _ = writeln!(
+        out,
+        "# Fig. 15 — blocked mat-mul latency vs block size (HyQ, 3 units)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>6} {:>8} {:>8} {:>10}",
+        "block", "ops", "NOPs", "cycles"
+    );
     for b in 1..=10 {
         let plan = BlockMatmulPlan::new(&pattern, 24, b, 3);
         let _ = writeln!(
@@ -432,14 +515,20 @@ pub fn fig15() -> String {
             plan.latency(&model)
         );
     }
-    let _ = writeln!(out, "leg-aligned block sizes (3, 6, 9) avoid zero padding; others are jagged");
+    let _ = writeln!(
+        out,
+        "leg-aligned block sizes (3, 6, 9) avoid zero padding; others are jagged"
+    );
     out
 }
 
 /// Fig. 16: resource-constrained selection on the VCU118 and VC707.
 pub fn fig16() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Fig. 16 — max allocation vs tuned min latency (80% threshold)");
+    let _ = writeln!(
+        out,
+        "# Fig. 16 — max allocation vs tuned min latency (80% threshold)"
+    );
     for platform in Platform::all() {
         let _ = writeln!(out, "{}:", platform.name);
         for which in Zoo::ALL {
@@ -469,7 +558,10 @@ pub fn fig16() -> String {
 /// End-to-end functional verification of the three paper designs.
 pub fn verify() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "# Functional verification — simulator vs reference library");
+    let _ = writeln!(
+        out,
+        "# Functional verification — simulator vs reference library"
+    );
     for (z, d) in paper_designs() {
         let robot = zoo(z);
         let n = robot.num_links();
@@ -498,7 +590,10 @@ pub fn verify() -> String {
 pub fn ext_kernels() -> String {
     use roboshape::{schedule, SchedulerConfig, TaskGraph};
     let mut out = String::new();
-    let _ = writeln!(out, "# Extension — multi-kernel scheduling (Table 1 families)");
+    let _ = writeln!(
+        out,
+        "# Extension — multi-kernel scheduling (Table 1 families)"
+    );
     let _ = writeln!(
         out,
         "{:<9} {:>14} {:>14} {:>14}   (tasks / makespan cycles at hybrid PEs)",
@@ -562,7 +657,10 @@ pub fn ext_energy() -> String {
             gpu_uj
         );
     }
-    let _ = writeln!(out, "gating reclaims idle-PE leakage; savings grow with over-provisioning");
+    let _ = writeln!(
+        out,
+        "gating reclaims idle-PE leakage; savings grow with over-provisioning"
+    );
     out
 }
 
@@ -611,7 +709,10 @@ pub fn ext_soc() -> String {
 pub fn ext_scaling() -> String {
     use roboshape::{schedule, SchedulerConfig, StorageReport, TaskGraph, Topology};
     let mut out = String::new();
-    let _ = writeln!(out, "# Extension — scaling to hyper-redundant chains (soft-robot proxies)");
+    let _ = writeln!(
+        out,
+        "# Extension — scaling to hyper-redundant chains (soft-robot proxies)"
+    );
     let _ = writeln!(
         out,
         "{:<7} {:>9} {:>11} {:>12} {:>14} {:>12}",
@@ -648,9 +749,16 @@ pub fn ext_scaling() -> String {
 pub fn ext_robomorphic() -> String {
     use roboshape::{inertia_pattern, joint_transform_pattern};
     let mut out = String::new();
-    let _ = writeln!(out, "# Extension — robomorphic 6x6 functional-unit sparsity (iiwa)");
+    let _ = writeln!(
+        out,
+        "# Extension — robomorphic 6x6 functional-unit sparsity (iiwa)"
+    );
     let robot = zoo(Zoo::Iiwa);
-    let _ = writeln!(out, "{:<14} {:>12} {:>14}", "link", "X(q) sparse", "inertia sparse");
+    let _ = writeln!(
+        out,
+        "{:<14} {:>12} {:>14}",
+        "link", "X(q) sparse", "inertia sparse"
+    );
     let mut x_total = 0.0;
     let mut i_total = 0.0;
     for i in 0..robot.num_links() {
@@ -707,7 +815,10 @@ pub fn ext_coschedule() -> String {
             100.0 * (1.0 - merged as f64 / saved)
         );
     }
-    let _ = writeln!(out, "(cycles at hybrid PE allocation; saved = vs running back-to-back)");
+    let _ = writeln!(
+        out,
+        "(cycles at hybrid PE allocation; saved = vs running back-to-back)"
+    );
     out
 }
 
@@ -812,7 +923,11 @@ pub fn ext_throughput() -> String {
         let crossover = |sparse: bool| -> Option<usize> {
             (1..=256).find(|&t| {
                 let rt = coprocessor_roundtrip(&d, t);
-                let fpga = if sparse { rt.roundtrip_sparse_us() } else { rt.roundtrip_us() };
+                let fpga = if sparse {
+                    rt.roundtrip_sparse_us()
+                } else {
+                    rt.roundtrip_us()
+                };
                 rt.compute.gpu_us < fpga
             })
         };
@@ -835,36 +950,50 @@ pub fn ext_throughput() -> String {
     out
 }
 
-/// Every report in order.
-pub fn all_reports() -> Vec<(&'static str, String)> {
+/// A named report generator: renders one table or figure to a string.
+pub type ReportGenerator = fn() -> String;
+
+/// Every report as `(name, generator)`, in presentation order. The
+/// generators share the process-wide compilation-pipeline store, so the
+/// robots' schedules and block plans are elaborated once across the whole
+/// run; the `all` runner times each generator individually.
+pub fn report_generators() -> Vec<(&'static str, ReportGenerator)> {
     vec![
-        ("table1", table1()),
-        ("table2", table2()),
-        ("table3", table3()),
-        ("fig4", fig4()),
-        ("fig5", fig5()),
-        ("fig6", fig6()),
-        ("fig7", fig7()),
-        ("fig8", fig8()),
-        ("fig9", fig9()),
-        ("fig10", fig10()),
-        ("fig11", fig11()),
-        ("fig12", fig12()),
-        ("fig13", fig13()),
-        ("fig14", fig14()),
-        ("fig15", fig15()),
-        ("fig16", fig16()),
-        ("ext_kernels", ext_kernels()),
-        ("ext_energy", ext_energy()),
-        ("ext_soc", ext_soc()),
-        ("ext_scaling", ext_scaling()),
-        ("ext_robomorphic", ext_robomorphic()),
-        ("ext_coschedule", ext_coschedule()),
-        ("ext_ablation", ext_ablation()),
-        ("ext_batch", ext_batch()),
-        ("ext_throughput", ext_throughput()),
-        ("verify", verify()),
+        ("table1", table1),
+        ("table2", table2),
+        ("table3", table3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("fig13", fig13),
+        ("fig14", fig14),
+        ("fig15", fig15),
+        ("fig16", fig16),
+        ("ext_kernels", ext_kernels),
+        ("ext_energy", ext_energy),
+        ("ext_soc", ext_soc),
+        ("ext_scaling", ext_scaling),
+        ("ext_robomorphic", ext_robomorphic),
+        ("ext_coschedule", ext_coschedule),
+        ("ext_ablation", ext_ablation),
+        ("ext_batch", ext_batch),
+        ("ext_throughput", ext_throughput),
+        ("verify", verify),
     ]
+}
+
+/// Every report rendered, in presentation order.
+pub fn all_reports() -> Vec<(&'static str, String)> {
+    report_generators()
+        .into_iter()
+        .map(|(name, f)| (name, f()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -920,9 +1049,17 @@ mod tests {
         }
         for aligned in [3usize, 6, 9] {
             let c = lat[&aligned];
-            assert!(c < lat[&(aligned + 1)], "block {aligned} vs {}", aligned + 1);
+            assert!(
+                c < lat[&(aligned + 1)],
+                "block {aligned} vs {}",
+                aligned + 1
+            );
             if aligned > 1 {
-                assert!(c < lat[&(aligned - 1)], "block {aligned} vs {}", aligned - 1);
+                assert!(
+                    c < lat[&(aligned - 1)],
+                    "block {aligned} vs {}",
+                    aligned - 1
+                );
             }
         }
     }

@@ -2,27 +2,35 @@
 //!
 //! ```text
 //! experiments <name>      print one report (table1..table3, fig4..fig16, verify)
-//! experiments all         print every report
+//! experiments all         print every report, with per-report wall time and
+//!                         compilation-pipeline statistics at the end
 //! experiments list        list available reports
 //! ```
 
-use roboshape_experiments::all_reports;
+use roboshape::Pipeline;
+use roboshape_experiments::report_generators;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "list".to_string());
-    let reports = match arg.as_str() {
-        "all" => all_reports(),
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "list".to_string());
+    let generators = match arg.as_str() {
+        "all" => report_generators(),
         "list" => {
             println!("available reports:");
-            for (name, _) in all_reports_names() {
+            for (name, _) in report_generators() {
                 println!("  {name}");
             }
             println!("  all");
             return ExitCode::SUCCESS;
         }
         name => {
-            let found: Vec<_> = all_reports().into_iter().filter(|(n, _)| *n == name).collect();
+            let found: Vec<_> = report_generators()
+                .into_iter()
+                .filter(|(n, _)| *n == name)
+                .collect();
             if found.is_empty() {
                 eprintln!("unknown report `{name}`; try `experiments list`");
                 return ExitCode::FAILURE;
@@ -30,19 +38,30 @@ fn main() -> ExitCode {
             found
         }
     };
-    for (_, body) in reports {
+
+    let timed = arg == "all";
+    let mut timings: Vec<(&str, Duration)> = Vec::new();
+    for (name, generate) in generators {
+        let start = Instant::now();
+        let body = generate();
+        timings.push((name, start.elapsed()));
         println!("{body}");
     }
-    ExitCode::SUCCESS
-}
 
-fn all_reports_names() -> Vec<(&'static str, ())> {
-    [
-        "table1", "table2", "table3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-        "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "ext_kernels", "ext_energy", "ext_soc",
-        "ext_scaling", "ext_robomorphic", "ext_coschedule", "ext_ablation", "ext_batch", "ext_throughput", "verify",
-    ]
-    .iter()
-    .map(|n| (*n, ()))
-    .collect()
+    if timed {
+        // Every generator above ran through the shared pipeline store, so
+        // later reports reuse the schedules and block plans of earlier
+        // ones; the stats below show how much was shared.
+        let pipeline = Pipeline::global();
+        println!("== report timings ==");
+        for (name, wall) in &timings {
+            println!("{name:<16} {wall:>12.3?}");
+        }
+        let total: Duration = timings.iter().map(|(_, w)| *w).sum();
+        println!("{:<16} {total:>12.3?}", "total");
+        println!();
+        println!("{}", pipeline.observer().report());
+        println!("{}", pipeline.store().stats());
+    }
+    ExitCode::SUCCESS
 }

@@ -178,7 +178,11 @@ mod tests {
 
     #[test]
     fn factor_known_matrix() {
-        let a = DMat::from_rows(&[&[4.0, 12.0, -16.0], &[12.0, 37.0, -43.0], &[-16.0, -43.0, 98.0]]);
+        let a = DMat::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ]);
         let chol = Cholesky::new(&a).unwrap();
         let expected = DMat::from_rows(&[&[2.0, 0.0, 0.0], &[6.0, 1.0, 0.0], &[-8.0, 5.0, 3.0]]);
         assert!(chol.factor().max_abs_diff(&expected).unwrap() < 1e-12);
@@ -186,7 +190,10 @@ mod tests {
 
     #[test]
     fn non_square_rejected() {
-        assert_eq!(Cholesky::new(&DMat::zeros(2, 3)), Err(CholeskyError::NotSquare));
+        assert_eq!(
+            Cholesky::new(&DMat::zeros(2, 3)),
+            Err(CholeskyError::NotSquare)
+        );
     }
 
     #[test]

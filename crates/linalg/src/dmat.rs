@@ -31,7 +31,11 @@ pub struct DMat {
 impl DMat {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> DMat {
-        DMat { rows, cols, data: vec![0.0; rows * cols] }
+        DMat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates an `n × n` identity matrix.
@@ -281,8 +285,11 @@ mod tests {
 
     fn arb_mat(max: usize) -> impl Strategy<Value = DMat> {
         (1..=max, 1..=max).prop_flat_map(|(r, c)| {
-            proptest::collection::vec(-10.0..10.0f64, r * c)
-                .prop_map(move |data| DMat { rows: r, cols: c, data })
+            proptest::collection::vec(-10.0..10.0f64, r * c).prop_map(move |data| DMat {
+                rows: r,
+                cols: c,
+                data,
+            })
         })
     }
 

@@ -28,7 +28,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector from its three components.
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -154,7 +158,9 @@ impl Default for Mat3 {
 impl Mat3 {
     /// The zero matrix.
     pub fn zero() -> Mat3 {
-        Mat3 { rows: [[0.0; 3]; 3] }
+        Mat3 {
+            rows: [[0.0; 3]; 3],
+        }
     }
 
     /// The identity matrix.
@@ -227,7 +233,11 @@ impl Mat3 {
             [roll, pitch, yaw]
         } else {
             // Gimbal lock: pitch = ±π/2; choose roll = 0.
-            let pitch = if r20 < 0.0 { std::f64::consts::FRAC_PI_2 } else { -std::f64::consts::FRAC_PI_2 };
+            let pitch = if r20 < 0.0 {
+                std::f64::consts::FRAC_PI_2
+            } else {
+                -std::f64::consts::FRAC_PI_2
+            };
             let yaw = (-self.rows[0][1]).atan2(self.rows[1][1]);
             [0.0, pitch, yaw]
         }
@@ -361,7 +371,9 @@ impl Vec6 {
 
     /// Builds from an angular (top) and linear (bottom) 3-vector.
     pub fn from_parts(angular: Vec3, linear: Vec3) -> Self {
-        Vec6::from_array([angular.x, angular.y, angular.z, linear.x, linear.y, linear.z])
+        Vec6::from_array([
+            angular.x, angular.y, angular.z, linear.x, linear.y, linear.z,
+        ])
     }
 
     /// The angular (top) part.
@@ -376,7 +388,11 @@ impl Vec6 {
 
     /// Dot product.
     pub fn dot(self, other: Vec6) -> f64 {
-        self.data.iter().zip(other.data.iter()).map(|(a, b)| a * b).sum()
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a * b)
+            .sum()
     }
 
     /// Euclidean norm.
@@ -494,7 +510,9 @@ impl Default for Mat6 {
 impl Mat6 {
     /// The zero matrix.
     pub fn zero() -> Mat6 {
-        Mat6 { rows: [[0.0; 6]; 6] }
+        Mat6 {
+            rows: [[0.0; 6]; 6],
+        }
     }
 
     /// The identity matrix.
@@ -690,7 +708,8 @@ mod tests {
     }
 
     fn arb_mat3() -> impl Strategy<Value = Mat3> {
-        proptest::array::uniform3(proptest::array::uniform3(-10.0..10.0f64)).prop_map(Mat3::from_rows)
+        proptest::array::uniform3(proptest::array::uniform3(-10.0..10.0f64))
+            .prop_map(Mat3::from_rows)
     }
 
     #[test]
@@ -721,18 +740,15 @@ mod tests {
     fn rotation_axis_matches_canonical_axes() {
         for angle in [0.3, -1.2, 2.7] {
             assert!(
-                Mat3::rotation_axis(Vec3::unit_x(), angle)
-                    .distance(&Mat3::rotation_x(angle))
+                Mat3::rotation_axis(Vec3::unit_x(), angle).distance(&Mat3::rotation_x(angle))
                     < 1e-12
             );
             assert!(
-                Mat3::rotation_axis(Vec3::unit_y(), angle)
-                    .distance(&Mat3::rotation_y(angle))
+                Mat3::rotation_axis(Vec3::unit_y(), angle).distance(&Mat3::rotation_y(angle))
                     < 1e-12
             );
             assert!(
-                Mat3::rotation_axis(Vec3::unit_z(), angle)
-                    .distance(&Mat3::rotation_z(angle))
+                Mat3::rotation_axis(Vec3::unit_z(), angle).distance(&Mat3::rotation_z(angle))
                     < 1e-12
             );
         }
@@ -827,7 +843,7 @@ mod tests {
         }
 
         #[test]
-        fn rotations_are_orthonormal(axis in arb_vec3(), angle in -6.28..6.28f64) {
+        fn rotations_are_orthonormal(axis in arb_vec3(), angle in -6.3..6.3f64) {
             prop_assume!(axis.norm() > 1e-6);
             let r = Mat3::rotation_axis(axis, angle);
             let should_be_identity = r * r.transpose();

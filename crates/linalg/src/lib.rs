@@ -24,7 +24,6 @@
 //! ```
 
 #![warn(missing_docs)]
-
 // Indexed loops over small fixed-size matrices read clearer than iterator
 // chains in these numeric kernels.
 #![allow(clippy::needless_range_loop)]

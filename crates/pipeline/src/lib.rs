@@ -1,0 +1,709 @@
+//! The staged compilation pipeline behind the RoboShape framework.
+//!
+//! Accelerator generation is a chain of pure stages
+//!
+//! ```text
+//! Parse → Topology → Ir {TaskGraph, SparsityPattern}
+//!       → Schedules → BlockPlans → Design → Reports
+//! ```
+//!
+//! whose intermediate products depend only on a robot's *topology* and a
+//! few integer knobs — not on which caller asked. A design-space sweep
+//! re-derives the same task graph `N²` times and the same block plans
+//! once per `(PEf, PEb)` pair; the strategy study re-schedules
+//! allocations the sweep already visited; the experiments binary walks
+//! the same six robots a dozen times. This crate makes those products
+//! shared, memoized artifacts:
+//!
+//! * [`ArtifactStore`] — a thread-safe store of stage products, keyed by
+//!   the stage's actual inputs (task graphs and patterns per topology,
+//!   schedules per `(topology, PEf, PEb, mode)`, block plans per
+//!   `(topology, pattern, block)`);
+//! * [`Pipeline`] — the staged accessors (compute-on-miss, `Arc`-shared
+//!   on hit) plus a [`PipelineObserver`] that counts cache hits/misses,
+//!   accumulates per-stage wall time and tallies evaluated design points
+//!   (the `--timings` report);
+//! * [`Pipeline::global`] — the process-wide warmed instance the
+//!   framework, CLI, experiments and benches all default to.
+//!
+//! All stages are deterministic, so a warm store returns bit-identical
+//! artifacts to a cold run — only faster.
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_pipeline::{PatternKind, Pipeline};
+//! use roboshape_topology::Topology;
+//!
+//! let pipeline = Pipeline::new();
+//! let topo = Topology::chain(5);
+//! let a = pipeline.pattern(&topo, PatternKind::InverseMass);
+//! let b = pipeline.pattern(&topo, PatternKind::InverseMass);
+//! assert!(std::sync::Arc::ptr_eq(&a, &b)); // second call is a cache hit
+//! assert_eq!(pipeline.observer().report().hits(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use parking_lot::RwLock;
+use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind};
+use roboshape_blocksparse::{BlockMatmulPlan, SparsityPattern};
+use roboshape_taskgraph::{schedule, Schedule, SchedulerConfig, TaskCosts, TaskGraph};
+use roboshape_topology::Topology;
+
+/// The pipeline's compilation stages, in dataflow order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PipelineStage {
+    /// URDF text → robot model.
+    Parse,
+    /// Robot model → topology metrics.
+    Topology,
+    /// Topology → intermediate representation: task graphs and sparsity
+    /// patterns.
+    Ir,
+    /// Task graph + PE allocation → PE schedules.
+    Schedules,
+    /// Sparsity pattern + block size → blocked mat-mul plans.
+    BlockPlans,
+    /// Cached parts → elaborated accelerator design.
+    Design,
+    /// Design → storage/resource/latency reports and emitted artifacts.
+    Reports,
+}
+
+impl PipelineStage {
+    /// Every stage in dataflow order.
+    pub const ALL: [PipelineStage; 7] = [
+        PipelineStage::Parse,
+        PipelineStage::Topology,
+        PipelineStage::Ir,
+        PipelineStage::Schedules,
+        PipelineStage::BlockPlans,
+        PipelineStage::Design,
+        PipelineStage::Reports,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineStage::Parse => "parse",
+            PipelineStage::Topology => "topology",
+            PipelineStage::Ir => "ir",
+            PipelineStage::Schedules => "schedules",
+            PipelineStage::BlockPlans => "block-plans",
+            PipelineStage::Design => "design",
+            PipelineStage::Reports => "reports",
+        }
+    }
+
+    fn index(self) -> usize {
+        PipelineStage::ALL
+            .iter()
+            .position(|&s| s == self)
+            .expect("stage in ALL")
+    }
+}
+
+/// Which topology-derived sparsity pattern an artifact is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PatternKind {
+    /// The mass matrix `M` (nonzero where links share a root path).
+    Mass,
+    /// The inverse mass matrix `M⁻¹` (fills in at mid-limb branches; the
+    /// left operand of the blocked multiply).
+    InverseMass,
+}
+
+#[derive(Default)]
+struct StageStats {
+    nanos: AtomicU64,
+    runs: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Thread-safe per-stage instrumentation: wall time, cache hit/miss
+/// counters and the number of design points evaluated. All counters are
+/// monotonic atomics, safe to update from sweep worker threads; `report`
+/// snapshots them.
+#[derive(Default)]
+pub struct PipelineObserver {
+    stages: [StageStats; PipelineStage::ALL.len()],
+    points: AtomicU64,
+}
+
+impl std::fmt::Debug for PipelineObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelineObserver")
+            .field("report", &self.report())
+            .finish()
+    }
+}
+
+impl PipelineObserver {
+    /// A fresh observer with all counters at zero.
+    pub fn new() -> PipelineObserver {
+        PipelineObserver::default()
+    }
+
+    /// Runs `f` attributed to `stage`, accumulating its wall time.
+    pub fn time<T>(&self, stage: PipelineStage, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        let s = &self.stages[stage.index()];
+        s.nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        s.runs.fetch_add(1, Ordering::Relaxed);
+        out
+    }
+
+    /// Records a cache hit for `stage`.
+    pub fn hit(&self, stage: PipelineStage) {
+        self.stages[stage.index()]
+            .hits
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache miss for `stage`.
+    pub fn miss(&self, stage: PipelineStage) {
+        self.stages[stage.index()]
+            .misses
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds to the evaluated-design-point tally.
+    pub fn add_points(&self, n: u64) {
+        self.points.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshots all counters.
+    pub fn report(&self) -> PipelineReport {
+        PipelineReport {
+            stages: PipelineStage::ALL
+                .iter()
+                .map(|&stage| {
+                    let s = &self.stages[stage.index()];
+                    StageReport {
+                        stage,
+                        wall: Duration::from_nanos(s.nanos.load(Ordering::Relaxed)),
+                        runs: s.runs.load(Ordering::Relaxed),
+                        hits: s.hits.load(Ordering::Relaxed),
+                        misses: s.misses.load(Ordering::Relaxed),
+                    }
+                })
+                .collect(),
+            points_evaluated: self.points.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for s in &self.stages {
+            s.nanos.store(0, Ordering::Relaxed);
+            s.runs.store(0, Ordering::Relaxed);
+            s.hits.store(0, Ordering::Relaxed);
+            s.misses.store(0, Ordering::Relaxed);
+        }
+        self.points.store(0, Ordering::Relaxed);
+    }
+}
+
+/// One stage's counters at snapshot time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageReport {
+    /// The stage.
+    pub stage: PipelineStage,
+    /// Accumulated wall time of stage executions (cache misses).
+    pub wall: Duration,
+    /// Number of stage executions.
+    pub runs: u64,
+    /// Artifact-store hits attributed to this stage.
+    pub hits: u64,
+    /// Artifact-store misses attributed to this stage.
+    pub misses: u64,
+}
+
+/// A full instrumentation snapshot (the `--timings` table).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineReport {
+    /// Per-stage counters, in dataflow order.
+    pub stages: Vec<StageReport>,
+    /// Total design points evaluated through the pipeline.
+    pub points_evaluated: u64,
+}
+
+impl PipelineReport {
+    /// Total wall time across all stages.
+    pub fn total_wall(&self) -> Duration {
+        self.stages.iter().map(|s| s.wall).sum()
+    }
+
+    /// Total cache hits across all stages.
+    pub fn hits(&self) -> u64 {
+        self.stages.iter().map(|s| s.hits).sum()
+    }
+
+    /// Total cache misses across all stages.
+    pub fn misses(&self) -> u64 {
+        self.stages.iter().map(|s| s.misses).sum()
+    }
+}
+
+impl std::fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>8} {:>8} {:>12}",
+            "stage", "runs", "hits", "misses", "wall"
+        )?;
+        for s in &self.stages {
+            if s.runs == 0 && s.hits == 0 && s.misses == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "{:<12} {:>6} {:>8} {:>8} {:>12}",
+                s.stage.name(),
+                s.runs,
+                s.hits,
+                s.misses,
+                format!("{:.3?}", s.wall),
+            )?;
+        }
+        write!(f, "points evaluated: {}", self.points_evaluated)
+    }
+}
+
+type TopoKey = Vec<Option<usize>>;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ScheduleKey {
+    topo: TopoKey,
+    kernel: KernelKind,
+    pe_fwd: usize,
+    pe_bwd: usize,
+    pipelined: bool,
+    limb_sequential: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    topo: TopoKey,
+    kind: PatternKind,
+    b_cols: usize,
+    block: usize,
+    units: usize,
+}
+
+/// Thread-safe store of compilation artifacts, keyed by the producing
+/// stage's inputs. Artifacts are held behind `Arc`, so a hit shares the
+/// stored product instead of recomputing or cloning it. Every stage is a
+/// pure function of its key, which makes the only invalidation rule
+/// "never": keys embed the full input (the topology's parent vector, PE
+/// counts, scheduling mode, pattern kind, block geometry), so a changed
+/// input is a different key, not a stale entry.
+#[derive(Default)]
+pub struct ArtifactStore {
+    graphs: RwLock<HashMap<(TopoKey, KernelKind), Arc<TaskGraph>>>,
+    patterns: RwLock<HashMap<(TopoKey, PatternKind), Arc<SparsityPattern>>>,
+    schedules: RwLock<HashMap<ScheduleKey, Arc<Schedule>>>,
+    plans: RwLock<HashMap<PlanKey, Arc<BlockMatmulPlan>>>,
+}
+
+/// Entry counts per artifact kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Cached task graphs.
+    pub task_graphs: usize,
+    /// Cached sparsity patterns.
+    pub patterns: usize,
+    /// Cached schedules.
+    pub schedules: usize,
+    /// Cached blocked mat-mul plans.
+    pub block_plans: usize,
+}
+
+impl StoreStats {
+    /// Total cached artifacts.
+    pub fn total(&self) -> usize {
+        self.task_graphs + self.patterns + self.schedules + self.block_plans
+    }
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "artifact store: {} task graphs, {} patterns, {} schedules, {} block plans",
+            self.task_graphs, self.patterns, self.schedules, self.block_plans
+        )
+    }
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ArtifactStore {
+    /// An empty store.
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// Entry counts per artifact kind.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            task_graphs: self.graphs.read().len(),
+            patterns: self.patterns.read().len(),
+            schedules: self.schedules.read().len(),
+            block_plans: self.plans.read().len(),
+        }
+    }
+
+    /// Drops every cached artifact.
+    pub fn clear(&self) {
+        self.graphs.write().clear();
+        self.patterns.write().clear();
+        self.schedules.write().clear();
+        self.plans.write().clear();
+    }
+}
+
+/// A handle to the staged pipeline: the shared [`ArtifactStore`] plus the
+/// [`PipelineObserver`]. Cloning shares both (the handle is a pair of
+/// `Arc`s), so workers of a parallel sweep and sequential callers all see
+/// one store and one set of counters.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    store: Arc<ArtifactStore>,
+    observer: Arc<PipelineObserver>,
+}
+
+impl Pipeline {
+    /// A pipeline with a fresh (cold) store and zeroed counters.
+    pub fn new() -> Pipeline {
+        Pipeline::default()
+    }
+
+    /// A pipeline over an existing store (fresh counters).
+    pub fn with_store(store: Arc<ArtifactStore>) -> Pipeline {
+        Pipeline {
+            store,
+            observer: Arc::new(PipelineObserver::new()),
+        }
+    }
+
+    /// The process-wide pipeline every framework entry point defaults to.
+    /// One warmed store shared by `Framework`, the design-space sweeps,
+    /// the CLI, the experiments binary and the benches.
+    pub fn global() -> &'static Pipeline {
+        static GLOBAL: OnceLock<Pipeline> = OnceLock::new();
+        GLOBAL.get_or_init(Pipeline::new)
+    }
+
+    /// The artifact store.
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// The instrumentation counters.
+    pub fn observer(&self) -> &PipelineObserver {
+        &self.observer
+    }
+
+    /// Ir stage: the traversal task graph of `(topo, kernel)`.
+    pub fn task_graph(&self, topo: &Topology, kernel: KernelKind) -> Arc<TaskGraph> {
+        let key = (topo.parents().to_vec(), kernel);
+        if let Some(g) = self.store.graphs.read().get(&key) {
+            self.observer.hit(PipelineStage::Ir);
+            return Arc::clone(g);
+        }
+        self.observer.miss(PipelineStage::Ir);
+        let g = self.observer.time(PipelineStage::Ir, || {
+            Arc::new(match kernel {
+                KernelKind::DynamicsGradient => TaskGraph::dynamics_gradient(topo),
+                KernelKind::InverseDynamics => TaskGraph::inverse_dynamics(topo),
+                KernelKind::ForwardKinematics => TaskGraph::forward_kinematics(topo),
+            })
+        });
+        Arc::clone(self.store.graphs.write().entry(key).or_insert(g))
+    }
+
+    /// Ir stage: the `kind` sparsity pattern of `topo`.
+    pub fn pattern(&self, topo: &Topology, kind: PatternKind) -> Arc<SparsityPattern> {
+        let key = (topo.parents().to_vec(), kind);
+        if let Some(p) = self.store.patterns.read().get(&key) {
+            self.observer.hit(PipelineStage::Ir);
+            return Arc::clone(p);
+        }
+        self.observer.miss(PipelineStage::Ir);
+        let p = self.observer.time(PipelineStage::Ir, || {
+            Arc::new(match kind {
+                PatternKind::Mass => SparsityPattern::mass_matrix(topo),
+                PatternKind::InverseMass => SparsityPattern::inverse_mass_matrix(topo),
+            })
+        });
+        Arc::clone(self.store.patterns.write().entry(key).or_insert(p))
+    }
+
+    /// Schedules stage: the PE schedule of `(topo, kernel)` under `cfg`.
+    ///
+    /// Schedules are cached per `(topology, kernel, PEf, PEb, pipelined,
+    /// limb-sequential)`. Non-default task costs fall outside the key
+    /// space, so those configurations are computed fresh on every call
+    /// (counted as misses) rather than risking a collision.
+    pub fn schedule_for(
+        &self,
+        topo: &Topology,
+        kernel: KernelKind,
+        cfg: &SchedulerConfig,
+    ) -> Arc<Schedule> {
+        let graph = self.task_graph(topo, kernel);
+        if cfg.costs != TaskCosts::default() {
+            self.observer.miss(PipelineStage::Schedules);
+            return self
+                .observer
+                .time(PipelineStage::Schedules, || Arc::new(schedule(&graph, cfg)));
+        }
+        let key = ScheduleKey {
+            topo: topo.parents().to_vec(),
+            kernel,
+            pe_fwd: cfg.pe_fwd,
+            pe_bwd: cfg.pe_bwd,
+            pipelined: cfg.pipelined,
+            limb_sequential: cfg.limb_sequential,
+        };
+        if let Some(s) = self.store.schedules.read().get(&key) {
+            self.observer.hit(PipelineStage::Schedules);
+            return Arc::clone(s);
+        }
+        self.observer.miss(PipelineStage::Schedules);
+        let s = self
+            .observer
+            .time(PipelineStage::Schedules, || Arc::new(schedule(&graph, cfg)));
+        Arc::clone(self.store.schedules.write().entry(key).or_insert(s))
+    }
+
+    /// BlockPlans stage: the NOP-skipping blocked mat-mul plan over the
+    /// `kind` pattern of `topo`, for a `dim×dim · dim×b_cols` product at
+    /// the given block size and unit count.
+    pub fn block_plan(
+        &self,
+        topo: &Topology,
+        kind: PatternKind,
+        b_cols: usize,
+        block: usize,
+        units: usize,
+    ) -> Arc<BlockMatmulPlan> {
+        let key = PlanKey {
+            topo: topo.parents().to_vec(),
+            kind,
+            b_cols,
+            block,
+            units,
+        };
+        if let Some(p) = self.store.plans.read().get(&key) {
+            self.observer.hit(PipelineStage::BlockPlans);
+            return Arc::clone(p);
+        }
+        self.observer.miss(PipelineStage::BlockPlans);
+        let pattern = self.pattern(topo, kind);
+        let p = self.observer.time(PipelineStage::BlockPlans, || {
+            Arc::new(BlockMatmulPlan::new(&pattern, b_cols, block, units))
+        });
+        Arc::clone(self.store.plans.write().entry(key).or_insert(p))
+    }
+
+    /// Design stage: a fully-elaborated [`AcceleratorDesign`], assembled
+    /// from cached parts (graph, both schedules, block plan). Produces a
+    /// design identical to [`AcceleratorDesign::generate_for_kernel`].
+    pub fn design(
+        &self,
+        topo: &Topology,
+        knobs: AcceleratorKnobs,
+        kernel: KernelKind,
+    ) -> AcceleratorDesign {
+        let graph = self.task_graph(topo, kernel);
+        let cfg = SchedulerConfig::with_pes(knobs.pe_fwd, knobs.pe_bwd);
+        let sched = self.schedule_for(topo, kernel, &cfg);
+        let sched_np = self.schedule_for(topo, kernel, &cfg.without_pipelining());
+        let matmul = (kernel == KernelKind::DynamicsGradient).then(|| {
+            let n = topo.len();
+            let plan = self.block_plan(
+                topo,
+                PatternKind::InverseMass,
+                2 * n,
+                knobs.block_size,
+                knobs.matmul_units.resolve(n),
+            );
+            (*plan).clone()
+        });
+        self.observer.time(PipelineStage::Design, || {
+            AcceleratorDesign::from_parts(
+                topo.clone(),
+                knobs,
+                kernel,
+                (*graph).clone(),
+                (*sched).clone(),
+                (*sched_np).clone(),
+                matmul,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_robots::{zoo, Zoo};
+
+    #[test]
+    fn artifacts_hit_on_second_access() {
+        let p = Pipeline::new();
+        let topo = Topology::chain(4);
+        let g1 = p.task_graph(&topo, KernelKind::DynamicsGradient);
+        let g2 = p.task_graph(&topo, KernelKind::DynamicsGradient);
+        assert!(Arc::ptr_eq(&g1, &g2));
+        let s1 = p.schedule_for(
+            &topo,
+            KernelKind::DynamicsGradient,
+            &SchedulerConfig::with_pes(2, 2),
+        );
+        let s2 = p.schedule_for(
+            &topo,
+            KernelKind::DynamicsGradient,
+            &SchedulerConfig::with_pes(2, 2),
+        );
+        assert!(Arc::ptr_eq(&s1, &s2));
+        let b1 = p.block_plan(&topo, PatternKind::InverseMass, 8, 2, 4);
+        let b2 = p.block_plan(&topo, PatternKind::InverseMass, 8, 2, 4);
+        assert!(Arc::ptr_eq(&b1, &b2));
+        let report = p.observer().report();
+        // g2, the graph lookup inside each schedule_for, s2 and b2.
+        assert_eq!(report.hits(), 5);
+        // graph + schedule + plan + pattern misses.
+        assert!(report.misses() >= 4);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let p = Pipeline::new();
+        let a = Topology::chain(4);
+        let b = Topology::chain(5);
+        assert_ne!(
+            p.task_graph(&a, KernelKind::DynamicsGradient).tasks().len(),
+            p.task_graph(&b, KernelKind::DynamicsGradient).tasks().len(),
+        );
+        let cfg = SchedulerConfig::with_pes(2, 2);
+        let pipelined = p.schedule_for(&a, KernelKind::DynamicsGradient, &cfg);
+        let barrier = p.schedule_for(&a, KernelKind::DynamicsGradient, &cfg.without_pipelining());
+        assert!(pipelined.makespan() <= barrier.makespan());
+        assert_ne!(
+            p.pattern(&a, PatternKind::Mass).dim(),
+            p.pattern(&b, PatternKind::Mass).dim()
+        );
+    }
+
+    #[test]
+    fn non_default_costs_bypass_the_cache() {
+        let p = Pipeline::new();
+        let topo = Topology::chain(3);
+        let mut cfg = SchedulerConfig::with_pes(1, 1);
+        cfg.costs.rnea_fwd += 7;
+        let a = p.schedule_for(&topo, KernelKind::DynamicsGradient, &cfg);
+        let b = p.schedule_for(&topo, KernelKind::DynamicsGradient, &cfg);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(*a, *b); // still deterministic
+        assert_eq!(p.store().stats().schedules, 0);
+    }
+
+    #[test]
+    fn design_matches_direct_generation() {
+        let p = Pipeline::new();
+        for which in [Zoo::Iiwa, Zoo::Jaco2] {
+            let robot = zoo(which);
+            let topo = robot.topology();
+            let knobs = AcceleratorKnobs::new(3, 2, 2);
+            let direct = AcceleratorDesign::generate(topo, knobs);
+            for _ in 0..2 {
+                // Cold then warm: both must match the uncached path.
+                let piped = p.design(topo, knobs, KernelKind::DynamicsGradient);
+                assert_eq!(piped.schedule(), direct.schedule());
+                assert_eq!(
+                    piped.schedule_without_pipelining(),
+                    direct.schedule_without_pipelining()
+                );
+                assert_eq!(piped.matmul_plan(), direct.matmul_plan());
+                assert_eq!(piped.compute_cycles(), direct.compute_cycles());
+                assert_eq!(piped.storage(), direct.storage());
+            }
+        }
+    }
+
+    #[test]
+    fn store_stats_and_clear() {
+        let p = Pipeline::new();
+        let topo = zoo(Zoo::Hyq);
+        p.design(
+            topo.topology(),
+            AcceleratorKnobs::new(2, 2, 3),
+            KernelKind::DynamicsGradient,
+        );
+        let stats = p.store().stats();
+        assert_eq!(stats.task_graphs, 1);
+        assert_eq!(stats.patterns, 1);
+        assert_eq!(stats.schedules, 2); // pipelined + barrier
+        assert_eq!(stats.block_plans, 1);
+        assert_eq!(stats.total(), 5);
+        p.store().clear();
+        assert_eq!(p.store().stats().total(), 0);
+    }
+
+    #[test]
+    fn observer_counts_points_and_resets() {
+        let obs = PipelineObserver::new();
+        obs.add_points(100);
+        obs.add_points(25);
+        obs.time(PipelineStage::Reports, || {
+            std::thread::sleep(Duration::from_millis(1))
+        });
+        let r = obs.report();
+        assert_eq!(r.points_evaluated, 125);
+        assert!(r.total_wall() >= Duration::from_millis(1));
+        let rendered = r.to_string();
+        assert!(rendered.contains("reports"));
+        assert!(rendered.contains("points evaluated: 125"));
+        obs.reset();
+        assert_eq!(obs.report().points_evaluated, 0);
+        assert_eq!(obs.report().total_wall(), Duration::ZERO);
+    }
+
+    #[test]
+    fn pipeline_is_shareable_across_threads() {
+        let p = Pipeline::new();
+        let topo = Topology::chain(6);
+        std::thread::scope(|scope| {
+            for pe in 1..=6 {
+                let p = p.clone();
+                let topo = &topo;
+                scope.spawn(move || {
+                    p.schedule_for(
+                        topo,
+                        KernelKind::DynamicsGradient,
+                        &SchedulerConfig::with_pes(pe, 1),
+                    );
+                });
+            }
+        });
+        assert_eq!(p.store().stats().schedules, 6);
+    }
+}

@@ -23,7 +23,12 @@ pub struct RandomRobotConfig {
 
 impl Default for RandomRobotConfig {
     fn default() -> Self {
-        RandomRobotConfig { links: 8, branch_prob: 0.2, new_limb_prob: 0.1, allow_prismatic: false }
+        RandomRobotConfig {
+            links: 8,
+            branch_prob: 0.2,
+            new_limb_prob: 0.1,
+            allow_prismatic: false,
+        }
     }
 }
 
@@ -91,7 +96,12 @@ pub fn random_robot<R: Rng + ?Sized>(rng: &mut R, config: RandomRobotConfig) -> 
             rng.gen_range(0.01..0.2),
         );
         let inertia = SpatialInertia::from_mass_com_inertia(mass, com, Mat3::diagonal(i_diag));
-        let h = b.add_link(format!("link{i}"), parent, joint.with_tree_xform(origin), inertia);
+        let h = b.add_link(
+            format!("link{i}"),
+            parent,
+            joint.with_tree_xform(origin),
+            inertia,
+        );
         handles.push(h);
     }
     b.build()
@@ -119,26 +129,47 @@ mod tests {
     fn generates_requested_size() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         for n in [1, 3, 9, 20] {
-            let r = random_robot(&mut rng, RandomRobotConfig { links: n, ..Default::default() });
+            let r = random_robot(
+                &mut rng,
+                RandomRobotConfig {
+                    links: n,
+                    ..Default::default()
+                },
+            );
             assert_eq!(r.num_links(), n);
         }
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let cfg = RandomRobotConfig { links: 12, branch_prob: 0.4, ..Default::default() };
+        let cfg = RandomRobotConfig {
+            links: 12,
+            branch_prob: 0.4,
+            ..Default::default()
+        };
         let a = random_robot(&mut rand::rngs::StdRng::seed_from_u64(1), cfg);
         let b = random_robot(&mut rand::rngs::StdRng::seed_from_u64(1), cfg);
         assert_eq!(a.topology(), b.topology());
         for i in 0..a.num_links() {
-            assert!(a.link(i).inertia.to_mat6().distance(&b.link(i).inertia.to_mat6()) < 1e-15);
+            assert!(
+                a.link(i)
+                    .inertia
+                    .to_mat6()
+                    .distance(&b.link(i).inertia.to_mat6())
+                    < 1e-15
+            );
         }
     }
 
     #[test]
     fn branching_config_actually_branches() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
-        let cfg = RandomRobotConfig { links: 30, branch_prob: 0.8, new_limb_prob: 0.2, ..Default::default() };
+        let cfg = RandomRobotConfig {
+            links: 30,
+            branch_prob: 0.8,
+            new_limb_prob: 0.2,
+            ..Default::default()
+        };
         let r = random_robot(&mut rng, cfg);
         assert!(
             !r.topology().branch_links().is_empty() || r.topology().roots().len() > 1,
@@ -149,7 +180,14 @@ mod tests {
     #[test]
     fn masses_positive_and_roundtrip() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
-        let r = random_robot(&mut rng, RandomRobotConfig { links: 8, allow_prismatic: true, ..Default::default() });
+        let r = random_robot(
+            &mut rng,
+            RandomRobotConfig {
+                links: 8,
+                allow_prismatic: true,
+                ..Default::default()
+            },
+        );
         for i in 0..r.num_links() {
             assert!(r.link(i).inertia.mass() > 0.0);
         }
@@ -161,6 +199,12 @@ mod tests {
     #[should_panic(expected = "at least one link")]
     fn zero_links_panics() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        random_robot(&mut rng, RandomRobotConfig { links: 0, ..Default::default() });
+        random_robot(
+            &mut rng,
+            RandomRobotConfig {
+                links: 0,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -23,7 +23,14 @@ pub enum Zoo {
 
 impl Zoo {
     /// All six robots in the paper's presentation order.
-    pub const ALL: [Zoo; 6] = [Zoo::Iiwa, Zoo::Hyq, Zoo::Baxter, Zoo::Jaco2, Zoo::Jaco3, Zoo::HyqArm];
+    pub const ALL: [Zoo; 6] = [
+        Zoo::Iiwa,
+        Zoo::Hyq,
+        Zoo::Baxter,
+        Zoo::Jaco2,
+        Zoo::Jaco3,
+        Zoo::HyqArm,
+    ];
 
     /// The display name used in the experiment printouts.
     pub fn name(self) -> &'static str {
@@ -168,10 +175,8 @@ pub fn zoo(which: Zoo) -> RobotModel {
                 rod_inertia(1.5, 0.1),
             );
             for (prefix, side) in [("left_arm", 1.0), ("right_arm", -1.0)] {
-                let mount = Xform::from_origin(
-                    Vec3::new(0.06, side * 0.26, 0.4),
-                    [side * 0.5, 0.0, 0.0],
-                );
+                let mount =
+                    Xform::from_origin(Vec3::new(0.06, side * 0.26, 0.4), [side * 0.5, 0.0, 0.0]);
                 add_chain(&mut b, prefix, None, mount, 7, 3.5, 0.27);
             }
         }
@@ -268,10 +273,8 @@ pub fn extra_robot(which: ExtraRobot) -> RobotModel {
                 rod_inertia(1.2, 0.12),
             );
             for (prefix, side) in [("left_arm", 1.0), ("right_arm", -1.0)] {
-                let mount = Xform::from_origin(
-                    Vec3::new(0.0, side * 0.15, 0.35),
-                    [side * 0.3, 0.0, 0.0],
-                );
+                let mount =
+                    Xform::from_origin(Vec3::new(0.0, side * 0.15, 0.35), [side * 0.3, 0.0, 0.0]);
                 add_chain(&mut b, prefix, None, mount, 5, 1.2, 0.18);
             }
         }
@@ -290,10 +293,8 @@ pub fn extra_robot(which: ExtraRobot) -> RobotModel {
                 rod_inertia(3.0, 0.15),
             );
             for (prefix, side) in [("left_arm", 1.0), ("right_arm", -1.0)] {
-                let mount = Xform::from_origin(
-                    Vec3::new(0.0, side * 0.2, 0.45),
-                    [side * 0.2, 0.0, 0.0],
-                );
+                let mount =
+                    Xform::from_origin(Vec3::new(0.0, side * 0.2, 0.45), [side * 0.2, 0.0, 0.0]);
                 add_chain(&mut b, prefix, None, mount, 7, 2.5, 0.25);
             }
             for (prefix, side) in [("left_leg", 1.0), ("right_leg", -1.0)] {
@@ -434,8 +435,7 @@ mod tests {
     fn extra_robots_roundtrip_and_have_mass() {
         for which in ExtraRobot::ALL {
             let robot = extra_robot(which);
-            let reparsed =
-                parse_urdf(&roboshape_urdf::write_urdf(&robot)).unwrap();
+            let reparsed = parse_urdf(&roboshape_urdf::write_urdf(&robot)).unwrap();
             assert_eq!(reparsed.topology(), robot.topology(), "{:?}", which);
             for i in 0..robot.num_links() {
                 assert!(robot.link(i).inertia.mass() > 0.0);

@@ -24,7 +24,10 @@ fn main() {
         let gb = g.stage_tasks(Stage::GradBwd).len();
         let nnz = roboshape_blocksparse::SparsityPattern::mass_matrix(robot.topology()).nnz();
         // stage spans for batching II
-        let spans: Vec<_> = Stage::ALL.iter().map(|&s| d.schedule().stage_span(g, s).unwrap()).collect();
+        let spans: Vec<_> = Stage::ALL
+            .iter()
+            .map(|&s| d.schedule().stage_span(g, s).unwrap())
+            .collect();
         println!(
             "{} n={} fpga_us={:.3} cycles={} np_us={:.3} serial={} crit={} gf={} gb={} nnz={} clk={:.1} mm_lat={} spans={:?}",
             which.name(), robot.num_links(), d.compute_latency_us(), d.compute_cycles(),

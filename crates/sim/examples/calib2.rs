@@ -8,7 +8,13 @@ fn main() {
         let n = robot.num_links();
         let graph = TaskGraph::dynamics_gradient(topo);
         let m = topo.metrics();
-        print!("{:8} (N={n} maxleaf={} maxdesc={} avg={:.1}): ", which.name(), m.max_leaf_depth, m.max_descendants, m.avg_leaf_depth);
+        print!(
+            "{:8} (N={n} maxleaf={} maxdesc={} avg={:.1}): ",
+            which.name(),
+            m.max_leaf_depth,
+            m.max_descendants,
+            m.avg_leaf_depth
+        );
         // makespan vs symmetric PE count
         let mut mins = u64::MAX;
         let mut lat = vec![];
@@ -29,14 +35,25 @@ fn main() {
         ];
         for (name, f, b) in strat {
             let s = schedule(&graph, &SchedulerConfig::with_pes(f, b));
-            println!("    {name:8} ({f},{b}): makespan={} min_lat={}", s.makespan(), s.makespan() == mins);
+            println!(
+                "    {name:8} ({f},{b}): makespan={} min_lat={}",
+                s.makespan(),
+                s.makespan() == mins
+            );
         }
         // true optimal over full (f,b) grid
         let mut best = (u64::MAX, 0, 0);
-        for f in 1..=n { for b in 1..=n {
-            let s = schedule(&graph, &SchedulerConfig::with_pes(f, b));
-            if s.makespan() < best.0 { best = (s.makespan(), f, b); }
-        }}
-        println!("    optimal grid min: {} at ({},{})", best.0, best.1, best.2);
+        for f in 1..=n {
+            for b in 1..=n {
+                let s = schedule(&graph, &SchedulerConfig::with_pes(f, b));
+                if s.makespan() < best.0 {
+                    best = (s.makespan(), f, b);
+                }
+            }
+        }
+        println!(
+            "    optimal grid min: {} at ({},{})",
+            best.0, best.1, best.2
+        );
     }
 }

@@ -58,10 +58,26 @@ pub(crate) fn grad_fwd(
     };
     DerivPair {
         dq: fwd_deriv_step(
-            model, link, is_seed, Wrt::Q, qd_link, cache, v_parent, a_parent, &parent_pair.dq,
+            model,
+            link,
+            is_seed,
+            Wrt::Q,
+            qd_link,
+            cache,
+            v_parent,
+            a_parent,
+            &parent_pair.dq,
         ),
         dqd: fwd_deriv_step(
-            model, link, is_seed, Wrt::Qd, qd_link, cache, v_parent, a_parent, &parent_pair.dqd,
+            model,
+            link,
+            is_seed,
+            Wrt::Qd,
+            qd_link,
+            cache,
+            v_parent,
+            a_parent,
+            &parent_pair.dqd,
         ),
     }
 }

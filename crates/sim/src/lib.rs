@@ -85,8 +85,14 @@ impl Simulation {
     /// reference library's `fd_derivatives` at the same inputs.
     pub fn verify(&self, model: &RobotModel, q: &[f64], qd: &[f64], tau: &[f64]) -> f64 {
         let reference = Dynamics::new(model).fd_derivatives(q, qd, tau);
-        let e1 = self.dqdd_dq.max_abs_diff(&reference.dqdd_dq).unwrap_or(f64::INFINITY);
-        let e2 = self.dqdd_dqd.max_abs_diff(&reference.dqdd_dqd).unwrap_or(f64::INFINITY);
+        let e1 = self
+            .dqdd_dq
+            .max_abs_diff(&reference.dqdd_dq)
+            .unwrap_or(f64::INFINITY);
+        let e2 = self
+            .dqdd_dqd
+            .max_abs_diff(&reference.dqdd_dqd)
+            .unwrap_or(f64::INFINITY);
         e1.max(e2)
     }
 }
@@ -111,7 +117,11 @@ pub fn simulate(
     tau: &[f64],
 ) -> Simulation {
     let n = model.num_links();
-    assert_eq!(design.topology(), model.topology(), "design/model topology mismatch");
+    assert_eq!(
+        design.topology(),
+        model.topology(),
+        "design/model topology mismatch"
+    );
     assert_eq!(q.len(), n, "q dimension mismatch");
     assert_eq!(qd.len(), n, "qd dimension mismatch");
     assert_eq!(tau.len(), n, "tau dimension mismatch");
@@ -185,16 +195,14 @@ pub fn simulate(
             }
             TaskKind::GradFwd { link, seed } => {
                 assert!(fwd_done[link], "gradient step before RNEA state ready");
-                let pair = deriv::grad_fwd(
-                    model, topo, link, seed, qd[link], &cache, a_base, &dstate,
-                );
+                let pair =
+                    deriv::grad_fwd(model, topo, link, seed, qd[link], &cache, a_base, &dstate);
                 dstate.insert((link, seed), pair);
             }
             TaskKind::GradBwd { link, seed } => {
                 assert!(bwd_done[link], "gradient backward before RNEA force ready");
-                let (dq_entry, dqd_entry) = deriv::grad_bwd(
-                    model, topo, link, seed, &cache, &dstate, &mut dacc,
-                );
+                let (dq_entry, dqd_entry) =
+                    deriv::grad_bwd(model, topo, link, seed, &cache, &dstate, &mut dacc);
                 dtau_dq[(link, seed)] = dq_entry;
                 dtau_dqd[(link, seed)] = dqd_entry;
             }
@@ -230,7 +238,12 @@ pub fn simulate(
         matmul_nops: plan.skipped_ops(),
         checkpoint_restores: schedule.context_switches(graph),
     };
-    Simulation { tau: cache.tau, dqdd_dq, dqdd_dqd, stats }
+    Simulation {
+        tau: cache.tau,
+        dqdd_dq,
+        dqdd_dqd,
+        stats,
+    }
 }
 
 /// Simulates a streamed batch of `steps` dynamics-gradient evaluations
@@ -256,8 +269,7 @@ pub fn simulate_batch(
         .map(|(q, qd, tau)| simulate(model, design, q, qd, tau))
         .collect();
     let knobs = design.knobs();
-    let replicated =
-        roboshape_taskgraph::TaskGraph::replicate(design.task_graph(), inputs.len());
+    let replicated = roboshape_taskgraph::TaskGraph::replicate(design.task_graph(), inputs.len());
     let cfg = roboshape_taskgraph::SchedulerConfig::with_pes(knobs.pe_fwd, knobs.pe_bwd);
     let schedule = roboshape_taskgraph::schedule(&replicated, &cfg);
     debug_assert!(schedule.validate(&replicated).is_ok());
@@ -307,7 +319,11 @@ pub fn simulate_kinematics(
         roboshape_arch::KernelKind::ForwardKinematics,
         "design was generated for a different kernel"
     );
-    assert_eq!(design.topology(), model.topology(), "design/model topology mismatch");
+    assert_eq!(
+        design.topology(),
+        model.topology(),
+        "design/model topology mismatch"
+    );
     assert_eq!(q.len(), n, "q dimension mismatch");
     let graph = design.task_graph();
     let schedule = design.schedule();
@@ -351,7 +367,11 @@ fn run_rnea_schedule(
     qdd: &[f64],
 ) -> (RneaCache, SimStats) {
     let n = model.num_links();
-    assert_eq!(design.topology(), model.topology(), "design/model topology mismatch");
+    assert_eq!(
+        design.topology(),
+        model.topology(),
+        "design/model topology mismatch"
+    );
     assert_eq!(q.len(), n, "q dimension mismatch");
     assert_eq!(qd.len(), n, "qd dimension mismatch");
     assert_eq!(qdd.len(), n, "qdd dimension mismatch");
@@ -448,11 +468,14 @@ mod tests {
             let (q, qd, tau) = inputs(n, 7 + which as u64);
             let sim = simulate(&robot, &design, &q, &qd, &tau);
             let err = sim.verify(&robot, &q, &qd, &tau);
-            assert!(err < 1e-8, "{which:?}: simulated gradients deviate by {err}");
+            assert!(
+                err < 1e-8,
+                "{which:?}: simulated gradients deviate by {err}"
+            );
             // The RNEA stage's torques equal the applied torques (q̈ came
             // from forward dynamics with exactly these torques).
-            for i in 0..n {
-                assert!((sim.tau[i] - tau[i]).abs() < 1e-7, "{which:?} τ[{i}]");
+            for (i, (simulated, applied)) in sim.tau.iter().zip(&tau).enumerate() {
+                assert!((simulated - applied).abs() < 1e-7, "{which:?} τ[{i}]");
             }
         }
     }
@@ -464,8 +487,10 @@ mod tests {
         let (q, qd, tau) = inputs(n, 99);
         for pe in [1, 2, 5, 15] {
             for blk in [1, 4, 7, 15] {
-                let design =
-                    AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(pe, pe, blk));
+                let design = AcceleratorDesign::generate(
+                    robot.topology(),
+                    AcceleratorKnobs::new(pe, pe, blk),
+                );
                 let sim = simulate(&robot, &design, &q, &qd, &tau);
                 let err = sim.verify(&robot, &q, &qd, &tau);
                 assert!(err < 1e-8, "pe={pe} blk={blk}: {err}");
@@ -517,7 +542,8 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn wrong_input_length_panics() {
         let robot = zoo(Zoo::Iiwa);
-        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
+        let design =
+            AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
         simulate(&robot, &design, &[0.0], &[0.0], &[0.0]);
     }
 
@@ -526,7 +552,8 @@ mod tests {
     fn mismatched_design_panics() {
         let robot = zoo(Zoo::Iiwa);
         let other = zoo(Zoo::Hyq);
-        let design = AcceleratorDesign::generate(other.topology(), AcceleratorKnobs::symmetric(2, 2));
+        let design =
+            AcceleratorDesign::generate(other.topology(), AcceleratorKnobs::symmetric(2, 2));
         let n = robot.num_links();
         simulate(&robot, &design, &vec![0.0; n], &vec![0.0; n], &vec![0.0; n]);
     }
@@ -580,8 +607,8 @@ mod kernel_tests {
             let q: Vec<f64> = (0..n).map(|i| 0.2 * (i as f64 + 1.0).cos()).collect();
             let (poses, stats) = simulate_kinematics(&robot, &design, &q);
             let reference = Dynamics::new(&robot).forward_kinematics(&q);
-            for i in 0..n {
-                let d = poses[i].to_mat6().distance(&reference.x_base[i].to_mat6());
+            for (i, pose) in poses.iter().enumerate() {
+                let d = pose.to_mat6().distance(&reference.x_base[i].to_mat6());
                 assert!(d < 1e-12, "{which:?} link {i}: pose drift {d}");
             }
             assert_eq!(stats.tasks_executed, n);
@@ -614,7 +641,8 @@ mod kernel_tests {
     #[should_panic(expected = "different kernel")]
     fn wrong_kernel_design_panics() {
         let robot = zoo(Zoo::Iiwa);
-        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
+        let design =
+            AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
         simulate_inverse_dynamics(&robot, &design, &[0.0; 7], &[0.0; 7], &[0.0; 7]);
     }
 }
@@ -656,7 +684,8 @@ mod batch_tests {
     #[should_panic(expected = "at least one time step")]
     fn empty_batch_panics() {
         let robot = zoo(Zoo::Iiwa);
-        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
+        let design =
+            AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
         simulate_batch(&robot, &design, &[]);
     }
 }

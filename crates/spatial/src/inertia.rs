@@ -41,7 +41,11 @@ pub struct SpatialInertia {
 impl SpatialInertia {
     /// The zero inertia (massless link).
     pub fn zero() -> SpatialInertia {
-        SpatialInertia { mass: 0.0, h: Vec3::ZERO, i_origin: Mat3::zero() }
+        SpatialInertia {
+            mass: 0.0,
+            h: Vec3::ZERO,
+            i_origin: Mat3::zero(),
+        }
     }
 
     /// Builds from mass, centre-of-mass position `c` (link coordinates) and
@@ -56,7 +60,11 @@ impl SpatialInertia {
         assert!(mass >= 0.0, "mass must be non-negative");
         let c_skew = com.skew();
         let shift = (c_skew * c_skew.transpose()) * mass;
-        SpatialInertia { mass, h: com * mass, i_origin: inertia_com + shift }
+        SpatialInertia {
+            mass,
+            h: com * mass,
+            i_origin: inertia_com + shift,
+        }
     }
 
     /// A solid-sphere-like link used in tests and synthetic robots:
@@ -155,7 +163,11 @@ impl SpatialInertia {
             + (h_skew * r_skew)
             + (r_skew * h_skew);
         let i_b = e * shifted * e.transpose();
-        SpatialInertia { mass, h: h_b, i_origin: i_b }
+        SpatialInertia {
+            mass,
+            h: h_b,
+            i_origin: i_b,
+        }
     }
 
     /// Kinetic energy `½ vᵀ I v` of a body moving with velocity `v`.

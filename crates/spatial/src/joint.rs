@@ -57,7 +57,12 @@ impl Joint {
     ///
     /// Panics if `axis` is numerically zero.
     pub fn revolute(axis: Vec3) -> Joint {
-        Joint { kind: JointKind::Revolute { axis: axis.normalized() }, tree_xform: Xform::identity() }
+        Joint {
+            kind: JointKind::Revolute {
+                axis: axis.normalized(),
+            },
+            tree_xform: Xform::identity(),
+        }
     }
 
     /// A prismatic joint along `axis` with identity tree transform.
@@ -66,12 +71,20 @@ impl Joint {
     ///
     /// Panics if `axis` is numerically zero.
     pub fn prismatic(axis: Vec3) -> Joint {
-        Joint { kind: JointKind::Prismatic { axis: axis.normalized() }, tree_xform: Xform::identity() }
+        Joint {
+            kind: JointKind::Prismatic {
+                axis: axis.normalized(),
+            },
+            tree_xform: Xform::identity(),
+        }
     }
 
     /// A fixed joint with identity tree transform.
     pub fn fixed() -> Joint {
-        Joint { kind: JointKind::Fixed, tree_xform: Xform::identity() }
+        Joint {
+            kind: JointKind::Fixed,
+            tree_xform: Xform::identity(),
+        }
     }
 
     /// Returns the joint with the given fixed parent-frame → joint-frame
@@ -161,7 +174,11 @@ mod tests {
 
     #[test]
     fn joint_xform_at_zero_is_identity() {
-        for j in [Joint::revolute(Vec3::unit_x()), Joint::prismatic(Vec3::unit_z()), Joint::fixed()] {
+        for j in [
+            Joint::revolute(Vec3::unit_x()),
+            Joint::prismatic(Vec3::unit_z()),
+            Joint::fixed(),
+        ] {
             let x = j.joint_xform(0.0);
             assert!(x.to_mat6().distance(&Xform::identity().to_mat6()) < 1e-12);
         }

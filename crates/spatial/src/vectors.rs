@@ -134,7 +134,10 @@ impl MotionVec {
 pub fn cross_motion(v: MotionVec, m: MotionVec) -> MotionVec {
     let w = v.angular();
     let vl = v.linear();
-    MotionVec::from_parts(w.cross(m.angular()), vl.cross(m.angular()) + w.cross(m.linear()))
+    MotionVec::from_parts(
+        w.cross(m.angular()),
+        vl.cross(m.angular()) + w.cross(m.linear()),
+    )
 }
 
 /// Spatial force cross product `v ×* f` (`crf(v)·f = −crm(v)ᵀ·f`): the rate
@@ -154,7 +157,10 @@ pub fn cross_motion(v: MotionVec, m: MotionVec) -> MotionVec {
 pub fn cross_force(v: MotionVec, f: ForceVec) -> ForceVec {
     let w = v.angular();
     let vl = v.linear();
-    ForceVec::from_parts(w.cross(f.angular()) + vl.cross(f.linear()), w.cross(f.linear()))
+    ForceVec::from_parts(
+        w.cross(f.angular()) + vl.cross(f.linear()),
+        w.cross(f.linear()),
+    )
 }
 
 #[cfg(test)]

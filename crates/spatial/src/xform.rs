@@ -48,7 +48,10 @@ impl Default for Xform {
 impl Xform {
     /// The identity transform.
     pub fn identity() -> Xform {
-        Xform { rot: Mat3::identity(), trans: Vec3::ZERO }
+        Xform {
+            rot: Mat3::identity(),
+            trans: Vec3::ZERO,
+        }
     }
 
     /// Builds from a rotation `E` (A → B coordinates) and the position `r`
@@ -59,14 +62,20 @@ impl Xform {
 
     /// A pure translation: B's origin at `r` in A coordinates.
     pub fn from_translation(trans: Vec3) -> Xform {
-        Xform { rot: Mat3::identity(), trans }
+        Xform {
+            rot: Mat3::identity(),
+            trans,
+        }
     }
 
     /// A pure rotation of the coordinate frame by `angle` about `axis`
     /// (B's basis is A's basis rotated by `angle`; coordinates transform
     /// with the transpose).
     pub fn from_rotation(axis: Vec3, angle: f64) -> Xform {
-        Xform { rot: Mat3::rotation_axis(axis, angle).transpose(), trans: Vec3::ZERO }
+        Xform {
+            rot: Mat3::rotation_axis(axis, angle).transpose(),
+            trans: Vec3::ZERO,
+        }
     }
 
     /// URDF-style origin: frame B translated by `xyz` and rotated by
@@ -159,7 +168,8 @@ mod tests {
     }
 
     fn arb_xform() -> impl Strategy<Value = Xform> {
-        (arb_v3(), arb_v3(), -3.14..3.14f64).prop_filter_map("nonzero axis", |(axis, t, angle)| {
+        let pi = std::f64::consts::PI;
+        (arb_v3(), arb_v3(), -pi..pi).prop_filter_map("nonzero axis", |(axis, t, angle)| {
             if axis.norm() < 1e-3 {
                 None
             } else {

@@ -24,7 +24,12 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in dataflow order.
-    pub const ALL: [Stage; 4] = [Stage::RneaFwd, Stage::RneaBwd, Stage::GradFwd, Stage::GradBwd];
+    pub const ALL: [Stage; 4] = [
+        Stage::RneaFwd,
+        Stage::RneaBwd,
+        Stage::GradFwd,
+        Stage::GradBwd,
+    ];
 
     /// Whether this stage runs on the forward-traversal PEs (`true`) or the
     /// backward-traversal PEs (`false`).
@@ -145,7 +150,10 @@ impl TaskGraph {
             if let Some(p) = topo.parent(link) {
                 deps.push(id_of(&tasks, TaskKind::RneaFwd { link: p }).expect("parent first"));
             }
-            tasks.push(Task { kind: TaskKind::RneaFwd { link }, deps });
+            tasks.push(Task {
+                kind: TaskKind::RneaFwd { link },
+                deps,
+            });
         }
         // Stage 2: RNEA backward (children first).
         for link in (0..n).rev() {
@@ -153,7 +161,10 @@ impl TaskGraph {
             for &c in topo.children(link) {
                 deps.push(id_of(&tasks, TaskKind::RneaBwd { link: c }).expect("child first"));
             }
-            tasks.push(Task { kind: TaskKind::RneaBwd { link }, deps });
+            tasks.push(Task {
+                kind: TaskKind::RneaBwd { link },
+                deps,
+            });
         }
         // Stage 3: gradient forward, per seed, down the seed's subtree.
         for seed in 0..n {
@@ -165,11 +176,15 @@ impl TaskGraph {
                 if let Some(p) = topo.parent(link) {
                     if p == seed || topo.is_ancestor(seed, p) {
                         deps.push(
-                            id_of(&tasks, TaskKind::GradFwd { link: p, seed }).expect("parent first"),
+                            id_of(&tasks, TaskKind::GradFwd { link: p, seed })
+                                .expect("parent first"),
                         );
                     }
                 }
-                tasks.push(Task { kind: TaskKind::GradFwd { link, seed }, deps });
+                tasks.push(Task {
+                    kind: TaskKind::GradFwd { link, seed },
+                    deps,
+                });
             }
         }
         // Stage 4: gradient backward, per seed, children first, up to root.
@@ -187,7 +202,10 @@ impl TaskGraph {
                         deps.push(cb);
                     }
                 }
-                tasks.push(Task { kind: TaskKind::GradBwd { link, seed }, deps });
+                tasks.push(Task {
+                    kind: TaskKind::GradBwd { link, seed },
+                    deps,
+                });
             }
         }
         TaskGraph::with_limbs(tasks, topo)
@@ -207,14 +225,20 @@ impl TaskGraph {
                 .parent(link)
                 .map(|p| vec![TaskId(p)])
                 .unwrap_or_default();
-            tasks.push(Task { kind: TaskKind::RneaFwd { link }, deps });
+            tasks.push(Task {
+                kind: TaskKind::RneaFwd { link },
+                deps,
+            });
         }
         for link in (0..n).rev() {
             let mut deps = vec![TaskId(link)];
             for &c in topo.children(link) {
                 deps.push(TaskId(n + (n - 1 - c)));
             }
-            tasks.push(Task { kind: TaskKind::RneaBwd { link }, deps });
+            tasks.push(Task {
+                kind: TaskKind::RneaBwd { link },
+                deps,
+            });
         }
         TaskGraph::with_limbs(tasks, topo)
     }
@@ -228,7 +252,10 @@ impl TaskGraph {
         let tasks = (0..n)
             .map(|link| Task {
                 kind: TaskKind::RneaFwd { link },
-                deps: topo.parent(link).map(|p| vec![TaskId(p)]).unwrap_or_default(),
+                deps: topo
+                    .parent(link)
+                    .map(|p| vec![TaskId(p)])
+                    .unwrap_or_default(),
             })
             .collect();
         TaskGraph::with_limbs(tasks, topo)
@@ -290,7 +317,11 @@ impl TaskGraph {
                 limb_of_link[l] = m;
             }
         }
-        TaskGraph { tasks, limb_of_link, num_limbs: limbs.len() }
+        TaskGraph {
+            tasks,
+            limb_of_link,
+            num_limbs: limbs.len(),
+        }
     }
 
     /// The (depth-first) limb index of a link — the scheduler's
@@ -424,7 +455,11 @@ mod tests {
         // A star (all links root-attached) parallelizes almost completely.
         let star = Topology::new(vec![None, None, None, None]).unwrap();
         let gs = TaskGraph::dynamics_gradient(&star);
-        assert!(gs.critical_path_len() <= 4, "got {}", gs.critical_path_len());
+        assert!(
+            gs.critical_path_len() <= 4,
+            "got {}",
+            gs.critical_path_len()
+        );
     }
 
     #[test]

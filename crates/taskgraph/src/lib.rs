@@ -35,4 +35,6 @@ mod graph;
 mod scheduler;
 
 pub use graph::{Stage, Task, TaskGraph, TaskId, TaskKind};
-pub use scheduler::{schedule, PeClass, Schedule, ScheduleEntry, ScheduleError, SchedulerConfig, TaskCosts};
+pub use scheduler::{
+    schedule, PeClass, Schedule, ScheduleEntry, ScheduleError, SchedulerConfig, TaskCosts,
+};

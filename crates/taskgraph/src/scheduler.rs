@@ -42,7 +42,12 @@ pub struct TaskCosts {
 
 impl Default for TaskCosts {
     fn default() -> Self {
-        TaskCosts { rnea_fwd: 10, rnea_bwd: 7, grad_fwd: 12, grad_bwd: 8 }
+        TaskCosts {
+            rnea_fwd: 10,
+            rnea_bwd: 7,
+            grad_fwd: 12,
+            grad_bwd: 8,
+        }
     }
 }
 
@@ -265,7 +270,11 @@ impl Schedule {
     pub fn context_switches(&self, graph: &TaskGraph) -> usize {
         let mut count = 0;
         for class in [PeClass::Forward, PeClass::Backward] {
-            let pes = if class == PeClass::Forward { self.pe_fwd } else { self.pe_bwd };
+            let pes = if class == PeClass::Forward {
+                self.pe_fwd
+            } else {
+                self.pe_bwd
+            };
             for pe in 0..pes {
                 let prog = self.pe_program(class, pe);
                 for pair in prog.windows(2) {
@@ -291,15 +300,23 @@ impl Schedule {
         let mut seen = vec![false; graph.len()];
         for e in &self.entries {
             if e.task.0 >= graph.len() {
-                return Err(ScheduleError::Coverage(format!("unknown task {}", e.task.0)));
+                return Err(ScheduleError::Coverage(format!(
+                    "unknown task {}",
+                    e.task.0
+                )));
             }
             if seen[e.task.0] {
-                return Err(ScheduleError::Coverage(format!("task {} scheduled twice", e.task.0)));
+                return Err(ScheduleError::Coverage(format!(
+                    "task {} scheduled twice",
+                    e.task.0
+                )));
             }
             seen[e.task.0] = true;
         }
         if let Some(missing) = seen.iter().position(|s| !s) {
-            return Err(ScheduleError::Coverage(format!("task {missing} never scheduled")));
+            return Err(ScheduleError::Coverage(format!(
+                "task {missing} never scheduled"
+            )));
         }
         // Dependency ordering.
         let mut end = vec![0u64; graph.len()];
@@ -329,7 +346,11 @@ impl Schedule {
                     e.task.0, e.pe_class
                 )));
             }
-            let limit = if expected == PeClass::Forward { self.pe_fwd } else { self.pe_bwd };
+            let limit = if expected == PeClass::Forward {
+                self.pe_fwd
+            } else {
+                self.pe_bwd
+            };
             if e.pe >= limit {
                 return Err(ScheduleError::WrongPe(format!(
                     "task {} on PE {} out of {limit}",
@@ -339,7 +360,11 @@ impl Schedule {
         }
         // Overlap.
         for class in [PeClass::Forward, PeClass::Backward] {
-            let pes = if class == PeClass::Forward { self.pe_fwd } else { self.pe_bwd };
+            let pes = if class == PeClass::Forward {
+                self.pe_fwd
+            } else {
+                self.pe_bwd
+            };
             for pe in 0..pes {
                 let prog = self.pe_program(class, pe);
                 for pair in prog.windows(2) {
@@ -378,7 +403,10 @@ fn is_chain_successor(prev: TaskKind, next: TaskKind) -> bool {
 ///
 /// Panics if either PE count in `config` is zero.
 pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
-    assert!(config.pe_fwd > 0 && config.pe_bwd > 0, "PE counts must be positive");
+    assert!(
+        config.pe_fwd > 0 && config.pe_bwd > 0,
+        "PE counts must be positive"
+    );
 
     // Critical-path priority: longest cost-weighted path to a sink.
     let n = graph.len();
@@ -391,7 +419,11 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
     let mut priority = vec![0u64; n];
     for i in (0..n).rev() {
         let own = config.costs.of(graph.task(TaskId(i)).kind);
-        let best_succ = successors[i].iter().map(|&s| priority[s]).max().unwrap_or(0);
+        let best_succ = successors[i]
+            .iter()
+            .map(|&s| priority[s])
+            .max()
+            .unwrap_or(0);
         priority[i] = own + best_succ;
     }
 
@@ -410,10 +442,14 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
     let mut end_time = vec![0u64; n];
     // Per-class PE state: (free_at, last task).
     let mut pe_free: [Vec<u64>; 2] = [vec![0; config.pe_fwd], vec![0; config.pe_bwd]];
-    let mut pe_last: [Vec<Option<usize>>; 2] = [vec![None; config.pe_fwd], vec![None; config.pe_bwd]];
+    let mut pe_last: [Vec<Option<usize>>; 2] =
+        [vec![None; config.pe_fwd], vec![None; config.pe_bwd]];
     let mut entries: Vec<ScheduleEntry> = Vec::with_capacity(n);
     // Completion count per stage for barrier mode.
-    let stage_totals: Vec<usize> = Stage::ALL.iter().map(|&s| graph.stage_tasks(s).len()).collect();
+    let stage_totals: Vec<usize> = Stage::ALL
+        .iter()
+        .map(|&s| graph.stage_tasks(s).len())
+        .collect();
     let mut stage_done = [0usize; 4];
     let mut stage_release = [0u64; 4];
 
@@ -490,7 +526,11 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
             }
             let class = usize::from(!kind.stage().is_forward());
             let min_free = *pe_free[class].iter().min().expect("PE pool nonempty");
-            let barrier = if config.pipelined { 0 } else { stage_release[si] };
+            let barrier = if config.pipelined {
+                0
+            } else {
+                stage_release[si]
+            };
             let limb_barrier = if config.limb_sequential {
                 if config.pipelined {
                     limb_release[si].max(limb_release[partner(si)])
@@ -541,7 +581,11 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
         end_time[task] = end;
         entries.push(ScheduleEntry {
             task: TaskId(task),
-            pe_class: if class == 0 { PeClass::Forward } else { PeClass::Backward },
+            pe_class: if class == 0 {
+                PeClass::Forward
+            } else {
+                PeClass::Backward
+            },
             pe: chosen,
             start,
             end,
@@ -584,7 +628,12 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
 
     entries.sort_by_key(|e| (e.start, e.task.0));
     let makespan = entries.iter().map(|e| e.end).max().unwrap_or(0);
-    Schedule { entries, pe_fwd: config.pe_fwd, pe_bwd: config.pe_bwd, makespan }
+    Schedule {
+        entries,
+        pe_fwd: config.pe_fwd,
+        pe_bwd: config.pe_bwd,
+        makespan,
+    }
 }
 
 #[cfg(test)]
@@ -618,7 +667,10 @@ mod tests {
     fn non_pipelined_respects_stage_barriers() {
         let topo = Topology::chain(5);
         let graph = TaskGraph::dynamics_gradient(&topo);
-        let s = schedule(&graph, &SchedulerConfig::with_pes(3, 3).without_pipelining());
+        let s = schedule(
+            &graph,
+            &SchedulerConfig::with_pes(3, 3).without_pipelining(),
+        );
         s.validate(&graph).unwrap();
         let spans: Vec<_> = Stage::ALL
             .iter()
@@ -635,7 +687,10 @@ mod tests {
             let graph = TaskGraph::dynamics_gradient(&topo);
             for pe in [1, 2, 4] {
                 let piped = schedule(&graph, &SchedulerConfig::with_pes(pe, pe));
-                let barrier = schedule(&graph, &SchedulerConfig::with_pes(pe, pe).without_pipelining());
+                let barrier = schedule(
+                    &graph,
+                    &SchedulerConfig::with_pes(pe, pe).without_pipelining(),
+                );
                 assert!(
                     piped.makespan() <= barrier.makespan(),
                     "pipelined {} > barrier {} at {pe} PEs",
@@ -682,7 +737,11 @@ mod tests {
             let costs = TaskCosts::default();
             // Cheapest possible bound: critical path length × min task cost.
             let lower = graph.critical_path_len() as u64
-                * costs.rnea_fwd.min(costs.rnea_bwd).min(costs.grad_fwd).min(costs.grad_bwd);
+                * costs
+                    .rnea_fwd
+                    .min(costs.rnea_bwd)
+                    .min(costs.grad_fwd)
+                    .min(costs.grad_bwd);
             let s = schedule(&graph, &SchedulerConfig::with_pes(16, 16));
             assert!(s.makespan() >= lower);
         }
@@ -704,7 +763,10 @@ mod tests {
         // Drop an entry → coverage error.
         let mut bad = s.clone();
         bad.entries.pop();
-        assert!(matches!(bad.validate(&graph), Err(ScheduleError::Coverage(_))));
+        assert!(matches!(
+            bad.validate(&graph),
+            Err(ScheduleError::Coverage(_))
+        ));
         // Shift a dependent before its dep → dependency violation (find a
         // task with deps).
         let mut bad2 = s.clone();
@@ -754,11 +816,13 @@ mod tests {
         let chart = s.render_gantt(&graph, 60);
         assert_eq!(chart.lines().count(), 8);
         for stage_char in ['F', 'B', 'g', 'b'] {
-            assert!(chart.contains(stage_char), "missing {stage_char} in\n{chart}");
+            assert!(
+                chart.contains(stage_char),
+                "missing {stage_char} in\n{chart}"
+            );
         }
         // Rows are uniformly sized.
-        let widths: std::collections::HashSet<usize> =
-            chart.lines().map(|l| l.len()).collect();
+        let widths: std::collections::HashSet<usize> = chart.lines().map(|l| l.len()).collect();
         assert_eq!(widths.len(), 1);
     }
 
@@ -883,6 +947,9 @@ mod determinism_tests {
         s.validate(&tripled_graph).unwrap();
         let tripled = s.makespan();
         assert!(tripled >= single);
-        assert!(tripled < 3 * single, "no pipelining across copies: {tripled} vs 3x{single}");
+        assert!(
+            tripled < 3 * single,
+            "no pipelining across copies: {tripled} vs 3x{single}"
+        );
     }
 }

@@ -48,7 +48,10 @@ impl Topology {
         let max_leaf_depth = leaves.iter().map(|&l| self.depth(l)).max().unwrap_or(0);
         let avg = depths.iter().sum::<f64>() / depths.len() as f64;
         let var = depths.iter().map(|d| (d - avg) * (d - avg)).sum::<f64>() / depths.len() as f64;
-        let max_descendants = (0..self.len()).map(|i| self.descendants(i)).max().unwrap_or(0);
+        let max_descendants = (0..self.len())
+            .map(|i| self.descendants(i))
+            .max()
+            .unwrap_or(0);
         TopologyMetrics {
             total_links: self.len(),
             max_leaf_depth,

@@ -22,7 +22,10 @@ impl fmt::Display for TopologyError {
         match self {
             TopologyError::Empty => write!(f, "topology has no links"),
             TopologyError::BadParent { link, parent } => {
-                write!(f, "link {link} has invalid parent {parent} (parents must have smaller indices)")
+                write!(
+                    f,
+                    "link {link} has invalid parent {parent} (parents must have smaller indices)"
+                )
             }
         }
     }
@@ -90,7 +93,12 @@ impl Topology {
                 subtree_size[p] += subtree_size[i];
             }
         }
-        Ok(Topology { parents, children, depth, subtree_size })
+        Ok(Topology {
+            parents,
+            children,
+            depth,
+            subtree_size,
+        })
     }
 
     /// A serial chain of `n` links (like the iiwa arm).
@@ -100,7 +108,9 @@ impl Topology {
     /// Panics if `n == 0`.
     pub fn chain(n: usize) -> Topology {
         assert!(n > 0, "chain must have at least one link");
-        let parents = (0..n).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents = (0..n)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         Topology::new(parents).expect("chain parents are valid by construction")
     }
 
@@ -143,18 +153,24 @@ impl Topology {
 
     /// Links with no children.
     pub fn leaves(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.children[i].is_empty()).collect()
+        (0..self.len())
+            .filter(|&i| self.children[i].is_empty())
+            .collect()
     }
 
     /// Links attached directly to the fixed base.
     pub fn roots(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.parents[i].is_none()).collect()
+        (0..self.len())
+            .filter(|&i| self.parents[i].is_none())
+            .collect()
     }
 
     /// Links with more than one child — the branch points where the
     /// traversal hardware must checkpoint state (paper Fig. 5 / Fig. 8e).
     pub fn branch_links(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.children[i].len() > 1).collect()
+        (0..self.len())
+            .filter(|&i| self.children[i].len() > 1)
+            .collect()
     }
 
     /// The chain of ancestors of `link`, nearest first (excluding `link`).
@@ -325,7 +341,9 @@ mod tests {
     #[test]
     fn error_messages() {
         assert_eq!(TopologyError::Empty.to_string(), "topology has no links");
-        assert!(TopologyError::BadParent { link: 2, parent: 3 }.to_string().contains("link 2"));
+        assert!(TopologyError::BadParent { link: 2, parent: 3 }
+            .to_string()
+            .contains("link 2"));
     }
 
     #[test]

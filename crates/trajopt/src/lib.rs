@@ -164,7 +164,10 @@ pub fn optimize(
     let dynamics = Dynamics::new(robot);
     let dim = 2 * n;
 
-    let x0 = State { q: q0.to_vec(), qd: vec![0.0; n] };
+    let x0 = State {
+        q: q0.to_vec(),
+        qd: vec![0.0; n],
+    };
     let hold = dynamics.rnea(q0, &vec![0.0; n], &vec![0.0; n]);
     let mut us = vec![hold; cfg.horizon];
     let mut xs = rollout(&dynamics, &x0, &us, cfg.dt);
@@ -301,7 +304,11 @@ pub fn optimize(
         }
     }
 
-    IlqrResult { states: xs, controls: us, cost_history }
+    IlqrResult {
+        states: xs,
+        controls: us,
+        cost_history,
+    }
 }
 
 #[cfg(test)]
@@ -314,7 +321,11 @@ mod tests {
     fn cost_decreases_monotonically() {
         let robot = zoo(Zoo::Iiwa);
         let n = robot.num_links();
-        let cfg = IlqrConfig { horizon: 25, iters: 8, ..IlqrConfig::default() };
+        let cfg = IlqrConfig {
+            horizon: 25,
+            iters: 8,
+            ..IlqrConfig::default()
+        };
         let target: Vec<f64> = (0..n).map(|i| 0.4 * ((i % 2) as f64 * 2.0 - 1.0)).collect();
         let r = optimize(&robot, &vec![0.0; n], &target, &cfg, &ReferenceGradients);
         for pair in r.cost_history.windows(2) {
@@ -336,7 +347,12 @@ mod tests {
             SpatialInertia::point_like(1.0, Vec3::new(0.0, 0.0, -0.4), 0.01),
         );
         let robot = b.build();
-        let cfg = IlqrConfig { horizon: 50, iters: 20, terminal_cost: 100.0, ..IlqrConfig::default() };
+        let cfg = IlqrConfig {
+            horizon: 50,
+            iters: 20,
+            terminal_cost: 100.0,
+            ..IlqrConfig::default()
+        };
         let r = optimize(&robot, &[0.0], &[0.5], &cfg, &ReferenceGradients);
         assert!(
             r.terminal_error(&[0.5]) < 0.05,
@@ -353,7 +369,11 @@ mod tests {
         let robot = zoo(Zoo::Hyq);
         let n = robot.num_links();
         let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(3, 3, 3));
-        let cfg = IlqrConfig { horizon: 15, iters: 5, ..IlqrConfig::default() };
+        let cfg = IlqrConfig {
+            horizon: 15,
+            iters: 5,
+            ..IlqrConfig::default()
+        };
         let target = vec![0.2; n];
         let reference = optimize(&robot, &vec![0.0; n], &target, &cfg, &ReferenceGradients);
         let accel = optimize(
@@ -363,8 +383,8 @@ mod tests {
             &cfg,
             &AcceleratorGradients::new(&design),
         );
-        let rel = (reference.final_cost() - accel.final_cost()).abs()
-            / reference.final_cost().max(1e-9);
+        let rel =
+            (reference.final_cost() - accel.final_cost()).abs() / reference.final_cost().max(1e-9);
         assert!(rel < 1e-6, "cost mismatch: {rel}");
         assert_eq!(reference.cost_history.len(), accel.cost_history.len());
     }
@@ -373,8 +393,18 @@ mod tests {
     fn result_accessors_are_consistent() {
         let robot = zoo(Zoo::Iiwa);
         let n = robot.num_links();
-        let cfg = IlqrConfig { horizon: 10, iters: 2, ..IlqrConfig::default() };
-        let r = optimize(&robot, &vec![0.1; n], &vec![0.1; n], &cfg, &ReferenceGradients);
+        let cfg = IlqrConfig {
+            horizon: 10,
+            iters: 2,
+            ..IlqrConfig::default()
+        };
+        let r = optimize(
+            &robot,
+            &vec![0.1; n],
+            &vec![0.1; n],
+            &cfg,
+            &ReferenceGradients,
+        );
         assert_eq!(r.states.len(), cfg.horizon + 1);
         assert_eq!(r.controls.len(), cfg.horizon);
         assert!(r.final_cost() <= r.initial_cost());
@@ -386,7 +416,10 @@ mod tests {
     #[should_panic(expected = "horizon must be positive")]
     fn zero_horizon_panics() {
         let robot = zoo(Zoo::Iiwa);
-        let cfg = IlqrConfig { horizon: 0, ..IlqrConfig::default() };
-        optimize(&robot, &vec![0.0; 7], &vec![0.0; 7], &cfg, &ReferenceGradients);
+        let cfg = IlqrConfig {
+            horizon: 0,
+            ..IlqrConfig::default()
+        };
+        optimize(&robot, &[0.0; 7], &[0.0; 7], &cfg, &ReferenceGradients);
     }
 }

@@ -58,7 +58,13 @@ impl RobotModel {
         assert_eq!(topology.len(), links.len());
         assert_eq!(topology.len(), joints.len());
         assert_eq!(topology.len(), joint_names.len());
-        RobotModel { name, topology, links, joints, joint_names }
+        RobotModel {
+            name,
+            topology,
+            links,
+            joints,
+            joint_names,
+        }
     }
 
     /// Robot name.
@@ -141,7 +147,10 @@ pub struct RobotBuilder {
 impl RobotBuilder {
     /// Starts a new robot with the given name.
     pub fn new(name: impl Into<String>) -> RobotBuilder {
-        RobotBuilder { name: name.into(), ..Default::default() }
+        RobotBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Appends a moving link attached to `parent` (or the fixed base when
@@ -192,7 +201,13 @@ impl RobotBuilder {
     /// Panics if no links were added.
     pub fn build(self) -> RobotModel {
         let topology = Topology::new(self.parents).expect("builder guarantees valid parents");
-        RobotModel::from_parts(self.name, topology, self.links, self.joints, self.joint_names)
+        RobotModel::from_parts(
+            self.name,
+            topology,
+            self.links,
+            self.joints,
+            self.joint_names,
+        )
     }
 }
 
@@ -209,14 +224,25 @@ mod tests {
     #[test]
     fn builder_constructs_branching_robot() {
         let mut b = RobotBuilder::new("y");
-        let trunk = b.add_link("trunk", None, Joint::revolute(Vec3::unit_z()), simple_inertia());
+        let trunk = b.add_link(
+            "trunk",
+            None,
+            Joint::revolute(Vec3::unit_z()),
+            simple_inertia(),
+        );
         b.add_link(
             "left",
             Some(trunk),
-            Joint::revolute(Vec3::unit_y()).with_tree_xform(Xform::from_translation(Vec3::unit_x())),
+            Joint::revolute(Vec3::unit_y())
+                .with_tree_xform(Xform::from_translation(Vec3::unit_x())),
             simple_inertia(),
         );
-        b.add_link("right", Some(trunk), Joint::revolute(Vec3::unit_y()), simple_inertia());
+        b.add_link(
+            "right",
+            Some(trunk),
+            Joint::revolute(Vec3::unit_y()),
+            simple_inertia(),
+        );
         let m = b.build();
         assert_eq!(m.num_links(), 3);
         assert_eq!(m.topology().children(0), &[1, 2]);

@@ -51,8 +51,15 @@ impl fmt::Display for UrdfError {
             UrdfError::MissingAttr { element, attr } => {
                 write!(f, "element <{element}> is missing attribute `{attr}`")
             }
-            UrdfError::BadNumber { element, attr, text } => {
-                write!(f, "element <{element}> attribute `{attr}` has invalid number `{text}`")
+            UrdfError::BadNumber {
+                element,
+                attr,
+                text,
+            } => {
+                write!(
+                    f,
+                    "element <{element}> attribute `{attr}` has invalid number `{text}`"
+                )
             }
             UrdfError::UnknownJointType(t) => write!(f, "unsupported joint type `{t}`"),
             UrdfError::MissingLink(l) => write!(f, "joint references undeclared link `{l}`"),
@@ -119,11 +126,17 @@ pub fn parse_urdf(input: &str) -> Result<RobotModel, UrdfError> {
         let kind = require_attr(joint_el, "type")?.to_string();
         let parent = joint_el
             .child("parent")
-            .ok_or_else(|| UrdfError::MissingAttr { element: "joint".into(), attr: "parent".into() })
+            .ok_or_else(|| UrdfError::MissingAttr {
+                element: "joint".into(),
+                attr: "parent".into(),
+            })
             .and_then(|p| require_attr(p, "link").map(str::to_string))?;
         let child = joint_el
             .child("child")
-            .ok_or_else(|| UrdfError::MissingAttr { element: "joint".into(), attr: "child".into() })
+            .ok_or_else(|| UrdfError::MissingAttr {
+                element: "joint".into(),
+                attr: "child".into(),
+            })
             .and_then(|c| require_attr(c, "link").map(str::to_string))?;
         for l in [&parent, &child] {
             if !link_inertia.contains_key(l) {
@@ -135,7 +148,14 @@ pub fn parse_urdf(input: &str) -> Result<RobotModel, UrdfError> {
             Some(a) => parse_vec3(a, "xyz")?,
             None => Vec3::unit_x(),
         };
-        joints.push(RawJoint { name, kind, parent, child, origin, axis });
+        joints.push(RawJoint {
+            name,
+            kind,
+            parent,
+            child,
+            origin,
+            axis,
+        });
     }
 
     // Resolve the tree: find the unique root.
@@ -145,14 +165,21 @@ pub fn parse_urdf(input: &str) -> Result<RobotModel, UrdfError> {
             return Err(UrdfError::MultipleParents(j.child.clone()));
         }
     }
-    let roots: Vec<&String> = link_order.iter().filter(|l| !child_of.contains_key(l.as_str())).collect();
+    let roots: Vec<&String> = link_order
+        .iter()
+        .filter(|l| !child_of.contains_key(l.as_str()))
+        .collect();
     let root_link = match roots.as_slice() {
         [r] => (*r).clone(),
         [] => return Err(UrdfError::BadTree("no root link (cycle)".into())),
         _ => {
             return Err(UrdfError::BadTree(format!(
                 "multiple root links: {}",
-                roots.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(", ")
+                roots
+                    .iter()
+                    .map(|s| s.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )))
         }
     };
@@ -160,7 +187,10 @@ pub fn parse_urdf(input: &str) -> Result<RobotModel, UrdfError> {
     // Children adjacency by parent link name.
     let mut joints_of_parent: HashMap<&str, Vec<usize>> = HashMap::new();
     for (ji, j) in joints.iter().enumerate() {
-        joints_of_parent.entry(j.parent.as_str()).or_default().push(ji);
+        joints_of_parent
+            .entry(j.parent.as_str())
+            .or_default()
+            .push(ji);
     }
 
     // Depth-first walk from the root in joint document order, fusing fixed
@@ -199,7 +229,13 @@ pub fn parse_urdf(input: &str) -> Result<RobotModel, UrdfError> {
             for ji in child_joints {
                 let (kind, child, name, axis, origin) = {
                     let j = &self.joints[ji];
-                    (j.kind.clone(), j.child.clone(), j.name.clone(), j.axis, j.origin)
+                    (
+                        j.kind.clone(),
+                        j.child.clone(),
+                        j.name.clone(),
+                        j.axis,
+                        j.origin,
+                    )
                 };
                 self.visited += 1;
                 // Transform from the nearest moving ancestor's frame to the
@@ -249,7 +285,15 @@ pub fn parse_urdf(input: &str) -> Result<RobotModel, UrdfError> {
         visited: 1,
     };
     walk.visit(&root_link, None, Xform::identity())?;
-    let Walk { parents, links, out_joints, joint_names, visited, link_inertia, .. } = walk;
+    let Walk {
+        parents,
+        links,
+        out_joints,
+        joint_names,
+        visited,
+        link_inertia,
+        ..
+    } = walk;
     let link_order_len = link_order.len();
     let _ = link_inertia;
 
@@ -262,9 +306,14 @@ pub fn parse_urdf(input: &str) -> Result<RobotModel, UrdfError> {
         return Err(UrdfError::BadTree("robot has no moving links".into()));
     }
 
-    let topology = Topology::new(parents)
-        .map_err(|e| UrdfError::BadTree(e.to_string()))?;
-    Ok(RobotModel::from_parts(robot_name, topology, links, out_joints, joint_names))
+    let topology = Topology::new(parents).map_err(|e| UrdfError::BadTree(e.to_string()))?;
+    Ok(RobotModel::from_parts(
+        robot_name,
+        topology,
+        links,
+        out_joints,
+        joint_names,
+    ))
 }
 
 fn require_attr<'a>(el: &'a XmlElement, attr: &str) -> Result<&'a str, UrdfError> {
@@ -301,7 +350,11 @@ fn parse_origin(el: &XmlElement) -> Result<Xform, UrdfError> {
     match el.child("origin") {
         None => Ok(Xform::identity()),
         Some(o) => {
-            let xyz = if o.attr("xyz").is_some() { parse_vec3(o, "xyz")? } else { Vec3::ZERO };
+            let xyz = if o.attr("xyz").is_some() {
+                parse_vec3(o, "xyz")?
+            } else {
+                Vec3::ZERO
+            };
             let rpy = if o.attr("rpy").is_some() {
                 let v = parse_floats(o, "rpy", 3)?;
                 [v[0], v[1], v[2]]
@@ -335,7 +388,11 @@ fn parse_inertial(link_el: &XmlElement) -> Result<SpatialInertia, UrdfError> {
     };
     let (com, rot) = match inertial.child("origin") {
         Some(o) => {
-            let xyz = if o.attr("xyz").is_some() { parse_vec3(o, "xyz")? } else { Vec3::ZERO };
+            let xyz = if o.attr("xyz").is_some() {
+                parse_vec3(o, "xyz")?
+            } else {
+                Vec3::ZERO
+            };
             let rpy = if o.attr("rpy").is_some() {
                 let v = parse_floats(o, "rpy", 3)?;
                 Mat3::from_rpy(v[0], v[1], v[2])
@@ -351,9 +408,21 @@ fn parse_inertial(link_el: &XmlElement) -> Result<SpatialInertia, UrdfError> {
             let ixx = parse_scalar(i, "ixx")?;
             let iyy = parse_scalar(i, "iyy")?;
             let izz = parse_scalar(i, "izz")?;
-            let ixy = if i.attr("ixy").is_some() { parse_scalar(i, "ixy")? } else { 0.0 };
-            let ixz = if i.attr("ixz").is_some() { parse_scalar(i, "ixz")? } else { 0.0 };
-            let iyz = if i.attr("iyz").is_some() { parse_scalar(i, "iyz")? } else { 0.0 };
+            let ixy = if i.attr("ixy").is_some() {
+                parse_scalar(i, "ixy")?
+            } else {
+                0.0
+            };
+            let ixz = if i.attr("ixz").is_some() {
+                parse_scalar(i, "ixz")?
+            } else {
+                0.0
+            };
+            let iyz = if i.attr("iyz").is_some() {
+                parse_scalar(i, "iyz")?
+            } else {
+                0.0
+            };
             let local = Mat3::from_rows([[ixx, ixy, ixz], [ixy, iyy, iyz], [ixz, iyz, izz]]);
             // Rotate the inertia from the inertial frame into the link frame.
             rot * local * rot.transpose()
@@ -486,7 +555,10 @@ mod tests {
           <link name="a"/>
           <joint name="j" type="revolute"><parent link="a"/><child link="ghost"/></joint>
         </robot>"#;
-        assert_eq!(parse_urdf(urdf), Err(UrdfError::MissingLink("ghost".into())));
+        assert_eq!(
+            parse_urdf(urdf),
+            Err(UrdfError::MissingLink("ghost".into()))
+        );
     }
 
     #[test]
@@ -543,7 +615,10 @@ mod tests {
 
     #[test]
     fn error_display_is_descriptive() {
-        let err = UrdfError::MissingAttr { element: "joint".into(), attr: "type".into() };
+        let err = UrdfError::MissingAttr {
+            element: "joint".into(),
+            attr: "type".into(),
+        };
         assert!(err.to_string().contains("joint"));
         assert!(UrdfError::NotARobot.to_string().contains("robot"));
     }

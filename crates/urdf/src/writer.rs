@@ -80,7 +80,11 @@ pub fn write_urdf(model: &RobotModel) -> String {
         // `Xform` stores E (parent→child coordinates); the URDF origin
         // rotation is the child frame's orientation in the parent, i.e. Eᵀ.
         let rpy = tree.rotation().transpose().to_rpy();
-        let _ = writeln!(out, "  <joint name=\"{}\" type=\"{type_name}\">", model.joint_name(i));
+        let _ = writeln!(
+            out,
+            "  <joint name=\"{}\" type=\"{type_name}\">",
+            model.joint_name(i)
+        );
         let _ = writeln!(out, "    <parent link=\"{parent_name}\"/>");
         let _ = writeln!(out, "    <child link=\"{}\"/>", model.link(i).name);
         let _ = writeln!(

@@ -53,7 +53,11 @@ pub struct XmlError {
 
 impl fmt::Display for XmlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "xml parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "xml parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -76,7 +80,10 @@ impl std::error::Error for XmlError {}
 /// # Ok::<(), roboshape_urdf::xml::XmlError>(())
 /// ```
 pub fn parse(input: &str) -> Result<XmlElement, XmlError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_prolog()?;
     let root = p.parse_element()?;
     p.skip_misc()?;
@@ -93,7 +100,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, message: &str) -> XmlError {
-        XmlError { offset: self.pos, message: message.to_string() }
+        XmlError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -187,7 +197,10 @@ impl<'a> Parser<'a> {
         }
         self.pos += 1;
         let name = self.parse_name()?;
-        let mut el = XmlElement { name, ..Default::default() };
+        let mut el = XmlElement {
+            name,
+            ..Default::default()
+        };
         loop {
             self.skip_ws();
             match self.peek() {

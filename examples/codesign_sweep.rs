@@ -14,13 +14,23 @@ use roboshape_suite::prelude::*;
 fn main() {
     let robot = zoo(Zoo::Baxter);
     let fw = Framework::from_model(robot.clone());
-    println!("design space for {} ({} links)", robot.name(), robot.num_links());
+    println!(
+        "design space for {} ({} links)",
+        robot.name(),
+        robot.num_links()
+    );
 
     // Fig. 12: the full sweep.
     let points = fw.design_space();
-    println!("swept {} design points (PEs_fwd x PEs_bwd x block)", points.len());
+    println!(
+        "swept {} design points (PEs_fwd x PEs_bwd x block)",
+        points.len()
+    );
     let frontier = pareto_frontier(&points);
-    println!("\nPareto frontier (latency vs LUTs), {} points:", frontier.len());
+    println!(
+        "\nPareto frontier (latency vs LUTs), {} points:",
+        frontier.len()
+    );
     for p in &frontier {
         println!(
             "  ({:>2},{:>2}, b{:<2})  {:>5} cycles  {:>9.0} LUTs  {:>6.0} DSPs",
@@ -38,7 +48,11 @@ fn main() {
             o.pe_bwd,
             o.latency_cycles,
             o.resources.luts,
-            if o.achieves_min_latency { "min latency" } else { "NON-MIN" }
+            if o.achieves_min_latency {
+                "min latency"
+            } else {
+                "NON-MIN"
+            }
         );
     }
 

@@ -62,7 +62,11 @@ fn main() {
             "  vs CPU {:.2}x, vs GPU {:.2}x{}",
             rt.speedup_vs_cpu(),
             rt.speedup_vs_gpu(),
-            if rt.speedup_vs_cpu() < 1.0 { "  (I/O-bound: slower than CPU)" } else { "" }
+            if rt.speedup_vs_cpu() < 1.0 {
+                "  (I/O-bound: slower than CPU)"
+            } else {
+                ""
+            }
         );
 
         // Sparse I/O (paper Sec. 5.2): skip structural zeros on the link.

@@ -50,7 +50,11 @@ fn build_robot() -> roboshape::RobotModel {
     // The arm: 5 links, then two 2-link fingers.
     let mut parent = None;
     for k in 0..5 {
-        let axis = if k % 2 == 0 { Vec3::unit_z() } else { Vec3::unit_y() };
+        let axis = if k % 2 == 0 {
+            Vec3::unit_z()
+        } else {
+            Vec3::unit_y()
+        };
         let h = b.add_link(
             format!("arm_{k}"),
             parent,

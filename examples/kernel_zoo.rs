@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release --example kernel_zoo`
 
 use roboshape::{
-    simulate, simulate_inverse_dynamics, simulate_kinematics, AcceleratorDesign,
-    AcceleratorKnobs, Dynamics, KernelKind,
+    simulate, simulate_inverse_dynamics, simulate_kinematics, AcceleratorDesign, AcceleratorKnobs,
+    Dynamics, KernelKind,
 };
 use roboshape_suite::prelude::*;
 
@@ -20,7 +20,13 @@ fn main() {
     let m = robot.topology().metrics();
     let knobs = AcceleratorKnobs::new(m.max_leaf_depth, m.max_descendants, 3);
     let dynamics = Dynamics::new(&robot);
-    println!("robot: {} ({} links), knobs PEs=({},{})", robot.name(), n, knobs.pe_fwd, knobs.pe_bwd);
+    println!(
+        "robot: {} ({} links), knobs PEs=({},{})",
+        robot.name(),
+        n,
+        knobs.pe_fwd,
+        knobs.pe_bwd
+    );
 
     let q: Vec<f64> = (0..n).map(|i| 0.3 * ((i as f64) * 0.8).sin()).collect();
     let qd: Vec<f64> = (0..n).map(|i| 0.2 - 0.02 * i as f64).collect();
@@ -28,8 +34,11 @@ fn main() {
     let tau: Vec<f64> = (0..n).map(|i| 0.5 * ((i % 3) as f64 - 1.0)).collect();
 
     // --- Kernel 1: forward kinematics (one forward traversal).
-    let fk_design =
-        AcceleratorDesign::generate_for_kernel(robot.topology(), knobs, KernelKind::ForwardKinematics);
+    let fk_design = AcceleratorDesign::generate_for_kernel(
+        robot.topology(),
+        knobs,
+        KernelKind::ForwardKinematics,
+    );
     let (poses, fk_stats) = simulate_kinematics(&robot, &fk_design, &q);
     let reference_fk = dynamics.forward_kinematics(&q);
     let fk_err = poses
@@ -43,8 +52,11 @@ fn main() {
     );
 
     // --- Kernel 2: inverse dynamics (forward + backward traversal).
-    let id_design =
-        AcceleratorDesign::generate_for_kernel(robot.topology(), knobs, KernelKind::InverseDynamics);
+    let id_design = AcceleratorDesign::generate_for_kernel(
+        robot.topology(),
+        knobs,
+        KernelKind::InverseDynamics,
+    );
     let (sim_tau, id_stats) = simulate_inverse_dynamics(&robot, &id_design, &q, &qd, &qdd);
     let reference_tau = dynamics.rnea(&q, &qd, &qdd);
     let id_err = sim_tau

@@ -13,7 +13,6 @@
 use rand::{Rng, SeedableRng};
 use roboshape::Dynamics;
 use roboshape_collision::{CollisionWorld, SphereDecomposition};
-use roboshape_linalg::Vec3;
 use roboshape_suite::prelude::*;
 
 const STEP: f64 = 0.35;
@@ -21,7 +20,11 @@ const EDGE_CHECKS: usize = 6;
 const MAX_NODES: usize = 4000;
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn main() {
@@ -38,19 +41,33 @@ fn main() {
 
     // Place the obstacle exactly where the direct joint-space interpolation
     // would sweep the wrist through — guaranteeing planning is required.
-    let mid: Vec<f64> = start.iter().zip(&goal).map(|(a, b)| 0.5 * (a + b)).collect();
+    let mid: Vec<f64> = start
+        .iter()
+        .zip(&goal)
+        .map(|(a, b)| 0.5 * (a + b))
+        .collect();
     let wrist = dynamics.forward_kinematics(&mid).positions[n - 1];
     let world = CollisionWorld::new().with_obstacle(wrist, 0.3);
     println!(
         "obstacle at the direct path's midpoint wrist position ({:.2}, {:.2}, {:.2})",
         wrist.x, wrist.y, wrist.z
     );
-    assert!(world.check(&robot, &spheres, &start).is_free(), "start in collision");
-    assert!(world.check(&robot, &spheres, &goal).is_free(), "goal in collision");
+    assert!(
+        world.check(&robot, &spheres, &start).is_free(),
+        "start in collision"
+    );
+    assert!(
+        world.check(&robot, &spheres, &goal).is_free(),
+        "goal in collision"
+    );
     let direct = world.edge_is_free(&robot, &spheres, &start, &goal, 24);
     println!(
         "direct joint-space motion is {}",
-        if direct { "free (obstacle not binding)" } else { "BLOCKED by the obstacle" }
+        if direct {
+            "free (obstacle not binding)"
+        } else {
+            "BLOCKED by the obstacle"
+        }
     );
 
     // --- RRT.
@@ -104,7 +121,10 @@ fn main() {
         path.push(parents[*path.last().unwrap()]);
     }
     path.reverse();
-    let length: f64 = path.windows(2).map(|w| dist(&nodes[w[0]], &nodes[w[1]])).sum();
+    let length: f64 = path
+        .windows(2)
+        .map(|w| dist(&nodes[w[0]], &nodes[w[1]]))
+        .sum();
     println!(
         "RRT found a path: {} waypoints, joint-space length {length:.2} rad, {} tree nodes,\n{checks} collision edge checks ({} FK traversals + sphere tests each)",
         path.len(),
@@ -121,5 +141,8 @@ fn main() {
     }
     println!("max gravity-compensation torque along the path: {max_tau:.1} N·m");
     assert!(max_tau.is_finite() && max_tau > 0.0);
-    assert!(!direct, "the scenario should require planning around the obstacle");
+    assert!(
+        !direct,
+        "the scenario should require planning around the obstacle"
+    );
 }

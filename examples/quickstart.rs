@@ -33,7 +33,10 @@ fn main() {
         design.compute_latency_us()
     );
     let r = accel.resources();
-    println!("resources (full-design model): {:.0} LUTs, {:.0} DSPs", r.luts, r.dsps);
+    println!(
+        "resources (full-design model): {:.0} LUTs, {:.0} DSPs",
+        r.luts, r.dsps
+    );
 
     // 4. Functional check: the generated schedules compute real gradients.
     let n = robot.num_links();

@@ -24,7 +24,11 @@ fn soft_arm(segments: usize) -> roboshape::RobotModel {
     let seg_mass = 2.0 / segments as f64;
     let mut parent = None;
     for k in 0..segments {
-        let axis = if k % 2 == 0 { Vec3::unit_x() } else { Vec3::unit_y() };
+        let axis = if k % 2 == 0 {
+            Vec3::unit_x()
+        } else {
+            Vec3::unit_y()
+        };
         let tree = if k == 0 {
             Xform::identity()
         } else {

@@ -45,7 +45,10 @@ fn main() {
         }
         // EKF predict through the simulated accelerator, then update.
         ekf.predict_with(&provider, &hold, dt);
-        let z: Vec<f64> = q_true.iter().map(|q| q + rng.gen_range(-0.005..0.005)).collect();
+        let z: Vec<f64> = q_true
+            .iter()
+            .map(|q| q + rng.gen_range(-0.005..0.005))
+            .collect();
         ekf.update_encoders(&z);
         if step % 3 == 0 {
             // Every few steps a foot position arrives (leg 1's shank tip).

@@ -20,11 +20,21 @@ fn main() {
     let fw = Framework::from_model(robot.clone());
     let accel = fw.generate(Constraints::new(7, 7, 7));
 
-    let config = IlqrConfig { horizon: 40, iters: 12, ..IlqrConfig::default() };
+    let config = IlqrConfig {
+        horizon: 40,
+        iters: 12,
+        ..IlqrConfig::default()
+    };
     let target: Vec<f64> = (0..n).map(|i| 0.6 * ((i % 3) as f64 - 1.0)).collect();
     let q0 = vec![0.0; n];
 
-    println!("iLQR on {} ({} links), horizon {}, dt {} s", robot.name(), n, config.horizon, config.dt);
+    println!(
+        "iLQR on {} ({} links), horizon {}, dt {} s",
+        robot.name(),
+        n,
+        config.horizon,
+        config.dt
+    );
 
     // --- Reference gradients.
     let reference = optimize(&robot, &q0, &target, &config, &ReferenceGradients);

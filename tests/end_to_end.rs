@@ -70,7 +70,9 @@ fn random_robots_survive_the_full_pipeline() {
         let q = vec![0.15; n];
         let qd = vec![-0.1; n];
         let tau = vec![0.2; n];
-        let err = accel.simulate(&q, &qd, &tau).verify(fw.robot(), &q, &qd, &tau);
+        let err = accel
+            .simulate(&q, &qd, &tau)
+            .verify(fw.robot(), &q, &qd, &tau);
         assert!(err < 1e-8, "trial {trial}: {err}");
     }
 }

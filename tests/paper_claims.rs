@@ -68,7 +68,11 @@ fn coprocessor_io_wall() {
         .collect();
     assert!(speedups[0] > 1.7, "iiwa roundtrip {}", speedups[0]);
     assert!(speedups[1] > 1.2, "HyQ roundtrip {}", speedups[1]);
-    assert!(speedups[2] < 1.0, "Baxter should be a slowdown, got {}", speedups[2]);
+    assert!(
+        speedups[2] < 1.0,
+        "Baxter should be a slowdown, got {}",
+        speedups[2]
+    );
     // Monotone decrease with robot size.
     assert!(speedups[0] > speedups[1] && speedups[1] > speedups[2]);
 }

@@ -93,7 +93,10 @@ fn gravity_lowers_potential_energy() {
         let q2: Vec<f64> = (0..n).map(|i| q[i] + 0.5 * dt * dt * qdd[i]).collect();
         let qd2: Vec<f64> = (0..n).map(|i| dt * qdd[i]).collect();
         let kinetic = dynamics.kinetic_energy(&q2, &qd2);
-        assert!(kinetic > 0.0, "{which:?}: free fall must build kinetic energy");
+        assert!(
+            kinetic > 0.0,
+            "{which:?}: free fall must build kinetic energy"
+        );
     }
 }
 

@@ -24,7 +24,10 @@ fn estimate_plan_and_control_on_one_robot() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(2023);
     for _ in 0..40 {
         ekf.predict(&hold, 0.01);
-        let z: Vec<f64> = q_true.iter().map(|q| q + rng.gen_range(-0.01..0.01)).collect();
+        let z: Vec<f64> = q_true
+            .iter()
+            .map(|q| q + rng.gen_range(-0.01..0.01))
+            .collect();
         ekf.update_encoders(&z);
     }
     let q_est = ekf.state().q;
@@ -51,7 +54,12 @@ fn estimate_plan_and_control_on_one_robot() {
     let fw = Framework::from_model(robot.clone());
     let accel = fw.generate(Constraints::new(7, 7, 7));
     let provider = AcceleratorGradients::new(accel.design());
-    let cfg = IlqrConfig { horizon: 40, iters: 12, terminal_cost: 60.0, ..IlqrConfig::default() };
+    let cfg = IlqrConfig {
+        horizon: 40,
+        iters: 12,
+        terminal_cost: 60.0,
+        ..IlqrConfig::default()
+    };
     let result = optimize(&robot, &q_est, &goal, &cfg, &provider);
     assert!(result.final_cost() < 0.5 * result.initial_cost());
     assert!(

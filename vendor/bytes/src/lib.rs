@@ -1,0 +1,138 @@
+//! Offline drop-in subset of the [`bytes`](https://crates.io/crates/bytes)
+//! 1.x API, backed by `Vec<u8>`.
+//!
+//! The build environment has no registry access, so the byte-buffer
+//! types used by the sparse I/O codec are vendored: [`Bytes`] /
+//! [`BytesMut`] and the [`Buf`] / [`BufMut`] traits with the
+//! little-endian `f32` accessors. Zero-copy reference counting is not
+//! reproduced — `freeze` simply transfers the backing `Vec` — which is
+//! indistinguishable through this API subset.
+
+#![warn(missing_docs)]
+
+use std::ops::{Deref, DerefMut};
+
+/// An immutable byte buffer (subset of `bytes::Bytes`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes(v)
+    }
+}
+
+/// A growable byte buffer (subset of `bytes::BytesMut`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+/// Read-cursor operations over a byte source (subset of `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads the next little-endian `f32`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    fn get_f32_le(&mut self) -> f32;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        f32::from_le_bytes(head.try_into().unwrap())
+    }
+}
+
+/// Append operations on a byte sink (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f32_roundtrip_through_freeze() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_f32_le(1.5);
+        b.put_f32_le(-2.25);
+        let frozen = b.freeze();
+        assert_eq!(frozen.len(), 8);
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_f32_le(), 1.5);
+        assert_eq!(cursor.get_f32_le(), -2.25);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn slicing_and_to_vec_work_via_deref() {
+        let bytes: Bytes = vec![1u8, 2, 3, 4].into();
+        assert_eq!(&bytes[..2], &[1, 2]);
+        assert_eq!(bytes.to_vec(), vec![1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Offline drop-in subset of the
+//! [`criterion`](https://crates.io/crates/criterion) 0.5 API.
+//!
+//! The build environment has no registry access, so the benchmark
+//! harness is vendored as a small self-contained implementation of the
+//! surface this workspace's benches use: [`Criterion::bench_function`],
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Semantics match criterion where it matters for CI:
+//! - under `cargo test` (cargo passes `--test` to harness-less bench
+//!   binaries) every benchmark body runs exactly once as a smoke test;
+//! - under `cargo bench` (`--bench`) each benchmark is warmed up and
+//!   sampled, and a `name ... time: [mean]` line is printed.
+//!
+//! No statistical analysis, plotting, or baseline storage is done.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How a bench binary was invoked (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo test`: run each body once, no timing output.
+    Test,
+    /// `cargo bench`: warm up, sample, and print timings.
+    Bench,
+}
+
+fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--test") {
+        Mode::Test
+    } else {
+        Mode::Bench
+    }
+}
+
+/// Entry point handed to each benchmark function (subset of
+/// `criterion::Criterion`).
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            mode: mode_from_args(),
+            sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, self.sample_size, id, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.mode, samples, &full, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (kept for API parity; no analysis to flush).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id string (accepts `&str` and
+/// [`BenchmarkId`], like criterion's sealed trait).
+pub trait IntoBenchmarkId {
+    /// The display form of the id.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver passed to each benchmark body.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine` (once in test mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.mode == Mode::Test {
+            std::hint::black_box(routine());
+            self.iters = 1;
+            return;
+        }
+        // One untimed warmup call, then `samples` timed calls.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += self.samples as u64;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, samples: usize, id: &str, mut f: F) {
+    let mut b = Bencher {
+        mode,
+        samples,
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if mode == Mode::Bench && b.iters > 0 {
+        let mean = b.elapsed / b.iters as u32;
+        println!("{id:<50} time: [{mean:?}] ({} iters)", b.iters);
+    }
+}
+
+/// Re-export for code written against criterion's pre-0.5 path;
+/// criterion 0.5 itself forwards to the std implementation.
+pub use std::hint::black_box;
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_bodies() {
+        let mut c = Criterion {
+            mode: Mode::Test,
+            sample_size: 5,
+        };
+        let mut hits = 0;
+        c.bench_function("solo", |b| b.iter(|| hits += 1));
+        assert_eq!(hits, 1);
+
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3, |b, &x| {
+            b.iter(|| assert_eq!(x, 3))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn bench_mode_times_and_counts() {
+        let mut b = Bencher {
+            mode: Mode::Bench,
+            samples: 4,
+            elapsed: Duration::ZERO,
+            iters: 0,
+        };
+        let mut calls = 0;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5, "warmup + samples");
+        assert_eq!(b.iters, 4);
+    }
+}

@@ -1,0 +1,593 @@
+//! Offline drop-in subset of the
+//! [`proptest`](https://crates.io/crates/proptest) 1.x API.
+//!
+//! The build environment has no registry access, so property testing is
+//! vendored as a small self-contained implementation of the surface
+//! this workspace uses:
+//!
+//! - the [`proptest!`] macro (with optional `#![proptest_config(...)]`,
+//!   `pat in strategy` arguments, pass-through `#[test]`/doc attributes);
+//! - [`prop_assert!`], [`prop_assert_eq!`], [`prop_assume!`];
+//! - the [`Strategy`] trait with `prop_map`, `prop_flat_map`, and
+//!   `prop_filter_map`;
+//! - range strategies (`0usize..8`, `1..=n`, `-10.0..10.0f64`,
+//!   `0u8..128`), tuple strategies up to arity 4,
+//!   [`collection::vec`], [`array::uniform3`]/[`array::uniform6`],
+//!   [`bool::ANY`], and string-regex strategies of the forms
+//!   `".{lo,hi}"` and `"[class]{lo,hi}"`;
+//! - [`test_runner::Config`] / `ProptestConfig::with_cases`.
+//!
+//! Cases are generated from a per-test deterministic RNG (seeded from
+//! the test's name), so failures reproduce across runs. There is no
+//! shrinking: a failing case fails with its concrete values in the
+//! panic message, which is sufficient for this repository's suites.
+
+#![warn(missing_docs)]
+
+/// Deterministic case generator (SplitMix64), shared by all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed (typically a hash of the test name).
+    pub fn seed_from_u64(seed: u64) -> TestRng {
+        TestRng {
+            state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+        }
+    }
+
+    /// Deterministically seeds from a test's name.
+    pub fn for_test(name: &str) -> TestRng {
+        // FNV-1a over the name keeps distinct tests on distinct streams.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng::seed_from_u64(h)
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn usize_in(&mut self, lo: usize, hi_excl: usize) -> usize {
+        assert!(lo < hi_excl, "empty range");
+        lo + (self.next_u64() % (hi_excl - lo) as u64) as usize
+    }
+}
+
+/// Value-generation strategies (subset of `proptest::strategy::Strategy`).
+pub mod strategy {
+    use super::TestRng;
+
+    /// A recipe for generating test values.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f` builds
+        /// out of it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Maps values through `f`, retrying generation whenever `f`
+        /// rejects with `None`. `label` names the filter in the panic
+        /// raised if rejection never stops.
+        fn prop_filter_map<O, F: Fn(Self::Value) -> Option<O>>(
+            self,
+            label: &'static str,
+            f: F,
+        ) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FilterMap {
+                inner: self,
+                f,
+                label,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+        fn generate(&self, rng: &mut TestRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter_map`].
+    pub struct FilterMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+        pub(crate) label: &'static str,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            for _ in 0..1024 {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter_map({:?}) rejected 1024 candidates in a row",
+                self.label
+            );
+        }
+    }
+
+    /// A `Vec` of strategies generates one value per element.
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+
+    impl<A: Strategy> Strategy for (A,) {
+        type Value = (A::Value,);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng),)
+        }
+    }
+
+    impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+        type Value = (A::Value, B::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (self.0.generate(rng), self.1.generate(rng))
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+        type Value = (A::Value, B::Value, C::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+            )
+        }
+    }
+
+    impl<A: Strategy, B: Strategy, C: Strategy, D: Strategy> Strategy for (A, B, C, D) {
+        type Value = (A::Value, B::Value, C::Value, D::Value);
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (
+                self.0.generate(rng),
+                self.1.generate(rng),
+                self.2.generate(rng),
+                self.3.generate(rng),
+            )
+        }
+    }
+}
+
+pub use strategy::Strategy;
+
+mod ranges {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(self.start, self.end)
+        }
+    }
+
+    impl Strategy for RangeInclusive<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            rng.usize_in(*self.start(), *self.end() + 1)
+        }
+    }
+
+    impl Strategy for Range<u8> {
+        type Value = u8;
+        fn generate(&self, rng: &mut TestRng) -> u8 {
+            rng.usize_in(self.start as usize, self.end as usize) as u8
+        }
+    }
+
+    impl Strategy for Range<u64> {
+        type Value = u64;
+        fn generate(&self, rng: &mut TestRng) -> u64 {
+            assert!(self.start < self.end, "empty range");
+            self.start + rng.next_u64() % (self.end - self.start)
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// Number-of-elements specification for [`vec`]: an exact `usize`
+    /// or a half-open `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                lo: n,
+                hi_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi_excl: r.end,
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.usize_in(self.size.lo, self.size.hi_excl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies (subset of `proptest::array`).
+pub mod array {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy generating `[T; N]` from one element strategy.
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    /// `[T; 3]` with every element drawn from `element`.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+        UniformArray { element }
+    }
+
+    /// `[T; 6]` with every element drawn from `element`.
+    pub fn uniform6<S: Strategy>(element: S) -> UniformArray<S, 6> {
+        UniformArray { element }
+    }
+}
+
+/// Boolean strategies (subset of `proptest::bool`).
+pub mod bool {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy type of [`ANY`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+mod string {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// `&str` patterns act as regex strategies. Supported subset:
+    /// `.{lo,hi}` (printable ASCII) and `[class]{lo,hi}` with literal
+    /// characters and `a-z`-style ranges in the class.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_pattern(self)
+                .unwrap_or_else(|| panic!("unsupported regex strategy {self:?}"));
+            let len = rng.usize_in(lo, hi + 1);
+            (0..len)
+                .map(|_| alphabet[rng.usize_in(0, alphabet.len())])
+                .collect()
+        }
+    }
+
+    fn parse_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+        let (atom, counts) = pat.split_once('{')?;
+        let counts = counts.strip_suffix('}')?;
+        let (lo, hi) = counts.split_once(',')?;
+        let (lo, hi) = (lo.trim().parse().ok()?, hi.trim().parse().ok()?);
+        let alphabet = if atom == "." {
+            // Any printable ASCII char plus a newline to stress parsers.
+            let mut a: Vec<char> = (' '..='~').collect();
+            a.push('\n');
+            a
+        } else {
+            char_class(atom.strip_prefix('[')?.strip_suffix(']')?)?
+        };
+        (!alphabet.is_empty() && lo <= hi).then_some((alphabet, lo, hi))
+    }
+
+    fn char_class(body: &str) -> Option<Vec<char>> {
+        let chars: Vec<char> = body.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // `x-y` is a range unless the dash starts or ends the class.
+            if i + 2 < chars.len() && chars[i + 1] == '-' {
+                let (a, b) = (chars[i], chars[i + 2]);
+                if a > b {
+                    return None;
+                }
+                out.extend(a..=b);
+                i += 3;
+            } else {
+                out.push(chars[i]);
+                i += 1;
+            }
+        }
+        Some(out)
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::TestRng;
+
+        #[test]
+        fn dot_pattern_generates_bounded_printable() {
+            let mut rng = TestRng::for_test("dot");
+            for _ in 0..50 {
+                let s = ".{0,40}".generate(&mut rng);
+                assert!(s.chars().count() <= 40);
+                assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+            }
+        }
+
+        #[test]
+        fn char_class_honors_ranges_and_literals() {
+            let mut rng = TestRng::for_test("class");
+            for _ in 0..50 {
+                let s = "[<>/=\"a-z0-9 ]{1,20}".generate(&mut rng);
+                assert!(!s.is_empty() && s.len() <= 20);
+                for c in s.chars() {
+                    assert!(
+                        "<>/=\" ".contains(c) || c.is_ascii_lowercase() || c.is_ascii_digit(),
+                        "unexpected char {c:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Test-runner configuration (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// Controls how many cases each property test runs.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+
+    impl Config {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+}
+
+/// The `use proptest::prelude::*` surface.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: `proptest! { #[test] fn f(x in strat) {..} }`.
+///
+/// Each generated `#[test]` runs the body `Config::cases` times with
+/// freshly generated arguments. Unlike real proptest there is no
+/// shrinking; assertion macros include the case's values via normal
+/// panic formatting.
+#[macro_export]
+macro_rules! proptest {
+    // Internal: expand one test fn per item, under a given config.
+    (@funcs $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::TestRng::for_test(stringify!($name));
+                for _case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    // A closure so prop_assume! can skip the case via return.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs $crate::test_runner::Config::default(); $($rest)*);
+    };
+}
+
+/// `assert!` for property bodies (no shrinking, so a plain assert).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` for property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, f64)> {
+        (1usize..10, -2.0..2.0f64)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_in_bounds((n, x) in arb_pair()) {
+            prop_assert!((1..10).contains(&n));
+            prop_assert!((-2.0..2.0).contains(&x));
+        }
+
+        #[test]
+        fn flat_map_makes_dependent_sizes(
+            v in (1usize..8).prop_flat_map(|n| crate::collection::vec(0u64..100, n)),
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+        }
+
+        #[test]
+        fn filter_map_and_assume_compose(
+            x in (-5.0..5.0f64).prop_filter_map("nonzero", |x| {
+                (x.abs() > 1e-3).then_some(x)
+            }),
+            b in crate::bool::ANY,
+        ) {
+            prop_assume!(b);
+            prop_assert!(x != 0.0);
+        }
+
+        #[test]
+        fn arrays_have_fixed_len(a in crate::array::uniform3(0usize..4)) {
+            prop_assert_eq!(a.len(), 3);
+            prop_assert!(a.iter().all(|&v| v < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_form_parses(k in 0usize..3) {
+            prop_assert!(k < 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::for_test("t");
+        let mut b = crate::TestRng::for_test("t");
+        let s = crate::collection::vec(0u64..1000, 0..20);
+        for _ in 0..10 {
+            assert_eq!(s.generate(&mut a), s.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline drop-in subset of the [`serde`](https://serde.rs) API.
+//!
+//! The build environment has no registry access, so serde is vendored
+//! as a stub. The workspace only references serde behind an optional
+//! cargo feature, exclusively through
+//! `#[cfg_attr(feature = "serde", derive(serde::Serialize,
+//! serde::Deserialize))]` — nothing is ever actually serialized. The
+//! derives (from the sibling `serde_derive` stub) expand to nothing,
+//! and the traits here carry blanket impls so any generic bounds
+//! remain satisfiable.
+
+#![warn(missing_docs)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

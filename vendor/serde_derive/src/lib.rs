@@ -1,0 +1,22 @@
+//! No-op `Serialize`/`Deserialize` derive macros for the vendored
+//! offline `serde` stub (see `vendor/serde`).
+//!
+//! The workspace only uses serde behind an optional `serde` cargo
+//! feature via `#[cfg_attr(feature = "serde", derive(...))]`; no code
+//! actually serializes anything. These derives therefore expand to
+//! nothing — the blanket trait impls in the stub `serde` crate satisfy
+//! any bounds.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` has a blanket impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` has a blanket impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
