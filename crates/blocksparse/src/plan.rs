@@ -77,6 +77,7 @@ impl BlockMatmulPlan {
         block: usize,
         units: usize,
     ) -> BlockMatmulPlan {
+        let _span = roboshape_obs::span("blocksparse", "block-plan");
         assert!(units > 0, "need at least one mat-mul unit");
         assert!(b_cols > 0, "B must have columns");
         let tiling = BlockTiling::new(pattern, block);
@@ -98,6 +99,10 @@ impl BlockMatmulPlan {
                 }
             }
         }
+        let m = roboshape_obs::metrics();
+        m.counter("blocksparse.plans").add(1);
+        m.counter("blocksparse.ops").add(ops.len() as u64);
+        m.counter("blocksparse.nops").add(skipped as u64);
         BlockMatmulPlan {
             n,
             b_cols,

@@ -10,17 +10,25 @@
 //! roboshape verify <robot.urdf>                    simulate the generated design vs reference
 //! ```
 //!
+//! Every command additionally accepts the observability flags
+//! `--trace FILE` (write a Chrome `trace_event` JSON capture of the run —
+//! load it in `chrome://tracing` or Perfetto; see EXPERIMENTS.md for how
+//! to read one) and `--metrics FILE` (write a JSON snapshot of the global
+//! [`roboshape::obs::metrics`] registry after the run).
+//!
 //! The argument parser is hand-rolled (the workspace's dependency policy —
 //! see DESIGN.md §5); it supports `--flag value` and `--flag=value`.
 
 #![warn(missing_docs)]
 
+use roboshape::obs;
 use roboshape::{
     pareto_frontier, simulate, AcceleratorKnobs, Constraints, Framework, ParallelismProfile,
     PipelineStage, SparsityPattern,
 };
 use std::fmt::Write as _;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// A CLI failure: message plus suggested exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,7 +62,10 @@ pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
   gantt     draw the generated schedule as an ASCII timeline (--width N)
   kernels   compare FK / inverse-dynamics / gradient accelerators
   energy    power and energy report (with and without PE gating)
-  soc       co-design accelerators for several URDFs (extra paths after the first)";
+  soc       co-design accelerators for several URDFs (extra paths after the first)
+global options (any command):
+  --trace FILE    write a Chrome trace_event JSON capture of the run
+  --metrics FILE  write a JSON metrics snapshot after the run";
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -63,6 +74,10 @@ pub struct Cli {
     pub command: Command,
     /// Path to the URDF file.
     pub urdf: PathBuf,
+    /// Where to write the Chrome trace capture (`--trace`), if anywhere.
+    pub trace: Option<PathBuf>,
+    /// Where to write the metrics snapshot (`--metrics`), if anywhere.
+    pub metrics: Option<PathBuf>,
 }
 
 /// The CLI subcommands.
@@ -105,6 +120,22 @@ pub enum Command {
     },
 }
 
+impl Command {
+    /// The subcommand's name (the root tracing span of a `--trace` run).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Command::Info => "info",
+            Command::Generate { .. } => "generate",
+            Command::Sweep { .. } => "sweep",
+            Command::Verify => "verify",
+            Command::Gantt { .. } => "gantt",
+            Command::Kernels => "kernels",
+            Command::Energy => "energy",
+            Command::Soc { .. } => "soc",
+        }
+    }
+}
+
 /// Parses the argument list (without the program name).
 ///
 /// # Errors
@@ -112,7 +143,37 @@ pub enum Command {
 /// Returns a [`CliError`] with a usage hint for unknown commands, missing
 /// paths, or malformed options.
 pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
-    let mut it = args.iter();
+    // Peel off the global observability flags first: they are valid on
+    // every command, and `soc` treats any non-`--` argument as an extra
+    // URDF path, so `--trace t.json` must not leak into per-command
+    // parsing.
+    let mut trace = None;
+    let mut metrics = None;
+    let mut filtered: Vec<String> = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        let mut take = |slot: &mut Option<PathBuf>, name: &str| -> Result<bool, CliError> {
+            if let Some(v) = a.strip_prefix(&format!("{name}=")) {
+                *slot = Some(PathBuf::from(v));
+                return Ok(true);
+            }
+            if a == name {
+                i += 1;
+                *slot = Some(PathBuf::from(args.get(i).ok_or_else(|| {
+                    CliError::new(format!("option {name} needs a file path"))
+                })?));
+                return Ok(true);
+            }
+            Ok(false)
+        };
+        if !take(&mut trace, "--trace")? && !take(&mut metrics, "--metrics")? {
+            filtered.push(args[i].clone());
+        }
+        i += 1;
+    }
+
+    let mut it = filtered.iter();
     let cmd = it.next().ok_or_else(|| CliError::new(USAGE))?;
     let urdf = it
         .next()
@@ -196,6 +257,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     Ok(Cli {
         command,
         urdf: PathBuf::from(urdf),
+        trace,
+        metrics,
     })
 }
 
@@ -209,11 +272,43 @@ fn append_timings(out: &mut String, fw: &Framework) {
 
 /// Executes a parsed CLI invocation; returns the text to print.
 ///
+/// When `--trace` was given, the whole run is captured under a root
+/// `cat = "cli"` span through a [`roboshape::obs::ChromeTraceSink`] and
+/// written as Chrome `trace_event` JSON; `--metrics` writes the global
+/// registry snapshot after the run. Both files are written even when the
+/// command itself fails, so a failing run can still be inspected.
+///
 /// # Errors
 ///
 /// Returns a [`CliError`] for unreadable files, invalid URDF, or output
 /// I/O failures.
 pub fn run(cli: &Cli) -> Result<String, CliError> {
+    let sink = cli
+        .trace
+        .as_ref()
+        .map(|_| Arc::new(obs::ChromeTraceSink::new()));
+    if let Some(s) = &sink {
+        obs::set_sink(s.clone());
+    }
+    let result = {
+        // Dropped before serialization so the root span reaches the sink.
+        let _root = obs::span("cli", cli.command.name());
+        run_command(cli)
+    };
+    if let Some(s) = sink {
+        obs::clear_sink();
+        let path = cli.trace.as_ref().expect("trace sink implies trace path");
+        std::fs::write(path, s.to_chrome_json())
+            .map_err(|e| CliError::new(format!("cannot write trace {}: {e}", path.display())))?;
+    }
+    if let Some(path) = &cli.metrics {
+        std::fs::write(path, obs::metrics().snapshot().to_json())
+            .map_err(|e| CliError::new(format!("cannot write metrics {}: {e}", path.display())))?;
+    }
+    result
+}
+
+fn run_command(cli: &Cli) -> Result<String, CliError> {
     let urdf = std::fs::read_to_string(&cli.urdf)
         .map_err(|e| CliError::new(format!("cannot read {}: {e}", cli.urdf.display())))?;
     let fw =
@@ -249,10 +344,21 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             };
             let k = accel.knobs();
             let d = accel.design();
+            // One functional evaluation through the cycle-level simulator:
+            // it re-validates the emitted schedule's dependencies (the
+            // simulator panics on violations) and populates the sim cycle
+            // histograms a `--metrics` snapshot reports.
+            let n = robot.num_links();
+            let sim_q: Vec<f64> = (0..n).map(|i| (0.23 * (i as f64 + 1.0)).sin()).collect();
+            let sim = accel.simulate(&sim_q, &vec![0.1; n], &vec![0.2; n]);
+            let _reports_span = obs::span(
+                roboshape::PIPELINE_OBS_CATEGORY,
+                PipelineStage::Reports.name(),
+            );
             let report = fw.pipeline().observer().time(PipelineStage::Reports, || {
                 let r = accel.resources();
                 format!(
-                    "robot: {}\nknobs: PEs_fwd={} PEs_bwd={} block={}\ncycles: {} (no pipelining: {})\nclock: {:.1} ns\nlatency: {:.2} us\nresources: {:.0} LUTs, {:.0} DSPs\n",
+                    "robot: {}\nknobs: PEs_fwd={} PEs_bwd={} block={}\ncycles: {} (no pipelining: {})\nclock: {:.1} ns\nlatency: {:.2} us\nresources: {:.0} LUTs, {:.0} DSPs\nsimulated: {} tasks + {} mat-mul ops, schedule dependencies OK\n",
                     robot.name(),
                     k.pe_fwd,
                     k.pe_bwd,
@@ -262,7 +368,9 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
                     d.clock_ns(),
                     d.compute_latency_us(),
                     r.luts,
-                    r.dsps
+                    r.dsps,
+                    sim.stats.tasks_executed,
+                    sim.stats.matmul_ops
                 )
             });
             std::fs::create_dir_all(out_dir)
@@ -654,6 +762,64 @@ mod tests {
         assert!(out.contains("legend:"));
         assert!(out.contains("fwd0"));
         assert!(out.lines().any(|l| l.contains('F')));
+    }
+
+    #[test]
+    fn warm_generate_trace_is_wellformed_chrome_json() {
+        // The golden observability test: warm the artifact store with one
+        // untraced run, then trace a second (all-hit) run and check the
+        // emitted Chrome trace_event document end to end.
+        let path = write_urdf("trace_golden");
+        let dir = std::env::temp_dir().join("roboshape_cli_tests/trace_golden_out");
+        let out_flag = dir.to_str().unwrap().to_string();
+        let warm = parse_args(&args(&[
+            "generate",
+            path.to_str().unwrap(),
+            "--out",
+            &out_flag,
+        ]))
+        .unwrap();
+        run(&warm).unwrap();
+
+        let trace_path = dir.join("trace.json");
+        let metrics_path = dir.join("metrics.json");
+        let cli = parse_args(&args(&[
+            "generate",
+            path.to_str().unwrap(),
+            "--out",
+            &out_flag,
+            "--trace",
+            trace_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(cli.trace.as_deref(), Some(trace_path.as_path()));
+        run(&cli).unwrap();
+
+        let trace = std::fs::read_to_string(&trace_path).unwrap();
+        obs::json::validate(&trace).unwrap_or_else(|e| panic!("malformed trace JSON: {e}"));
+        assert!(trace.contains("\"traceEvents\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+        // All seven pipeline stages appear as spans, even on a warm store.
+        for stage in PipelineStage::ALL {
+            assert!(
+                trace.contains(&format!("\"name\":\"{}\"", stage.name())),
+                "stage {} missing from trace",
+                stage.name()
+            );
+        }
+        // Spans nest: at least one span records a parent.
+        assert!(trace.contains("\"parent\":"));
+        // The root CLI span wraps the run.
+        assert!(trace.contains("\"name\":\"generate\""));
+
+        let metrics = std::fs::read_to_string(&metrics_path).unwrap();
+        obs::json::validate(&metrics).unwrap_or_else(|e| panic!("malformed metrics JSON: {e}"));
+        assert!(metrics.contains("\"counters\""));
+        // The simulator ran, so its cycle histograms are in the snapshot.
+        assert!(metrics.contains("sim.cycles.rnea_fwd"));
+        assert!(metrics.contains("sim.pe_occupancy_pct"));
     }
 
     #[test]

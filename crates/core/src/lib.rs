@@ -42,9 +42,11 @@
 //! # Ok::<(), roboshape::UrdfError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod kernels;
+
+pub use roboshape_obs as obs;
 
 pub use roboshape_arch::{
     clock_period_ns, power, rc_design, rc_resources, AcceleratorDesign, AcceleratorKnobs, DseModel,
@@ -69,7 +71,8 @@ pub use roboshape_dse::{
 pub use roboshape_dynamics::{Dynamics, FdDerivatives, ForwardKinematics, RneaDerivatives};
 pub use roboshape_pipeline::{
     ArtifactStore, PatternKind, Pipeline, PipelineObserver, PipelineReport, PipelineStage,
-    StageReport, StoreStats,
+    StageReport, StoreStats, OBS_CATEGORY as PIPELINE_OBS_CATEGORY,
+    POINTS_METRIC as PIPELINE_POINTS_METRIC,
 };
 pub use roboshape_sim::{
     simulate, simulate_batch, simulate_inverse_dynamics, simulate_kinematics, AcceleratorGradients,
@@ -141,6 +144,10 @@ impl Framework {
     ///
     /// Returns a [`UrdfError`] for malformed robot descriptions.
     pub fn from_urdf(urdf: &str) -> Result<Framework, UrdfError> {
+        let _span = obs::span(
+            roboshape_pipeline::OBS_CATEGORY,
+            PipelineStage::Parse.name(),
+        );
         let pipeline = Pipeline::global().clone();
         let robot = pipeline
             .observer()
@@ -175,6 +182,10 @@ impl Framework {
 
     /// The robot's topology metrics (Table 3).
     pub fn metrics(&self) -> TopologyMetrics {
+        let _span = obs::span(
+            roboshape_pipeline::OBS_CATEGORY,
+            PipelineStage::Topology.name(),
+        );
         self.pipeline
             .observer()
             .time(PipelineStage::Topology, || self.robot.topology().metrics())

@@ -1,14 +1,41 @@
 //! Exhaustive knob sweeps and Pareto frontiers (paper Fig. 12).
+//!
+//! Sweeps are instrumented through [`roboshape_obs`]: each sweep opens a
+//! `cat = "dse"` tracing span and publishes the `dse.points` counter plus
+//! `dse.designs_per_sec` and `dse.worker_utilization_pct` gauges (how
+//! evenly the schedule work spread over the worker pool).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
 
 use roboshape_arch::{AcceleratorKnobs, DseModel, KernelKind, MatmulUnits, Resources};
 use roboshape_blocksparse::MatmulLatencyModel;
+use roboshape_obs as obs;
 use roboshape_pipeline::{PatternKind, Pipeline};
 use roboshape_taskgraph::{Schedule, SchedulerConfig, Stage};
 use roboshape_topology::Topology;
 
 const KERNEL: KernelKind = KernelKind::DynamicsGradient;
+
+/// The tracing span/metric category every sweep event is tagged with.
+pub const OBS_CATEGORY: &str = "dse";
+
+/// Publishes one finished sweep's throughput gauges: design points per
+/// second over `wall`, and the pool's busy fraction (`busy_ns` summed
+/// across `workers` workers).
+fn record_sweep_metrics(points: u64, wall: std::time::Duration, busy_ns: u64, workers: usize) {
+    let m = obs::metrics();
+    m.counter("dse.points").add(points);
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        m.gauge("dse.designs_per_sec").set(points as f64 / secs);
+    }
+    let capacity_ns = workers as f64 * wall.as_nanos() as f64;
+    if capacity_ns > 0.0 {
+        m.gauge("dse.worker_utilization_pct")
+            .set((100.0 * busy_ns as f64 / capacity_ns).min(100.0));
+    }
+}
 
 /// One evaluated design point of a robot's design space.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -94,18 +121,24 @@ pub fn sweep_design_space(topo: &Topology) -> Vec<DesignPoint> {
 /// parallelism. Points are returned sorted by `(pe_fwd, pe_bwd, block)`
 /// regardless of worker interleaving.
 pub fn sweep_design_space_with(pipeline: &Pipeline, topo: &Topology) -> Vec<DesignPoint> {
+    let _span = obs::span(OBS_CATEGORY, "sweep");
     let n = topo.len();
     let mm_latency = mm_latencies(pipeline, topo);
 
     let workers = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
-        .min(n);
+        .min(n)
+        .max(1);
     let next = AtomicUsize::new(0);
+    // Cycles spent computing rows, summed across workers: busy ÷
+    // (workers × wall) is the pool's utilization gauge.
+    let busy_ns = AtomicU64::new(0);
+    let sweep_start = Instant::now();
     let mut rows: Vec<(usize, Vec<DesignPoint>)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers.max(1))
+        let handles: Vec<_> = (0..workers)
             .map(|_| {
-                let (next, mm_latency) = (&next, &mm_latency);
+                let (next, mm_latency, busy_ns) = (&next, &mm_latency, &busy_ns);
                 scope.spawn(move || {
                     let mut out = Vec::new();
                     loop {
@@ -113,6 +146,7 @@ pub fn sweep_design_space_with(pipeline: &Pipeline, topo: &Topology) -> Vec<Desi
                         if idx >= n {
                             break;
                         }
+                        let row_start = Instant::now();
                         let pe_fwd = idx + 1;
                         let mut row = Vec::with_capacity(n * n);
                         for pe_bwd in 1..=n {
@@ -133,6 +167,10 @@ pub fn sweep_design_space_with(pipeline: &Pipeline, topo: &Topology) -> Vec<Desi
                                 ));
                             }
                         }
+                        busy_ns.fetch_add(
+                            u64::try_from(row_start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                            Ordering::Relaxed,
+                        );
                         out.push((idx, row));
                     }
                     out
@@ -145,7 +183,14 @@ pub fn sweep_design_space_with(pipeline: &Pipeline, topo: &Topology) -> Vec<Desi
             .collect()
     });
     rows.sort_unstable_by_key(|&(idx, _)| idx);
-    pipeline.observer().add_points((n * n * n) as u64);
+    let points = (n * n * n) as u64;
+    pipeline.observer().add_points(points);
+    record_sweep_metrics(
+        points,
+        sweep_start.elapsed(),
+        busy_ns.load(Ordering::Relaxed),
+        workers,
+    );
     rows.into_iter().flat_map(|(_, row)| row).collect()
 }
 
@@ -165,6 +210,8 @@ pub fn sweep_design_space_barrier(topo: &Topology) -> Vec<DesignPoint> {
 /// couples the two PE classes, so no such split exists there). The
 /// decomposition is asserted against brute force in this module's tests.
 pub fn sweep_design_space_barrier_with(pipeline: &Pipeline, topo: &Topology) -> Vec<DesignPoint> {
+    let _span = obs::span(OBS_CATEGORY, "sweep-barrier");
+    let sweep_start = Instant::now();
     let n = topo.len();
     let graph = pipeline.task_graph(topo, KERNEL);
     let duration = |s: &Schedule, stage: Stage| -> u64 {
@@ -205,7 +252,16 @@ pub fn sweep_design_space_barrier_with(pipeline: &Pipeline, topo: &Topology) -> 
             }
         }
     }
-    pipeline.observer().add_points((n * n * n) as u64);
+    let count = (n * n * n) as u64;
+    pipeline.observer().add_points(count);
+    let wall = sweep_start.elapsed();
+    // Single-threaded: the whole sweep is its own busy time.
+    record_sweep_metrics(
+        count,
+        wall,
+        u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        1,
+    );
     points
 }
 

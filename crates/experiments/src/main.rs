@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! experiments <name>      print one report (table1..table3, fig4..fig16, verify)
-//! experiments all         print every report, with per-report wall time and
-//!                         compilation-pipeline statistics at the end
+//! experiments all         print every report, with per-report wall time,
+//!                         compilation-pipeline statistics and a one-screen
+//!                         global metrics summary at the end
 //! experiments list        list available reports
 //! ```
 
@@ -62,6 +63,14 @@ fn main() -> ExitCode {
         println!();
         println!("{}", pipeline.observer().report());
         println!("{}", pipeline.store().stats());
+        // The one-screen global metrics summary: sim cycle histograms,
+        // scheduler/DSE throughput, per-stage cache counters.
+        let snapshot = roboshape::obs::metrics().snapshot();
+        if !snapshot.is_empty() {
+            println!();
+            println!("== metrics ==");
+            println!("{snapshot}");
+        }
     }
     ExitCode::SUCCESS
 }

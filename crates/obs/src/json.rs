@@ -1,0 +1,301 @@
+//! Minimal dependency-free JSON support.
+//!
+//! The workspace vendors no serde implementation (the registry-less build
+//! environment, DESIGN.md §5), so the observability layer writes its JSON
+//! by hand. This module centralizes the two halves that must not be
+//! hand-rolled at each call site: string escaping for the writers, and a
+//! strict syntax [`validate`]r the test-suite uses to keep emitted
+//! documents honest (the `--trace` golden test parses real output with
+//! it).
+
+/// Appends `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a nanosecond quantity to `out` as a microsecond JSON number
+/// (Chrome trace `ts`/`dur` are microseconds), keeping sub-µs precision
+/// as a decimal fraction: `1500` ns → `1.5`.
+pub fn write_us(out: &mut String, ns: u64) {
+    out.push_str(&(ns / 1000).to_string());
+    let frac = ns % 1000;
+    if frac != 0 {
+        out.push('.');
+        out.push_str(format!("{frac:03}").trim_end_matches('0'));
+    }
+}
+
+/// Appends an `f64` to `out` as a JSON number (non-finite values become
+/// `null`, which JSON has no number for).
+pub fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Validates that `s` is exactly one well-formed JSON document.
+///
+/// A strict recursive-descent syntax check (objects, arrays, strings with
+/// escapes, numbers, literals, no trailing content). It does not build a
+/// DOM; it exists so tests can assert emitted traces and snapshots are
+/// loadable without trusting the writer that produced them.
+///
+/// # Errors
+///
+/// Returns a message with the byte offset of the first syntax error.
+pub fn validate(s: &str) -> Result<(), String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(())
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn value(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    match b.get(*pos) {
+        Some(b'{') => object(b, pos),
+        Some(b'[') => array(b, pos),
+        Some(b'"') => string(b, pos),
+        Some(b't') => literal(b, pos, "true"),
+        Some(b'f') => literal(b, pos, "false"),
+        Some(b'n') => literal(b, pos, "null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => number(b, pos),
+        Some(c) => Err(format!("unexpected byte {c:?} at {pos}", pos = *pos)),
+        None => Err(format!("unexpected end of input at {pos}", pos = *pos)),
+    }
+}
+
+fn object(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(format!("expected object key at byte {pos}", pos = *pos));
+        }
+        string(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(format!("expected ':' at byte {pos}", pos = *pos));
+        }
+        *pos += 1;
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn array(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(b, pos);
+        value(b, pos)?;
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}", pos = *pos)),
+        }
+    }
+}
+
+fn string(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    *pos += 1; // consume '"'
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        for k in 1..=4 {
+                            if !b.get(*pos + k).is_some_and(u8::is_ascii_hexdigit) {
+                                return Err(format!(
+                                    "bad \\u escape at byte {pos}",
+                                    pos = *pos - 1
+                                ));
+                            }
+                        }
+                        *pos += 5;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos - 1)),
+                }
+            }
+            0x00..=0x1f => {
+                return Err(format!(
+                    "unescaped control byte in string at {pos}",
+                    pos = *pos
+                ))
+            }
+            _ => *pos += 1,
+        }
+    }
+    Err("unterminated string".to_string())
+}
+
+fn number(b: &[u8], pos: &mut usize) -> Result<(), String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let int_digits = eat_digits(b, pos);
+    if int_digits == 0 {
+        return Err(format!("expected digits at byte {pos}", pos = *pos));
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("expected fraction digits after byte {start}"));
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if eat_digits(b, pos) == 0 {
+            return Err(format!("expected exponent digits after byte {start}"));
+        }
+    }
+    Ok(())
+}
+
+fn eat_digits(b: &[u8], pos: &mut usize) -> usize {
+    let start = *pos;
+    while b.get(*pos).is_some_and(u8::is_ascii_digit) {
+        *pos += 1;
+    }
+    *pos - start
+}
+
+fn literal(b: &[u8], pos: &mut usize, word: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(())
+    } else {
+        Err(format!("bad literal at byte {pos}", pos = *pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_wellformed_documents() {
+        for doc in [
+            "{}",
+            "[]",
+            "null",
+            "-12.5e3",
+            r#"{"a":[1,2,{"b":"c\n\"d\""}],"e":true,"f":null}"#,
+            "  { \"k\" : [ 1.5 , -2 ] }  ",
+            r#""é""#,
+        ] {
+            validate(doc).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for doc in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{} extra",
+            "\"unterminated",
+            "01e",
+            "1.",
+            "{'a':1}",
+            "{\"a\":1,}",
+        ] {
+            assert!(validate(doc).is_err(), "{doc:?} accepted");
+        }
+    }
+
+    #[test]
+    fn escaping_roundtrips_through_validation() {
+        let mut out = String::new();
+        write_str(&mut out, "weird \"s\"\t\n\\ \u{1}");
+        validate(&out).unwrap();
+    }
+
+    #[test]
+    fn microsecond_rendering() {
+        let us = |ns: u64| {
+            let mut s = String::new();
+            write_us(&mut s, ns);
+            s
+        };
+        assert_eq!(us(0), "0");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_000), "1");
+        assert_eq!(us(1_500), "1.5");
+        assert_eq!(us(2_000_001), "2000.001");
+    }
+
+    #[test]
+    fn f64_rendering() {
+        let f = |v: f64| {
+            let mut s = String::new();
+            write_f64(&mut s, v);
+            s
+        };
+        assert_eq!(f(2.5), "2.5");
+        assert_eq!(f(f64::NAN), "null");
+        assert_eq!(f(f64::INFINITY), "null");
+        validate(&f(1e300)).unwrap();
+    }
+}

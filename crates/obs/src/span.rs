@@ -1,0 +1,147 @@
+//! RAII tracing spans with thread-local nesting.
+
+use crate::sink::SpanRecord;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The process-wide epoch all span timestamps are measured from. Fixed on
+/// first use, so timestamps from every thread share one monotonic
+/// timeline.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process-wide tracing epoch.
+///
+/// Saturates at `u64::MAX` (≈ 584 years), and uses `u64` — not `usize` —
+/// so cycle/time accumulators behave identically on 32-bit targets.
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Small dense per-thread ids (Chrome's `tid` field), assigned on first
+/// span per thread.
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static ID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ID.with(|id| *id)
+}
+
+fn next_span_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The ids of the spans currently open on this thread, outermost
+    /// first. The top of the stack is the parent of the next span.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open tracing span; emits a [`SpanRecord`] to the installed sink
+/// when dropped. Created by [`span`](crate::span).
+///
+/// Guards are intentionally `!Send`: a span measures a region of one
+/// thread's execution, and the parent/child bookkeeping lives in
+/// thread-local state.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    /// `None` when tracing was disabled at creation: drop does nothing.
+    open: Option<OpenSpan>,
+    _not_send: PhantomData<*const ()>,
+}
+
+struct OpenSpan {
+    name: &'static str,
+    cat: &'static str,
+    start_ns: u64,
+    id: u64,
+    parent: Option<u64>,
+    thread: u64,
+}
+
+impl std::fmt::Debug for SpanGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.open {
+            Some(s) => f
+                .debug_struct("SpanGuard")
+                .field("name", &s.name)
+                .field("cat", &s.cat)
+                .field("id", &s.id)
+                .field("parent", &s.parent)
+                .finish(),
+            None => f.debug_struct("SpanGuard").field("active", &false).finish(),
+        }
+    }
+}
+
+/// Opens a span named `name` in category `cat` (the Chrome trace `cat`
+/// field — by convention the crate or subsystem: `"pipeline"`, `"sim"`,
+/// `"dse"`…). The span covers the lifetime of the returned guard and
+/// nests under any span already open on this thread.
+///
+/// When tracing is disabled (no sink installed) this is one relaxed
+/// atomic load and returns an inert guard — cheap enough to leave in hot
+/// paths unconditionally.
+pub fn span(cat: &'static str, name: &'static str) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard {
+            open: None,
+            _not_send: PhantomData,
+        };
+    }
+    let id = next_span_id();
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    SpanGuard {
+        open: Some(OpenSpan {
+            name,
+            cat,
+            start_ns: now_ns(),
+            id,
+            parent,
+            thread: thread_id(),
+        }),
+        _not_send: PhantomData,
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.open.take() else {
+            return;
+        };
+        let end_ns = now_ns();
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards are dropped in reverse creation order within a
+            // thread (they are !Send and scope-bound), so the top of the
+            // stack is this span. `retain` keeps this robust even if a
+            // guard is leaked and dropped late.
+            if stack.last() == Some(&open.id) {
+                stack.pop();
+            } else {
+                stack.retain(|&id| id != open.id);
+            }
+        });
+        crate::emit_span(&SpanRecord {
+            name: open.name,
+            cat: open.cat,
+            start_ns: open.start_ns,
+            dur_ns: end_ns.saturating_sub(open.start_ns),
+            thread: open.thread,
+            id: open.id,
+            parent: open.parent,
+        });
+    }
+}

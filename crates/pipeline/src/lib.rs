@@ -29,6 +29,20 @@
 //! All stages are deterministic, so a warm store returns bit-identical
 //! artifacts to a cold run — only faster.
 //!
+//! # Observability
+//!
+//! The pipeline is instrumented through [`roboshape_obs`]: every stage
+//! accessor opens a `cat = "pipeline"` tracing span named after its
+//! [`PipelineStage`] (so a `--trace` capture shows where compilation time
+//! goes, including cache-hit lookups), and hit/miss tallies are mirrored
+//! into the global [`roboshape_obs::metrics`] registry under the
+//! [`PipelineStage::hits_metric`]/[`PipelineStage::misses_metric`] names.
+//! [`PipelineObserver`] itself implements [`roboshape_obs::Sink`]: it
+//! consumes exactly that span/counter vocabulary, so it can be driven
+//! either directly (the fast path used here) or by replaying a recorded
+//! trace. With no sink installed the extra cost is one relaxed atomic
+//! load per stage access plus the counter adds.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,7 +57,7 @@
 //! assert_eq!(pipeline.observer().report().hits(), 1);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -53,8 +67,16 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind};
 use roboshape_blocksparse::{BlockMatmulPlan, SparsityPattern};
+use roboshape_obs as obs;
+use roboshape_obs::{Counter, Sink, SpanRecord};
 use roboshape_taskgraph::{schedule, Schedule, SchedulerConfig, TaskCosts, TaskGraph};
 use roboshape_topology::Topology;
+
+/// The tracing span/metric category every pipeline event is tagged with.
+pub const OBS_CATEGORY: &str = "pipeline";
+
+/// Global metrics counter name for the evaluated-design-point tally.
+pub const POINTS_METRIC: &str = "pipeline.points_evaluated";
 
 /// The pipeline's compilation stages, in dataflow order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -101,6 +123,38 @@ impl PipelineStage {
         }
     }
 
+    /// The stage with [`PipelineStage::name`] equal to `name`, if any
+    /// (how the observer's [`Sink`] impl attributes span records).
+    pub fn from_name(name: &str) -> Option<PipelineStage> {
+        PipelineStage::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Global metrics counter name for this stage's artifact-store hits.
+    pub fn hits_metric(self) -> &'static str {
+        match self {
+            PipelineStage::Parse => "pipeline.parse.hits",
+            PipelineStage::Topology => "pipeline.topology.hits",
+            PipelineStage::Ir => "pipeline.ir.hits",
+            PipelineStage::Schedules => "pipeline.schedules.hits",
+            PipelineStage::BlockPlans => "pipeline.block-plans.hits",
+            PipelineStage::Design => "pipeline.design.hits",
+            PipelineStage::Reports => "pipeline.reports.hits",
+        }
+    }
+
+    /// Global metrics counter name for this stage's artifact-store misses.
+    pub fn misses_metric(self) -> &'static str {
+        match self {
+            PipelineStage::Parse => "pipeline.parse.misses",
+            PipelineStage::Topology => "pipeline.topology.misses",
+            PipelineStage::Ir => "pipeline.ir.misses",
+            PipelineStage::Schedules => "pipeline.schedules.misses",
+            PipelineStage::BlockPlans => "pipeline.block-plans.misses",
+            PipelineStage::Design => "pipeline.design.misses",
+            PipelineStage::Reports => "pipeline.reports.misses",
+        }
+    }
+
     fn index(self) -> usize {
         PipelineStage::ALL
             .iter()
@@ -119,6 +173,9 @@ pub enum PatternKind {
     InverseMass,
 }
 
+/// Per-stage accumulators. All 64-bit (never `usize`): the nanosecond
+/// and cycle tallies of a long sweep overflow 32 bits in seconds, so the
+/// counters must not narrow on 32-bit targets.
 #[derive(Default)]
 struct StageStats {
     nanos: AtomicU64,
@@ -129,19 +186,92 @@ struct StageStats {
 
 /// Thread-safe per-stage instrumentation: wall time, cache hit/miss
 /// counters and the number of design points evaluated. All counters are
-/// monotonic atomics, safe to update from sweep worker threads; `report`
-/// snapshots them.
-#[derive(Default)]
+/// monotonic `u64` atomics, safe to update from sweep worker threads;
+/// `report` snapshots them.
+///
+/// The observer is also a [`roboshape_obs::Sink`]: span records with
+/// category [`OBS_CATEGORY`] and a [`PipelineStage::name`] are attributed
+/// as stage executions, and counter records named
+/// [`PipelineStage::hits_metric`]/[`PipelineStage::misses_metric`]/
+/// [`POINTS_METRIC`] feed the corresponding tallies. The direct methods
+/// ([`time`](PipelineObserver::time), [`hit`](PipelineObserver::hit), …)
+/// produce exactly those events, mirror them into the global
+/// [`roboshape_obs::metrics`] registry, and forward the hit/miss counters
+/// to any installed trace sink.
 pub struct PipelineObserver {
     stages: [StageStats; PipelineStage::ALL.len()],
     points: AtomicU64,
+    /// Cached handles into the global metrics registry (one atomic add on
+    /// the hot path instead of a name lookup).
+    global_hits: [Arc<Counter>; PipelineStage::ALL.len()],
+    global_misses: [Arc<Counter>; PipelineStage::ALL.len()],
+    global_points: Arc<Counter>,
+}
+
+impl Default for PipelineObserver {
+    fn default() -> PipelineObserver {
+        PipelineObserver {
+            stages: Default::default(),
+            points: AtomicU64::new(0),
+            global_hits: std::array::from_fn(|i| {
+                obs::metrics().counter(PipelineStage::ALL[i].hits_metric())
+            }),
+            global_misses: std::array::from_fn(|i| {
+                obs::metrics().counter(PipelineStage::ALL[i].misses_metric())
+            }),
+            global_points: obs::metrics().counter(POINTS_METRIC),
+        }
+    }
 }
 
 impl std::fmt::Debug for PipelineObserver {
+    // Field-complete (a derived impl would dump raw atomics; this prints
+    // the same data as snapshots). Keep every counter listed here when
+    // adding one.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("PipelineObserver")
-            .field("report", &self.report())
+            .field("stages", &self.report().stages)
+            .field("points_evaluated", &self.points.load(Ordering::Relaxed))
+            .field("global_points", &self.global_points.get())
             .finish()
+    }
+}
+
+impl Sink for PipelineObserver {
+    /// Attributes a `cat = "pipeline"` span named after a stage as one
+    /// execution of that stage (other spans are ignored).
+    fn span(&self, span: &SpanRecord) {
+        if span.cat != OBS_CATEGORY {
+            return;
+        }
+        if let Some(stage) = PipelineStage::from_name(span.name) {
+            let s = &self.stages[stage.index()];
+            s.nanos.fetch_add(span.dur_ns, Ordering::Relaxed);
+            s.runs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Feeds hit/miss/point counter records into the matching tallies
+    /// (other counters are ignored).
+    fn counter(&self, name: &str, delta: u64) {
+        if name == POINTS_METRIC {
+            self.points.fetch_add(delta, Ordering::Relaxed);
+            return;
+        }
+        for stage in PipelineStage::ALL {
+            if name == stage.hits_metric() {
+                self.stages[stage.index()]
+                    .hits
+                    .fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+            if name == stage.misses_metric() {
+                self.stages[stage.index()]
+                    .misses
+                    .fetch_add(delta, Ordering::Relaxed);
+                return;
+            }
+        }
     }
 }
 
@@ -151,34 +281,47 @@ impl PipelineObserver {
         PipelineObserver::default()
     }
 
-    /// Runs `f` attributed to `stage`, accumulating its wall time.
+    /// Runs `f` attributed to `stage`, accumulating its wall time (and
+    /// delivering the timing to this observer through its [`Sink`]
+    /// interface — the same record a trace replay would produce).
     pub fn time<T>(&self, stage: PipelineStage, f: impl FnOnce() -> T) -> T {
+        let start_ns = obs::now_ns();
         let start = Instant::now();
         let out = f();
-        let s = &self.stages[stage.index()];
-        s.nanos
-            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        s.runs.fetch_add(1, Ordering::Relaxed);
+        let dur_ns = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.span(&SpanRecord {
+            name: stage.name(),
+            cat: OBS_CATEGORY,
+            start_ns,
+            dur_ns,
+            thread: 0,
+            id: 0,
+            parent: None,
+        });
         out
     }
 
-    /// Records a cache hit for `stage`.
+    /// Records a cache hit for `stage`, mirrored to the global metrics
+    /// registry and to any installed trace sink.
     pub fn hit(&self, stage: PipelineStage) {
-        self.stages[stage.index()]
-            .hits
-            .fetch_add(1, Ordering::Relaxed);
+        self.counter(stage.hits_metric(), 1);
+        self.global_hits[stage.index()].add(1);
+        obs::emit_counter(stage.hits_metric(), 1);
     }
 
-    /// Records a cache miss for `stage`.
+    /// Records a cache miss for `stage`, mirrored to the global metrics
+    /// registry and to any installed trace sink.
     pub fn miss(&self, stage: PipelineStage) {
-        self.stages[stage.index()]
-            .misses
-            .fetch_add(1, Ordering::Relaxed);
+        self.counter(stage.misses_metric(), 1);
+        self.global_misses[stage.index()].add(1);
+        obs::emit_counter(stage.misses_metric(), 1);
     }
 
-    /// Adds to the evaluated-design-point tally.
+    /// Adds to the evaluated-design-point tally (mirrored globally).
     pub fn add_points(&self, n: u64) {
-        self.points.fetch_add(n, Ordering::Relaxed);
+        self.counter(POINTS_METRIC, n);
+        self.global_points.add(n);
+        obs::emit_counter(POINTS_METRIC, n);
     }
 
     /// Snapshots all counters.
@@ -422,6 +565,7 @@ impl Pipeline {
 
     /// Ir stage: the traversal task graph of `(topo, kernel)`.
     pub fn task_graph(&self, topo: &Topology, kernel: KernelKind) -> Arc<TaskGraph> {
+        let _span = obs::span(OBS_CATEGORY, PipelineStage::Ir.name());
         let key = (topo.parents().to_vec(), kernel);
         if let Some(g) = self.store.graphs.read().get(&key) {
             self.observer.hit(PipelineStage::Ir);
@@ -440,6 +584,7 @@ impl Pipeline {
 
     /// Ir stage: the `kind` sparsity pattern of `topo`.
     pub fn pattern(&self, topo: &Topology, kind: PatternKind) -> Arc<SparsityPattern> {
+        let _span = obs::span(OBS_CATEGORY, PipelineStage::Ir.name());
         let key = (topo.parents().to_vec(), kind);
         if let Some(p) = self.store.patterns.read().get(&key) {
             self.observer.hit(PipelineStage::Ir);
@@ -467,6 +612,7 @@ impl Pipeline {
         kernel: KernelKind,
         cfg: &SchedulerConfig,
     ) -> Arc<Schedule> {
+        let _span = obs::span(OBS_CATEGORY, PipelineStage::Schedules.name());
         let graph = self.task_graph(topo, kernel);
         if cfg.costs != TaskCosts::default() {
             self.observer.miss(PipelineStage::Schedules);
@@ -504,6 +650,7 @@ impl Pipeline {
         block: usize,
         units: usize,
     ) -> Arc<BlockMatmulPlan> {
+        let _span = obs::span(OBS_CATEGORY, PipelineStage::BlockPlans.name());
         let key = PlanKey {
             topo: topo.parents().to_vec(),
             kind,
@@ -532,6 +679,7 @@ impl Pipeline {
         knobs: AcceleratorKnobs,
         kernel: KernelKind,
     ) -> AcceleratorDesign {
+        let _span = obs::span(OBS_CATEGORY, PipelineStage::Design.name());
         let graph = self.task_graph(topo, kernel);
         let cfg = SchedulerConfig::with_pes(knobs.pe_fwd, knobs.pe_bwd);
         let sched = self.schedule_for(topo, kernel, &cfg);
@@ -685,6 +833,96 @@ mod tests {
         obs.reset();
         assert_eq!(obs.report().points_evaluated, 0);
         assert_eq!(obs.report().total_wall(), Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_name_and_metric_lookup_roundtrip() {
+        for stage in PipelineStage::ALL {
+            assert_eq!(PipelineStage::from_name(stage.name()), Some(stage));
+            assert!(stage.hits_metric().ends_with(".hits"));
+            assert!(stage.misses_metric().ends_with(".misses"));
+            assert!(stage.hits_metric().contains(stage.name()));
+        }
+        assert_eq!(PipelineStage::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn observer_driven_purely_through_sink_interface() {
+        // The observer must be usable as a trace consumer: feed it the
+        // span/counter vocabulary the accessors emit and expect the same
+        // report the direct methods would produce.
+        let obs = PipelineObserver::new();
+        obs.span(&SpanRecord {
+            name: PipelineStage::Schedules.name(),
+            cat: OBS_CATEGORY,
+            start_ns: 0,
+            dur_ns: 1_000,
+            thread: 1,
+            id: 1,
+            parent: None,
+        });
+        obs.span(&SpanRecord {
+            name: "schedules",
+            cat: "unrelated-category",
+            start_ns: 0,
+            dur_ns: 9_999_999,
+            thread: 1,
+            id: 2,
+            parent: None,
+        });
+        obs.counter(PipelineStage::Schedules.hits_metric(), 3);
+        obs.counter(PipelineStage::Ir.misses_metric(), 2);
+        obs.counter(POINTS_METRIC, 11);
+        obs.counter("some.other.metric", 99);
+        let r = obs.report();
+        let sched = r.stages[PipelineStage::Schedules.index()];
+        assert_eq!(sched.runs, 1);
+        assert_eq!(sched.wall, Duration::from_nanos(1_000));
+        assert_eq!(sched.hits, 3);
+        assert_eq!(r.stages[PipelineStage::Ir.index()].misses, 2);
+        assert_eq!(r.points_evaluated, 11);
+        assert_eq!(r.hits(), 3);
+    }
+
+    #[test]
+    fn stage_accessors_emit_trace_spans() {
+        let sink = Arc::new(roboshape_obs::CollectingSink::new());
+        roboshape_obs::set_sink(sink.clone());
+        let p = Pipeline::new();
+        p.design(
+            zoo(Zoo::Baxter).topology(),
+            AcceleratorKnobs::new(2, 2, 2),
+            KernelKind::DynamicsGradient,
+        );
+        roboshape_obs::clear_sink();
+        let spans = sink.spans();
+        for stage in [
+            PipelineStage::Ir,
+            PipelineStage::Schedules,
+            PipelineStage::BlockPlans,
+            PipelineStage::Design,
+        ] {
+            assert!(
+                spans
+                    .iter()
+                    .any(|s| s.cat == OBS_CATEGORY && s.name == stage.name()),
+                "no {} span captured",
+                stage.name()
+            );
+        }
+        // Accessors called from design() nest under the design span.
+        let design = spans
+            .iter()
+            .find(|s| s.name == PipelineStage::Design.name())
+            .unwrap();
+        assert!(spans
+            .iter()
+            .any(|s| s.name == PipelineStage::Ir.name() && s.parent == Some(design.id)));
+        // Hit/miss counters reached the sink alongside the spans.
+        let counters = sink.counters();
+        assert!(counters
+            .iter()
+            .any(|c| c.name == PipelineStage::Ir.misses_metric()));
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! [`Simulation::verify`]), closing the loop: cycle counts come from a
 //! schedule that provably computes the right numbers.
 //!
+//! Every evaluation also feeds the global [`roboshape_obs::metrics`]
+//! registry: per-traversal-stage cycle histograms (`sim.cycles.*`), a PE
+//! occupancy histogram (`sim.pe_occupancy_pct`), and mat-mul op/NOP
+//! counters — the numbers the CLI's `--metrics` snapshot and the
+//! experiments summary print. Each `simulate*` entry point opens a
+//! `cat = "sim"` tracing span.
+//!
 //! # Examples
 //!
 //! ```
@@ -40,8 +47,9 @@
 use roboshape_arch::AcceleratorDesign;
 use roboshape_dynamics::{bwd_link_step, fwd_link_step, Dynamics, RneaCache};
 use roboshape_linalg::{Cholesky, DMat, Vec3};
+use roboshape_obs as obs;
 use roboshape_spatial::{ForceVec, MotionVec, Xform};
-use roboshape_taskgraph::TaskKind;
+use roboshape_taskgraph::{Stage, TaskKind};
 use roboshape_urdf::RobotModel;
 use std::collections::HashMap;
 
@@ -49,6 +57,49 @@ mod deriv;
 pub mod gradients;
 
 pub use gradients::{AcceleratorGradients, GradientProvider, ReferenceGradients};
+
+/// The tracing span/metric category every simulator event is tagged with.
+pub const OBS_CATEGORY: &str = "sim";
+
+/// Cycle-histogram bucket bounds (inclusive upper bounds): power-of-two
+/// cycle counts spanning single-arm traversals to replicated batches.
+const CYCLE_BOUNDS: [u64; 8] = [64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// PE-occupancy histogram bucket bounds: whole-percent deciles.
+const OCCUPANCY_BOUNDS: [u64; 9] = [10, 20, 30, 40, 50, 60, 70, 80, 90];
+
+/// Global histogram name for a traversal stage's scheduled cycle span.
+fn stage_cycles_metric(stage: Stage) -> &'static str {
+    match stage {
+        Stage::RneaFwd => "sim.cycles.rnea_fwd",
+        Stage::RneaBwd => "sim.cycles.rnea_bwd",
+        Stage::GradFwd => "sim.cycles.grad_fwd",
+        Stage::GradBwd => "sim.cycles.grad_bwd",
+    }
+}
+
+/// Records one simulated evaluation into the global metrics registry:
+/// per-stage cycle histograms (from the design's schedule, paper Fig. 9's
+/// phase breakdown), PE occupancy, and mat-mul op/NOP tallies.
+fn record_eval_metrics(design: &AcceleratorDesign, stats: &SimStats) {
+    let m = obs::metrics();
+    m.counter("sim.evals").add(1);
+    m.counter("sim.matmul.ops").add(stats.matmul_ops as u64);
+    m.counter("sim.matmul.nops").add(stats.matmul_nops as u64);
+    m.counter("sim.checkpoint_restores")
+        .add(stats.checkpoint_restores as u64);
+    let schedule = design.schedule();
+    let graph = design.task_graph();
+    for stage in Stage::ALL {
+        if let Some((start, end)) = schedule.stage_span(graph, stage) {
+            m.histogram(stage_cycles_metric(stage), &CYCLE_BOUNDS)
+                .record(end.saturating_sub(start));
+        }
+    }
+    let occupancy_pct = (schedule.utilization() * 100.0).round() as u64;
+    m.histogram("sim.pe_occupancy_pct", &OCCUPANCY_BOUNDS)
+        .record(occupancy_pct);
+}
 
 /// Execution statistics of one simulated kernel evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -116,6 +167,7 @@ pub fn simulate(
     qd: &[f64],
     tau: &[f64],
 ) -> Simulation {
+    let _span = obs::span(OBS_CATEGORY, "simulate");
     let n = model.num_links();
     assert_eq!(
         design.topology(),
@@ -238,6 +290,7 @@ pub fn simulate(
         matmul_nops: plan.skipped_ops(),
         checkpoint_restores: schedule.context_switches(graph),
     };
+    record_eval_metrics(design, &stats);
     Simulation {
         tau: cache.tau,
         dqdd_dq,
@@ -263,6 +316,7 @@ pub fn simulate_batch(
     design: &AcceleratorDesign,
     inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
 ) -> (Vec<Simulation>, u64) {
+    let _span = obs::span(OBS_CATEGORY, "simulate-batch");
     assert!(!inputs.is_empty(), "need at least one time step");
     let sims: Vec<Simulation> = inputs
         .iter()
@@ -296,7 +350,9 @@ pub fn simulate_inverse_dynamics(
         roboshape_arch::KernelKind::InverseDynamics,
         "design was generated for a different kernel"
     );
+    let _span = obs::span(OBS_CATEGORY, "simulate-inverse-dynamics");
     let (cache, stats) = run_rnea_schedule(model, design, q, qd, qdd);
+    record_eval_metrics(design, &stats);
     (cache.tau, stats)
 }
 
@@ -319,6 +375,7 @@ pub fn simulate_kinematics(
         roboshape_arch::KernelKind::ForwardKinematics,
         "design was generated for a different kernel"
     );
+    let _span = obs::span(OBS_CATEGORY, "simulate-kinematics");
     assert_eq!(
         design.topology(),
         model.topology(),
@@ -354,6 +411,7 @@ pub fn simulate_kinematics(
         matmul_nops: 0,
         checkpoint_restores: schedule.context_switches(graph),
     };
+    record_eval_metrics(design, &stats);
     (x_base, stats)
 }
 
@@ -536,6 +594,33 @@ mod tests {
         // 12 × 8 NOPs skipped.
         assert_eq!(sim.stats.matmul_ops, 32);
         assert_eq!(sim.stats.matmul_nops, 96);
+    }
+
+    #[test]
+    fn evaluations_record_global_metrics() {
+        let m = roboshape_obs::metrics();
+        let evals_before = m.counter("sim.evals").get();
+        let robot = zoo(Zoo::Jaco3);
+        let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::new(2, 2, 2));
+        let n = robot.num_links();
+        let (q, qd, tau) = inputs(n, 77);
+        simulate(&robot, &design, &q, &qd, &tau);
+        assert!(m.counter("sim.evals").get() > evals_before);
+        let snap = m.snapshot();
+        for stage in Stage::ALL {
+            let (_, h) = snap
+                .histograms
+                .iter()
+                .find(|(name, _)| name == stage_cycles_metric(stage))
+                .expect("stage cycle histogram registered");
+            assert!(h.count > 0, "{stage:?} histogram empty");
+        }
+        let (_, occ) = snap
+            .histograms
+            .iter()
+            .find(|(name, _)| name == "sim.pe_occupancy_pct")
+            .expect("occupancy histogram registered");
+        assert!(occ.count > 0);
     }
 
     #[test]

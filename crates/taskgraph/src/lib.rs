@@ -16,6 +16,10 @@
 //!    and the branch save/restore events that size the architecture's
 //!    checkpoint storage (Fig. 8e).
 //!
+//! Each [`schedule`] call opens a `cat = "taskgraph"` tracing span and
+//! bumps the global `taskgraph.schedules` counter and
+//! `taskgraph.makespan_cycles` histogram (see [`roboshape_obs`]).
+//!
 //! # Examples
 //!
 //! ```

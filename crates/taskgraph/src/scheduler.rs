@@ -403,6 +403,7 @@ fn is_chain_successor(prev: TaskKind, next: TaskKind) -> bool {
 ///
 /// Panics if either PE count in `config` is zero.
 pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
+    let _span = roboshape_obs::span("taskgraph", "schedule");
     assert!(
         config.pe_fwd > 0 && config.pe_bwd > 0,
         "PE counts must be positive"
@@ -628,6 +629,13 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
 
     entries.sort_by_key(|e| (e.start, e.task.0));
     let makespan = entries.iter().map(|e| e.end).max().unwrap_or(0);
+    let m = roboshape_obs::metrics();
+    m.counter("taskgraph.schedules").add(1);
+    m.histogram(
+        "taskgraph.makespan_cycles",
+        &[64, 128, 256, 512, 1024, 2048, 4096, 8192],
+    )
+    .record(makespan);
     Schedule {
         entries,
         pe_fwd: config.pe_fwd,

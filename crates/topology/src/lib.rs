@@ -41,7 +41,7 @@
 //! # Ok::<(), roboshape_topology::TopologyError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod metrics;
 mod parallelism;

@@ -261,7 +261,7 @@ pub mod collection {
     use super::TestRng;
     use std::ops::Range;
 
-    /// Number-of-elements specification for [`vec`]: an exact `usize`
+    /// Number-of-elements specification for [`vec()`]: an exact `usize`
     /// or a half-open `Range<usize>`.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
@@ -295,7 +295,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
