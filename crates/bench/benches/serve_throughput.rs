@@ -1,0 +1,101 @@
+//! Closed-loop serving throughput over the full zoo: a loopback TCP
+//! server fronting the deadline-aware batching engine, driven by the
+//! serve crate's load generator. Besides the Criterion timings, one
+//! instrumented run writes a machine-readable summary to
+//! `BENCH_serve.json` at the repository root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roboshape::KernelKind;
+use roboshape_robots::{zoo, Zoo};
+use roboshape_serve::loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, TargetRobot};
+use roboshape_serve::{Engine, EngineConfig, Server};
+use std::fs;
+use std::hint::black_box;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 16;
+
+fn start_server() -> Server {
+    let engine = Engine::new(EngineConfig::default());
+    for z in Zoo::ALL {
+        engine.register(z.name(), zoo(z));
+    }
+    Server::start(engine, ("127.0.0.1", 0)).expect("bind loopback")
+}
+
+/// Closed-loop mixed-robot ∇FD load: every client cycles through all
+/// six zoo robots, issuing the next request as soon as the previous
+/// response arrives.
+fn full_zoo_config() -> LoadgenConfig {
+    LoadgenConfig {
+        mode: LoadMode::Closed,
+        clients: CLIENTS,
+        requests_per_client: REQUESTS_PER_CLIENT,
+        robots: Zoo::ALL
+            .iter()
+            .map(|&z| TargetRobot {
+                name: z.name().to_string(),
+                links: zoo(z).num_links(),
+            })
+            .collect(),
+        kind: KernelKind::DynamicsGradient,
+        deadline: None,
+        seed: 1,
+    }
+}
+
+fn write_summary(report: &LoadgenReport) {
+    let robots = Zoo::ALL
+        .iter()
+        .map(|&z| format!("\"{}\"", z.name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"mode\": \"closed\",\n  \"robots\": [{robots}],\n  \"clients\": {clients},\n  \"requests_per_client\": {per_client},\n  \"sent\": {sent},\n  \"ok\": {ok},\n  \"shed\": {shed},\n  \"deadline_exceeded\": {deadline},\n  \"errors\": {errors},\n  \"elapsed_us\": {elapsed},\n  \"throughput_rps\": {rps:.1},\n  \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}}\n}}\n",
+        clients = CLIENTS,
+        per_client = REQUESTS_PER_CLIENT,
+        sent = report.sent,
+        ok = report.ok,
+        shed = report.shed,
+        deadline = report.deadline_exceeded,
+        errors = report.errors,
+        elapsed = report.elapsed.as_micros(),
+        rps = report.throughput_rps,
+        p50 = report.p50_us,
+        p90 = report.p90_us,
+        p99 = report.p99_us,
+        max = report.max_us,
+        mean = report.mean_us,
+    );
+    roboshape::obs::json::validate(&json).expect("summary is well-formed JSON");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    fs::write(path, json).expect("write BENCH_serve.json");
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let server = start_server();
+    let port = server.port();
+    let cfg = full_zoo_config();
+
+    let mut g = c.benchmark_group("serve_throughput");
+    g.sample_size(10);
+    g.bench_function("closed_loop_full_zoo", |b| {
+        b.iter(|| {
+            let report = run_loadgen(("127.0.0.1", port), &cfg).expect("loadgen run");
+            assert_eq!(
+                report.ok,
+                (CLIENTS * REQUESTS_PER_CLIENT) as u64,
+                "{report}"
+            );
+            black_box(report.throughput_rps)
+        })
+    });
+    g.finish();
+
+    let report = run_loadgen(("127.0.0.1", port), &cfg).expect("summary run");
+    write_summary(&report);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -8,7 +8,13 @@
 //!     --timings                                    append per-stage pipeline timings
 //! roboshape sweep <robot.urdf> [--pareto] [--timings]   design-space CSV on stdout
 //! roboshape verify <robot.urdf>                    simulate the generated design vs reference
+//! roboshape serve <spec> [options]                 accelerator-as-a-service TCP front-end
+//! roboshape loadgen <spec> --port P [options]      drive a running server, print a report
 //! ```
+//!
+//! `serve` and `loadgen` take a *robot spec* instead of a single URDF:
+//! `zoo` (all six paper robots), `zoo:NAME` (one of them, e.g.
+//! `zoo:iiwa`), or a URDF path.
 //!
 //! Every command additionally accepts the observability flags
 //! `--trace FILE` (write a Chrome `trace_event` JSON capture of the run —
@@ -63,6 +69,10 @@ pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
   kernels   compare FK / inverse-dynamics / gradient accelerators
   energy    power and energy report (with and without PE gating)
   soc       co-design accelerators for several URDFs (extra paths after the first)
+  serve     run the accelerator service on TCP (<spec> = zoo | zoo:NAME | robot.urdf)
+            (--port P --port-file FILE --queue N --batch N --workers N --max-requests N)
+  loadgen   drive a running server and print a latency/throughput report
+            (--port P --clients N --requests N --rate HZ --kind grad|id|fk --deadline-us N)
 global options (any command):
   --trace FILE    write a Chrome trace_event JSON capture of the run
   --metrics FILE  write a JSON metrics snapshot after the run";
@@ -72,7 +82,8 @@ global options (any command):
 pub struct Cli {
     /// The subcommand.
     pub command: Command,
-    /// Path to the URDF file.
+    /// Path to the URDF file — or, for `serve`/`loadgen`, the robot
+    /// spec (`zoo`, `zoo:NAME`, or a URDF path).
     pub urdf: PathBuf,
     /// Where to write the Chrome trace capture (`--trace`), if anywhere.
     pub trace: Option<PathBuf>,
@@ -118,6 +129,39 @@ pub enum Command {
         /// Additional robot description paths.
         extra: Vec<PathBuf>,
     },
+    /// `roboshape serve`: run the accelerator-as-a-service TCP
+    /// front-end over the spec'd robots.
+    Serve {
+        /// TCP port to bind on loopback (0 = ephemeral).
+        port: u16,
+        /// File to write the bound port number to (for scripts that
+        /// bind port 0).
+        port_file: Option<PathBuf>,
+        /// Per-robot queue capacity.
+        queue: usize,
+        /// Maximum coalesced ∇FD batch.
+        batch: usize,
+        /// Worker threads per robot.
+        workers: usize,
+        /// Exit after this many requests have been answered or shed
+        /// (`None` = run until killed).
+        max_requests: Option<u64>,
+    },
+    /// `roboshape loadgen`: drive a running server.
+    Loadgen {
+        /// Server port on loopback.
+        port: u16,
+        /// Open-loop per-client rate in Hz (`None` = closed loop).
+        rate_hz: Option<f64>,
+        /// Concurrent client connections.
+        clients: usize,
+        /// Requests per client.
+        requests: usize,
+        /// Kernel to request.
+        kind: roboshape::KernelKind,
+        /// Relative deadline (µs) attached to every request.
+        deadline_us: Option<u64>,
+    },
 }
 
 impl Command {
@@ -132,6 +176,8 @@ impl Command {
             Command::Kernels => "kernels",
             Command::Energy => "energy",
             Command::Soc { .. } => "soc",
+            Command::Serve { .. } => "serve",
+            Command::Loadgen { .. } => "loadgen",
         }
     }
 }
@@ -252,6 +298,55 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 timings,
             }
         }
+        "serve" => {
+            let port = get_usize("--port")?.unwrap_or(0);
+            if port > u16::MAX as usize {
+                return Err(CliError::new(format!(
+                    "--port {port} is not a valid TCP port"
+                )));
+            }
+            Command::Serve {
+                port: port as u16,
+                port_file: get_opt("--port-file")?.map(PathBuf::from),
+                queue: get_usize("--queue")?.unwrap_or(64).max(1),
+                batch: get_usize("--batch")?.unwrap_or(8).max(1),
+                workers: get_usize("--workers")?.unwrap_or(2).max(1),
+                max_requests: get_usize("--max-requests")?.map(|v| v as u64),
+            }
+        }
+        "loadgen" => {
+            let port = get_usize("--port")?
+                .ok_or_else(|| CliError::new("loadgen needs --port of a running server"))?;
+            if port == 0 || port > u16::MAX as usize {
+                return Err(CliError::new(format!(
+                    "--port {port} is not a valid TCP port"
+                )));
+            }
+            let rate_hz = match get_opt("--rate")? {
+                None => None,
+                Some(v) => Some(v.parse::<f64>().map_err(|_| {
+                    CliError::new(format!("option --rate needs a number, got `{v}`"))
+                })?),
+            };
+            let kind = match get_opt("--kind")?.as_deref() {
+                None | Some("grad") => roboshape::KernelKind::DynamicsGradient,
+                Some("id") => roboshape::KernelKind::InverseDynamics,
+                Some("fk") => roboshape::KernelKind::ForwardKinematics,
+                Some(other) => {
+                    return Err(CliError::new(format!(
+                        "option --kind must be grad, id or fk, got `{other}`"
+                    )))
+                }
+            };
+            Command::Loadgen {
+                port: port as u16,
+                rate_hz,
+                clients: get_usize("--clients")?.unwrap_or(4).max(1),
+                requests: get_usize("--requests")?.unwrap_or(16).max(1),
+                kind,
+                deadline_us: get_usize("--deadline-us")?.map(|v| v as u64),
+            }
+        }
         other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
     };
     Ok(Cli {
@@ -308,7 +403,191 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
     result
 }
 
+/// Resolves a `serve`/`loadgen` robot spec — `zoo`, `zoo:NAME`, or a
+/// URDF path — to named robot models.
+fn resolve_robots(
+    spec: &std::path::Path,
+) -> Result<Vec<(String, roboshape::RobotModel)>, CliError> {
+    use roboshape_robots::{zoo, Zoo};
+    let text = spec.to_string_lossy();
+    if text == "zoo" {
+        return Ok(Zoo::ALL
+            .into_iter()
+            .map(|which| (which.name().to_string(), zoo(which)))
+            .collect());
+    }
+    if let Some(name) = text.strip_prefix("zoo:") {
+        let which = Zoo::ALL
+            .into_iter()
+            .find(|w| w.name().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                let known: Vec<&str> = Zoo::ALL.iter().map(|w| w.name()).collect();
+                CliError::new(format!(
+                    "unknown zoo robot `{name}` (known: {})",
+                    known.join(", ")
+                ))
+            })?;
+        return Ok(vec![(which.name().to_string(), zoo(which))]);
+    }
+    let urdf = std::fs::read_to_string(spec)
+        .map_err(|e| CliError::new(format!("cannot read {}: {e}", spec.display())))?;
+    let fw =
+        Framework::from_urdf(&urdf).map_err(|e| CliError::new(format!("invalid URDF: {e}")))?;
+    let robot = fw.robot().clone();
+    Ok(vec![(robot.name().to_string(), robot)])
+}
+
+/// `roboshape serve`: bind, announce, serve until `--max-requests`
+/// responses (or forever), then drain gracefully and summarise.
+fn run_serve(
+    cli: &Cli,
+    port: u16,
+    port_file: Option<&PathBuf>,
+    queue: usize,
+    batch: usize,
+    workers: usize,
+    max_requests: Option<u64>,
+) -> Result<String, CliError> {
+    use roboshape_serve::{Engine, EngineConfig, Server};
+    let robots = resolve_robots(&cli.urdf)?;
+    let engine = Engine::new(EngineConfig {
+        queue_capacity: queue,
+        max_batch: batch,
+        workers_per_robot: workers,
+        start_paused: false,
+    });
+    let mut out = String::new();
+    for (name, model) in robots {
+        let _ = writeln!(
+            out,
+            "registered {:<12} {:>2} links",
+            name,
+            model.num_links()
+        );
+        engine.register(name, model);
+    }
+    let server = Server::start(engine.clone(), ("127.0.0.1", port))
+        .map_err(|e| CliError::new(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    let bound = server.port();
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{bound}\n"))
+            .map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))?;
+    }
+    // Announce on stdout immediately — scripts wait for the port line
+    // (the returned string prints only after the run finishes).
+    println!("serving on 127.0.0.1:{bound} (queue={queue} batch={batch} workers={workers})");
+    match max_requests {
+        Some(target) => {
+            loop {
+                let stats = engine.stats();
+                if stats.responses() + stats.shed >= target {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            server.shutdown();
+            let stats = engine.stats();
+            let _ = writeln!(
+                out,
+                "served {} requests: ok={} shed={} deadline_exceeded={} bad={} batches={} largest_batch={}",
+                stats.responses() + stats.shed,
+                stats.completed,
+                stats.shed,
+                stats.deadline_exceeded,
+                stats.bad_requests,
+                stats.batches,
+                stats.largest_batch,
+            );
+            Ok(out)
+        }
+        None => {
+            // Serve until the process is killed.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+}
+
+/// `roboshape loadgen`: resolve the spec to robot names/sizes, run the
+/// configured load, report.
+fn run_loadgen_command(
+    cli: &Cli,
+    port: u16,
+    rate_hz: Option<f64>,
+    clients: usize,
+    requests: usize,
+    kind: roboshape::KernelKind,
+    deadline_us: Option<u64>,
+) -> Result<String, CliError> {
+    use roboshape_serve::loadgen::{run_loadgen, LoadMode, LoadgenConfig, TargetRobot};
+    let robots = resolve_robots(&cli.urdf)?
+        .into_iter()
+        .map(|(name, model)| TargetRobot {
+            name,
+            links: model.num_links(),
+        })
+        .collect();
+    let cfg = LoadgenConfig {
+        mode: match rate_hz {
+            Some(rate_hz) => LoadMode::Open { rate_hz },
+            None => LoadMode::Closed,
+        },
+        clients,
+        requests_per_client: requests,
+        robots,
+        kind,
+        deadline: deadline_us.map(std::time::Duration::from_micros),
+        seed: 1,
+    };
+    let report = run_loadgen(("127.0.0.1", port), &cfg)
+        .map_err(|e| CliError::new(format!("loadgen against 127.0.0.1:{port} failed: {e}")))?;
+    Ok(format!("{report}\n"))
+}
+
 fn run_command(cli: &Cli) -> Result<String, CliError> {
+    // The serving commands interpret `cli.urdf` as a robot spec and do
+    // their own loading; dispatch before the single-URDF read below.
+    match &cli.command {
+        Command::Serve {
+            port,
+            port_file,
+            queue,
+            batch,
+            workers,
+            max_requests,
+        } => {
+            return run_serve(
+                cli,
+                *port,
+                port_file.as_ref(),
+                *queue,
+                *batch,
+                *workers,
+                *max_requests,
+            )
+        }
+        Command::Loadgen {
+            port,
+            rate_hz,
+            clients,
+            requests,
+            kind,
+            deadline_us,
+        } => {
+            return run_loadgen_command(
+                cli,
+                *port,
+                *rate_hz,
+                *clients,
+                *requests,
+                *kind,
+                *deadline_us,
+            )
+        }
+        _ => {}
+    }
+
     let urdf = std::fs::read_to_string(&cli.urdf)
         .map_err(|e| CliError::new(format!("cannot read {}: {e}", cli.urdf.display())))?;
     let fw =
@@ -578,6 +857,9 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             }
             let _ = writeln!(out, "VERIFIED");
         }
+        Command::Serve { .. } | Command::Loadgen { .. } => {
+            unreachable!("dispatched before the URDF load")
+        }
     }
     Ok(out)
 }
@@ -820,6 +1102,137 @@ mod tests {
         // The simulator ran, so its cycle histograms are in the snapshot.
         assert!(metrics.contains("sim.cycles.rnea_fwd"));
         assert!(metrics.contains("sim.pe_occupancy_pct"));
+    }
+
+    #[test]
+    fn parses_serve_and_loadgen_commands() {
+        let c = parse_args(&args(&[
+            "serve",
+            "zoo",
+            "--port",
+            "0",
+            "--queue",
+            "32",
+            "--max-requests",
+            "10",
+        ]))
+        .unwrap();
+        assert_eq!(c.urdf, PathBuf::from("zoo"));
+        match c.command {
+            Command::Serve {
+                port,
+                queue,
+                max_requests,
+                ..
+            } => {
+                assert_eq!(port, 0);
+                assert_eq!(queue, 32);
+                assert_eq!(max_requests, Some(10));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let c = parse_args(&args(&[
+            "loadgen", "zoo:iiwa", "--port", "9000", "--rate", "50", "--kind", "fk",
+        ]))
+        .unwrap();
+        match c.command {
+            Command::Loadgen {
+                port,
+                rate_hz,
+                kind,
+                ..
+            } => {
+                assert_eq!(port, 9000);
+                assert_eq!(rate_hz, Some(50.0));
+                assert_eq!(kind, roboshape::KernelKind::ForwardKinematics);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        assert!(
+            parse_args(&args(&["loadgen", "zoo"])).is_err(),
+            "--port required"
+        );
+        assert!(parse_args(&args(&["loadgen", "zoo", "--port", "0"])).is_err());
+        assert!(parse_args(&args(&["serve", "zoo", "--port", "70000"])).is_err());
+        assert!(parse_args(&args(&["loadgen", "zoo", "--port", "9", "--kind", "x"])).is_err());
+    }
+
+    #[test]
+    fn unknown_zoo_spec_is_a_clean_error() {
+        let cli = parse_args(&args(&["serve", "zoo:atlas", "--max-requests", "1"])).unwrap();
+        let err = run(&cli).unwrap_err();
+        assert!(err.message.contains("unknown zoo robot"), "{}", err.message);
+    }
+
+    /// The CI smoke scenario in-process: serve the full zoo with
+    /// `--max-requests`, drive it with the loadgen command, and check
+    /// the report, the exit summary, and the metrics snapshot.
+    #[test]
+    fn serve_and_loadgen_round_trip_via_cli() {
+        let dir = std::env::temp_dir().join("roboshape_cli_tests/serve_smoke");
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let metrics_file = dir.join("serve_metrics.json");
+        let _ = std::fs::remove_file(&port_file);
+
+        let clients = 4usize;
+        let requests = 3usize;
+        let total = (clients * requests) as u64;
+        let serve_cli = parse_args(&args(&[
+            "serve",
+            "zoo",
+            "--port",
+            "0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--max-requests",
+            &total.to_string(),
+            "--metrics",
+            metrics_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let server = std::thread::spawn(move || run(&serve_cli));
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let port = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let loadgen_cli = parse_args(&args(&[
+            "loadgen",
+            "zoo",
+            "--port",
+            &port.to_string(),
+            "--clients",
+            &clients.to_string(),
+            "--requests",
+            &requests.to_string(),
+        ]))
+        .unwrap();
+        let report = run(&loadgen_cli).unwrap();
+        assert!(report.contains(&format!("ok={total}")), "{report}");
+        assert!(report.contains("shed=0"), "{report}");
+        assert!(report.contains("throughput:"), "{report}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(
+            summary.contains(&format!("served {total} requests")),
+            "{summary}"
+        );
+        assert!(summary.contains("shed=0"), "{summary}");
+
+        let metrics = std::fs::read_to_string(&metrics_file).unwrap();
+        obs::json::validate(&metrics).unwrap_or_else(|e| panic!("malformed metrics JSON: {e}"));
+        assert!(metrics.contains("serve.requests"), "{metrics}");
+        assert!(metrics.contains("serve.latency_us"), "{metrics}");
     }
 
     #[test]

@@ -75,8 +75,9 @@ pub use roboshape_pipeline::{
     POINTS_METRIC as PIPELINE_POINTS_METRIC,
 };
 pub use roboshape_sim::{
-    simulate, simulate_batch, simulate_inverse_dynamics, simulate_kinematics, AcceleratorGradients,
-    GradientProvider, ReferenceGradients, SimStats, Simulation,
+    simulate, simulate_batch, simulate_inverse_dynamics, simulate_kinematics, try_simulate,
+    try_simulate_batch, try_simulate_inverse_dynamics, try_simulate_kinematics,
+    AcceleratorGradients, GradientProvider, ReferenceGradients, SimError, SimStats, Simulation,
 };
 pub use roboshape_spatial::{inertia_pattern, joint_transform_pattern, Pattern6};
 pub use roboshape_taskgraph::{schedule, Schedule, SchedulerConfig, Stage, TaskCosts, TaskGraph};

@@ -950,6 +950,90 @@ pub fn ext_throughput() -> String {
     out
 }
 
+/// Extension: the accelerator-as-a-service engine (`roboshape-serve`)
+/// over the full zoo, exercised in-process. One paused engine takes a
+/// burst per robot so the deadline-aware scheduler coalesces ∇FD
+/// requests into `simulate_batch` executions (per-step results are
+/// bit-identical to sequential evaluation — the serve crate's property
+/// test pins this). Running it also populates the `serve.*` counters
+/// that `experiments all` prints in its global metrics summary.
+pub fn ext_serve() -> String {
+    use roboshape_serve::loadgen::request_inputs;
+    use roboshape_serve::{Engine, EngineConfig, ServePayload, ServeRequest, Ticket};
+    use std::time::Instant;
+
+    const BURST: usize = 8;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Extension — accelerator-as-a-service (batched serving)"
+    );
+    let engine = Engine::new(EngineConfig {
+        workers_per_robot: 1,
+        max_batch: BURST,
+        start_paused: true,
+        ..EngineConfig::default()
+    });
+    for z in Zoo::ALL {
+        engine.register(z.name(), zoo(z));
+    }
+    let mut per_robot: Vec<(Zoo, Vec<Ticket>)> = Vec::new();
+    for z in Zoo::ALL {
+        let n = engine.num_links(z.name()).expect("registered");
+        let tickets = (0..BURST)
+            .map(|i| {
+                let (q, qd, tau) = request_inputs(n, i as u64);
+                engine
+                    .submit(ServeRequest::gradient(z.name(), q, qd, tau))
+                    .expect("admission under capacity")
+            })
+            .collect();
+        per_robot.push((z, tickets));
+    }
+    let start = Instant::now();
+    engine.resume();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>9} {:>14} {:>13}",
+        "robot", "requests", "mean cycles", "all ok"
+    );
+    for (z, tickets) in per_robot {
+        let mut cycles = 0u64;
+        let mut ok = 0usize;
+        for t in tickets {
+            if let Ok(ServePayload::Gradient { cycles: c, .. }) = t.wait() {
+                cycles += c;
+                ok += 1;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{:<8} {:>9} {:>14} {:>13}",
+            z.name(),
+            BURST,
+            cycles / ok.max(1) as u64,
+            if ok == BURST { "yes" } else { "NO" }
+        );
+    }
+    let wall = start.elapsed();
+    engine.shutdown();
+    let stats = engine.stats();
+    let _ = writeln!(
+        out,
+        "served {} ∇FD requests in {wall:.2?} ({:.0} req/s): {} batched executions, largest batch {}, shed {}",
+        stats.completed,
+        stats.completed as f64 / wall.as_secs_f64().max(1e-9),
+        stats.batches,
+        stats.largest_batch,
+        stats.shed
+    );
+    let _ = writeln!(
+        out,
+        "(per-robot EDF queues; coalesced batches are bit-identical to sequential\nevaluation, so batching trades latency for throughput only — see the\n`serve.*` rows of the metrics summary below)"
+    );
+    out
+}
+
 /// A named report generator: renders one table or figure to a string.
 pub type ReportGenerator = fn() -> String;
 
@@ -984,6 +1068,7 @@ pub fn report_generators() -> Vec<(&'static str, ReportGenerator)> {
         ("ext_ablation", ext_ablation),
         ("ext_batch", ext_batch),
         ("ext_throughput", ext_throughput),
+        ("ext_serve", ext_serve),
         ("verify", verify),
     ]
 }

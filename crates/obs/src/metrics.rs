@@ -127,6 +127,29 @@ impl HistogramSnapshot {
             self.sum as f64 / self.count as f64
         }
     }
+
+    /// Upper-bound estimate of the `q`-quantile (`0.0 < q <= 1.0`): the
+    /// inclusive upper bound of the first bucket whose cumulative count
+    /// reaches `ceil(q * count)`, or `None` with no samples or when the
+    /// quantile falls in the overflow bucket (above the last bound).
+    ///
+    /// This is the usual fixed-bucket estimator (the true quantile lies
+    /// at or below the returned bound): p50/p99 digests for serving
+    /// latency come from here.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) || q == 0.0 {
+            return None;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (bucket, count) in self.buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return self.bounds.get(bucket).copied();
+            }
+        }
+        None
+    }
 }
 
 /// A registry of named metrics. [`metrics`] returns the process-wide
@@ -347,6 +370,27 @@ mod tests {
         assert_eq!(s.count, 8);
         assert_eq!(s.sum, u64::MAX); // saturated, not wrapped
         assert_eq!(s.bounds, vec![10, 100, 1000]);
+    }
+
+    #[test]
+    fn quantile_estimates_from_buckets() {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("lat", &[10, 100, 1000]);
+        for v in 1..=100u64 {
+            h.record(v); // 10 samples ≤10, 90 in (10,100]
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.05), Some(10));
+        assert_eq!(s.quantile(0.10), Some(10));
+        assert_eq!(s.quantile(0.11), Some(100));
+        assert_eq!(s.quantile(0.50), Some(100));
+        assert_eq!(s.quantile(0.99), Some(100));
+        assert_eq!(s.quantile(1.0), Some(100));
+        assert_eq!(s.quantile(0.0), None);
+        h.record(5000); // lands in the overflow bucket
+        assert_eq!(h.snapshot().quantile(1.0), None);
+        let empty = reg.histogram("never", &[1]).snapshot();
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

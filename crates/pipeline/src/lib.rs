@@ -558,6 +558,14 @@ impl Pipeline {
         &self.store
     }
 
+    /// A shared handle to the artifact store, for building further
+    /// pipelines over the same warmed artifacts (via
+    /// [`Pipeline::with_store`]) — e.g. one per serving worker, so
+    /// concurrent readers share products but keep separate counters.
+    pub fn store_handle(&self) -> Arc<ArtifactStore> {
+        Arc::clone(&self.store)
+    }
+
     /// The instrumentation counters.
     pub fn observer(&self) -> &PipelineObserver {
         &self.observer
@@ -923,6 +931,19 @@ mod tests {
         assert!(counters
             .iter()
             .any(|c| c.name == PipelineStage::Ir.misses_metric()));
+    }
+
+    #[test]
+    fn store_handle_shares_artifacts_with_fresh_counters() {
+        let warm = Pipeline::new();
+        let topo = Topology::chain(5);
+        let g1 = warm.task_graph(&topo, KernelKind::DynamicsGradient);
+        let reader = Pipeline::with_store(warm.store_handle());
+        let g2 = reader.task_graph(&topo, KernelKind::DynamicsGradient);
+        assert!(Arc::ptr_eq(&g1, &g2)); // same stored artifact
+        assert_eq!(reader.observer().report().hits(), 1); // own counters
+        assert_eq!(reader.observer().report().misses(), 0);
+        assert_eq!(warm.observer().report().misses(), 1);
     }
 
     #[test]

@@ -1,0 +1,930 @@
+//! The in-process serving engine: per-robot design pools, worker
+//! threads, deadline-aware batching, backpressure, graceful drain.
+
+use crate::queue::{EdfQueue, Pending};
+use crate::{
+    BAD_REQUEST_METRIC, BATCHES_METRIC, BATCH_SIZE_BOUNDS, BATCH_SIZE_METRIC, DEADLINE_METRIC,
+    LATENCY_BOUNDS_US, LATENCY_METRIC, OBS_CATEGORY, QUEUE_DEPTH_METRIC, REQUESTS_METRIC,
+    RESPONSES_METRIC, SHED_METRIC,
+};
+use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind, MatmulUnits};
+use roboshape_blocksparse::MatmulLatencyModel;
+use roboshape_obs as obs;
+use roboshape_pipeline::{PatternKind, Pipeline};
+use roboshape_sim::{
+    try_simulate, try_simulate_batch, try_simulate_inverse_dynamics, try_simulate_kinematics,
+    SimError, Simulation,
+};
+use roboshape_topology::Topology;
+use roboshape_urdf::RobotModel;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Sizing and scheduling knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Bounded per-robot queue depth; a full queue sheds new requests.
+    pub queue_capacity: usize,
+    /// Maximum ∇FD requests coalesced into one batched execution.
+    pub max_batch: usize,
+    /// Simulated accelerator instances (worker threads) per robot.
+    pub workers_per_robot: usize,
+    /// Start with workers paused (requests queue but do not execute
+    /// until [`Engine::resume`]) — a test/bench hook that makes batch
+    /// coalescing deterministic.
+    pub start_paused: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            queue_capacity: 64,
+            max_batch: 8,
+            workers_per_robot: 2,
+            start_paused: false,
+        }
+    }
+}
+
+/// Why a request did not produce a payload. Overload and lateness are
+/// first-class, typed outcomes — the engine never panics at a client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Shed before admission: queue at capacity, or engine shutting down.
+    Rejected {
+        /// Human-readable shed reason (e.g. `"queue full"`).
+        reason: String,
+    },
+    /// The deadline passed while the request was still queued.
+    DeadlineExceeded,
+    /// No robot registered under this name.
+    UnknownRobot(String),
+    /// The request failed validation or simulation (dimension mismatch,
+    /// non-finite input, non-positive-definite mass matrix, …).
+    BadRequest(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected { reason } => write!(f, "rejected: {reason}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::UnknownRobot(name) => write!(f, "unknown robot: {name}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SimError> for ServeError {
+    fn from(e: SimError) -> ServeError {
+        ServeError::BadRequest(e.to_string())
+    }
+}
+
+/// One kernel evaluation request against a registered robot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Name the robot was registered under.
+    pub robot: String,
+    /// Which generated kernel to run.
+    pub kind: KernelKind,
+    /// Joint positions (all kernels).
+    pub q: Vec<f64>,
+    /// Joint velocities (∇FD and inverse dynamics; empty for FK).
+    pub qd: Vec<f64>,
+    /// Third input: torques `τ` for ∇FD, accelerations `q̈` for inverse
+    /// dynamics; empty for FK.
+    pub tau: Vec<f64>,
+    /// Relative deadline from submission; `None` = best effort.
+    pub deadline: Option<Duration>,
+}
+
+impl ServeRequest {
+    /// A ∇FD (dynamics-gradient) request.
+    pub fn gradient(
+        robot: impl Into<String>,
+        q: Vec<f64>,
+        qd: Vec<f64>,
+        tau: Vec<f64>,
+    ) -> ServeRequest {
+        ServeRequest {
+            robot: robot.into(),
+            kind: KernelKind::DynamicsGradient,
+            q,
+            qd,
+            tau,
+            deadline: None,
+        }
+    }
+
+    /// An inverse-dynamics request (`tau` carries `q̈`).
+    pub fn inverse_dynamics(
+        robot: impl Into<String>,
+        q: Vec<f64>,
+        qd: Vec<f64>,
+        qdd: Vec<f64>,
+    ) -> ServeRequest {
+        ServeRequest {
+            robot: robot.into(),
+            kind: KernelKind::InverseDynamics,
+            q,
+            qd,
+            tau: qdd,
+            deadline: None,
+        }
+    }
+
+    /// A forward-kinematics request.
+    pub fn kinematics(robot: impl Into<String>, q: Vec<f64>) -> ServeRequest {
+        ServeRequest {
+            robot: robot.into(),
+            kind: KernelKind::ForwardKinematics,
+            q,
+            qd: Vec::new(),
+            tau: Vec::new(),
+            deadline: None,
+        }
+    }
+
+    /// Sets a relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> ServeRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// A successful kernel evaluation, as returned to clients.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServePayload {
+    /// ∇FD outputs: torques plus both gradients (row-major `n × n`).
+    Gradient {
+        /// RNEA-stage joint torques.
+        tau: Vec<f64>,
+        /// `∂q̈/∂q`, row-major.
+        dqdd_dq: Vec<f64>,
+        /// `∂q̈/∂q̇`, row-major.
+        dqdd_dqd: Vec<f64>,
+        /// Simulated accelerator cycles for this evaluation.
+        cycles: u64,
+    },
+    /// Inverse-dynamics output: `τ = RNEA(q, q̇, q̈)`.
+    InverseDynamics {
+        /// Joint torques.
+        tau: Vec<f64>,
+        /// Simulated accelerator cycles.
+        cycles: u64,
+    },
+    /// Forward-kinematics output: base→link poses, 12 values per link
+    /// (row-major 3×3 rotation, then translation x/y/z).
+    Kinematics {
+        /// Flattened poses, `12 × n` values.
+        poses: Vec<f64>,
+        /// Simulated accelerator cycles.
+        cycles: u64,
+    },
+}
+
+impl ServePayload {
+    /// Simulated accelerator cycles, whatever the kernel.
+    pub fn cycles(&self) -> u64 {
+        match self {
+            ServePayload::Gradient { cycles, .. }
+            | ServePayload::InverseDynamics { cycles, .. }
+            | ServePayload::Kinematics { cycles, .. } => *cycles,
+        }
+    }
+}
+
+/// The outcome a [`Ticket`] resolves to.
+pub type ServeResult = Result<ServePayload, ServeError>;
+
+/// A handle to an in-flight request; resolves exactly once.
+#[derive(Clone)]
+pub struct Ticket {
+    cell: Arc<(Mutex<Option<ServeResult>>, Condvar)>,
+}
+
+impl Ticket {
+    pub(crate) fn new() -> Ticket {
+        Ticket {
+            cell: Arc::new((Mutex::new(None), Condvar::new())),
+        }
+    }
+
+    pub(crate) fn fulfill(&self, result: ServeResult) {
+        let (lock, cv) = &*self.cell;
+        let mut slot = lock.lock().expect("ticket poisoned");
+        debug_assert!(slot.is_none(), "ticket fulfilled twice");
+        *slot = Some(result);
+        cv.notify_all();
+    }
+
+    /// Blocks until the engine resolves this request.
+    pub fn wait(&self) -> ServeResult {
+        let (lock, cv) = &*self.cell;
+        let mut slot = lock.lock().expect("ticket poisoned");
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = cv.wait(slot).expect("ticket poisoned");
+        }
+    }
+
+    /// Non-blocking probe; `None` while still in flight.
+    pub fn try_take(&self) -> Option<ServeResult> {
+        self.cell.0.lock().expect("ticket poisoned").take()
+    }
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Ticket(..)")
+    }
+}
+
+/// Point-in-time snapshot of the engine's own counters (the same events
+/// also feed the global `serve.*` metrics, which aggregate across
+/// engines; these are per-engine).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted into a queue.
+    pub submitted: u64,
+    /// Requests completed with a payload.
+    pub completed: u64,
+    /// Requests shed at admission (queue full / shutting down).
+    pub shed: u64,
+    /// Requests expired while queued.
+    pub deadline_exceeded: u64,
+    /// Requests failing validation or simulation.
+    pub bad_requests: u64,
+    /// Batched executions dispatched.
+    pub batches: u64,
+    /// Largest number of requests coalesced into one execution.
+    pub largest_batch: u64,
+}
+
+impl EngineStats {
+    /// Total tickets resolved, successfully or not. Excludes `shed`,
+    /// which never received a ticket.
+    pub fn responses(&self) -> u64 {
+        self.completed + self.deadline_exceeded + self.bad_requests
+    }
+}
+
+#[derive(Default)]
+struct StatCells {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    bad_requests: AtomicU64,
+    batches: AtomicU64,
+    largest_batch: AtomicU64,
+}
+
+/// One registered robot: its model, the three kernel designs, and its
+/// bounded EDF queue (the pool of workers drains it).
+struct RobotSlot {
+    model: RobotModel,
+    designs: HashMap<KernelKind, Arc<AcceleratorDesign>>,
+    queue: EdfQueue,
+}
+
+struct EngineInner {
+    cfg: EngineConfig,
+    pipeline: Pipeline,
+    robots: RwLock<HashMap<String, Arc<RobotSlot>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    paused: AtomicBool,
+    closed: AtomicBool,
+    depth: AtomicU64,
+    seq: AtomicU64,
+    stats: StatCells,
+}
+
+/// The accelerator-as-a-service runtime. Cheap to clone (a handle).
+///
+/// See the crate docs for the execution model; in short: registered
+/// robots get kernel designs built through a warmed
+/// [`roboshape_pipeline::Pipeline`] plus a pool of worker threads, and
+/// [`Engine::submit`] enqueues work under EDF with explicit shedding.
+#[derive(Clone)]
+pub struct Engine {
+    inner: Arc<EngineInner>,
+}
+
+impl Engine {
+    /// An engine sharing the process-wide warmed artifact store (every
+    /// engine in the process reuses cached graphs/schedules/plans).
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine::with_pipeline(cfg, Pipeline::with_store(Pipeline::global().store_handle()))
+    }
+
+    /// An engine over a caller-supplied pipeline (isolated stores in
+    /// tests, or a pre-warmed one in benchmarks).
+    pub fn with_pipeline(cfg: EngineConfig, pipeline: Pipeline) -> Engine {
+        Engine {
+            inner: Arc::new(EngineInner {
+                paused: AtomicBool::new(cfg.start_paused),
+                cfg,
+                pipeline,
+                robots: RwLock::new(HashMap::new()),
+                workers: Mutex::new(Vec::new()),
+                closed: AtomicBool::new(false),
+                depth: AtomicU64::new(0),
+                seq: AtomicU64::new(0),
+                stats: StatCells::default(),
+            }),
+        }
+    }
+
+    /// Registers `model` under `name`: builds its ∇FD, inverse-dynamics
+    /// and forward-kinematics designs through the pipeline (topology-
+    /// derived default knobs) and spawns its worker pool. Re-registering
+    /// an existing name is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`Engine::shutdown`].
+    pub fn register(&self, name: impl Into<String>, model: RobotModel) {
+        let name = name.into();
+        let inner = &self.inner;
+        assert!(
+            !inner.closed.load(Ordering::SeqCst),
+            "register after shutdown"
+        );
+        let _span = obs::span(OBS_CATEGORY, "register");
+        if inner
+            .robots
+            .read()
+            .expect("robots poisoned")
+            .contains_key(&name)
+        {
+            return;
+        }
+        let topo = model.topology().clone();
+        let knobs = default_knobs(&inner.pipeline, &topo);
+        let designs = [
+            KernelKind::DynamicsGradient,
+            KernelKind::InverseDynamics,
+            KernelKind::ForwardKinematics,
+        ]
+        .into_iter()
+        .map(|kernel| {
+            (
+                kernel,
+                Arc::new(inner.pipeline.design(&topo, knobs, kernel)),
+            )
+        })
+        .collect();
+        let slot = Arc::new(RobotSlot {
+            model,
+            designs,
+            queue: EdfQueue::new(inner.cfg.queue_capacity),
+        });
+        let mut robots = inner.robots.write().expect("robots poisoned");
+        if robots.contains_key(&name) {
+            return; // lost a register race; the first registration wins
+        }
+        robots.insert(name, Arc::clone(&slot));
+        drop(robots);
+        let mut workers = inner.workers.lock().expect("workers poisoned");
+        for _ in 0..inner.cfg.workers_per_robot.max(1) {
+            let inner = Arc::clone(&self.inner);
+            let slot = Arc::clone(&slot);
+            workers.push(std::thread::spawn(move || worker_loop(inner, slot)));
+        }
+    }
+
+    /// Names of all registered robots, sorted.
+    pub fn robots(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .inner
+            .robots
+            .read()
+            .expect("robots poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// The design a robot's `kind` requests execute on — lets tests and
+    /// benchmarks re-run the exact same accelerator directly and compare
+    /// served responses bit-for-bit.
+    pub fn design_for(&self, robot: &str, kind: KernelKind) -> Option<Arc<AcceleratorDesign>> {
+        self.inner
+            .robots
+            .read()
+            .expect("robots poisoned")
+            .get(robot)
+            .and_then(|slot| slot.designs.get(&kind).cloned())
+    }
+
+    /// Number of links of a registered robot.
+    pub fn num_links(&self, robot: &str) -> Option<usize> {
+        self.inner
+            .robots
+            .read()
+            .expect("robots poisoned")
+            .get(robot)
+            .map(|slot| slot.model.num_links())
+    }
+
+    /// Submits a request. `Ok` means *accepted*: the request is queued
+    /// and the [`Ticket`] will resolve exactly once (possibly to an
+    /// error). `Err` means the request never entered a queue.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownRobot`] for an unregistered name,
+    /// [`ServeError::BadRequest`] for malformed inputs (checked here, at
+    /// admission), [`ServeError::Rejected`] when the robot's queue is
+    /// full or the engine is shutting down.
+    pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
+        let inner = &self.inner;
+        let _span = obs::span(OBS_CATEGORY, "submit");
+        if inner.closed.load(Ordering::SeqCst) {
+            inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+            obs::metrics().counter(SHED_METRIC).add(1);
+            return Err(ServeError::Rejected {
+                reason: "shutting down".into(),
+            });
+        }
+        let slot = inner
+            .robots
+            .read()
+            .expect("robots poisoned")
+            .get(&req.robot)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownRobot(req.robot.clone()))?;
+        if let Err(e) = validate(&slot.model, &req) {
+            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            obs::metrics().counter(BAD_REQUEST_METRIC).add(1);
+            return Err(e);
+        }
+        let now = Instant::now();
+        let pending = Pending {
+            deadline: req.deadline.map(|d| now + d),
+            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            req,
+            enqueued: now,
+            ticket: Ticket::new(),
+        };
+        let ticket = pending.ticket.clone();
+        // Count the request *before* it becomes visible to workers — a
+        // worker may pop and decrement the instant the push lands.
+        let depth = inner.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        match slot.queue.try_push(pending) {
+            Ok(()) => {
+                inner.stats.submitted.fetch_add(1, Ordering::Relaxed);
+                obs::metrics().counter(REQUESTS_METRIC).add(1);
+                obs::metrics().gauge(QUEUE_DEPTH_METRIC).set(depth as f64);
+                Ok(ticket)
+            }
+            Err(_shed) => {
+                inner.depth.fetch_sub(1, Ordering::Relaxed);
+                inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                obs::metrics().counter(SHED_METRIC).add(1);
+                Err(ServeError::Rejected {
+                    reason: "queue full".into(),
+                })
+            }
+        }
+    }
+
+    /// Pauses workers: accepted requests queue but do not execute.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes paused workers.
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::SeqCst);
+        for slot in self.inner.robots.read().expect("robots poisoned").values() {
+            slot.queue.notify_all();
+        }
+    }
+
+    /// Current per-engine counters.
+    pub fn stats(&self) -> EngineStats {
+        let s = &self.inner.stats;
+        EngineStats {
+            submitted: s.submitted.load(Ordering::Relaxed),
+            completed: s.completed.load(Ordering::Relaxed),
+            shed: s.shed.load(Ordering::Relaxed),
+            deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+            bad_requests: s.bad_requests.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            largest_batch: s.largest_batch.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Graceful drain: stops admitting, wakes paused workers, executes
+    /// everything already queued (every accepted ticket resolves), then
+    /// joins the worker pool. Idempotent; later calls are no-ops.
+    pub fn shutdown(&self) {
+        let inner = &self.inner;
+        if inner.closed.swap(true, Ordering::SeqCst) {
+            // Someone else is (or finished) shutting down; still join in
+            // case their drain is mid-flight.
+        }
+        let _span = obs::span(OBS_CATEGORY, "shutdown");
+        for slot in inner.robots.read().expect("robots poisoned").values() {
+            slot.queue.notify_all();
+        }
+        let workers: Vec<JoinHandle<()>> = inner
+            .workers
+            .lock()
+            .expect("workers poisoned")
+            .drain(..)
+            .collect();
+        for handle in workers {
+            let _ = handle.join();
+        }
+        obs::metrics().gauge(QUEUE_DEPTH_METRIC).set(0.0);
+    }
+}
+
+/// Admission-time validation, so malformed requests fail fast with a
+/// typed error instead of occupying queue space.
+fn validate(model: &RobotModel, req: &ServeRequest) -> Result<(), ServeError> {
+    let n = model.num_links();
+    let check = |what: &str, values: &[f64]| -> Result<(), ServeError> {
+        if values.len() != n {
+            return Err(ServeError::BadRequest(format!(
+                "{what} dimension mismatch: expected {n}, got {}",
+                values.len()
+            )));
+        }
+        if values.iter().any(|v| !v.is_finite()) {
+            return Err(ServeError::BadRequest(format!(
+                "{what} contains a non-finite value"
+            )));
+        }
+        Ok(())
+    };
+    check("q", &req.q)?;
+    match req.kind {
+        KernelKind::ForwardKinematics => Ok(()),
+        KernelKind::DynamicsGradient | KernelKind::InverseDynamics => {
+            check("qd", &req.qd)?;
+            check("tau", &req.tau)
+        }
+    }
+}
+
+/// Topology-derived default knobs, mirroring the framework's Hybrid
+/// heuristic: forward PEs track leaf depth, backward PEs track the
+/// largest subtree, and the block size minimises the blocked-mat-mul
+/// latency under the default model (computed through the pipeline, so
+/// the plans land in the shared store pre-warmed for simulation).
+fn default_knobs(pipeline: &Pipeline, topo: &Topology) -> AcceleratorKnobs {
+    let m = topo.metrics();
+    let n = m.total_links.max(1);
+    let model = MatmulLatencyModel::default();
+    let units = MatmulUnits::PerLink.resolve(n);
+    let block = (1..=n)
+        .min_by_key(|&b| {
+            pipeline
+                .block_plan(topo, PatternKind::InverseMass, 2 * n, b, units)
+                .latency(&model)
+        })
+        .unwrap_or(n);
+    AcceleratorKnobs::new(m.max_leaf_depth.max(1), m.max_descendants.max(1), block)
+}
+
+/// One simulated accelerator instance: drains the robot's EDF queue
+/// until shutdown, coalescing compatible ∇FD requests.
+fn worker_loop(inner: Arc<EngineInner>, slot: Arc<RobotSlot>) {
+    while let Some(batch) = slot
+        .queue
+        .next_batch(inner.cfg.max_batch, &inner.paused, &inner.closed)
+    {
+        let depth = inner
+            .depth
+            .fetch_sub(batch.len() as u64, Ordering::Relaxed)
+            .saturating_sub(batch.len() as u64);
+        obs::metrics().gauge(QUEUE_DEPTH_METRIC).set(depth as f64);
+        execute(&inner, &slot, batch);
+    }
+}
+
+fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) {
+    let _span = obs::span(OBS_CATEGORY, "execute");
+    let now = Instant::now();
+    // Late requests are resolved without spending accelerator cycles.
+    let (live, expired): (Vec<Pending>, Vec<Pending>) = batch
+        .into_iter()
+        .partition(|p| p.deadline.is_none_or(|d| d >= now));
+    for p in expired {
+        inner
+            .stats
+            .deadline_exceeded
+            .fetch_add(1, Ordering::Relaxed);
+        obs::metrics().counter(DEADLINE_METRIC).add(1);
+        respond(&p, Err(ServeError::DeadlineExceeded));
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    inner.stats.batches.fetch_add(1, Ordering::Relaxed);
+    inner
+        .stats
+        .largest_batch
+        .fetch_max(live.len() as u64, Ordering::Relaxed);
+    obs::metrics().counter(BATCHES_METRIC).add(1);
+    obs::metrics()
+        .histogram(BATCH_SIZE_METRIC, &BATCH_SIZE_BOUNDS)
+        .record(live.len() as u64);
+
+    let kind = live[0].req.kind;
+    let design = &slot.designs[&kind];
+    match kind {
+        KernelKind::DynamicsGradient if live.len() > 1 => {
+            let inputs: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = live
+                .iter()
+                .map(|p| (p.req.q.clone(), p.req.qd.clone(), p.req.tau.clone()))
+                .collect();
+            match try_simulate_batch(&slot.model, design, &inputs) {
+                Ok((sims, _makespan)) => {
+                    for (p, sim) in live.iter().zip(sims) {
+                        finish_ok(inner, p, gradient_payload(sim));
+                    }
+                }
+                // One bad input fails a whole batched call; fall back to
+                // singles so its neighbours still succeed.
+                Err(_) => {
+                    for p in &live {
+                        let result =
+                            try_simulate(&slot.model, design, &p.req.q, &p.req.qd, &p.req.tau);
+                        finish(inner, p, result.map(gradient_payload));
+                    }
+                }
+            }
+        }
+        KernelKind::DynamicsGradient => {
+            let p = &live[0];
+            let result = try_simulate(&slot.model, design, &p.req.q, &p.req.qd, &p.req.tau);
+            finish(inner, p, result.map(gradient_payload));
+        }
+        KernelKind::InverseDynamics => {
+            for p in &live {
+                let result = try_simulate_inverse_dynamics(
+                    &slot.model,
+                    design,
+                    &p.req.q,
+                    &p.req.qd,
+                    &p.req.tau,
+                )
+                .map(|(tau, stats)| ServePayload::InverseDynamics {
+                    tau,
+                    cycles: stats.cycles,
+                });
+                finish(inner, p, result);
+            }
+        }
+        KernelKind::ForwardKinematics => {
+            for p in &live {
+                let result =
+                    try_simulate_kinematics(&slot.model, design, &p.req.q).map(|(poses, stats)| {
+                        let mut flat = Vec::with_capacity(poses.len() * 12);
+                        for x in &poses {
+                            let rot = x.rotation();
+                            for r in 0..3 {
+                                for c in 0..3 {
+                                    flat.push(rot.get(r, c));
+                                }
+                            }
+                            let t = x.translation();
+                            flat.extend_from_slice(&[t.x, t.y, t.z]);
+                        }
+                        ServePayload::Kinematics {
+                            poses: flat,
+                            cycles: stats.cycles,
+                        }
+                    });
+                finish(inner, p, result);
+            }
+        }
+    }
+}
+
+fn gradient_payload(sim: Simulation) -> ServePayload {
+    let n = sim.dqdd_dq.rows();
+    let flatten = |m: &roboshape_linalg::DMat| -> Vec<f64> {
+        let mut out = Vec::with_capacity(n * n);
+        for r in 0..n {
+            for c in 0..n {
+                out.push(m[(r, c)]);
+            }
+        }
+        out
+    };
+    ServePayload::Gradient {
+        tau: sim.tau.clone(),
+        dqdd_dq: flatten(&sim.dqdd_dq),
+        dqdd_dqd: flatten(&sim.dqdd_dqd),
+        cycles: sim.stats.cycles,
+    }
+}
+
+fn finish_ok(inner: &EngineInner, p: &Pending, payload: ServePayload) {
+    inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+    respond(p, Ok(payload));
+}
+
+fn finish(inner: &EngineInner, p: &Pending, result: Result<ServePayload, SimError>) {
+    match result {
+        Ok(payload) => finish_ok(inner, p, payload),
+        Err(e) => {
+            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            obs::metrics().counter(BAD_REQUEST_METRIC).add(1);
+            respond(p, Err(e.into()));
+        }
+    }
+}
+
+fn respond(p: &Pending, result: ServeResult) {
+    obs::metrics().counter(RESPONSES_METRIC).add(1);
+    let latency_us = p.enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    obs::metrics()
+        .histogram(LATENCY_METRIC, &LATENCY_BOUNDS_US)
+        .record(latency_us);
+    p.ticket.fulfill(result);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_robots::{zoo, Zoo};
+
+    fn engine_with(robot: Zoo, cfg: EngineConfig) -> Engine {
+        let engine = Engine::with_pipeline(cfg, Pipeline::new());
+        engine.register(robot.name(), zoo(robot));
+        engine
+    }
+
+    #[test]
+    fn gradient_round_trip_matches_direct_simulation() {
+        let engine = engine_with(Zoo::Iiwa, EngineConfig::default());
+        let n = engine.num_links("iiwa").unwrap();
+        let (q, qd, tau) = (vec![0.3; n], vec![0.1; n], vec![0.5; n]);
+        let ticket = engine
+            .submit(ServeRequest::gradient(
+                "iiwa",
+                q.clone(),
+                qd.clone(),
+                tau.clone(),
+            ))
+            .unwrap();
+        let payload = ticket.wait().unwrap();
+
+        let robot = zoo(Zoo::Iiwa);
+        let pipeline = Pipeline::new();
+        let knobs = default_knobs(&pipeline, robot.topology());
+        let design = pipeline.design(robot.topology(), knobs, KernelKind::DynamicsGradient);
+        let reference = try_simulate(&robot, &design, &q, &qd, &tau).unwrap();
+        match payload {
+            ServePayload::Gradient {
+                tau: t,
+                dqdd_dq,
+                cycles,
+                ..
+            } => {
+                assert_eq!(t, reference.tau);
+                assert_eq!(dqdd_dq[0], reference.dqdd_dq[(0, 0)]);
+                assert_eq!(cycles, reference.stats.cycles);
+            }
+            other => panic!("wrong payload: {other:?}"),
+        }
+        engine.shutdown();
+        assert_eq!(engine.stats().completed, 1);
+    }
+
+    #[test]
+    fn unknown_robot_and_bad_dimensions_are_typed_errors() {
+        let engine = engine_with(Zoo::Iiwa, EngineConfig::default());
+        let err = engine
+            .submit(ServeRequest::kinematics("nonexistent", vec![0.0; 7]))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::UnknownRobot(_)));
+
+        let err = engine
+            .submit(ServeRequest::gradient(
+                "iiwa",
+                vec![0.0; 3],
+                vec![0.0; 7],
+                vec![0.0; 7],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+
+        let err = engine
+            .submit(ServeRequest::gradient(
+                "iiwa",
+                vec![f64::NAN; 7],
+                vec![0.0; 7],
+                vec![0.0; 7],
+            ))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)));
+        assert_eq!(engine.stats().bad_requests, 2);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_and_shutdown_drains_accepted_requests() {
+        let engine = engine_with(
+            Zoo::Iiwa,
+            EngineConfig {
+                queue_capacity: 2,
+                workers_per_robot: 1,
+                start_paused: true,
+                ..EngineConfig::default()
+            },
+        );
+        let req = || ServeRequest::kinematics("iiwa", vec![0.1; 7]);
+        let t1 = engine.submit(req()).unwrap();
+        let t2 = engine.submit(req()).unwrap();
+        let err = engine.submit(req()).unwrap_err();
+        assert!(matches!(err, ServeError::Rejected { .. }), "{err}");
+        assert_eq!(engine.stats().shed, 1);
+
+        // Graceful drain: both accepted tickets resolve even though the
+        // engine was paused the whole time.
+        engine.shutdown();
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        assert_eq!(engine.stats().completed, 2);
+
+        let err = engine.submit(req()).unwrap_err();
+        assert!(matches!(err, ServeError::Rejected { .. }));
+    }
+
+    #[test]
+    fn expired_deadline_resolves_to_deadline_exceeded() {
+        let engine = engine_with(
+            Zoo::Iiwa,
+            EngineConfig {
+                workers_per_robot: 1,
+                start_paused: true,
+                ..EngineConfig::default()
+            },
+        );
+        let ticket = engine
+            .submit(
+                ServeRequest::kinematics("iiwa", vec![0.1; 7])
+                    .with_deadline(Duration::from_micros(1)),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        engine.resume();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        assert_eq!(engine.stats().deadline_exceeded, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn paused_engine_coalesces_gradient_requests_into_batches() {
+        let engine = engine_with(
+            Zoo::Iiwa,
+            EngineConfig {
+                workers_per_robot: 1,
+                max_batch: 8,
+                start_paused: true,
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| {
+                engine
+                    .submit(ServeRequest::gradient(
+                        "iiwa",
+                        vec![0.1 * (i + 1) as f64; 7],
+                        vec![0.0; 7],
+                        vec![0.4; 7],
+                    ))
+                    .unwrap()
+            })
+            .collect();
+        engine.resume();
+        for t in &tickets {
+            assert!(t.wait().is_ok());
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.largest_batch, 4, "all four coalesced: {stats:?}");
+        assert_eq!(stats.batches, 1);
+        engine.shutdown();
+    }
+}

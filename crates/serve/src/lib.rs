@@ -1,0 +1,103 @@
+//! Accelerator-as-a-service runtime for RoboShape designs.
+//!
+//! The paper deploys one generated accelerator per robot; a robot fleet
+//! shares them as a service. This crate is that serving layer, built from
+//! the workspace's own pieces and nothing else:
+//!
+//! * [`Engine`] — the in-process runtime. It owns a warmed
+//!   [`roboshape_pipeline::Pipeline`] artifact store and, per registered
+//!   robot, the three kernel designs (∇FD, inverse dynamics, forward
+//!   kinematics) plus a pool of simulated accelerator instances (worker
+//!   threads running the cycle-level simulator). Requests are submitted
+//!   with [`Engine::submit`] and awaited on the returned [`Ticket`].
+//! * A **deadline-aware batching scheduler** — each robot has a bounded
+//!   earliest-deadline-first queue. Workers pop the most urgent request
+//!   and coalesce compatible ∇FD requests into one
+//!   [`roboshape_sim::try_simulate_batch`] call (per-step results are
+//!   bit-identical to single-request evaluation, so batching is purely a
+//!   throughput optimisation). Overload is explicit: a full queue sheds
+//!   the request with [`ServeError::Rejected`], and a request whose
+//!   deadline passes while queued gets [`ServeError::DeadlineExceeded`].
+//!   The engine never panics on bad input — malformed requests come back
+//!   as [`ServeError::BadRequest`] via the sim layer's `try_*` entry
+//!   points.
+//! * A **TCP front-end** ([`Server`]) speaking length-prefixed binary
+//!   frames (see [`proto`]), with a matching blocking [`Client`].
+//! * A **load generator** ([`loadgen`]) driving a server open- or
+//!   closed-loop and reporting a latency/throughput summary.
+//!
+//! Everything is observable through [`roboshape_obs`]: spans under the
+//! `"serve"` category and the `serve.*` metrics listed below.
+//!
+//! # Metrics
+//!
+//! | metric | kind | meaning |
+//! |---|---|---|
+//! | `serve.requests` | counter | requests accepted into a queue |
+//! | `serve.responses` | counter | tickets fulfilled (any outcome) |
+//! | `serve.shed` | counter | rejected: queue full or shutting down |
+//! | `serve.deadline_exceeded` | counter | expired while queued |
+//! | `serve.bad_request` | counter | failed validation / sim error |
+//! | `serve.batches` | counter | batched executions dispatched |
+//! | `serve.batch_size` | histogram | requests coalesced per execution |
+//! | `serve.latency_us` | histogram | enqueue→response latency (µs) |
+//! | `serve.queue_depth` | gauge | total queued across robots |
+//!
+//! # Examples
+//!
+//! ```
+//! use roboshape_robots::{zoo, Zoo};
+//! use roboshape_serve::{Engine, EngineConfig, ServeRequest};
+//!
+//! let engine = Engine::new(EngineConfig::default());
+//! engine.register("iiwa", zoo(Zoo::Iiwa));
+//! let n = 7;
+//! let ticket = engine
+//!     .submit(ServeRequest::gradient("iiwa", vec![0.1; n], vec![0.0; n], vec![0.5; n]))
+//!     .unwrap();
+//! let payload = ticket.wait().unwrap();
+//! assert_eq!(payload.cycles() > 0, true);
+//! engine.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+mod engine;
+pub mod loadgen;
+pub mod proto;
+mod queue;
+mod server;
+
+pub use engine::{
+    Engine, EngineConfig, EngineStats, ServeError, ServePayload, ServeRequest, ServeResult, Ticket,
+};
+pub use server::{Client, Server};
+
+/// Tracing-span category used by every span this crate opens.
+pub const OBS_CATEGORY: &str = "serve";
+
+/// Counter: requests accepted into a robot queue.
+pub const REQUESTS_METRIC: &str = "serve.requests";
+/// Counter: tickets fulfilled, successfully or not.
+pub const RESPONSES_METRIC: &str = "serve.responses";
+/// Counter: requests shed (queue full or engine shutting down).
+pub const SHED_METRIC: &str = "serve.shed";
+/// Counter: requests whose deadline expired while queued.
+pub const DEADLINE_METRIC: &str = "serve.deadline_exceeded";
+/// Counter: requests failing validation or simulation.
+pub const BAD_REQUEST_METRIC: &str = "serve.bad_request";
+/// Counter: batched executions dispatched by workers.
+pub const BATCHES_METRIC: &str = "serve.batches";
+/// Histogram: requests coalesced into one execution.
+pub const BATCH_SIZE_METRIC: &str = "serve.batch_size";
+/// Histogram: enqueue→response latency in microseconds.
+pub const LATENCY_METRIC: &str = "serve.latency_us";
+/// Gauge: total requests currently queued across all robots.
+pub const QUEUE_DEPTH_METRIC: &str = "serve.queue_depth";
+
+/// Bucket upper bounds for [`BATCH_SIZE_METRIC`].
+pub const BATCH_SIZE_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];
+/// Bucket upper bounds for [`LATENCY_METRIC`] (microseconds).
+pub const LATENCY_BOUNDS_US: [u64; 13] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 1_000_000,
+];

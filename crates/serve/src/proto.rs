@@ -1,0 +1,464 @@
+//! Length-prefixed binary wire protocol for the TCP front-end.
+//!
+//! Every message is one *frame*: a little-endian `u32` byte length
+//! followed by that many body bytes (capped at [`MAX_FRAME`]). Bodies
+//! are encoded with the vendored [`bytes`] little-endian accessors;
+//! `f64` values travel as raw IEEE-754 bits, so responses are
+//! bit-identical to in-process results — the loopback tests assert
+//! exactly that.
+//!
+//! Request body:
+//!
+//! ```text
+//! u64 id | u8 kind (0 FK, 1 ID, 2 ∇FD) | u64 deadline_µs (MAX = none)
+//! | u32 name_len | name bytes | u32 n | q[n] | (ID, ∇FD only: qd[n], tau[n])
+//! ```
+//!
+//! Response body: `u64 id | u8 status`, then a status-specific payload
+//! (see [`decode_response`]). Responses may arrive out of request order
+//! — `id` is the correlation key.
+
+use crate::engine::{ServeError, ServePayload, ServeRequest, ServeResult};
+use bytes::{Buf, BufMut};
+use roboshape_arch::KernelKind;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+/// Maximum frame body size (16 MiB) — rejects corrupt length prefixes
+/// before any allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Sentinel meaning "no deadline" in the request's `deadline_µs` field.
+const NO_DEADLINE: u64 = u64::MAX;
+
+const KIND_FK: u8 = 0;
+const KIND_ID: u8 = 1;
+const KIND_GRAD: u8 = 2;
+
+const STATUS_OK_FK: u8 = 0;
+const STATUS_OK_ID: u8 = 1;
+const STATUS_OK_GRAD: u8 = 2;
+const STATUS_REJECTED: u8 = 3;
+const STATUS_DEADLINE: u8 = 4;
+const STATUS_UNKNOWN_ROBOT: u8 = 5;
+const STATUS_BAD_REQUEST: u8 = 6;
+
+/// A request frame: correlation id + the request proper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestFrame {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The request.
+    pub req: ServeRequest,
+}
+
+/// A response frame: correlation id + outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResponseFrame {
+    /// The request's correlation id.
+    pub id: u64,
+    /// The outcome.
+    pub result: ServeResult,
+}
+
+/// Decode failure: the body is malformed (framing itself is handled by
+/// [`read_frame`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Body ended before a field's bytes.
+    Truncated,
+    /// Unknown kind/status tag byte.
+    BadTag(u8),
+    /// A length field exceeds the frame's remaining bytes or [`MAX_FRAME`].
+    BadLength(u64),
+    /// A name/message field is not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "frame body truncated"),
+            ProtoError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            ProtoError::BadLength(l) => write!(f, "implausible length field {l}"),
+            ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Checked little-endian reader over a frame body: every accessor
+/// verifies the remaining length first, so malformed frames surface as
+/// [`ProtoError::Truncated`] instead of a panic in the byte cursor.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn need(&self, n: usize) -> Result<(), ProtoError> {
+        if self.buf.remaining() < n {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(())
+    }
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+    fn f64s(&mut self, count: usize) -> Result<Vec<f64>, ProtoError> {
+        self.need(
+            count
+                .checked_mul(8)
+                .ok_or(ProtoError::BadLength(u64::MAX))?,
+        )?;
+        Ok((0..count).map(|_| self.buf.get_f64_le()).collect())
+    }
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        if len > MAX_FRAME {
+            return Err(ProtoError::BadLength(len as u64));
+        }
+        self.need(len)?;
+        let mut raw = vec![0u8; len];
+        self.buf.copy_to_slice(&mut raw);
+        String::from_utf8(raw).map_err(|_| ProtoError::BadUtf8)
+    }
+    /// A count field that must be plausible for `width`-byte elements.
+    fn count(&mut self, width: usize) -> Result<usize, ProtoError> {
+        let count = self.u32()? as usize;
+        if count.saturating_mul(width) > MAX_FRAME {
+            return Err(ProtoError::BadLength(count as u64));
+        }
+        Ok(count)
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, values: &[f64]) {
+    for &v in values {
+        out.put_f64_le(v);
+    }
+}
+
+fn kind_tag(kind: KernelKind) -> u8 {
+    match kind {
+        KernelKind::ForwardKinematics => KIND_FK,
+        KernelKind::InverseDynamics => KIND_ID,
+        KernelKind::DynamicsGradient => KIND_GRAD,
+    }
+}
+
+/// Encodes a request frame body (no length prefix — see [`write_frame`]).
+pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
+    let req = &frame.req;
+    let mut out = Vec::with_capacity(64 + 8 * (req.q.len() + req.qd.len() + req.tau.len()));
+    out.put_u64_le(frame.id);
+    out.put_u8(kind_tag(req.kind));
+    let deadline_us = req.deadline.map_or(NO_DEADLINE, |d| {
+        (d.as_micros().min(u128::from(NO_DEADLINE - 1))) as u64
+    });
+    out.put_u64_le(deadline_us);
+    out.put_u32_le(req.robot.len() as u32);
+    out.put_slice(req.robot.as_bytes());
+    out.put_u32_le(req.q.len() as u32);
+    put_f64s(&mut out, &req.q);
+    if req.kind != KernelKind::ForwardKinematics {
+        put_f64s(&mut out, &req.qd);
+        put_f64s(&mut out, &req.tau);
+    }
+    out
+}
+
+/// Decodes a request frame body.
+///
+/// # Errors
+///
+/// [`ProtoError`] on truncation, an unknown kind tag, an implausible
+/// length field, or a non-UTF-8 robot name.
+pub fn decode_request(body: &[u8]) -> Result<RequestFrame, ProtoError> {
+    let mut r = Reader { buf: body };
+    let id = r.u64()?;
+    let kind = match r.u8()? {
+        KIND_FK => KernelKind::ForwardKinematics,
+        KIND_ID => KernelKind::InverseDynamics,
+        KIND_GRAD => KernelKind::DynamicsGradient,
+        tag => return Err(ProtoError::BadTag(tag)),
+    };
+    let deadline_us = r.u64()?;
+    let robot = r.string()?;
+    let n = r.count(8)?;
+    let q = r.f64s(n)?;
+    let (qd, tau) = if kind == KernelKind::ForwardKinematics {
+        (Vec::new(), Vec::new())
+    } else {
+        (r.f64s(n)?, r.f64s(n)?)
+    };
+    Ok(RequestFrame {
+        id,
+        req: ServeRequest {
+            robot,
+            kind,
+            q,
+            qd,
+            tau,
+            deadline: (deadline_us != NO_DEADLINE).then(|| Duration::from_micros(deadline_us)),
+        },
+    })
+}
+
+/// Encodes a response frame body (no length prefix).
+pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.put_u64_le(frame.id);
+    match &frame.result {
+        Ok(ServePayload::Kinematics { poses, cycles }) => {
+            out.put_u8(STATUS_OK_FK);
+            out.put_u32_le(poses.len() as u32);
+            put_f64s(&mut out, poses);
+            out.put_u64_le(*cycles);
+        }
+        Ok(ServePayload::InverseDynamics { tau, cycles }) => {
+            out.put_u8(STATUS_OK_ID);
+            out.put_u32_le(tau.len() as u32);
+            put_f64s(&mut out, tau);
+            out.put_u64_le(*cycles);
+        }
+        Ok(ServePayload::Gradient {
+            tau,
+            dqdd_dq,
+            dqdd_dqd,
+            cycles,
+        }) => {
+            out.put_u8(STATUS_OK_GRAD);
+            out.put_u32_le(tau.len() as u32);
+            put_f64s(&mut out, tau);
+            put_f64s(&mut out, dqdd_dq);
+            put_f64s(&mut out, dqdd_dqd);
+            out.put_u64_le(*cycles);
+        }
+        Err(ServeError::Rejected { reason }) => {
+            out.put_u8(STATUS_REJECTED);
+            out.put_u32_le(reason.len() as u32);
+            out.put_slice(reason.as_bytes());
+        }
+        Err(ServeError::DeadlineExceeded) => out.put_u8(STATUS_DEADLINE),
+        Err(ServeError::UnknownRobot(name)) => {
+            out.put_u8(STATUS_UNKNOWN_ROBOT);
+            out.put_u32_le(name.len() as u32);
+            out.put_slice(name.as_bytes());
+        }
+        Err(ServeError::BadRequest(msg)) => {
+            out.put_u8(STATUS_BAD_REQUEST);
+            out.put_u32_le(msg.len() as u32);
+            out.put_slice(msg.as_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes a response frame body.
+///
+/// # Errors
+///
+/// [`ProtoError`] on truncation, an unknown status tag, or an
+/// implausible length field. Gradient payload sizes are derived from
+/// the torque vector's length `n` (`n²` per gradient).
+pub fn decode_response(body: &[u8]) -> Result<ResponseFrame, ProtoError> {
+    let mut r = Reader { buf: body };
+    let id = r.u64()?;
+    let status = r.u8()?;
+    let result = match status {
+        STATUS_OK_FK => {
+            let count = r.count(8)?;
+            let poses = r.f64s(count)?;
+            let cycles = r.u64()?;
+            Ok(ServePayload::Kinematics { poses, cycles })
+        }
+        STATUS_OK_ID => {
+            let n = r.count(8)?;
+            let tau = r.f64s(n)?;
+            let cycles = r.u64()?;
+            Ok(ServePayload::InverseDynamics { tau, cycles })
+        }
+        STATUS_OK_GRAD => {
+            let n = r.count(8)?;
+            if n.saturating_mul(n).saturating_mul(8) > MAX_FRAME {
+                return Err(ProtoError::BadLength(n as u64));
+            }
+            let tau = r.f64s(n)?;
+            let dqdd_dq = r.f64s(n * n)?;
+            let dqdd_dqd = r.f64s(n * n)?;
+            let cycles = r.u64()?;
+            Ok(ServePayload::Gradient {
+                tau,
+                dqdd_dq,
+                dqdd_dqd,
+                cycles,
+            })
+        }
+        STATUS_REJECTED => Err(ServeError::Rejected {
+            reason: r.string()?,
+        }),
+        STATUS_DEADLINE => Err(ServeError::DeadlineExceeded),
+        STATUS_UNKNOWN_ROBOT => Err(ServeError::UnknownRobot(r.string()?)),
+        STATUS_BAD_REQUEST => Err(ServeError::BadRequest(r.string()?)),
+        tag => return Err(ProtoError::BadTag(tag)),
+    };
+    Ok(ResponseFrame { id, result })
+}
+
+/// Writes one frame: `u32` LE length prefix + body.
+///
+/// # Errors
+///
+/// Propagates I/O errors; `InvalidInput` if `body` exceeds [`MAX_FRAME`].
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    if body.len() > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame body of {} bytes exceeds MAX_FRAME", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body. `Ok(None)` on clean end-of-stream (EOF before
+/// any length byte); `UnexpectedEof` if the stream dies mid-frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors; `InvalidData` for a length above [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_raw = [0u8; 4];
+    match r.read_exact(&mut len_raw) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_raw) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds MAX_FRAME"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips_including_deadline_and_kind() {
+        let frame = RequestFrame {
+            id: 42,
+            req: ServeRequest::gradient("HyQ", vec![0.5; 12], vec![-0.25; 12], vec![1.0; 12])
+                .with_deadline(Duration::from_micros(1500)),
+        };
+        let decoded = decode_request(&encode_request(&frame)).unwrap();
+        assert_eq!(decoded, frame);
+
+        let fk = RequestFrame {
+            id: 7,
+            req: ServeRequest::kinematics("iiwa", vec![f64::MIN_POSITIVE; 7]),
+        };
+        assert_eq!(decode_request(&encode_request(&fk)).unwrap(), fk);
+    }
+
+    #[test]
+    fn response_round_trips_bit_exactly() {
+        let frames = [
+            ResponseFrame {
+                id: 1,
+                result: Ok(ServePayload::Gradient {
+                    tau: vec![0.1, -0.0],
+                    dqdd_dq: vec![1.0, 2.0, 3.0, 4.0],
+                    dqdd_dqd: vec![5e-300, 0.0, -0.0, f64::MAX],
+                    cycles: 321,
+                }),
+            },
+            ResponseFrame {
+                id: 2,
+                result: Err(ServeError::Rejected {
+                    reason: "queue full".into(),
+                }),
+            },
+            ResponseFrame {
+                id: 3,
+                result: Err(ServeError::DeadlineExceeded),
+            },
+            ResponseFrame {
+                id: 4,
+                result: Err(ServeError::BadRequest("q dimension mismatch".into())),
+            },
+        ];
+        for frame in &frames {
+            let decoded = decode_response(&encode_response(frame)).unwrap();
+            assert_eq!(&decoded, frame);
+        }
+        // -0.0 == 0.0 under PartialEq; pin the sign bit explicitly.
+        let body = encode_response(&frames[0]);
+        let decoded = decode_response(&body).unwrap();
+        if let Ok(ServePayload::Gradient { dqdd_dqd, .. }) = decoded.result {
+            assert_eq!(dqdd_dqd[2].to_bits(), (-0.0f64).to_bits());
+        } else {
+            panic!("expected gradient payload");
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_are_typed_errors_not_panics() {
+        assert_eq!(decode_request(&[]).unwrap_err(), ProtoError::Truncated);
+        let mut body = encode_request(&RequestFrame {
+            id: 9,
+            req: ServeRequest::kinematics("iiwa", vec![0.0; 7]),
+        });
+        body[8] = 0xEE; // kind tag
+        assert_eq!(decode_request(&body).unwrap_err(), ProtoError::BadTag(0xEE));
+
+        let mut resp = encode_response(&ResponseFrame {
+            id: 1,
+            result: Err(ServeError::DeadlineExceeded),
+        });
+        resp.truncate(5);
+        assert_eq!(decode_response(&resp).unwrap_err(), ProtoError::Truncated);
+
+        // A huge element count must be rejected before allocation.
+        let mut req = Vec::new();
+        req.put_u64_le(1);
+        req.put_u8(0);
+        req.put_u64_le(NO_DEADLINE);
+        req.put_u32_le(1);
+        req.put_slice(b"x");
+        req.put_u32_le(u32::MAX);
+        assert!(matches!(
+            decode_request(&req).unwrap_err(),
+            ProtoError::BadLength(_)
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip_through_a_byte_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"alpha").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut cursor = io::Cursor::new(wire);
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"alpha");
+        assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+}

@@ -1,0 +1,187 @@
+//! Bounded earliest-deadline-first request queue.
+//!
+//! One [`EdfQueue`] per registered robot. `std::sync`'s `Condvar` is used
+//! (rather than the vendored `parking_lot`, whose API subset has no
+//! condition variable) so workers can block until work arrives.
+
+use crate::engine::{ServeRequest, Ticket};
+use roboshape_arch::KernelKind;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A request sitting in a robot's queue, with everything needed to
+/// execute it and fulfil its ticket.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    /// Absolute deadline; `None` sorts after every concrete deadline.
+    pub deadline: Option<Instant>,
+    /// Admission sequence number — FIFO tiebreak among equal deadlines.
+    pub seq: u64,
+    /// The request payload.
+    pub req: ServeRequest,
+    /// When the request was accepted (for the latency histogram).
+    pub enqueued: Instant,
+    /// The caller's handle awaiting the result.
+    pub ticket: Ticket,
+}
+
+/// EDF key: earliest deadline first, `None` last, then admission order.
+fn urgency(a: &Pending, b: &Pending) -> Ordering {
+    let by_deadline = match (a.deadline, b.deadline) {
+        (Some(x), Some(y)) => x.cmp(&y),
+        (Some(_), None) => Ordering::Less,
+        (None, Some(_)) => Ordering::Greater,
+        (None, None) => Ordering::Equal,
+    };
+    by_deadline.then(a.seq.cmp(&b.seq))
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Pending) -> bool {
+        self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Pending) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Pending) -> Ordering {
+        // `BinaryHeap` is a max-heap; reverse the urgency order so the
+        // heap's top is the most urgent request.
+        urgency(self, other).reverse()
+    }
+}
+
+/// A bounded EDF queue with condition-variable hand-off to workers.
+pub(crate) struct EdfQueue {
+    heap: Mutex<BinaryHeap<Pending>>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl EdfQueue {
+    pub fn new(capacity: usize) -> EdfQueue {
+        EdfQueue {
+            heap: Mutex::new(BinaryHeap::new()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Admits a request, or hands it back if the queue is at capacity
+    /// (the caller sheds it — backpressure is explicit, never blocking).
+    // The large Err is the point: shedding returns the whole request so
+    // the caller can resolve its ticket; boxing would allocate on the
+    // hot admission path.
+    #[allow(clippy::result_large_err)]
+    pub fn try_push(&self, pending: Pending) -> Result<(), Pending> {
+        let mut heap = self.heap.lock().expect("serve queue poisoned");
+        if heap.len() >= self.capacity {
+            return Err(pending);
+        }
+        heap.push(pending);
+        drop(heap);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until work is available (and the engine is not paused),
+    /// then pops the EDF head plus up to `max - 1` further ∇FD requests
+    /// to coalesce into one batched execution. Returns `None` once
+    /// `closed` is set and the queue has drained — the worker's signal
+    /// to exit.
+    pub fn next_batch(
+        &self,
+        max: usize,
+        paused: &AtomicBool,
+        closed: &AtomicBool,
+    ) -> Option<Vec<Pending>> {
+        let mut heap = self.heap.lock().expect("serve queue poisoned");
+        loop {
+            let is_closed = closed.load(AtomicOrdering::SeqCst);
+            // Shutdown overrides pause so a paused engine still drains.
+            let is_paused = paused.load(AtomicOrdering::SeqCst) && !is_closed;
+            if !heap.is_empty() && !is_paused {
+                break;
+            }
+            if is_closed && heap.is_empty() {
+                return None;
+            }
+            // Timed wait: flag flips are also notified, but the timeout
+            // bounds the window of any missed wakeup.
+            let (guard, _) = self
+                .available
+                .wait_timeout(heap, Duration::from_millis(25))
+                .expect("serve queue poisoned");
+            heap = guard;
+        }
+        let first = heap.pop().expect("non-empty by loop invariant");
+        let coalesce = first.req.kind == KernelKind::DynamicsGradient;
+        let mut batch = vec![first];
+        while coalesce && batch.len() < max.max(1) {
+            match heap.peek() {
+                Some(next) if next.req.kind == KernelKind::DynamicsGradient => {
+                    batch.push(heap.pop().expect("peeked"));
+                }
+                _ => break,
+            }
+        }
+        Some(batch)
+    }
+
+    /// Wakes every worker parked on this queue (pause/close changed).
+    pub fn notify_all(&self) {
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServeRequest;
+
+    fn pending(seq: u64, deadline_us: Option<u64>, base: Instant) -> Pending {
+        Pending {
+            deadline: deadline_us.map(|us| base + Duration::from_micros(us)),
+            seq,
+            req: ServeRequest::gradient("r", vec![], vec![], vec![]),
+            enqueued: base,
+            ticket: Ticket::new(),
+        }
+    }
+
+    #[test]
+    fn pops_in_deadline_order_with_fifo_tiebreak() {
+        let q = EdfQueue::new(8);
+        let base = Instant::now();
+        for (seq, dl) in [(0, Some(500)), (1, None), (2, Some(100)), (3, Some(100))] {
+            q.try_push(pending(seq, dl, base)).unwrap();
+        }
+        let paused = AtomicBool::new(false);
+        let closed = AtomicBool::new(false);
+        let batch = q.next_batch(4, &paused, &closed).unwrap();
+        let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![2, 3, 0, 1], "EDF order, None last, FIFO ties");
+    }
+
+    #[test]
+    fn sheds_when_full_and_drains_after_close() {
+        let q = EdfQueue::new(2);
+        let base = Instant::now();
+        q.try_push(pending(0, None, base)).unwrap();
+        q.try_push(pending(1, None, base)).unwrap();
+        assert!(q.try_push(pending(2, None, base)).is_err(), "at capacity");
+
+        let paused = AtomicBool::new(false);
+        let closed = AtomicBool::new(true);
+        assert_eq!(q.next_batch(1, &paused, &closed).unwrap().len(), 1);
+        assert_eq!(q.next_batch(1, &paused, &closed).unwrap().len(), 1);
+        assert!(q.next_batch(1, &paused, &closed).is_none(), "drained");
+    }
+}

@@ -1,0 +1,298 @@
+//! TCP front-end over [`crate::Engine`], plus a blocking [`Client`].
+//!
+//! The server accepts connections on a `std::net` listener and runs two
+//! threads per connection: a *reader* that decodes request frames and
+//! submits them to the engine, and a *writer* that awaits each ticket
+//! **in submission order** and streams the response frames back. A
+//! client may therefore pipeline many requests on one connection;
+//! responses come back in the order the requests were sent.
+
+use crate::engine::{Engine, ServeError, ServeRequest, ServeResult, Ticket};
+use crate::proto::{
+    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
+    RequestFrame, ResponseFrame,
+};
+use crate::OBS_CATEGORY;
+use roboshape_obs as obs;
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection reader blocks in `read` before re-checking the
+/// shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// A running TCP front-end. Dropping it does **not** stop the threads;
+/// call [`Server::shutdown`] for an orderly stop.
+pub struct Server {
+    engine: Engine,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts accepting connections against `engine`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors.
+    pub fn start(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let engine = engine.clone();
+            let stop = Arc::clone(&stop);
+            let conn_threads = Arc::clone(&conn_threads);
+            std::thread::spawn(move || accept_loop(listener, engine, stop, conn_threads))
+        };
+        Ok(Server {
+            engine,
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Orderly stop: close the accept loop, stop reading new requests,
+    /// drain the engine (every accepted request still gets its response
+    /// frame), then join every thread.
+    pub fn shutdown(mut self) {
+        let _span = obs::span(OBS_CATEGORY, "server-shutdown");
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        // Engine drain resolves outstanding tickets, which lets each
+        // connection's writer flush its remaining responses and exit.
+        self.engine.shutdown();
+        let handles: Vec<JoinHandle<()>> = self
+            .conn_threads
+            .lock()
+            .expect("conn threads poisoned")
+            .drain(..)
+            .collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    engine: Engine,
+    stop: Arc<AtomicBool>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let engine = engine.clone();
+                let stop = Arc::clone(&stop);
+                let handle = std::thread::spawn(move || handle_conn(engine, stream, stop));
+                conn_threads
+                    .lock()
+                    .expect("conn threads poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Per-connection reader: decodes frames, submits, and hands
+/// `(id, submit outcome)` to the writer thread in order.
+fn handle_conn(engine: Engine, stream: TcpStream, stop: Arc<AtomicBool>) {
+    let _span = obs::span(OBS_CATEGORY, "connection");
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let mut write_half = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let (tx, rx) = mpsc::channel::<(u64, Result<Ticket, ServeError>)>();
+    let writer = std::thread::spawn(move || {
+        for (id, outcome) in rx {
+            let result: ServeResult = match outcome {
+                Ok(ticket) => ticket.wait(),
+                Err(e) => Err(e),
+            };
+            let body = encode_response(&ResponseFrame { id, result });
+            if write_frame(&mut write_half, &body).is_err() {
+                // Client went away; keep draining so queued tickets are
+                // still awaited (they resolve regardless) and drop them.
+                continue;
+            }
+        }
+    });
+
+    let mut reader = FrameReader::new(stream);
+    while let Some(body) = reader.next(&stop) {
+        let (id, outcome) = match decode_request(&body) {
+            Ok(RequestFrame { id, req }) => (id, engine.submit(req)),
+            Err(e) => (0, Err(ServeError::BadRequest(e.to_string()))),
+        };
+        if tx.send((id, outcome)).is_err() {
+            break;
+        }
+    }
+    drop(tx);
+    let _ = writer.join();
+}
+
+/// Incremental frame reader that survives read timeouts (used to poll
+/// the shutdown flag) without ever losing stream position.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    filled: usize,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> FrameReader {
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+            filled: 0,
+        }
+    }
+
+    /// Fills `self.buf[..target]`, returning `false` on EOF/stop/error.
+    fn fill(&mut self, target: usize, stop: &AtomicBool) -> bool {
+        self.buf.resize(target, 0);
+        while self.filled < target {
+            match self.stream.read(&mut self.buf[self.filled..target]) {
+                Ok(0) => return false,
+                Ok(n) => self.filled += n,
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Mid-frame bytes already read stay buffered; only
+                    // stop between retries, never lose position.
+                    if stop.load(Ordering::SeqCst) && self.filled == 0 {
+                        return false;
+                    }
+                    if stop.load(Ordering::SeqCst) && self.filled > 0 {
+                        // Half-received frame during shutdown: give the
+                        // peer one more poll interval, then give up.
+                        match self.stream.read(&mut self.buf[self.filled..target]) {
+                            Ok(n) if n > 0 => self.filled += n,
+                            _ => return false,
+                        }
+                    }
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// The next frame body, or `None` on EOF / shutdown / error.
+    fn next(&mut self, stop: &AtomicBool) -> Option<Vec<u8>> {
+        self.filled = 0;
+        if !self.fill(4, stop) {
+            return None;
+        }
+        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
+        if len > crate::proto::MAX_FRAME {
+            return None;
+        }
+        self.filled = 0;
+        self.buf.clear();
+        if !self.fill(len, stop) {
+            return None;
+        }
+        Some(std::mem::take(&mut self.buf))
+    }
+}
+
+/// A blocking client for the serve protocol. Not thread-safe; use one
+/// per thread (the load generator does exactly that).
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to a running [`Server`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection I/O errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Sends a request without waiting; returns its correlation id.
+    /// Pair with [`Client::recv`] to pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write I/O errors.
+    pub fn send(&mut self, req: &ServeRequest) -> io::Result<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let body = encode_request(&RequestFrame {
+            id,
+            req: req.clone(),
+        });
+        write_frame(&mut self.stream, &body)?;
+        Ok(id)
+    }
+
+    /// Receives the next response frame (submission order).
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` if the server closed the connection; `InvalidData`
+    /// for an undecodable frame.
+    pub fn recv(&mut self) -> io::Result<ResponseFrame> {
+        let body = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        decode_response(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    /// Round-trips one request.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send`] and [`Client::recv`].
+    pub fn call(&mut self, req: &ServeRequest) -> io::Result<ServeResult> {
+        let id = self.send(req)?;
+        let frame = self.recv()?;
+        debug_assert_eq!(frame.id, id, "responses arrive in submission order");
+        Ok(frame.result)
+    }
+}

@@ -58,6 +58,90 @@ pub mod gradients;
 
 pub use gradients::{AcceleratorGradients, GradientProvider, ReferenceGradients};
 
+/// A rejected simulation request: malformed inputs detected before any
+/// accelerator work runs.
+///
+/// The `try_*` entry points return these instead of panicking, so a
+/// serving layer can turn a bad request into a typed response without
+/// killing a worker thread. The panicking wrappers ([`simulate`] and
+/// friends) format these errors into their panic messages, so existing
+/// callers observe the same behaviour as before.
+///
+/// Schedule dependency violations remain panics in both flavours: they
+/// indicate a scheduler bug, not a bad request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// An input vector's length does not match the robot's link count.
+    DimensionMismatch {
+        /// Which input (`"q"`, `"qd"`, `"tau"`, `"qdd"`).
+        what: &'static str,
+        /// The robot's link count.
+        expected: usize,
+        /// The offending input's length.
+        got: usize,
+    },
+    /// An input vector contains a NaN or infinite value.
+    NonFinite {
+        /// Which input (`"q"`, `"qd"`, `"tau"`, `"qdd"`).
+        what: &'static str,
+    },
+    /// The design was generated for a different topology than the model.
+    TopologyMismatch,
+    /// The design was generated for a different kernel than the entry
+    /// point drives.
+    KernelMismatch {
+        /// The kernel this entry point simulates.
+        expected: roboshape_arch::KernelKind,
+        /// The kernel the design was generated for.
+        got: roboshape_arch::KernelKind,
+    },
+    /// A batched entry point was called with no time steps.
+    EmptyBatch,
+    /// The mass matrix at `q` is not positive-definite (degenerate or
+    /// non-physical configuration).
+    NotPositiveDefinite,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} dimension mismatch: expected {expected}, got {got}"
+            ),
+            SimError::NonFinite { what } => write!(f, "{what} contains a non-finite value"),
+            SimError::TopologyMismatch => write!(f, "design/model topology mismatch"),
+            SimError::KernelMismatch { expected, got } => write!(
+                f,
+                "design was generated for a different kernel: {got:?} (need {expected:?})"
+            ),
+            SimError::EmptyBatch => write!(f, "need at least one time step"),
+            SimError::NotPositiveDefinite => write!(f, "mass matrix must be positive-definite"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Validates one input vector: correct length and all-finite entries.
+fn check_input(what: &'static str, values: &[f64], n: usize) -> Result<(), SimError> {
+    if values.len() != n {
+        return Err(SimError::DimensionMismatch {
+            what,
+            expected: n,
+            got: values.len(),
+        });
+    }
+    if values.iter().any(|v| !v.is_finite()) {
+        return Err(SimError::NonFinite { what });
+    }
+    Ok(())
+}
+
 /// The tracing span/metric category every simulator event is tagged with.
 pub const OBS_CATEGORY: &str = "sim";
 
@@ -167,23 +251,51 @@ pub fn simulate(
     qd: &[f64],
     tau: &[f64],
 ) -> Simulation {
+    try_simulate(model, design, q, qd, tau).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`simulate`]: returns a [`SimError`] instead of
+/// panicking on malformed inputs (the entry point the serving layer
+/// uses, so a bad request cannot kill a worker thread).
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on dimension mismatch, non-finite inputs, a
+/// design generated for another topology or kernel, or a
+/// non-positive-definite mass matrix.
+///
+/// # Panics
+///
+/// Still panics if the design's schedule violates a data dependency —
+/// that indicates a scheduler bug, not a bad request.
+pub fn try_simulate(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+) -> Result<Simulation, SimError> {
     let _span = obs::span(OBS_CATEGORY, "simulate");
     let n = model.num_links();
-    assert_eq!(
-        design.topology(),
-        model.topology(),
-        "design/model topology mismatch"
-    );
-    assert_eq!(q.len(), n, "q dimension mismatch");
-    assert_eq!(qd.len(), n, "qd dimension mismatch");
-    assert_eq!(tau.len(), n, "tau dimension mismatch");
+    if design.kernel() != roboshape_arch::KernelKind::DynamicsGradient {
+        return Err(SimError::KernelMismatch {
+            expected: roboshape_arch::KernelKind::DynamicsGradient,
+            got: design.kernel(),
+        });
+    }
+    if design.topology() != model.topology() {
+        return Err(SimError::TopologyMismatch);
+    }
+    check_input("q", q, n)?;
+    check_input("qd", qd, n)?;
+    check_input("tau", tau, n)?;
 
     // ---- Host side: forward dynamics + inverse mass matrix.
     let dynamics = Dynamics::new(model);
     let qdd = dynamics.forward_dynamics(q, qd, tau);
     let mass = dynamics.mass_matrix(q);
     let minv = Cholesky::new(&mass)
-        .expect("mass matrix must be positive-definite")
+        .map_err(|_| SimError::NotPositiveDefinite)?
         .inverse();
 
     // ---- Accelerator: traversal stages, executed in schedule order.
@@ -291,12 +403,12 @@ pub fn simulate(
         checkpoint_restores: schedule.context_switches(graph),
     };
     record_eval_metrics(design, &stats);
-    Simulation {
+    Ok(Simulation {
         tau: cache.tau,
         dqdd_dq,
         dqdd_dqd,
         stats,
-    }
+    })
 }
 
 /// Simulates a streamed batch of `steps` dynamics-gradient evaluations
@@ -316,18 +428,39 @@ pub fn simulate_batch(
     design: &AcceleratorDesign,
     inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
 ) -> (Vec<Simulation>, u64) {
+    try_simulate_batch(model, design, inputs).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`simulate_batch`].
+///
+/// Each step runs through [`try_simulate`], so the per-step results are
+/// bit-identical to single-request evaluation; the batched makespan
+/// comes from scheduling the replicated task graph.
+///
+/// # Errors
+///
+/// Returns [`SimError::EmptyBatch`] for an empty input slice, or the
+/// first step's [`SimError`] (steps are validated in order; no partial
+/// results are returned).
+pub fn try_simulate_batch(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
+) -> Result<(Vec<Simulation>, u64), SimError> {
     let _span = obs::span(OBS_CATEGORY, "simulate-batch");
-    assert!(!inputs.is_empty(), "need at least one time step");
+    if inputs.is_empty() {
+        return Err(SimError::EmptyBatch);
+    }
     let sims: Vec<Simulation> = inputs
         .iter()
-        .map(|(q, qd, tau)| simulate(model, design, q, qd, tau))
-        .collect();
+        .map(|(q, qd, tau)| try_simulate(model, design, q, qd, tau))
+        .collect::<Result<_, _>>()?;
     let knobs = design.knobs();
     let replicated = roboshape_taskgraph::TaskGraph::replicate(design.task_graph(), inputs.len());
     let cfg = roboshape_taskgraph::SchedulerConfig::with_pes(knobs.pe_fwd, knobs.pe_bwd);
     let schedule = roboshape_taskgraph::schedule(&replicated, &cfg);
     debug_assert!(schedule.validate(&replicated).is_ok());
-    (sims, schedule.makespan())
+    Ok((sims, schedule.makespan()))
 }
 
 /// Runs a generated *inverse-dynamics* accelerator
@@ -345,15 +478,39 @@ pub fn simulate_inverse_dynamics(
     qd: &[f64],
     qdd: &[f64],
 ) -> (Vec<f64>, SimStats) {
-    assert_eq!(
-        design.kernel(),
-        roboshape_arch::KernelKind::InverseDynamics,
-        "design was generated for a different kernel"
-    );
+    try_simulate_inverse_dynamics(model, design, q, qd, qdd).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`simulate_inverse_dynamics`].
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on dimension mismatch, non-finite inputs, or a
+/// design generated for another topology or kernel.
+pub fn try_simulate_inverse_dynamics(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+) -> Result<(Vec<f64>, SimStats), SimError> {
+    if design.kernel() != roboshape_arch::KernelKind::InverseDynamics {
+        return Err(SimError::KernelMismatch {
+            expected: roboshape_arch::KernelKind::InverseDynamics,
+            got: design.kernel(),
+        });
+    }
+    if design.topology() != model.topology() {
+        return Err(SimError::TopologyMismatch);
+    }
+    let n = model.num_links();
+    check_input("q", q, n)?;
+    check_input("qd", qd, n)?;
+    check_input("qdd", qdd, n)?;
     let _span = obs::span(OBS_CATEGORY, "simulate-inverse-dynamics");
     let (cache, stats) = run_rnea_schedule(model, design, q, qd, qdd);
     record_eval_metrics(design, &stats);
-    (cache.tau, stats)
+    Ok((cache.tau, stats))
 }
 
 /// Runs a generated *forward-kinematics* accelerator
@@ -369,19 +526,32 @@ pub fn simulate_kinematics(
     design: &AcceleratorDesign,
     q: &[f64],
 ) -> (Vec<Xform>, SimStats) {
+    try_simulate_kinematics(model, design, q).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible twin of [`simulate_kinematics`].
+///
+/// # Errors
+///
+/// Returns a [`SimError`] on dimension mismatch, non-finite inputs, or a
+/// design generated for another topology or kernel.
+pub fn try_simulate_kinematics(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+) -> Result<(Vec<Xform>, SimStats), SimError> {
     let n = model.num_links();
-    assert_eq!(
-        design.kernel(),
-        roboshape_arch::KernelKind::ForwardKinematics,
-        "design was generated for a different kernel"
-    );
+    if design.kernel() != roboshape_arch::KernelKind::ForwardKinematics {
+        return Err(SimError::KernelMismatch {
+            expected: roboshape_arch::KernelKind::ForwardKinematics,
+            got: design.kernel(),
+        });
+    }
+    if design.topology() != model.topology() {
+        return Err(SimError::TopologyMismatch);
+    }
+    check_input("q", q, n)?;
     let _span = obs::span(OBS_CATEGORY, "simulate-kinematics");
-    assert_eq!(
-        design.topology(),
-        model.topology(),
-        "design/model topology mismatch"
-    );
-    assert_eq!(q.len(), n, "q dimension mismatch");
     let graph = design.task_graph();
     let schedule = design.schedule();
     let topo = model.topology();
@@ -412,7 +582,7 @@ pub fn simulate_kinematics(
         checkpoint_restores: schedule.context_switches(graph),
     };
     record_eval_metrics(design, &stats);
-    (x_base, stats)
+    Ok((x_base, stats))
 }
 
 /// Executes the RNEA forward/backward tasks of a design's schedule with
@@ -641,6 +811,112 @@ mod tests {
             AcceleratorDesign::generate(other.topology(), AcceleratorKnobs::symmetric(2, 2));
         let n = robot.num_links();
         simulate(&robot, &design, &vec![0.0; n], &vec![0.0; n], &vec![0.0; n]);
+    }
+}
+
+#[cfg(test)]
+mod error_tests {
+    use super::*;
+    use roboshape_arch::{AcceleratorKnobs, KernelKind};
+    use roboshape_robots::{zoo, Zoo};
+
+    #[test]
+    fn try_simulate_rejects_malformed_inputs_without_panicking() {
+        let robot = zoo(Zoo::Iiwa);
+        let n = robot.num_links();
+        let design =
+            AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
+        assert_eq!(
+            try_simulate(&robot, &design, &[0.0], &vec![0.0; n], &vec![0.0; n]),
+            Err(SimError::DimensionMismatch {
+                what: "q",
+                expected: n,
+                got: 1
+            })
+        );
+        let mut bad = vec![0.0; n];
+        bad[2] = f64::NAN;
+        assert_eq!(
+            try_simulate(&robot, &design, &vec![0.0; n], &bad, &vec![0.0; n]),
+            Err(SimError::NonFinite { what: "qd" })
+        );
+        let other = zoo(Zoo::Hyq);
+        let foreign =
+            AcceleratorDesign::generate(other.topology(), AcceleratorKnobs::symmetric(2, 2));
+        assert_eq!(
+            try_simulate(
+                &robot,
+                &foreign,
+                &vec![0.0; n],
+                &vec![0.0; n],
+                &vec![0.0; n]
+            ),
+            Err(SimError::TopologyMismatch)
+        );
+        // A well-formed request still succeeds through the same path.
+        assert!(try_simulate(&robot, &design, &vec![0.1; n], &vec![0.0; n], &vec![0.2; n]).is_ok());
+    }
+
+    #[test]
+    fn try_batch_and_kernel_errors_are_typed() {
+        let robot = zoo(Zoo::Iiwa);
+        let n = robot.num_links();
+        let grad = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(2, 2));
+        assert_eq!(
+            try_simulate_batch(&robot, &grad, &[]).unwrap_err(),
+            SimError::EmptyBatch
+        );
+        assert_eq!(
+            try_simulate_inverse_dynamics(
+                &robot,
+                &grad,
+                &vec![0.0; n],
+                &vec![0.0; n],
+                &vec![0.0; n]
+            )
+            .unwrap_err(),
+            SimError::KernelMismatch {
+                expected: KernelKind::InverseDynamics,
+                got: KernelKind::DynamicsGradient,
+            }
+        );
+        assert_eq!(
+            try_simulate_kinematics(&robot, &grad, &vec![0.0; n]).unwrap_err(),
+            SimError::KernelMismatch {
+                expected: KernelKind::ForwardKinematics,
+                got: KernelKind::DynamicsGradient,
+            }
+        );
+        // One bad step poisons the whole batch — no partial results.
+        let good = (vec![0.1; n], vec![0.0; n], vec![0.0; n]);
+        let bad = (vec![0.1; n - 1], vec![0.0; n], vec![0.0; n]);
+        assert!(try_simulate_batch(&robot, &grad, &[good, bad]).is_err());
+    }
+
+    #[test]
+    fn error_messages_match_the_legacy_panic_phrases() {
+        // The panicking wrappers format SimError into their panic
+        // message, and the `#[should_panic(expected = ...)]` tests match
+        // on these substrings — keep them stable.
+        let msg = SimError::DimensionMismatch {
+            what: "q",
+            expected: 7,
+            got: 1,
+        }
+        .to_string();
+        assert!(msg.contains("dimension mismatch"));
+        assert!(SimError::TopologyMismatch
+            .to_string()
+            .contains("topology mismatch"));
+        assert!(SimError::EmptyBatch
+            .to_string()
+            .contains("at least one time step"));
+        let kernel = SimError::KernelMismatch {
+            expected: KernelKind::InverseDynamics,
+            got: KernelKind::DynamicsGradient,
+        }
+        .to_string();
+        assert!(kernel.contains("different kernel"));
     }
 }
 

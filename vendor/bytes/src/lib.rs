@@ -65,16 +65,75 @@ impl DerefMut for BytesMut {
 }
 
 /// Read-cursor operations over a byte source (subset of `bytes::Buf`).
+///
+/// As in the real crate, the typed getters are default methods layered
+/// on [`Buf::copy_to_slice`]; all multi-byte getters are little-endian
+/// (the only byte order this workspace's codecs use).
 pub trait Buf {
     /// Bytes remaining to read.
     fn remaining(&self) -> usize;
+
+    /// Copies `dst.len()` bytes into `dst`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Reads the next byte, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source is exhausted.
+    fn get_u8(&mut self) -> u8 {
+        let mut raw = [0u8; 1];
+        self.copy_to_slice(&mut raw);
+        raw[0]
+    }
+
+    /// Reads the next little-endian `u32`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than four bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        u32::from_le_bytes(raw)
+    }
+
+    /// Reads the next little-endian `u64`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than eight bytes remain.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        u64::from_le_bytes(raw)
+    }
 
     /// Reads the next little-endian `f32`, advancing the cursor.
     ///
     /// # Panics
     ///
     /// Panics if fewer than four bytes remain.
-    fn get_f32_le(&mut self) -> f32;
+    fn get_f32_le(&mut self) -> f32 {
+        let mut raw = [0u8; 4];
+        self.copy_to_slice(&mut raw);
+        f32::from_le_bytes(raw)
+    }
+
+    /// Reads the next little-endian `f64`, advancing the cursor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than eight bytes remain.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut raw = [0u8; 8];
+        self.copy_to_slice(&mut raw);
+        f64::from_le_bytes(raw)
+    }
 }
 
 impl Buf for &[u8] {
@@ -82,20 +141,41 @@ impl Buf for &[u8] {
         self.len()
     }
 
-    fn get_f32_le(&mut self) -> f32 {
-        let (head, rest) = self.split_at(4);
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
         *self = rest;
-        f32::from_le_bytes(head.try_into().unwrap())
     }
 }
 
-/// Append operations on a byte sink (subset of `bytes::BufMut`).
+/// Append operations on a byte sink (subset of `bytes::BufMut`). All
+/// multi-byte putters are little-endian.
 pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
     /// Appends a little-endian `f32`.
     fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
         self.put_slice(&v.to_le_bytes());
     }
 }
@@ -127,6 +207,34 @@ mod tests {
         assert_eq!(cursor.get_f32_le(), 1.5);
         assert_eq!(cursor.get_f32_le(), -2.25);
         assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn integer_and_f64_roundtrip() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(0xAB);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(u64::MAX - 1);
+        b.put_f64_le(-0.125);
+        let frozen = b.freeze();
+        let mut cursor: &[u8] = &frozen;
+        assert_eq!(cursor.get_u8(), 0xAB);
+        assert_eq!(cursor.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(cursor.get_u64_le(), u64::MAX - 1);
+        assert_eq!(cursor.get_f64_le(), -0.125);
+        assert_eq!(cursor.remaining(), 0);
+    }
+
+    #[test]
+    fn f64_bits_survive_the_wire() {
+        // Bit-exactness matters to the serve protocol: NaN payloads and
+        // signed zeros must come back with identical bit patterns.
+        for bits in [0u64, f64::NAN.to_bits(), (-0.0f64).to_bits(), 1u64] {
+            let mut buf = Vec::new();
+            buf.put_f64_le(f64::from_bits(bits));
+            let mut cursor: &[u8] = &buf;
+            assert_eq!(cursor.get_f64_le().to_bits(), bits);
+        }
     }
 
     #[test]
