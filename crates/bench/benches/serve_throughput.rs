@@ -7,7 +7,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use roboshape::KernelKind;
 use roboshape_robots::{zoo, Zoo};
-use roboshape_serve::loadgen::{run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, TargetRobot};
+use roboshape_serve::loadgen::{
+    run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, RetryPolicy, TargetRobot,
+};
 use roboshape_serve::{Engine, EngineConfig, Server};
 use std::fs;
 use std::hint::black_box;
@@ -41,6 +43,8 @@ fn full_zoo_config() -> LoadgenConfig {
         kind: KernelKind::DynamicsGradient,
         deadline: None,
         seed: 1,
+        retry: RetryPolicy::none(),
+        timeout: None,
     }
 }
 

@@ -70,9 +70,12 @@ pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
   energy    power and energy report (with and without PE gating)
   soc       co-design accelerators for several URDFs (extra paths after the first)
   serve     run the accelerator service on TCP (<spec> = zoo | zoo:NAME | robot.urdf)
-            (--port P --port-file FILE --queue N --batch N --workers N --max-requests N)
+            (--port P --port-file FILE --queue N --batch N --workers N --max-requests N
+             --chaos SEED:RATE --deadline-ms N)
   loadgen   drive a running server and print a latency/throughput report
-            (--port P --clients N --requests N --rate HZ --kind grad|id|fk --deadline-us N)
+            (--port P --clients N --requests N --rate HZ --kind grad|id|fk --deadline-us N
+             --retries N --timeout-ms N)
+  health    probe a running server's readiness and per-robot circuit state (--port P)
 global options (any command):
   --trace FILE    write a Chrome trace_event JSON capture of the run
   --metrics FILE  write a JSON metrics snapshot after the run";
@@ -146,6 +149,10 @@ pub enum Command {
         /// Exit after this many requests have been answered or shed
         /// (`None` = run until killed).
         max_requests: Option<u64>,
+        /// Deterministic fault injection (`--chaos SEED:RATE`).
+        chaos: Option<roboshape_serve::FaultConfig>,
+        /// Default deadline budget (ms) for requests that carry none.
+        deadline_ms: Option<u64>,
     },
     /// `roboshape loadgen`: drive a running server.
     Loadgen {
@@ -161,6 +168,16 @@ pub enum Command {
         kind: roboshape::KernelKind,
         /// Relative deadline (µs) attached to every request.
         deadline_us: Option<u64>,
+        /// Attempts per request including the first (1 = no retry).
+        retries: u32,
+        /// Per-response read-timeout budget in milliseconds.
+        timeout_ms: Option<u64>,
+    },
+    /// `roboshape health`: probe a running server's readiness endpoint
+    /// and print per-robot circuit-breaker and worker state.
+    Health {
+        /// Server port on loopback.
+        port: u16,
     },
 }
 
@@ -178,6 +195,7 @@ impl Command {
             Command::Soc { .. } => "soc",
             Command::Serve { .. } => "serve",
             Command::Loadgen { .. } => "loadgen",
+            Command::Health { .. } => "health",
         }
     }
 }
@@ -221,9 +239,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
 
     let mut it = filtered.iter();
     let cmd = it.next().ok_or_else(|| CliError::new(USAGE))?;
-    let urdf = it
-        .next()
-        .ok_or_else(|| CliError::new("missing <robot.urdf> argument"))?;
+    // `health` addresses a server, not a robot description — no spec.
+    let no_spec = String::from("-");
+    let urdf = if cmd.as_str() == "health" {
+        &no_spec
+    } else {
+        it.next()
+            .ok_or_else(|| CliError::new("missing <robot.urdf> argument"))?
+    };
     let rest: Vec<&String> = it.collect();
     let get_opt = |name: &str| -> Result<Option<String>, CliError> {
         let mut i = 0;
@@ -305,6 +328,13 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     "--port {port} is not a valid TCP port"
                 )));
             }
+            let chaos =
+                match get_opt("--chaos")? {
+                    None => None,
+                    Some(v) => Some(roboshape_serve::FaultConfig::parse(&v).map_err(|e| {
+                        CliError::new(format!("option --chaos needs SEED:RATE: {e}"))
+                    })?),
+                };
             Command::Serve {
                 port: port as u16,
                 port_file: get_opt("--port-file")?.map(PathBuf::from),
@@ -312,7 +342,19 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 batch: get_usize("--batch")?.unwrap_or(8).max(1),
                 workers: get_usize("--workers")?.unwrap_or(2).max(1),
                 max_requests: get_usize("--max-requests")?.map(|v| v as u64),
+                chaos,
+                deadline_ms: get_usize("--deadline-ms")?.map(|v| v as u64),
             }
+        }
+        "health" => {
+            let port = get_usize("--port")?
+                .ok_or_else(|| CliError::new("health needs --port of a running server"))?;
+            if port == 0 || port > u16::MAX as usize {
+                return Err(CliError::new(format!(
+                    "--port {port} is not a valid TCP port"
+                )));
+            }
+            Command::Health { port: port as u16 }
         }
         "loadgen" => {
             let port = get_usize("--port")?
@@ -345,6 +387,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 requests: get_usize("--requests")?.unwrap_or(16).max(1),
                 kind,
                 deadline_us: get_usize("--deadline-us")?.map(|v| v as u64),
+                retries: get_usize("--retries")?.unwrap_or(3).max(1) as u32,
+                timeout_ms: get_usize("--timeout-ms")?.map(|v| v as u64),
             }
         }
         other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
@@ -439,6 +483,7 @@ fn resolve_robots(
 
 /// `roboshape serve`: bind, announce, serve until `--max-requests`
 /// responses (or forever), then drain gracefully and summarise.
+#[allow(clippy::too_many_arguments)] // mirrors the flag list one-to-one
 fn run_serve(
     cli: &Cli,
     port: u16,
@@ -447,6 +492,8 @@ fn run_serve(
     batch: usize,
     workers: usize,
     max_requests: Option<u64>,
+    chaos: Option<roboshape_serve::FaultConfig>,
+    deadline_ms: Option<u64>,
 ) -> Result<String, CliError> {
     use roboshape_serve::{Engine, EngineConfig, Server};
     let robots = resolve_robots(&cli.urdf)?;
@@ -455,6 +502,9 @@ fn run_serve(
         max_batch: batch,
         workers_per_robot: workers,
         start_paused: false,
+        default_deadline: deadline_ms.map(std::time::Duration::from_millis),
+        chaos,
+        ..EngineConfig::default()
     });
     let mut out = String::new();
     for (name, model) in robots {
@@ -475,7 +525,12 @@ fn run_serve(
     }
     // Announce on stdout immediately — scripts wait for the port line
     // (the returned string prints only after the run finishes).
-    println!("serving on 127.0.0.1:{bound} (queue={queue} batch={batch} workers={workers})");
+    let chaos_note = chaos
+        .map(|c| format!(" chaos={}:{}", c.seed, c.crash))
+        .unwrap_or_default();
+    println!(
+        "serving on 127.0.0.1:{bound} (queue={queue} batch={batch} workers={workers}{chaos_note})"
+    );
     match max_requests {
         Some(target) => {
             loop {
@@ -489,14 +544,25 @@ fn run_serve(
             let stats = engine.stats();
             let _ = writeln!(
                 out,
-                "served {} requests: ok={} shed={} deadline_exceeded={} bad={} batches={} largest_batch={}",
+                "served {} requests: ok={} shed={} deadline_exceeded={} bad={} crashed={} degraded={} batches={} largest_batch={}",
                 stats.responses() + stats.shed,
                 stats.completed,
                 stats.shed,
                 stats.deadline_exceeded,
                 stats.bad_requests,
+                stats.crashed,
+                stats.degraded,
                 stats.batches,
                 stats.largest_batch,
+            );
+            let _ = writeln!(
+                out,
+                "resilience: worker_restarts={} circuit_trips={} injected: stalls={} crashes={} pressure={}",
+                stats.worker_restarts,
+                stats.circuit_trips,
+                stats.injected_stalls,
+                stats.injected_crashes,
+                stats.injected_pressure,
             );
             Ok(out)
         }
@@ -511,6 +577,7 @@ fn run_serve(
 
 /// `roboshape loadgen`: resolve the spec to robot names/sizes, run the
 /// configured load, report.
+#[allow(clippy::too_many_arguments)] // mirrors the flag list one-to-one
 fn run_loadgen_command(
     cli: &Cli,
     port: u16,
@@ -519,8 +586,12 @@ fn run_loadgen_command(
     requests: usize,
     kind: roboshape::KernelKind,
     deadline_us: Option<u64>,
+    retries: u32,
+    timeout_ms: Option<u64>,
 ) -> Result<String, CliError> {
-    use roboshape_serve::loadgen::{run_loadgen, LoadMode, LoadgenConfig, TargetRobot};
+    use roboshape_serve::loadgen::{
+        run_loadgen, LoadMode, LoadgenConfig, RetryPolicy, TargetRobot,
+    };
     let robots = resolve_robots(&cli.urdf)?
         .into_iter()
         .map(|(name, model)| TargetRobot {
@@ -539,10 +610,47 @@ fn run_loadgen_command(
         kind,
         deadline: deadline_us.map(std::time::Duration::from_micros),
         seed: 1,
+        retry: RetryPolicy {
+            max_attempts: retries.max(1),
+            ..RetryPolicy::default()
+        },
+        timeout: timeout_ms.map(std::time::Duration::from_millis),
     };
     let report = run_loadgen(("127.0.0.1", port), &cfg)
         .map_err(|e| CliError::new(format!("loadgen against 127.0.0.1:{port} failed: {e}")))?;
     Ok(format!("{report}\n"))
+}
+
+/// `roboshape health`: one readiness probe against a running server.
+/// Exit is clean when the server answers and reports ready; a degraded
+/// (non-ready) report is still printed but returned as an error so
+/// scripts can gate on the exit code.
+fn run_health(port: u16) -> Result<String, CliError> {
+    use roboshape_serve::Client;
+    let mut client = Client::connect(("127.0.0.1", port))
+        .map_err(|e| CliError::new(format!("cannot connect to 127.0.0.1:{port}: {e}")))?;
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| CliError::new(format!("cannot configure socket: {e}")))?;
+    let report = client
+        .health()
+        .map_err(|e| CliError::new(format!("health probe failed: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "ready={} robots={}", report.ready, report.robots.len());
+    for robot in &report.robots {
+        let _ = writeln!(
+            out,
+            "  {:<12} circuit={:<9} workers_alive={}",
+            robot.name,
+            robot.circuit.to_string(),
+            robot.workers_alive
+        );
+    }
+    if report.ready {
+        Ok(out)
+    } else {
+        Err(CliError::new(format!("{out}not ready")))
+    }
 }
 
 fn run_command(cli: &Cli) -> Result<String, CliError> {
@@ -556,6 +664,8 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             batch,
             workers,
             max_requests,
+            chaos,
+            deadline_ms,
         } => {
             return run_serve(
                 cli,
@@ -565,6 +675,8 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
                 *batch,
                 *workers,
                 *max_requests,
+                *chaos,
+                *deadline_ms,
             )
         }
         Command::Loadgen {
@@ -574,6 +686,8 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             requests,
             kind,
             deadline_us,
+            retries,
+            timeout_ms,
         } => {
             return run_loadgen_command(
                 cli,
@@ -583,8 +697,11 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
                 *requests,
                 *kind,
                 *deadline_us,
+                *retries,
+                *timeout_ms,
             )
         }
+        Command::Health { port } => return run_health(*port),
         _ => {}
     }
 
@@ -857,7 +974,7 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             }
             let _ = writeln!(out, "VERIFIED");
         }
-        Command::Serve { .. } | Command::Loadgen { .. } => {
+        Command::Serve { .. } | Command::Loadgen { .. } | Command::Health { .. } => {
             unreachable!("dispatched before the URDF load")
         }
     }
@@ -1160,6 +1277,59 @@ mod tests {
     }
 
     #[test]
+    fn parses_resilience_flags() {
+        let c = parse_args(&args(&[
+            "serve",
+            "zoo",
+            "--chaos",
+            "7:0.1",
+            "--deadline-ms",
+            "20",
+        ]))
+        .unwrap();
+        match c.command {
+            Command::Serve {
+                chaos: Some(chaos),
+                deadline_ms,
+                ..
+            } => {
+                assert_eq!(chaos.seed, 7);
+                assert!((chaos.crash - 0.1).abs() < 1e-12);
+                assert_eq!(deadline_ms, Some(20));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["serve", "zoo", "--chaos", "junk"])).is_err());
+
+        let c = parse_args(&args(&[
+            "loadgen",
+            "zoo",
+            "--port",
+            "9",
+            "--retries",
+            "6",
+            "--timeout-ms",
+            "250",
+        ]))
+        .unwrap();
+        match c.command {
+            Command::Loadgen {
+                retries,
+                timeout_ms,
+                ..
+            } => {
+                assert_eq!(retries, 6);
+                assert_eq!(timeout_ms, Some(250));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let c = parse_args(&args(&["health", "--port", "9000"])).unwrap();
+        assert_eq!(c.command, Command::Health { port: 9000 });
+        assert!(parse_args(&args(&["health"])).is_err(), "--port required");
+    }
+
+    #[test]
     fn unknown_zoo_spec_is_a_clean_error() {
         let cli = parse_args(&args(&["serve", "zoo:atlas", "--max-requests", "1"])).unwrap();
         let err = run(&cli).unwrap_err();
@@ -1206,6 +1376,12 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(10));
         };
 
+        let health_cli = parse_args(&args(&["health", "--port", &port.to_string()])).unwrap();
+        let health = run(&health_cli).unwrap();
+        assert!(health.contains("ready=true"), "{health}");
+        assert!(health.contains("circuit=closed"), "{health}");
+        assert!(health.contains("iiwa"), "{health}");
+
         let loadgen_cli = parse_args(&args(&[
             "loadgen",
             "zoo",
@@ -1233,6 +1409,85 @@ mod tests {
         obs::json::validate(&metrics).unwrap_or_else(|e| panic!("malformed metrics JSON: {e}"));
         assert!(metrics.contains("serve.requests"), "{metrics}");
         assert!(metrics.contains("serve.latency_us"), "{metrics}");
+    }
+
+    /// The CI chaos-smoke scenario in-process: serve one robot with
+    /// deterministic fault injection, drive it with a retrying loadgen,
+    /// and check that no request is lost and the resilience counters
+    /// appear in the metrics snapshot.
+    #[test]
+    fn chaos_serve_loses_nothing_with_retries_via_cli() {
+        let dir = std::env::temp_dir().join("roboshape_cli_tests/chaos_smoke");
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let metrics_file = dir.join("chaos_metrics.json");
+        let _ = std::fs::remove_file(&port_file);
+
+        let clients = 2usize;
+        let requests = 12usize;
+        let total = (clients * requests) as u64;
+        let serve_cli = parse_args(&args(&[
+            "serve",
+            "zoo:iiwa",
+            "--port",
+            "0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--chaos",
+            "7:0.2",
+            "--max-requests",
+            &total.to_string(),
+            "--metrics",
+            metrics_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let server = std::thread::spawn(move || run(&serve_cli));
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let port = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "server never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let loadgen_cli = parse_args(&args(&[
+            "loadgen",
+            "zoo:iiwa",
+            "--port",
+            &port.to_string(),
+            "--clients",
+            &clients.to_string(),
+            "--requests",
+            &requests.to_string(),
+            "--retries",
+            "6",
+            "--timeout-ms",
+            "2000",
+        ]))
+        .unwrap();
+        let report = run(&loadgen_cli).unwrap();
+        // The invariant under chaos is accounting, not perfection: every
+        // request ends in a counted outcome.
+        assert!(report.contains("lost=0"), "{report}");
+
+        let summary = server.join().unwrap().unwrap();
+        assert!(summary.contains("resilience:"), "{summary}");
+
+        let metrics = std::fs::read_to_string(&metrics_file).unwrap();
+        obs::json::validate(&metrics).unwrap_or_else(|e| panic!("malformed metrics JSON: {e}"));
+        for name in [
+            "serve.fault.worker_crash",
+            "serve.fault.frame_corrupt",
+            "serve.circuit.trips",
+            "serve.circuit.open_robots",
+            "serve.retry.attempts",
+        ] {
+            assert!(metrics.contains(name), "missing {name} in {metrics}");
+        }
     }
 
     #[test]

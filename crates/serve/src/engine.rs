@@ -1,11 +1,16 @@
-//! The in-process serving engine: per-robot design pools, worker
-//! threads, deadline-aware batching, backpressure, graceful drain.
+//! The in-process serving engine: per-robot design pools, supervised
+//! worker threads, deadline-aware batching, backpressure, a per-robot
+//! circuit breaker with analytical-model degradation, and graceful
+//! drain. Chaos (deterministic fault injection) hooks in here too.
 
+use crate::fault::{Admission, CircuitBreaker, CircuitState, FailureOutcome, FaultPlan, FaultSite};
 use crate::queue::{EdfQueue, Pending};
 use crate::{
-    BAD_REQUEST_METRIC, BATCHES_METRIC, BATCH_SIZE_BOUNDS, BATCH_SIZE_METRIC, DEADLINE_METRIC,
-    LATENCY_BOUNDS_US, LATENCY_METRIC, OBS_CATEGORY, QUEUE_DEPTH_METRIC, REQUESTS_METRIC,
-    RESPONSES_METRIC, SHED_METRIC,
+    BAD_REQUEST_METRIC, BATCHES_METRIC, BATCH_SIZE_BOUNDS, BATCH_SIZE_METRIC,
+    CIRCUIT_CLOSES_METRIC, CIRCUIT_OPEN_METRIC, CIRCUIT_TRIPS_METRIC, CRASHED_METRIC,
+    DEADLINE_METRIC, DEGRADED_METRIC, FAULT_CORRUPT_METRIC, FAULT_CRASH_METRIC,
+    FAULT_PRESSURE_METRIC, FAULT_STALL_METRIC, LATENCY_BOUNDS_US, LATENCY_METRIC, OBS_CATEGORY,
+    QUEUE_DEPTH_METRIC, REQUESTS_METRIC, RESPONSES_METRIC, SHED_METRIC, WORKER_RESTARTS_METRIC,
 };
 use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind, MatmulUnits};
 use roboshape_blocksparse::MatmulLatencyModel;
@@ -24,8 +29,8 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Sizing and scheduling knobs for an [`Engine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Sizing, scheduling, and resilience knobs for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineConfig {
     /// Bounded per-robot queue depth; a full queue sheds new requests.
     pub queue_capacity: usize,
@@ -37,6 +42,15 @@ pub struct EngineConfig {
     /// until [`Engine::resume`]) — a test/bench hook that makes batch
     /// coalescing deterministic.
     pub start_paused: bool,
+    /// Deadline applied at admission to requests that carry none — the
+    /// per-request timeout budget. `None` leaves them best-effort.
+    pub default_deadline: Option<Duration>,
+    /// Consecutive failures before a robot's circuit trips open.
+    pub circuit_threshold: u32,
+    /// How long an open circuit waits before half-opening for a probe.
+    pub circuit_cooldown: Duration,
+    /// Deterministic fault injection; `None` disables chaos entirely.
+    pub chaos: Option<crate::fault::FaultConfig>,
 }
 
 impl Default for EngineConfig {
@@ -46,12 +60,17 @@ impl Default for EngineConfig {
             max_batch: 8,
             workers_per_robot: 2,
             start_paused: false,
+            default_deadline: None,
+            circuit_threshold: 3,
+            circuit_cooldown: Duration::from_millis(250),
+            chaos: None,
         }
     }
 }
 
-/// Why a request did not produce a payload. Overload and lateness are
-/// first-class, typed outcomes — the engine never panics at a client.
+/// Why a request did not produce a payload. Overload, lateness, and
+/// worker failure are first-class, typed outcomes — the engine never
+/// panics at a client.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
     /// Shed before admission: queue at capacity, or engine shutting down.
@@ -66,6 +85,22 @@ pub enum ServeError {
     /// The request failed validation or simulation (dimension mismatch,
     /// non-finite input, non-positive-definite mass matrix, …).
     BadRequest(String),
+    /// The worker executing this request crashed before producing a
+    /// result. The request was not completed and is safe to retry; the
+    /// supervisor restarts the worker behind the scenes.
+    WorkerCrashed,
+}
+
+impl ServeError {
+    /// Whether a client may safely retry the request. Sheds and worker
+    /// crashes are transient (the request never completed); deadline
+    /// expiry and validation errors would fail again identically.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Rejected { .. } | ServeError::WorkerCrashed
+        )
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -75,6 +110,7 @@ impl fmt::Display for ServeError {
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
             ServeError::UnknownRobot(name) => write!(f, "unknown robot: {name}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::WorkerCrashed => write!(f, "worker crashed; retry"),
         }
     }
 }
@@ -101,7 +137,8 @@ pub struct ServeRequest {
     /// Third input: torques `τ` for ∇FD, accelerations `q̈` for inverse
     /// dynamics; empty for FK.
     pub tau: Vec<f64>,
-    /// Relative deadline from submission; `None` = best effort.
+    /// Relative deadline from submission; `None` = best effort (or the
+    /// engine's [`EngineConfig::default_deadline`], if set).
     pub deadline: Option<Duration>,
 }
 
@@ -159,6 +196,28 @@ impl ServeRequest {
     }
 }
 
+/// Health of one registered robot, as reported by [`Engine::health`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RobotHealth {
+    /// Name the robot was registered under.
+    pub name: String,
+    /// Its circuit breaker's current state.
+    pub circuit: CircuitState,
+    /// Worker threads currently alive for this robot. Briefly below the
+    /// configured pool size while the supervisor restarts a crash.
+    pub workers_alive: u32,
+}
+
+/// Engine-wide readiness snapshot: the health endpoint's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthReport {
+    /// `true` when the engine is accepting work and every registered
+    /// robot has at least one live worker.
+    pub ready: bool,
+    /// Per-robot health, sorted by name.
+    pub robots: Vec<RobotHealth>,
+}
+
 /// A successful kernel evaluation, as returned to clients.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServePayload {
@@ -188,58 +247,106 @@ pub enum ServePayload {
         /// Simulated accelerator cycles.
         cycles: u64,
     },
+    /// Degraded answer from the analytical clock-period model, returned
+    /// while the robot's circuit is open: the design's *static* latency
+    /// estimate in place of simulated outputs. Clients treat this as a
+    /// valid (if lower-fidelity) response, not a retryable failure.
+    Degraded {
+        /// The kernel the estimate is for.
+        kind: KernelKind,
+        /// Analytical compute cycles (schedule makespan + mat-muls).
+        cycles: u64,
+        /// The design's critical-path clock period in nanoseconds.
+        clock_ns: f64,
+        /// Analytical end-to-end latency estimate in microseconds.
+        latency_us: f64,
+    },
+    /// Health/readiness snapshot (the response to a health probe).
+    Health(HealthReport),
 }
 
 impl ServePayload {
-    /// Simulated accelerator cycles, whatever the kernel.
+    /// Simulated accelerator cycles, whatever the kernel. Degraded
+    /// answers report the analytical estimate; health probes report 0.
     pub fn cycles(&self) -> u64 {
         match self {
             ServePayload::Gradient { cycles, .. }
             | ServePayload::InverseDynamics { cycles, .. }
-            | ServePayload::Kinematics { cycles, .. } => *cycles,
+            | ServePayload::Kinematics { cycles, .. }
+            | ServePayload::Degraded { cycles, .. } => *cycles,
+            ServePayload::Health(_) => 0,
         }
+    }
+
+    /// Whether this is a degraded (analytical-model) answer.
+    pub fn is_degraded(&self) -> bool {
+        matches!(self, ServePayload::Degraded { .. })
     }
 }
 
 /// The outcome a [`Ticket`] resolves to.
 pub type ServeResult = Result<ServePayload, ServeError>;
 
+struct TicketCell {
+    slot: Mutex<Option<ServeResult>>,
+    cv: Condvar,
+    resolved: AtomicBool,
+}
+
 /// A handle to an in-flight request; resolves exactly once.
 #[derive(Clone)]
 pub struct Ticket {
-    cell: Arc<(Mutex<Option<ServeResult>>, Condvar)>,
+    cell: Arc<TicketCell>,
 }
 
 impl Ticket {
     pub(crate) fn new() -> Ticket {
         Ticket {
-            cell: Arc::new((Mutex::new(None), Condvar::new())),
+            cell: Arc::new(TicketCell {
+                slot: Mutex::new(None),
+                cv: Condvar::new(),
+                resolved: AtomicBool::new(false),
+            }),
         }
     }
 
     pub(crate) fn fulfill(&self, result: ServeResult) {
-        let (lock, cv) = &*self.cell;
-        let mut slot = lock.lock().expect("ticket poisoned");
-        debug_assert!(slot.is_none(), "ticket fulfilled twice");
+        let fulfilled = self.fulfill_if_unresolved(result);
+        debug_assert!(fulfilled, "ticket fulfilled twice");
+    }
+
+    /// Resolves the ticket unless something already did; returns whether
+    /// *this* call resolved it. Crash cleanup uses this so an already-
+    /// answered request is never clobbered with `WorkerCrashed`.
+    pub(crate) fn fulfill_if_unresolved(&self, result: ServeResult) -> bool {
+        if self
+            .cell
+            .resolved
+            .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+            .is_err()
+        {
+            return false;
+        }
+        let mut slot = self.cell.slot.lock().expect("ticket poisoned");
         *slot = Some(result);
-        cv.notify_all();
+        self.cell.cv.notify_all();
+        true
     }
 
     /// Blocks until the engine resolves this request.
     pub fn wait(&self) -> ServeResult {
-        let (lock, cv) = &*self.cell;
-        let mut slot = lock.lock().expect("ticket poisoned");
+        let mut slot = self.cell.slot.lock().expect("ticket poisoned");
         loop {
             if let Some(result) = slot.take() {
                 return result;
             }
-            slot = cv.wait(slot).expect("ticket poisoned");
+            slot = self.cell.cv.wait(slot).expect("ticket poisoned");
         }
     }
 
     /// Non-blocking probe; `None` while still in flight.
     pub fn try_take(&self) -> Option<ServeResult> {
-        self.cell.0.lock().expect("ticket poisoned").take()
+        self.cell.slot.lock().expect("ticket poisoned").take()
     }
 }
 
@@ -268,13 +375,28 @@ pub struct EngineStats {
     pub batches: u64,
     /// Largest number of requests coalesced into one execution.
     pub largest_batch: u64,
+    /// Tickets resolved to [`ServeError::WorkerCrashed`].
+    pub crashed: u64,
+    /// Requests answered from the analytical model (circuit open).
+    pub degraded: u64,
+    /// Crashed workers restarted by the supervisor.
+    pub worker_restarts: u64,
+    /// Circuit-breaker transitions to open (trips and probe re-opens).
+    pub circuit_trips: u64,
+    /// Requests hit by an injected pre-execution stall.
+    pub injected_stalls: u64,
+    /// Requests hit by an injected worker crash.
+    pub injected_crashes: u64,
+    /// Admissions shed as injected queue pressure.
+    pub injected_pressure: u64,
 }
 
 impl EngineStats {
     /// Total tickets resolved, successfully or not. Excludes `shed`,
-    /// which never received a ticket.
+    /// which never received a ticket; includes `degraded`, which
+    /// resolves at admission.
     pub fn responses(&self) -> u64 {
-        self.completed + self.deadline_exceeded + self.bad_requests
+        self.completed + self.deadline_exceeded + self.bad_requests + self.crashed + self.degraded
     }
 }
 
@@ -287,25 +409,65 @@ struct StatCells {
     bad_requests: AtomicU64,
     batches: AtomicU64,
     largest_batch: AtomicU64,
+    crashed: AtomicU64,
+    degraded: AtomicU64,
+    worker_restarts: AtomicU64,
+    circuit_trips: AtomicU64,
+    injected_stalls: AtomicU64,
+    injected_crashes: AtomicU64,
+    injected_pressure: AtomicU64,
 }
 
-/// One registered robot: its model, the three kernel designs, and its
-/// bounded EDF queue (the pool of workers drains it).
+/// One registered robot: its model, the three kernel designs, its
+/// bounded EDF queue, and its circuit breaker.
 struct RobotSlot {
     model: RobotModel,
     designs: HashMap<KernelKind, Arc<AcceleratorDesign>>,
     queue: EdfQueue,
+    breaker: CircuitBreaker,
+}
+
+/// How a worker thread ended.
+enum WorkerExit {
+    /// Queue drained after close — the orderly way out.
+    Drained,
+    /// The worker crashed (injected or a real panic) and its in-flight
+    /// tickets were resolved to `WorkerCrashed`; needs a restart.
+    Crashed,
+}
+
+/// What `execute` did with a popped batch.
+enum ExecOutcome {
+    /// Every live ticket in the batch was resolved.
+    Completed,
+    /// An injected crash fired: the batch's unresolved tickets are the
+    /// caller's to clean up, and the worker must die.
+    InjectedCrash,
+}
+
+struct WorkerCell {
+    robot: String,
+    slot: Arc<RobotSlot>,
+    handle: JoinHandle<WorkerExit>,
+}
+
+#[derive(Default)]
+struct Supervision {
+    workers: Vec<WorkerCell>,
+    supervisor: Option<JoinHandle<()>>,
 }
 
 struct EngineInner {
     cfg: EngineConfig,
+    plan: Option<FaultPlan>,
     pipeline: Pipeline,
     robots: RwLock<HashMap<String, Arc<RobotSlot>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    supervision: Mutex<Supervision>,
     paused: AtomicBool,
     closed: AtomicBool,
     depth: AtomicU64,
     seq: AtomicU64,
+    open_circuits: AtomicU64,
     stats: StatCells,
 }
 
@@ -313,8 +475,10 @@ struct EngineInner {
 ///
 /// See the crate docs for the execution model; in short: registered
 /// robots get kernel designs built through a warmed
-/// [`roboshape_pipeline::Pipeline`] plus a pool of worker threads, and
-/// [`Engine::submit`] enqueues work under EDF with explicit shedding.
+/// [`roboshape_pipeline::Pipeline`] plus a supervised pool of worker
+/// threads, and [`Engine::submit`] enqueues work under EDF with explicit
+/// shedding, a per-robot circuit breaker, and optional deterministic
+/// fault injection.
 #[derive(Clone)]
 pub struct Engine {
     inner: Arc<EngineInner>,
@@ -330,25 +494,34 @@ impl Engine {
     /// An engine over a caller-supplied pipeline (isolated stores in
     /// tests, or a pre-warmed one in benchmarks).
     pub fn with_pipeline(cfg: EngineConfig, pipeline: Pipeline) -> Engine {
+        preregister_metrics();
         Engine {
             inner: Arc::new(EngineInner {
                 paused: AtomicBool::new(cfg.start_paused),
+                plan: cfg.chaos.map(FaultPlan::new),
                 cfg,
                 pipeline,
                 robots: RwLock::new(HashMap::new()),
-                workers: Mutex::new(Vec::new()),
+                supervision: Mutex::new(Supervision::default()),
                 closed: AtomicBool::new(false),
                 depth: AtomicU64::new(0),
                 seq: AtomicU64::new(0),
+                open_circuits: AtomicU64::new(0),
                 stats: StatCells::default(),
             }),
         }
     }
 
+    /// The engine's fault plan, when chaos is configured. The server
+    /// front-end shares it to corrupt response frames on the wire.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.inner.plan
+    }
+
     /// Registers `model` under `name`: builds its ∇FD, inverse-dynamics
     /// and forward-kinematics designs through the pipeline (topology-
-    /// derived default knobs) and spawns its worker pool. Re-registering
-    /// an existing name is a no-op.
+    /// derived default knobs) and spawns its supervised worker pool.
+    /// Re-registering an existing name is a no-op.
     ///
     /// # Panics
     ///
@@ -388,18 +561,25 @@ impl Engine {
             model,
             designs,
             queue: EdfQueue::new(inner.cfg.queue_capacity),
+            breaker: CircuitBreaker::new(inner.cfg.circuit_threshold, inner.cfg.circuit_cooldown),
         });
         let mut robots = inner.robots.write().expect("robots poisoned");
         if robots.contains_key(&name) {
             return; // lost a register race; the first registration wins
         }
-        robots.insert(name, Arc::clone(&slot));
+        robots.insert(name.clone(), Arc::clone(&slot));
         drop(robots);
-        let mut workers = inner.workers.lock().expect("workers poisoned");
+        let mut sup = inner.supervision.lock().expect("supervision poisoned");
         for _ in 0..inner.cfg.workers_per_robot.max(1) {
-            let inner = Arc::clone(&self.inner);
-            let slot = Arc::clone(&slot);
-            workers.push(std::thread::spawn(move || worker_loop(inner, slot)));
+            sup.workers.push(spawn_worker(
+                name.clone(),
+                Arc::clone(&self.inner),
+                Arc::clone(&slot),
+            ));
+        }
+        if sup.supervisor.is_none() {
+            let s_inner = Arc::clone(&self.inner);
+            sup.supervisor = Some(std::thread::spawn(move || supervisor_loop(s_inner)));
         }
     }
 
@@ -439,16 +619,59 @@ impl Engine {
             .map(|slot| slot.model.num_links())
     }
 
-    /// Submits a request. `Ok` means *accepted*: the request is queued
-    /// and the [`Ticket`] will resolve exactly once (possibly to an
-    /// error). `Err` means the request never entered a queue.
+    /// The circuit-breaker state of a registered robot.
+    pub fn circuit_state(&self, robot: &str) -> Option<CircuitState> {
+        self.inner
+            .robots
+            .read()
+            .expect("robots poisoned")
+            .get(robot)
+            .map(|slot| slot.breaker.state())
+    }
+
+    /// A readiness snapshot: per-robot circuit state and live worker
+    /// count, plus an overall `ready` verdict. This is what the TCP
+    /// front-end serves for health probes.
+    pub fn health(&self) -> HealthReport {
+        // Lock order: robots before supervision (register does the same,
+        // though never holding both).
+        let robots = self.inner.robots.read().expect("robots poisoned");
+        let sup = self.inner.supervision.lock().expect("supervision poisoned");
+        let mut report: Vec<RobotHealth> = robots
+            .iter()
+            .map(|(name, slot)| RobotHealth {
+                name: name.clone(),
+                circuit: slot.breaker.state(),
+                workers_alive: sup
+                    .workers
+                    .iter()
+                    .filter(|w| w.robot == *name && !w.handle.is_finished())
+                    .count() as u32,
+            })
+            .collect();
+        drop(sup);
+        drop(robots);
+        report.sort_by(|a, b| a.name.cmp(&b.name));
+        let ready =
+            !self.inner.closed.load(Ordering::SeqCst) && report.iter().all(|r| r.workers_alive > 0);
+        HealthReport {
+            ready,
+            robots: report,
+        }
+    }
+
+    /// Submits a request. `Ok` means the [`Ticket`] will resolve exactly
+    /// once (possibly to an error, possibly immediately — a degraded
+    /// answer resolves before `submit` returns). `Err` means the request
+    /// never entered a queue.
     ///
     /// # Errors
     ///
     /// [`ServeError::UnknownRobot`] for an unregistered name,
     /// [`ServeError::BadRequest`] for malformed inputs (checked here, at
     /// admission), [`ServeError::Rejected`] when the robot's queue is
-    /// full or the engine is shutting down.
+    /// full, synthetic queue pressure fires, or the engine is shutting
+    /// down.
     pub fn submit(&self, req: ServeRequest) -> Result<Ticket, ServeError> {
         let inner = &self.inner;
         let _span = obs::span(OBS_CATEGORY, "submit");
@@ -471,13 +694,47 @@ impl Engine {
             obs::metrics().counter(BAD_REQUEST_METRIC).add(1);
             return Err(e);
         }
+        // The admission sequence number is the key for every engine-side
+        // fault decision, so the schedule is a pure function of the seed.
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        if let Some(plan) = inner.plan {
+            if plan.fires(FaultSite::QueuePressure, seq) {
+                inner
+                    .stats
+                    .injected_pressure
+                    .fetch_add(1, Ordering::Relaxed);
+                obs::metrics().counter(FAULT_PRESSURE_METRIC).add(1);
+                inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                obs::metrics().counter(SHED_METRIC).add(1);
+                return Err(ServeError::Rejected {
+                    reason: "chaos: injected queue pressure".into(),
+                });
+            }
+        }
+        let probe = match slot.breaker.admit() {
+            Admission::Normal => false,
+            Admission::Probe => true,
+            Admission::Degrade => {
+                inner.stats.degraded.fetch_add(1, Ordering::Relaxed);
+                obs::metrics().counter(DEGRADED_METRIC).add(1);
+                obs::metrics().counter(RESPONSES_METRIC).add(1);
+                obs::metrics()
+                    .histogram(LATENCY_METRIC, &LATENCY_BOUNDS_US)
+                    .record(0);
+                let ticket = Ticket::new();
+                ticket.fulfill(Ok(degraded_payload(&slot, &req)));
+                return Ok(ticket);
+            }
+        };
         let now = Instant::now();
+        let deadline = req.deadline.or(inner.cfg.default_deadline);
         let pending = Pending {
-            deadline: req.deadline.map(|d| now + d),
-            seq: inner.seq.fetch_add(1, Ordering::Relaxed),
+            deadline: deadline.map(|d| now + d),
+            seq,
             req,
             enqueued: now,
             ticket: Ticket::new(),
+            probe,
         };
         let ticket = pending.ticket.clone();
         // Count the request *before* it becomes visible to workers — a
@@ -494,6 +751,12 @@ impl Engine {
                 inner.depth.fetch_sub(1, Ordering::Relaxed);
                 inner.stats.shed.fetch_add(1, Ordering::Relaxed);
                 obs::metrics().counter(SHED_METRIC).add(1);
+                if probe {
+                    // The probe never reached a worker; release its slot
+                    // (counts as a failed probe — the pool gave no
+                    // evidence of health).
+                    record_circuit_failure(inner, &slot, true);
+                }
                 Err(ServeError::Rejected {
                     reason: "queue full".into(),
                 })
@@ -525,32 +788,87 @@ impl Engine {
             bad_requests: s.bad_requests.load(Ordering::Relaxed),
             batches: s.batches.load(Ordering::Relaxed),
             largest_batch: s.largest_batch.load(Ordering::Relaxed),
+            crashed: s.crashed.load(Ordering::Relaxed),
+            degraded: s.degraded.load(Ordering::Relaxed),
+            worker_restarts: s.worker_restarts.load(Ordering::Relaxed),
+            circuit_trips: s.circuit_trips.load(Ordering::Relaxed),
+            injected_stalls: s.injected_stalls.load(Ordering::Relaxed),
+            injected_crashes: s.injected_crashes.load(Ordering::Relaxed),
+            injected_pressure: s.injected_pressure.load(Ordering::Relaxed),
         }
     }
 
     /// Graceful drain: stops admitting, wakes paused workers, executes
-    /// everything already queued (every accepted ticket resolves), then
-    /// joins the worker pool. Idempotent; later calls are no-ops.
+    /// everything already queued (every accepted ticket resolves — the
+    /// supervisor keeps restarting crashed workers until the drain
+    /// completes), then joins the worker pool. Idempotent; later calls
+    /// wait for the first one's drain.
     pub fn shutdown(&self) {
         let inner = &self.inner;
-        if inner.closed.swap(true, Ordering::SeqCst) {
-            // Someone else is (or finished) shutting down; still join in
-            // case their drain is mid-flight.
-        }
+        inner.closed.store(true, Ordering::SeqCst);
         let _span = obs::span(OBS_CATEGORY, "shutdown");
         for slot in inner.robots.read().expect("robots poisoned").values() {
             slot.queue.notify_all();
         }
-        let workers: Vec<JoinHandle<()>> = inner
-            .workers
+        let supervisor = inner
+            .supervision
             .lock()
-            .expect("workers poisoned")
-            .drain(..)
-            .collect();
-        for handle in workers {
-            let _ = handle.join();
+            .expect("supervision poisoned")
+            .supervisor
+            .take();
+        match supervisor {
+            Some(handle) => {
+                let _ = handle.join();
+            }
+            None => {
+                // Either nothing was ever registered, or a concurrent
+                // shutdown owns the supervisor; wait for its drain.
+                loop {
+                    let drained = inner
+                        .supervision
+                        .lock()
+                        .expect("supervision poisoned")
+                        .workers
+                        .is_empty();
+                    if drained {
+                        break;
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
         }
         obs::metrics().gauge(QUEUE_DEPTH_METRIC).set(0.0);
+    }
+}
+
+/// Touch every resilience metric once so `--metrics` snapshots always
+/// contain the full `serve.circuit.*` / `serve.fault.*` vocabulary, even
+/// before (or without) any fault firing.
+fn preregister_metrics() {
+    let m = obs::metrics();
+    for name in [
+        CRASHED_METRIC,
+        DEGRADED_METRIC,
+        CIRCUIT_TRIPS_METRIC,
+        CIRCUIT_CLOSES_METRIC,
+        FAULT_STALL_METRIC,
+        FAULT_CRASH_METRIC,
+        FAULT_CORRUPT_METRIC,
+        FAULT_PRESSURE_METRIC,
+        WORKER_RESTARTS_METRIC,
+    ] {
+        m.counter(name).add(0);
+    }
+    m.gauge(CIRCUIT_OPEN_METRIC).set(0.0);
+}
+
+fn spawn_worker(robot: String, inner: Arc<EngineInner>, slot: Arc<RobotSlot>) -> WorkerCell {
+    let w_inner = Arc::clone(&inner);
+    let w_slot = Arc::clone(&slot);
+    WorkerCell {
+        robot,
+        slot,
+        handle: std::thread::spawn(move || worker_loop(w_inner, w_slot)),
     }
 }
 
@@ -602,23 +920,139 @@ fn default_knobs(pipeline: &Pipeline, topo: &Topology) -> AcceleratorKnobs {
     AcceleratorKnobs::new(m.max_leaf_depth.max(1), m.max_descendants.max(1), block)
 }
 
+/// The degraded answer: the design's analytical latency estimate (clock
+/// period × schedule makespan), no simulation involved.
+fn degraded_payload(slot: &RobotSlot, req: &ServeRequest) -> ServePayload {
+    let design = &slot.designs[&req.kind];
+    ServePayload::Degraded {
+        kind: req.kind,
+        cycles: design.compute_cycles(),
+        clock_ns: design.clock_ns(),
+        latency_us: design.compute_latency_us(),
+    }
+}
+
+/// Records a breaker failure and keeps the trip counter and open-robot
+/// gauge consistent with the resulting transition.
+fn record_circuit_failure(inner: &EngineInner, slot: &RobotSlot, probe: bool) {
+    match slot.breaker.on_failure(probe) {
+        FailureOutcome::Tripped => {
+            inner.stats.circuit_trips.fetch_add(1, Ordering::Relaxed);
+            obs::metrics().counter(CIRCUIT_TRIPS_METRIC).add(1);
+            let open = inner.open_circuits.fetch_add(1, Ordering::Relaxed) + 1;
+            obs::metrics().gauge(CIRCUIT_OPEN_METRIC).set(open as f64);
+        }
+        FailureOutcome::Reopened => {
+            // The gauge never dropped while half-open; count the trip
+            // only.
+            inner.stats.circuit_trips.fetch_add(1, Ordering::Relaxed);
+            obs::metrics().counter(CIRCUIT_TRIPS_METRIC).add(1);
+        }
+        FailureOutcome::Unchanged => {}
+    }
+}
+
+/// Records a breaker success; a probe success closing the circuit drops
+/// the open-robot gauge and counts a close.
+fn record_circuit_success(inner: &EngineInner, slot: &RobotSlot, probe: bool) {
+    if slot.breaker.on_success(probe) {
+        obs::metrics().counter(CIRCUIT_CLOSES_METRIC).add(1);
+        let open = inner
+            .open_circuits
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        obs::metrics().gauge(CIRCUIT_OPEN_METRIC).set(open as f64);
+    }
+}
+
 /// One simulated accelerator instance: drains the robot's EDF queue
-/// until shutdown, coalescing compatible ∇FD requests.
-fn worker_loop(inner: Arc<EngineInner>, slot: Arc<RobotSlot>) {
-    while let Some(batch) = slot
-        .queue
-        .next_batch(inner.cfg.max_batch, &inner.paused, &inner.closed)
-    {
+/// until shutdown, coalescing compatible ∇FD requests. Returns how it
+/// ended so the supervisor knows whether to restart it.
+fn worker_loop(inner: Arc<EngineInner>, slot: Arc<RobotSlot>) -> WorkerExit {
+    loop {
+        let Some(batch) = slot
+            .queue
+            .next_batch(inner.cfg.max_batch, &inner.paused, &inner.closed)
+        else {
+            return WorkerExit::Drained;
+        };
         let depth = inner
             .depth
             .fetch_sub(batch.len() as u64, Ordering::Relaxed)
             .saturating_sub(batch.len() as u64);
         obs::metrics().gauge(QUEUE_DEPTH_METRIC).set(depth as f64);
-        execute(&inner, &slot, batch);
+        // Keep enough of each request to clean up after a crash: the
+        // ticket, its probe flag, and its enqueue time (for latency).
+        let tickets: Vec<(Ticket, bool, Instant)> = batch
+            .iter()
+            .map(|p| (p.ticket.clone(), p.probe, p.enqueued))
+            .collect();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute(&inner, &slot, batch)
+        }));
+        let crashed = !matches!(outcome, Ok(ExecOutcome::Completed));
+        if crashed {
+            for (ticket, probe, enqueued) in tickets {
+                if ticket.fulfill_if_unresolved(Err(ServeError::WorkerCrashed)) {
+                    inner.stats.crashed.fetch_add(1, Ordering::Relaxed);
+                    obs::metrics().counter(CRASHED_METRIC).add(1);
+                    obs::metrics().counter(RESPONSES_METRIC).add(1);
+                    let latency_us = enqueued.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    obs::metrics()
+                        .histogram(LATENCY_METRIC, &LATENCY_BOUNDS_US)
+                        .record(latency_us);
+                    record_circuit_failure(&inner, &slot, probe);
+                }
+            }
+            return WorkerExit::Crashed;
+        }
     }
 }
 
-fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) {
+/// Joins finished workers, restarting crashed ones — **always**, even
+/// during shutdown, so a crash mid-drain cannot strand queued tickets.
+/// Progress is guaranteed: every crash consumes at least the batch it
+/// popped (those tickets resolve to `WorkerCrashed`), and a closed
+/// engine admits nothing new. Exits once the engine is closed and the
+/// last worker has drained.
+fn supervisor_loop(inner: Arc<EngineInner>) {
+    loop {
+        let closed = inner.closed.load(Ordering::SeqCst);
+        {
+            let mut sup = inner.supervision.lock().expect("supervision poisoned");
+            let mut finished = Vec::new();
+            let mut i = 0;
+            while i < sup.workers.len() {
+                if sup.workers[i].handle.is_finished() {
+                    finished.push(sup.workers.remove(i));
+                } else {
+                    i += 1;
+                }
+            }
+            for cell in finished {
+                let crashed = match cell.handle.join() {
+                    Ok(WorkerExit::Drained) => false,
+                    // A real panic (join error) is treated exactly like
+                    // an injected crash: restart.
+                    Ok(WorkerExit::Crashed) | Err(_) => true,
+                };
+                if crashed {
+                    inner.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                    obs::metrics().counter(WORKER_RESTARTS_METRIC).add(1);
+                    let replacement =
+                        spawn_worker(cell.robot, Arc::clone(&inner), Arc::clone(&cell.slot));
+                    sup.workers.push(replacement);
+                }
+            }
+            if closed && sup.workers.is_empty() {
+                return;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) -> ExecOutcome {
     let _span = obs::span(OBS_CATEGORY, "execute");
     let now = Instant::now();
     // Late requests are resolved without spending accelerator cycles.
@@ -631,10 +1065,51 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) {
             .deadline_exceeded
             .fetch_add(1, Ordering::Relaxed);
         obs::metrics().counter(DEADLINE_METRIC).add(1);
+        if p.probe {
+            // An expired probe is evidence the pool is too slow: release
+            // the probe slot as a failure.
+            record_circuit_failure(inner, slot, true);
+        }
         respond(&p, Err(ServeError::DeadlineExceeded));
     }
     if live.is_empty() {
-        return;
+        return ExecOutcome::Completed;
+    }
+
+    // Chaos: stall first (bounded, deterministic per request), then
+    // crash. Both are keyed on the admission sequence number, so the
+    // schedule is identical across same-seed runs.
+    if let Some(plan) = inner.plan {
+        let mut stall = Duration::ZERO;
+        let mut stalled = 0u64;
+        for p in &live {
+            if plan.fires(FaultSite::WorkerStall, p.seq) {
+                stall += plan.stall_duration(p.seq);
+                stalled += 1;
+            }
+        }
+        if stalled > 0 {
+            inner
+                .stats
+                .injected_stalls
+                .fetch_add(stalled, Ordering::Relaxed);
+            obs::metrics().counter(FAULT_STALL_METRIC).add(stalled);
+            std::thread::sleep(stall);
+        }
+        let crash_marked = live
+            .iter()
+            .filter(|p| plan.fires(FaultSite::WorkerCrash, p.seq))
+            .count() as u64;
+        if crash_marked > 0 {
+            inner
+                .stats
+                .injected_crashes
+                .fetch_add(crash_marked, Ordering::Relaxed);
+            obs::metrics().counter(FAULT_CRASH_METRIC).add(crash_marked);
+            // Die before dispatch: the worker loop resolves the batch's
+            // tickets to `WorkerCrashed` and the supervisor restarts us.
+            return ExecOutcome::InjectedCrash;
+        }
     }
 
     inner.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -658,7 +1133,7 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) {
             match try_simulate_batch(&slot.model, design, &inputs) {
                 Ok((sims, _makespan)) => {
                     for (p, sim) in live.iter().zip(sims) {
-                        finish_ok(inner, p, gradient_payload(sim));
+                        finish_ok(inner, slot, p, gradient_payload(sim));
                     }
                 }
                 // One bad input fails a whole batched call; fall back to
@@ -667,7 +1142,7 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) {
                     for p in &live {
                         let result =
                             try_simulate(&slot.model, design, &p.req.q, &p.req.qd, &p.req.tau);
-                        finish(inner, p, result.map(gradient_payload));
+                        finish(inner, slot, p, result.map(gradient_payload));
                     }
                 }
             }
@@ -675,7 +1150,7 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) {
         KernelKind::DynamicsGradient => {
             let p = &live[0];
             let result = try_simulate(&slot.model, design, &p.req.q, &p.req.qd, &p.req.tau);
-            finish(inner, p, result.map(gradient_payload));
+            finish(inner, slot, p, result.map(gradient_payload));
         }
         KernelKind::InverseDynamics => {
             for p in &live {
@@ -690,7 +1165,7 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) {
                     tau,
                     cycles: stats.cycles,
                 });
-                finish(inner, p, result);
+                finish(inner, slot, p, result);
             }
         }
         KernelKind::ForwardKinematics => {
@@ -713,10 +1188,11 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) {
                             cycles: stats.cycles,
                         }
                     });
-                finish(inner, p, result);
+                finish(inner, slot, p, result);
             }
         }
     }
+    ExecOutcome::Completed
 }
 
 fn gradient_payload(sim: Simulation) -> ServePayload {
@@ -738,17 +1214,27 @@ fn gradient_payload(sim: Simulation) -> ServePayload {
     }
 }
 
-fn finish_ok(inner: &EngineInner, p: &Pending, payload: ServePayload) {
+fn finish_ok(inner: &EngineInner, slot: &RobotSlot, p: &Pending, payload: ServePayload) {
     inner.stats.completed.fetch_add(1, Ordering::Relaxed);
+    record_circuit_success(inner, slot, p.probe);
     respond(p, Ok(payload));
 }
 
-fn finish(inner: &EngineInner, p: &Pending, result: Result<ServePayload, SimError>) {
+fn finish(
+    inner: &EngineInner,
+    slot: &RobotSlot,
+    p: &Pending,
+    result: Result<ServePayload, SimError>,
+) {
     match result {
-        Ok(payload) => finish_ok(inner, p, payload),
+        Ok(payload) => finish_ok(inner, slot, p, payload),
         Err(e) => {
             inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
             obs::metrics().counter(BAD_REQUEST_METRIC).add(1);
+            // A sim error still proves the worker is alive — record a
+            // success so a half-open probe releases and the streak
+            // resets.
+            record_circuit_success(inner, slot, p.probe);
             respond(p, Err(e.into()));
         }
     }
@@ -766,6 +1252,7 @@ fn respond(p: &Pending, result: ServeResult) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultConfig;
     use roboshape_robots::{zoo, Zoo};
 
     fn engine_with(robot: Zoo, cfg: EngineConfig) -> Engine {
@@ -828,6 +1315,7 @@ mod tests {
             ))
             .unwrap_err();
         assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+        assert!(!err.is_retryable(), "bad requests fail identically again");
 
         let err = engine
             .submit(ServeRequest::gradient(
@@ -858,6 +1346,7 @@ mod tests {
         let t2 = engine.submit(req()).unwrap();
         let err = engine.submit(req()).unwrap_err();
         assert!(matches!(err, ServeError::Rejected { .. }), "{err}");
+        assert!(err.is_retryable());
         assert_eq!(engine.stats().shed, 1);
 
         // Graceful drain: both accepted tickets resolve even though the
@@ -895,6 +1384,26 @@ mod tests {
     }
 
     #[test]
+    fn default_deadline_budget_applies_to_deadline_free_requests() {
+        let engine = engine_with(
+            Zoo::Iiwa,
+            EngineConfig {
+                workers_per_robot: 1,
+                start_paused: true,
+                default_deadline: Some(Duration::from_micros(1)),
+                ..EngineConfig::default()
+            },
+        );
+        let ticket = engine
+            .submit(ServeRequest::kinematics("iiwa", vec![0.1; 7]))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        engine.resume();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        engine.shutdown();
+    }
+
+    #[test]
     fn paused_engine_coalesces_gradient_requests_into_batches() {
         let engine = engine_with(
             Zoo::Iiwa,
@@ -926,5 +1435,180 @@ mod tests {
         assert_eq!(stats.largest_batch, 4, "all four coalesced: {stats:?}");
         assert_eq!(stats.batches, 1);
         engine.shutdown();
+    }
+
+    #[test]
+    fn injected_crash_resolves_tickets_and_supervisor_restarts_worker() {
+        let engine = engine_with(
+            Zoo::Iiwa,
+            EngineConfig {
+                workers_per_robot: 1,
+                max_batch: 1,
+                circuit_threshold: 100, // keep the circuit out of the way
+                chaos: Some(FaultConfig {
+                    seed: 11,
+                    stall: 0.0,
+                    crash: 1.0,
+                    corrupt: 0.0,
+                    pressure: 0.0,
+                }),
+                ..EngineConfig::default()
+            },
+        );
+        let ticket = engine
+            .submit(ServeRequest::kinematics("iiwa", vec![0.1; 7]))
+            .unwrap();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::WorkerCrashed);
+        let stats = engine.stats();
+        assert_eq!(stats.crashed, 1);
+        assert_eq!(stats.injected_crashes, 1);
+
+        // The supervisor brings the worker back.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let health = engine.health();
+            if health.robots[0].workers_alive == 1 && engine.stats().worker_restarts >= 1 {
+                assert!(health.ready);
+                break;
+            }
+            assert!(Instant::now() < deadline, "worker never restarted");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn circuit_trips_open_and_serves_degraded_answers() {
+        let engine = engine_with(
+            Zoo::Iiwa,
+            EngineConfig {
+                workers_per_robot: 1,
+                max_batch: 1,
+                circuit_threshold: 2,
+                circuit_cooldown: Duration::from_millis(20),
+                chaos: Some(FaultConfig {
+                    seed: 5,
+                    stall: 0.0,
+                    crash: 1.0, // every executed request crashes
+                    corrupt: 0.0,
+                    pressure: 0.0,
+                }),
+                ..EngineConfig::default()
+            },
+        );
+        let req = || ServeRequest::kinematics("iiwa", vec![0.1; 7]);
+        // Two crashes trip the breaker.
+        for _ in 0..2 {
+            let t = engine.submit(req()).unwrap();
+            assert_eq!(t.wait().unwrap_err(), ServeError::WorkerCrashed);
+        }
+        // The ticket resolves just before the worker records the breaker
+        // failure; give that last store a moment.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while engine.circuit_state("iiwa") != Some(CircuitState::Open) {
+            assert!(Instant::now() < deadline, "breaker never tripped");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(engine.stats().circuit_trips, 1);
+
+        // While open, answers come from the analytical model instantly.
+        let payload = engine.submit(req()).unwrap().wait().unwrap();
+        match payload {
+            ServePayload::Degraded {
+                kind,
+                cycles,
+                clock_ns,
+                latency_us,
+            } => {
+                let design = engine
+                    .design_for("iiwa", KernelKind::ForwardKinematics)
+                    .unwrap();
+                assert_eq!(kind, KernelKind::ForwardKinematics);
+                assert_eq!(cycles, design.compute_cycles());
+                assert_eq!(clock_ns.to_bits(), design.clock_ns().to_bits());
+                assert_eq!(latency_us.to_bits(), design.compute_latency_us().to_bits());
+            }
+            other => panic!("expected degraded answer, got {other:?}"),
+        }
+        assert!(engine.stats().degraded >= 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn injected_queue_pressure_sheds_with_chaos_reason() {
+        let engine = engine_with(
+            Zoo::Iiwa,
+            EngineConfig {
+                chaos: Some(FaultConfig {
+                    seed: 1,
+                    stall: 0.0,
+                    crash: 0.0,
+                    corrupt: 0.0,
+                    pressure: 1.0,
+                }),
+                ..EngineConfig::default()
+            },
+        );
+        let err = engine
+            .submit(ServeRequest::kinematics("iiwa", vec![0.1; 7]))
+            .unwrap_err();
+        match err {
+            ServeError::Rejected { ref reason } => {
+                assert!(reason.contains("chaos"), "{reason}")
+            }
+            other => panic!("expected rejection, got {other:?}"),
+        }
+        assert!(err.is_retryable());
+        assert_eq!(engine.stats().injected_pressure, 1);
+        engine.shutdown();
+    }
+
+    #[test]
+    fn same_seed_runs_produce_identical_stats() {
+        // Pinned serial execution (one worker, batch size 1, sequential
+        // submits) so timing cannot perturb batch composition; under
+        // that, two same-seed runs must agree on every counter.
+        let run = |seed: u64| -> EngineStats {
+            let engine = engine_with(
+                Zoo::Iiwa,
+                EngineConfig {
+                    workers_per_robot: 1,
+                    max_batch: 1,
+                    circuit_threshold: 1000, // keep breaker state out of it
+                    chaos: Some(FaultConfig {
+                        seed,
+                        stall: 0.05,
+                        crash: 0.2,
+                        corrupt: 0.0,
+                        pressure: 0.2,
+                    }),
+                    ..EngineConfig::default()
+                },
+            );
+            for _ in 0..40 {
+                if let Ok(t) = engine.submit(ServeRequest::kinematics("iiwa", vec![0.1; 7])) {
+                    let _ = t.wait();
+                }
+            }
+            engine.shutdown();
+            engine.stats()
+        };
+        let a = run(99);
+        let b = run(99);
+        assert_eq!(a, b, "same seed, same fault schedule, same counters");
+        assert!(a.injected_crashes > 0 && a.injected_pressure > 0, "{a:?}");
+    }
+
+    #[test]
+    fn health_reports_ready_with_live_workers() {
+        let engine = engine_with(Zoo::Iiwa, EngineConfig::default());
+        let health = engine.health();
+        assert!(health.ready);
+        assert_eq!(health.robots.len(), 1);
+        assert_eq!(health.robots[0].name, "iiwa");
+        assert_eq!(health.robots[0].circuit, CircuitState::Closed);
+        assert_eq!(health.robots[0].workers_alive, 2);
+        engine.shutdown();
+        assert!(!engine.health().ready, "closed engine is not ready");
     }
 }

@@ -42,6 +42,30 @@
 //! | `serve.batch_size` | histogram | requests coalesced per execution |
 //! | `serve.latency_us` | histogram | enqueue→response latency (µs) |
 //! | `serve.queue_depth` | gauge | total queued across robots |
+//! | `serve.worker_crashed` | counter | tickets resolved `WorkerCrashed` |
+//! | `serve.circuit.trips` | counter | breaker transitions to open |
+//! | `serve.circuit.closes` | counter | probe successes closing a breaker |
+//! | `serve.circuit.degraded` | counter | answers from the analytical model |
+//! | `serve.circuit.open_robots` | gauge | robots currently tripped open |
+//! | `serve.fault.worker_stall` | counter | injected pre-execution stalls |
+//! | `serve.fault.worker_crash` | counter | requests hit by injected crashes |
+//! | `serve.fault.frame_corrupt` | counter | response frames damaged on wire |
+//! | `serve.fault.queue_pressure` | counter | injected admission sheds |
+//! | `serve.fault.worker_restarts` | counter | workers restarted by supervisor |
+//! | `serve.retry.attempts` | counter | loadgen retries sent |
+//! | `serve.retry.exhausted` | counter | loadgen requests out of retries |
+//!
+//! # Fault injection and resilience
+//!
+//! The serve stack survives unhealthy workers and hostile wire traffic,
+//! and can *manufacture* both deterministically for testing: a seeded
+//! [`FaultPlan`] (see [`fault`]) injects worker stalls, worker crashes,
+//! synthetic queue pressure, and corrupted response frames as a pure
+//! function of `(seed, site, key)`. Tolerance comes from worker
+//! supervision with automatic restart, a per-robot [`CircuitBreaker`]
+//! that degrades to the analytical clock-period model while open, frame
+//! checksums, and client-side retry with exponential backoff in the
+//! load generator.
 //!
 //! # Examples
 //!
@@ -63,13 +87,19 @@
 #![warn(missing_docs)]
 
 mod engine;
+pub mod fault;
 pub mod loadgen;
 pub mod proto;
 mod queue;
 mod server;
 
 pub use engine::{
-    Engine, EngineConfig, EngineStats, ServeError, ServePayload, ServeRequest, ServeResult, Ticket,
+    Engine, EngineConfig, EngineStats, HealthReport, RobotHealth, ServeError, ServePayload,
+    ServeRequest, ServeResult, Ticket,
+};
+pub use fault::{
+    Admission, CircuitBreaker, CircuitState, CorruptionMode, FailureOutcome, FaultConfig,
+    FaultPlan, FaultSite,
 };
 pub use server::{Client, Server};
 
@@ -94,6 +124,31 @@ pub const BATCH_SIZE_METRIC: &str = "serve.batch_size";
 pub const LATENCY_METRIC: &str = "serve.latency_us";
 /// Gauge: total requests currently queued across all robots.
 pub const QUEUE_DEPTH_METRIC: &str = "serve.queue_depth";
+/// Counter: tickets resolved to [`ServeError::WorkerCrashed`].
+pub const CRASHED_METRIC: &str = "serve.worker_crashed";
+/// Counter: circuit-breaker transitions to open (trips and re-opens).
+pub const CIRCUIT_TRIPS_METRIC: &str = "serve.circuit.trips";
+/// Counter: probe successes that closed a half-open circuit.
+pub const CIRCUIT_CLOSES_METRIC: &str = "serve.circuit.closes";
+/// Counter: requests answered from the analytical model while a robot's
+/// circuit was open, tagged degraded.
+pub const DEGRADED_METRIC: &str = "serve.circuit.degraded";
+/// Gauge: number of robots whose circuit is currently open.
+pub const CIRCUIT_OPEN_METRIC: &str = "serve.circuit.open_robots";
+/// Counter: injected worker stalls (per affected request).
+pub const FAULT_STALL_METRIC: &str = "serve.fault.worker_stall";
+/// Counter: requests hit by an injected worker crash.
+pub const FAULT_CRASH_METRIC: &str = "serve.fault.worker_crash";
+/// Counter: response frames deliberately damaged on the wire.
+pub const FAULT_CORRUPT_METRIC: &str = "serve.fault.frame_corrupt";
+/// Counter: admissions shed as injected queue pressure.
+pub const FAULT_PRESSURE_METRIC: &str = "serve.fault.queue_pressure";
+/// Counter: crashed workers restarted by the supervisor.
+pub const WORKER_RESTARTS_METRIC: &str = "serve.fault.worker_restarts";
+/// Counter: client-side retry attempts sent by the load generator.
+pub const RETRY_ATTEMPTS_METRIC: &str = "serve.retry.attempts";
+/// Counter: load-generator requests that exhausted their retry budget.
+pub const RETRY_EXHAUSTED_METRIC: &str = "serve.retry.exhausted";
 
 /// Bucket upper bounds for [`BATCH_SIZE_METRIC`].
 pub const BATCH_SIZE_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];

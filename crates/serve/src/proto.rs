@@ -1,24 +1,35 @@
-//! Length-prefixed binary wire protocol for the TCP front-end.
+//! Length-prefixed, checksummed binary wire protocol for the TCP
+//! front-end. The normative spec lives in `docs/PROTOCOL.md`; this
+//! module is its implementation.
 //!
-//! Every message is one *frame*: a little-endian `u32` byte length
-//! followed by that many body bytes (capped at [`MAX_FRAME`]). Bodies
-//! are encoded with the vendored [`bytes`] little-endian accessors;
-//! `f64` values travel as raw IEEE-754 bits, so responses are
+//! Every message is one *frame*: a little-endian `u32` byte length,
+//! a little-endian `u32` FNV-1a checksum of the body, then that many
+//! body bytes (capped at [`MAX_FRAME`]). The checksum makes wire
+//! corruption *detectable*: a flipped bit surfaces as a typed error at
+//! the receiver instead of silently decoding into wrong-but-plausible
+//! numbers. Bodies are encoded with the vendored [`bytes`] little-endian
+//! accessors; `f64` values travel as raw IEEE-754 bits, so responses are
 //! bit-identical to in-process results — the loopback tests assert
 //! exactly that.
 //!
-//! Request body:
+//! Kernel request body:
 //!
 //! ```text
 //! u64 id | u8 kind (0 FK, 1 ID, 2 ∇FD) | u64 deadline_µs (MAX = none)
 //! | u32 name_len | name bytes | u32 n | q[n] | (ID, ∇FD only: qd[n], tau[n])
 //! ```
 //!
+//! A health probe request is just `u64 id | u8 3` — see
+//! [`encode_health_request`] and [`decode_any_request`].
+//!
 //! Response body: `u64 id | u8 status`, then a status-specific payload
 //! (see [`decode_response`]). Responses may arrive out of request order
 //! — `id` is the correlation key.
 
-use crate::engine::{ServeError, ServePayload, ServeRequest, ServeResult};
+use crate::engine::{
+    HealthReport, RobotHealth, ServeError, ServePayload, ServeRequest, ServeResult,
+};
+use crate::fault::CircuitState;
 use bytes::{Buf, BufMut};
 use roboshape_arch::KernelKind;
 use std::fmt;
@@ -35,6 +46,8 @@ const NO_DEADLINE: u64 = u64::MAX;
 const KIND_FK: u8 = 0;
 const KIND_ID: u8 = 1;
 const KIND_GRAD: u8 = 2;
+/// Request-kind tag for a health/readiness probe (no kernel payload).
+const KIND_HEALTH: u8 = 3;
 
 const STATUS_OK_FK: u8 = 0;
 const STATUS_OK_ID: u8 = 1;
@@ -43,6 +56,9 @@ const STATUS_REJECTED: u8 = 3;
 const STATUS_DEADLINE: u8 = 4;
 const STATUS_UNKNOWN_ROBOT: u8 = 5;
 const STATUS_BAD_REQUEST: u8 = 6;
+const STATUS_WORKER_CRASHED: u8 = 7;
+const STATUS_DEGRADED: u8 = 8;
+const STATUS_HEALTH: u8 = 9;
 
 /// A request frame: correlation id + the request proper.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,6 +90,13 @@ pub enum ProtoError {
     BadLength(u64),
     /// A name/message field is not UTF-8.
     BadUtf8,
+    /// A frame header declared a body length above [`MAX_FRAME`]. Typed
+    /// (never silently dropped) so the peer can be told before the
+    /// connection closes.
+    FrameTooLarge(u64),
+    /// The frame body does not match its header checksum — corrupted in
+    /// transit.
+    ChecksumMismatch,
 }
 
 impl fmt::Display for ProtoError {
@@ -83,6 +106,15 @@ impl fmt::Display for ProtoError {
             ProtoError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
             ProtoError::BadLength(l) => write!(f, "implausible length field {l}"),
             ProtoError::BadUtf8 => write!(f, "string field is not UTF-8"),
+            ProtoError::FrameTooLarge(l) => {
+                write!(
+                    f,
+                    "declared frame length {l} exceeds the {MAX_FRAME}-byte cap"
+                )
+            }
+            ProtoError::ChecksumMismatch => {
+                write!(f, "frame checksum mismatch (corrupted in transit)")
+            }
         }
     }
 }
@@ -157,6 +189,41 @@ fn kind_tag(kind: KernelKind) -> u8 {
     }
 }
 
+fn kind_from_tag(tag: u8) -> Option<KernelKind> {
+    match tag {
+        KIND_FK => Some(KernelKind::ForwardKinematics),
+        KIND_ID => Some(KernelKind::InverseDynamics),
+        KIND_GRAD => Some(KernelKind::DynamicsGradient),
+        _ => None,
+    }
+}
+
+/// Bytes of the frame header (`u32` length + `u32` checksum).
+pub const HEADER_LEN: usize = 8;
+
+/// FNV-1a 32-bit checksum of a frame body — the integrity check carried
+/// in every frame header.
+pub fn checksum(body: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in body {
+        h ^= u32::from(b);
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// The complete wire encoding of one frame: `u32` LE length, `u32` LE
+/// FNV-1a body checksum, body. The server's writer uses this (rather
+/// than [`write_frame`]) so injected wire corruption operates on the
+/// exact bytes a healthy server would have sent.
+pub fn frame_bytes(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER_LEN + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
 /// Encodes a request frame body (no length prefix — see [`write_frame`]).
 pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
     let req = &frame.req;
@@ -215,6 +282,46 @@ pub fn decode_request(body: &[u8]) -> Result<RequestFrame, ProtoError> {
     })
 }
 
+/// Encodes a health-probe request body: `u64 id | u8 KIND_HEALTH`.
+pub fn encode_health_request(id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.put_u64_le(id);
+    out.put_u8(KIND_HEALTH);
+    out
+}
+
+/// Any request the server accepts: a kernel evaluation or a health
+/// probe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodedRequest {
+    /// A kernel evaluation request.
+    Kernel(RequestFrame),
+    /// A health/readiness probe carrying only a correlation id.
+    Health {
+        /// Client-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// Decodes either request shape — what the server's connection reader
+/// calls.
+///
+/// # Errors
+///
+/// As [`decode_request`].
+pub fn decode_any_request(body: &[u8]) -> Result<DecodedRequest, ProtoError> {
+    let mut r = Reader { buf: body };
+    let id = r.u64()?;
+    let tag = r.u8()?;
+    if tag == KIND_HEALTH {
+        return Ok(DecodedRequest::Health { id });
+    }
+    if kind_from_tag(tag).is_none() {
+        return Err(ProtoError::BadTag(tag));
+    }
+    decode_request(body).map(DecodedRequest::Kernel)
+}
+
 /// Encodes a response frame body (no length prefix).
 pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
@@ -260,6 +367,30 @@ pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
             out.put_u8(STATUS_BAD_REQUEST);
             out.put_u32_le(msg.len() as u32);
             out.put_slice(msg.as_bytes());
+        }
+        Err(ServeError::WorkerCrashed) => out.put_u8(STATUS_WORKER_CRASHED),
+        Ok(ServePayload::Degraded {
+            kind,
+            cycles,
+            clock_ns,
+            latency_us,
+        }) => {
+            out.put_u8(STATUS_DEGRADED);
+            out.put_u8(kind_tag(*kind));
+            out.put_u64_le(*cycles);
+            out.put_f64_le(*clock_ns);
+            out.put_f64_le(*latency_us);
+        }
+        Ok(ServePayload::Health(report)) => {
+            out.put_u8(STATUS_HEALTH);
+            out.put_u8(u8::from(report.ready));
+            out.put_u32_le(report.robots.len() as u32);
+            for r in &report.robots {
+                out.put_u32_le(r.name.len() as u32);
+                out.put_slice(r.name.as_bytes());
+                out.put_u8(r.circuit.tag());
+                out.put_u32_le(r.workers_alive);
+            }
         }
     }
     out
@@ -311,12 +442,44 @@ pub fn decode_response(body: &[u8]) -> Result<ResponseFrame, ProtoError> {
         STATUS_DEADLINE => Err(ServeError::DeadlineExceeded),
         STATUS_UNKNOWN_ROBOT => Err(ServeError::UnknownRobot(r.string()?)),
         STATUS_BAD_REQUEST => Err(ServeError::BadRequest(r.string()?)),
+        STATUS_WORKER_CRASHED => Err(ServeError::WorkerCrashed),
+        STATUS_DEGRADED => {
+            let tag = r.u8()?;
+            let kind = kind_from_tag(tag).ok_or(ProtoError::BadTag(tag))?;
+            let cycles = r.u64()?;
+            r.need(16)?;
+            let clock_ns = f64::from_bits(r.u64()?);
+            let latency_us = f64::from_bits(r.u64()?);
+            Ok(ServePayload::Degraded {
+                kind,
+                cycles,
+                clock_ns,
+                latency_us,
+            })
+        }
+        STATUS_HEALTH => {
+            let ready = r.u8()? != 0;
+            let count = r.count(10)?;
+            let mut robots = Vec::with_capacity(count);
+            for _ in 0..count {
+                let name = r.string()?;
+                let tag = r.u8()?;
+                let circuit = CircuitState::from_tag(tag).ok_or(ProtoError::BadTag(tag))?;
+                let workers_alive = r.u32()?;
+                robots.push(RobotHealth {
+                    name,
+                    circuit,
+                    workers_alive,
+                });
+            }
+            Ok(ServePayload::Health(HealthReport { ready, robots }))
+        }
         tag => return Err(ProtoError::BadTag(tag)),
     };
     Ok(ResponseFrame { id, result })
 }
 
-/// Writes one frame: `u32` LE length prefix + body.
+/// Writes one frame: `u32` LE length, `u32` LE FNV-1a checksum, body.
 ///
 /// # Errors
 ///
@@ -328,33 +491,43 @@ pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
             format!("frame body of {} bytes exceeds MAX_FRAME", body.len()),
         ));
     }
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(body)?;
+    w.write_all(&frame_bytes(body))?;
     w.flush()
 }
 
-/// Reads one frame body. `Ok(None)` on clean end-of-stream (EOF before
-/// any length byte); `UnexpectedEof` if the stream dies mid-frame.
+/// Reads and verifies one frame body. `Ok(None)` on clean end-of-stream
+/// (EOF before any header byte); `UnexpectedEof` if the stream dies
+/// mid-frame.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors; `InvalidData` for a length above [`MAX_FRAME`].
+/// Propagates I/O errors; `InvalidData` carrying the
+/// [`ProtoError::FrameTooLarge`] message for a length above
+/// [`MAX_FRAME`], or the [`ProtoError::ChecksumMismatch`] message when
+/// the body fails its integrity check.
 pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
-    let mut len_raw = [0u8; 4];
-    match r.read_exact(&mut len_raw) {
+    let mut header = [0u8; HEADER_LEN];
+    match r.read_exact(&mut header) {
         Ok(()) => {}
         Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
         Err(e) => return Err(e),
     }
-    let len = u32::from_le_bytes(len_raw) as usize;
+    let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+    let expected = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
     if len > MAX_FRAME {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds MAX_FRAME"),
+            ProtoError::FrameTooLarge(len as u64).to_string(),
         ));
     }
     let mut body = vec![0u8; len];
     r.read_exact(&mut body)?;
+    if checksum(&body) != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            ProtoError::ChecksumMismatch.to_string(),
+        ));
+    }
     Ok(Some(body))
 }
 
@@ -460,5 +633,84 @@ mod tests {
         assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"alpha");
         assert_eq!(read_frame(&mut cursor).unwrap().unwrap(), b"");
         assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn resilience_statuses_round_trip() {
+        let frames = [
+            ResponseFrame {
+                id: 5,
+                result: Err(ServeError::WorkerCrashed),
+            },
+            ResponseFrame {
+                id: 6,
+                result: Ok(ServePayload::Degraded {
+                    kind: KernelKind::DynamicsGradient,
+                    cycles: 1234,
+                    clock_ns: 1.75,
+                    latency_us: 2.159e-3,
+                }),
+            },
+            ResponseFrame {
+                id: 7,
+                result: Ok(ServePayload::Health(HealthReport {
+                    ready: true,
+                    robots: vec![
+                        RobotHealth {
+                            name: "iiwa".into(),
+                            circuit: CircuitState::Closed,
+                            workers_alive: 2,
+                        },
+                        RobotHealth {
+                            name: "hyq".into(),
+                            circuit: CircuitState::Open,
+                            workers_alive: 0,
+                        },
+                    ],
+                })),
+            },
+        ];
+        for frame in &frames {
+            let decoded = decode_response(&encode_response(frame)).unwrap();
+            assert_eq!(&decoded, frame);
+        }
+    }
+
+    #[test]
+    fn health_request_round_trips_and_kernel_requests_still_decode() {
+        let probe = encode_health_request(77);
+        assert_eq!(
+            decode_any_request(&probe).unwrap(),
+            DecodedRequest::Health { id: 77 }
+        );
+        let kernel = RequestFrame {
+            id: 3,
+            req: ServeRequest::kinematics("iiwa", vec![0.25; 7]),
+        };
+        assert_eq!(
+            decode_any_request(&encode_request(&kernel)).unwrap(),
+            DecodedRequest::Kernel(kernel)
+        );
+    }
+
+    #[test]
+    fn corrupted_frame_bodies_fail_the_checksum() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"payload-bytes").unwrap();
+        // Flip one bit of the body (past the 8-byte header).
+        wire[HEADER_LEN + 3] ^= 0x10;
+        let err = read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn oversized_declared_length_is_a_typed_frame_error() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        let err = read_frame(&mut io::Cursor::new(wire)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds"), "{err}");
     }
 }

@@ -26,6 +26,9 @@ pub(crate) struct Pending {
     pub enqueued: Instant,
     /// The caller's handle awaiting the result.
     pub ticket: Ticket,
+    /// Whether this request holds its robot's half-open circuit-breaker
+    /// probe slot (its outcome must be reported back to the breaker).
+    pub probe: bool,
 }
 
 /// EDF key: earliest deadline first, `None` last, then admission order.
@@ -153,6 +156,7 @@ mod tests {
             req: ServeRequest::gradient("r", vec![], vec![], vec![]),
             enqueued: base,
             ticket: Ticket::new(),
+            probe: false,
         }
     }
 
@@ -183,5 +187,84 @@ mod tests {
         assert_eq!(q.next_batch(1, &paused, &closed).unwrap().len(), 1);
         assert_eq!(q.next_batch(1, &paused, &closed).unwrap().len(), 1);
         assert!(q.next_batch(1, &paused, &closed).is_none(), "drained");
+    }
+
+    #[test]
+    fn equal_deadlines_pop_in_strict_admission_order() {
+        let q = EdfQueue::new(16);
+        let base = Instant::now();
+        // All the same absolute deadline; admission order scrambled
+        // relative to seq so a heap bug would show.
+        for seq in [5, 1, 9, 3, 7] {
+            q.try_push(pending(seq, Some(1_000), base)).unwrap();
+        }
+        let paused = AtomicBool::new(false);
+        let closed = AtomicBool::new(false);
+        let batch = q.next_batch(5, &paused, &closed).unwrap();
+        let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![1, 3, 5, 7, 9], "FIFO by seq at equal deadlines");
+    }
+
+    #[test]
+    fn rejection_hands_back_the_newcomer_and_preserves_queue_contents() {
+        let q = EdfQueue::new(2);
+        let base = Instant::now();
+        // Two lax-deadline requests fill the queue; an *urgent* newcomer
+        // is still the one rejected — bounded queues never evict.
+        q.try_push(pending(0, Some(10_000), base)).unwrap();
+        q.try_push(pending(1, Some(20_000), base)).unwrap();
+        let bounced = q.try_push(pending(2, Some(1), base)).unwrap_err();
+        assert_eq!(bounced.seq, 2, "the newcomer bounces, urgent or not");
+
+        let paused = AtomicBool::new(false);
+        let closed = AtomicBool::new(false);
+        let batch = q.next_batch(4, &paused, &closed).unwrap();
+        let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0, 1], "queued requests untouched by the shed");
+    }
+
+    #[test]
+    fn concurrent_drain_during_shutdown_delivers_every_request_once() {
+        use std::sync::atomic::AtomicU64;
+        use std::sync::Arc;
+
+        let q = Arc::new(EdfQueue::new(256));
+        let base = Instant::now();
+        for seq in 0..100 {
+            q.try_push(pending(seq, Some(1_000 + seq), base)).unwrap();
+        }
+        let paused = Arc::new(AtomicBool::new(false));
+        let closed = Arc::new(AtomicBool::new(false));
+        let popped = Arc::new(AtomicU64::new(0));
+        let seen_mask = Arc::new(Mutex::new(vec![0u8; 100]));
+
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let (q, paused, closed) =
+                    (Arc::clone(&q), Arc::clone(&paused), Arc::clone(&closed));
+                let (popped, seen) = (Arc::clone(&popped), Arc::clone(&seen_mask));
+                std::thread::spawn(move || {
+                    while let Some(batch) = q.next_batch(4, &paused, &closed) {
+                        let mut mask = seen.lock().unwrap();
+                        for p in &batch {
+                            mask[p.seq as usize] += 1;
+                        }
+                        drop(mask);
+                        popped.fetch_add(batch.len() as u64, AtomicOrdering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+
+        // Close mid-drain: workers already have batches in flight.
+        std::thread::sleep(Duration::from_millis(1));
+        closed.store(true, AtomicOrdering::SeqCst);
+        q.notify_all();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(popped.load(AtomicOrdering::Relaxed), 100, "nothing lost");
+        let mask = seen_mask.lock().unwrap();
+        assert!(mask.iter().all(|&c| c == 1), "each delivered exactly once");
     }
 }

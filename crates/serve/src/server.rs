@@ -6,15 +6,31 @@
 //! **in submission order** and streams the response frames back. A
 //! client may therefore pipeline many requests on one connection;
 //! responses come back in the order the requests were sent.
+//!
+//! Resilience details added by the fault-injection layer:
+//!
+//! * Frames carry an FNV-1a body checksum (see [`crate::proto`]); a
+//!   request frame failing its checksum, or declaring a body above the
+//!   cap, gets a **typed** `BadRequest` response (correlation id 0)
+//!   before the connection closes — never a silent drop.
+//! * Health probes are answered inline by the writer from
+//!   [`crate::Engine::health`], bypassing the kernel queues entirely, so
+//!   readiness checks work even when every robot's queue is saturated.
+//! * When the engine runs a chaos [`FaultPlan`], the writer damages
+//!   response frames on the raw wire bytes (after checksum computation,
+//!   keyed by correlation id) — which is exactly what makes the
+//!   corruption *detectable and retryable* at the client.
 
-use crate::engine::{Engine, ServeError, ServeRequest, ServeResult, Ticket};
+use crate::engine::{Engine, ServeError, ServePayload, ServeRequest, ServeResult, Ticket};
+use crate::fault::FaultSite;
 use crate::proto::{
-    decode_request, decode_response, encode_request, encode_response, read_frame, write_frame,
-    RequestFrame, ResponseFrame,
+    decode_any_request, decode_response, encode_health_request, encode_request, encode_response,
+    frame_bytes, read_frame, write_frame, DecodedRequest, ProtoError, RequestFrame, ResponseFrame,
+    HEADER_LEN, MAX_FRAME,
 };
-use crate::OBS_CATEGORY;
+use crate::{FAULT_CORRUPT_METRIC, OBS_CATEGORY};
 use roboshape_obs as obs;
-use std::io::{self, Read};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -127,8 +143,17 @@ fn accept_loop(
     }
 }
 
+/// What the writer thread sends next, in submission order.
+enum WriterItem {
+    /// A kernel request's outcome (ticket to await, or an admission
+    /// error to relay).
+    Ticket(u64, Result<Ticket, ServeError>),
+    /// A health probe — answered inline from the engine, no queue.
+    Health(u64),
+}
+
 /// Per-connection reader: decodes frames, submits, and hands
-/// `(id, submit outcome)` to the writer thread in order.
+/// [`WriterItem`]s to the writer thread in order.
 fn handle_conn(engine: Engine, stream: TcpStream, stop: Arc<AtomicBool>) {
     let _span = obs::span(OBS_CATEGORY, "connection");
     let _ = stream.set_nodelay(true);
@@ -137,15 +162,31 @@ fn handle_conn(engine: Engine, stream: TcpStream, stop: Arc<AtomicBool>) {
         Ok(s) => s,
         Err(_) => return,
     };
-    let (tx, rx) = mpsc::channel::<(u64, Result<Ticket, ServeError>)>();
+    let (tx, rx) = mpsc::channel::<WriterItem>();
+    let writer_engine = engine.clone();
+    let plan = engine.fault_plan();
     let writer = std::thread::spawn(move || {
-        for (id, outcome) in rx {
-            let result: ServeResult = match outcome {
-                Ok(ticket) => ticket.wait(),
-                Err(e) => Err(e),
+        for item in rx {
+            let (id, result): (u64, ServeResult) = match item {
+                WriterItem::Ticket(id, Ok(ticket)) => (id, ticket.wait()),
+                WriterItem::Ticket(id, Err(e)) => (id, Err(e)),
+                WriterItem::Health(id) => (id, Ok(ServePayload::Health(writer_engine.health()))),
             };
             let body = encode_response(&ResponseFrame { id, result });
-            if write_frame(&mut write_half, &body).is_err() {
+            let mut wire = frame_bytes(&body);
+            if let Some(plan) = plan {
+                // Corruption keys on the correlation id: stable across
+                // runs, independent of scheduling.
+                if plan.fires(FaultSite::FrameCorrupt, id) {
+                    plan.corrupt_wire(id, &mut wire);
+                    obs::metrics().counter(FAULT_CORRUPT_METRIC).add(1);
+                }
+            }
+            if write_half
+                .write_all(&wire)
+                .and_then(|()| write_half.flush())
+                .is_err()
+            {
                 // Client went away; keep draining so queued tickets are
                 // still awaited (they resolve regardless) and drop them.
                 continue;
@@ -154,21 +195,67 @@ fn handle_conn(engine: Engine, stream: TcpStream, stop: Arc<AtomicBool>) {
     });
 
     let mut reader = FrameReader::new(stream);
-    while let Some(body) = reader.next(&stop) {
-        let (id, outcome) = match decode_request(&body) {
-            Ok(RequestFrame { id, req }) => (id, engine.submit(req)),
-            Err(e) => (0, Err(ServeError::BadRequest(e.to_string()))),
-        };
-        if tx.send((id, outcome)).is_err() {
-            break;
+    loop {
+        match reader.next(&stop) {
+            FrameEvent::Frame(body) => {
+                let item = match decode_any_request(&body) {
+                    Ok(DecodedRequest::Kernel(RequestFrame { id, req })) => {
+                        WriterItem::Ticket(id, submit(&engine, req))
+                    }
+                    Ok(DecodedRequest::Health { id }) => WriterItem::Health(id),
+                    Err(e) => WriterItem::Ticket(0, Err(ServeError::BadRequest(e.to_string()))),
+                };
+                if tx.send(item).is_err() {
+                    break;
+                }
+            }
+            // Framing violations get a typed response on id 0, then the
+            // connection closes: the stream position is unrecoverable,
+            // but the client learns *why* instead of seeing a bare EOF.
+            FrameEvent::TooLarge(len) => {
+                let _ = tx.send(WriterItem::Ticket(
+                    0,
+                    Err(ServeError::BadRequest(
+                        ProtoError::FrameTooLarge(len).to_string(),
+                    )),
+                ));
+                break;
+            }
+            FrameEvent::BadChecksum => {
+                let _ = tx.send(WriterItem::Ticket(
+                    0,
+                    Err(ServeError::BadRequest(
+                        ProtoError::ChecksumMismatch.to_string(),
+                    )),
+                ));
+                break;
+            }
+            FrameEvent::Closed => break,
         }
     }
     drop(tx);
     let _ = writer.join();
 }
 
+fn submit(engine: &Engine, req: ServeRequest) -> Result<Ticket, ServeError> {
+    engine.submit(req)
+}
+
+/// What the incremental reader produced.
+enum FrameEvent {
+    /// A complete, checksum-verified frame body.
+    Frame(Vec<u8>),
+    /// The header declared a body longer than the cap.
+    TooLarge(u64),
+    /// The body arrived but failed its checksum.
+    BadChecksum,
+    /// EOF, shutdown, or an unrecoverable read error.
+    Closed,
+}
+
 /// Incremental frame reader that survives read timeouts (used to poll
-/// the shutdown flag) without ever losing stream position.
+/// the shutdown flag) without ever losing stream position, and reports
+/// framing violations as typed events instead of silently closing.
 struct FrameReader {
     stream: TcpStream,
     buf: Vec<u8>,
@@ -215,22 +302,28 @@ impl FrameReader {
         true
     }
 
-    /// The next frame body, or `None` on EOF / shutdown / error.
-    fn next(&mut self, stop: &AtomicBool) -> Option<Vec<u8>> {
+    /// The next frame event: a verified body, a typed framing violation,
+    /// or `Closed` on EOF / shutdown / error.
+    fn next(&mut self, stop: &AtomicBool) -> FrameEvent {
         self.filled = 0;
-        if !self.fill(4, stop) {
-            return None;
+        if !self.fill(HEADER_LEN, stop) {
+            return FrameEvent::Closed;
         }
         let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        if len > crate::proto::MAX_FRAME {
-            return None;
+        let expected = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
+        if len > MAX_FRAME {
+            return FrameEvent::TooLarge(len as u64);
         }
         self.filled = 0;
         self.buf.clear();
         if !self.fill(len, stop) {
-            return None;
+            return FrameEvent::Closed;
         }
-        Some(std::mem::take(&mut self.buf))
+        let body = std::mem::take(&mut self.buf);
+        if crate::proto::checksum(&body) != expected {
+            return FrameEvent::BadChecksum;
+        }
+        FrameEvent::Frame(body)
     }
 }
 
@@ -251,6 +344,31 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client { stream, next_id: 0 })
+    }
+
+    /// Bounds how long [`Client::recv`] blocks for a frame. The load
+    /// generator sets this as its per-request timeout budget so a
+    /// truncated (stream-desyncing) frame resolves as a timeout instead
+    /// of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-option I/O errors.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// The id the next [`Client::send`] will use.
+    pub fn next_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// Overrides the next correlation id. A reconnecting client carries
+    /// its id sequence forward so retried requests get *fresh* ids —
+    /// with deterministic chaos keyed on the id, re-using an id would
+    /// deterministically re-trigger the same frame corruption forever.
+    pub fn set_next_id(&mut self, id: u64) {
+        self.next_id = id;
     }
 
     /// Sends a request without waiting; returns its correlation id.
@@ -275,7 +393,7 @@ impl Client {
     /// # Errors
     ///
     /// `UnexpectedEof` if the server closed the connection; `InvalidData`
-    /// for an undecodable frame.
+    /// for an undecodable, corrupted, or oversized frame.
     pub fn recv(&mut self) -> io::Result<ResponseFrame> {
         let body = read_frame(&mut self.stream)?.ok_or_else(|| {
             io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
@@ -294,5 +412,25 @@ impl Client {
         let frame = self.recv()?;
         debug_assert_eq!(frame.id, id, "responses arrive in submission order");
         Ok(frame.result)
+    }
+
+    /// Round-trips a health probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors as [`Client::recv`]; `InvalidData` if the server
+    /// answers with something other than a health payload.
+    pub fn health(&mut self) -> io::Result<crate::engine::HealthReport> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_health_request(id))?;
+        let frame = self.recv()?;
+        match frame.result {
+            Ok(ServePayload::Health(report)) => Ok(report),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected a health payload, got {other:?}"),
+            )),
+        }
     }
 }

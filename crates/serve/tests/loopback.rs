@@ -259,6 +259,77 @@ fn shutdown_drains_in_flight_requests() {
     assert!(matches!(err, ServeError::Rejected { .. }));
 }
 
+/// A frame whose header declares a body longer than the protocol cap is
+/// rejected with a *typed* error the client can observe — never a
+/// silent connection drop. The server answers on correlation id 0
+/// (it cannot trust anything past the bogus header) and then closes.
+#[test]
+fn oversized_declared_frame_gets_a_typed_rejection() {
+    use roboshape_serve::proto;
+    use std::io::Write;
+
+    let server = serve_zoo(EngineConfig::default());
+    let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect");
+
+    // Hand-rolled malicious header: len = u32::MAX, any checksum.
+    let mut header = Vec::new();
+    header.extend_from_slice(&u32::MAX.to_le_bytes());
+    header.extend_from_slice(&0u32.to_le_bytes());
+    raw.write_all(&header).expect("write bogus header");
+
+    let body = proto::read_frame(&mut raw)
+        .expect("typed response before close")
+        .expect("a frame, not EOF");
+    let frame = proto::decode_response(&body).expect("decodable response");
+    assert_eq!(frame.id, 0, "framing violations answer on id 0");
+    match frame.result {
+        Err(ServeError::BadRequest(msg)) => {
+            assert!(msg.contains("exceeds"), "typed oversize error: {msg}");
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    // After the violation the server closes the stream.
+    assert!(
+        proto::read_frame(&mut raw).expect("clean EOF").is_none(),
+        "connection closed after framing violation"
+    );
+    server.shutdown();
+}
+
+/// A frame whose body fails its checksum is likewise answered with a
+/// typed error naming the corruption, then the connection closes.
+#[test]
+fn corrupted_request_frame_gets_a_typed_rejection() {
+    use roboshape_serve::proto;
+    use std::io::Write;
+
+    let server = serve_zoo(EngineConfig::default());
+    let mut raw = std::net::TcpStream::connect(server.addr()).expect("connect");
+
+    let n = zoo(Zoo::Iiwa).num_links();
+    let body = proto::encode_request(&proto::RequestFrame {
+        id: 3,
+        req: ServeRequest::kinematics("iiwa", vec![0.1; n]),
+    });
+    let mut wire = proto::frame_bytes(&body);
+    let idx = proto::HEADER_LEN + 2;
+    wire[idx] ^= 0x40; // flip one body bit after the checksum was computed
+    raw.write_all(&wire).expect("write corrupted frame");
+
+    let body = proto::read_frame(&mut raw)
+        .expect("typed response before close")
+        .expect("a frame, not EOF");
+    let frame = proto::decode_response(&body).expect("decodable response");
+    assert_eq!(frame.id, 0);
+    match frame.result {
+        Err(ServeError::BadRequest(msg)) => {
+            assert!(msg.contains("checksum"), "typed corruption error: {msg}");
+        }
+        other => panic!("expected BadRequest, got {other:?}"),
+    }
+    server.shutdown();
+}
+
 /// A deadline shorter than the queueing delay comes back as the typed
 /// `DeadlineExceeded`, end to end over TCP.
 #[test]
