@@ -1,0 +1,210 @@
+//! Simulator throughput over the full zoo: cold compile (schedule →
+//! flat op program), warm execute (bound scratch arena, zero-alloc
+//! path), and the retired schedule interpreter side by side. Besides
+//! the Criterion timings, one instrumented run writes a
+//! machine-readable summary to `BENCH_sim.json` at the repository
+//! root.
+//!
+//! Set `SIM_BENCH_SMOKE=1` to shrink the iteration counts for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roboshape::{
+    shared_program, try_simulate_interpreted, AcceleratorDesign, AcceleratorKnobs, CompiledProgram,
+    SimScratch,
+};
+use roboshape_robots::{zoo, Zoo};
+use std::fs;
+use std::hint::black_box;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("SIM_BENCH_SMOKE").is_some()
+}
+
+/// Warm evaluations per robot for the summary run.
+fn evals() -> usize {
+    if smoke() {
+        50
+    } else {
+        2000
+    }
+}
+
+/// Cold compiles per robot for the summary run.
+fn compiles() -> usize {
+    if smoke() {
+        3
+    } else {
+        20
+    }
+}
+
+fn knobs_for(n: usize) -> AcceleratorKnobs {
+    // Mid-sized PE/block allocation: real pipelining, real blocked matmul.
+    AcceleratorKnobs::symmetric(n.min(4), n.min(4))
+}
+
+fn bench_inputs(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+    (
+        (0..n).map(|i| 0.10 * (i as f64 + 1.0)).collect(),
+        (0..n).map(|i| 0.02 * (i as f64 + 1.0)).collect(),
+        (0..n).map(|i| 0.30 * (i as f64 + 1.0)).collect(),
+    )
+}
+
+struct RobotRow {
+    name: &'static str,
+    links: usize,
+    compile_us: f64,
+    cold_first_eval_us: f64,
+    warm_exec_us: f64,
+    interpreted_us: f64,
+}
+
+impl RobotRow {
+    fn warm_evals_per_sec(&self) -> f64 {
+        1e6 / self.warm_exec_us
+    }
+
+    fn speedup_vs_interpreted(&self) -> f64 {
+        self.interpreted_us / self.warm_exec_us
+    }
+}
+
+/// Times cold compile, warm execute, and the interpreter for one robot.
+fn measure(which: Zoo) -> RobotRow {
+    let robot = zoo(which);
+    let n = robot.num_links();
+    let design = AcceleratorDesign::generate(robot.topology(), knobs_for(n));
+    let (q, qd, tau) = bench_inputs(n);
+
+    // Compile alone: lowering the schedule, bypassing every cache.
+    let k = compiles();
+    let start = Instant::now();
+    for _ in 0..k {
+        black_box(CompiledProgram::compile(&design));
+    }
+    let compile_us = start.elapsed().as_secs_f64() * 1e6 / k as f64;
+
+    // Cold request end-to-end: compile, bind a fresh arena, first eval.
+    let start = Instant::now();
+    for _ in 0..k {
+        let program = CompiledProgram::compile(&design);
+        let mut scratch = SimScratch::default();
+        black_box(
+            program
+                .execute_gradient(&robot, &mut scratch, &q, &qd, &tau)
+                .expect("cold evaluation"),
+        );
+    }
+    let cold_first_eval_us = start.elapsed().as_secs_f64() * 1e6 / k as f64;
+
+    // Warm: bound arena + sized output, the zero-alloc path.
+    let program = shared_program(&design);
+    let mut scratch = SimScratch::default();
+    let mut out = program
+        .execute_gradient(&robot, &mut scratch, &q, &qd, &tau)
+        .expect("warm-up evaluation");
+    let k = evals();
+    let start = Instant::now();
+    for _ in 0..k {
+        program
+            .execute_gradient_into(&robot, &mut scratch, &q, &qd, &tau, &mut out)
+            .expect("warm evaluation");
+        black_box(&out.tau);
+    }
+    let warm_exec_us = start.elapsed().as_secs_f64() * 1e6 / k as f64;
+
+    // Interpreter: the retired per-eval schedule walk, as a baseline.
+    let k = (evals() / 4).max(10);
+    let start = Instant::now();
+    for _ in 0..k {
+        black_box(try_simulate_interpreted(&robot, &design, &q, &qd, &tau).expect("interpreted"));
+    }
+    let interpreted_us = start.elapsed().as_secs_f64() * 1e6 / k as f64;
+
+    RobotRow {
+        name: which.name(),
+        links: n,
+        compile_us,
+        cold_first_eval_us,
+        warm_exec_us,
+        interpreted_us,
+    }
+}
+
+fn write_summary(rows: &[RobotRow]) {
+    let warm_beats_cold = rows.iter().all(|r| r.warm_exec_us < r.cold_first_eval_us);
+    let robots = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{name}\", \"links\": {links}, \"compile_us\": {comp:.2}, \"cold_first_eval_us\": {cold:.2}, \"warm_exec_us\": {warm:.2}, \"interpreted_us\": {interp:.2}, \"warm_evals_per_sec\": {eps:.0}, \"speedup_vs_interpreted\": {speedup:.2}}}",
+                name = r.name,
+                links = r.links,
+                comp = r.compile_us,
+                cold = r.cold_first_eval_us,
+                warm = r.warm_exec_us,
+                interp = r.interpreted_us,
+                eps = r.warm_evals_per_sec(),
+                speedup = r.speedup_vs_interpreted(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"kernel\": \"dynamics_gradient\",\n  \"smoke\": {smoke},\n  \"warm_evals\": {evals},\n  \"warm_beats_cold\": {warm_beats_cold},\n  \"robots\": [\n{robots}\n  ]\n}}\n",
+        smoke = smoke(),
+        evals = evals(),
+    );
+    roboshape::obs::json::validate(&json).expect("summary is well-formed JSON");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    fs::write(path, json).expect("write BENCH_sim.json");
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    // Criterion timings for the largest robot's warm path: the number
+    // the compile-once/execute-many split exists to improve.
+    let robot = zoo(Zoo::HyqArm);
+    let n = robot.num_links();
+    let design = AcceleratorDesign::generate(robot.topology(), knobs_for(n));
+    let program = shared_program(&design);
+    let mut scratch = SimScratch::default();
+    let (q, qd, tau) = bench_inputs(n);
+    let mut out = program
+        .execute_gradient(&robot, &mut scratch, &q, &qd, &tau)
+        .expect("warm-up evaluation");
+    g.bench_function("warm_execute_hyq_arm", |b| {
+        b.iter(|| {
+            program
+                .execute_gradient_into(&robot, &mut scratch, &q, &qd, &tau, &mut out)
+                .expect("warm evaluation");
+            black_box(&out.tau);
+        })
+    });
+    g.bench_function("interpreted_hyq_arm", |b| {
+        b.iter(|| {
+            black_box(
+                try_simulate_interpreted(&robot, &design, &q, &qd, &tau).expect("interpreted"),
+            )
+        })
+    });
+    g.finish();
+
+    let rows: Vec<RobotRow> = Zoo::ALL.iter().map(|&z| measure(z)).collect();
+    for r in &rows {
+        assert!(
+            r.warm_exec_us < r.cold_first_eval_us,
+            "{}: warm execute ({:.2}us) must beat a cold request ({:.2}us)",
+            r.name,
+            r.warm_exec_us,
+            r.cold_first_eval_us
+        );
+    }
+    write_summary(&rows);
+}
+
+criterion_group!(benches, bench_sim_throughput);
+criterion_main!(benches);

@@ -1200,7 +1200,7 @@ mod tests {
         obs::json::validate(&trace).unwrap_or_else(|e| panic!("malformed trace JSON: {e}"));
         assert!(trace.contains("\"traceEvents\""));
         assert!(trace.contains("\"ph\":\"X\""));
-        // All seven pipeline stages appear as spans, even on a warm store.
+        // All eight pipeline stages appear as spans, even on a warm store.
         for stage in PipelineStage::ALL {
             assert!(
                 trace.contains(&format!("\"name\":\"{}\"", stage.name())),

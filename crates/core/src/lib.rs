@@ -65,8 +65,9 @@ pub use roboshape_codegen::{check_bundle, emit_verilog, lint, VerilogBundle};
 pub use roboshape_dse::{
     co_design, constrained_selection, design_space_stats, evaluate_strategies,
     evaluate_strategies_with, pareto_frontier, sweep_design_space, sweep_design_space_barrier,
-    sweep_design_space_barrier_with, sweep_design_space_with, AllocationStrategy,
-    ConstrainedSelection, DesignPoint, DesignSpaceStats, Quartiles, SocAllocation, StrategyOutcome,
+    sweep_design_space_barrier_with, sweep_design_space_with, verify_frontier, AllocationStrategy,
+    ConstrainedSelection, DesignPoint, DesignSpaceStats, FrontierVerification, Quartiles,
+    SocAllocation, StrategyOutcome,
 };
 pub use roboshape_dynamics::{Dynamics, FdDerivatives, ForwardKinematics, RneaDerivatives};
 pub use roboshape_pipeline::{
@@ -75,9 +76,10 @@ pub use roboshape_pipeline::{
     POINTS_METRIC as PIPELINE_POINTS_METRIC,
 };
 pub use roboshape_sim::{
-    simulate, simulate_batch, simulate_inverse_dynamics, simulate_kinematics, try_simulate,
-    try_simulate_batch, try_simulate_inverse_dynamics, try_simulate_kinematics,
-    AcceleratorGradients, GradientProvider, ReferenceGradients, SimError, SimStats, Simulation,
+    shared_program, simulate, simulate_batch, simulate_inverse_dynamics, simulate_kinematics,
+    try_simulate, try_simulate_batch, try_simulate_batch_interpreted, try_simulate_interpreted,
+    try_simulate_inverse_dynamics, try_simulate_kinematics, AcceleratorGradients, CompiledProgram,
+    GradientProvider, ReferenceGradients, SimError, SimScratch, SimStats, Simulation,
 };
 pub use roboshape_spatial::{inertia_pattern, joint_transform_pattern, Pattern6};
 pub use roboshape_taskgraph::{schedule, Schedule, SchedulerConfig, Stage, TaskCosts, TaskGraph};
@@ -227,12 +229,17 @@ impl Framework {
     }
 
     /// Generates an accelerator at an explicit knob setting. Schedules,
-    /// patterns and block plans are reused from the pipeline's artifact
-    /// store when present.
+    /// patterns, block plans and the compiled simulation program are
+    /// reused from the pipeline's artifact store when present.
     pub fn generate_with_knobs(&self, knobs: AcceleratorKnobs) -> Accelerator {
         let design =
             self.pipeline
                 .design(self.robot.topology(), knobs, KernelKind::DynamicsGradient);
+        // Warm the Programs stage too, so the accelerator's first
+        // simulation starts from a compiled program shared with every
+        // other consumer of the design.
+        self.pipeline
+            .compiled_program(self.robot.topology(), knobs, KernelKind::DynamicsGradient);
         Accelerator {
             robot: self.robot.clone(),
             design,

@@ -22,7 +22,10 @@
 //!   exhaustive Optimal Minimum Latency);
 //! * [`constrained_selection`] — the Fig. 16 study: under a platform's
 //!   80% utilization threshold, compare the maximally-allocated feasible
-//!   point against the true minimum-latency feasible point.
+//!   point against the true minimum-latency feasible point;
+//! * [`verify_frontier`] — numerically cross-checks a set of points with
+//!   the compiled simulator (`roboshape-sim`), one persistent scratch
+//!   arena per sweep worker: knobs move latency, never math.
 //!
 //! # Examples
 //!
@@ -44,6 +47,7 @@ mod soc;
 mod stats;
 mod strategies;
 mod sweep;
+mod verify;
 
 pub use constrained::{constrained_selection, ConstrainedSelection};
 pub use soc::{co_design, SocAllocation};
@@ -55,3 +59,4 @@ pub use sweep::{
     pareto_frontier, sweep_design_space, sweep_design_space_barrier,
     sweep_design_space_barrier_with, sweep_design_space_with, DesignPoint,
 };
+pub use verify::{verify_frontier, FrontierVerification};

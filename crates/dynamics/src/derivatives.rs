@@ -54,20 +54,22 @@ pub struct LinkDeriv {
 /// parent's value and derivative states.
 ///
 /// This is the arithmetic a `∇`-stage forward PE task performs in the
-/// accelerator (one call per (link, seed) pair).
+/// accelerator (one call per (link, seed) pair). The per-link operands
+/// that do not depend on the seed — `S_i`, `S_i q̇_i` and the momentum
+/// `h_i = I_i v_i` — come precomputed from the cache rather than being
+/// rederived on every call.
 #[allow(clippy::too_many_arguments)] // mirrors the PE datapath's port list
 pub fn fwd_deriv_step(
     model: &RobotModel,
     i: usize,
     is_seed: bool,
     wrt: Wrt,
-    qd_i: f64,
     cache: &RneaCache,
     v_parent: MotionVec,
     a_parent: MotionVec,
     parent: &LinkDeriv,
 ) -> LinkDeriv {
-    let s = model.joint(i).motion_subspace();
+    let s = cache.s[i];
     let xup = &cache.xup[i];
     let v_i = cache.v[i];
     let inertia = &model.link(i).inertia;
@@ -86,10 +88,8 @@ pub fn fwd_deriv_step(
             }
         }
     }
-    da += cross_motion(dv, s * qd_i);
-    let df = inertia.apply(da)
-        + cross_force(dv, inertia.apply(v_i))
-        + cross_force(v_i, inertia.apply(dv));
+    da += cross_motion(dv, cache.vj[i]);
+    let df = inertia.apply(da) + cross_force(dv, cache.h[i]) + cross_force(v_i, inertia.apply(dv));
     LinkDeriv { dv, da, df }
 }
 
@@ -98,14 +98,13 @@ pub fn fwd_deriv_step(
 /// parent. `df_total` must already include all child contributions, and
 /// `f_total` is the value-level total force from the cache.
 pub fn bwd_deriv_step(
-    model: &RobotModel,
     i: usize,
     is_seed: bool,
     wrt: Wrt,
     cache: &RneaCache,
     df_total: ForceVec,
 ) -> (f64, ForceVec) {
-    let s = model.joint(i).motion_subspace();
+    let s = cache.s[i];
     let xup = &cache.xup[i];
     let dtau = s.dot_force(df_total);
     let mut to_parent = xup.apply_force_transpose(df_total);
@@ -170,7 +169,6 @@ impl Dynamics<'_> {
                         i,
                         i == j,
                         wrt,
-                        qd[i],
                         cache,
                         v_parent,
                         a_parent,
@@ -184,7 +182,7 @@ impl Dynamics<'_> {
                     if !in_scope {
                         continue;
                     }
-                    let (dtau, to_parent) = bwd_deriv_step(model, i, i == j, wrt, cache, df[i]);
+                    let (dtau, to_parent) = bwd_deriv_step(i, i == j, wrt, cache, df[i]);
                     out[(i, j)] = dtau;
                     if let Some(p) = topo.parent(i) {
                         df[p] += to_parent;

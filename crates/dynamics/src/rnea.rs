@@ -83,6 +83,14 @@ pub struct RneaCache {
     pub f: Vec<ForceVec>,
     /// Joint torques.
     pub tau: Vec<f64>,
+    /// Per-link joint motion subspaces `S_i`. Configuration-independent,
+    /// but the gradient pass reads them once per `(link, seed)` pair, so
+    /// they are staged here next to the other per-link operands.
+    pub s: Vec<MotionVec>,
+    /// Per-link joint velocities `S_i q̇_i`.
+    pub vj: Vec<MotionVec>,
+    /// Per-link spatial momenta `h_i = I_i v_i`.
+    pub h: Vec<ForceVec>,
 }
 
 impl Dynamics<'_> {
@@ -115,12 +123,19 @@ impl Dynamics<'_> {
         let mut v = Vec::with_capacity(n);
         let mut a = Vec::with_capacity(n);
         let mut f = Vec::with_capacity(n);
+        let mut s = Vec::with_capacity(n);
+        let mut vj = Vec::with_capacity(n);
+        let mut h = Vec::with_capacity(n);
         for i in 0..n {
             let (vp, ap) = match topo.parent(i) {
                 Some(p) => (v[p], a[p]),
                 None => (MotionVec::ZERO, a_base),
             };
             let out = fwd_link_step(model, i, q[i], qd[i], qdd[i], vp, ap);
+            let s_i = model.joint(i).motion_subspace();
+            s.push(s_i);
+            vj.push(s_i * qd[i]);
+            h.push(model.link(i).inertia.apply(out.v));
             xup.push(out.xup);
             v.push(out.v);
             a.push(out.a);
@@ -135,7 +150,16 @@ impl Dynamics<'_> {
                 f[p] += to_parent;
             }
         }
-        RneaCache { xup, v, a, f, tau }
+        RneaCache {
+            xup,
+            v,
+            a,
+            f,
+            tau,
+            s,
+            vj,
+            h,
+        }
     }
 
     /// Total kinetic energy `Σ ½ v_iᵀ I_i v_i` at `(q, q̇)`; equals

@@ -30,6 +30,7 @@ pub struct DMat {
 
 impl DMat {
     /// Creates a `rows × cols` matrix of zeros.
+    #[inline]
     pub fn zeros(rows: usize, cols: usize) -> DMat {
         DMat {
             rows,
@@ -39,6 +40,7 @@ impl DMat {
     }
 
     /// Creates an `n × n` identity matrix.
+    #[inline]
     pub fn identity(n: usize) -> DMat {
         let mut m = DMat::zeros(n, n);
         for i in 0..n {
@@ -52,6 +54,7 @@ impl DMat {
     /// # Panics
     ///
     /// Panics if the rows have inconsistent lengths.
+    #[inline]
     pub fn from_rows(rows: &[&[f64]]) -> DMat {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
@@ -66,6 +69,7 @@ impl DMat {
     }
 
     /// Builds a matrix from a function of the index pair.
+    #[inline]
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> DMat {
         let mut m = DMat::zeros(rows, cols);
         for i in 0..rows {
@@ -77,16 +81,19 @@ impl DMat {
     }
 
     /// Number of rows.
+    #[inline]
     pub fn rows(&self) -> usize {
         self.rows
     }
 
     /// Number of columns.
+    #[inline]
     pub fn cols(&self) -> usize {
         self.cols
     }
 
     /// Matrix transpose.
+    #[inline]
     pub fn transpose(&self) -> DMat {
         DMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
     }
@@ -96,6 +103,7 @@ impl DMat {
     /// # Panics
     ///
     /// Panics if `v.len() != self.cols()`.
+    #[inline]
     pub fn mul_vec(&self, v: &[f64]) -> DVec {
         assert_eq!(v.len(), self.cols, "dimension mismatch in mul_vec");
         let mut out = vec![0.0; self.rows];
@@ -111,6 +119,7 @@ impl DMat {
     /// # Panics
     ///
     /// Panics if the inner dimensions disagree.
+    #[inline]
     pub fn mul_mat(&self, other: &DMat) -> DMat {
         assert_eq!(self.cols, other.rows, "dimension mismatch in mul_mat");
         let mut out = DMat::zeros(self.rows, other.cols);
@@ -129,6 +138,7 @@ impl DMat {
     }
 
     /// Returns a copy scaled by `s`.
+    #[inline]
     pub fn scaled(&self, s: f64) -> DMat {
         let mut m = self.clone();
         for v in &mut m.data {
@@ -139,6 +149,7 @@ impl DMat {
 
     /// Maximum absolute entry of `self - other`; `None` when the shapes
     /// differ.
+    #[inline]
     pub fn max_abs_diff(&self, other: &DMat) -> Option<f64> {
         if self.rows != other.rows || self.cols != other.cols {
             return None;
@@ -153,11 +164,13 @@ impl DMat {
     }
 
     /// Maximum absolute entry.
+    #[inline]
     pub fn max_abs(&self) -> f64 {
         self.data.iter().map(|v| v.abs()).fold(0.0, f64::max)
     }
 
     /// `true` if the matrix is symmetric within `eps`.
+    #[inline]
     pub fn is_symmetric(&self, eps: f64) -> bool {
         if self.rows != self.cols {
             return false;
@@ -173,11 +186,13 @@ impl DMat {
     }
 
     /// Count of entries with magnitude above `eps`.
+    #[inline]
     pub fn nnz(&self, eps: f64) -> usize {
         self.data.iter().filter(|v| v.abs() > eps).count()
     }
 
     /// Fraction of entries that are (numerically) zero, in `[0, 1]`.
+    #[inline]
     pub fn sparsity(&self, eps: f64) -> f64 {
         if self.data.is_empty() {
             return 0.0;
@@ -187,6 +202,7 @@ impl DMat {
 
     /// Copies the rectangular block starting at `(r0, c0)` of shape
     /// `(block_rows, block_cols)`, zero-padding past the matrix edge.
+    #[inline]
     pub fn block_padded(&self, r0: usize, c0: usize, block_rows: usize, block_cols: usize) -> DMat {
         DMat::from_fn(block_rows, block_cols, |i, j| {
             let (r, c) = (r0 + i, c0 + j);
@@ -200,6 +216,7 @@ impl DMat {
 
     /// Adds `block` into `self` at offset `(r0, c0)`, ignoring entries that
     /// fall past the matrix edge (the inverse of [`DMat::block_padded`]).
+    #[inline]
     pub fn add_block(&mut self, r0: usize, c0: usize, block: &DMat) {
         for i in 0..block.rows {
             for j in 0..block.cols {
@@ -212,13 +229,21 @@ impl DMat {
     }
 
     /// Row-major data slice.
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
+    }
+
+    /// Mutable row-major data slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
     }
 }
 
 impl Index<(usize, usize)> for DMat {
     type Output = f64;
+    #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &f64 {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
         &self.data[r * self.cols + c]
@@ -226,6 +251,7 @@ impl Index<(usize, usize)> for DMat {
 }
 
 impl IndexMut<(usize, usize)> for DMat {
+    #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
         assert!(r < self.rows && c < self.cols, "index out of bounds");
         &mut self.data[r * self.cols + c]
@@ -234,6 +260,7 @@ impl IndexMut<(usize, usize)> for DMat {
 
 impl Add for &DMat {
     type Output = DMat;
+    #[inline]
     fn add(self, o: &DMat) -> DMat {
         assert_eq!((self.rows, self.cols), (o.rows, o.cols), "shape mismatch");
         let mut m = self.clone();
@@ -246,6 +273,7 @@ impl Add for &DMat {
 
 impl Sub for &DMat {
     type Output = DMat;
+    #[inline]
     fn sub(self, o: &DMat) -> DMat {
         assert_eq!((self.rows, self.cols), (o.rows, o.cols), "shape mismatch");
         let mut m = self.clone();
@@ -258,12 +286,14 @@ impl Sub for &DMat {
 
 impl Mul for &DMat {
     type Output = DMat;
+    #[inline]
     fn mul(self, o: &DMat) -> DMat {
         self.mul_mat(o)
     }
 }
 
 impl fmt::Display for DMat {
+    #[inline]
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for i in 0..self.rows {
             for j in 0..self.cols {

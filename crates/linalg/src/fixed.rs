@@ -55,11 +55,13 @@ impl Vec3 {
     }
 
     /// Dot product.
+    #[inline]
     pub fn dot(self, other: Vec3) -> f64 {
         self.x * other.x + self.y * other.y + self.z * other.z
     }
 
     /// Cross product `self × other`.
+    #[inline]
     pub fn cross(self, other: Vec3) -> Vec3 {
         Vec3::new(
             self.y * other.z - self.z * other.y,
@@ -69,6 +71,7 @@ impl Vec3 {
     }
 
     /// Euclidean norm.
+    #[inline]
     pub fn norm(self) -> f64 {
         self.dot(self).sqrt()
     }
@@ -78,6 +81,7 @@ impl Vec3 {
     /// # Panics
     ///
     /// Panics if the vector is (numerically) zero.
+    #[inline]
     pub fn normalized(self) -> Vec3 {
         let n = self.norm();
         assert!(n > 1e-12, "cannot normalize a zero vector");
@@ -85,6 +89,7 @@ impl Vec3 {
     }
 
     /// The skew-symmetric cross-product matrix `[v]×` with `[v]× w = v × w`.
+    #[inline]
     pub fn skew(self) -> Mat3 {
         Mat3::from_rows([
             [0.0, -self.z, self.y],
@@ -94,12 +99,14 @@ impl Vec3 {
     }
 
     /// Components as an array `[x, y, z]`.
+    #[inline]
     pub fn to_array(self) -> [f64; 3] {
         [self.x, self.y, self.z]
     }
 }
 
 impl From<[f64; 3]> for Vec3 {
+    #[inline]
     fn from(a: [f64; 3]) -> Self {
         Vec3::new(a[0], a[1], a[2])
     }
@@ -107,6 +114,7 @@ impl From<[f64; 3]> for Vec3 {
 
 impl Add for Vec3 {
     type Output = Vec3;
+    #[inline]
     fn add(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
     }
@@ -114,6 +122,7 @@ impl Add for Vec3 {
 
 impl Sub for Vec3 {
     type Output = Vec3;
+    #[inline]
     fn sub(self, o: Vec3) -> Vec3 {
         Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
     }
@@ -121,6 +130,7 @@ impl Sub for Vec3 {
 
 impl Neg for Vec3 {
     type Output = Vec3;
+    #[inline]
     fn neg(self) -> Vec3 {
         Vec3::new(-self.x, -self.y, -self.z)
     }
@@ -128,6 +138,7 @@ impl Neg for Vec3 {
 
 impl Mul<f64> for Vec3 {
     type Output = Vec3;
+    #[inline]
     fn mul(self, s: f64) -> Vec3 {
         Vec3::new(self.x * s, self.y * s, self.z * s)
     }
@@ -150,6 +161,7 @@ pub struct Mat3 {
 }
 
 impl Default for Mat3 {
+    #[inline]
     fn default() -> Self {
         Mat3::zero()
     }
@@ -157,6 +169,7 @@ impl Default for Mat3 {
 
 impl Mat3 {
     /// The zero matrix.
+    #[inline]
     pub fn zero() -> Mat3 {
         Mat3 {
             rows: [[0.0; 3]; 3],
@@ -164,6 +177,7 @@ impl Mat3 {
     }
 
     /// The identity matrix.
+    #[inline]
     pub fn identity() -> Mat3 {
         let mut m = Mat3::zero();
         for i in 0..3 {
@@ -173,28 +187,33 @@ impl Mat3 {
     }
 
     /// Builds a matrix from row-major data.
+    #[inline]
     pub fn from_rows(rows: [[f64; 3]; 3]) -> Mat3 {
         Mat3 { rows }
     }
 
     /// A diagonal matrix with the given diagonal entries.
+    #[inline]
     pub fn diagonal(d: Vec3) -> Mat3 {
         Mat3::from_rows([[d.x, 0.0, 0.0], [0.0, d.y, 0.0], [0.0, 0.0, d.z]])
     }
 
     /// Rotation by `angle` radians about the x axis.
+    #[inline]
     pub fn rotation_x(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
         Mat3::from_rows([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
     }
 
     /// Rotation by `angle` radians about the y axis.
+    #[inline]
     pub fn rotation_y(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
         Mat3::from_rows([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
     }
 
     /// Rotation by `angle` radians about the z axis.
+    #[inline]
     pub fn rotation_z(angle: f64) -> Mat3 {
         let (s, c) = angle.sin_cos();
         Mat3::from_rows([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
@@ -206,6 +225,7 @@ impl Mat3 {
     /// # Panics
     ///
     /// Panics if `axis` is numerically zero.
+    #[inline]
     pub fn rotation_axis(axis: Vec3, angle: f64) -> Mat3 {
         let u = axis.normalized();
         let (s, c) = angle.sin_cos();
@@ -215,6 +235,7 @@ impl Mat3 {
 
     /// Intrinsic roll-pitch-yaw rotation used by URDF `rpy` attributes:
     /// `R = Rz(yaw) · Ry(pitch) · Rx(roll)`.
+    #[inline]
     pub fn from_rpy(roll: f64, pitch: f64, yaw: f64) -> Mat3 {
         Mat3::rotation_z(yaw) * Mat3::rotation_y(pitch) * Mat3::rotation_x(roll)
     }
@@ -224,6 +245,7 @@ impl Mat3 {
     ///
     /// Near the pitch singularity (`|pitch| = π/2`) the roll is set to zero
     /// and the yaw absorbs the remaining rotation.
+    #[inline]
     pub fn to_rpy(&self) -> [f64; 3] {
         let r20 = self.rows[2][0];
         if r20.abs() < 1.0 - 1e-10 {
@@ -244,6 +266,7 @@ impl Mat3 {
     }
 
     /// Matrix transpose.
+    #[inline]
     pub fn transpose(&self) -> Mat3 {
         let mut t = Mat3::zero();
         for i in 0..3 {
@@ -255,16 +278,19 @@ impl Mat3 {
     }
 
     /// Entry accessor.
+    #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         self.rows[r][c]
     }
 
     /// Mutable entry accessor.
+    #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         self.rows[r][c] = v;
     }
 
     /// Frobenius norm of `self - other`; used in tests.
+    #[inline]
     pub fn distance(&self, other: &Mat3) -> f64 {
         let mut acc = 0.0;
         for i in 0..3 {
@@ -279,6 +305,7 @@ impl Mat3 {
 
 impl Add for Mat3 {
     type Output = Mat3;
+    #[inline]
     fn add(self, o: Mat3) -> Mat3 {
         let mut m = Mat3::zero();
         for i in 0..3 {
@@ -292,6 +319,7 @@ impl Add for Mat3 {
 
 impl Sub for Mat3 {
     type Output = Mat3;
+    #[inline]
     fn sub(self, o: Mat3) -> Mat3 {
         let mut m = Mat3::zero();
         for i in 0..3 {
@@ -305,6 +333,7 @@ impl Sub for Mat3 {
 
 impl Mul<f64> for Mat3 {
     type Output = Mat3;
+    #[inline]
     fn mul(self, s: f64) -> Mat3 {
         let mut m = self;
         for i in 0..3 {
@@ -318,6 +347,7 @@ impl Mul<f64> for Mat3 {
 
 impl Mul<Vec3> for Mat3 {
     type Output = Vec3;
+    #[inline]
     fn mul(self, v: Vec3) -> Vec3 {
         Vec3::new(
             self.rows[0][0] * v.x + self.rows[0][1] * v.y + self.rows[0][2] * v.z,
@@ -329,6 +359,7 @@ impl Mul<Vec3> for Mat3 {
 
 impl Mul for Mat3 {
     type Output = Mat3;
+    #[inline]
     fn mul(self, o: Mat3) -> Mat3 {
         let mut m = Mat3::zero();
         for i in 0..3 {
@@ -370,6 +401,7 @@ impl Vec6 {
     }
 
     /// Builds from an angular (top) and linear (bottom) 3-vector.
+    #[inline]
     pub fn from_parts(angular: Vec3, linear: Vec3) -> Self {
         Vec6::from_array([
             angular.x, angular.y, angular.z, linear.x, linear.y, linear.z,
@@ -377,16 +409,19 @@ impl Vec6 {
     }
 
     /// The angular (top) part.
+    #[inline]
     pub fn angular(self) -> Vec3 {
         Vec3::new(self.data[0], self.data[1], self.data[2])
     }
 
     /// The linear (bottom) part.
+    #[inline]
     pub fn linear(self) -> Vec3 {
         Vec3::new(self.data[3], self.data[4], self.data[5])
     }
 
     /// Dot product.
+    #[inline]
     pub fn dot(self, other: Vec6) -> f64 {
         self.data
             .iter()
@@ -396,17 +431,20 @@ impl Vec6 {
     }
 
     /// Euclidean norm.
+    #[inline]
     pub fn norm(self) -> f64 {
         self.dot(self).sqrt()
     }
 
     /// Components as an array.
+    #[inline]
     pub fn to_array(self) -> [f64; 6] {
         self.data
     }
 }
 
 impl From<[f64; 6]> for Vec6 {
+    #[inline]
     fn from(a: [f64; 6]) -> Self {
         Vec6::from_array(a)
     }
@@ -414,12 +452,14 @@ impl From<[f64; 6]> for Vec6 {
 
 impl Index<usize> for Vec6 {
     type Output = f64;
+    #[inline]
     fn index(&self, i: usize) -> &f64 {
         &self.data[i]
     }
 }
 
 impl IndexMut<usize> for Vec6 {
+    #[inline]
     fn index_mut(&mut self, i: usize) -> &mut f64 {
         &mut self.data[i]
     }
@@ -427,6 +467,7 @@ impl IndexMut<usize> for Vec6 {
 
 impl Add for Vec6 {
     type Output = Vec6;
+    #[inline]
     fn add(self, o: Vec6) -> Vec6 {
         let mut d = [0.0; 6];
         for i in 0..6 {
@@ -437,6 +478,7 @@ impl Add for Vec6 {
 }
 
 impl AddAssign for Vec6 {
+    #[inline]
     fn add_assign(&mut self, o: Vec6) {
         for i in 0..6 {
             self.data[i] += o.data[i];
@@ -446,6 +488,7 @@ impl AddAssign for Vec6 {
 
 impl Sub for Vec6 {
     type Output = Vec6;
+    #[inline]
     fn sub(self, o: Vec6) -> Vec6 {
         let mut d = [0.0; 6];
         for i in 0..6 {
@@ -456,6 +499,7 @@ impl Sub for Vec6 {
 }
 
 impl SubAssign for Vec6 {
+    #[inline]
     fn sub_assign(&mut self, o: Vec6) {
         for i in 0..6 {
             self.data[i] -= o.data[i];
@@ -465,6 +509,7 @@ impl SubAssign for Vec6 {
 
 impl Neg for Vec6 {
     type Output = Vec6;
+    #[inline]
     fn neg(self) -> Vec6 {
         let mut d = self.data;
         for v in &mut d {
@@ -476,6 +521,7 @@ impl Neg for Vec6 {
 
 impl Mul<f64> for Vec6 {
     type Output = Vec6;
+    #[inline]
     fn mul(self, s: f64) -> Vec6 {
         let mut d = self.data;
         for v in &mut d {
@@ -502,6 +548,7 @@ pub struct Mat6 {
 }
 
 impl Default for Mat6 {
+    #[inline]
     fn default() -> Self {
         Mat6::zero()
     }
@@ -509,6 +556,7 @@ impl Default for Mat6 {
 
 impl Mat6 {
     /// The zero matrix.
+    #[inline]
     pub fn zero() -> Mat6 {
         Mat6 {
             rows: [[0.0; 6]; 6],
@@ -516,6 +564,7 @@ impl Mat6 {
     }
 
     /// The identity matrix.
+    #[inline]
     pub fn identity() -> Mat6 {
         let mut m = Mat6::zero();
         for i in 0..6 {
@@ -530,6 +579,7 @@ impl Mat6 {
     /// [ tl  tr ]
     /// [ bl  br ]
     /// ```
+    #[inline]
     pub fn from_blocks(tl: Mat3, tr: Mat3, bl: Mat3, br: Mat3) -> Mat6 {
         let mut m = Mat6::zero();
         for i in 0..3 {
@@ -544,25 +594,30 @@ impl Mat6 {
     }
 
     /// The top-left 3×3 block.
+    #[inline]
     pub fn block_tl(&self) -> Mat3 {
         self.block(0, 0)
     }
 
     /// The top-right 3×3 block.
+    #[inline]
     pub fn block_tr(&self) -> Mat3 {
         self.block(0, 3)
     }
 
     /// The bottom-left 3×3 block.
+    #[inline]
     pub fn block_bl(&self) -> Mat3 {
         self.block(3, 0)
     }
 
     /// The bottom-right 3×3 block.
+    #[inline]
     pub fn block_br(&self) -> Mat3 {
         self.block(3, 3)
     }
 
+    #[inline]
     fn block(&self, r0: usize, c0: usize) -> Mat3 {
         let mut b = Mat3::zero();
         for i in 0..3 {
@@ -574,16 +629,19 @@ impl Mat6 {
     }
 
     /// Entry accessor.
+    #[inline]
     pub fn get(&self, r: usize, c: usize) -> f64 {
         self.rows[r][c]
     }
 
     /// Mutable entry accessor.
+    #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f64) {
         self.rows[r][c] = v;
     }
 
     /// Matrix transpose.
+    #[inline]
     pub fn transpose(&self) -> Mat6 {
         let mut t = Mat6::zero();
         for i in 0..6 {
@@ -595,6 +653,7 @@ impl Mat6 {
     }
 
     /// Frobenius norm of `self - other`; used in tests.
+    #[inline]
     pub fn distance(&self, other: &Mat6) -> f64 {
         let mut acc = 0.0;
         for i in 0..6 {
@@ -608,6 +667,7 @@ impl Mat6 {
 
     /// Count of entries with magnitude above `eps` (used by the robomorphic
     /// sparsity analyses of 6×6 joint/inertia matrices).
+    #[inline]
     pub fn nnz(&self, eps: f64) -> usize {
         self.rows
             .iter()
@@ -619,6 +679,7 @@ impl Mat6 {
 
 impl Add for Mat6 {
     type Output = Mat6;
+    #[inline]
     fn add(self, o: Mat6) -> Mat6 {
         let mut m = Mat6::zero();
         for i in 0..6 {
@@ -631,6 +692,7 @@ impl Add for Mat6 {
 }
 
 impl AddAssign for Mat6 {
+    #[inline]
     fn add_assign(&mut self, o: Mat6) {
         for i in 0..6 {
             for j in 0..6 {
@@ -642,6 +704,7 @@ impl AddAssign for Mat6 {
 
 impl Sub for Mat6 {
     type Output = Mat6;
+    #[inline]
     fn sub(self, o: Mat6) -> Mat6 {
         let mut m = Mat6::zero();
         for i in 0..6 {
@@ -655,6 +718,7 @@ impl Sub for Mat6 {
 
 impl Mul<f64> for Mat6 {
     type Output = Mat6;
+    #[inline]
     fn mul(self, s: f64) -> Mat6 {
         let mut m = self;
         for i in 0..6 {
@@ -668,6 +732,7 @@ impl Mul<f64> for Mat6 {
 
 impl Mul<Vec6> for Mat6 {
     type Output = Vec6;
+    #[inline]
     fn mul(self, v: Vec6) -> Vec6 {
         let mut out = [0.0; 6];
         for i in 0..6 {
@@ -683,6 +748,7 @@ impl Mul<Vec6> for Mat6 {
 
 impl Mul for Mat6 {
     type Output = Mat6;
+    #[inline]
     fn mul(self, o: Mat6) -> Mat6 {
         let mut m = Mat6::zero();
         for i in 0..6 {

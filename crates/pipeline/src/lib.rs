@@ -69,6 +69,7 @@ use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind};
 use roboshape_blocksparse::{BlockMatmulPlan, SparsityPattern};
 use roboshape_obs as obs;
 use roboshape_obs::{Counter, Sink, SpanRecord};
+use roboshape_sim::CompiledProgram;
 use roboshape_taskgraph::{schedule, Schedule, SchedulerConfig, TaskCosts, TaskGraph};
 use roboshape_topology::Topology;
 
@@ -94,19 +95,23 @@ pub enum PipelineStage {
     BlockPlans,
     /// Cached parts → elaborated accelerator design.
     Design,
+    /// Design → compiled simulation program (flat op array + scratch
+    /// layout, see [`roboshape_sim::CompiledProgram`]).
+    Programs,
     /// Design → storage/resource/latency reports and emitted artifacts.
     Reports,
 }
 
 impl PipelineStage {
     /// Every stage in dataflow order.
-    pub const ALL: [PipelineStage; 7] = [
+    pub const ALL: [PipelineStage; 8] = [
         PipelineStage::Parse,
         PipelineStage::Topology,
         PipelineStage::Ir,
         PipelineStage::Schedules,
         PipelineStage::BlockPlans,
         PipelineStage::Design,
+        PipelineStage::Programs,
         PipelineStage::Reports,
     ];
 
@@ -119,6 +124,7 @@ impl PipelineStage {
             PipelineStage::Schedules => "schedules",
             PipelineStage::BlockPlans => "block-plans",
             PipelineStage::Design => "design",
+            PipelineStage::Programs => "programs",
             PipelineStage::Reports => "reports",
         }
     }
@@ -138,6 +144,7 @@ impl PipelineStage {
             PipelineStage::Schedules => "pipeline.schedules.hits",
             PipelineStage::BlockPlans => "pipeline.block-plans.hits",
             PipelineStage::Design => "pipeline.design.hits",
+            PipelineStage::Programs => "pipeline.programs.hits",
             PipelineStage::Reports => "pipeline.reports.hits",
         }
     }
@@ -151,6 +158,7 @@ impl PipelineStage {
             PipelineStage::Schedules => "pipeline.schedules.misses",
             PipelineStage::BlockPlans => "pipeline.block-plans.misses",
             PipelineStage::Design => "pipeline.design.misses",
+            PipelineStage::Programs => "pipeline.programs.misses",
             PipelineStage::Reports => "pipeline.reports.misses",
         }
     }
@@ -456,6 +464,7 @@ pub struct ArtifactStore {
     patterns: RwLock<HashMap<(TopoKey, PatternKind), Arc<SparsityPattern>>>,
     schedules: RwLock<HashMap<ScheduleKey, Arc<Schedule>>>,
     plans: RwLock<HashMap<PlanKey, Arc<BlockMatmulPlan>>>,
+    programs: RwLock<HashMap<(TopoKey, AcceleratorKnobs, KernelKind), Arc<CompiledProgram>>>,
 }
 
 /// Entry counts per artifact kind.
@@ -469,12 +478,14 @@ pub struct StoreStats {
     pub schedules: usize,
     /// Cached blocked mat-mul plans.
     pub block_plans: usize,
+    /// Cached compiled simulation programs.
+    pub programs: usize,
 }
 
 impl StoreStats {
     /// Total cached artifacts.
     pub fn total(&self) -> usize {
-        self.task_graphs + self.patterns + self.schedules + self.block_plans
+        self.task_graphs + self.patterns + self.schedules + self.block_plans + self.programs
     }
 }
 
@@ -482,8 +493,8 @@ impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "artifact store: {} task graphs, {} patterns, {} schedules, {} block plans",
-            self.task_graphs, self.patterns, self.schedules, self.block_plans
+            "artifact store: {} task graphs, {} patterns, {} schedules, {} block plans, {} programs",
+            self.task_graphs, self.patterns, self.schedules, self.block_plans, self.programs
         )
     }
 }
@@ -509,6 +520,7 @@ impl ArtifactStore {
             patterns: self.patterns.read().len(),
             schedules: self.schedules.read().len(),
             block_plans: self.plans.read().len(),
+            programs: self.programs.read().len(),
         }
     }
 
@@ -518,6 +530,7 @@ impl ArtifactStore {
         self.patterns.write().clear();
         self.schedules.write().clear();
         self.plans.write().clear();
+        self.programs.write().clear();
     }
 }
 
@@ -714,6 +727,36 @@ impl Pipeline {
                 matmul,
             )
         })
+    }
+
+    /// Programs stage: the compiled simulation program of the
+    /// `(topo, knobs, kernel)` design — the lowered flat op array the
+    /// cycle-level simulator executes ([`roboshape_sim::CompiledProgram`]).
+    ///
+    /// A miss assembles the design from cached parts and delegates to the
+    /// simulator's process-wide program cache
+    /// ([`roboshape_sim::shared_program`]), so a program obtained here and
+    /// one obtained by calling `try_simulate` directly are the same `Arc`
+    /// — serving, DSE sweeps and the experiments all share one compile
+    /// per design.
+    pub fn compiled_program(
+        &self,
+        topo: &Topology,
+        knobs: AcceleratorKnobs,
+        kernel: KernelKind,
+    ) -> Arc<CompiledProgram> {
+        let _span = obs::span(OBS_CATEGORY, PipelineStage::Programs.name());
+        let key = (topo.parents().to_vec(), knobs, kernel);
+        if let Some(p) = self.store.programs.read().get(&key) {
+            self.observer.hit(PipelineStage::Programs);
+            return Arc::clone(p);
+        }
+        self.observer.miss(PipelineStage::Programs);
+        let design = self.design(topo, knobs, kernel);
+        let p = self.observer.time(PipelineStage::Programs, || {
+            roboshape_sim::shared_program(&design)
+        });
+        Arc::clone(self.store.programs.write().entry(key).or_insert(p))
     }
 }
 
@@ -944,6 +987,32 @@ mod tests {
         assert_eq!(reader.observer().report().hits(), 1); // own counters
         assert_eq!(reader.observer().report().misses(), 0);
         assert_eq!(warm.observer().report().misses(), 1);
+    }
+
+    #[test]
+    fn programs_stage_shares_one_compile_per_design() {
+        let p = Pipeline::new();
+        let robot = zoo(Zoo::Iiwa);
+        let topo = robot.topology();
+        let knobs = AcceleratorKnobs::new(4, 6, 2);
+        let kernel = KernelKind::DynamicsGradient;
+        let first = p.compiled_program(topo, knobs, kernel);
+        let second = p.compiled_program(topo, knobs, kernel);
+        assert!(Arc::ptr_eq(&first, &second), "store must hand out one Arc");
+        assert_eq!(p.store().stats().programs, 1);
+        // The sim crate's own process-wide cache and the pipeline store
+        // resolve a matching design to the *same* compiled program, so
+        // serving and direct try_simulate calls share the compile.
+        let design = p.design(topo, knobs, kernel);
+        let direct = roboshape_sim::shared_program(&design);
+        assert!(
+            Arc::ptr_eq(&first, &direct),
+            "pipeline and sim-global caches diverged"
+        );
+        // A different knob setting compiles its own program.
+        let other = p.compiled_program(topo, AcceleratorKnobs::new(1, 1, 1), kernel);
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(p.store().stats().programs, 2);
     }
 
     #[test]

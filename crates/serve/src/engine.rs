@@ -16,10 +16,7 @@ use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind, MatmulUnit
 use roboshape_blocksparse::MatmulLatencyModel;
 use roboshape_obs as obs;
 use roboshape_pipeline::{PatternKind, Pipeline};
-use roboshape_sim::{
-    try_simulate, try_simulate_batch, try_simulate_inverse_dynamics, try_simulate_kinematics,
-    SimError, Simulation,
-};
+use roboshape_sim::{CompiledProgram, SimError, SimScratch, Simulation};
 use roboshape_topology::Topology;
 use roboshape_urdf::RobotModel;
 use std::collections::HashMap;
@@ -418,13 +415,38 @@ struct StatCells {
     injected_pressure: AtomicU64,
 }
 
-/// One registered robot: its model, the three kernel designs, its
-/// bounded EDF queue, and its circuit breaker.
+/// One registered robot: its model, the three kernel designs and their
+/// compiled simulation programs, its bounded EDF queue, and its circuit
+/// breaker.
 struct RobotSlot {
     model: RobotModel,
     designs: HashMap<KernelKind, Arc<AcceleratorDesign>>,
+    /// Compiled once at registration (through the pipeline's Programs
+    /// stage, so every engine in the process shares one compile per
+    /// design); workers execute these against their persistent scratch.
+    programs: HashMap<KernelKind, Arc<CompiledProgram>>,
     queue: EdfQueue,
     breaker: CircuitBreaker,
+}
+
+/// A worker's persistent scratch arenas, one per kernel so a mixed
+/// request stream never thrashes the program↔scratch binding (a rebind
+/// reallocates; a bound arena executes allocation-free).
+#[derive(Default)]
+struct WorkerScratch {
+    gradient: SimScratch,
+    inverse_dynamics: SimScratch,
+    kinematics: SimScratch,
+}
+
+impl WorkerScratch {
+    fn for_kernel(&mut self, kind: KernelKind) -> &mut SimScratch {
+        match kind {
+            KernelKind::DynamicsGradient => &mut self.gradient,
+            KernelKind::InverseDynamics => &mut self.inverse_dynamics,
+            KernelKind::ForwardKinematics => &mut self.kinematics,
+        }
+    }
 }
 
 /// How a worker thread ended.
@@ -544,22 +566,33 @@ impl Engine {
         }
         let topo = model.topology().clone();
         let knobs = default_knobs(&inner.pipeline, &topo);
-        let designs = [
+        let kernels = [
             KernelKind::DynamicsGradient,
             KernelKind::InverseDynamics,
             KernelKind::ForwardKinematics,
-        ]
-        .into_iter()
-        .map(|kernel| {
-            (
-                kernel,
-                Arc::new(inner.pipeline.design(&topo, knobs, kernel)),
-            )
-        })
-        .collect();
+        ];
+        let designs = kernels
+            .into_iter()
+            .map(|kernel| {
+                (
+                    kernel,
+                    Arc::new(inner.pipeline.design(&topo, knobs, kernel)),
+                )
+            })
+            .collect();
+        let programs = kernels
+            .into_iter()
+            .map(|kernel| {
+                (
+                    kernel,
+                    inner.pipeline.compiled_program(&topo, knobs, kernel),
+                )
+            })
+            .collect();
         let slot = Arc::new(RobotSlot {
             model,
             designs,
+            programs,
             queue: EdfQueue::new(inner.cfg.queue_capacity),
             breaker: CircuitBreaker::new(inner.cfg.circuit_threshold, inner.cfg.circuit_cooldown),
         });
@@ -969,6 +1002,10 @@ fn record_circuit_success(inner: &EngineInner, slot: &RobotSlot, probe: bool) {
 /// until shutdown, coalescing compatible ∇FD requests. Returns how it
 /// ended so the supervisor knows whether to restart it.
 fn worker_loop(inner: Arc<EngineInner>, slot: Arc<RobotSlot>) -> WorkerExit {
+    // Persistent per-worker scratch arenas: after the first request of
+    // each kernel, executions reuse the bound buffers (zero allocation in
+    // the warm ∇FD path).
+    let mut scratch = WorkerScratch::default();
     loop {
         let Some(batch) = slot
             .queue
@@ -987,8 +1024,11 @@ fn worker_loop(inner: Arc<EngineInner>, slot: Arc<RobotSlot>) -> WorkerExit {
             .iter()
             .map(|p| (p.ticket.clone(), p.probe, p.enqueued))
             .collect();
+        // A crash abandons this worker's scratch with the thread (a panic
+        // mid-evaluation may leave consumed-on-read accumulators dirty);
+        // the supervisor's replacement worker starts a fresh arena.
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute(&inner, &slot, batch)
+            execute(&inner, &slot, &mut scratch, batch)
         }));
         let crashed = !matches!(outcome, Ok(ExecOutcome::Completed));
         if crashed {
@@ -1052,7 +1092,12 @@ fn supervisor_loop(inner: Arc<EngineInner>) {
     }
 }
 
-fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) -> ExecOutcome {
+fn execute(
+    inner: &EngineInner,
+    slot: &RobotSlot,
+    scratch: &mut WorkerScratch,
+    batch: Vec<Pending>,
+) -> ExecOutcome {
     let _span = obs::span(OBS_CATEGORY, "execute");
     let now = Instant::now();
     // Late requests are resolved without spending accelerator cycles.
@@ -1123,14 +1168,15 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) -> ExecOu
         .record(live.len() as u64);
 
     let kind = live[0].req.kind;
-    let design = &slot.designs[&kind];
+    let program = &slot.programs[&kind];
+    let arena = scratch.for_kernel(kind);
     match kind {
         KernelKind::DynamicsGradient if live.len() > 1 => {
             let inputs: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = live
                 .iter()
                 .map(|p| (p.req.q.clone(), p.req.qd.clone(), p.req.tau.clone()))
                 .collect();
-            match try_simulate_batch(&slot.model, design, &inputs) {
+            match program.execute_batch(&slot.model, arena, &inputs) {
                 Ok((sims, _makespan)) => {
                     for (p, sim) in live.iter().zip(sims) {
                         finish_ok(inner, slot, p, gradient_payload(sim));
@@ -1140,8 +1186,13 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) -> ExecOu
                 // singles so its neighbours still succeed.
                 Err(_) => {
                     for p in &live {
-                        let result =
-                            try_simulate(&slot.model, design, &p.req.q, &p.req.qd, &p.req.tau);
+                        let result = program.execute_gradient(
+                            &slot.model,
+                            arena,
+                            &p.req.q,
+                            &p.req.qd,
+                            &p.req.tau,
+                        );
                         finish(inner, slot, p, result.map(gradient_payload));
                     }
                 }
@@ -1149,29 +1200,26 @@ fn execute(inner: &EngineInner, slot: &RobotSlot, batch: Vec<Pending>) -> ExecOu
         }
         KernelKind::DynamicsGradient => {
             let p = &live[0];
-            let result = try_simulate(&slot.model, design, &p.req.q, &p.req.qd, &p.req.tau);
+            let result =
+                program.execute_gradient(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau);
             finish(inner, slot, p, result.map(gradient_payload));
         }
         KernelKind::InverseDynamics => {
             for p in &live {
-                let result = try_simulate_inverse_dynamics(
-                    &slot.model,
-                    design,
-                    &p.req.q,
-                    &p.req.qd,
-                    &p.req.tau,
-                )
-                .map(|(tau, stats)| ServePayload::InverseDynamics {
-                    tau,
-                    cycles: stats.cycles,
-                });
+                let result = program
+                    .execute_inverse_dynamics(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau)
+                    .map(|(tau, stats)| ServePayload::InverseDynamics {
+                        tau,
+                        cycles: stats.cycles,
+                    });
                 finish(inner, slot, p, result);
             }
         }
         KernelKind::ForwardKinematics => {
             for p in &live {
-                let result =
-                    try_simulate_kinematics(&slot.model, design, &p.req.q).map(|(poses, stats)| {
+                let result = program
+                    .execute_kinematics(&slot.model, arena, &p.req.q)
+                    .map(|(poses, stats)| {
                         let mut flat = Vec::with_capacity(poses.len() * 12);
                         for x in &poses {
                             let rot = x.rotation();
@@ -1254,6 +1302,7 @@ mod tests {
     use super::*;
     use crate::fault::FaultConfig;
     use roboshape_robots::{zoo, Zoo};
+    use roboshape_sim::try_simulate;
 
     fn engine_with(robot: Zoo, cfg: EngineConfig) -> Engine {
         let engine = Engine::with_pipeline(cfg, Pipeline::new());

@@ -37,7 +37,6 @@ pub(crate) fn grad_fwd(
     topo: &Topology,
     link: usize,
     seed: usize,
-    qd_link: f64,
     cache: &RneaCache,
     a_base: MotionVec,
     dstate: &HashMap<(usize, usize), DerivPair>,
@@ -62,7 +61,6 @@ pub(crate) fn grad_fwd(
             link,
             is_seed,
             Wrt::Q,
-            qd_link,
             cache,
             v_parent,
             a_parent,
@@ -73,7 +71,6 @@ pub(crate) fn grad_fwd(
             link,
             is_seed,
             Wrt::Qd,
-            qd_link,
             cache,
             v_parent,
             a_parent,
@@ -86,7 +83,6 @@ pub(crate) fn grad_fwd(
 /// Returns the `(∂τ/∂q, ∂τ/∂q̇)` entries at `(link, seed)` and pushes the
 /// parent contributions into `dacc`.
 pub(crate) fn grad_bwd(
-    model: &RobotModel,
     topo: &Topology,
     link: usize,
     seed: usize,
@@ -99,8 +95,8 @@ pub(crate) fn grad_bwd(
     let acc = dacc.get(&(link, seed)).copied().unwrap_or_default();
     let df_q = local.dq.df + acc.dq;
     let df_qd = local.dqd.df + acc.dqd;
-    let (dtau_q, to_parent_q) = bwd_deriv_step(model, link, is_seed, Wrt::Q, cache, df_q);
-    let (dtau_qd, to_parent_qd) = bwd_deriv_step(model, link, is_seed, Wrt::Qd, cache, df_qd);
+    let (dtau_q, to_parent_q) = bwd_deriv_step(link, is_seed, Wrt::Q, cache, df_q);
+    let (dtau_qd, to_parent_qd) = bwd_deriv_step(link, is_seed, Wrt::Qd, cache, df_qd);
     if let Some(p) = topo.parent(link) {
         let e = dacc.entry((p, seed)).or_default();
         e.dq += to_parent_q;

@@ -21,6 +21,19 @@
 //! [`Simulation::verify`]), closing the loop: cycle counts come from a
 //! schedule that provably computes the right numbers.
 //!
+//! # Compile → execute split
+//!
+//! Because a design's schedule is fixed at generation time, everything
+//! about *interpreting* it is computable once per design. The `try_*`
+//! entry points therefore run a compiled fast path: [`shared_program`]
+//! lowers each design into a [`CompiledProgram`] (flat op array,
+//! pre-resolved indices, dependency checks hoisted to compile time) the
+//! first time it is seen, and executions run against a per-thread
+//! reusable [`SimScratch`] arena — warm evaluations allocate nothing but
+//! their output buffers. The original schedule interpreters survive as
+//! the `*_interpreted` functions and serve as the bit-exactness oracle:
+//! the compiled path is `f64`-identical to them, not merely close.
+//!
 //! Every evaluation also feeds the global [`roboshape_obs::metrics`]
 //! registry: per-traversal-stage cycle histograms (`sim.cycles.*`), a PE
 //! occupancy histogram (`sim.pe_occupancy_pct`), and mat-mul op/NOP
@@ -55,8 +68,27 @@ use std::collections::HashMap;
 
 mod deriv;
 pub mod gradients;
+pub mod program;
+pub mod scratch;
 
 pub use gradients::{AcceleratorGradients, GradientProvider, ReferenceGradients};
+pub use program::{shared_program, CompiledProgram};
+pub use scratch::SimScratch;
+
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread scratch arena backing the `try_simulate*` convenience
+    /// entry points, so plain callers get allocation reuse without
+    /// managing a [`SimScratch`] themselves. Servers and sweeps that own
+    /// worker threads should hold an explicit arena instead.
+    static THREAD_SCRATCH: RefCell<SimScratch> = RefCell::new(SimScratch::new());
+}
+
+/// Runs `f` with this thread's shared scratch arena.
+fn with_thread_scratch<R>(f: impl FnOnce(&mut SimScratch) -> R) -> R {
+    THREAD_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
 
 /// A rejected simulation request: malformed inputs detected before any
 /// accelerator work runs.
@@ -276,6 +308,29 @@ pub fn try_simulate(
     tau: &[f64],
 ) -> Result<Simulation, SimError> {
     let _span = obs::span(OBS_CATEGORY, "simulate");
+    let program = shared_program(design);
+    with_thread_scratch(|scratch| program.execute_gradient(model, scratch, q, qd, tau))
+}
+
+/// The original schedule *interpreter* for the dynamics-gradient kernel —
+/// kept as the bit-exactness oracle for the compiled fast path (the
+/// property tests pin [`try_simulate`] `f64`-identical to this function).
+///
+/// # Errors
+///
+/// As [`try_simulate`].
+///
+/// # Panics
+///
+/// As [`try_simulate`] (schedule dependency violations).
+pub fn try_simulate_interpreted(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+    qd: &[f64],
+    tau: &[f64],
+) -> Result<Simulation, SimError> {
+    let _span = obs::span(OBS_CATEGORY, "simulate-interpreted");
     let n = model.num_links();
     if design.kernel() != roboshape_arch::KernelKind::DynamicsGradient {
         return Err(SimError::KernelMismatch {
@@ -311,6 +366,9 @@ pub fn try_simulate(
         a: vec![MotionVec::ZERO; n],
         f: vec![ForceVec::ZERO; n],
         tau: vec![0.0; n],
+        s: vec![MotionVec::ZERO; n],
+        vj: vec![MotionVec::ZERO; n],
+        h: vec![ForceVec::ZERO; n],
     };
     let mut fwd_done = vec![false; n];
     let mut bwd_done = vec![false; n];
@@ -340,6 +398,10 @@ pub fn try_simulate(
                 cache.xup[link] = out.xup;
                 cache.v[link] = out.v;
                 cache.a[link] = out.a;
+                let s = model.joint(link).motion_subspace();
+                cache.s[link] = s;
+                cache.vj[link] = s * qd[link];
+                cache.h[link] = model.link(link).inertia.apply(out.v);
                 f_local[link] = out.f;
                 fwd_done[link] = true;
             }
@@ -359,14 +421,13 @@ pub fn try_simulate(
             }
             TaskKind::GradFwd { link, seed } => {
                 assert!(fwd_done[link], "gradient step before RNEA state ready");
-                let pair =
-                    deriv::grad_fwd(model, topo, link, seed, qd[link], &cache, a_base, &dstate);
+                let pair = deriv::grad_fwd(model, topo, link, seed, &cache, a_base, &dstate);
                 dstate.insert((link, seed), pair);
             }
             TaskKind::GradBwd { link, seed } => {
                 assert!(bwd_done[link], "gradient backward before RNEA force ready");
                 let (dq_entry, dqd_entry) =
-                    deriv::grad_bwd(model, topo, link, seed, &cache, &dstate, &mut dacc);
+                    deriv::grad_bwd(topo, link, seed, &cache, &dstate, &mut dacc);
                 dtau_dq[(link, seed)] = dq_entry;
                 dtau_dqd[(link, seed)] = dqd_entry;
             }
@@ -433,9 +494,11 @@ pub fn simulate_batch(
 
 /// Fallible twin of [`simulate_batch`].
 ///
-/// Each step runs through [`try_simulate`], so the per-step results are
-/// bit-identical to single-request evaluation; the batched makespan
-/// comes from scheduling the replicated task graph.
+/// Each step runs through the compiled fast path, so the per-step results
+/// are bit-identical to single-request evaluation; the batched makespan
+/// comes from scheduling the replicated task graph, memoized per
+/// `(program, batch length)` (`sim.batch_schedule.{hit,miss}`) so
+/// coalesced serving stops re-running the scheduler per batch.
 ///
 /// # Errors
 ///
@@ -448,12 +511,29 @@ pub fn try_simulate_batch(
     inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
 ) -> Result<(Vec<Simulation>, u64), SimError> {
     let _span = obs::span(OBS_CATEGORY, "simulate-batch");
+    let program = shared_program(design);
+    with_thread_scratch(|scratch| program.execute_batch(model, scratch, inputs))
+}
+
+/// Interpreted oracle twin of [`try_simulate_batch`]: every step runs the
+/// schedule interpreter and the replicated task graph is re-scheduled
+/// unconditionally (no memoization).
+///
+/// # Errors
+///
+/// As [`try_simulate_batch`].
+pub fn try_simulate_batch_interpreted(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
+) -> Result<(Vec<Simulation>, u64), SimError> {
+    let _span = obs::span(OBS_CATEGORY, "simulate-batch-interpreted");
     if inputs.is_empty() {
         return Err(SimError::EmptyBatch);
     }
     let sims: Vec<Simulation> = inputs
         .iter()
-        .map(|(q, qd, tau)| try_simulate(model, design, q, qd, tau))
+        .map(|(q, qd, tau)| try_simulate_interpreted(model, design, q, qd, tau))
         .collect::<Result<_, _>>()?;
     let knobs = design.knobs();
     let replicated = roboshape_taskgraph::TaskGraph::replicate(design.task_graph(), inputs.len());
@@ -494,6 +574,23 @@ pub fn try_simulate_inverse_dynamics(
     qd: &[f64],
     qdd: &[f64],
 ) -> Result<(Vec<f64>, SimStats), SimError> {
+    let _span = obs::span(OBS_CATEGORY, "simulate-inverse-dynamics");
+    let program = shared_program(design);
+    with_thread_scratch(|scratch| program.execute_inverse_dynamics(model, scratch, q, qd, qdd))
+}
+
+/// Interpreted oracle twin of [`try_simulate_inverse_dynamics`].
+///
+/// # Errors
+///
+/// As [`try_simulate_inverse_dynamics`].
+pub fn try_simulate_inverse_dynamics_interpreted(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+    qd: &[f64],
+    qdd: &[f64],
+) -> Result<(Vec<f64>, SimStats), SimError> {
     if design.kernel() != roboshape_arch::KernelKind::InverseDynamics {
         return Err(SimError::KernelMismatch {
             expected: roboshape_arch::KernelKind::InverseDynamics,
@@ -507,7 +604,7 @@ pub fn try_simulate_inverse_dynamics(
     check_input("q", q, n)?;
     check_input("qd", qd, n)?;
     check_input("qdd", qdd, n)?;
-    let _span = obs::span(OBS_CATEGORY, "simulate-inverse-dynamics");
+    let _span = obs::span(OBS_CATEGORY, "simulate-inverse-dynamics-interpreted");
     let (cache, stats) = run_rnea_schedule(model, design, q, qd, qdd);
     record_eval_metrics(design, &stats);
     Ok((cache.tau, stats))
@@ -540,6 +637,21 @@ pub fn try_simulate_kinematics(
     design: &AcceleratorDesign,
     q: &[f64],
 ) -> Result<(Vec<Xform>, SimStats), SimError> {
+    let _span = obs::span(OBS_CATEGORY, "simulate-kinematics");
+    let program = shared_program(design);
+    with_thread_scratch(|scratch| program.execute_kinematics(model, scratch, q))
+}
+
+/// Interpreted oracle twin of [`try_simulate_kinematics`].
+///
+/// # Errors
+///
+/// As [`try_simulate_kinematics`].
+pub fn try_simulate_kinematics_interpreted(
+    model: &RobotModel,
+    design: &AcceleratorDesign,
+    q: &[f64],
+) -> Result<(Vec<Xform>, SimStats), SimError> {
     let n = model.num_links();
     if design.kernel() != roboshape_arch::KernelKind::ForwardKinematics {
         return Err(SimError::KernelMismatch {
@@ -551,7 +663,7 @@ pub fn try_simulate_kinematics(
         return Err(SimError::TopologyMismatch);
     }
     check_input("q", q, n)?;
-    let _span = obs::span(OBS_CATEGORY, "simulate-kinematics");
+    let _span = obs::span(OBS_CATEGORY, "simulate-kinematics-interpreted");
     let graph = design.task_graph();
     let schedule = design.schedule();
     let topo = model.topology();
@@ -615,6 +727,9 @@ fn run_rnea_schedule(
         a: vec![MotionVec::ZERO; n],
         f: vec![ForceVec::ZERO; n],
         tau: vec![0.0; n],
+        s: vec![MotionVec::ZERO; n],
+        vj: vec![MotionVec::ZERO; n],
+        h: vec![ForceVec::ZERO; n],
     };
     let mut fwd_done = vec![false; n];
     let mut bwd_done = vec![false; n];
@@ -636,6 +751,10 @@ fn run_rnea_schedule(
                 cache.xup[link] = out.xup;
                 cache.v[link] = out.v;
                 cache.a[link] = out.a;
+                let s = model.joint(link).motion_subspace();
+                cache.s[link] = s;
+                cache.vj[link] = s * qd[link];
+                cache.h[link] = model.link(link).inertia.apply(out.v);
                 f_local[link] = out.f;
                 fwd_done[link] = true;
             }

@@ -1,0 +1,1036 @@
+//! Compiled simulation programs: schedule interpretation hoisted out of
+//! the request path.
+//!
+//! The paper's designs fix their schedule at generation time, so
+//! everything `try_simulate` used to re-derive per call — task-kind
+//! dispatch through the task graph, parent/child lookups through the
+//! topology, `(link, seed)` hashing for derivative state, and the
+//! per-entry dependency `assert!`s — is a pure function of the design.
+//! [`CompiledProgram::compile`] performs that work once, lowering the
+//! schedule into a flat `Op` array with every index pre-resolved and
+//! every dependency proven, and execution becomes a branch-light sweep
+//! over the array against a reusable [`SimScratch`] arena.
+//!
+//! Three guarantees make the fast path safe to trust:
+//!
+//! 1. **Compile-time dependency verification.** Lowering walks the
+//!    schedule in order and panics with the interpreter's exact messages
+//!    if any op would read state no earlier op produced — the same
+//!    scheduler-bug net the interpreted path casts per evaluation, paid
+//!    once per design.
+//! 2. **Bit-identical arithmetic.** Each op calls the same step functions
+//!    in the same order on the same values as the interpreted path, and
+//!    the host-side forward dynamics / `M⁻¹` replication mirrors the
+//!    reference library's loop structure exactly. The one transformation
+//!    — writing `−∂τ` into the mat-mul operand so `C = M⁻¹B` *is* the
+//!    output — is exact because IEEE-754 rounding is an odd function
+//!    (`−(a ⊕ b) = (−a) ⊕ (−b)` for every rounded op). A property test
+//!    pins `f64`-equality against the interpreted oracle.
+//! 3. **Consume-on-read accumulators.** Compilation proves every pushed
+//!    accumulator slot is read exactly once per evaluation, so reads
+//!    reset the slot and warm evaluations need no O(n²) clearing.
+//!
+//! Programs are shared process-wide through [`shared_program`] (the
+//! `sim.compile.{hit,miss}` counters watch that cache) and additionally
+//! cached in the pipeline artifact store, so serving, DSE, and the
+//! experiments all compile each design once. The replicated-batch
+//! makespan is memoized per `(program, batch length)` behind the
+//! `sim.batch_schedule.{hit,miss}` counters.
+
+use crate::deriv::{DerivPair, ForcePair};
+use crate::scratch::SimScratch;
+use crate::{check_input, SimError, SimStats, Simulation, CYCLE_BOUNDS, OCCUPANCY_BOUNDS};
+use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind};
+use roboshape_blocksparse::BlockOp;
+use roboshape_dynamics::{
+    bwd_deriv_step, bwd_link_step, fwd_deriv_step, fwd_link_step, Dynamics, Wrt,
+};
+use roboshape_linalg::{DMat, Vec3};
+use roboshape_obs as obs;
+use roboshape_obs::{Counter, Histogram};
+use roboshape_spatial::{ForceVec, MotionVec, Xform};
+use roboshape_taskgraph::{Stage, TaskGraph, TaskKind};
+use roboshape_urdf::RobotModel;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// Sentinel for "no index" in the packed op fields.
+const NONE: i32 = -1;
+
+/// One lowered schedule entry. All indices are resolved at compile time;
+/// execution never consults the task graph or topology.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// RNEA forward step for `link`; `parent < 0` means root (gravity-
+    /// seeded base acceleration).
+    RneaFwd { link: u32, parent: i32 },
+    /// RNEA backward step; consumes the link's force accumulator and
+    /// pushes onto `parent`'s (when non-negative).
+    RneaBwd { link: u32, parent: i32 },
+    /// ∇RNEA forward step writing derivative slot `slot`; `parent_slot`
+    /// is the parent thread's slot or [`NONE`] for a default pair.
+    GradFwd {
+        link: u32,
+        slot: u32,
+        parent: i32,
+        parent_slot: i32,
+        is_seed: bool,
+    },
+    /// ∇RNEA backward step: reads `state_slot` (or default), consumes
+    /// `acc_slot` (or default), pushes onto `parent_acc_slot`, and writes
+    /// the sign-folded `B` entries in row `link` at columns `b_q`/`b_qd`.
+    GradBwd {
+        link: u32,
+        state_slot: i32,
+        acc_slot: i32,
+        parent_acc_slot: i32,
+        b_q: u32,
+        b_qd: u32,
+        is_seed: bool,
+    },
+    /// Forward-kinematics pose composition.
+    FkStep { link: u32, parent: i32 },
+}
+
+/// A histogram handle plus the precomputed sample one evaluation records.
+#[derive(Debug, Clone)]
+struct HistSample {
+    hist: Arc<Histogram>,
+    value: u64,
+}
+
+/// A `(design, topology)` pair lowered to a flat op program.
+///
+/// Compile once (or fetch from [`shared_program`] / the pipeline artifact
+/// store), then call the `execute_*` entry points with a [`SimScratch`];
+/// warm executions of the dynamics-gradient kernel perform no heap
+/// allocation inside the program.
+#[derive(Debug)]
+pub struct CompiledProgram {
+    /// Process-unique id (scratch binding, batch memo keys). Starts at 1.
+    id: u64,
+    kernel: KernelKind,
+    n: usize,
+    /// The design topology's parent array (request-time validation and
+    /// host-side traversals).
+    parents: Vec<Option<usize>>,
+    ops: Vec<Op>,
+    /// Blocked mat-mul tile ops (dynamics-gradient kernel only).
+    mm_ops: Vec<BlockOp>,
+    mm_block: usize,
+    stats: SimStats,
+    knobs: AcceleratorKnobs,
+    /// Single-evaluation traversal makespan (cache-hit validation).
+    makespan: u64,
+    /// The design's task graph, kept for batched-makespan scheduling.
+    graph: TaskGraph,
+    /// Memoized replicated-batch makespans by batch length.
+    makespans: Mutex<HashMap<usize, u64>>,
+    /// Counter handles with precomputed per-evaluation deltas.
+    eval_counts: Vec<(Arc<Counter>, u64)>,
+    /// Histogram handles with precomputed per-evaluation samples.
+    eval_hists: Vec<HistSample>,
+    scratch_reuse: Arc<Counter>,
+    batch_hit: Arc<Counter>,
+    batch_miss: Arc<Counter>,
+}
+
+fn next_program_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl CompiledProgram {
+    /// Lowers `design` into a compiled program, verifying every schedule
+    /// dependency along the way.
+    ///
+    /// # Panics
+    ///
+    /// Panics — with the interpreted path's messages — if the design's
+    /// schedule violates a data dependency or contains task kinds its
+    /// kernel cannot (a scheduler/generator bug, not a bad request).
+    pub fn compile(design: &AcceleratorDesign) -> CompiledProgram {
+        let _span = obs::span(crate::OBS_CATEGORY, "compile");
+        let topo = design.topology();
+        let n = topo.len();
+        let graph = design.task_graph();
+        let schedule = design.schedule();
+        let kernel = design.kernel();
+
+        let mut fwd_done = vec![false; n];
+        let mut bwd_done = vec![false; n];
+        let mut dstate_written = vec![false; n * n];
+        let mut acc_pushed = vec![false; n * n];
+        let mut gradbwd_done = vec![false; n * n];
+        let mut ops = Vec::with_capacity(schedule.entries().len());
+
+        for entry in schedule.entries() {
+            let kind = graph.task(entry.task).kind;
+            if kernel == KernelKind::ForwardKinematics {
+                let TaskKind::RneaFwd { link } = kind else {
+                    panic!("forward-kinematics schedules contain only forward tasks");
+                };
+                let parent = match topo.parent(link) {
+                    Some(p) => {
+                        assert!(fwd_done[p], "schedule read of unready parent pose");
+                        p as i32
+                    }
+                    None => NONE,
+                };
+                fwd_done[link] = true;
+                ops.push(Op::FkStep {
+                    link: link as u32,
+                    parent,
+                });
+                continue;
+            }
+            match kind {
+                TaskKind::RneaFwd { link } => {
+                    let parent = match topo.parent(link) {
+                        Some(p) => {
+                            assert!(fwd_done[p], "schedule read of unready parent state");
+                            p as i32
+                        }
+                        None => NONE,
+                    };
+                    fwd_done[link] = true;
+                    ops.push(Op::RneaFwd {
+                        link: link as u32,
+                        parent,
+                    });
+                }
+                TaskKind::RneaBwd { link } => {
+                    assert!(fwd_done[link], "backward step before forward state ready");
+                    for &c in topo.children(link) {
+                        assert!(bwd_done[c], "parent backward step before child retired");
+                    }
+                    bwd_done[link] = true;
+                    ops.push(Op::RneaBwd {
+                        link: link as u32,
+                        parent: topo.parent(link).map_or(NONE, |p| p as i32),
+                    });
+                }
+                TaskKind::GradFwd { link, seed } => {
+                    assert!(
+                        kernel == KernelKind::DynamicsGradient,
+                        "inverse-dynamics schedules cannot contain {kind:?}"
+                    );
+                    assert!(fwd_done[link], "gradient step before RNEA state ready");
+                    let (parent, parent_slot) = match topo.parent(link) {
+                        Some(p) if p == seed || topo.is_ancestor(seed, p) => {
+                            assert!(
+                                dstate_written[p * n + seed],
+                                "schedule read of unready derivative parent state"
+                            );
+                            (p as i32, (p * n + seed) as i32)
+                        }
+                        Some(p) => (p as i32, NONE),
+                        None => (NONE, NONE),
+                    };
+                    dstate_written[link * n + seed] = true;
+                    ops.push(Op::GradFwd {
+                        link: link as u32,
+                        slot: (link * n + seed) as u32,
+                        parent,
+                        parent_slot,
+                        is_seed: link == seed,
+                    });
+                }
+                TaskKind::GradBwd { link, seed } => {
+                    assert!(
+                        kernel == KernelKind::DynamicsGradient,
+                        "inverse-dynamics schedules cannot contain {kind:?}"
+                    );
+                    assert!(bwd_done[link], "gradient backward before RNEA force ready");
+                    let slot = link * n + seed;
+                    let state_slot = if dstate_written[slot] {
+                        slot as i32
+                    } else {
+                        NONE
+                    };
+                    let acc_slot = if acc_pushed[slot] { slot as i32 } else { NONE };
+                    gradbwd_done[slot] = true;
+                    let parent_acc_slot = match topo.parent(link) {
+                        Some(p) => {
+                            let ps = p * n + seed;
+                            // A push after the parent retired would leak
+                            // into the next evaluation's accumulators.
+                            assert!(
+                                !gradbwd_done[ps],
+                                "schedule pushed a derivative force after the parent gradient retired"
+                            );
+                            acc_pushed[ps] = true;
+                            ps as i32
+                        }
+                        None => NONE,
+                    };
+                    ops.push(Op::GradBwd {
+                        link: link as u32,
+                        state_slot,
+                        acc_slot,
+                        parent_acc_slot,
+                        b_q: seed as u32,
+                        b_qd: (seed + n) as u32,
+                        is_seed: link == seed,
+                    });
+                }
+            }
+        }
+        // Every accumulator slot that received a push must also have been
+        // consumed, or warm evaluations would observe stale forces.
+        for slot in 0..n * n {
+            assert!(
+                !acc_pushed[slot] || gradbwd_done[slot],
+                "schedule left a derivative force accumulator unconsumed"
+            );
+        }
+
+        let (mm_ops, mm_block, matmul_ops, matmul_nops) = match kernel {
+            KernelKind::DynamicsGradient => {
+                let plan = design
+                    .matmul_plan()
+                    .expect("dynamics-gradient designs carry a mat-mul plan");
+                (
+                    plan.ops().to_vec(),
+                    plan.block(),
+                    plan.ops().len(),
+                    plan.skipped_ops(),
+                )
+            }
+            _ => (Vec::new(), 1, 0, 0),
+        };
+
+        let stats = SimStats {
+            cycles: design.compute_cycles(),
+            cycles_no_pipelining: design.compute_cycles_no_pipelining(),
+            tasks_executed: ops.len(),
+            matmul_ops,
+            matmul_nops,
+            checkpoint_restores: schedule.context_switches(graph),
+        };
+
+        // Pre-resolve every metric handle the per-evaluation recording
+        // touches, so warm executions perform no registry lookups.
+        let m = obs::metrics();
+        let eval_counts = vec![
+            (m.counter("sim.evals"), 1),
+            (m.counter("sim.matmul.ops"), stats.matmul_ops as u64),
+            (m.counter("sim.matmul.nops"), stats.matmul_nops as u64),
+            (
+                m.counter("sim.checkpoint_restores"),
+                stats.checkpoint_restores as u64,
+            ),
+        ];
+        let mut eval_hists = Vec::new();
+        for stage in Stage::ALL {
+            if let Some((start, end)) = schedule.stage_span(graph, stage) {
+                eval_hists.push(HistSample {
+                    hist: m.histogram(crate::stage_cycles_metric(stage), &CYCLE_BOUNDS),
+                    value: end.saturating_sub(start),
+                });
+            }
+        }
+        eval_hists.push(HistSample {
+            hist: m.histogram("sim.pe_occupancy_pct", &OCCUPANCY_BOUNDS),
+            value: (schedule.utilization() * 100.0).round() as u64,
+        });
+
+        CompiledProgram {
+            id: next_program_id(),
+            kernel,
+            n,
+            parents: topo.parents().to_vec(),
+            ops,
+            mm_ops,
+            mm_block,
+            stats,
+            knobs: *design.knobs(),
+            makespan: schedule.makespan(),
+            graph: graph.clone(),
+            makespans: Mutex::new(HashMap::new()),
+            eval_counts,
+            eval_hists,
+            scratch_reuse: m.counter("sim.scratch.reuse"),
+            batch_hit: m.counter("sim.batch_schedule.hit"),
+            batch_miss: m.counter("sim.batch_schedule.miss"),
+        }
+    }
+
+    /// Process-unique program id (used for scratch binding).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The robot's link count the program was compiled for.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// The kernel the program executes.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
+    }
+
+    /// The precomputed per-evaluation statistics.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// The mat-mul block size (1 for kernels without a mat-mul stage).
+    pub(crate) fn matmul_block(&self) -> usize {
+        self.mm_block
+    }
+
+    pub(crate) fn note_scratch_reuse(&self) {
+        self.scratch_reuse.add(1);
+    }
+
+    /// `true` when `design` lowers to this exact program — cheap
+    /// structural validation for cache hits, guarding against
+    /// `from_parts` designs that share a key with a generated design but
+    /// carry a different schedule.
+    pub fn matches(&self, design: &AcceleratorDesign) -> bool {
+        self.kernel == design.kernel()
+            && self.parents.as_slice() == design.topology().parents()
+            && self.knobs == *design.knobs()
+            && self.ops.len() == design.schedule().entries().len()
+            && self.makespan == design.schedule().makespan()
+            && self.stats.cycles == design.compute_cycles()
+            && self.mm_ops.len() == design.matmul_plan().map_or(0, |p| p.ops().len())
+    }
+
+    fn check_topology(&self, model: &RobotModel) -> Result<(), SimError> {
+        if model.topology().parents() != self.parents.as_slice() {
+            return Err(SimError::TopologyMismatch);
+        }
+        Ok(())
+    }
+
+    /// Records one evaluation into the global metrics registry through
+    /// the handles resolved at compile time (no lookups, no allocation).
+    fn record_eval(&self) {
+        for (counter, delta) in &self.eval_counts {
+            counter.add(*delta);
+        }
+        for sample in &self.eval_hists {
+            sample.hist.record(sample.value);
+        }
+    }
+
+    /// Runs one dynamics-gradient evaluation: host-side forward dynamics
+    /// and `M⁻¹` into the scratch arena, then the lowered traversal and
+    /// mat-mul ops. Warm calls (scratch already bound to this program)
+    /// allocate only the returned [`Simulation`]'s output buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] exactly as [`crate::try_simulate`] does.
+    pub fn execute_gradient(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        q: &[f64],
+        qd: &[f64],
+        tau: &[f64],
+    ) -> Result<Simulation, SimError> {
+        let mut out = Simulation {
+            tau: Vec::new(),
+            dqdd_dq: DMat::zeros(0, 0),
+            dqdd_dqd: DMat::zeros(0, 0),
+            stats: SimStats::default(),
+        };
+        self.execute_gradient_into(model, scratch, q, qd, tau, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`Self::execute_gradient`] writing into a caller-owned
+    /// [`Simulation`], reusing its buffers when already correctly sized.
+    /// A warm call — scratch bound to this program, `out` from a previous
+    /// call against it — performs **zero** heap allocation (asserted by a
+    /// counting-allocator test).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute_gradient`]; on error `out` is untouched or
+    /// partially overwritten and must not be read.
+    pub fn execute_gradient_into(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        q: &[f64],
+        qd: &[f64],
+        tau: &[f64],
+        out: &mut Simulation,
+    ) -> Result<(), SimError> {
+        if self.kernel != KernelKind::DynamicsGradient {
+            return Err(SimError::KernelMismatch {
+                expected: KernelKind::DynamicsGradient,
+                got: self.kernel,
+            });
+        }
+        self.check_topology(model)?;
+        let n = self.n;
+        check_input("q", q, n)?;
+        check_input("qd", qd, n)?;
+        check_input("tau", tau, n)?;
+        scratch.prepare(self);
+
+        self.host_forward_dynamics(model, scratch, q, qd, tau)?;
+        let qdd = std::mem::take(&mut scratch.qdd);
+        self.run_traversals(model, scratch, q, qd, &qdd);
+        scratch.qdd = qdd;
+        self.run_matmul(scratch);
+        self.record_eval();
+
+        if out.tau.len() != n {
+            out.tau.clear();
+            out.tau.resize(n, 0.0);
+        }
+        out.tau.copy_from_slice(&scratch.cache.0.tau);
+        if out.dqdd_dq.rows() != n || out.dqdd_dq.cols() != n {
+            out.dqdd_dq = DMat::zeros(n, n);
+        }
+        if out.dqdd_dqd.rows() != n || out.dqdd_dqd.cols() != n {
+            out.dqdd_dqd = DMat::zeros(n, n);
+        }
+        let c = scratch.c.as_slice();
+        let dq = out.dqdd_dq.as_mut_slice();
+        let dqd = out.dqdd_dqd.as_mut_slice();
+        for i in 0..n {
+            let crow = &c[i * 2 * n..(i + 1) * 2 * n];
+            dq[i * n..(i + 1) * n].copy_from_slice(&crow[..n]);
+            dqd[i * n..(i + 1) * n].copy_from_slice(&crow[n..]);
+        }
+        out.stats = self.stats;
+        Ok(())
+    }
+
+    /// Runs a batch of dynamics-gradient evaluations and returns the
+    /// per-step results plus the memoized replicated-batch makespan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyBatch`] for an empty slice, or the first
+    /// failing step's error (no partial results).
+    pub fn execute_batch(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
+    ) -> Result<(Vec<Simulation>, u64), SimError> {
+        if inputs.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        let sims: Vec<Simulation> = inputs
+            .iter()
+            .map(|(q, qd, tau)| self.execute_gradient(model, scratch, q, qd, tau))
+            .collect::<Result<_, _>>()?;
+        Ok((sims, self.batched_makespan(inputs.len())))
+    }
+
+    /// The traversal makespan of `steps` replicated evaluations, from the
+    /// real list scheduler — computed once per `(program, steps)` and
+    /// memoized (`sim.batch_schedule.{hit,miss}`).
+    pub fn batched_makespan(&self, steps: usize) -> u64 {
+        let mut memo = self.makespans.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(&makespan) = memo.get(&steps) {
+            self.batch_hit.add(1);
+            return makespan;
+        }
+        self.batch_miss.add(1);
+        let replicated = TaskGraph::replicate(&self.graph, steps);
+        let cfg =
+            roboshape_taskgraph::SchedulerConfig::with_pes(self.knobs.pe_fwd, self.knobs.pe_bwd);
+        let schedule = roboshape_taskgraph::schedule(&replicated, &cfg);
+        debug_assert!(schedule.validate(&replicated).is_ok());
+        let makespan = schedule.makespan();
+        memo.insert(steps, makespan);
+        makespan
+    }
+
+    /// Runs one inverse-dynamics evaluation (`τ = RNEA(q, q̇, q̈)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] exactly as
+    /// [`crate::try_simulate_inverse_dynamics`] does.
+    pub fn execute_inverse_dynamics(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+    ) -> Result<(Vec<f64>, SimStats), SimError> {
+        if self.kernel != KernelKind::InverseDynamics {
+            return Err(SimError::KernelMismatch {
+                expected: KernelKind::InverseDynamics,
+                got: self.kernel,
+            });
+        }
+        self.check_topology(model)?;
+        let n = self.n;
+        check_input("q", q, n)?;
+        check_input("qd", qd, n)?;
+        check_input("qdd", qdd, n)?;
+        scratch.prepare(self);
+        self.run_traversals(model, scratch, q, qd, qdd);
+        self.record_eval();
+        Ok((scratch.cache.0.tau.clone(), self.stats))
+    }
+
+    /// Runs one forward-kinematics evaluation (base→link poses).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] exactly as
+    /// [`crate::try_simulate_kinematics`] does.
+    pub fn execute_kinematics(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        q: &[f64],
+    ) -> Result<(Vec<Xform>, SimStats), SimError> {
+        if self.kernel != KernelKind::ForwardKinematics {
+            return Err(SimError::KernelMismatch {
+                expected: KernelKind::ForwardKinematics,
+                got: self.kernel,
+            });
+        }
+        self.check_topology(model)?;
+        check_input("q", q, self.n)?;
+        scratch.prepare(self);
+        for op in &self.ops {
+            let Op::FkStep { link, parent } = *op else {
+                unreachable!("forward-kinematics programs contain only FkStep ops");
+            };
+            let l = link as usize;
+            let xi = model.joint(l).child_xform(q[l]);
+            scratch.poses[l] = if parent >= 0 {
+                xi.compose(&scratch.poses[parent as usize])
+            } else {
+                xi
+            };
+        }
+        self.record_eval();
+        Ok((scratch.poses.clone(), self.stats))
+    }
+
+    /// Host-side replication of `Dynamics::forward_dynamics` plus the
+    /// Cholesky inverse, allocation-free and loop-for-loop identical to
+    /// the reference library (same values, same rounding).
+    fn host_forward_dynamics(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        q: &[f64],
+        qd: &[f64],
+        tau: &[f64],
+    ) -> Result<(), SimError> {
+        let n = self.n;
+        let dynamics = Dynamics::new(model);
+        let a_base = MotionVec::from_parts(Vec3::ZERO, -dynamics.gravity());
+
+        // Bias torques: RNEA at q̈ = 0, mirroring `Dynamics::rnea_cache`.
+        for i in 0..n {
+            let (vp, ap) = match self.parents[i] {
+                Some(p) => (scratch.hv[p], scratch.ha[p]),
+                None => (MotionVec::ZERO, a_base),
+            };
+            let out = fwd_link_step(model, i, q[i], qd[i], 0.0, vp, ap);
+            scratch.hxup[i] = out.xup;
+            scratch.hv[i] = out.v;
+            scratch.ha[i] = out.a;
+            scratch.hf[i] = out.f;
+        }
+        for i in (0..n).rev() {
+            let (t, to_parent) = bwd_link_step(model, i, &scratch.hxup[i], scratch.hf[i]);
+            scratch.bias[i] = t;
+            if let Some(p) = self.parents[i] {
+                scratch.hf[p] += to_parent;
+            }
+        }
+        // rhs = τ − bias, solved in place below.
+        for (i, &t) in tau.iter().enumerate().take(n) {
+            scratch.qdd[i] = t - scratch.bias[i];
+        }
+
+        // Mass matrix, mirroring `mass_matrix_with` (CRBA). Structural
+        // zeros persist from the bind-time clearing: the written slot set
+        // is fixed by the topology.
+        for (i, &q_i) in q.iter().enumerate().take(n) {
+            scratch.hxup[i] = model.joint(i).child_xform(q_i);
+            scratch.svec[i] = model.joint(i).motion_subspace();
+            scratch.ic[i] = model.link(i).inertia;
+        }
+        for i in (0..n).rev() {
+            if let Some(p) = self.parents[i] {
+                let in_parent = scratch.ic[i].transform(&scratch.hxup[i].inverse());
+                scratch.ic[p] = scratch.ic[p].add(&in_parent);
+            }
+        }
+        for i in 0..n {
+            let mut fh: ForceVec = scratch.ic[i].apply(scratch.svec[i]);
+            scratch.mass[(i, i)] = scratch.svec[i].dot_force(fh);
+            let mut j = i;
+            while let Some(p) = self.parents[j] {
+                fh = scratch.hxup[j].apply_force_transpose(fh);
+                scratch.mass[(i, p)] = scratch.svec[p].dot_force(fh);
+                scratch.mass[(p, i)] = scratch.mass[(i, p)];
+                j = p;
+            }
+        }
+
+        // Cholesky factor, mirroring `Cholesky::new`. Only the lower
+        // triangle is written and read; subslice zips keep the exact
+        // ascending-k summation order with bounds checks hoisted.
+        let mass = scratch.mass.as_slice();
+        let ch = scratch.chol.as_mut_slice();
+        for j in 0..n {
+            let mut diag = mass[j * n + j];
+            for &v in &ch[j * n..j * n + j] {
+                diag -= v * v;
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(SimError::NotPositiveDefinite);
+            }
+            let ljj = diag.sqrt();
+            ch[j * n + j] = ljj;
+            for i in (j + 1)..n {
+                let mut v = mass[i * n + j];
+                for (a, b) in ch[i * n..i * n + j].iter().zip(&ch[j * n..j * n + j]) {
+                    v -= a * b;
+                }
+                ch[i * n + j] = v / ljj;
+            }
+        }
+        let ch = scratch.chol.as_slice();
+
+        // q̈ = M⁻¹ rhs, mirroring `Cholesky::solve_vec` in place.
+        let qdd = &mut scratch.qdd;
+        for i in 0..n {
+            let (done, rest) = qdd.split_at_mut(i);
+            let mut v = rest[0];
+            for (l, x) in ch[i * n..i * n + i].iter().zip(done.iter()) {
+                v -= l * x;
+            }
+            rest[0] = v / ch[i * n + i];
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                qdd[i] -= ch[k * n + i] * qdd[k];
+            }
+            qdd[i] /= ch[i * n + i];
+        }
+
+        // M⁻¹ column by column, mirroring `Cholesky::inverse` (solve
+        // against identity columns). Factoring once and reusing L is
+        // bit-identical to the reference's repeated use of the same
+        // factor object.
+        let minv = scratch.minv.as_mut_slice();
+        let ycol = &mut scratch.ycol;
+        for j in 0..n {
+            for (i, y) in ycol.iter_mut().enumerate() {
+                *y = if i == j { 1.0 } else { 0.0 };
+            }
+            for i in 0..n {
+                let (done, rest) = ycol.split_at_mut(i);
+                let mut v = rest[0];
+                for (l, x) in ch[i * n..i * n + i].iter().zip(done.iter()) {
+                    v -= l * x;
+                }
+                rest[0] = v / ch[i * n + i];
+            }
+            for i in (0..n).rev() {
+                for k in (i + 1)..n {
+                    ycol[i] -= ch[k * n + i] * ycol[k];
+                }
+                ycol[i] /= ch[i * n + i];
+            }
+            for i in 0..n {
+                minv[i * n + j] = ycol[i];
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the lowered traversal ops against the scratch arena.
+    fn run_traversals(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+    ) {
+        let a_base = MotionVec::from_parts(Vec3::ZERO, -Dynamics::new(model).gravity());
+        for op in &self.ops {
+            match *op {
+                Op::RneaFwd { link, parent } => {
+                    let l = link as usize;
+                    let (vp, ap) = if parent >= 0 {
+                        let p = parent as usize;
+                        (scratch.cache.0.v[p], scratch.cache.0.a[p])
+                    } else {
+                        (MotionVec::ZERO, a_base)
+                    };
+                    let out = fwd_link_step(model, l, q[l], qd[l], qdd[l], vp, ap);
+                    scratch.cache.0.xup[l] = out.xup;
+                    scratch.cache.0.v[l] = out.v;
+                    scratch.cache.0.a[l] = out.a;
+                    let s = model.joint(l).motion_subspace();
+                    scratch.cache.0.s[l] = s;
+                    scratch.cache.0.vj[l] = s * qd[l];
+                    scratch.cache.0.h[l] = model.link(l).inertia.apply(out.v);
+                    scratch.f_local[l] = out.f;
+                }
+                Op::RneaBwd { link, parent } => {
+                    let l = link as usize;
+                    // Consume the accumulator: each link's slot is read by
+                    // exactly one RneaBwd op per evaluation.
+                    let acc = std::mem::take(&mut scratch.f_acc[l]);
+                    let f_total = scratch.f_local[l] + acc;
+                    scratch.cache.0.f[l] = f_total;
+                    let (t, to_parent) = bwd_link_step(model, l, &scratch.cache.0.xup[l], f_total);
+                    scratch.cache.0.tau[l] = t;
+                    if parent >= 0 {
+                        scratch.f_acc[parent as usize] += to_parent;
+                    }
+                }
+                Op::GradFwd {
+                    link,
+                    slot,
+                    parent,
+                    parent_slot,
+                    is_seed,
+                } => {
+                    let l = link as usize;
+                    let (v_parent, a_parent) = if parent >= 0 {
+                        let p = parent as usize;
+                        (scratch.cache.0.v[p], scratch.cache.0.a[p])
+                    } else {
+                        (MotionVec::ZERO, a_base)
+                    };
+                    let parent_pair = if parent_slot >= 0 {
+                        scratch.dstate[parent_slot as usize]
+                    } else {
+                        DerivPair::default()
+                    };
+                    scratch.dstate[slot as usize] = DerivPair {
+                        dq: fwd_deriv_step(
+                            model,
+                            l,
+                            is_seed,
+                            Wrt::Q,
+                            &scratch.cache.0,
+                            v_parent,
+                            a_parent,
+                            &parent_pair.dq,
+                        ),
+                        dqd: fwd_deriv_step(
+                            model,
+                            l,
+                            is_seed,
+                            Wrt::Qd,
+                            &scratch.cache.0,
+                            v_parent,
+                            a_parent,
+                            &parent_pair.dqd,
+                        ),
+                    };
+                }
+                Op::GradBwd {
+                    link,
+                    state_slot,
+                    acc_slot,
+                    parent_acc_slot,
+                    b_q,
+                    b_qd,
+                    is_seed,
+                } => {
+                    let l = link as usize;
+                    let local = if state_slot >= 0 {
+                        scratch.dstate[state_slot as usize]
+                    } else {
+                        DerivPair::default()
+                    };
+                    // Consume-on-read: compilation proved this slot is
+                    // read exactly once per evaluation.
+                    let acc = if acc_slot >= 0 {
+                        std::mem::take(&mut scratch.dacc[acc_slot as usize])
+                    } else {
+                        ForcePair::default()
+                    };
+                    let df_q = local.dq.df + acc.dq;
+                    let df_qd = local.dqd.df + acc.dqd;
+                    let (dtau_q, to_parent_q) =
+                        bwd_deriv_step(l, is_seed, Wrt::Q, &scratch.cache.0, df_q);
+                    let (dtau_qd, to_parent_qd) =
+                        bwd_deriv_step(l, is_seed, Wrt::Qd, &scratch.cache.0, df_qd);
+                    if parent_acc_slot >= 0 {
+                        let e = &mut scratch.dacc[parent_acc_slot as usize];
+                        e.dq += to_parent_q;
+                        e.dqd += to_parent_qd;
+                    }
+                    // Sign folded in: C = M⁻¹(−∂τ) is ∂q̈ directly.
+                    scratch.b[(l, b_q as usize)] = -dtau_q;
+                    scratch.b[(l, b_qd as usize)] = -dtau_qd;
+                }
+                Op::FkStep { .. } => {
+                    unreachable!("traversal programs contain no kinematics ops")
+                }
+            }
+        }
+    }
+
+    /// Executes the blocked mat-mul tile ops, replicating
+    /// `BlockMatmulPlan::execute`'s arithmetic (tile padding, the
+    /// zero-skip on `M⁻¹` entries, ascending-k accumulation) against the
+    /// scratch operands.
+    fn run_matmul(&self, scratch: &mut SimScratch) {
+        let n = self.n;
+        let bl = self.mm_block;
+        let b_cols = 2 * n;
+        let minv = scratch.minv.as_slice();
+        let b = scratch.b.as_slice();
+        let c = scratch.c.as_mut_slice();
+        let prod = &mut scratch.prod;
+        for v in c.iter_mut() {
+            *v = 0.0;
+        }
+        for op in &self.mm_ops {
+            let (r0, k0, c0) = (op.ti * bl, op.tk * bl, op.tj * bl);
+            for p in prod.iter_mut() {
+                *p = 0.0;
+            }
+            for i in 0..bl {
+                let ai = r0 + i;
+                if ai >= n {
+                    // Padded A row: a == 0.0 at every k, all skipped.
+                    continue;
+                }
+                let arow = &minv[ai * n..(ai + 1) * n];
+                let prow = &mut prod[i * bl..(i + 1) * bl];
+                for k in 0..bl {
+                    let ak = k0 + k;
+                    if ak >= n {
+                        // Padded A column: a == 0.0, skipped.
+                        continue;
+                    }
+                    let a = arow[ak];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[ak * b_cols..(ak + 1) * b_cols];
+                    let in_bounds = bl.min(b_cols.saturating_sub(c0));
+                    for (j, p) in prow.iter_mut().enumerate().take(in_bounds) {
+                        *p += a * brow[c0 + j];
+                    }
+                    // Padded B columns: the interpreter adds a·0.0 there,
+                    // which is not a no-op for a −0.0 accumulator — keep
+                    // the adds for bit-exactness.
+                    for p in prow[in_bounds..].iter_mut() {
+                        *p += a * 0.0;
+                    }
+                }
+            }
+            for i in 0..bl {
+                let r = r0 + i;
+                if r >= n {
+                    continue;
+                }
+                let crow = &mut c[r * b_cols..(r + 1) * b_cols];
+                let prow = &prod[i * bl..(i + 1) * bl];
+                for (j, &pv) in prow.iter().enumerate() {
+                    let cc = c0 + j;
+                    if cc < b_cols {
+                        crow[cc] += pv;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Key of the process-wide program cache: everything that determines a
+/// *generated* design's program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProgramKey {
+    parents: Vec<Option<usize>>,
+    knobs: AcceleratorKnobs,
+    kernel: KernelKind,
+}
+
+impl ProgramKey {
+    fn of(design: &AcceleratorDesign) -> ProgramKey {
+        ProgramKey {
+            parents: design.topology().parents().to_vec(),
+            knobs: *design.knobs(),
+            kernel: design.kernel(),
+        }
+    }
+}
+
+fn program_cache() -> &'static RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>> {
+    static CACHE: OnceLock<RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        // Pre-register the compile/scratch/batch counter family so the
+        // metrics snapshot (and the experiments summary) lists them even
+        // before the first cache interaction of each kind.
+        let m = obs::metrics();
+        for name in [
+            "sim.compile.hit",
+            "sim.compile.miss",
+            "sim.scratch.reuse",
+            "sim.batch_schedule.hit",
+            "sim.batch_schedule.miss",
+        ] {
+            let _ = m.counter(name);
+        }
+        RwLock::new(HashMap::new())
+    })
+}
+
+fn compile_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
+    static COUNTERS: OnceLock<(Arc<Counter>, Arc<Counter>)> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let m = obs::metrics();
+        (m.counter("sim.compile.hit"), m.counter("sim.compile.miss"))
+    })
+}
+
+/// The process-wide compiled program for `design`, compiling on first use
+/// (`sim.compile.{hit,miss}`). Structural validation guards the cache: a
+/// `from_parts` design whose schedule differs from the cached program's
+/// is recompiled (uncached) rather than served a wrong program.
+pub fn shared_program(design: &AcceleratorDesign) -> Arc<CompiledProgram> {
+    let cache = program_cache();
+    let (hit, miss) = compile_counters();
+    let key = ProgramKey::of(design);
+    if let Some(found) = cache.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
+        if found.matches(design) {
+            hit.add(1);
+            return Arc::clone(found);
+        }
+    }
+    miss.add(1);
+    let program = Arc::new(CompiledProgram::compile(design));
+    let mut map = cache.write().unwrap_or_else(|e| e.into_inner());
+    match map.entry(key) {
+        std::collections::hash_map::Entry::Occupied(e) => {
+            if e.get().matches(design) {
+                // Lost a benign race: share the already-cached program.
+                Arc::clone(e.get())
+            } else {
+                // Structural mismatch (custom `from_parts` schedule):
+                // serve the fresh program without poisoning the cache.
+                program
+            }
+        }
+        std::collections::hash_map::Entry::Vacant(e) => {
+            e.insert(Arc::clone(&program));
+            program
+        }
+    }
+}

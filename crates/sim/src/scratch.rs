@@ -1,0 +1,216 @@
+//! Reusable per-worker simulation state: the [`SimScratch`] arena.
+//!
+//! Every buffer a compiled program touches while executing lives here, so
+//! a worker that keeps one `SimScratch` alive pays for allocation once per
+//! `(worker, program)` binding instead of once per request. The arena is
+//! rebound lazily: executing a program against a scratch bound to a
+//! different program reallocates; executing against the same program again
+//! reuses every buffer and bumps the `sim.scratch.reuse` counter.
+//!
+//! # Why no per-evaluation clearing
+//!
+//! The hot buffers are designed so that a warm evaluation performs *no*
+//! O(n²) reset pass:
+//!
+//! * `cache` (RNEA outputs) and the host-side buffers are fully
+//!   overwritten by every evaluation.
+//! * `dstate` derivative slots are pure stores: compilation resolves every
+//!   read either to a slot written earlier in the same evaluation or to a
+//!   constant default, so stale values are never observed.
+//! * `dacc` and `f_acc` accumulator slots are *consumed on read*
+//!   ([`std::mem::take`]): compilation proves every pushed slot is read
+//!   exactly once per evaluation, so reading doubles as the reset.
+//! * The sign-folded `B` operand writes the same slot set every
+//!   evaluation; untouched slots are structural zeros set at bind time.
+//! * The `C` accumulator and the per-op `prod` tile are zeroed just
+//!   before use (plain stores, no allocation).
+
+use crate::deriv::{DerivPair, ForcePair};
+use crate::program::CompiledProgram;
+use roboshape_dynamics::RneaCache;
+use roboshape_linalg::DMat;
+use roboshape_spatial::{ForceVec, MotionVec, SpatialInertia, Xform};
+
+/// A reusable arena holding every intermediate buffer one accelerator
+/// evaluation needs. See the [module docs](self) for the reuse contract.
+///
+/// Create one per worker thread with [`SimScratch::new`] and pass it to
+/// [`CompiledProgram::execute_gradient`] and friends; the program binds
+/// (and, when necessary, sizes) the arena itself.
+#[derive(Debug)]
+pub struct SimScratch {
+    /// Id of the program the buffers are currently sized/zeroed for
+    /// (`0` = unbound; program ids start at 1).
+    bound: u64,
+    /// RNEA output storage (Fig. 8c): `X`, `v`, `a`, `f`, `τ` per link.
+    pub(crate) cache: RneaCacheBox,
+    /// Per-link forces before child accumulation.
+    pub(crate) f_local: Vec<ForceVec>,
+    /// Child force accumulators, consumed on read by each `RneaBwd` op.
+    pub(crate) f_acc: Vec<ForceVec>,
+    /// Dense derivative thread state, slot `link · n + seed`.
+    pub(crate) dstate: Vec<DerivPair>,
+    /// Dense derivative force accumulators, consumed on read.
+    pub(crate) dacc: Vec<ForcePair>,
+    /// Host-side RNEA/CRBA transforms.
+    pub(crate) hxup: Vec<Xform>,
+    /// Host-side link velocities (bias pass).
+    pub(crate) hv: Vec<MotionVec>,
+    /// Host-side link accelerations (bias pass).
+    pub(crate) ha: Vec<MotionVec>,
+    /// Host-side link forces (bias pass).
+    pub(crate) hf: Vec<ForceVec>,
+    /// Motion subspaces (CRBA).
+    pub(crate) svec: Vec<MotionVec>,
+    /// Composite inertias (CRBA).
+    pub(crate) ic: Vec<SpatialInertia>,
+    /// Bias torques `C(q, q̇)`.
+    pub(crate) bias: Vec<f64>,
+    /// Forward-dynamics accelerations `q̈` (solved in place).
+    pub(crate) qdd: Vec<f64>,
+    /// Cholesky solve column.
+    pub(crate) ycol: Vec<f64>,
+    /// Mass matrix `M(q)` (structural zeros persist across evaluations).
+    pub(crate) mass: DMat,
+    /// Cholesky factor `L` (lower triangle rewritten per evaluation).
+    pub(crate) chol: DMat,
+    /// Inverse mass matrix `M⁻¹`.
+    pub(crate) minv: DMat,
+    /// Sign-folded mat-mul operand: `B[(i, j)] = −∂τᵢ/∂qⱼ`,
+    /// `B[(i, j+n)] = −∂τᵢ/∂q̇ⱼ`, written directly by `GradBwd` ops.
+    pub(crate) b: DMat,
+    /// Mat-mul accumulator: `C = M⁻¹ B`, which *is* `[∂q̈/∂q | ∂q̈/∂q̇]`
+    /// thanks to the folded sign.
+    pub(crate) c: DMat,
+    /// One block×block product tile.
+    pub(crate) prod: Vec<f64>,
+    /// Forward-kinematics base→link poses.
+    pub(crate) poses: Vec<Xform>,
+}
+
+/// `RneaCache` wrapper providing a `Default` (the dynamics crate's struct
+/// has no `Default` of its own).
+#[derive(Debug)]
+pub(crate) struct RneaCacheBox(pub(crate) RneaCache);
+
+impl Default for RneaCacheBox {
+    fn default() -> Self {
+        RneaCacheBox(RneaCache {
+            xup: Vec::new(),
+            v: Vec::new(),
+            a: Vec::new(),
+            f: Vec::new(),
+            tau: Vec::new(),
+            s: Vec::new(),
+            vj: Vec::new(),
+            h: Vec::new(),
+        })
+    }
+}
+
+impl Default for SimScratch {
+    fn default() -> SimScratch {
+        SimScratch {
+            bound: 0,
+            cache: RneaCacheBox::default(),
+            f_local: Vec::new(),
+            f_acc: Vec::new(),
+            dstate: Vec::new(),
+            dacc: Vec::new(),
+            hxup: Vec::new(),
+            hv: Vec::new(),
+            ha: Vec::new(),
+            hf: Vec::new(),
+            svec: Vec::new(),
+            ic: Vec::new(),
+            bias: Vec::new(),
+            qdd: Vec::new(),
+            ycol: Vec::new(),
+            mass: DMat::zeros(0, 0),
+            chol: DMat::zeros(0, 0),
+            minv: DMat::zeros(0, 0),
+            b: DMat::zeros(0, 0),
+            c: DMat::zeros(0, 0),
+            prod: Vec::new(),
+            poses: Vec::new(),
+        }
+    }
+}
+
+impl SimScratch {
+    /// An unbound arena; the first execution against a program sizes it.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// `true` when the arena is currently bound to `program` (the next
+    /// execution will be allocation-free).
+    pub fn is_bound_to(&self, program: &CompiledProgram) -> bool {
+        self.bound == program.id()
+    }
+
+    /// Binds the arena to `program`: on a rebind every buffer is resized
+    /// and reset; on a match this is a no-op apart from the
+    /// `sim.scratch.reuse` counter.
+    pub(crate) fn prepare(&mut self, program: &CompiledProgram) {
+        if self.bound == program.id() {
+            program.note_scratch_reuse();
+            return;
+        }
+        let n = program.dim();
+        let cache = &mut self.cache.0;
+        cache.xup.clear();
+        cache.xup.resize(n, Xform::identity());
+        cache.v.clear();
+        cache.v.resize(n, MotionVec::ZERO);
+        cache.a.clear();
+        cache.a.resize(n, MotionVec::ZERO);
+        cache.f.clear();
+        cache.f.resize(n, ForceVec::ZERO);
+        cache.tau.clear();
+        cache.tau.resize(n, 0.0);
+        cache.s.clear();
+        cache.s.resize(n, MotionVec::ZERO);
+        cache.vj.clear();
+        cache.vj.resize(n, MotionVec::ZERO);
+        cache.h.clear();
+        cache.h.resize(n, ForceVec::ZERO);
+        self.f_local.clear();
+        self.f_local.resize(n, ForceVec::ZERO);
+        self.f_acc.clear();
+        self.f_acc.resize(n, ForceVec::ZERO);
+        self.dstate.clear();
+        self.dstate.resize(n * n, DerivPair::default());
+        self.dacc.clear();
+        self.dacc.resize(n * n, ForcePair::default());
+        self.hxup.clear();
+        self.hxup.resize(n, Xform::identity());
+        self.hv.clear();
+        self.hv.resize(n, MotionVec::ZERO);
+        self.ha.clear();
+        self.ha.resize(n, MotionVec::ZERO);
+        self.hf.clear();
+        self.hf.resize(n, ForceVec::ZERO);
+        self.svec.clear();
+        self.svec.resize(n, MotionVec::ZERO);
+        self.ic.clear();
+        self.ic.resize(n, SpatialInertia::zero());
+        self.bias.clear();
+        self.bias.resize(n, 0.0);
+        self.qdd.clear();
+        self.qdd.resize(n, 0.0);
+        self.ycol.clear();
+        self.ycol.resize(n, 0.0);
+        self.mass = DMat::zeros(n, n);
+        self.chol = DMat::zeros(n, n);
+        self.minv = DMat::zeros(n, n);
+        self.b = DMat::zeros(n, 2 * n);
+        self.c = DMat::zeros(n, 2 * n);
+        let bl = program.matmul_block();
+        self.prod.clear();
+        self.prod.resize(bl * bl, 0.0);
+        self.poses.clear();
+        self.poses.resize(n, Xform::identity());
+        self.bound = program.id();
+    }
+}

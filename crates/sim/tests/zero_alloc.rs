@@ -1,0 +1,89 @@
+//! Counting-allocator proof that the warm ∇FD execute path performs
+//! **zero** heap allocation: once a scratch arena is bound to a program
+//! and the output `Simulation` holds correctly-sized buffers,
+//! [`CompiledProgram::execute_gradient_into`] must not touch the
+//! allocator at all.
+//!
+//! Tracking is thread-local so a libtest harness thread allocating in
+//! the background cannot pollute the window; this file still contains a
+//! single `#[test]` to keep the measured path undisturbed.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs};
+use roboshape_robots::{zoo, Zoo};
+use roboshape_sim::{shared_program, SimScratch};
+
+struct CountingAlloc;
+
+thread_local! {
+    // const-initialized: reading these from inside `alloc` cannot itself
+    // allocate. `try_with` keeps teardown-time allocations safe.
+    static TRACK: Cell<bool> = const { Cell::new(false) };
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn note_alloc() {
+    let _ = TRACK.try_with(|t| {
+        if t.get() {
+            let _ = ALLOCS.try_with(|a| a.set(a.get() + 1));
+        }
+    });
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warm_gradient_execute_allocates_nothing() {
+    // HyQ with the paper's Table 2 knobs: branched topology, real matmul.
+    let robot = zoo(Zoo::Hyq);
+    let n = robot.num_links();
+    let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(3, 6));
+    let program = shared_program(&design);
+    let mut scratch = SimScratch::default();
+    let q: Vec<f64> = (0..n).map(|i| 0.1 * (i as f64 + 1.0)).collect();
+    let qd: Vec<f64> = (0..n).map(|i| 0.02 * (i as f64 + 1.0)).collect();
+    let tau: Vec<f64> = (0..n).map(|i| 0.30 * (i as f64 + 1.0)).collect();
+
+    // Warm-up: binds the scratch arena and sizes the output buffers.
+    let mut out = program
+        .execute_gradient(&robot, &mut scratch, &q, &qd, &tau)
+        .expect("warm-up evaluation");
+    let warm_tau = out.tau.clone();
+
+    ALLOCS.with(|a| a.set(0));
+    TRACK.with(|t| t.set(true));
+    for _ in 0..8 {
+        program
+            .execute_gradient_into(&robot, &mut scratch, &q, &qd, &tau, &mut out)
+            .expect("warm evaluation");
+    }
+    TRACK.with(|t| t.set(false));
+
+    assert_eq!(out.tau, warm_tau, "warm result changed");
+    let allocs = ALLOCS.with(|a| a.get());
+    assert_eq!(allocs, 0, "warm ∇FD execute path touched the heap");
+}

@@ -40,6 +40,7 @@ pub struct SpatialInertia {
 
 impl SpatialInertia {
     /// The zero inertia (massless link).
+    #[inline]
     pub fn zero() -> SpatialInertia {
         SpatialInertia {
             mass: 0.0,
@@ -56,6 +57,7 @@ impl SpatialInertia {
     /// # Panics
     ///
     /// Panics if `mass` is negative.
+    #[inline]
     pub fn from_mass_com_inertia(mass: f64, com: Vec3, inertia_com: Mat3) -> SpatialInertia {
         assert!(mass >= 0.0, "mass must be non-negative");
         let c_skew = com.skew();
@@ -69,21 +71,25 @@ impl SpatialInertia {
 
     /// A solid-sphere-like link used in tests and synthetic robots:
     /// mass `m` at `com`, isotropic rotational inertia `i` about the CoM.
+    #[inline]
     pub fn point_like(mass: f64, com: Vec3, i: f64) -> SpatialInertia {
         SpatialInertia::from_mass_com_inertia(mass, com, Mat3::diagonal(Vec3::new(i, i, i)))
     }
 
     /// Link mass.
+    #[inline]
     pub fn mass(&self) -> f64 {
         self.mass
     }
 
     /// First moment of mass `h = m·c`.
+    #[inline]
     pub fn first_moment(&self) -> Vec3 {
         self.h
     }
 
     /// Centre of mass, when the link has mass.
+    #[inline]
     pub fn com(&self) -> Option<Vec3> {
         if self.mass > 0.0 {
             Some(self.h * (1.0 / self.mass))
@@ -93,6 +99,7 @@ impl SpatialInertia {
     }
 
     /// Rotational inertia about the link frame origin.
+    #[inline]
     pub fn rotational(&self) -> Mat3 {
         self.i_origin
     }
@@ -100,6 +107,7 @@ impl SpatialInertia {
     /// Rotational inertia about the centre of mass (inverse of the parallel
     /// axis shift applied at construction): `I_c = I_o − m·ĉ·ĉᵀ`. Returns
     /// the origin inertia unchanged for massless links.
+    #[inline]
     pub fn rotational_about_com(&self) -> Mat3 {
         match self.com() {
             Some(c) => {
@@ -111,6 +119,7 @@ impl SpatialInertia {
     }
 
     /// The full 6×6 spatial inertia matrix.
+    #[inline]
     pub fn to_mat6(&self) -> Mat6 {
         let h_skew = self.h.skew();
         Mat6::from_blocks(
@@ -123,6 +132,7 @@ impl SpatialInertia {
 
     /// Applies the inertia to a motion vector: `f = I·v` (momentum from
     /// velocity, or the `I·a` term of the Newton–Euler equation).
+    #[inline]
     pub fn apply(&self, v: MotionVec) -> ForceVec {
         let w = v.angular();
         let l = v.linear();
@@ -134,6 +144,7 @@ impl SpatialInertia {
 
     /// Sum of two inertias expressed in the same frame (composite bodies —
     /// the CRBA accumulation step).
+    #[inline]
     pub fn add(&self, other: &SpatialInertia) -> SpatialInertia {
         SpatialInertia {
             mass: self.mass + other.mass,
@@ -145,6 +156,7 @@ impl SpatialInertia {
     /// Transforms the inertia from frame A into frame B given `x = ᴮXᴬ`:
     /// `I_B = X⁻ᵀ I_A X⁻¹` (used when accumulating composite inertias up
     /// the tree in the CRBA).
+    #[inline]
     pub fn transform(&self, x: &crate::Xform) -> SpatialInertia {
         // Work with explicit blocks: E (rotation A→B), r (B origin in A).
         let e = x.rotation();
@@ -171,6 +183,7 @@ impl SpatialInertia {
     }
 
     /// Kinetic energy `½ vᵀ I v` of a body moving with velocity `v`.
+    #[inline]
     pub fn kinetic_energy(&self, v: MotionVec) -> f64 {
         0.5 * v.dot_force(self.apply(v))
     }

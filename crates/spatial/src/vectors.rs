@@ -40,31 +40,37 @@ macro_rules! spatial_vec_impl {
             pub const ZERO: $t = $t(Vec6::ZERO);
 
             /// Builds from angular (top) and linear (bottom) parts.
+            #[inline]
             pub fn from_parts(angular: Vec3, linear: Vec3) -> $t {
                 $t(Vec6::from_parts(angular, linear))
             }
 
             /// Builds from a raw 6-vector.
+            #[inline]
             pub fn from_vec6(v: Vec6) -> $t {
                 $t(v)
             }
 
             /// The angular (top) 3-vector.
+            #[inline]
             pub fn angular(self) -> Vec3 {
                 self.0.angular()
             }
 
             /// The linear (bottom) 3-vector.
+            #[inline]
             pub fn linear(self) -> Vec3 {
                 self.0.linear()
             }
 
             /// The underlying 6-vector.
+            #[inline]
             pub fn as_vec6(self) -> Vec6 {
                 self.0
             }
 
             /// Euclidean norm.
+            #[inline]
             pub fn norm(self) -> f64 {
                 self.0.norm()
             }
@@ -72,12 +78,14 @@ macro_rules! spatial_vec_impl {
 
         impl Add for $t {
             type Output = $t;
+            #[inline]
             fn add(self, o: $t) -> $t {
                 $t(self.0 + o.0)
             }
         }
 
         impl AddAssign for $t {
+            #[inline]
             fn add_assign(&mut self, o: $t) {
                 self.0 += o.0;
             }
@@ -85,6 +93,7 @@ macro_rules! spatial_vec_impl {
 
         impl Sub for $t {
             type Output = $t;
+            #[inline]
             fn sub(self, o: $t) -> $t {
                 $t(self.0 - o.0)
             }
@@ -92,6 +101,7 @@ macro_rules! spatial_vec_impl {
 
         impl Neg for $t {
             type Output = $t;
+            #[inline]
             fn neg(self) -> $t {
                 $t(-self.0)
             }
@@ -99,6 +109,7 @@ macro_rules! spatial_vec_impl {
 
         impl Mul<f64> for $t {
             type Output = $t;
+            #[inline]
             fn mul(self, s: f64) -> $t {
                 $t(self.0 * s)
             }
@@ -112,6 +123,7 @@ spatial_vec_impl!(ForceVec);
 impl MotionVec {
     /// The scalar pairing `vᵀ f` (instantaneous power when `v` is a velocity
     /// and `f` a force). This pairing is invariant under frame changes.
+    #[inline]
     pub fn dot_force(self, f: ForceVec) -> f64 {
         self.0.dot(f.0)
     }

@@ -40,6 +40,7 @@ pub struct Xform {
 }
 
 impl Default for Xform {
+    #[inline]
     fn default() -> Self {
         Xform::identity()
     }
@@ -47,6 +48,7 @@ impl Default for Xform {
 
 impl Xform {
     /// The identity transform.
+    #[inline]
     pub fn identity() -> Xform {
         Xform {
             rot: Mat3::identity(),
@@ -56,11 +58,13 @@ impl Xform {
 
     /// Builds from a rotation `E` (A → B coordinates) and the position `r`
     /// of B's origin in A coordinates.
+    #[inline]
     pub fn new(rot: Mat3, trans: Vec3) -> Xform {
         Xform { rot, trans }
     }
 
     /// A pure translation: B's origin at `r` in A coordinates.
+    #[inline]
     pub fn from_translation(trans: Vec3) -> Xform {
         Xform {
             rot: Mat3::identity(),
@@ -71,6 +75,7 @@ impl Xform {
     /// A pure rotation of the coordinate frame by `angle` about `axis`
     /// (B's basis is A's basis rotated by `angle`; coordinates transform
     /// with the transpose).
+    #[inline]
     pub fn from_rotation(axis: Vec3, angle: f64) -> Xform {
         Xform {
             rot: Mat3::rotation_axis(axis, angle).transpose(),
@@ -80,6 +85,7 @@ impl Xform {
 
     /// URDF-style origin: frame B translated by `xyz` and rotated by
     /// (roll, pitch, yaw) relative to A.
+    #[inline]
     pub fn from_origin(xyz: Vec3, rpy: [f64; 3]) -> Xform {
         Xform {
             rot: Mat3::from_rpy(rpy[0], rpy[1], rpy[2]).transpose(),
@@ -88,22 +94,26 @@ impl Xform {
     }
 
     /// The rotation block `E` (A → B coordinates).
+    #[inline]
     pub fn rotation(&self) -> Mat3 {
         self.rot
     }
 
     /// The position of B's origin in A coordinates.
+    #[inline]
     pub fn translation(&self) -> Vec3 {
         self.trans
     }
 
     /// The full 6×6 Plücker matrix (motion-vector convention).
+    #[inline]
     pub fn to_mat6(&self) -> Mat6 {
         let bl = (self.rot * self.trans.skew()) * -1.0;
         Mat6::from_blocks(self.rot, Mat3::zero(), bl, self.rot)
     }
 
     /// Transforms a motion vector from A to B coordinates.
+    #[inline]
     pub fn apply_motion(&self, v: MotionVec) -> MotionVec {
         let w = v.angular();
         let l = v.linear();
@@ -113,6 +123,7 @@ impl Xform {
     /// Transforms a force vector *back* from B to A coordinates
     /// (`f_A = Xᵀ f_B`); this is the operation used when accumulating child
     /// link forces onto the parent in the RNEA backward pass.
+    #[inline]
     pub fn apply_force_transpose(&self, f: ForceVec) -> ForceVec {
         let rt = self.rot.transpose();
         let n = rt * f.angular();
@@ -122,6 +133,7 @@ impl Xform {
 
     /// Transforms a force vector from A to B coordinates
     /// (`f_B = X⁻ᵀ f_A`, i.e. the dual transform).
+    #[inline]
     pub fn apply_force(&self, f: ForceVec) -> ForceVec {
         let n = f.angular();
         let l = f.linear();
@@ -131,17 +143,20 @@ impl Xform {
     /// Maps a *point* given in A coordinates to B coordinates:
     /// `p_B = E·(p_A − r)` (points transform affinely, unlike motion
     /// vectors).
+    #[inline]
     pub fn transform_point(&self, p: Vec3) -> Vec3 {
         self.rot * (p - self.trans)
     }
 
     /// Maps a point given in B coordinates back to A coordinates.
+    #[inline]
     pub fn transform_point_back(&self, p: Vec3) -> Vec3 {
         self.rot.transpose() * p + self.trans
     }
 
     /// Composition: `self ∘ other`, the transform that applies `other`
     /// first. If `other = ᴮXᴬ` and `self = ᶜXᴮ`, the result is `ᶜXᴬ`.
+    #[inline]
     pub fn compose(&self, other: &Xform) -> Xform {
         Xform {
             rot: self.rot * other.rot,
@@ -150,6 +165,7 @@ impl Xform {
     }
 
     /// The inverse transform `ᴬXᴮ`.
+    #[inline]
     pub fn inverse(&self) -> Xform {
         Xform {
             rot: self.rot.transpose(),
