@@ -18,11 +18,61 @@ const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 16;
 
 fn start_server() -> Server {
-    let engine = Engine::new(EngineConfig::default());
+    start_server_with(EngineConfig::default())
+}
+
+fn start_server_with(cfg: EngineConfig) -> Server {
+    let engine = Engine::new(cfg);
     for z in Zoo::ALL {
         engine.register(z.name(), zoo(z));
     }
     Server::start(engine, ("127.0.0.1", 0)).expect("bind loopback")
+}
+
+/// Closed-loop ∇FD load on a single robot: every client hammers HyQ,
+/// so the engine's deadline-aware coalescing actually forms batches of
+/// ≥4 and the lane backend's whole-group path carries the traffic.
+fn single_robot_config() -> LoadgenConfig {
+    LoadgenConfig {
+        mode: LoadMode::Closed,
+        clients: 8,
+        requests_per_client: 32,
+        robots: vec![TargetRobot {
+            name: Zoo::Hyq.name().to_string(),
+            links: zoo(Zoo::Hyq).num_links(),
+        }],
+        kind: KernelKind::DynamicsGradient,
+        deadline: None,
+        seed: 2,
+        retry: RetryPolicy::none(),
+        timeout: None,
+    }
+}
+
+/// Runs the coalesced single-robot load against one backend and
+/// returns the best of three measured passes (thread-scheduling noise
+/// on small boxes dwarfs the per-request compute; the best pass is the
+/// one where the engine actually stayed busy).
+fn run_coalesced(backend: roboshape::BackendKind) -> LoadgenReport {
+    let server = start_server_with(EngineConfig {
+        backend,
+        ..EngineConfig::default()
+    });
+    let cfg = single_robot_config();
+    // One warm-up pass binds every worker's arenas, then the measured runs.
+    run_loadgen(("127.0.0.1", server.port()), &cfg).expect("warm-up run");
+    let mut best: Option<LoadgenReport> = None;
+    for _ in 0..3 {
+        let report = run_loadgen(("127.0.0.1", server.port()), &cfg).expect("coalesced run");
+        if best
+            .as_ref()
+            .is_none_or(|b| report.throughput_rps > b.throughput_rps)
+        {
+            best = Some(report);
+        }
+    }
+    server.shutdown();
+    best.expect("at least one measured pass")
 }
 
 /// Closed-loop mixed-robot ∇FD load: every client cycles through all
@@ -48,14 +98,16 @@ fn full_zoo_config() -> LoadgenConfig {
     }
 }
 
-fn write_summary(report: &LoadgenReport) {
+fn write_summary(report: &LoadgenReport, scalar: &LoadgenReport, lanes: &LoadgenReport) {
     let robots = Zoo::ALL
         .iter()
         .map(|&z| format!("\"{}\"", z.name()))
         .collect::<Vec<_>>()
         .join(", ");
+    let backend = format!("{:?}", EngineConfig::default().backend).to_lowercase();
+    let coalesced_cfg = single_robot_config();
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"mode\": \"closed\",\n  \"robots\": [{robots}],\n  \"clients\": {clients},\n  \"requests_per_client\": {per_client},\n  \"sent\": {sent},\n  \"ok\": {ok},\n  \"shed\": {shed},\n  \"deadline_exceeded\": {deadline},\n  \"errors\": {errors},\n  \"elapsed_us\": {elapsed},\n  \"throughput_rps\": {rps:.1},\n  \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}}\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"mode\": \"closed\",\n  \"backend\": \"{backend}\",\n  \"robots\": [{robots}],\n  \"clients\": {clients},\n  \"requests_per_client\": {per_client},\n  \"sent\": {sent},\n  \"ok\": {ok},\n  \"shed\": {shed},\n  \"deadline_exceeded\": {deadline},\n  \"errors\": {errors},\n  \"elapsed_us\": {elapsed},\n  \"throughput_rps\": {rps:.1},\n  \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}},\n  \"coalesced\": {{\"robot\": \"{co_robot}\", \"clients\": {co_clients}, \"requests_per_client\": {co_per_client}, \"scalar_rps\": {co_scalar:.1}, \"lanes_rps\": {co_lanes:.1}, \"lanes_speedup\": {co_speedup:.2}, \"lanes_p50_us\": {co_p50}, \"lanes_p99_us\": {co_p99}}}\n}}\n",
         clients = CLIENTS,
         per_client = REQUESTS_PER_CLIENT,
         sent = report.sent,
@@ -70,6 +122,14 @@ fn write_summary(report: &LoadgenReport) {
         p99 = report.p99_us,
         max = report.max_us,
         mean = report.mean_us,
+        co_robot = Zoo::Hyq.name(),
+        co_clients = coalesced_cfg.clients,
+        co_per_client = coalesced_cfg.requests_per_client,
+        co_scalar = scalar.throughput_rps,
+        co_lanes = lanes.throughput_rps,
+        co_speedup = lanes.throughput_rps / scalar.throughput_rps,
+        co_p50 = lanes.p50_us,
+        co_p99 = lanes.p99_us,
     );
     roboshape::obs::json::validate(&json).expect("summary is well-formed JSON");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
@@ -97,8 +157,13 @@ fn bench_serve_throughput(c: &mut Criterion) {
     g.finish();
 
     let report = run_loadgen(("127.0.0.1", port), &cfg).expect("summary run");
-    write_summary(&report);
     server.shutdown();
+    // The coalesced comparison: same single-robot closed-loop load
+    // against a scalar-backend engine and a lane-backend engine.
+    let scalar = run_coalesced(roboshape::BackendKind::Scalar);
+    let lanes = run_coalesced(roboshape::BackendKind::Lanes);
+    assert_eq!(scalar.ok, lanes.ok, "both backends must answer everything");
+    write_summary(&report, &scalar, &lanes);
 }
 
 criterion_group!(benches, bench_serve_throughput);

@@ -9,8 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use roboshape::{
-    shared_program, try_simulate_interpreted, AcceleratorDesign, AcceleratorKnobs, CompiledProgram,
-    SimScratch,
+    shared_program, shared_program_for, try_simulate_interpreted, AcceleratorDesign,
+    AcceleratorKnobs, BackendKind, CompiledProgram, SimScratch,
 };
 use roboshape_robots::{zoo, Zoo};
 use std::fs;
@@ -50,6 +50,29 @@ fn bench_inputs(n: usize) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
         (0..n).map(|i| 0.02 * (i as f64 + 1.0)).collect(),
         (0..n).map(|i| 0.30 * (i as f64 + 1.0)).collect(),
     )
+}
+
+/// A batch of distinct-but-valid inputs (one trajectory step apart).
+fn batch_inputs(n: usize, batch: usize) -> Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> {
+    (0..batch)
+        .map(|b| {
+            let s = 0.03 * b as f64;
+            (
+                (0..n).map(|i| 0.10 * (i as f64 + 1.0) + s).collect(),
+                (0..n).map(|i| 0.02 * (i as f64 + 1.0) - s).collect(),
+                (0..n).map(|i| 0.30 * (i as f64 + 1.0) + s).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Which backend the Criterion batch timing runs (`SIM_BENCH_BACKEND`;
+/// the JSON summary always measures both for the comparison flags).
+fn selected_backend() -> BackendKind {
+    match std::env::var("SIM_BENCH_BACKEND").as_deref() {
+        Ok("scalar") => BackendKind::Scalar,
+        _ => BackendKind::Lanes,
+    }
 }
 
 struct RobotRow {
@@ -133,7 +156,68 @@ fn measure(which: Zoo) -> RobotRow {
     }
 }
 
-fn write_summary(rows: &[RobotRow]) {
+struct BatchRow {
+    name: &'static str,
+    links: usize,
+    /// Warm per-entry µs for (backend, batch) ∈ {scalar, lanes} × {4, 8}.
+    scalar_b4_us: f64,
+    lanes_b4_us: f64,
+    scalar_b8_us: f64,
+    lanes_b8_us: f64,
+}
+
+impl BatchRow {
+    fn speedup_b4(&self) -> f64 {
+        self.scalar_b4_us / self.lanes_b4_us
+    }
+
+    fn speedup_b8(&self) -> f64 {
+        self.scalar_b8_us / self.lanes_b8_us
+    }
+}
+
+/// Warm per-entry latency of one backend at one batch size: bound lane
+/// and scalar arenas, reused output buffers — the zero-alloc batch path.
+fn measure_batch_case(
+    robot: &roboshape::RobotModel,
+    design: &AcceleratorDesign,
+    backend: BackendKind,
+    batch: usize,
+) -> f64 {
+    let program = shared_program_for(design, backend);
+    let mut scratch = SimScratch::default();
+    let steps = batch_inputs(robot.num_links(), batch);
+    let mut outs = Vec::new();
+    program
+        .execute_batch_into(robot, &mut scratch, &steps, &mut outs)
+        .expect("warm-up batch");
+    let k = (evals() / batch).max(10);
+    let start = Instant::now();
+    for _ in 0..k {
+        program
+            .execute_batch_into(robot, &mut scratch, &steps, &mut outs)
+            .expect("warm batch");
+        black_box(&outs[batch - 1].tau);
+    }
+    start.elapsed().as_secs_f64() * 1e6 / (k * batch) as f64
+}
+
+/// Scalar-loop vs lane backend at batch 4 and 8 for one robot.
+fn measure_batch(which: Zoo) -> BatchRow {
+    let robot = zoo(which);
+    let n = robot.num_links();
+    let design = AcceleratorDesign::generate(robot.topology(), knobs_for(n));
+    BatchRow {
+        name: which.name(),
+        links: n,
+        scalar_b4_us: measure_batch_case(&robot, &design, BackendKind::Scalar, 4),
+        lanes_b4_us: measure_batch_case(&robot, &design, BackendKind::Lanes, 4),
+        scalar_b8_us: measure_batch_case(&robot, &design, BackendKind::Scalar, 8),
+        lanes_b8_us: measure_batch_case(&robot, &design, BackendKind::Lanes, 8),
+    }
+}
+
+fn write_summary(rows: &[RobotRow], batch_rows: &[BatchRow]) {
     let warm_beats_cold = rows.iter().all(|r| r.warm_exec_us < r.cold_first_eval_us);
     let robots = rows
         .iter()
@@ -152,10 +236,34 @@ fn write_summary(rows: &[RobotRow]) {
         })
         .collect::<Vec<_>>()
         .join(",\n");
+    // The tentpole comparison: per-entry throughput of the lane backend
+    // against the scalar loop on identical coalesced batches.
+    let lanes_beats_scalar_at_batch4 =
+        batch_rows.iter().filter(|r| r.speedup_b4() > 1.0).count() >= 4;
+    let batch = batch_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{name}\", \"links\": {links}, \"scalar_b4_us\": {s4:.2}, \"lanes_b4_us\": {l4:.2}, \"scalar_b8_us\": {s8:.2}, \"lanes_b8_us\": {l8:.2}, \"lanes_evals_per_sec_b4\": {eps4:.0}, \"lanes_evals_per_sec_b8\": {eps8:.0}, \"speedup_b4\": {sp4:.2}, \"speedup_b8\": {sp8:.2}}}",
+                name = r.name,
+                links = r.links,
+                s4 = r.scalar_b4_us,
+                l4 = r.lanes_b4_us,
+                s8 = r.scalar_b8_us,
+                l8 = r.lanes_b8_us,
+                eps4 = 1e6 / r.lanes_b4_us,
+                eps8 = 1e6 / r.lanes_b8_us,
+                sp4 = r.speedup_b4(),
+                sp8 = r.speedup_b8(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"sim_throughput\",\n  \"kernel\": \"dynamics_gradient\",\n  \"smoke\": {smoke},\n  \"warm_evals\": {evals},\n  \"warm_beats_cold\": {warm_beats_cold},\n  \"robots\": [\n{robots}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"sim_throughput\",\n  \"kernel\": \"dynamics_gradient\",\n  \"smoke\": {smoke},\n  \"warm_evals\": {evals},\n  \"simd_feature\": {simd},\n  \"warm_beats_cold\": {warm_beats_cold},\n  \"lanes_beats_scalar_at_batch4\": {lanes_beats_scalar_at_batch4},\n  \"robots\": [\n{robots}\n  ],\n  \"batch\": [\n{batch}\n  ]\n}}\n",
         smoke = smoke(),
         evals = evals(),
+        simd = cfg!(feature = "simd"),
     );
     roboshape::obs::json::validate(&json).expect("summary is well-formed JSON");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
@@ -191,6 +299,24 @@ fn bench_sim_throughput(c: &mut Criterion) {
             )
         })
     });
+    // Coalesced batch of 4 through the selected backend (lanes unless
+    // SIM_BENCH_BACKEND=scalar): the serve engine's hot path.
+    let backend = selected_backend();
+    let batch_program = shared_program_for(&design, backend);
+    let mut batch_scratch = SimScratch::default();
+    let steps = batch_inputs(n, 4);
+    let mut outs = Vec::new();
+    batch_program
+        .execute_batch_into(&robot, &mut batch_scratch, &steps, &mut outs)
+        .expect("warm-up batch");
+    g.bench_function(format!("batch4_{backend:?}_hyq_arm").to_lowercase(), |b| {
+        b.iter(|| {
+            batch_program
+                .execute_batch_into(&robot, &mut batch_scratch, &steps, &mut outs)
+                .expect("warm batch");
+            black_box(&outs[3].tau);
+        })
+    });
     g.finish();
 
     let rows: Vec<RobotRow> = Zoo::ALL.iter().map(|&z| measure(z)).collect();
@@ -203,7 +329,8 @@ fn bench_sim_throughput(c: &mut Criterion) {
             r.cold_first_eval_us
         );
     }
-    write_summary(&rows);
+    let batch_rows: Vec<BatchRow> = Zoo::ALL.iter().map(|&z| measure_batch(z)).collect();
+    write_summary(&rows, &batch_rows);
 }
 
 criterion_group!(benches, bench_sim_throughput);

@@ -71,7 +71,7 @@ pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
   soc       co-design accelerators for several URDFs (extra paths after the first)
   serve     run the accelerator service on TCP (<spec> = zoo | zoo:NAME | robot.urdf)
             (--port P --port-file FILE --queue N --batch N --workers N --max-requests N
-             --chaos SEED:RATE --deadline-ms N)
+             --chaos SEED:RATE --deadline-ms N --backend scalar|lanes)
   loadgen   drive a running server and print a latency/throughput report
             (--port P --clients N --requests N --rate HZ --kind grad|id|fk --deadline-us N
              --retries N --timeout-ms N)
@@ -153,6 +153,9 @@ pub enum Command {
         chaos: Option<roboshape_serve::FaultConfig>,
         /// Default deadline budget (ms) for requests that carry none.
         deadline_ms: Option<u64>,
+        /// Execution backend for batched kernels (`--backend
+        /// scalar|lanes`; lanes is the default).
+        backend: roboshape::BackendKind,
     },
     /// `roboshape loadgen`: drive a running server.
     Loadgen {
@@ -335,6 +338,15 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                         CliError::new(format!("option --chaos needs SEED:RATE: {e}"))
                     })?),
                 };
+            let backend = match get_opt("--backend")?.as_deref() {
+                None | Some("lanes") => roboshape::BackendKind::Lanes,
+                Some("scalar") => roboshape::BackendKind::Scalar,
+                Some(other) => {
+                    return Err(CliError::new(format!(
+                        "option --backend must be scalar or lanes, got `{other}`"
+                    )))
+                }
+            };
             Command::Serve {
                 port: port as u16,
                 port_file: get_opt("--port-file")?.map(PathBuf::from),
@@ -344,6 +356,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 max_requests: get_usize("--max-requests")?.map(|v| v as u64),
                 chaos,
                 deadline_ms: get_usize("--deadline-ms")?.map(|v| v as u64),
+                backend,
             }
         }
         "health" => {
@@ -494,6 +507,7 @@ fn run_serve(
     max_requests: Option<u64>,
     chaos: Option<roboshape_serve::FaultConfig>,
     deadline_ms: Option<u64>,
+    backend: roboshape::BackendKind,
 ) -> Result<String, CliError> {
     use roboshape_serve::{Engine, EngineConfig, Server};
     let robots = resolve_robots(&cli.urdf)?;
@@ -504,6 +518,7 @@ fn run_serve(
         start_paused: false,
         default_deadline: deadline_ms.map(std::time::Duration::from_millis),
         chaos,
+        backend,
         ..EngineConfig::default()
     });
     let mut out = String::new();
@@ -666,6 +681,7 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             max_requests,
             chaos,
             deadline_ms,
+            backend,
         } => {
             return run_serve(
                 cli,
@@ -677,6 +693,7 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
                 *max_requests,
                 *chaos,
                 *deadline_ms,
+                *backend,
             )
         }
         Command::Loadgen {
@@ -1240,14 +1257,26 @@ mod tests {
                 port,
                 queue,
                 max_requests,
+                backend,
                 ..
             } => {
                 assert_eq!(port, 0);
                 assert_eq!(queue, 32);
                 assert_eq!(max_requests, Some(10));
+                // Lanes is the default backend.
+                assert_eq!(backend, roboshape::BackendKind::Lanes);
             }
             other => panic!("unexpected {other:?}"),
         }
+
+        let c = parse_args(&args(&["serve", "zoo", "--backend", "scalar"])).unwrap();
+        match c.command {
+            Command::Serve { backend, .. } => {
+                assert_eq!(backend, roboshape::BackendKind::Scalar)
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["serve", "zoo", "--backend", "gpu"])).is_err());
 
         let c = parse_args(&args(&[
             "loadgen", "zoo:iiwa", "--port", "9000", "--rate", "50", "--kind", "fk",

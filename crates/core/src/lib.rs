@@ -76,10 +76,11 @@ pub use roboshape_pipeline::{
     POINTS_METRIC as PIPELINE_POINTS_METRIC,
 };
 pub use roboshape_sim::{
-    shared_program, simulate, simulate_batch, simulate_inverse_dynamics, simulate_kinematics,
-    try_simulate, try_simulate_batch, try_simulate_batch_interpreted, try_simulate_interpreted,
-    try_simulate_inverse_dynamics, try_simulate_kinematics, AcceleratorGradients, CompiledProgram,
-    GradientProvider, ReferenceGradients, SimError, SimScratch, SimStats, Simulation,
+    shared_program, shared_program_for, simulate, simulate_batch, simulate_inverse_dynamics,
+    simulate_kinematics, try_simulate, try_simulate_batch, try_simulate_batch_interpreted,
+    try_simulate_interpreted, try_simulate_inverse_dynamics, try_simulate_kinematics,
+    AcceleratorGradients, BackendKind, CompiledProgram, ExecBackend, GradientProvider,
+    ReferenceGradients, SimError, SimScratch, SimStats, Simulation,
 };
 pub use roboshape_spatial::{inertia_pattern, joint_transform_pattern, Pattern6};
 pub use roboshape_taskgraph::{schedule, Schedule, SchedulerConfig, Stage, TaskCosts, TaskGraph};

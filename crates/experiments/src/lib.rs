@@ -1027,6 +1027,16 @@ pub fn ext_serve() -> String {
         stats.largest_batch,
         stats.shed
     );
+    // Per-backend attribution of the evaluations just served: whole
+    // groups of four run in the SIMD lane backend, remainders and
+    // fallbacks in the scalar loop (bit-identical either way).
+    let m = roboshape::obs::metrics();
+    let _ = writeln!(
+        out,
+        "execution backends: sim.exec.lanes.evals={} sim.exec.scalar.evals={} (lane groups of 4; remainders scalar)",
+        m.counter("sim.exec.lanes.evals").get(),
+        m.counter("sim.exec.scalar.evals").get(),
+    );
     let _ = writeln!(
         out,
         "(per-robot EDF queues; coalesced batches are bit-identical to sequential\nevaluation, so batching trades latency for throughput only — see the\n`serve.*` rows of the metrics summary below)"

@@ -31,10 +31,12 @@
 mod cholesky;
 mod dmat;
 mod fixed;
+pub mod simd;
 
 pub use cholesky::{Cholesky, CholeskyError};
 pub use dmat::{DMat, DVec};
 pub use fixed::{Mat3, Mat6, Vec3, Vec6};
+pub use simd::f64x4;
 
 /// Tolerance used by the crate's approximate-equality helpers.
 pub const DEFAULT_EPS: f64 = 1e-9;

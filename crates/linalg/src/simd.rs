@@ -1,0 +1,485 @@
+//! Four-wide `f64` lanes and structure-of-arrays (SoA) slice kernels.
+//!
+//! The `Lanes` execution backend in `roboshape-sim` evaluates four batched
+//! requests per operation by laying batch entries out structure-of-arrays:
+//! every scalar the single-request path computes becomes one [`f64x4`]
+//! holding that scalar for lanes 0–3. This module provides the lane type
+//! plus the SoA mirrors of the dense kernels the host-side forward
+//! dynamics runs per evaluation — Cholesky factorization, the in-place
+//! triangular solve, the `M⁻¹`-from-factor column solve, and the padded
+//! mat-mul row update.
+//!
+//! # Bit-exactness contract
+//!
+//! Every kernel here performs the *same IEEE-754 operations in the same
+//! order* as its scalar counterpart (`Cholesky::new`, `solve_vec`,
+//! `inverse`, `BlockMatmulPlan::execute`), just on four independent lanes
+//! at once. Because each lane op is an elementwise IEEE add/sub/mul/div/
+//! sqrt, lane `l` of every result is bit-identical to running the scalar
+//! kernel on lane `l`'s inputs alone. The `simd` cargo feature swaps the
+//! portable elementwise loops for explicit AVX intrinsics when the target
+//! enables the `avx` feature (`RUSTFLAGS="-C target-feature=+avx"`); the
+//! intrinsics perform the identical lanewise IEEE operations, so results
+//! do not change — only throughput does. Without the target feature the
+//! portable path is used even when the cargo feature is on, keeping
+//! `--features simd` builds correct on every target.
+
+use core::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// Number of `f64` lanes in one [`f64x4`].
+pub const LANES: usize = 4;
+
+/// Four `f64` lanes processed per operation (one batch entry per lane).
+///
+/// All arithmetic is elementwise and IEEE-754-exact per lane; see the
+/// [module docs](self) for the bit-exactness contract.
+///
+/// # Examples
+///
+/// ```
+/// use roboshape_linalg::simd::f64x4;
+/// let a = f64x4::from_array([1.0, 2.0, 3.0, 4.0]);
+/// let b = f64x4::splat(0.5);
+/// assert_eq!((a * b).to_array(), [0.5, 1.0, 1.5, 2.0]);
+/// ```
+#[allow(non_camel_case_types)] // mirrors the std::simd naming convention
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[repr(C, align(32))]
+pub struct f64x4([f64; 4]);
+
+/// `true` when the explicit AVX intrinsics path is compiled in.
+#[cfg(all(feature = "simd", target_arch = "x86_64", target_feature = "avx"))]
+pub const SIMD_FAST_PATH: bool = true;
+/// `true` when the explicit AVX intrinsics path is compiled in.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64", target_feature = "avx")))]
+pub const SIMD_FAST_PATH: bool = false;
+
+#[cfg(all(feature = "simd", target_arch = "x86_64", target_feature = "avx"))]
+macro_rules! lanewise {
+    ($a:expr, $b:expr, $portable:expr, $intrinsic:ident) => {{
+        // Safety: the `avx` target feature is statically enabled (checked
+        // by the cfg gate), so the intrinsic is available; loads/stores
+        // use the unaligned variants and in-bounds `[f64; 4]` pointers.
+        unsafe {
+            use core::arch::x86_64::*;
+            let va = _mm256_loadu_pd($a.0.as_ptr());
+            let vb = _mm256_loadu_pd($b.0.as_ptr());
+            let mut out = [0.0f64; 4];
+            _mm256_storeu_pd(out.as_mut_ptr(), $intrinsic(va, vb));
+            f64x4(out)
+        }
+    }};
+}
+
+#[cfg(not(all(feature = "simd", target_arch = "x86_64", target_feature = "avx")))]
+macro_rules! lanewise {
+    ($a:expr, $b:expr, $portable:expr, $intrinsic:ident) => {{
+        let (a, b) = ($a.0, $b.0);
+        let f = $portable;
+        f64x4([f(a[0], b[0]), f(a[1], b[1]), f(a[2], b[2]), f(a[3], b[3])])
+    }};
+}
+
+impl f64x4 {
+    /// All lanes zero.
+    pub const ZERO: f64x4 = f64x4([0.0; 4]);
+
+    /// Broadcasts `v` into every lane.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> f64x4 {
+        f64x4([v; 4])
+    }
+
+    /// Builds from four lane values.
+    #[inline(always)]
+    pub const fn from_array(v: [f64; 4]) -> f64x4 {
+        f64x4(v)
+    }
+
+    /// The lane values as an array.
+    #[inline(always)]
+    pub const fn to_array(self) -> [f64; 4] {
+        self.0
+    }
+
+    /// The value in lane `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline(always)]
+    pub fn lane(self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    /// Mutable access to lane `i` (per-lane fallback paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 4`.
+    #[inline(always)]
+    pub fn lane_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+
+    /// Lanewise square root (IEEE-754 correctly rounded per lane, in both
+    /// the portable and the AVX path).
+    #[inline(always)]
+    pub fn sqrt(self) -> f64x4 {
+        #[cfg(all(feature = "simd", target_arch = "x86_64", target_feature = "avx"))]
+        {
+            // Safety: as in `lanewise!` — `avx` is statically enabled.
+            unsafe {
+                use core::arch::x86_64::*;
+                let va = _mm256_loadu_pd(self.0.as_ptr());
+                let mut out = [0.0f64; 4];
+                _mm256_storeu_pd(out.as_mut_ptr(), _mm256_sqrt_pd(va));
+                f64x4(out)
+            }
+        }
+        #[cfg(not(all(feature = "simd", target_arch = "x86_64", target_feature = "avx")))]
+        {
+            let a = self.0;
+            f64x4([a[0].sqrt(), a[1].sqrt(), a[2].sqrt(), a[3].sqrt()])
+        }
+    }
+}
+
+impl Add for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn add(self, o: f64x4) -> f64x4 {
+        lanewise!(self, o, |a: f64, b: f64| a + b, _mm256_add_pd)
+    }
+}
+
+impl Sub for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn sub(self, o: f64x4) -> f64x4 {
+        lanewise!(self, o, |a: f64, b: f64| a - b, _mm256_sub_pd)
+    }
+}
+
+impl Mul for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn mul(self, o: f64x4) -> f64x4 {
+        lanewise!(self, o, |a: f64, b: f64| a * b, _mm256_mul_pd)
+    }
+}
+
+impl Div for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn div(self, o: f64x4) -> f64x4 {
+        lanewise!(self, o, |a: f64, b: f64| a / b, _mm256_div_pd)
+    }
+}
+
+impl AddAssign for f64x4 {
+    #[inline(always)]
+    fn add_assign(&mut self, o: f64x4) {
+        *self = *self + o;
+    }
+}
+
+impl SubAssign for f64x4 {
+    #[inline(always)]
+    fn sub_assign(&mut self, o: f64x4) {
+        *self = *self - o;
+    }
+}
+
+impl Neg for f64x4 {
+    type Output = f64x4;
+    #[inline(always)]
+    fn neg(self) -> f64x4 {
+        // IEEE negation is exact (sign-bit flip); mirror the scalar `-x`.
+        let a = self.0;
+        f64x4([-a[0], -a[1], -a[2], -a[3]])
+    }
+}
+
+/// Lanewise Cholesky factorization of four `n×n` matrices stored SoA
+/// (`mass[i * n + j]` holds entry `(i, j)` of all four lanes). Writes the
+/// lower-triangular factors into `chol` and returns a bitmask of lanes
+/// whose matrix was **not** positive definite (`diag <= 0` or non-finite
+/// at some pivot, exactly the scalar kernel's check). Lanes are fully
+/// independent: a failing lane's garbage never leaks into its neighbours,
+/// and surviving lanes are bit-identical to the scalar factorization.
+///
+/// Mirrors `Cholesky::new` loop for loop: only the lower triangle of
+/// `chol` is written and read, with the same ascending-`k` subtraction
+/// order.
+///
+/// # Panics
+///
+/// Panics if `mass` or `chol` is shorter than `n * n`.
+pub fn cholesky_factor_soa(mass: &[f64x4], chol: &mut [f64x4], n: usize) -> u8 {
+    let mut failed = 0u8;
+    for j in 0..n {
+        let mut diag = mass[j * n + j];
+        for &v in &chol[j * n..j * n + j] {
+            diag -= v * v;
+        }
+        for l in 0..LANES {
+            let d = diag.lane(l);
+            if d <= 0.0 || !d.is_finite() {
+                failed |= 1 << l;
+            }
+        }
+        let ljj = diag.sqrt();
+        chol[j * n + j] = ljj;
+        for i in (j + 1)..n {
+            let mut v = mass[i * n + j];
+            let (lo, hi) = chol.split_at_mut(i * n);
+            for (a, b) in hi[..j].iter().zip(&lo[j * n..j * n + j]) {
+                v -= *a * *b;
+            }
+            chol[i * n + j] = v / ljj;
+        }
+    }
+    failed
+}
+
+/// Lanewise in-place triangular solve `x ← L⁻ᵀ L⁻¹ x` against a factor
+/// from [`cholesky_factor_soa`] — the SoA mirror of `Cholesky::solve_vec`
+/// solving four right-hand sides at once (one per lane).
+///
+/// # Panics
+///
+/// Panics if `chol` is shorter than `n * n` or `x` shorter than `n`.
+pub fn cholesky_solve_soa(chol: &[f64x4], x: &mut [f64x4], n: usize) {
+    for i in 0..n {
+        let (done, rest) = x.split_at_mut(i);
+        let mut v = rest[0];
+        for (l, y) in chol[i * n..i * n + i].iter().zip(done.iter()) {
+            v -= *l * *y;
+        }
+        rest[0] = v / chol[i * n + i];
+    }
+    for i in (0..n).rev() {
+        for k in (i + 1)..n {
+            let t = chol[k * n + i] * x[k];
+            x[i] -= t;
+        }
+        let d = chol[i * n + i];
+        x[i] = x[i] / d;
+    }
+}
+
+/// Lanewise `M⁻¹` from a Cholesky factor: solves against identity columns
+/// exactly as `Cholesky::inverse` does, writing the four inverses SoA into
+/// `minv`. `ycol` is an `n`-long scratch column.
+///
+/// # Panics
+///
+/// Panics if `chol`/`minv` are shorter than `n * n` or `ycol` shorter
+/// than `n`.
+pub fn cholesky_inverse_soa(chol: &[f64x4], minv: &mut [f64x4], ycol: &mut [f64x4], n: usize) {
+    for j in 0..n {
+        for (i, y) in ycol.iter_mut().enumerate().take(n) {
+            *y = if i == j {
+                f64x4::splat(1.0)
+            } else {
+                f64x4::ZERO
+            };
+        }
+        cholesky_solve_soa(chol, &mut ycol[..n], n);
+        for i in 0..n {
+            minv[i * n + j] = ycol[i];
+        }
+    }
+}
+
+/// SoA mirror of one `(i, k)` cell of the padded blocked mat-mul row
+/// update: `prow[j] += a · brow[j]` for `j < in_bounds`, then the padded
+/// `prow[j] += a · 0.0` adds beyond. Preserves the scalar kernel's
+/// per-lane zero-skip semantics exactly: a lane with `a == 0.0` performs
+/// *no* adds at all (the scalar loop `continue`s before touching the
+/// accumulator, which matters for `−0.0` accumulators), while non-zero
+/// lanes perform every add including the padded ones.
+///
+/// # Panics
+///
+/// Panics if `brow` is shorter than `in_bounds`.
+pub fn matmul_axpy_padded_soa(a: f64x4, brow: &[f64x4], prow: &mut [f64x4], in_bounds: usize) {
+    let arr = a.to_array();
+    let zeros = arr.iter().filter(|v| **v == 0.0).count();
+    if zeros == LANES {
+        // Every lane skips this cell entirely.
+        return;
+    }
+    if zeros == 0 {
+        // All lanes active: full-width vector update.
+        for (j, p) in prow.iter_mut().enumerate().take(in_bounds) {
+            *p += a * brow[j];
+        }
+        let pad = a * f64x4::ZERO;
+        for p in prow[in_bounds..].iter_mut() {
+            *p += pad;
+        }
+        return;
+    }
+    // Mixed: per-lane updates so zero lanes skip exactly like the scalar
+    // kernel (no `+= 0.0` that would flip a −0.0 accumulator).
+    for l in 0..LANES {
+        let al = arr[l];
+        if al == 0.0 {
+            continue;
+        }
+        for (j, p) in prow.iter_mut().enumerate().take(in_bounds) {
+            *p.lane_mut(l) += al * brow[j].lane(l);
+        }
+        for p in prow[in_bounds..].iter_mut() {
+            *p.lane_mut(l) += al * 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cholesky, DMat};
+
+    fn lane_matrix(mats: &[DMat; 4], n: usize) -> Vec<f64x4> {
+        let mut out = vec![f64x4::ZERO; n * n];
+        for (l, m) in mats.iter().enumerate() {
+            for i in 0..n {
+                for j in 0..n {
+                    *out[i * n + j].lane_mut(l) = m[(i, j)];
+                }
+            }
+        }
+        out
+    }
+
+    fn spd(n: usize, seed: f64) -> DMat {
+        // Diagonally dominant symmetric matrix: guaranteed SPD.
+        let mut m = DMat::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let v = ((i * n + j) as f64 * 0.37 + seed).sin() * 0.3;
+                m[(i, j)] = v;
+                m[(j, i)] = v;
+            }
+        }
+        for i in 0..n {
+            m[(i, i)] = 2.0 + n as f64 + seed.cos();
+        }
+        m
+    }
+
+    #[test]
+    fn elementwise_ops_match_scalar() {
+        let a = f64x4::from_array([1.5, -2.0, 0.25, 1e100]);
+        let b = f64x4::from_array([0.3, 7.0, -0.5, 1e-100]);
+        for l in 0..LANES {
+            assert_eq!((a + b).lane(l), a.lane(l) + b.lane(l));
+            assert_eq!((a - b).lane(l), a.lane(l) - b.lane(l));
+            assert_eq!((a * b).lane(l), a.lane(l) * b.lane(l));
+            assert_eq!((a / b).lane(l), a.lane(l) / b.lane(l));
+            assert_eq!((-a).lane(l), -a.lane(l));
+            assert_eq!(a.sqrt().lane(l).to_bits(), a.lane(l).sqrt().to_bits());
+        }
+    }
+
+    #[test]
+    fn negative_zero_is_preserved_per_lane() {
+        let a = f64x4::from_array([-0.0, 0.0, -0.0, 1.0]);
+        assert!((-a).lane(0).is_sign_positive());
+        assert!((a + f64x4::ZERO).lane(0).is_sign_positive()); // −0 + 0 = +0
+        assert!((a * f64x4::splat(1.0)).lane(0).is_sign_negative());
+    }
+
+    #[test]
+    fn soa_cholesky_is_bit_identical_to_scalar() {
+        let n = 6;
+        let mats = [spd(n, 0.1), spd(n, 1.7), spd(n, -2.3), spd(n, 9.9)];
+        let mass = lane_matrix(&mats, n);
+        let mut chol = vec![f64x4::ZERO; n * n];
+        assert_eq!(cholesky_factor_soa(&mass, &mut chol, n), 0);
+
+        // Solve four distinct right-hand sides and invert, lane by lane.
+        let mut x = vec![f64x4::ZERO; n];
+        for l in 0..LANES {
+            for i in 0..n {
+                *x[i].lane_mut(l) = (i as f64 + 1.0) * (l as f64 - 1.5);
+            }
+        }
+        let rhs_lanes: Vec<[f64; 4]> = x.iter().map(|v| v.to_array()).collect();
+        cholesky_solve_soa(&chol, &mut x, n);
+        let mut minv = vec![f64x4::ZERO; n * n];
+        let mut ycol = vec![f64x4::ZERO; n];
+        cholesky_inverse_soa(&chol, &mut minv, &mut ycol, n);
+
+        for l in 0..LANES {
+            let reference = Cholesky::new(&mats[l]).expect("SPD");
+            let rhs: Vec<f64> = rhs_lanes.iter().map(|r| r[l]).collect();
+            let sol = reference.solve_vec(&rhs);
+            for i in 0..n {
+                assert_eq!(x[i].lane(l).to_bits(), sol[i].to_bits(), "x[{i}] lane {l}");
+            }
+            let inv = reference.inverse();
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        minv[i * n + j].lane(l).to_bits(),
+                        inv[(i, j)].to_bits(),
+                        "minv[{i},{j}] lane {l}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn soa_cholesky_flags_only_failing_lanes() {
+        let n = 3;
+        let good = spd(n, 0.4);
+        let mut bad = spd(n, 0.4);
+        bad[(2, 2)] = -5.0; // indefinite in lane 2 only
+        let mats = [good.clone(), good.clone(), bad, good.clone()];
+        let mass = lane_matrix(&mats, n);
+        let mut chol = vec![f64x4::ZERO; n * n];
+        let failed = cholesky_factor_soa(&mass, &mut chol, n);
+        assert_eq!(failed, 1 << 2);
+        // Surviving lanes still match the scalar factorization.
+        let reference = Cholesky::new(&good).expect("SPD");
+        let mut x = vec![f64x4::splat(1.0); n];
+        cholesky_solve_soa(&chol, &mut x, n);
+        let sol = reference.solve_vec(&vec![1.0; n]);
+        for i in 0..n {
+            for l in [0usize, 1, 3] {
+                assert_eq!(x[i].lane(l).to_bits(), sol[i].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn padded_axpy_skips_zero_lanes() {
+        // Lane 1 has a == 0.0 and a −0.0 accumulator: it must stay −0.0.
+        let a = f64x4::from_array([2.0, 0.0, -1.0, 0.0]);
+        let brow = [f64x4::splat(3.0), f64x4::splat(-4.0)];
+        let mut prow = [f64x4::from_array([0.0, -0.0, 0.0, -0.0]); 3];
+        matmul_axpy_padded_soa(a, &brow, &mut prow, 2);
+        assert_eq!(prow[0].lane(0), 6.0);
+        assert_eq!(prow[1].lane(2), 4.0);
+        assert!(prow[0].lane(1).is_sign_negative(), "zero lane was touched");
+        assert!(prow[2].lane(3).is_sign_negative(), "padded zero lane add");
+        // Active lanes' padded add is a · 0.0 (exactly the scalar kernel).
+        assert_eq!(prow[2].lane(0), 0.0);
+    }
+
+    #[test]
+    fn all_zero_cell_is_skipped_entirely() {
+        let mut prow = [f64x4::from_array([-0.0, -0.0, -0.0, -0.0]); 2];
+        matmul_axpy_padded_soa(f64x4::ZERO, &[f64x4::splat(1.0)], &mut prow, 1);
+        for p in &prow {
+            for l in 0..LANES {
+                assert!(p.lane(l).is_sign_negative());
+            }
+        }
+    }
+}

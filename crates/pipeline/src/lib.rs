@@ -69,7 +69,7 @@ use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind};
 use roboshape_blocksparse::{BlockMatmulPlan, SparsityPattern};
 use roboshape_obs as obs;
 use roboshape_obs::{Counter, Sink, SpanRecord};
-use roboshape_sim::CompiledProgram;
+use roboshape_sim::{BackendKind, CompiledProgram};
 use roboshape_taskgraph::{schedule, Schedule, SchedulerConfig, TaskCosts, TaskGraph};
 use roboshape_topology::Topology;
 
@@ -451,6 +451,11 @@ struct PlanKey {
     units: usize,
 }
 
+/// Cache key of the Programs stage: the backend is part of the key, so
+/// scalar and lane variants of the same design stay warm side by side
+/// under distinct program identities.
+type ProgramKey = (TopoKey, AcceleratorKnobs, KernelKind, BackendKind);
+
 /// Thread-safe store of compilation artifacts, keyed by the producing
 /// stage's inputs. Artifacts are held behind `Arc`, so a hit shares the
 /// stored product instead of recomputing or cloning it. Every stage is a
@@ -464,7 +469,7 @@ pub struct ArtifactStore {
     patterns: RwLock<HashMap<(TopoKey, PatternKind), Arc<SparsityPattern>>>,
     schedules: RwLock<HashMap<ScheduleKey, Arc<Schedule>>>,
     plans: RwLock<HashMap<PlanKey, Arc<BlockMatmulPlan>>>,
-    programs: RwLock<HashMap<(TopoKey, AcceleratorKnobs, KernelKind), Arc<CompiledProgram>>>,
+    programs: RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>>,
 }
 
 /// Entry counts per artifact kind.
@@ -745,8 +750,22 @@ impl Pipeline {
         knobs: AcceleratorKnobs,
         kernel: KernelKind,
     ) -> Arc<CompiledProgram> {
+        self.compiled_program_for(topo, knobs, kernel, BackendKind::Scalar)
+    }
+
+    /// [`Self::compiled_program`] for an explicit execution backend.
+    /// Backends are part of the cache key: a scalar and a lane program
+    /// for the same design are distinct artifacts (distinct program ids,
+    /// so scratch arenas rebind correctly when switching).
+    pub fn compiled_program_for(
+        &self,
+        topo: &Topology,
+        knobs: AcceleratorKnobs,
+        kernel: KernelKind,
+        backend: BackendKind,
+    ) -> Arc<CompiledProgram> {
         let _span = obs::span(OBS_CATEGORY, PipelineStage::Programs.name());
-        let key = (topo.parents().to_vec(), knobs, kernel);
+        let key = (topo.parents().to_vec(), knobs, kernel, backend);
         if let Some(p) = self.store.programs.read().get(&key) {
             self.observer.hit(PipelineStage::Programs);
             return Arc::clone(p);
@@ -754,7 +773,7 @@ impl Pipeline {
         self.observer.miss(PipelineStage::Programs);
         let design = self.design(topo, knobs, kernel);
         let p = self.observer.time(PipelineStage::Programs, || {
-            roboshape_sim::shared_program(&design)
+            roboshape_sim::shared_program_for(&design, backend)
         });
         Arc::clone(self.store.programs.write().entry(key).or_insert(p))
     }

@@ -16,7 +16,7 @@ use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind, MatmulUnit
 use roboshape_blocksparse::MatmulLatencyModel;
 use roboshape_obs as obs;
 use roboshape_pipeline::{PatternKind, Pipeline};
-use roboshape_sim::{CompiledProgram, SimError, SimScratch, Simulation};
+use roboshape_sim::{BackendKind, CompiledProgram, SimError, SimScratch, Simulation};
 use roboshape_topology::Topology;
 use roboshape_urdf::RobotModel;
 use std::collections::HashMap;
@@ -48,6 +48,12 @@ pub struct EngineConfig {
     pub circuit_cooldown: Duration,
     /// Deterministic fault injection; `None` disables chaos entirely.
     pub chaos: Option<crate::fault::FaultConfig>,
+    /// Execution backend for the ∇FD and inverse-dynamics programs.
+    /// [`BackendKind::Lanes`] executes coalesced batches four requests
+    /// per operation (remainders fall back to scalar inside the
+    /// backend, bit-identically); forward kinematics always runs the
+    /// scalar path.
+    pub backend: BackendKind,
 }
 
 impl Default for EngineConfig {
@@ -61,6 +67,7 @@ impl Default for EngineConfig {
             circuit_threshold: 3,
             circuit_cooldown: Duration::from_millis(250),
             chaos: None,
+            backend: BackendKind::Lanes,
         }
     }
 }
@@ -583,9 +590,18 @@ impl Engine {
         let programs = kernels
             .into_iter()
             .map(|kernel| {
+                // The FK kernel has no batched entry point; keep it on
+                // the scalar backend so its cache entry is shared with
+                // direct `try_simulate_kinematics` users.
+                let backend = match kernel {
+                    KernelKind::ForwardKinematics => BackendKind::Scalar,
+                    _ => inner.cfg.backend,
+                };
                 (
                     kernel,
-                    inner.pipeline.compiled_program(&topo, knobs, kernel),
+                    inner
+                        .pipeline
+                        .compiled_program_for(&topo, knobs, kernel, backend),
                 )
             })
             .collect();
@@ -1167,80 +1183,112 @@ fn execute(
         .histogram(BATCH_SIZE_METRIC, &BATCH_SIZE_BOUNDS)
         .record(live.len() as u64);
 
+    dispatch_batch(inner, slot, scratch, &live);
+    ExecOutcome::Completed
+}
+
+/// The single submit/respond path every kernel shares: try the batched
+/// program entry point when the kernel has one and the batch is
+/// coalesced, otherwise (or on a failed batched call, so one bad input
+/// cannot fail its neighbours) execute request by request. Backend
+/// routing lives inside the program: a lane-backend program runs whole
+/// groups of four through the SoA path and remainders through scalar,
+/// bit-identically.
+fn dispatch_batch(
+    inner: &EngineInner,
+    slot: &RobotSlot,
+    scratch: &mut WorkerScratch,
+    live: &[Pending],
+) {
     let kind = live[0].req.kind;
     let program = &slot.programs[&kind];
     let arena = scratch.for_kernel(kind);
-    match kind {
-        KernelKind::DynamicsGradient if live.len() > 1 => {
-            let inputs: Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> = live
-                .iter()
+    let batched: Option<Result<Vec<ServePayload>, SimError>> = if live.len() > 1 {
+        let inputs = || -> Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> {
+            live.iter()
                 .map(|p| (p.req.q.clone(), p.req.qd.clone(), p.req.tau.clone()))
-                .collect();
-            match program.execute_batch(&slot.model, arena, &inputs) {
-                Ok((sims, _makespan)) => {
-                    for (p, sim) in live.iter().zip(sims) {
-                        finish_ok(inner, slot, p, gradient_payload(sim));
-                    }
-                }
-                // One bad input fails a whole batched call; fall back to
-                // singles so its neighbours still succeed.
-                Err(_) => {
-                    for p in &live {
-                        let result = program.execute_gradient(
-                            &slot.model,
-                            arena,
-                            &p.req.q,
-                            &p.req.qd,
-                            &p.req.tau,
-                        );
-                        finish(inner, slot, p, result.map(gradient_payload));
-                    }
-                }
+                .collect()
+        };
+        match kind {
+            KernelKind::DynamicsGradient => Some(
+                program
+                    .execute_batch(&slot.model, arena, &inputs())
+                    .map(|(sims, _makespan)| sims.into_iter().map(gradient_payload).collect()),
+            ),
+            KernelKind::InverseDynamics => Some(
+                program
+                    .execute_inverse_dynamics_batch(&slot.model, arena, &inputs())
+                    .map(|(taus, _makespan)| {
+                        let cycles = program.stats().cycles;
+                        taus.into_iter()
+                            .map(|tau| ServePayload::InverseDynamics { tau, cycles })
+                            .collect()
+                    }),
+            ),
+            // FK has no batched entry point.
+            KernelKind::ForwardKinematics => None,
+        }
+    } else {
+        None
+    };
+    match batched {
+        Some(Ok(payloads)) => {
+            for (p, payload) in live.iter().zip(payloads) {
+                finish_ok(inner, slot, p, payload);
             }
         }
-        KernelKind::DynamicsGradient => {
-            let p = &live[0];
-            let result =
-                program.execute_gradient(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau);
-            finish(inner, slot, p, result.map(gradient_payload));
-        }
-        KernelKind::InverseDynamics => {
-            for p in &live {
-                let result = program
-                    .execute_inverse_dynamics(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau)
-                    .map(|(tau, stats)| ServePayload::InverseDynamics {
-                        tau,
-                        cycles: stats.cycles,
-                    });
-                finish(inner, slot, p, result);
-            }
-        }
-        KernelKind::ForwardKinematics => {
-            for p in &live {
-                let result = program
-                    .execute_kinematics(&slot.model, arena, &p.req.q)
-                    .map(|(poses, stats)| {
-                        let mut flat = Vec::with_capacity(poses.len() * 12);
-                        for x in &poses {
-                            let rot = x.rotation();
-                            for r in 0..3 {
-                                for c in 0..3 {
-                                    flat.push(rot.get(r, c));
-                                }
-                            }
-                            let t = x.translation();
-                            flat.extend_from_slice(&[t.x, t.y, t.z]);
-                        }
-                        ServePayload::Kinematics {
-                            poses: flat,
-                            cycles: stats.cycles,
-                        }
-                    });
+        // One bad input fails a whole batched call; fall back to singles
+        // so its neighbours still succeed. Kernels without a batched
+        // path land here directly.
+        Some(Err(_)) | None => {
+            for p in live {
+                let result = execute_single(program, slot, arena, p);
                 finish(inner, slot, p, result);
             }
         }
     }
-    ExecOutcome::Completed
+}
+
+/// Executes one request through the per-kernel scalar entry points and
+/// shapes its payload — the shared fallback of [`dispatch_batch`].
+fn execute_single(
+    program: &CompiledProgram,
+    slot: &RobotSlot,
+    arena: &mut SimScratch,
+    p: &Pending,
+) -> Result<ServePayload, SimError> {
+    match p.req.kind {
+        KernelKind::DynamicsGradient => program
+            .execute_gradient(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau)
+            .map(gradient_payload),
+        KernelKind::InverseDynamics => program
+            .execute_inverse_dynamics(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau)
+            .map(|(tau, stats)| ServePayload::InverseDynamics {
+                tau,
+                cycles: stats.cycles,
+            }),
+        KernelKind::ForwardKinematics => program
+            .execute_kinematics(&slot.model, arena, &p.req.q)
+            .map(|(poses, stats)| kinematics_payload(&poses, stats.cycles)),
+    }
+}
+
+fn kinematics_payload(poses: &[roboshape_spatial::Xform], cycles: u64) -> ServePayload {
+    let mut flat = Vec::with_capacity(poses.len() * 12);
+    for x in poses {
+        let rot = x.rotation();
+        for r in 0..3 {
+            for c in 0..3 {
+                flat.push(rot.get(r, c));
+            }
+        }
+        let t = x.translation();
+        flat.extend_from_slice(&[t.x, t.y, t.z]);
+    }
+    ServePayload::Kinematics {
+        poses: flat,
+        cycles,
+    }
 }
 
 fn gradient_payload(sim: Simulation) -> ServePayload {

@@ -1,0 +1,1209 @@
+//! The four-wide SoA lane backend.
+//!
+//! Executes four batch entries per operation: every scalar quantity of
+//! the reference path becomes one [`f64x4`], every `Vec3`/`Mat3`/spatial
+//! vector a small struct of [`f64x4`] components (structure-of-arrays:
+//! lane `l` of every component belongs to batch entry `l`).
+//!
+//! # Bit-exactness
+//!
+//! Lane `l` performs **the same IEEE-754 operations in the same order**
+//! as a scalar evaluation of entry `l`. Every helper in this module
+//! mirrors one reference function body exactly — same association, same
+//! starting accumulators, no algebraic shortcuts:
+//!
+//! * Accumulations that start from a literal `0.0` in the reference
+//!   (`Mat3 × Mat3`, `Vec6::dot`) start from [`f64x4::ZERO`] here;
+//!   three-term row dots that don't (`Mat3 × Vec3`) don't.
+//! * Identity-matrix products are *not* shortcut: `0.0 + (−0.0)` is
+//!   `+0.0`, so skipping a multiply can flip a sign bit.
+//! * The per-link joint constants (`k = û×`, `k·k`, tree transforms,
+//!   inertias) are configuration-independent; they are computed once per
+//!   batch with the exact scalar arithmetic and broadcast, which is
+//!   bit-identical to the reference recomputing them each evaluation.
+//! * Trig (`sin_cos`) is evaluated per lane with the scalar libm calls.
+//!
+//! # Fallback
+//!
+//! A lane group (four consecutive batch entries) is abandoned before any
+//! output or metric is produced if an entry fails input validation or
+//! any lane's mass-matrix Cholesky hits a non-positive pivot; the whole
+//! group is then re-run through the scalar path, entry by entry, which
+//! reproduces the scalar loop's observable behaviour (partial outputs,
+//! first error, per-entry metrics) exactly. Remainder entries (batch
+//! length not a multiple of [`LANES`]) always take the scalar path.
+
+use super::{BackendKind, BatchInput, ExecBackend, Lanes};
+use crate::program::{CompiledProgram, Op};
+use crate::scratch::SimScratch;
+use crate::{check_input, SimError, Simulation};
+use roboshape_arch::KernelKind;
+use roboshape_dynamics::{Dynamics, Wrt};
+use roboshape_linalg::simd::{
+    cholesky_factor_soa, cholesky_inverse_soa, cholesky_solve_soa, matmul_axpy_padded_soa, LANES,
+};
+use roboshape_linalg::{f64x4, DMat, Mat3, Vec3};
+use roboshape_spatial::{JointKind, MotionVec, SpatialInertia};
+use roboshape_urdf::RobotModel;
+use std::ops::{Add, AddAssign, Neg, Sub};
+
+// ---------------------------------------------------------------------
+// Lane mirrors of the fixed-size linalg/spatial types.
+// ---------------------------------------------------------------------
+
+/// Four `Vec3`s, structure-of-arrays.
+#[derive(Debug, Clone, Copy, Default)]
+struct V4 {
+    x: f64x4,
+    y: f64x4,
+    z: f64x4,
+}
+
+impl V4 {
+    fn splat(v: Vec3) -> V4 {
+        V4 {
+            x: f64x4::splat(v.x),
+            y: f64x4::splat(v.y),
+            z: f64x4::splat(v.z),
+        }
+    }
+
+    /// Mirrors `Vec3 × f64` (`(x·s, y·s, z·s)`).
+    fn mul_lane(self, s: f64x4) -> V4 {
+        V4 {
+            x: self.x * s,
+            y: self.y * s,
+            z: self.z * s,
+        }
+    }
+
+    /// Mirrors `Vec3::cross` exactly (same minuend/subtrahend order).
+    fn cross(self, o: V4) -> V4 {
+        V4 {
+            x: self.y * o.z - self.z * o.y,
+            y: self.z * o.x - self.x * o.z,
+            z: self.x * o.y - self.y * o.x,
+        }
+    }
+}
+
+impl Add for V4 {
+    type Output = V4;
+    fn add(self, o: V4) -> V4 {
+        V4 {
+            x: self.x + o.x,
+            y: self.y + o.y,
+            z: self.z + o.z,
+        }
+    }
+}
+
+impl Sub for V4 {
+    type Output = V4;
+    fn sub(self, o: V4) -> V4 {
+        V4 {
+            x: self.x - o.x,
+            y: self.y - o.y,
+            z: self.z - o.z,
+        }
+    }
+}
+
+impl Neg for V4 {
+    type Output = V4;
+    fn neg(self) -> V4 {
+        V4 {
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
+    }
+}
+
+/// Four `Mat3`s, structure-of-arrays.
+#[derive(Debug, Clone, Copy, Default)]
+struct M4 {
+    r: [[f64x4; 3]; 3],
+}
+
+impl M4 {
+    fn splat(m: &Mat3) -> M4 {
+        let mut out = M4::default();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.r[i][j] = f64x4::splat(m.get(i, j));
+            }
+        }
+        out
+    }
+
+    fn identity() -> M4 {
+        let mut out = M4::default();
+        for (i, row) in out.r.iter_mut().enumerate() {
+            row[i] = f64x4::splat(1.0);
+        }
+        out
+    }
+
+    /// Exact permutation — no arithmetic.
+    fn transpose(self) -> M4 {
+        let mut t = M4::default();
+        for i in 0..3 {
+            for j in 0..3 {
+                t.r[j][i] = self.r[i][j];
+            }
+        }
+        t
+    }
+
+    /// Mirrors `Mat3 × Vec3`: three-term row dot, left-associated, **no**
+    /// leading zero.
+    fn mul_v(self, v: V4) -> V4 {
+        V4 {
+            x: self.r[0][0] * v.x + self.r[0][1] * v.y + self.r[0][2] * v.z,
+            y: self.r[1][0] * v.x + self.r[1][1] * v.y + self.r[1][2] * v.z,
+            z: self.r[2][0] * v.x + self.r[2][1] * v.y + self.r[2][2] * v.z,
+        }
+    }
+
+    /// Mirrors `Mat3 × Mat3`: accumulator starts at zero, ascending `k`.
+    fn mul_m(self, o: &M4) -> M4 {
+        let mut m = M4::default();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut acc = f64x4::ZERO;
+                for k in 0..3 {
+                    acc += self.r[i][k] * o.r[k][j];
+                }
+                m.r[i][j] = acc;
+            }
+        }
+        m
+    }
+
+    /// Mirrors `Mat3 × f64` (entrywise `entry · s`).
+    fn scale(self, s: f64x4) -> M4 {
+        let mut m = self;
+        for row in m.r.iter_mut() {
+            for e in row.iter_mut() {
+                *e = *e * s;
+            }
+        }
+        m
+    }
+}
+
+impl Add for M4 {
+    type Output = M4;
+    fn add(self, o: M4) -> M4 {
+        let mut m = M4::default();
+        for i in 0..3 {
+            for j in 0..3 {
+                m.r[i][j] = self.r[i][j] + o.r[i][j];
+            }
+        }
+        m
+    }
+}
+
+/// Mirrors `Vec3::skew` (`+0.0` diagonal, negated components as written).
+fn skew4(v: V4) -> M4 {
+    M4 {
+        r: [
+            [f64x4::ZERO, -v.z, v.y],
+            [v.z, f64x4::ZERO, -v.x],
+            [-v.y, v.x, f64x4::ZERO],
+        ],
+    }
+}
+
+/// Four spatial motion vectors.
+#[derive(Debug, Clone, Copy, Default)]
+struct Mv4 {
+    ang: V4,
+    lin: V4,
+}
+
+impl Mv4 {
+    fn splat(m: MotionVec) -> Mv4 {
+        Mv4 {
+            ang: V4::splat(m.angular()),
+            lin: V4::splat(m.linear()),
+        }
+    }
+
+    /// Mirrors `MotionVec × f64` (elementwise over all six components).
+    fn mul_lane(self, s: f64x4) -> Mv4 {
+        Mv4 {
+            ang: self.ang.mul_lane(s),
+            lin: self.lin.mul_lane(s),
+        }
+    }
+}
+
+impl Add for Mv4 {
+    type Output = Mv4;
+    fn add(self, o: Mv4) -> Mv4 {
+        Mv4 {
+            ang: self.ang + o.ang,
+            lin: self.lin + o.lin,
+        }
+    }
+}
+
+impl AddAssign for Mv4 {
+    fn add_assign(&mut self, o: Mv4) {
+        *self = *self + o;
+    }
+}
+
+impl Neg for Mv4 {
+    type Output = Mv4;
+    fn neg(self) -> Mv4 {
+        Mv4 {
+            ang: -self.ang,
+            lin: -self.lin,
+        }
+    }
+}
+
+/// Four spatial force vectors.
+#[derive(Debug, Clone, Copy, Default)]
+struct Fv4 {
+    ang: V4,
+    lin: V4,
+}
+
+impl Add for Fv4 {
+    type Output = Fv4;
+    fn add(self, o: Fv4) -> Fv4 {
+        Fv4 {
+            ang: self.ang + o.ang,
+            lin: self.lin + o.lin,
+        }
+    }
+}
+
+impl AddAssign for Fv4 {
+    fn add_assign(&mut self, o: Fv4) {
+        *self = *self + o;
+    }
+}
+
+/// Mirrors `MotionVec::dot_force` = `Vec6::dot`: an iterator `sum()`
+/// folding from `0.0` over the six products in data order (angular then
+/// linear).
+fn dot6(m: Mv4, f: Fv4) -> f64x4 {
+    let mut acc = f64x4::ZERO;
+    acc += m.ang.x * f.ang.x;
+    acc += m.ang.y * f.ang.y;
+    acc += m.ang.z * f.ang.z;
+    acc += m.lin.x * f.lin.x;
+    acc += m.lin.y * f.lin.y;
+    acc += m.lin.z * f.lin.z;
+    acc
+}
+
+/// Mirrors `cross_motion`.
+fn cross_motion4(v: Mv4, m: Mv4) -> Mv4 {
+    Mv4 {
+        ang: v.ang.cross(m.ang),
+        lin: v.lin.cross(m.ang) + v.ang.cross(m.lin),
+    }
+}
+
+/// Mirrors `cross_force`.
+fn cross_force4(v: Mv4, f: Fv4) -> Fv4 {
+    Fv4 {
+        ang: v.ang.cross(f.ang) + v.lin.cross(f.lin),
+        lin: v.ang.cross(f.lin),
+    }
+}
+
+/// Four Plücker transforms.
+#[derive(Debug, Clone, Copy, Default)]
+struct Xf4 {
+    rot: M4,
+    trans: V4,
+}
+
+impl Xf4 {
+    /// Mirrors `Xform::apply_motion`.
+    fn apply_motion(&self, v: Mv4) -> Mv4 {
+        Mv4 {
+            ang: self.rot.mul_v(v.ang),
+            lin: self.rot.mul_v(v.lin - self.trans.cross(v.ang)),
+        }
+    }
+
+    /// Mirrors `Xform::apply_force_transpose`.
+    fn apply_force_transpose(&self, f: Fv4) -> Fv4 {
+        let rt = self.rot.transpose();
+        let n = rt.mul_v(f.ang);
+        let l = rt.mul_v(f.lin);
+        Fv4 {
+            ang: n + self.trans.cross(l),
+            lin: l,
+        }
+    }
+
+    /// Mirrors `Xform::inverse`.
+    fn inverse(&self) -> Xf4 {
+        Xf4 {
+            rot: self.rot.transpose(),
+            trans: -(self.rot.mul_v(self.trans)),
+        }
+    }
+}
+
+/// Four spatial inertias.
+#[derive(Debug, Clone, Copy, Default)]
+struct In4 {
+    mass: f64x4,
+    h: V4,
+    io: M4,
+}
+
+impl In4 {
+    fn splat(i: &SpatialInertia) -> In4 {
+        In4 {
+            mass: f64x4::splat(i.mass()),
+            h: V4::splat(i.first_moment()),
+            io: M4::splat(&i.rotational()),
+        }
+    }
+
+    /// Mirrors `SpatialInertia::apply`.
+    fn apply(&self, v: Mv4) -> Fv4 {
+        let w = v.ang;
+        let l = v.lin;
+        Fv4 {
+            ang: self.io.mul_v(w) + self.h.cross(l),
+            lin: l.mul_lane(self.mass) - self.h.cross(w),
+        }
+    }
+
+    /// Mirrors `SpatialInertia::add`.
+    fn add(&self, o: &In4) -> In4 {
+        In4 {
+            mass: self.mass + o.mass,
+            h: self.h + o.h,
+            io: self.io + o.io,
+        }
+    }
+
+    /// Mirrors `SpatialInertia::transform`: same block expansion, same
+    /// left-associated sums, `(E·I_shifted)·Eᵀ` in that order.
+    fn transform(&self, x: &Xf4) -> In4 {
+        let e = x.rot;
+        let r = x.trans;
+        let mass = self.mass;
+        let h_b = e.mul_v(self.h - r.mul_lane(mass));
+        let r_skew = skew4(r);
+        let h_skew = skew4(self.h);
+        let shifted = self.io
+            + r_skew.mul_m(&r_skew.transpose()).scale(mass)
+            + h_skew.mul_m(&r_skew)
+            + r_skew.mul_m(&h_skew);
+        let i_b = e.mul_m(&shifted).mul_m(&e.transpose());
+        In4 {
+            mass,
+            h: h_b,
+            io: i_b,
+        }
+    }
+}
+
+/// Lane mirror of the dynamics crate's `LinkDeriv`.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkDeriv4 {
+    dv: Mv4,
+    da: Mv4,
+    df: Fv4,
+}
+
+/// Lane mirror of `DerivPair` (∂/∂q and ∂/∂q̇ threads).
+#[derive(Debug, Clone, Copy, Default)]
+struct DerivPair4 {
+    dq: LinkDeriv4,
+    dqd: LinkDeriv4,
+}
+
+/// Lane mirror of `ForcePair` (consumable backward accumulators).
+#[derive(Debug, Clone, Copy, Default)]
+struct ForcePair4 {
+    dq: Fv4,
+    dqd: Fv4,
+}
+
+// ---------------------------------------------------------------------
+// Per-link configuration-independent constants.
+// ---------------------------------------------------------------------
+
+/// The joint's configuration-independent rotation data. Variant sizes
+/// differ a lot (two broadcast matrices vs a tag), but the enum lives
+/// inline in the per-link consts array on purpose: `child_xform4` reads
+/// it on every traversal step and boxing the big variant would trade a
+/// contiguous walk for pointer chasing (and cost `Copy`).
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, Copy)]
+enum LaneJoint {
+    /// `k = û×` and `k·k` from the re-normalized axis, precomputed with
+    /// the exact scalar arithmetic `Mat3::rotation_axis` performs.
+    Revolute {
+        k: M4,
+        kk: M4,
+    },
+    /// The stored (already normalized) axis.
+    Prismatic {
+        axis: V4,
+    },
+    Fixed,
+}
+
+/// Everything about link `i` that does not depend on the configuration,
+/// gathered once per batch call and broadcast across lanes.
+#[derive(Debug, Clone, Copy)]
+struct LinkConsts {
+    s: Mv4,
+    joint: LaneJoint,
+    tree_rot: M4,
+    tree_rot_t: M4,
+    tree_trans: V4,
+    inertia: In4,
+}
+
+/// Mirrors `Joint::child_xform(q)` = `joint_xform(q).compose(&tree)`,
+/// with the full compose arithmetic (no identity shortcuts — e.g.
+/// `Eᵀ·0⃗` row sums can produce `−0.0`s the reference also produces).
+fn child_xform4(c: &LinkConsts, q: f64x4) -> Xf4 {
+    let (jrot, jtrans) = match c.joint {
+        LaneJoint::Revolute { k, kk } => {
+            // Mirrors `Mat3::rotation_axis` (Rodrigues) + the transpose
+            // `Xform::from_rotation` applies. Trig per lane.
+            let mut sn = f64x4::ZERO;
+            let mut cs = f64x4::ZERO;
+            for l in 0..LANES {
+                let (s, co) = q.lane(l).sin_cos();
+                *sn.lane_mut(l) = s;
+                *cs.lane_mut(l) = co;
+            }
+            let t = f64x4::splat(1.0) - cs;
+            let mut rot = M4::default();
+            for i in 0..3 {
+                for j in 0..3 {
+                    let ident = if i == j {
+                        f64x4::splat(1.0)
+                    } else {
+                        f64x4::ZERO
+                    };
+                    rot.r[i][j] = ident + k.r[i][j] * sn + kk.r[i][j] * t;
+                }
+            }
+            (rot.transpose(), V4::default())
+        }
+        LaneJoint::Prismatic { axis } => (M4::identity(), axis.mul_lane(q)),
+        LaneJoint::Fixed => (M4::identity(), V4::default()),
+    };
+    Xf4 {
+        rot: jrot.mul_m(&c.tree_rot),
+        trans: c.tree_trans + c.tree_rot_t.mul_v(jtrans),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lane mirrors of the dynamics step functions.
+// ---------------------------------------------------------------------
+
+/// Mirrors `fwd_link_step`; returns `(xup, v, a, f)`.
+fn fwd_link_step4(
+    c: &LinkConsts,
+    q: f64x4,
+    qd: f64x4,
+    qdd: f64x4,
+    v_parent: Mv4,
+    a_parent: Mv4,
+) -> (Xf4, Mv4, Mv4, Fv4) {
+    let s = c.s;
+    let xup = child_xform4(c, q);
+    let vj = s.mul_lane(qd);
+    let v = xup.apply_motion(v_parent) + vj;
+    let a = xup.apply_motion(a_parent) + s.mul_lane(qdd) + cross_motion4(v, vj);
+    let f = c.inertia.apply(a) + cross_force4(v, c.inertia.apply(v));
+    (xup, v, a, f)
+}
+
+/// Mirrors `bwd_link_step`.
+fn bwd_link_step4(c: &LinkConsts, xup: &Xf4, f: Fv4) -> (f64x4, Fv4) {
+    (dot6(c.s, f), xup.apply_force_transpose(f))
+}
+
+/// Mirrors `fwd_deriv_step` (cache fields passed explicitly).
+#[allow(clippy::too_many_arguments)]
+fn fwd_deriv_step4(
+    c: &LinkConsts,
+    is_seed: bool,
+    wrt: Wrt,
+    xup: &Xf4,
+    v_i: Mv4,
+    vj_i: Mv4,
+    h_i: Fv4,
+    v_parent: Mv4,
+    a_parent: Mv4,
+    parent: &LinkDeriv4,
+) -> LinkDeriv4 {
+    let s = c.s;
+    let mut dv = xup.apply_motion(parent.dv);
+    let mut da = xup.apply_motion(parent.da);
+    if is_seed {
+        match wrt {
+            Wrt::Q => {
+                dv += -cross_motion4(s, xup.apply_motion(v_parent));
+                da += -cross_motion4(s, xup.apply_motion(a_parent));
+            }
+            Wrt::Qd => {
+                dv += s;
+                da += cross_motion4(v_i, s);
+            }
+        }
+    }
+    da += cross_motion4(dv, vj_i);
+    let df = c.inertia.apply(da) + cross_force4(dv, h_i) + cross_force4(v_i, c.inertia.apply(dv));
+    LinkDeriv4 { dv, da, df }
+}
+
+/// Mirrors `bwd_deriv_step`.
+fn bwd_deriv_step4(
+    c: &LinkConsts,
+    is_seed: bool,
+    wrt: Wrt,
+    xup: &Xf4,
+    f_i: Fv4,
+    df_total: Fv4,
+) -> (f64x4, Fv4) {
+    let dtau = dot6(c.s, df_total);
+    let mut to_parent = xup.apply_force_transpose(df_total);
+    if is_seed && wrt == Wrt::Q {
+        to_parent += xup.apply_force_transpose(cross_force4(c.s, f_i));
+    }
+    (dtau, to_parent)
+}
+
+// ---------------------------------------------------------------------
+// The lane scratch arena.
+// ---------------------------------------------------------------------
+
+/// SoA working storage for the lane backend, owned by
+/// [`SimScratch`](crate::SimScratch) next to the scalar arenas. Bound to
+/// a program id independently of the scalar buffers; warm lane groups
+/// allocate nothing.
+#[derive(Debug, Default)]
+pub(crate) struct LaneArena {
+    /// Id of the program the lane buffers are sized for (`0` = unbound).
+    bound: u64,
+    /// Base linear acceleration `−g`, broadcast (refreshed per batch).
+    a_base_lin: V4,
+    /// Per-link broadcast constants (refreshed per batch call — the
+    /// program is model-shape-keyed, not model-value-keyed).
+    consts: Vec<LinkConsts>,
+    // Staged SoA inputs: lane `l` holds batch entry `l`.
+    in_q: Vec<f64x4>,
+    in_qd: Vec<f64x4>,
+    in_u: Vec<f64x4>,
+    // Host forward-dynamics buffers (mirror SimScratch's h* fields).
+    hxup: Vec<Xf4>,
+    hv: Vec<Mv4>,
+    ha: Vec<Mv4>,
+    hf: Vec<Fv4>,
+    ic: Vec<In4>,
+    bias: Vec<f64x4>,
+    qdd: Vec<f64x4>,
+    ycol: Vec<f64x4>,
+    mass: Vec<f64x4>,
+    chol: Vec<f64x4>,
+    minv: Vec<f64x4>,
+    // Traversal cache (mirrors the RneaCache fields the ops read).
+    cxup: Vec<Xf4>,
+    cv: Vec<Mv4>,
+    ca: Vec<Mv4>,
+    cvj: Vec<Mv4>,
+    cf: Vec<Fv4>,
+    ch: Vec<Fv4>,
+    ctau: Vec<f64x4>,
+    f_local: Vec<Fv4>,
+    f_acc: Vec<Fv4>,
+    dstate: Vec<DerivPair4>,
+    dacc: Vec<ForcePair4>,
+    // Mat-mul operands (structural zeros in `b` persist from bind time,
+    // exactly like the scalar `B`).
+    b: Vec<f64x4>,
+    c: Vec<f64x4>,
+    prod: Vec<f64x4>,
+}
+
+impl LaneArena {
+    /// Binds the lane buffers to `program` (no-op when already bound).
+    fn prepare(&mut self, program: &CompiledProgram) {
+        if self.bound == program.id() {
+            return;
+        }
+        let n = program.dim();
+        let bl = program.matmul_block();
+        self.in_q.clear();
+        self.in_q.resize(n, f64x4::ZERO);
+        self.in_qd.clear();
+        self.in_qd.resize(n, f64x4::ZERO);
+        self.in_u.clear();
+        self.in_u.resize(n, f64x4::ZERO);
+        self.hxup.clear();
+        self.hxup.resize(n, Xf4::default());
+        self.hv.clear();
+        self.hv.resize(n, Mv4::default());
+        self.ha.clear();
+        self.ha.resize(n, Mv4::default());
+        self.hf.clear();
+        self.hf.resize(n, Fv4::default());
+        self.ic.clear();
+        self.ic.resize(n, In4::default());
+        self.bias.clear();
+        self.bias.resize(n, f64x4::ZERO);
+        self.qdd.clear();
+        self.qdd.resize(n, f64x4::ZERO);
+        self.ycol.clear();
+        self.ycol.resize(n, f64x4::ZERO);
+        self.mass.clear();
+        self.mass.resize(n * n, f64x4::ZERO);
+        self.chol.clear();
+        self.chol.resize(n * n, f64x4::ZERO);
+        self.minv.clear();
+        self.minv.resize(n * n, f64x4::ZERO);
+        self.cxup.clear();
+        self.cxup.resize(n, Xf4::default());
+        self.cv.clear();
+        self.cv.resize(n, Mv4::default());
+        self.ca.clear();
+        self.ca.resize(n, Mv4::default());
+        self.cvj.clear();
+        self.cvj.resize(n, Mv4::default());
+        self.cf.clear();
+        self.cf.resize(n, Fv4::default());
+        self.ch.clear();
+        self.ch.resize(n, Fv4::default());
+        self.ctau.clear();
+        self.ctau.resize(n, f64x4::ZERO);
+        self.f_local.clear();
+        self.f_local.resize(n, Fv4::default());
+        self.f_acc.clear();
+        self.f_acc.resize(n, Fv4::default());
+        self.dstate.clear();
+        self.dstate.resize(n * n, DerivPair4::default());
+        self.dacc.clear();
+        self.dacc.resize(n * n, ForcePair4::default());
+        self.b.clear();
+        self.b.resize(n * 2 * n, f64x4::ZERO);
+        self.c.clear();
+        self.c.resize(n * 2 * n, f64x4::ZERO);
+        self.prod.clear();
+        self.prod.resize(bl * bl, f64x4::ZERO);
+        self.bound = program.id();
+    }
+
+    /// Broadcasts the model's per-link constants (exact scalar
+    /// precompute, then splat). Refreshed every batch call: programs are
+    /// keyed by topology shape, so a same-shaped model with different
+    /// link parameters may arrive under the same program.
+    fn gather_consts(&mut self, model: &RobotModel, n: usize) {
+        self.a_base_lin = V4::splat(-Dynamics::new(model).gravity());
+        self.consts.clear();
+        for i in 0..n {
+            let joint = model.joint(i);
+            let tree = joint.tree_xform();
+            let lane_joint = match joint.kind() {
+                JointKind::Revolute { axis } => {
+                    // The scalar path re-normalizes inside
+                    // `Mat3::rotation_axis` even though the stored axis
+                    // is unit — reproduce that exact arithmetic.
+                    let u = axis.normalized();
+                    let k = u.skew();
+                    let kk = k * k;
+                    LaneJoint::Revolute {
+                        k: M4::splat(&k),
+                        kk: M4::splat(&kk),
+                    }
+                }
+                JointKind::Prismatic { axis } => LaneJoint::Prismatic {
+                    axis: V4::splat(axis),
+                },
+                JointKind::Fixed => LaneJoint::Fixed,
+            };
+            let tree_rot = tree.rotation();
+            self.consts.push(LinkConsts {
+                s: Mv4::splat(joint.motion_subspace()),
+                joint: lane_joint,
+                tree_rot: M4::splat(&tree_rot),
+                tree_rot_t: M4::splat(&tree_rot.transpose()),
+                tree_trans: V4::splat(tree.translation()),
+                inertia: In4::splat(&model.link(i).inertia),
+            });
+        }
+    }
+
+    /// Transposes one validated lane group into the SoA input buffers.
+    fn stage_inputs(&mut self, grp: &[BatchInput], n: usize) {
+        for i in 0..n {
+            for (l, (q, qd, u)) in grp.iter().enumerate() {
+                *self.in_q[i].lane_mut(l) = q[i];
+                *self.in_qd[i].lane_mut(l) = qd[i];
+                *self.in_u[i].lane_mut(l) = u[i];
+            }
+        }
+    }
+
+    /// Lane mirror of `CompiledProgram::host_forward_dynamics`. Returns
+    /// `false` when any lane's Cholesky hits a non-positive pivot (the
+    /// group then falls back to scalar, reproducing the scalar error).
+    fn host_forward_dynamics(&mut self, program: &CompiledProgram) -> bool {
+        let n = program.n;
+        let a_base = Mv4 {
+            ang: V4::default(),
+            lin: self.a_base_lin,
+        };
+
+        // Bias torques: RNEA at q̈ = 0.
+        for i in 0..n {
+            let (vp, ap) = match program.parents[i] {
+                Some(p) => (self.hv[p], self.ha[p]),
+                None => (Mv4::default(), a_base),
+            };
+            let (xup, v, a, f) = fwd_link_step4(
+                &self.consts[i],
+                self.in_q[i],
+                self.in_qd[i],
+                f64x4::ZERO,
+                vp,
+                ap,
+            );
+            self.hxup[i] = xup;
+            self.hv[i] = v;
+            self.ha[i] = a;
+            self.hf[i] = f;
+        }
+        for i in (0..n).rev() {
+            let (t, to_parent) = bwd_link_step4(&self.consts[i], &self.hxup[i], self.hf[i]);
+            self.bias[i] = t;
+            if let Some(p) = program.parents[i] {
+                self.hf[p] += to_parent;
+            }
+        }
+        for i in 0..n {
+            self.qdd[i] = self.in_u[i] - self.bias[i];
+        }
+
+        // CRBA. The scalar path recomputes `child_xform(q_i)` here; the
+        // function is deterministic, so the bias-pass transforms are
+        // bit-identical — reuse them.
+        for i in 0..n {
+            self.ic[i] = self.consts[i].inertia;
+        }
+        for i in (0..n).rev() {
+            if let Some(p) = program.parents[i] {
+                let in_parent = self.ic[i].transform(&self.hxup[i].inverse());
+                self.ic[p] = self.ic[p].add(&in_parent);
+            }
+        }
+        for i in 0..n {
+            let mut fh = self.ic[i].apply(self.consts[i].s);
+            self.mass[i * n + i] = dot6(self.consts[i].s, fh);
+            let mut j = i;
+            while let Some(p) = program.parents[j] {
+                fh = self.hxup[j].apply_force_transpose(fh);
+                let v = dot6(self.consts[p].s, fh);
+                self.mass[i * n + p] = v;
+                self.mass[p * n + i] = v;
+                j = p;
+            }
+        }
+
+        if cholesky_factor_soa(&self.mass, &mut self.chol, n) != 0 {
+            return false;
+        }
+        cholesky_solve_soa(&self.chol, &mut self.qdd, n);
+        cholesky_inverse_soa(&self.chol, &mut self.minv, &mut self.ycol, n);
+        true
+    }
+
+    /// Lane mirror of `CompiledProgram::run_traversals`. With
+    /// `use_solved_qdd` the RNEA sweep reads the forward-dynamics
+    /// solution (gradient kernel); otherwise the staged `q̈` input
+    /// (inverse-dynamics kernel).
+    fn run_traversals(&mut self, program: &CompiledProgram, use_solved_qdd: bool) {
+        let a_base = Mv4 {
+            ang: V4::default(),
+            lin: self.a_base_lin,
+        };
+        for op in &program.ops {
+            match *op {
+                Op::RneaFwd { link, parent } => {
+                    let l = link as usize;
+                    let (vp, ap) = if parent >= 0 {
+                        let p = parent as usize;
+                        (self.cv[p], self.ca[p])
+                    } else {
+                        (Mv4::default(), a_base)
+                    };
+                    let qdd_l = if use_solved_qdd {
+                        self.qdd[l]
+                    } else {
+                        self.in_u[l]
+                    };
+                    let (xup, v, a, f) =
+                        fwd_link_step4(&self.consts[l], self.in_q[l], self.in_qd[l], qdd_l, vp, ap);
+                    self.cxup[l] = xup;
+                    self.cv[l] = v;
+                    self.ca[l] = a;
+                    self.cvj[l] = self.consts[l].s.mul_lane(self.in_qd[l]);
+                    self.ch[l] = self.consts[l].inertia.apply(v);
+                    self.f_local[l] = f;
+                }
+                Op::RneaBwd { link, parent } => {
+                    let l = link as usize;
+                    let acc = std::mem::take(&mut self.f_acc[l]);
+                    let f_total = self.f_local[l] + acc;
+                    self.cf[l] = f_total;
+                    let (t, to_parent) = bwd_link_step4(&self.consts[l], &self.cxup[l], f_total);
+                    self.ctau[l] = t;
+                    if parent >= 0 {
+                        self.f_acc[parent as usize] += to_parent;
+                    }
+                }
+                Op::GradFwd {
+                    link,
+                    slot,
+                    parent,
+                    parent_slot,
+                    is_seed,
+                } => {
+                    let l = link as usize;
+                    let (v_parent, a_parent) = if parent >= 0 {
+                        let p = parent as usize;
+                        (self.cv[p], self.ca[p])
+                    } else {
+                        (Mv4::default(), a_base)
+                    };
+                    let parent_pair = if parent_slot >= 0 {
+                        self.dstate[parent_slot as usize]
+                    } else {
+                        DerivPair4::default()
+                    };
+                    let dq = fwd_deriv_step4(
+                        &self.consts[l],
+                        is_seed,
+                        Wrt::Q,
+                        &self.cxup[l],
+                        self.cv[l],
+                        self.cvj[l],
+                        self.ch[l],
+                        v_parent,
+                        a_parent,
+                        &parent_pair.dq,
+                    );
+                    let dqd = fwd_deriv_step4(
+                        &self.consts[l],
+                        is_seed,
+                        Wrt::Qd,
+                        &self.cxup[l],
+                        self.cv[l],
+                        self.cvj[l],
+                        self.ch[l],
+                        v_parent,
+                        a_parent,
+                        &parent_pair.dqd,
+                    );
+                    self.dstate[slot as usize] = DerivPair4 { dq, dqd };
+                }
+                Op::GradBwd {
+                    link,
+                    state_slot,
+                    acc_slot,
+                    parent_acc_slot,
+                    b_q,
+                    b_qd,
+                    is_seed,
+                } => {
+                    let l = link as usize;
+                    let local = if state_slot >= 0 {
+                        self.dstate[state_slot as usize]
+                    } else {
+                        DerivPair4::default()
+                    };
+                    let acc = if acc_slot >= 0 {
+                        std::mem::take(&mut self.dacc[acc_slot as usize])
+                    } else {
+                        ForcePair4::default()
+                    };
+                    let df_q = local.dq.df + acc.dq;
+                    let df_qd = local.dqd.df + acc.dqd;
+                    let (dtau_q, to_parent_q) = bwd_deriv_step4(
+                        &self.consts[l],
+                        is_seed,
+                        Wrt::Q,
+                        &self.cxup[l],
+                        self.cf[l],
+                        df_q,
+                    );
+                    let (dtau_qd, to_parent_qd) = bwd_deriv_step4(
+                        &self.consts[l],
+                        is_seed,
+                        Wrt::Qd,
+                        &self.cxup[l],
+                        self.cf[l],
+                        df_qd,
+                    );
+                    if parent_acc_slot >= 0 {
+                        let e = &mut self.dacc[parent_acc_slot as usize];
+                        e.dq += to_parent_q;
+                        e.dqd += to_parent_qd;
+                    }
+                    let cols = 2 * program.n;
+                    self.b[l * cols + b_q as usize] = -dtau_q;
+                    self.b[l * cols + b_qd as usize] = -dtau_qd;
+                }
+                Op::FkStep { .. } => {
+                    unreachable!("traversal programs contain no kinematics ops")
+                }
+            }
+        }
+    }
+
+    /// Lane mirror of `CompiledProgram::run_matmul` (the per-lane
+    /// zero-skip lives in [`matmul_axpy_padded_soa`]).
+    fn run_matmul(&mut self, program: &CompiledProgram) {
+        let n = program.n;
+        let bl = program.mm_block;
+        let b_cols = 2 * n;
+        for v in self.c.iter_mut() {
+            *v = f64x4::ZERO;
+        }
+        for op in &program.mm_ops {
+            let (r0, k0, c0) = (op.ti * bl, op.tk * bl, op.tj * bl);
+            for p in self.prod.iter_mut() {
+                *p = f64x4::ZERO;
+            }
+            for i in 0..bl {
+                let ai = r0 + i;
+                if ai >= n {
+                    // Padded A row: a == 0.0 at every k in every lane.
+                    continue;
+                }
+                for k in 0..bl {
+                    let ak = k0 + k;
+                    if ak >= n {
+                        // Padded A column: a == 0.0 in every lane.
+                        continue;
+                    }
+                    let a = self.minv[ai * n + ak];
+                    let in_bounds = bl.min(b_cols.saturating_sub(c0));
+                    let brow = &self.b[ak * b_cols + c0..ak * b_cols + c0 + in_bounds];
+                    let prow = &mut self.prod[i * bl..(i + 1) * bl];
+                    matmul_axpy_padded_soa(a, brow, prow, in_bounds);
+                }
+            }
+            for i in 0..bl {
+                let r = r0 + i;
+                if r >= n {
+                    continue;
+                }
+                let crow = &mut self.c[r * b_cols..(r + 1) * b_cols];
+                let prow = &self.prod[i * bl..(i + 1) * bl];
+                for (j, &pv) in prow.iter().enumerate() {
+                    let cc = c0 + j;
+                    if cc < b_cols {
+                        crow[cc] += pv;
+                    }
+                }
+            }
+        }
+    }
+
+    /// De-transposes the group's results into the per-entry
+    /// [`Simulation`]s, mirroring `execute_gradient_into`'s output
+    /// sizing so warm calls stay allocation-free.
+    fn scatter_gradient(&self, program: &CompiledProgram, outs: &mut [Simulation]) {
+        let n = program.n;
+        for (l, out) in outs.iter_mut().enumerate() {
+            if out.tau.len() != n {
+                out.tau.clear();
+                out.tau.resize(n, 0.0);
+            }
+            for i in 0..n {
+                out.tau[i] = self.ctau[i].lane(l);
+            }
+            if out.dqdd_dq.rows() != n || out.dqdd_dq.cols() != n {
+                out.dqdd_dq = DMat::zeros(n, n);
+            }
+            if out.dqdd_dqd.rows() != n || out.dqdd_dqd.cols() != n {
+                out.dqdd_dqd = DMat::zeros(n, n);
+            }
+            let dq = out.dqdd_dq.as_mut_slice();
+            let dqd = out.dqdd_dqd.as_mut_slice();
+            for i in 0..n {
+                let crow = &self.c[i * 2 * n..(i + 1) * 2 * n];
+                for j in 0..n {
+                    dq[i * n + j] = crow[j].lane(l);
+                    dqd[i * n + j] = crow[n + j].lane(l);
+                }
+            }
+            out.stats = program.stats();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Group drivers.
+// ---------------------------------------------------------------------
+
+/// Attempts one gradient lane group. Returns `false` (nothing written,
+/// no metrics recorded) when the group must fall back to scalar.
+fn lane_gradient_group(
+    program: &CompiledProgram,
+    arena: &mut LaneArena,
+    grp: &[BatchInput],
+    outs: &mut [Simulation],
+) -> bool {
+    let n = program.dim();
+    for (q, qd, tau) in grp {
+        if check_input("q", q, n).is_err()
+            || check_input("qd", qd, n).is_err()
+            || check_input("tau", tau, n).is_err()
+        {
+            return false;
+        }
+    }
+    arena.stage_inputs(grp, n);
+    if !arena.host_forward_dynamics(program) {
+        return false;
+    }
+    arena.run_traversals(program, true);
+    arena.run_matmul(program);
+    arena.scatter_gradient(program, outs);
+    for _ in 0..LANES {
+        program.record_eval();
+    }
+    program.note_lane_evals(LANES as u64);
+    true
+}
+
+/// Attempts one inverse-dynamics lane group, appending the per-entry
+/// torques to `taus`. Returns `false` (nothing appended) on fallback.
+fn lane_inverse_dynamics_group(
+    program: &CompiledProgram,
+    arena: &mut LaneArena,
+    grp: &[BatchInput],
+    taus: &mut Vec<Vec<f64>>,
+) -> bool {
+    let n = program.dim();
+    for (q, qd, qdd) in grp {
+        if check_input("q", q, n).is_err()
+            || check_input("qd", qd, n).is_err()
+            || check_input("qdd", qdd, n).is_err()
+        {
+            return false;
+        }
+    }
+    arena.stage_inputs(grp, n);
+    arena.run_traversals(program, false);
+    for l in 0..LANES {
+        taus.push((0..n).map(|i| arena.ctau[i].lane(l)).collect());
+    }
+    for _ in 0..LANES {
+        program.record_eval();
+    }
+    program.note_lane_evals(LANES as u64);
+    true
+}
+
+impl ExecBackend for Lanes {
+    const KIND: BackendKind = BackendKind::Lanes;
+
+    fn execute_gradient_batch(
+        program: &CompiledProgram,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        inputs: &[BatchInput],
+        outs: &mut [Simulation],
+    ) -> Result<(), SimError> {
+        if program.kernel() != KernelKind::DynamicsGradient {
+            return Err(SimError::KernelMismatch {
+                expected: KernelKind::DynamicsGradient,
+                got: program.kernel(),
+            });
+        }
+        program.check_topology(model)?;
+        let groups = inputs.len() / LANES;
+        if groups > 0 {
+            scratch.lanes.prepare(program);
+            scratch.lanes.gather_consts(model, program.dim());
+        }
+        for g in 0..groups {
+            let lo = g * LANES;
+            let done = lane_gradient_group(
+                program,
+                &mut scratch.lanes,
+                &inputs[lo..lo + LANES],
+                &mut outs[lo..lo + LANES],
+            );
+            if !done {
+                for i in lo..lo + LANES {
+                    let (q, qd, tau) = &inputs[i];
+                    program.execute_gradient_into(model, scratch, q, qd, tau, &mut outs[i])?;
+                }
+            }
+        }
+        for i in groups * LANES..inputs.len() {
+            let (q, qd, tau) = &inputs[i];
+            program.execute_gradient_into(model, scratch, q, qd, tau, &mut outs[i])?;
+        }
+        Ok(())
+    }
+
+    fn execute_inverse_dynamics_batch(
+        program: &CompiledProgram,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        inputs: &[BatchInput],
+    ) -> Result<Vec<Vec<f64>>, SimError> {
+        if program.kernel() != KernelKind::InverseDynamics {
+            return Err(SimError::KernelMismatch {
+                expected: KernelKind::InverseDynamics,
+                got: program.kernel(),
+            });
+        }
+        program.check_topology(model)?;
+        let mut taus = Vec::with_capacity(inputs.len());
+        let groups = inputs.len() / LANES;
+        if groups > 0 {
+            scratch.lanes.prepare(program);
+            scratch.lanes.gather_consts(model, program.dim());
+        }
+        for g in 0..groups {
+            let lo = g * LANES;
+            let done = lane_inverse_dynamics_group(
+                program,
+                &mut scratch.lanes,
+                &inputs[lo..lo + LANES],
+                &mut taus,
+            );
+            if !done {
+                for (q, qd, qdd) in &inputs[lo..lo + LANES] {
+                    let (tau, _) = program.execute_inverse_dynamics(model, scratch, q, qd, qdd)?;
+                    taus.push(tau);
+                }
+            }
+        }
+        for (q, qd, qdd) in &inputs[groups * LANES..] {
+            let (tau, _) = program.execute_inverse_dynamics(model, scratch, q, qd, qdd)?;
+            taus.push(tau);
+        }
+        Ok(taus)
+    }
+}

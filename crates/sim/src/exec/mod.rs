@@ -1,0 +1,120 @@
+//! Pluggable execution backends for [`CompiledProgram`].
+//!
+//! A compiled program is a substrate-neutral description of the work one
+//! accelerator evaluation performs: a flat op array plus the host-side
+//! forward-dynamics replication. *How* that work is driven through a CPU
+//! is the backend's choice:
+//!
+//! * [`Scalar`] — the reference path: one evaluation at a time, every
+//!   quantity a single `f64`. Batches are a plain loop.
+//! * [`Lanes`] — the data-parallel path: four batch entries per
+//!   operation, laid out structure-of-arrays so every scalar the single
+//!   request path computes becomes one [`roboshape_linalg::f64x4`].
+//!   Remainder entries (batch length not a multiple of four) and lane
+//!   groups that fail (bad input, non-positive-definite mass matrix)
+//!   fall back to the scalar path, reproducing its observable behaviour
+//!   exactly.
+//!
+//! Both backends are **bit-exact**: lane `l` of a `Lanes` group performs
+//! the same IEEE-754 operations in the same order as a scalar evaluation
+//! of entry `l`, so results compare equal with `==`, not a tolerance
+//! (property-tested against the interpreted oracle).
+//!
+//! Dispatch is static: [`CompiledProgram`] carries a [`BackendKind`] tag
+//! assigned at compile time, and the `execute_batch*` entry points match
+//! on it once per batch, calling the monomorphized backend — no `dyn`
+//! dispatch on the hot path. The `sim.exec.{scalar,lanes}.evals`
+//! counters record which backend actually executed each evaluation
+//! (fallbacks count as scalar).
+
+pub(crate) mod lanes;
+pub(crate) mod scalar;
+
+use crate::program::CompiledProgram;
+use crate::{SimError, Simulation};
+use roboshape_urdf::RobotModel;
+
+/// One batch entry's inputs: `(q, q̇, τ)` for the dynamics-gradient
+/// kernel, `(q, q̇, q̈)` for inverse dynamics.
+pub type BatchInput = (Vec<f64>, Vec<f64>, Vec<f64>);
+
+/// Which execution backend a [`CompiledProgram`] drives its ops with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BackendKind {
+    /// One evaluation at a time; every quantity a single `f64`.
+    #[default]
+    Scalar,
+    /// Four batch entries per operation, structure-of-arrays; scalar
+    /// fallback for remainders and failed lane groups.
+    Lanes,
+}
+
+impl BackendKind {
+    /// All backends, in canonical order.
+    pub const ALL: [BackendKind; 2] = [BackendKind::Scalar, BackendKind::Lanes];
+
+    /// Stable lowercase name (CLI values, cache keys, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Scalar => "scalar",
+            BackendKind::Lanes => "lanes",
+        }
+    }
+
+    /// Parses a [`Self::name`] string (case-sensitive).
+    pub fn parse(s: &str) -> Option<BackendKind> {
+        BackendKind::ALL.into_iter().find(|b| b.name() == s)
+    }
+}
+
+impl std::fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A strategy for driving a compiled program's ops through the CPU.
+///
+/// Implementations are compile-time specialized unit types; the program's
+/// batch entry points select one with a single match on
+/// [`CompiledProgram::backend`] and call the monomorphized functions
+/// directly. The contract every backend must uphold:
+///
+/// * **Bit-exact results.** Entry `i`'s outputs are `f64`-identical to
+///   `CompiledProgram::execute_gradient` (resp.
+///   `execute_inverse_dynamics`) on entry `i`'s inputs alone.
+/// * **Scalar-loop error behaviour.** On failure, the returned error is
+///   the one the scalar per-entry loop would produce first, and exactly
+///   the evaluations that loop would have completed before failing are
+///   recorded in the metrics.
+pub trait ExecBackend {
+    /// The tag [`CompiledProgram::backend`] stores for this backend.
+    const KIND: BackendKind;
+
+    /// Runs one dynamics-gradient evaluation per batch entry, writing
+    /// results into `outs` (same length as `inputs`).
+    fn execute_gradient_batch(
+        program: &CompiledProgram,
+        model: &RobotModel,
+        scratch: &mut crate::SimScratch,
+        inputs: &[BatchInput],
+        outs: &mut [Simulation],
+    ) -> Result<(), SimError>;
+
+    /// Runs one inverse-dynamics evaluation per batch entry, returning
+    /// the per-entry joint torques.
+    fn execute_inverse_dynamics_batch(
+        program: &CompiledProgram,
+        model: &RobotModel,
+        scratch: &mut crate::SimScratch,
+        inputs: &[BatchInput],
+    ) -> Result<Vec<Vec<f64>>, SimError>;
+}
+
+/// The scalar reference backend (see [module docs](self)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Scalar;
+
+/// The four-wide SoA lane backend (see [module docs](self)).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lanes;

@@ -1,0 +1,391 @@
+//! The scalar execution backend: the reference path, one evaluation at a
+//! time, hoisted out of `program.rs` verbatim.
+//!
+//! The three private [`CompiledProgram`] stages live here — the host-side
+//! forward-dynamics/`M⁻¹` replication, the lowered traversal sweep, and
+//! the blocked mat-mul — and the [`Scalar`] backend drives batches as a
+//! plain per-entry loop over [`CompiledProgram::execute_gradient_into`].
+//! Every other backend's fallback path lands on these functions, so their
+//! arithmetic is the definition of "correct to the bit".
+
+use super::{BatchInput, ExecBackend, Scalar};
+use crate::deriv::{DerivPair, ForcePair};
+use crate::program::{CompiledProgram, Op};
+use crate::scratch::SimScratch;
+use crate::{SimError, Simulation};
+use roboshape_dynamics::{
+    bwd_deriv_step, bwd_link_step, fwd_deriv_step, fwd_link_step, Dynamics, Wrt,
+};
+use roboshape_linalg::Vec3;
+use roboshape_spatial::{ForceVec, MotionVec};
+use roboshape_urdf::RobotModel;
+
+impl ExecBackend for Scalar {
+    const KIND: super::BackendKind = super::BackendKind::Scalar;
+
+    fn execute_gradient_batch(
+        program: &CompiledProgram,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        inputs: &[BatchInput],
+        outs: &mut [Simulation],
+    ) -> Result<(), SimError> {
+        for ((q, qd, tau), out) in inputs.iter().zip(outs.iter_mut()) {
+            program.execute_gradient_into(model, scratch, q, qd, tau, out)?;
+        }
+        Ok(())
+    }
+
+    fn execute_inverse_dynamics_batch(
+        program: &CompiledProgram,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        inputs: &[BatchInput],
+    ) -> Result<Vec<Vec<f64>>, SimError> {
+        inputs
+            .iter()
+            .map(|(q, qd, qdd)| {
+                program
+                    .execute_inverse_dynamics(model, scratch, q, qd, qdd)
+                    .map(|(tau, _)| tau)
+            })
+            .collect()
+    }
+}
+
+impl CompiledProgram {
+    /// Host-side replication of `Dynamics::forward_dynamics` plus the
+    /// Cholesky inverse, allocation-free and loop-for-loop identical to
+    /// the reference library (same values, same rounding).
+    pub(crate) fn host_forward_dynamics(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        q: &[f64],
+        qd: &[f64],
+        tau: &[f64],
+    ) -> Result<(), SimError> {
+        let n = self.n;
+        let dynamics = Dynamics::new(model);
+        let a_base = MotionVec::from_parts(Vec3::ZERO, -dynamics.gravity());
+
+        // Bias torques: RNEA at q̈ = 0, mirroring `Dynamics::rnea_cache`.
+        for i in 0..n {
+            let (vp, ap) = match self.parents[i] {
+                Some(p) => (scratch.hv[p], scratch.ha[p]),
+                None => (MotionVec::ZERO, a_base),
+            };
+            let out = fwd_link_step(model, i, q[i], qd[i], 0.0, vp, ap);
+            scratch.hxup[i] = out.xup;
+            scratch.hv[i] = out.v;
+            scratch.ha[i] = out.a;
+            scratch.hf[i] = out.f;
+        }
+        for i in (0..n).rev() {
+            let (t, to_parent) = bwd_link_step(model, i, &scratch.hxup[i], scratch.hf[i]);
+            scratch.bias[i] = t;
+            if let Some(p) = self.parents[i] {
+                scratch.hf[p] += to_parent;
+            }
+        }
+        // rhs = τ − bias, solved in place below.
+        for (i, &t) in tau.iter().enumerate().take(n) {
+            scratch.qdd[i] = t - scratch.bias[i];
+        }
+
+        // Mass matrix, mirroring `mass_matrix_with` (CRBA). Structural
+        // zeros persist from the bind-time clearing: the written slot set
+        // is fixed by the topology.
+        for (i, &q_i) in q.iter().enumerate().take(n) {
+            scratch.hxup[i] = model.joint(i).child_xform(q_i);
+            scratch.svec[i] = model.joint(i).motion_subspace();
+            scratch.ic[i] = model.link(i).inertia;
+        }
+        for i in (0..n).rev() {
+            if let Some(p) = self.parents[i] {
+                let in_parent = scratch.ic[i].transform(&scratch.hxup[i].inverse());
+                scratch.ic[p] = scratch.ic[p].add(&in_parent);
+            }
+        }
+        for i in 0..n {
+            let mut fh: ForceVec = scratch.ic[i].apply(scratch.svec[i]);
+            scratch.mass[(i, i)] = scratch.svec[i].dot_force(fh);
+            let mut j = i;
+            while let Some(p) = self.parents[j] {
+                fh = scratch.hxup[j].apply_force_transpose(fh);
+                scratch.mass[(i, p)] = scratch.svec[p].dot_force(fh);
+                scratch.mass[(p, i)] = scratch.mass[(i, p)];
+                j = p;
+            }
+        }
+
+        // Cholesky factor, mirroring `Cholesky::new`. Only the lower
+        // triangle is written and read; subslice zips keep the exact
+        // ascending-k summation order with bounds checks hoisted.
+        let mass = scratch.mass.as_slice();
+        let ch = scratch.chol.as_mut_slice();
+        for j in 0..n {
+            let mut diag = mass[j * n + j];
+            for &v in &ch[j * n..j * n + j] {
+                diag -= v * v;
+            }
+            if diag <= 0.0 || !diag.is_finite() {
+                return Err(SimError::NotPositiveDefinite);
+            }
+            let ljj = diag.sqrt();
+            ch[j * n + j] = ljj;
+            for i in (j + 1)..n {
+                let mut v = mass[i * n + j];
+                for (a, b) in ch[i * n..i * n + j].iter().zip(&ch[j * n..j * n + j]) {
+                    v -= a * b;
+                }
+                ch[i * n + j] = v / ljj;
+            }
+        }
+        let ch = scratch.chol.as_slice();
+
+        // q̈ = M⁻¹ rhs, mirroring `Cholesky::solve_vec` in place.
+        let qdd = &mut scratch.qdd;
+        for i in 0..n {
+            let (done, rest) = qdd.split_at_mut(i);
+            let mut v = rest[0];
+            for (l, x) in ch[i * n..i * n + i].iter().zip(done.iter()) {
+                v -= l * x;
+            }
+            rest[0] = v / ch[i * n + i];
+        }
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                qdd[i] -= ch[k * n + i] * qdd[k];
+            }
+            qdd[i] /= ch[i * n + i];
+        }
+
+        // M⁻¹ column by column, mirroring `Cholesky::inverse` (solve
+        // against identity columns). Factoring once and reusing L is
+        // bit-identical to the reference's repeated use of the same
+        // factor object.
+        let minv = scratch.minv.as_mut_slice();
+        let ycol = &mut scratch.ycol;
+        for j in 0..n {
+            for (i, y) in ycol.iter_mut().enumerate() {
+                *y = if i == j { 1.0 } else { 0.0 };
+            }
+            for i in 0..n {
+                let (done, rest) = ycol.split_at_mut(i);
+                let mut v = rest[0];
+                for (l, x) in ch[i * n..i * n + i].iter().zip(done.iter()) {
+                    v -= l * x;
+                }
+                rest[0] = v / ch[i * n + i];
+            }
+            for i in (0..n).rev() {
+                for k in (i + 1)..n {
+                    ycol[i] -= ch[k * n + i] * ycol[k];
+                }
+                ycol[i] /= ch[i * n + i];
+            }
+            for i in 0..n {
+                minv[i * n + j] = ycol[i];
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes the lowered traversal ops against the scratch arena.
+    pub(crate) fn run_traversals(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        q: &[f64],
+        qd: &[f64],
+        qdd: &[f64],
+    ) {
+        let a_base = MotionVec::from_parts(Vec3::ZERO, -Dynamics::new(model).gravity());
+        for op in &self.ops {
+            match *op {
+                Op::RneaFwd { link, parent } => {
+                    let l = link as usize;
+                    let (vp, ap) = if parent >= 0 {
+                        let p = parent as usize;
+                        (scratch.cache.0.v[p], scratch.cache.0.a[p])
+                    } else {
+                        (MotionVec::ZERO, a_base)
+                    };
+                    let out = fwd_link_step(model, l, q[l], qd[l], qdd[l], vp, ap);
+                    scratch.cache.0.xup[l] = out.xup;
+                    scratch.cache.0.v[l] = out.v;
+                    scratch.cache.0.a[l] = out.a;
+                    let s = model.joint(l).motion_subspace();
+                    scratch.cache.0.s[l] = s;
+                    scratch.cache.0.vj[l] = s * qd[l];
+                    scratch.cache.0.h[l] = model.link(l).inertia.apply(out.v);
+                    scratch.f_local[l] = out.f;
+                }
+                Op::RneaBwd { link, parent } => {
+                    let l = link as usize;
+                    // Consume the accumulator: each link's slot is read by
+                    // exactly one RneaBwd op per evaluation.
+                    let acc = std::mem::take(&mut scratch.f_acc[l]);
+                    let f_total = scratch.f_local[l] + acc;
+                    scratch.cache.0.f[l] = f_total;
+                    let (t, to_parent) = bwd_link_step(model, l, &scratch.cache.0.xup[l], f_total);
+                    scratch.cache.0.tau[l] = t;
+                    if parent >= 0 {
+                        scratch.f_acc[parent as usize] += to_parent;
+                    }
+                }
+                Op::GradFwd {
+                    link,
+                    slot,
+                    parent,
+                    parent_slot,
+                    is_seed,
+                } => {
+                    let l = link as usize;
+                    let (v_parent, a_parent) = if parent >= 0 {
+                        let p = parent as usize;
+                        (scratch.cache.0.v[p], scratch.cache.0.a[p])
+                    } else {
+                        (MotionVec::ZERO, a_base)
+                    };
+                    let parent_pair = if parent_slot >= 0 {
+                        scratch.dstate[parent_slot as usize]
+                    } else {
+                        DerivPair::default()
+                    };
+                    scratch.dstate[slot as usize] = DerivPair {
+                        dq: fwd_deriv_step(
+                            model,
+                            l,
+                            is_seed,
+                            Wrt::Q,
+                            &scratch.cache.0,
+                            v_parent,
+                            a_parent,
+                            &parent_pair.dq,
+                        ),
+                        dqd: fwd_deriv_step(
+                            model,
+                            l,
+                            is_seed,
+                            Wrt::Qd,
+                            &scratch.cache.0,
+                            v_parent,
+                            a_parent,
+                            &parent_pair.dqd,
+                        ),
+                    };
+                }
+                Op::GradBwd {
+                    link,
+                    state_slot,
+                    acc_slot,
+                    parent_acc_slot,
+                    b_q,
+                    b_qd,
+                    is_seed,
+                } => {
+                    let l = link as usize;
+                    let local = if state_slot >= 0 {
+                        scratch.dstate[state_slot as usize]
+                    } else {
+                        DerivPair::default()
+                    };
+                    // Consume-on-read: compilation proved this slot is
+                    // read exactly once per evaluation.
+                    let acc = if acc_slot >= 0 {
+                        std::mem::take(&mut scratch.dacc[acc_slot as usize])
+                    } else {
+                        ForcePair::default()
+                    };
+                    let df_q = local.dq.df + acc.dq;
+                    let df_qd = local.dqd.df + acc.dqd;
+                    let (dtau_q, to_parent_q) =
+                        bwd_deriv_step(l, is_seed, Wrt::Q, &scratch.cache.0, df_q);
+                    let (dtau_qd, to_parent_qd) =
+                        bwd_deriv_step(l, is_seed, Wrt::Qd, &scratch.cache.0, df_qd);
+                    if parent_acc_slot >= 0 {
+                        let e = &mut scratch.dacc[parent_acc_slot as usize];
+                        e.dq += to_parent_q;
+                        e.dqd += to_parent_qd;
+                    }
+                    // Sign folded in: C = M⁻¹(−∂τ) is ∂q̈ directly.
+                    scratch.b[(l, b_q as usize)] = -dtau_q;
+                    scratch.b[(l, b_qd as usize)] = -dtau_qd;
+                }
+                Op::FkStep { .. } => {
+                    unreachable!("traversal programs contain no kinematics ops")
+                }
+            }
+        }
+    }
+
+    /// Executes the blocked mat-mul tile ops, replicating
+    /// `BlockMatmulPlan::execute`'s arithmetic (tile padding, the
+    /// zero-skip on `M⁻¹` entries, ascending-k accumulation) against the
+    /// scratch operands.
+    pub(crate) fn run_matmul(&self, scratch: &mut SimScratch) {
+        let n = self.n;
+        let bl = self.mm_block;
+        let b_cols = 2 * n;
+        let minv = scratch.minv.as_slice();
+        let b = scratch.b.as_slice();
+        let c = scratch.c.as_mut_slice();
+        let prod = &mut scratch.prod;
+        for v in c.iter_mut() {
+            *v = 0.0;
+        }
+        for op in &self.mm_ops {
+            let (r0, k0, c0) = (op.ti * bl, op.tk * bl, op.tj * bl);
+            for p in prod.iter_mut() {
+                *p = 0.0;
+            }
+            for i in 0..bl {
+                let ai = r0 + i;
+                if ai >= n {
+                    // Padded A row: a == 0.0 at every k, all skipped.
+                    continue;
+                }
+                let arow = &minv[ai * n..(ai + 1) * n];
+                let prow = &mut prod[i * bl..(i + 1) * bl];
+                for k in 0..bl {
+                    let ak = k0 + k;
+                    if ak >= n {
+                        // Padded A column: a == 0.0, skipped.
+                        continue;
+                    }
+                    let a = arow[ak];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[ak * b_cols..(ak + 1) * b_cols];
+                    let in_bounds = bl.min(b_cols.saturating_sub(c0));
+                    for (j, p) in prow.iter_mut().enumerate().take(in_bounds) {
+                        *p += a * brow[c0 + j];
+                    }
+                    // Padded B columns: the interpreter adds a·0.0 there,
+                    // which is not a no-op for a −0.0 accumulator — keep
+                    // the adds for bit-exactness.
+                    for p in prow[in_bounds..].iter_mut() {
+                        *p += a * 0.0;
+                    }
+                }
+            }
+            for i in 0..bl {
+                let r = r0 + i;
+                if r >= n {
+                    continue;
+                }
+                let crow = &mut c[r * b_cols..(r + 1) * b_cols];
+                let prow = &prod[i * bl..(i + 1) * bl];
+                for (j, &pv) in prow.iter().enumerate() {
+                    let cc = c0 + j;
+                    if cc < b_cols {
+                        crow[cc] += pv;
+                    }
+                }
+            }
+        }
+    }
+}

@@ -67,12 +67,14 @@ use roboshape_urdf::RobotModel;
 use std::collections::HashMap;
 
 mod deriv;
+pub mod exec;
 pub mod gradients;
 pub mod program;
 pub mod scratch;
 
+pub use exec::{BackendKind, ExecBackend};
 pub use gradients::{AcceleratorGradients, GradientProvider, ReferenceGradients};
-pub use program::{shared_program, CompiledProgram};
+pub use program::{shared_program, shared_program_for, CompiledProgram};
 pub use scratch::SimScratch;
 
 use std::cell::RefCell;

@@ -37,18 +37,15 @@
 //! makespan is memoized per `(program, batch length)` behind the
 //! `sim.batch_schedule.{hit,miss}` counters.
 
-use crate::deriv::{DerivPair, ForcePair};
+use crate::exec::{BackendKind, ExecBackend};
 use crate::scratch::SimScratch;
 use crate::{check_input, SimError, SimStats, Simulation, CYCLE_BOUNDS, OCCUPANCY_BOUNDS};
 use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind};
 use roboshape_blocksparse::BlockOp;
-use roboshape_dynamics::{
-    bwd_deriv_step, bwd_link_step, fwd_deriv_step, fwd_link_step, Dynamics, Wrt,
-};
-use roboshape_linalg::{DMat, Vec3};
+use roboshape_linalg::DMat;
 use roboshape_obs as obs;
 use roboshape_obs::{Counter, Histogram};
-use roboshape_spatial::{ForceVec, MotionVec, Xform};
+use roboshape_spatial::Xform;
 use roboshape_taskgraph::{Stage, TaskGraph, TaskKind};
 use roboshape_urdf::RobotModel;
 use std::collections::HashMap;
@@ -61,7 +58,7 @@ const NONE: i32 = -1;
 /// One lowered schedule entry. All indices are resolved at compile time;
 /// execution never consults the task graph or topology.
 #[derive(Debug, Clone, Copy)]
-enum Op {
+pub(crate) enum Op {
     /// RNEA forward step for `link`; `parent < 0` means root (gravity-
     /// seeded base acceleration).
     RneaFwd { link: u32, parent: i32 },
@@ -111,14 +108,16 @@ pub struct CompiledProgram {
     /// Process-unique id (scratch binding, batch memo keys). Starts at 1.
     id: u64,
     kernel: KernelKind,
-    n: usize,
+    /// Which execution backend batch entry points drive the ops with.
+    backend: BackendKind,
+    pub(crate) n: usize,
     /// The design topology's parent array (request-time validation and
     /// host-side traversals).
-    parents: Vec<Option<usize>>,
-    ops: Vec<Op>,
+    pub(crate) parents: Vec<Option<usize>>,
+    pub(crate) ops: Vec<Op>,
     /// Blocked mat-mul tile ops (dynamics-gradient kernel only).
-    mm_ops: Vec<BlockOp>,
-    mm_block: usize,
+    pub(crate) mm_ops: Vec<BlockOp>,
+    pub(crate) mm_block: usize,
     stats: SimStats,
     knobs: AcceleratorKnobs,
     /// Single-evaluation traversal makespan (cache-hit validation).
@@ -134,6 +133,11 @@ pub struct CompiledProgram {
     scratch_reuse: Arc<Counter>,
     batch_hit: Arc<Counter>,
     batch_miss: Arc<Counter>,
+    /// Evaluations executed through the scalar backend (singles,
+    /// remainders, fallbacks).
+    exec_scalar: Arc<Counter>,
+    /// Evaluations executed through the lane backend (whole groups of 4).
+    exec_lanes: Arc<Counter>,
 }
 
 fn next_program_id() -> u64 {
@@ -142,8 +146,8 @@ fn next_program_id() -> u64 {
 }
 
 impl CompiledProgram {
-    /// Lowers `design` into a compiled program, verifying every schedule
-    /// dependency along the way.
+    /// Lowers `design` into a compiled program tagged with the default
+    /// [`BackendKind::Scalar`] backend. See [`Self::compile_for`].
     ///
     /// # Panics
     ///
@@ -151,6 +155,18 @@ impl CompiledProgram {
     /// schedule violates a data dependency or contains task kinds its
     /// kernel cannot (a scheduler/generator bug, not a bad request).
     pub fn compile(design: &AcceleratorDesign) -> CompiledProgram {
+        CompiledProgram::compile_for(design, BackendKind::Scalar)
+    }
+
+    /// Lowers `design` into a compiled program whose batch entry points
+    /// execute through `backend`, verifying every schedule dependency
+    /// along the way. The backend choice affects *how* batches are
+    /// driven, never the results: all backends are bit-exact.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::compile`].
+    pub fn compile_for(design: &AcceleratorDesign, backend: BackendKind) -> CompiledProgram {
         let _span = obs::span(crate::OBS_CATEGORY, "compile");
         let topo = design.topology();
         let n = topo.len();
@@ -339,6 +355,7 @@ impl CompiledProgram {
         CompiledProgram {
             id: next_program_id(),
             kernel,
+            backend,
             n,
             parents: topo.parents().to_vec(),
             ops,
@@ -354,6 +371,8 @@ impl CompiledProgram {
             scratch_reuse: m.counter("sim.scratch.reuse"),
             batch_hit: m.counter("sim.batch_schedule.hit"),
             batch_miss: m.counter("sim.batch_schedule.miss"),
+            exec_scalar: m.counter("sim.exec.scalar.evals"),
+            exec_lanes: m.counter("sim.exec.lanes.evals"),
         }
     }
 
@@ -370,6 +389,11 @@ impl CompiledProgram {
     /// The kernel the program executes.
     pub fn kernel(&self) -> KernelKind {
         self.kernel
+    }
+
+    /// The execution backend batch entry points drive the ops with.
+    pub fn backend(&self) -> BackendKind {
+        self.backend
     }
 
     /// The precomputed per-evaluation statistics.
@@ -400,7 +424,7 @@ impl CompiledProgram {
             && self.mm_ops.len() == design.matmul_plan().map_or(0, |p| p.ops().len())
     }
 
-    fn check_topology(&self, model: &RobotModel) -> Result<(), SimError> {
+    pub(crate) fn check_topology(&self, model: &RobotModel) -> Result<(), SimError> {
         if model.topology().parents() != self.parents.as_slice() {
             return Err(SimError::TopologyMismatch);
         }
@@ -409,13 +433,18 @@ impl CompiledProgram {
 
     /// Records one evaluation into the global metrics registry through
     /// the handles resolved at compile time (no lookups, no allocation).
-    fn record_eval(&self) {
+    pub(crate) fn record_eval(&self) {
         for (counter, delta) in &self.eval_counts {
             counter.add(*delta);
         }
         for sample in &self.eval_hists {
             sample.hist.record(sample.value);
         }
+    }
+
+    /// Bumps the lane-backend evaluation counter (one whole lane group).
+    pub(crate) fn note_lane_evals(&self, count: u64) {
+        self.exec_lanes.add(count);
     }
 
     /// Runs one dynamics-gradient evaluation: host-side forward dynamics
@@ -482,6 +511,7 @@ impl CompiledProgram {
         scratch.qdd = qdd;
         self.run_matmul(scratch);
         self.record_eval();
+        self.exec_scalar.add(1);
 
         if out.tau.len() != n {
             out.tau.clear();
@@ -506,8 +536,13 @@ impl CompiledProgram {
         Ok(())
     }
 
-    /// Runs a batch of dynamics-gradient evaluations and returns the
-    /// per-step results plus the memoized replicated-batch makespan.
+    /// Runs a batch of dynamics-gradient evaluations through the
+    /// program's [`Self::backend`] and returns the per-step results plus
+    /// the memoized replicated-batch makespan.
+    ///
+    /// Results are identical across backends: the lane backend is
+    /// bit-exact per entry, and falls back to the scalar path for
+    /// remainder entries and failed lane groups.
     ///
     /// # Errors
     ///
@@ -519,14 +554,76 @@ impl CompiledProgram {
         scratch: &mut SimScratch,
         inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
     ) -> Result<(Vec<Simulation>, u64), SimError> {
+        let mut outs = Vec::new();
+        let makespan = self.execute_batch_into(model, scratch, inputs, &mut outs)?;
+        Ok((outs, makespan))
+    }
+
+    /// [`Self::execute_batch`] writing into a caller-owned result vector,
+    /// reusing its `Simulation` buffers when already correctly sized. A
+    /// warm call through the lane backend — scratch bound, `outs` from a
+    /// previous same-length call — performs zero heap allocation for the
+    /// whole-group entries (asserted by the counting-allocator test).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::execute_batch`]; on error `outs` may be partially
+    /// overwritten and must not be read.
+    pub fn execute_batch_into(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
+        outs: &mut Vec<Simulation>,
+    ) -> Result<u64, SimError> {
         if inputs.is_empty() {
             return Err(SimError::EmptyBatch);
         }
-        let sims: Vec<Simulation> = inputs
-            .iter()
-            .map(|(q, qd, tau)| self.execute_gradient(model, scratch, q, qd, tau))
-            .collect::<Result<_, _>>()?;
-        Ok((sims, self.batched_makespan(inputs.len())))
+        if outs.len() != inputs.len() {
+            outs.resize_with(inputs.len(), || Simulation {
+                tau: Vec::new(),
+                dqdd_dq: DMat::zeros(0, 0),
+                dqdd_dqd: DMat::zeros(0, 0),
+                stats: SimStats::default(),
+            });
+        }
+        match self.backend {
+            BackendKind::Scalar => {
+                crate::exec::Scalar::execute_gradient_batch(self, model, scratch, inputs, outs)?
+            }
+            BackendKind::Lanes => {
+                crate::exec::Lanes::execute_gradient_batch(self, model, scratch, inputs, outs)?
+            }
+        }
+        Ok(self.batched_makespan(inputs.len()))
+    }
+
+    /// Runs a batch of inverse-dynamics evaluations (`τ = RNEA(q, q̇, q̈)`
+    /// per entry) through the program's [`Self::backend`], returning the
+    /// per-entry torques plus the memoized replicated-batch makespan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::EmptyBatch`] for an empty slice, or the first
+    /// failing step's error (no partial results).
+    pub fn execute_inverse_dynamics_batch(
+        &self,
+        model: &RobotModel,
+        scratch: &mut SimScratch,
+        inputs: &[(Vec<f64>, Vec<f64>, Vec<f64>)],
+    ) -> Result<(Vec<Vec<f64>>, u64), SimError> {
+        if inputs.is_empty() {
+            return Err(SimError::EmptyBatch);
+        }
+        let taus = match self.backend {
+            BackendKind::Scalar => {
+                crate::exec::Scalar::execute_inverse_dynamics_batch(self, model, scratch, inputs)?
+            }
+            BackendKind::Lanes => {
+                crate::exec::Lanes::execute_inverse_dynamics_batch(self, model, scratch, inputs)?
+            }
+        };
+        Ok((taus, self.batched_makespan(inputs.len())))
     }
 
     /// The traversal makespan of `steps` replicated evaluations, from the
@@ -577,6 +674,7 @@ impl CompiledProgram {
         scratch.prepare(self);
         self.run_traversals(model, scratch, q, qd, qdd);
         self.record_eval();
+        self.exec_scalar.add(1);
         Ok((scratch.cache.0.tau.clone(), self.stats))
     }
 
@@ -614,342 +712,8 @@ impl CompiledProgram {
             };
         }
         self.record_eval();
+        self.exec_scalar.add(1);
         Ok((scratch.poses.clone(), self.stats))
-    }
-
-    /// Host-side replication of `Dynamics::forward_dynamics` plus the
-    /// Cholesky inverse, allocation-free and loop-for-loop identical to
-    /// the reference library (same values, same rounding).
-    fn host_forward_dynamics(
-        &self,
-        model: &RobotModel,
-        scratch: &mut SimScratch,
-        q: &[f64],
-        qd: &[f64],
-        tau: &[f64],
-    ) -> Result<(), SimError> {
-        let n = self.n;
-        let dynamics = Dynamics::new(model);
-        let a_base = MotionVec::from_parts(Vec3::ZERO, -dynamics.gravity());
-
-        // Bias torques: RNEA at q̈ = 0, mirroring `Dynamics::rnea_cache`.
-        for i in 0..n {
-            let (vp, ap) = match self.parents[i] {
-                Some(p) => (scratch.hv[p], scratch.ha[p]),
-                None => (MotionVec::ZERO, a_base),
-            };
-            let out = fwd_link_step(model, i, q[i], qd[i], 0.0, vp, ap);
-            scratch.hxup[i] = out.xup;
-            scratch.hv[i] = out.v;
-            scratch.ha[i] = out.a;
-            scratch.hf[i] = out.f;
-        }
-        for i in (0..n).rev() {
-            let (t, to_parent) = bwd_link_step(model, i, &scratch.hxup[i], scratch.hf[i]);
-            scratch.bias[i] = t;
-            if let Some(p) = self.parents[i] {
-                scratch.hf[p] += to_parent;
-            }
-        }
-        // rhs = τ − bias, solved in place below.
-        for (i, &t) in tau.iter().enumerate().take(n) {
-            scratch.qdd[i] = t - scratch.bias[i];
-        }
-
-        // Mass matrix, mirroring `mass_matrix_with` (CRBA). Structural
-        // zeros persist from the bind-time clearing: the written slot set
-        // is fixed by the topology.
-        for (i, &q_i) in q.iter().enumerate().take(n) {
-            scratch.hxup[i] = model.joint(i).child_xform(q_i);
-            scratch.svec[i] = model.joint(i).motion_subspace();
-            scratch.ic[i] = model.link(i).inertia;
-        }
-        for i in (0..n).rev() {
-            if let Some(p) = self.parents[i] {
-                let in_parent = scratch.ic[i].transform(&scratch.hxup[i].inverse());
-                scratch.ic[p] = scratch.ic[p].add(&in_parent);
-            }
-        }
-        for i in 0..n {
-            let mut fh: ForceVec = scratch.ic[i].apply(scratch.svec[i]);
-            scratch.mass[(i, i)] = scratch.svec[i].dot_force(fh);
-            let mut j = i;
-            while let Some(p) = self.parents[j] {
-                fh = scratch.hxup[j].apply_force_transpose(fh);
-                scratch.mass[(i, p)] = scratch.svec[p].dot_force(fh);
-                scratch.mass[(p, i)] = scratch.mass[(i, p)];
-                j = p;
-            }
-        }
-
-        // Cholesky factor, mirroring `Cholesky::new`. Only the lower
-        // triangle is written and read; subslice zips keep the exact
-        // ascending-k summation order with bounds checks hoisted.
-        let mass = scratch.mass.as_slice();
-        let ch = scratch.chol.as_mut_slice();
-        for j in 0..n {
-            let mut diag = mass[j * n + j];
-            for &v in &ch[j * n..j * n + j] {
-                diag -= v * v;
-            }
-            if diag <= 0.0 || !diag.is_finite() {
-                return Err(SimError::NotPositiveDefinite);
-            }
-            let ljj = diag.sqrt();
-            ch[j * n + j] = ljj;
-            for i in (j + 1)..n {
-                let mut v = mass[i * n + j];
-                for (a, b) in ch[i * n..i * n + j].iter().zip(&ch[j * n..j * n + j]) {
-                    v -= a * b;
-                }
-                ch[i * n + j] = v / ljj;
-            }
-        }
-        let ch = scratch.chol.as_slice();
-
-        // q̈ = M⁻¹ rhs, mirroring `Cholesky::solve_vec` in place.
-        let qdd = &mut scratch.qdd;
-        for i in 0..n {
-            let (done, rest) = qdd.split_at_mut(i);
-            let mut v = rest[0];
-            for (l, x) in ch[i * n..i * n + i].iter().zip(done.iter()) {
-                v -= l * x;
-            }
-            rest[0] = v / ch[i * n + i];
-        }
-        for i in (0..n).rev() {
-            for k in (i + 1)..n {
-                qdd[i] -= ch[k * n + i] * qdd[k];
-            }
-            qdd[i] /= ch[i * n + i];
-        }
-
-        // M⁻¹ column by column, mirroring `Cholesky::inverse` (solve
-        // against identity columns). Factoring once and reusing L is
-        // bit-identical to the reference's repeated use of the same
-        // factor object.
-        let minv = scratch.minv.as_mut_slice();
-        let ycol = &mut scratch.ycol;
-        for j in 0..n {
-            for (i, y) in ycol.iter_mut().enumerate() {
-                *y = if i == j { 1.0 } else { 0.0 };
-            }
-            for i in 0..n {
-                let (done, rest) = ycol.split_at_mut(i);
-                let mut v = rest[0];
-                for (l, x) in ch[i * n..i * n + i].iter().zip(done.iter()) {
-                    v -= l * x;
-                }
-                rest[0] = v / ch[i * n + i];
-            }
-            for i in (0..n).rev() {
-                for k in (i + 1)..n {
-                    ycol[i] -= ch[k * n + i] * ycol[k];
-                }
-                ycol[i] /= ch[i * n + i];
-            }
-            for i in 0..n {
-                minv[i * n + j] = ycol[i];
-            }
-        }
-        Ok(())
-    }
-
-    /// Executes the lowered traversal ops against the scratch arena.
-    fn run_traversals(
-        &self,
-        model: &RobotModel,
-        scratch: &mut SimScratch,
-        q: &[f64],
-        qd: &[f64],
-        qdd: &[f64],
-    ) {
-        let a_base = MotionVec::from_parts(Vec3::ZERO, -Dynamics::new(model).gravity());
-        for op in &self.ops {
-            match *op {
-                Op::RneaFwd { link, parent } => {
-                    let l = link as usize;
-                    let (vp, ap) = if parent >= 0 {
-                        let p = parent as usize;
-                        (scratch.cache.0.v[p], scratch.cache.0.a[p])
-                    } else {
-                        (MotionVec::ZERO, a_base)
-                    };
-                    let out = fwd_link_step(model, l, q[l], qd[l], qdd[l], vp, ap);
-                    scratch.cache.0.xup[l] = out.xup;
-                    scratch.cache.0.v[l] = out.v;
-                    scratch.cache.0.a[l] = out.a;
-                    let s = model.joint(l).motion_subspace();
-                    scratch.cache.0.s[l] = s;
-                    scratch.cache.0.vj[l] = s * qd[l];
-                    scratch.cache.0.h[l] = model.link(l).inertia.apply(out.v);
-                    scratch.f_local[l] = out.f;
-                }
-                Op::RneaBwd { link, parent } => {
-                    let l = link as usize;
-                    // Consume the accumulator: each link's slot is read by
-                    // exactly one RneaBwd op per evaluation.
-                    let acc = std::mem::take(&mut scratch.f_acc[l]);
-                    let f_total = scratch.f_local[l] + acc;
-                    scratch.cache.0.f[l] = f_total;
-                    let (t, to_parent) = bwd_link_step(model, l, &scratch.cache.0.xup[l], f_total);
-                    scratch.cache.0.tau[l] = t;
-                    if parent >= 0 {
-                        scratch.f_acc[parent as usize] += to_parent;
-                    }
-                }
-                Op::GradFwd {
-                    link,
-                    slot,
-                    parent,
-                    parent_slot,
-                    is_seed,
-                } => {
-                    let l = link as usize;
-                    let (v_parent, a_parent) = if parent >= 0 {
-                        let p = parent as usize;
-                        (scratch.cache.0.v[p], scratch.cache.0.a[p])
-                    } else {
-                        (MotionVec::ZERO, a_base)
-                    };
-                    let parent_pair = if parent_slot >= 0 {
-                        scratch.dstate[parent_slot as usize]
-                    } else {
-                        DerivPair::default()
-                    };
-                    scratch.dstate[slot as usize] = DerivPair {
-                        dq: fwd_deriv_step(
-                            model,
-                            l,
-                            is_seed,
-                            Wrt::Q,
-                            &scratch.cache.0,
-                            v_parent,
-                            a_parent,
-                            &parent_pair.dq,
-                        ),
-                        dqd: fwd_deriv_step(
-                            model,
-                            l,
-                            is_seed,
-                            Wrt::Qd,
-                            &scratch.cache.0,
-                            v_parent,
-                            a_parent,
-                            &parent_pair.dqd,
-                        ),
-                    };
-                }
-                Op::GradBwd {
-                    link,
-                    state_slot,
-                    acc_slot,
-                    parent_acc_slot,
-                    b_q,
-                    b_qd,
-                    is_seed,
-                } => {
-                    let l = link as usize;
-                    let local = if state_slot >= 0 {
-                        scratch.dstate[state_slot as usize]
-                    } else {
-                        DerivPair::default()
-                    };
-                    // Consume-on-read: compilation proved this slot is
-                    // read exactly once per evaluation.
-                    let acc = if acc_slot >= 0 {
-                        std::mem::take(&mut scratch.dacc[acc_slot as usize])
-                    } else {
-                        ForcePair::default()
-                    };
-                    let df_q = local.dq.df + acc.dq;
-                    let df_qd = local.dqd.df + acc.dqd;
-                    let (dtau_q, to_parent_q) =
-                        bwd_deriv_step(l, is_seed, Wrt::Q, &scratch.cache.0, df_q);
-                    let (dtau_qd, to_parent_qd) =
-                        bwd_deriv_step(l, is_seed, Wrt::Qd, &scratch.cache.0, df_qd);
-                    if parent_acc_slot >= 0 {
-                        let e = &mut scratch.dacc[parent_acc_slot as usize];
-                        e.dq += to_parent_q;
-                        e.dqd += to_parent_qd;
-                    }
-                    // Sign folded in: C = M⁻¹(−∂τ) is ∂q̈ directly.
-                    scratch.b[(l, b_q as usize)] = -dtau_q;
-                    scratch.b[(l, b_qd as usize)] = -dtau_qd;
-                }
-                Op::FkStep { .. } => {
-                    unreachable!("traversal programs contain no kinematics ops")
-                }
-            }
-        }
-    }
-
-    /// Executes the blocked mat-mul tile ops, replicating
-    /// `BlockMatmulPlan::execute`'s arithmetic (tile padding, the
-    /// zero-skip on `M⁻¹` entries, ascending-k accumulation) against the
-    /// scratch operands.
-    fn run_matmul(&self, scratch: &mut SimScratch) {
-        let n = self.n;
-        let bl = self.mm_block;
-        let b_cols = 2 * n;
-        let minv = scratch.minv.as_slice();
-        let b = scratch.b.as_slice();
-        let c = scratch.c.as_mut_slice();
-        let prod = &mut scratch.prod;
-        for v in c.iter_mut() {
-            *v = 0.0;
-        }
-        for op in &self.mm_ops {
-            let (r0, k0, c0) = (op.ti * bl, op.tk * bl, op.tj * bl);
-            for p in prod.iter_mut() {
-                *p = 0.0;
-            }
-            for i in 0..bl {
-                let ai = r0 + i;
-                if ai >= n {
-                    // Padded A row: a == 0.0 at every k, all skipped.
-                    continue;
-                }
-                let arow = &minv[ai * n..(ai + 1) * n];
-                let prow = &mut prod[i * bl..(i + 1) * bl];
-                for k in 0..bl {
-                    let ak = k0 + k;
-                    if ak >= n {
-                        // Padded A column: a == 0.0, skipped.
-                        continue;
-                    }
-                    let a = arow[ak];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let brow = &b[ak * b_cols..(ak + 1) * b_cols];
-                    let in_bounds = bl.min(b_cols.saturating_sub(c0));
-                    for (j, p) in prow.iter_mut().enumerate().take(in_bounds) {
-                        *p += a * brow[c0 + j];
-                    }
-                    // Padded B columns: the interpreter adds a·0.0 there,
-                    // which is not a no-op for a −0.0 accumulator — keep
-                    // the adds for bit-exactness.
-                    for p in prow[in_bounds..].iter_mut() {
-                        *p += a * 0.0;
-                    }
-                }
-            }
-            for i in 0..bl {
-                let r = r0 + i;
-                if r >= n {
-                    continue;
-                }
-                let crow = &mut c[r * b_cols..(r + 1) * b_cols];
-                let prow = &prod[i * bl..(i + 1) * bl];
-                for (j, &pv) in prow.iter().enumerate() {
-                    let cc = c0 + j;
-                    if cc < b_cols {
-                        crow[cc] += pv;
-                    }
-                }
-            }
-        }
     }
 }
 
@@ -960,14 +724,18 @@ struct ProgramKey {
     parents: Vec<Option<usize>>,
     knobs: AcceleratorKnobs,
     kernel: KernelKind,
+    /// Backends get distinct cache entries (and thus distinct program
+    /// ids, so scratch arenas rebind when switching backends).
+    backend: BackendKind,
 }
 
 impl ProgramKey {
-    fn of(design: &AcceleratorDesign) -> ProgramKey {
+    fn of(design: &AcceleratorDesign, backend: BackendKind) -> ProgramKey {
         ProgramKey {
             parents: design.topology().parents().to_vec(),
             knobs: *design.knobs(),
             kernel: design.kernel(),
+            backend,
         }
     }
 }
@@ -985,6 +753,8 @@ fn program_cache() -> &'static RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>>
             "sim.scratch.reuse",
             "sim.batch_schedule.hit",
             "sim.batch_schedule.miss",
+            "sim.exec.scalar.evals",
+            "sim.exec.lanes.evals",
         ] {
             let _ = m.counter(name);
         }
@@ -1004,10 +774,23 @@ fn compile_counters() -> &'static (Arc<Counter>, Arc<Counter>) {
 /// (`sim.compile.{hit,miss}`). Structural validation guards the cache: a
 /// `from_parts` design whose schedule differs from the cached program's
 /// is recompiled (uncached) rather than served a wrong program.
+///
+/// Equivalent to [`shared_program_for`] with [`BackendKind::Scalar`].
 pub fn shared_program(design: &AcceleratorDesign) -> Arc<CompiledProgram> {
+    shared_program_for(design, BackendKind::Scalar)
+}
+
+/// The process-wide compiled program for `(design, backend)`. Each
+/// backend gets its own cache entry — and therefore its own program id —
+/// so scratch arenas bound to one backend's program never serve
+/// another's.
+pub fn shared_program_for(
+    design: &AcceleratorDesign,
+    backend: BackendKind,
+) -> Arc<CompiledProgram> {
     let cache = program_cache();
     let (hit, miss) = compile_counters();
-    let key = ProgramKey::of(design);
+    let key = ProgramKey::of(design, backend);
     if let Some(found) = cache.read().unwrap_or_else(|e| e.into_inner()).get(&key) {
         if found.matches(design) {
             hit.add(1);
@@ -1015,7 +798,7 @@ pub fn shared_program(design: &AcceleratorDesign) -> Arc<CompiledProgram> {
         }
     }
     miss.add(1);
-    let program = Arc::new(CompiledProgram::compile(design));
+    let program = Arc::new(CompiledProgram::compile_for(design, backend));
     let mut map = cache.write().unwrap_or_else(|e| e.into_inner());
     match map.entry(key) {
         std::collections::hash_map::Entry::Occupied(e) => {

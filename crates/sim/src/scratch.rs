@@ -86,6 +86,10 @@ pub struct SimScratch {
     pub(crate) prod: Vec<f64>,
     /// Forward-kinematics base→link poses.
     pub(crate) poses: Vec<Xform>,
+    /// SoA buffers for the lane backend, bound independently (a scratch
+    /// arena can serve scalar and lane programs back to back without
+    /// thrashing either side's warm state).
+    pub(crate) lanes: crate::exec::lanes::LaneArena,
 }
 
 /// `RneaCache` wrapper providing a `Default` (the dynamics crate's struct
@@ -133,6 +137,7 @@ impl Default for SimScratch {
             c: DMat::zeros(0, 0),
             prod: Vec::new(),
             poses: Vec::new(),
+            lanes: crate::exec::lanes::LaneArena::default(),
         }
     }
 }

@@ -4,16 +4,20 @@
 //! [`CompiledProgram::execute_gradient_into`] must not touch the
 //! allocator at all.
 //!
+//! The same proof covers the lane backend's warm batch path: a bound
+//! lane arena plus reused `Simulation` buffers must execute whole lane
+//! groups — and scalar remainder entries — without allocating.
+//!
 //! Tracking is thread-local so a libtest harness thread allocating in
-//! the background cannot pollute the window; this file still contains a
-//! single `#[test]` to keep the measured path undisturbed.
+//! the background cannot pollute the window (each `#[test]` runs on its
+//! own thread with its own counters).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
 use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs};
 use roboshape_robots::{zoo, Zoo};
-use roboshape_sim::{shared_program, SimScratch};
+use roboshape_sim::{shared_program, shared_program_for, BackendKind, SimScratch};
 
 struct CountingAlloc;
 
@@ -86,4 +90,49 @@ fn warm_gradient_execute_allocates_nothing() {
     assert_eq!(out.tau, warm_tau, "warm result changed");
     let allocs = ALLOCS.with(|a| a.get());
     assert_eq!(allocs, 0, "warm ∇FD execute path touched the heap");
+}
+
+#[test]
+fn warm_lane_batches_allocate_nothing() {
+    let robot = zoo(Zoo::Hyq);
+    let n = robot.num_links();
+    let design = AcceleratorDesign::generate(robot.topology(), AcceleratorKnobs::symmetric(3, 6));
+    let program = shared_program_for(&design, BackendKind::Lanes);
+    let mut scratch = SimScratch::default();
+    let whole: Vec<_> = (0..8)
+        .map(|i| {
+            let s = 0.05 * (i as f64 + 1.0);
+            (vec![s; n], vec![0.2 * s; n], vec![3.0 * s; n])
+        })
+        .collect();
+    // 4 + 2: one lane group plus two scalar-remainder entries.
+    let ragged = whole[..6].to_vec();
+
+    // Warm-up: binds the lane arena (and, via the remainder entries, the
+    // scalar arena), sizes the reused outputs, seeds the makespan memo.
+    let mut outs_whole = Vec::new();
+    let mut outs_ragged = Vec::new();
+    program
+        .execute_batch_into(&robot, &mut scratch, &whole, &mut outs_whole)
+        .expect("warm-up whole-group batch");
+    program
+        .execute_batch_into(&robot, &mut scratch, &ragged, &mut outs_ragged)
+        .expect("warm-up ragged batch");
+    let warm_tau = outs_whole[7].tau.clone();
+
+    ALLOCS.with(|a| a.set(0));
+    TRACK.with(|t| t.set(true));
+    for _ in 0..4 {
+        program
+            .execute_batch_into(&robot, &mut scratch, &whole, &mut outs_whole)
+            .expect("warm whole-group batch");
+        program
+            .execute_batch_into(&robot, &mut scratch, &ragged, &mut outs_ragged)
+            .expect("warm ragged batch");
+    }
+    TRACK.with(|t| t.set(false));
+
+    assert_eq!(outs_whole[7].tau, warm_tau, "warm result changed");
+    let allocs = ALLOCS.with(|a| a.get());
+    assert_eq!(allocs, 0, "warm lane batch path touched the heap");
 }
