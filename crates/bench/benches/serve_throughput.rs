@@ -10,7 +10,7 @@ use roboshape_robots::{zoo, Zoo};
 use roboshape_serve::loadgen::{
     run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, RetryPolicy, TargetRobot,
 };
-use roboshape_serve::{Engine, EngineConfig, Server};
+use roboshape_serve::{Engine, EngineConfig, Router, RouterConfig, Server, Shard, ShardSpec};
 use std::fs;
 use std::hint::black_box;
 
@@ -75,6 +75,70 @@ fn run_coalesced(backend: roboshape::BackendKind) -> LoadgenReport {
     best.expect("at least one measured pass")
 }
 
+/// The cluster workload: closed-loop full-zoo ∇FD with more clients
+/// than the single-engine runs, so the router has traffic to spread.
+/// Retries are on (the reference resilient-client configuration) and
+/// the run is only accepted with `lost == 0`.
+fn cluster_config() -> LoadgenConfig {
+    LoadgenConfig {
+        clients: 8,
+        requests_per_client: 32,
+        retry: RetryPolicy::default(),
+        ..full_zoo_config()
+    }
+}
+
+/// One measured pass of `cfg` against `port`, best of three after a
+/// warm-up (same protocol as [`run_coalesced`]).
+fn best_of_three(port: u16, cfg: &LoadgenConfig) -> LoadgenReport {
+    run_loadgen(("127.0.0.1", port), cfg).expect("warm-up run");
+    let mut best: Option<LoadgenReport> = None;
+    for _ in 0..3 {
+        let report = run_loadgen(("127.0.0.1", port), cfg).expect("measured run");
+        assert_eq!(report.lost(), 0, "cluster bench lost requests: {report}");
+        if best
+            .as_ref()
+            .is_none_or(|b| report.throughput_rps > b.throughput_rps)
+        {
+            best = Some(report);
+        }
+    }
+    best.expect("at least one measured pass")
+}
+
+/// Runs the cluster workload twice — through a 3-shard router and
+/// directly against one engine — and returns `(cluster, single)`.
+fn run_cluster() -> (LoadgenReport, LoadgenReport) {
+    let cfg = cluster_config();
+
+    let single_server = start_server();
+    let single = best_of_three(single_server.port(), &cfg);
+    single_server.shutdown();
+
+    let mut shards = Vec::new();
+    let mut specs = Vec::new();
+    for i in 0..3 {
+        let name = format!("s{i}");
+        let engine = Engine::new(EngineConfig::default());
+        for z in Zoo::ALL {
+            engine.register(z.name(), zoo(z));
+        }
+        let shard = Shard::start(name.clone(), engine, ("127.0.0.1", 0)).expect("bind shard");
+        specs.push(ShardSpec {
+            name,
+            addr: shard.addr(),
+        });
+        shards.push(shard);
+    }
+    let router = Router::start(RouterConfig::new(specs), ("127.0.0.1", 0)).expect("bind router");
+    let cluster = best_of_three(router.port(), &cfg);
+    router.shutdown();
+    for shard in shards {
+        shard.shutdown();
+    }
+    (cluster, single)
+}
+
 /// Closed-loop mixed-robot ∇FD load: every client cycles through all
 /// six zoo robots, issuing the next request as soon as the previous
 /// response arrives.
@@ -98,7 +162,13 @@ fn full_zoo_config() -> LoadgenConfig {
     }
 }
 
-fn write_summary(report: &LoadgenReport, scalar: &LoadgenReport, lanes: &LoadgenReport) {
+fn write_summary(
+    report: &LoadgenReport,
+    scalar: &LoadgenReport,
+    lanes: &LoadgenReport,
+    cluster: &LoadgenReport,
+    single: &LoadgenReport,
+) {
     let robots = Zoo::ALL
         .iter()
         .map(|&z| format!("\"{}\"", z.name()))
@@ -107,7 +177,7 @@ fn write_summary(report: &LoadgenReport, scalar: &LoadgenReport, lanes: &Loadgen
     let backend = format!("{:?}", EngineConfig::default().backend).to_lowercase();
     let coalesced_cfg = single_robot_config();
     let json = format!(
-        "{{\n  \"bench\": \"serve_throughput\",\n  \"mode\": \"closed\",\n  \"backend\": \"{backend}\",\n  \"robots\": [{robots}],\n  \"clients\": {clients},\n  \"requests_per_client\": {per_client},\n  \"sent\": {sent},\n  \"ok\": {ok},\n  \"shed\": {shed},\n  \"deadline_exceeded\": {deadline},\n  \"errors\": {errors},\n  \"elapsed_us\": {elapsed},\n  \"throughput_rps\": {rps:.1},\n  \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}},\n  \"coalesced\": {{\"robot\": \"{co_robot}\", \"clients\": {co_clients}, \"requests_per_client\": {co_per_client}, \"scalar_rps\": {co_scalar:.1}, \"lanes_rps\": {co_lanes:.1}, \"lanes_speedup\": {co_speedup:.2}, \"lanes_p50_us\": {co_p50}, \"lanes_p99_us\": {co_p99}}}\n}}\n",
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"mode\": \"closed\",\n  \"backend\": \"{backend}\",\n  \"robots\": [{robots}],\n  \"clients\": {clients},\n  \"requests_per_client\": {per_client},\n  \"sent\": {sent},\n  \"ok\": {ok},\n  \"shed\": {shed},\n  \"deadline_exceeded\": {deadline},\n  \"errors\": {errors},\n  \"elapsed_us\": {elapsed},\n  \"throughput_rps\": {rps:.1},\n  \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}, \"max\": {max}, \"mean\": {mean:.1}}},\n  \"coalesced\": {{\"robot\": \"{co_robot}\", \"clients\": {co_clients}, \"requests_per_client\": {co_per_client}, \"scalar_rps\": {co_scalar:.1}, \"lanes_rps\": {co_lanes:.1}, \"lanes_speedup\": {co_speedup:.2}, \"lanes_p50_us\": {co_p50}, \"lanes_p99_us\": {co_p99}}},\n  \"cluster\": {{\"shards\": 3, \"clients\": {cl_clients}, \"requests_per_client\": {cl_per_client}, \"aggregate_rps\": {cl_rps:.1}, \"single_engine_rps\": {cl_single:.1}, \"speedup_vs_single\": {cl_speedup:.2}, \"lost\": {cl_lost}, \"rerouted\": {cl_rerouted}, \"p50_us\": {cl_p50}, \"p99_us\": {cl_p99}}}\n}}\n",
         clients = CLIENTS,
         per_client = REQUESTS_PER_CLIENT,
         sent = report.sent,
@@ -130,6 +200,15 @@ fn write_summary(report: &LoadgenReport, scalar: &LoadgenReport, lanes: &Loadgen
         co_speedup = lanes.throughput_rps / scalar.throughput_rps,
         co_p50 = lanes.p50_us,
         co_p99 = lanes.p99_us,
+        cl_clients = cluster_config().clients,
+        cl_per_client = cluster_config().requests_per_client,
+        cl_rps = cluster.throughput_rps,
+        cl_single = single.throughput_rps,
+        cl_speedup = cluster.throughput_rps / single.throughput_rps,
+        cl_lost = cluster.lost(),
+        cl_rerouted = cluster.rerouted,
+        cl_p50 = cluster.p50_us,
+        cl_p99 = cluster.p99_us,
     );
     roboshape::obs::json::validate(&json).expect("summary is well-formed JSON");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
@@ -163,7 +242,10 @@ fn bench_serve_throughput(c: &mut Criterion) {
     let scalar = run_coalesced(roboshape::BackendKind::Scalar);
     let lanes = run_coalesced(roboshape::BackendKind::Lanes);
     assert_eq!(scalar.ok, lanes.ok, "both backends must answer everything");
-    write_summary(&report, &scalar, &lanes);
+    // The cluster comparison: the same full-zoo load through a 3-shard
+    // router versus one engine, measured honestly on this machine.
+    let (cluster, single) = run_cluster();
+    write_summary(&report, &scalar, &lanes, &cluster, &single);
 }
 
 criterion_group!(benches, bench_serve_throughput);

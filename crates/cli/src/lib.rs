@@ -9,6 +9,7 @@
 //! roboshape sweep <robot.urdf> [--pareto] [--timings]   design-space CSV on stdout
 //! roboshape verify <robot.urdf>                    simulate the generated design vs reference
 //! roboshape serve <spec> [options]                 accelerator-as-a-service TCP front-end
+//! roboshape router --shards NAME=ADDR,... [options]  consistent-hash requests across shards
 //! roboshape loadgen <spec> --port P [options]      drive a running server, print a report
 //! ```
 //!
@@ -71,11 +72,14 @@ pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
   soc       co-design accelerators for several URDFs (extra paths after the first)
   serve     run the accelerator service on TCP (<spec> = zoo | zoo:NAME | robot.urdf)
             (--port P --port-file FILE --queue N --batch N --workers N --max-requests N
-             --chaos SEED:RATE --deadline-ms N --backend scalar|lanes)
-  loadgen   drive a running server and print a latency/throughput report
+             --chaos SEED:RATE --deadline-ms N --backend scalar|lanes
+             --shard NAME --loops N)
+  router    route requests across shard servers by consistent hashing (no <spec>)
+            (--shards NAME=ADDR,... --port P --port-file FILE --max-requests N)
+  loadgen   drive a running server or router and print a latency/throughput report
             (--port P --clients N --requests N --rate HZ --kind grad|id|fk --deadline-us N
-             --retries N --timeout-ms N)
-  health    probe a running server's readiness and per-robot circuit state (--port P)
+             --retries N --timeout-ms N --seed N --cluster)
+  health    probe a running server's or router's readiness and circuit state (--port P)
 global options (any command):
   --trace FILE    write a Chrome trace_event JSON capture of the run
   --metrics FILE  write a JSON metrics snapshot after the run";
@@ -156,6 +160,25 @@ pub enum Command {
         /// Execution backend for batched kernels (`--backend
         /// scalar|lanes`; lanes is the default).
         backend: roboshape::BackendKind,
+        /// Shard name announced in hello handshakes (`--shard NAME`;
+        /// `solo` when the server runs outside a cluster).
+        shard: Option<String>,
+        /// Event loops servicing connections (`--loops N`).
+        loops: usize,
+    },
+    /// `roboshape router`: consistent-hash client requests across shard
+    /// servers, with admission control and shard-level failover.
+    Router {
+        /// TCP port to bind on loopback (0 = ephemeral).
+        port: u16,
+        /// File to write the bound port number to.
+        port_file: Option<PathBuf>,
+        /// The shard fleet (`--shards NAME=ADDR,...`; a bare port means
+        /// loopback).
+        shards: Vec<roboshape_serve::ShardSpec>,
+        /// Exit after this many client requests have been answered or
+        /// shed (`None` = run until killed).
+        max_requests: Option<u64>,
     },
     /// `roboshape loadgen`: drive a running server.
     Loadgen {
@@ -175,6 +198,11 @@ pub enum Command {
         retries: u32,
         /// Per-response read-timeout budget in milliseconds.
         timeout_ms: Option<u64>,
+        /// Seed for deterministic inputs and retry jitter (`--seed N`).
+        seed: u64,
+        /// Cluster mode: append a cluster accounting line (rerouted /
+        /// lost across failovers) to the report.
+        cluster: bool,
     },
     /// `roboshape health`: probe a running server's readiness endpoint
     /// and print per-robot circuit-breaker and worker state.
@@ -197,6 +225,7 @@ impl Command {
             Command::Energy => "energy",
             Command::Soc { .. } => "soc",
             Command::Serve { .. } => "serve",
+            Command::Router { .. } => "router",
             Command::Loadgen { .. } => "loadgen",
             Command::Health { .. } => "health",
         }
@@ -242,9 +271,10 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
 
     let mut it = filtered.iter();
     let cmd = it.next().ok_or_else(|| CliError::new(USAGE))?;
-    // `health` addresses a server, not a robot description — no spec.
+    // `health` and `router` address servers, not robot descriptions —
+    // no spec argument.
     let no_spec = String::from("-");
-    let urdf = if cmd.as_str() == "health" {
+    let urdf = if matches!(cmd.as_str(), "health" | "router") {
         &no_spec
     } else {
         it.next()
@@ -357,6 +387,46 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 chaos,
                 deadline_ms: get_usize("--deadline-ms")?.map(|v| v as u64),
                 backend,
+                shard: get_opt("--shard")?,
+                loops: get_usize("--loops")?.unwrap_or(1).max(1),
+            }
+        }
+        "router" => {
+            let port = get_usize("--port")?.unwrap_or(0);
+            if port > u16::MAX as usize {
+                return Err(CliError::new(format!(
+                    "--port {port} is not a valid TCP port"
+                )));
+            }
+            let spec = get_opt("--shards")?
+                .ok_or_else(|| CliError::new("router needs --shards NAME=ADDR,..."))?;
+            let mut shards = Vec::new();
+            for part in spec.split(',').filter(|p| !p.is_empty()) {
+                let (name, addr_text) = part.split_once('=').ok_or_else(|| {
+                    CliError::new(format!("--shards entry `{part}` is not NAME=ADDR"))
+                })?;
+                let addr = if let Ok(p) = addr_text.parse::<u16>() {
+                    std::net::SocketAddr::from(([127, 0, 0, 1], p))
+                } else {
+                    addr_text.parse().map_err(|_| {
+                        CliError::new(format!(
+                            "--shards entry `{part}` has an invalid address `{addr_text}`"
+                        ))
+                    })?
+                };
+                shards.push(roboshape_serve::ShardSpec {
+                    name: name.to_string(),
+                    addr,
+                });
+            }
+            if shards.is_empty() {
+                return Err(CliError::new("router needs at least one shard"));
+            }
+            Command::Router {
+                port: port as u16,
+                port_file: get_opt("--port-file")?.map(PathBuf::from),
+                shards,
+                max_requests: get_usize("--max-requests")?.map(|v| v as u64),
             }
         }
         "health" => {
@@ -402,6 +472,8 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 deadline_us: get_usize("--deadline-us")?.map(|v| v as u64),
                 retries: get_usize("--retries")?.unwrap_or(3).max(1) as u32,
                 timeout_ms: get_usize("--timeout-ms")?.map(|v| v as u64),
+                seed: get_usize("--seed")?.map_or(1, |v| v as u64),
+                cluster: rest.iter().any(|a| a.as_str() == "--cluster"),
             }
         }
         other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
@@ -508,8 +580,10 @@ fn run_serve(
     chaos: Option<roboshape_serve::FaultConfig>,
     deadline_ms: Option<u64>,
     backend: roboshape::BackendKind,
+    shard: Option<&String>,
+    loops: usize,
 ) -> Result<String, CliError> {
-    use roboshape_serve::{Engine, EngineConfig, Server};
+    use roboshape_serve::{Engine, EngineConfig, Server, ServerOptions};
     let robots = resolve_robots(&cli.urdf)?;
     let engine = Engine::new(EngineConfig {
         queue_capacity: queue,
@@ -531,7 +605,12 @@ fn run_serve(
         );
         engine.register(name, model);
     }
-    let server = Server::start(engine.clone(), ("127.0.0.1", port))
+    let options = ServerOptions {
+        shard_name: shard.cloned().unwrap_or_else(|| "solo".to_string()),
+        loops,
+    };
+    let shard_note = shard.map(|s| format!(" shard={s}")).unwrap_or_default();
+    let server = Server::start_with(engine.clone(), ("127.0.0.1", port), options)
         .map_err(|e| CliError::new(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
     let bound = server.port();
     if let Some(path) = port_file {
@@ -544,7 +623,7 @@ fn run_serve(
         .map(|c| format!(" chaos={}:{}", c.seed, c.crash))
         .unwrap_or_default();
     println!(
-        "serving on 127.0.0.1:{bound} (queue={queue} batch={batch} workers={workers}{chaos_note})"
+        "serving on 127.0.0.1:{bound} (queue={queue} batch={batch} workers={workers}{chaos_note}{shard_note})"
     );
     match max_requests {
         Some(target) => {
@@ -590,6 +669,56 @@ fn run_serve(
     }
 }
 
+/// `roboshape router`: start the cluster front-end over an existing
+/// shard fleet, announce the bound port, and (with `--max-requests`)
+/// exit after that many client requests have settled.
+fn run_router(
+    port: u16,
+    port_file: Option<&PathBuf>,
+    shards: &[roboshape_serve::ShardSpec],
+    max_requests: Option<u64>,
+) -> Result<String, CliError> {
+    use roboshape_serve::{Router, RouterConfig};
+    let names: Vec<String> = shards.iter().map(|s| s.name.clone()).collect();
+    let router = Router::start(RouterConfig::new(shards.to_vec()), ("127.0.0.1", port))
+        .map_err(|e| CliError::new(format!("cannot bind 127.0.0.1:{port}: {e}")))?;
+    let bound = router.port();
+    if let Some(path) = port_file {
+        std::fs::write(path, format!("{bound}\n"))
+            .map_err(|e| CliError::new(format!("cannot write {}: {e}", path.display())))?;
+    }
+    // Announce on stdout immediately — scripts wait for the port line.
+    println!(
+        "routing on 127.0.0.1:{bound} across {} shards ({})",
+        shards.len(),
+        names.join(", ")
+    );
+    match max_requests {
+        Some(target) => {
+            let stats = router.stats();
+            while stats.settled() < target {
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            router.shutdown();
+            use std::sync::atomic::Ordering::Relaxed;
+            Ok(format!(
+                "routed {} requests: responses={} shed={} rerouted={} failovers={}\n",
+                stats.settled(),
+                stats.responses.load(Relaxed),
+                stats.shed.load(Relaxed),
+                stats.rerouted.load(Relaxed),
+                stats.failovers.load(Relaxed),
+            ))
+        }
+        None => {
+            // Route until the process is killed.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+    }
+}
+
 /// `roboshape loadgen`: resolve the spec to robot names/sizes, run the
 /// configured load, report.
 #[allow(clippy::too_many_arguments)] // mirrors the flag list one-to-one
@@ -603,6 +732,8 @@ fn run_loadgen_command(
     deadline_us: Option<u64>,
     retries: u32,
     timeout_ms: Option<u64>,
+    seed: u64,
+    cluster: bool,
 ) -> Result<String, CliError> {
     use roboshape_serve::loadgen::{
         run_loadgen, LoadMode, LoadgenConfig, RetryPolicy, TargetRobot,
@@ -624,7 +755,7 @@ fn run_loadgen_command(
         robots,
         kind,
         deadline: deadline_us.map(std::time::Duration::from_micros),
-        seed: 1,
+        seed,
         retry: RetryPolicy {
             max_attempts: retries.max(1),
             ..RetryPolicy::default()
@@ -633,6 +764,15 @@ fn run_loadgen_command(
     };
     let report = run_loadgen(("127.0.0.1", port), &cfg)
         .map_err(|e| CliError::new(format!("loadgen against 127.0.0.1:{port} failed: {e}")))?;
+    if cluster {
+        // The cluster accounting line CI greps: every request settled
+        // (lost=0) even when failover rerouted some of them.
+        return Ok(format!(
+            "{report}\ncluster: rerouted={} lost={}\n",
+            report.rerouted,
+            report.lost()
+        ));
+    }
     Ok(format!("{report}\n"))
 }
 
@@ -682,6 +822,8 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             chaos,
             deadline_ms,
             backend,
+            shard,
+            loops,
         } => {
             return run_serve(
                 cli,
@@ -694,8 +836,16 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
                 *chaos,
                 *deadline_ms,
                 *backend,
+                shard.as_ref(),
+                *loops,
             )
         }
+        Command::Router {
+            port,
+            port_file,
+            shards,
+            max_requests,
+        } => return run_router(*port, port_file.as_ref(), shards, *max_requests),
         Command::Loadgen {
             port,
             rate_hz,
@@ -705,6 +855,8 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             deadline_us,
             retries,
             timeout_ms,
+            seed,
+            cluster,
         } => {
             return run_loadgen_command(
                 cli,
@@ -716,6 +868,8 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
                 *deadline_us,
                 *retries,
                 *timeout_ms,
+                *seed,
+                *cluster,
             )
         }
         Command::Health { port } => return run_health(*port),
@@ -991,7 +1145,10 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             }
             let _ = writeln!(out, "VERIFIED");
         }
-        Command::Serve { .. } | Command::Loadgen { .. } | Command::Health { .. } => {
+        Command::Serve { .. }
+        | Command::Router { .. }
+        | Command::Loadgen { .. }
+        | Command::Health { .. } => {
             unreachable!("dispatched before the URDF load")
         }
     }
@@ -1356,6 +1513,145 @@ mod tests {
         let c = parse_args(&args(&["health", "--port", "9000"])).unwrap();
         assert_eq!(c.command, Command::Health { port: 9000 });
         assert!(parse_args(&args(&["health"])).is_err(), "--port required");
+    }
+
+    #[test]
+    fn parses_cluster_flags() {
+        let c = parse_args(&args(&[
+            "router",
+            "--shards",
+            "s0=7001,s1=127.0.0.1:7002",
+            "--port",
+            "0",
+            "--max-requests",
+            "5",
+        ]))
+        .unwrap();
+        match c.command {
+            Command::Router {
+                shards,
+                max_requests,
+                port,
+                ..
+            } => {
+                assert_eq!(port, 0);
+                assert_eq!(max_requests, Some(5));
+                assert_eq!(shards.len(), 2);
+                assert_eq!(shards[0].name, "s0");
+                assert_eq!(shards[0].addr.port(), 7001);
+                assert_eq!(shards[1].addr.port(), 7002);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse_args(&args(&["router"])).is_err(), "--shards required");
+        assert!(parse_args(&args(&["router", "--shards", "bad"])).is_err());
+        assert!(parse_args(&args(&["router", "--shards", "s0=notaport"])).is_err());
+
+        let c = parse_args(&args(&["serve", "zoo", "--shard", "s0", "--loops", "2"])).unwrap();
+        match c.command {
+            Command::Serve { shard, loops, .. } => {
+                assert_eq!(shard.as_deref(), Some("s0"));
+                assert_eq!(loops, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let c = parse_args(&args(&[
+            "loadgen",
+            "zoo",
+            "--port",
+            "9",
+            "--cluster",
+            "--seed",
+            "9",
+        ]))
+        .unwrap();
+        match c.command {
+            Command::Loadgen { cluster, seed, .. } => {
+                assert!(cluster);
+                assert_eq!(seed, 9);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    /// The CI cluster-smoke scenario in-process: two shard engines (via
+    /// the library), a CLI router over them, and a CLI `loadgen
+    /// --cluster` driving the router. Checks the cluster accounting line
+    /// and the router exit summary.
+    #[test]
+    fn router_and_cluster_loadgen_round_trip_via_cli() {
+        use roboshape_robots::{zoo, Zoo};
+        use roboshape_serve::{Engine, EngineConfig, Shard};
+        let mk_engine = || {
+            let engine = Engine::new(EngineConfig::default());
+            for which in Zoo::ALL {
+                engine.register(which.name(), zoo(which));
+            }
+            engine
+        };
+        let s0 = Shard::start("s0", mk_engine(), ("127.0.0.1", 0)).unwrap();
+        let s1 = Shard::start("s1", mk_engine(), ("127.0.0.1", 0)).unwrap();
+
+        let dir = std::env::temp_dir().join("roboshape_cli_tests/cluster_smoke");
+        std::fs::create_dir_all(&dir).unwrap();
+        let port_file = dir.join("port");
+        let _ = std::fs::remove_file(&port_file);
+
+        let clients = 3usize;
+        let requests = 4usize;
+        let total = (clients * requests) as u64;
+        let router_cli = parse_args(&args(&[
+            "router",
+            "--shards",
+            &format!("s0={},s1={}", s0.port(), s1.port()),
+            "--port",
+            "0",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--max-requests",
+            &total.to_string(),
+        ]))
+        .unwrap();
+        let router = std::thread::spawn(move || run(&router_cli));
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let port = loop {
+            if let Ok(text) = std::fs::read_to_string(&port_file) {
+                if let Ok(p) = text.trim().parse::<u16>() {
+                    break p;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "router never bound");
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+
+        let health_cli = parse_args(&args(&["health", "--port", &port.to_string()])).unwrap();
+        let health = run(&health_cli).unwrap();
+        assert!(health.contains("ready=true"), "{health}");
+
+        let loadgen_cli = parse_args(&args(&[
+            "loadgen",
+            "zoo",
+            "--port",
+            &port.to_string(),
+            "--clients",
+            &clients.to_string(),
+            "--requests",
+            &requests.to_string(),
+            "--cluster",
+        ]))
+        .unwrap();
+        let report = run(&loadgen_cli).unwrap();
+        assert!(report.contains(&format!("ok={total}")), "{report}");
+        assert!(report.contains("cluster: rerouted=0 lost=0"), "{report}");
+
+        let summary = router.join().unwrap().unwrap();
+        assert!(summary.contains("routed"), "{summary}");
+        assert!(summary.contains("failovers=0"), "{summary}");
+
+        s0.shutdown();
+        s1.shutdown();
     }
 
     #[test]

@@ -39,6 +39,19 @@ impl Gauge {
         self.bits.store(value.to_bits(), Ordering::Relaxed);
     }
 
+    /// Adjusts the gauge by `delta` (atomic read-modify-write). Gauges
+    /// tracking live totals — open connections, in-flight requests —
+    /// use this from many threads, where last-value [`Gauge::set`]
+    /// would lose concurrent updates.
+    #[inline]
+    pub fn add(&self, delta: f64) {
+        self.bits
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + delta).to_bits())
+            })
+            .ok();
+    }
+
     /// Current value (0.0 if never set).
     pub fn get(&self) -> f64 {
         f64::from_bits(self.bits.load(Ordering::Relaxed))
@@ -355,6 +368,25 @@ mod tests {
         let snap = reg.snapshot();
         assert_eq!(snap.counters, vec![("a.count".to_string(), 7)]);
         assert_eq!(snap.gauges, vec![("a.rate".to_string(), 2.5)]);
+    }
+
+    #[test]
+    fn gauge_add_is_lossless_under_contention() {
+        let reg = MetricsRegistry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let g = reg.gauge("live.conns");
+                    for _ in 0..1000 {
+                        g.add(1.0);
+                    }
+                    for _ in 0..1000 {
+                        g.add(-1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.gauge("live.conns").get(), 0.0);
     }
 
     #[test]

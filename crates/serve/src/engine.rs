@@ -295,6 +295,10 @@ struct TicketCell {
     slot: Mutex<Option<ServeResult>>,
     cv: Condvar,
     resolved: AtomicBool,
+    /// Set *after* the slot is written; [`Ticket::watch`] keys off this
+    /// (not `resolved`, which flips before the result is readable).
+    published: AtomicBool,
+    watcher: Mutex<Option<Box<dyn FnOnce() + Send>>>,
 }
 
 /// A handle to an in-flight request; resolves exactly once.
@@ -310,6 +314,8 @@ impl Ticket {
                 slot: Mutex::new(None),
                 cv: Condvar::new(),
                 resolved: AtomicBool::new(false),
+                published: AtomicBool::new(false),
+                watcher: Mutex::new(None),
             }),
         }
     }
@@ -331,9 +337,25 @@ impl Ticket {
         {
             return false;
         }
-        let mut slot = self.cell.slot.lock().expect("ticket poisoned");
-        *slot = Some(result);
-        self.cell.cv.notify_all();
+        {
+            let mut slot = self.cell.slot.lock().expect("ticket poisoned");
+            *slot = Some(result);
+            self.cell.cv.notify_all();
+        }
+        // Publish-then-notify: the flag flips only once the slot holds
+        // the result, so a watcher registered concurrently either lands
+        // in the mutex (and is taken below) or sees `published` and runs
+        // itself — never both, never before the result is readable.
+        self.cell.published.store(true, Ordering::SeqCst);
+        let watcher = self
+            .cell
+            .watcher
+            .lock()
+            .expect("ticket watcher poisoned")
+            .take();
+        if let Some(callback) = watcher {
+            callback();
+        }
         true
     }
 
@@ -351,6 +373,26 @@ impl Ticket {
     /// Non-blocking probe; `None` while still in flight.
     pub fn try_take(&self) -> Option<ServeResult> {
         self.cell.slot.lock().expect("ticket poisoned").take()
+    }
+
+    /// Registers a completion callback, invoked exactly once when the
+    /// ticket resolves (immediately, on the caller's thread, if it
+    /// already has). After the callback runs, [`Ticket::try_take`] is
+    /// guaranteed to return the result. This is how the event-driven
+    /// front-end learns of completions without parking a thread per
+    /// request: the callback just enqueues a done-marker and pokes the
+    /// owning loop's waker, so it must be cheap and must not block.
+    ///
+    /// Only one watcher is supported; a second registration replaces the
+    /// first (the server registers exactly one per ticket).
+    pub fn watch(&self, callback: impl FnOnce() + Send + 'static) {
+        let mut watcher = self.cell.watcher.lock().expect("ticket watcher poisoned");
+        if self.cell.published.load(Ordering::SeqCst) {
+            drop(watcher);
+            callback();
+        } else {
+            *watcher = Some(Box::new(callback));
+        }
     }
 }
 

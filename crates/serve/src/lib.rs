@@ -22,7 +22,15 @@
 //!   as [`ServeError::BadRequest`] via the sim layer's `try_*` entry
 //!   points.
 //! * A **TCP front-end** ([`Server`]) speaking length-prefixed binary
-//!   frames (see [`proto`]), with a matching blocking [`Client`].
+//!   frames (see [`proto`]), with a matching blocking [`Client`]. The
+//!   server is event-driven: a bounded set of readiness loops (epoll on
+//!   Linux, `poll(2)` elsewhere — see [`net`]) services every
+//!   connection without a thread per socket.
+//! * A **cluster tier** — [`Shard`] names a server on a consistent-hash
+//!   ring ([`HashRing`]) and [`Router`] fans client traffic across N
+//!   shards with per-shard admission control and shard-level failover
+//!   (crashed shard → pending requests re-dispatched to the next ring
+//!   preference, answers tagged `Rerouted`).
 //! * A **load generator** ([`loadgen`]) driving a server open- or
 //!   closed-loop and reporting a latency/throughput summary.
 //!
@@ -54,6 +62,15 @@
 //! | `serve.fault.worker_restarts` | counter | workers restarted by supervisor |
 //! | `serve.retry.attempts` | counter | loadgen retries sent |
 //! | `serve.retry.exhausted` | counter | loadgen requests out of retries |
+//! | `serve.router.requests` | counter | kernel requests accepted by a router |
+//! | `serve.router.responses` | counter | shard responses forwarded to clients |
+//! | `serve.router.rerouted` | counter | requests dispatched to a non-owner shard |
+//! | `serve.router.shed` | counter | router-side admission sheds |
+//! | `serve.router.failovers` | counter | shard connections lost |
+//! | `serve.router.shards_alive` | gauge | shards currently connected |
+//! | `serve.router.inflight` | gauge | requests outstanding on shards |
+//! | `serve.shard.connections` | gauge | sockets open on a shard server |
+//! | `serve.shard.hello` | counter | hello handshakes answered |
 //!
 //! # Fault injection and resilience
 //!
@@ -89,9 +106,12 @@
 mod engine;
 pub mod fault;
 pub mod loadgen;
+pub mod net;
 pub mod proto;
 mod queue;
+mod router;
 mod server;
+mod shard;
 
 pub use engine::{
     Engine, EngineConfig, EngineStats, HealthReport, RobotHealth, ServeError, ServePayload,
@@ -101,7 +121,9 @@ pub use fault::{
     Admission, CircuitBreaker, CircuitState, CorruptionMode, FailureOutcome, FaultConfig,
     FaultPlan, FaultSite,
 };
-pub use server::{Client, Server};
+pub use router::{Router, RouterConfig, RouterStats};
+pub use server::{Client, Server, ServerOptions};
+pub use shard::{HashRing, Shard, ShardSpec, VNODES_PER_SHARD};
 
 /// Tracing-span category used by every span this crate opens.
 pub const OBS_CATEGORY: &str = "serve";
@@ -149,6 +171,25 @@ pub const WORKER_RESTARTS_METRIC: &str = "serve.fault.worker_restarts";
 pub const RETRY_ATTEMPTS_METRIC: &str = "serve.retry.attempts";
 /// Counter: load-generator requests that exhausted their retry budget.
 pub const RETRY_EXHAUSTED_METRIC: &str = "serve.retry.exhausted";
+/// Counter: kernel requests accepted by a router (routed or shed).
+pub const ROUTER_REQUESTS_METRIC: &str = "serve.router.requests";
+/// Counter: shard responses forwarded back to clients by a router.
+pub const ROUTER_RESPONSES_METRIC: &str = "serve.router.responses";
+/// Counter: requests dispatched to a shard other than their ring owner.
+pub const ROUTER_REROUTED_METRIC: &str = "serve.router.rerouted";
+/// Counter: requests shed by the router itself (admission cap hit or no
+/// shard alive for the robot).
+pub const ROUTER_SHED_METRIC: &str = "serve.router.shed";
+/// Counter: shard connections lost; each triggers pending re-dispatch.
+pub const ROUTER_FAILOVERS_METRIC: &str = "serve.router.failovers";
+/// Gauge: shards the router currently holds a live connection to.
+pub const ROUTER_SHARDS_ALIVE_METRIC: &str = "serve.router.shards_alive";
+/// Gauge: requests outstanding on shards through the router.
+pub const ROUTER_INFLIGHT_METRIC: &str = "serve.router.inflight";
+/// Gauge: client sockets currently open on a shard server.
+pub const SHARD_CONNS_METRIC: &str = "serve.shard.connections";
+/// Counter: hello handshakes answered by a shard server.
+pub const SHARD_HELLO_METRIC: &str = "serve.shard.hello";
 
 /// Bucket upper bounds for [`BATCH_SIZE_METRIC`].
 pub const BATCH_SIZE_BOUNDS: [u64; 7] = [1, 2, 4, 8, 16, 32, 64];

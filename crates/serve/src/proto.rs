@@ -48,6 +48,9 @@ const KIND_ID: u8 = 1;
 const KIND_GRAD: u8 = 2;
 /// Request-kind tag for a health/readiness probe (no kernel payload).
 const KIND_HEALTH: u8 = 3;
+/// Request-kind tag for the router→shard handshake (cluster tier only;
+/// see `docs/PROTOCOL.md` §Hello).
+const KIND_HELLO: u8 = 4;
 
 const STATUS_OK_FK: u8 = 0;
 const STATUS_OK_ID: u8 = 1;
@@ -59,6 +62,15 @@ const STATUS_BAD_REQUEST: u8 = 6;
 const STATUS_WORKER_CRASHED: u8 = 7;
 const STATUS_DEGRADED: u8 = 8;
 const STATUS_HEALTH: u8 = 9;
+/// Status tag for the shard's handshake reply.
+const STATUS_HELLO: u8 = 10;
+
+/// High bit of the response status byte: set by the **router** when the
+/// answer came from a fallback shard rather than the robot's ring
+/// owner. The low 7 bits remain the ordinary status tag, so pre-cluster
+/// decoders that mask nothing simply never see the bit (single-engine
+/// servers never set it).
+pub const REROUTED_FLAG: u8 = 0x80;
 
 /// A request frame: correlation id + the request proper.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +88,22 @@ pub struct ResponseFrame {
     pub id: u64,
     /// The outcome.
     pub result: ServeResult,
+    /// Whether the router answered this request from a fallback shard
+    /// ([`REROUTED_FLAG`] on the wire). Always `false` from a
+    /// single-engine server.
+    pub rerouted: bool,
+}
+
+impl ResponseFrame {
+    /// A direct (non-rerouted) response — what every non-router sender
+    /// produces.
+    pub fn direct(id: u64, result: ServeResult) -> ResponseFrame {
+        ResponseFrame {
+            id,
+            result,
+            rerouted: false,
+        }
+    }
 }
 
 /// Decode failure: the body is malformed (framing itself is handled by
@@ -290,8 +318,8 @@ pub fn encode_health_request(id: u64) -> Vec<u8> {
     out
 }
 
-/// Any request the server accepts: a kernel evaluation or a health
-/// probe.
+/// Any request the server accepts: a kernel evaluation, a health probe,
+/// or a cluster handshake.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DecodedRequest {
     /// A kernel evaluation request.
@@ -301,6 +329,160 @@ pub enum DecodedRequest {
         /// Client-chosen correlation id, echoed in the response.
         id: u64,
     },
+    /// A router→shard handshake carrying only a correlation id; the
+    /// shard answers with [`encode_hello_response`].
+    Hello {
+        /// Router-chosen correlation id, echoed in the response.
+        id: u64,
+    },
+}
+
+/// Encodes a hello (handshake) request body: `u64 id | u8 KIND_HELLO`.
+/// Sent by the router immediately after connecting to a shard.
+pub fn encode_hello_request(id: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(9);
+    out.put_u64_le(id);
+    out.put_u8(KIND_HELLO);
+    out
+}
+
+/// What a shard announces in its handshake reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// The shard's operator-assigned name.
+    pub shard: String,
+    /// Every robot the shard's engine has registered (and can therefore
+    /// serve, as ring owner or as a failover target).
+    pub robots: Vec<String>,
+}
+
+/// Encodes a hello response body:
+/// `u64 id | u8 STATUS_HELLO | u32 shard_len | shard | u32 count |
+/// (u32 name_len | name)*`.
+pub fn encode_hello_response(id: u64, info: &HelloInfo) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + info.shard.len());
+    out.put_u64_le(id);
+    out.put_u8(STATUS_HELLO);
+    out.put_u32_le(info.shard.len() as u32);
+    out.put_slice(info.shard.as_bytes());
+    out.put_u32_le(info.robots.len() as u32);
+    for name in &info.robots {
+        out.put_u32_le(name.len() as u32);
+        out.put_slice(name.as_bytes());
+    }
+    out
+}
+
+/// Decodes a hello response body into `(id, info)`.
+///
+/// # Errors
+///
+/// [`ProtoError::BadTag`] if the status byte is not `STATUS_HELLO`;
+/// otherwise as [`decode_request`].
+pub fn decode_hello_response(body: &[u8]) -> Result<(u64, HelloInfo), ProtoError> {
+    let mut r = Reader { buf: body };
+    let id = r.u64()?;
+    let status = r.u8()?;
+    if status != STATUS_HELLO {
+        return Err(ProtoError::BadTag(status));
+    }
+    let shard = r.string()?;
+    let count = r.count(4)?;
+    let mut robots = Vec::with_capacity(count);
+    for _ in 0..count {
+        robots.push(r.string()?);
+    }
+    Ok((id, HelloInfo { shard, robots }))
+}
+
+/// The routing-relevant head of a request frame, extracted without
+/// decoding the joint-state arrays — what the router reads before
+/// forwarding the body verbatim.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestRoute {
+    /// Client-chosen correlation id (first 8 body bytes).
+    pub id: u64,
+    /// The robot the request targets; `None` for health/hello frames,
+    /// which are not robot-addressed.
+    pub robot: Option<String>,
+    /// Whether this is a health probe (fans out to every shard).
+    pub is_health: bool,
+}
+
+/// Peeks id / kind / robot from a request body without touching the
+/// `f64` payload. The router hashes `robot` onto the ring and forwards
+/// the body bytes untouched except for the id rewrite.
+///
+/// # Errors
+///
+/// As [`decode_request`] for the fields it reads (truncation, bad kind
+/// tag, bad name length or UTF-8).
+pub fn peek_request_route(body: &[u8]) -> Result<RequestRoute, ProtoError> {
+    let mut r = Reader { buf: body };
+    let id = r.u64()?;
+    let tag = r.u8()?;
+    if tag == KIND_HEALTH {
+        return Ok(RequestRoute {
+            id,
+            robot: None,
+            is_health: true,
+        });
+    }
+    if tag == KIND_HELLO {
+        return Ok(RequestRoute {
+            id,
+            robot: None,
+            is_health: false,
+        });
+    }
+    if kind_from_tag(tag).is_none() {
+        return Err(ProtoError::BadTag(tag));
+    }
+    let _deadline = r.u64()?;
+    let robot = r.string()?;
+    Ok(RequestRoute {
+        id,
+        robot: Some(robot),
+        is_health: false,
+    })
+}
+
+/// Peeks `(id, raw status byte)` from a response body — how the router
+/// correlates a shard's response with its pending table before patching
+/// the id back and re-framing.
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] if the body is shorter than 9 bytes.
+pub fn peek_response_head(body: &[u8]) -> Result<(u64, u8), ProtoError> {
+    let mut r = Reader { buf: body };
+    let id = r.u64()?;
+    let status = r.u8()?;
+    Ok((id, status))
+}
+
+/// Whether a raw response status byte is the hello tag (the router must
+/// not forward handshake replies to clients).
+pub fn status_is_hello(raw_status: u8) -> bool {
+    raw_status & !REROUTED_FLAG == STATUS_HELLO
+}
+
+/// Rewrites the correlation id (first 8 bytes) of a request or response
+/// body in place, and optionally ORs [`REROUTED_FLAG`] into the status
+/// byte. The caller re-frames afterwards ([`frame_bytes`] recomputes the
+/// checksum); every other byte — including the bit-exact `f64` payload —
+/// passes through untouched.
+///
+/// # Panics
+///
+/// If `body` is shorter than 9 bytes (the router only calls this on
+/// bodies that already passed [`peek_response_head`] /
+/// [`peek_request_route`]).
+pub fn rewrite_id(body: &mut [u8], id: u64, mark_rerouted: bool) {
+    body[..8].copy_from_slice(&id.to_le_bytes());
+    if mark_rerouted {
+        body[8] |= REROUTED_FLAG;
+    }
 }
 
 /// Decodes either request shape — what the server's connection reader
@@ -316,16 +498,23 @@ pub fn decode_any_request(body: &[u8]) -> Result<DecodedRequest, ProtoError> {
     if tag == KIND_HEALTH {
         return Ok(DecodedRequest::Health { id });
     }
+    if tag == KIND_HELLO {
+        return Ok(DecodedRequest::Hello { id });
+    }
     if kind_from_tag(tag).is_none() {
         return Err(ProtoError::BadTag(tag));
     }
     decode_request(body).map(DecodedRequest::Kernel)
 }
 
-/// Encodes a response frame body (no length prefix).
+/// Encodes a response frame body (no length prefix). The status byte
+/// carries [`REROUTED_FLAG`] when `frame.rerouted` is set; everything
+/// after the status byte is identical either way, which is what lets
+/// the router flag a shard's response without re-encoding the payload.
 pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
     out.put_u64_le(frame.id);
+    let status_at = out.len();
     match &frame.result {
         Ok(ServePayload::Kinematics { poses, cycles }) => {
             out.put_u8(STATUS_OK_FK);
@@ -393,6 +582,9 @@ pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
             }
         }
     }
+    if frame.rerouted {
+        out[status_at] |= REROUTED_FLAG;
+    }
     out
 }
 
@@ -406,7 +598,9 @@ pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
 pub fn decode_response(body: &[u8]) -> Result<ResponseFrame, ProtoError> {
     let mut r = Reader { buf: body };
     let id = r.u64()?;
-    let status = r.u8()?;
+    let raw_status = r.u8()?;
+    let rerouted = raw_status & REROUTED_FLAG != 0;
+    let status = raw_status & !REROUTED_FLAG;
     let result = match status {
         STATUS_OK_FK => {
             let count = r.count(8)?;
@@ -476,7 +670,11 @@ pub fn decode_response(body: &[u8]) -> Result<ResponseFrame, ProtoError> {
         }
         tag => return Err(ProtoError::BadTag(tag)),
     };
-    Ok(ResponseFrame { id, result })
+    Ok(ResponseFrame {
+        id,
+        result,
+        rerouted,
+    })
 }
 
 /// Writes one frame: `u32` LE length, `u32` LE FNV-1a checksum, body.
@@ -555,29 +753,26 @@ mod tests {
     #[test]
     fn response_round_trips_bit_exactly() {
         let frames = [
-            ResponseFrame {
-                id: 1,
-                result: Ok(ServePayload::Gradient {
+            ResponseFrame::direct(
+                1,
+                Ok(ServePayload::Gradient {
                     tau: vec![0.1, -0.0],
                     dqdd_dq: vec![1.0, 2.0, 3.0, 4.0],
                     dqdd_dqd: vec![5e-300, 0.0, -0.0, f64::MAX],
                     cycles: 321,
                 }),
-            },
-            ResponseFrame {
-                id: 2,
-                result: Err(ServeError::Rejected {
+            ),
+            ResponseFrame::direct(
+                2,
+                Err(ServeError::Rejected {
                     reason: "queue full".into(),
                 }),
-            },
-            ResponseFrame {
-                id: 3,
-                result: Err(ServeError::DeadlineExceeded),
-            },
-            ResponseFrame {
-                id: 4,
-                result: Err(ServeError::BadRequest("q dimension mismatch".into())),
-            },
+            ),
+            ResponseFrame::direct(3, Err(ServeError::DeadlineExceeded)),
+            ResponseFrame::direct(
+                4,
+                Err(ServeError::BadRequest("q dimension mismatch".into())),
+            ),
         ];
         for frame in &frames {
             let decoded = decode_response(&encode_response(frame)).unwrap();
@@ -603,10 +798,8 @@ mod tests {
         body[8] = 0xEE; // kind tag
         assert_eq!(decode_request(&body).unwrap_err(), ProtoError::BadTag(0xEE));
 
-        let mut resp = encode_response(&ResponseFrame {
-            id: 1,
-            result: Err(ServeError::DeadlineExceeded),
-        });
+        let mut resp =
+            encode_response(&ResponseFrame::direct(1, Err(ServeError::DeadlineExceeded)));
         resp.truncate(5);
         assert_eq!(decode_response(&resp).unwrap_err(), ProtoError::Truncated);
 
@@ -638,22 +831,19 @@ mod tests {
     #[test]
     fn resilience_statuses_round_trip() {
         let frames = [
-            ResponseFrame {
-                id: 5,
-                result: Err(ServeError::WorkerCrashed),
-            },
-            ResponseFrame {
-                id: 6,
-                result: Ok(ServePayload::Degraded {
+            ResponseFrame::direct(5, Err(ServeError::WorkerCrashed)),
+            ResponseFrame::direct(
+                6,
+                Ok(ServePayload::Degraded {
                     kind: KernelKind::DynamicsGradient,
                     cycles: 1234,
                     clock_ns: 1.75,
                     latency_us: 2.159e-3,
                 }),
-            },
-            ResponseFrame {
-                id: 7,
-                result: Ok(ServePayload::Health(HealthReport {
+            ),
+            ResponseFrame::direct(
+                7,
+                Ok(ServePayload::Health(HealthReport {
                     ready: true,
                     robots: vec![
                         RobotHealth {
@@ -668,12 +858,95 @@ mod tests {
                         },
                     ],
                 })),
-            },
+            ),
         ];
         for frame in &frames {
             let decoded = decode_response(&encode_response(frame)).unwrap();
             assert_eq!(&decoded, frame);
         }
+    }
+
+    #[test]
+    fn rerouted_flag_round_trips_on_any_status() {
+        let mut frame = ResponseFrame::direct(
+            11,
+            Ok(ServePayload::InverseDynamics {
+                tau: vec![0.5, -1.25],
+                cycles: 99,
+            }),
+        );
+        frame.rerouted = true;
+        let body = encode_response(&frame);
+        assert_eq!(body[8] & REROUTED_FLAG, REROUTED_FLAG);
+        let decoded = decode_response(&body).unwrap();
+        assert!(decoded.rerouted);
+        assert_eq!(decoded, frame);
+        // The payload bytes after the status byte are identical to the
+        // direct encoding — the flag is purely a status-bit overlay.
+        frame.rerouted = false;
+        let direct = encode_response(&frame);
+        assert_eq!(&body[9..], &direct[9..]);
+    }
+
+    #[test]
+    fn hello_frames_round_trip_and_are_recognised() {
+        let req = encode_hello_request(5);
+        assert_eq!(
+            decode_any_request(&req).unwrap(),
+            DecodedRequest::Hello { id: 5 }
+        );
+        let info = HelloInfo {
+            shard: "shard-a".into(),
+            robots: vec!["iiwa".into(), "HyQ".into()],
+        };
+        let body = encode_hello_response(5, &info);
+        assert!(status_is_hello(body[8]));
+        assert_eq!(decode_hello_response(&body).unwrap(), (5, info));
+        // A hello reply is not a client-facing response status.
+        assert!(matches!(
+            decode_response(&body).unwrap_err(),
+            ProtoError::BadTag(_)
+        ));
+    }
+
+    #[test]
+    fn peek_route_reads_the_head_without_the_payload() {
+        let frame = RequestFrame {
+            id: 314,
+            req: ServeRequest::gradient("minitaur", vec![0.1; 8], vec![0.2; 8], vec![0.3; 8]),
+        };
+        let body = encode_request(&frame);
+        let route = peek_request_route(&body).unwrap();
+        assert_eq!(route.id, 314);
+        assert_eq!(route.robot.as_deref(), Some("minitaur"));
+        assert!(!route.is_health);
+        assert!(
+            peek_request_route(&encode_health_request(9))
+                .unwrap()
+                .is_health
+        );
+
+        let (id, status) = peek_response_head(&body).unwrap();
+        assert_eq!(id, 314);
+        assert_eq!(status, 2, "kind tag doubles as the peeked byte here");
+    }
+
+    #[test]
+    fn rewrite_id_patches_only_the_head() {
+        let frame = ResponseFrame::direct(
+            1,
+            Ok(ServePayload::Kinematics {
+                poses: vec![1.5; 12],
+                cycles: 7,
+            }),
+        );
+        let mut body = encode_response(&frame);
+        let original_tail = body[9..].to_vec();
+        rewrite_id(&mut body, 0xDEAD_BEEF, true);
+        let decoded = decode_response(&body).unwrap();
+        assert_eq!(decoded.id, 0xDEAD_BEEF);
+        assert!(decoded.rerouted);
+        assert_eq!(&body[9..], &original_tail[..], "payload untouched");
     }
 
     #[test]

@@ -1,81 +1,201 @@
-//! TCP front-end over [`crate::Engine`], plus a blocking [`Client`].
+//! Event-driven TCP front-end over [`crate::Engine`], plus a blocking
+//! [`Client`].
 //!
-//! The server accepts connections on a `std::net` listener and runs two
-//! threads per connection: a *reader* that decodes request frames and
-//! submits them to the engine, and a *writer* that awaits each ticket
-//! **in submission order** and streams the response frames back. A
-//! client may therefore pipeline many requests on one connection;
-//! responses come back in the order the requests were sent.
+//! Connections are serviced by a **bounded set of event-loop threads**
+//! (default one; see [`ServerOptions::loops`]) instead of the previous
+//! two-threads-per-connection design, so thousands of concurrent
+//! clients cost file descriptors, not stacks. Each loop owns a
+//! [`crate::net::poll::Poller`] (epoll on Linux) and a set of
+//! non-blocking [`crate::net::FrameConn`]s; engine workers signal
+//! request completion through [`Ticket::watch`] callbacks that enqueue a
+//! done-marker and poke the loop's [`crate::net::poll::Waker`], so no
+//! thread ever parks on an individual request.
 //!
-//! Resilience details added by the fault-injection layer:
+//! Responses on one connection are written **in submission order** (the
+//! loop keeps a per-connection FIFO of reply slots and flushes only the
+//! completed prefix), preserving the pre-cluster protocol contract; a
+//! client may pipeline freely. Completed frames from many requests
+//! coalesce in the connection's out-buffer and leave in as few `write`
+//! syscalls as the socket accepts.
 //!
-//! * Frames carry an FNV-1a body checksum (see [`crate::proto`]); a
-//!   request frame failing its checksum, or declaring a body above the
-//!   cap, gets a **typed** `BadRequest` response (correlation id 0)
+//! Resilience behaviours carried over from the fault-injection layer:
+//!
+//! * A request frame failing its checksum, or declaring a body above
+//!   the cap, gets a **typed** `BadRequest` response (correlation id 0)
 //!   before the connection closes — never a silent drop.
-//! * Health probes are answered inline by the writer from
-//!   [`crate::Engine::health`], bypassing the kernel queues entirely, so
-//!   readiness checks work even when every robot's queue is saturated.
-//! * When the engine runs a chaos [`FaultPlan`], the writer damages
-//!   response frames on the raw wire bytes (after checksum computation,
-//!   keyed by correlation id) — which is exactly what makes the
-//!   corruption *detectable and retryable* at the client.
+//! * Body *decode* errors also get a typed id-0 response, but the
+//!   connection stays open (framing is still in sync).
+//! * Health probes are answered inline from [`crate::Engine::health`],
+//!   bypassing the kernel queues, so readiness checks work even when
+//!   every robot's queue is saturated.
+//! * Hello (handshake) frames are answered inline with the shard's name
+//!   and robot roster — how a router learns what a shard serves.
+//! * When the engine runs a chaos [`FaultPlan`], response frames are
+//!   damaged on the raw wire bytes (after checksum computation, keyed
+//!   by correlation id) — which is exactly what makes the corruption
+//!   *detectable and retryable* at the client.
 
 use crate::engine::{Engine, ServeError, ServePayload, ServeRequest, ServeResult, Ticket};
 use crate::fault::FaultSite;
+use crate::net::poll::{Interest, Poller, WakeRx, Waker, WAKE_TOKEN};
+use crate::net::{FlushOutcome, FrameConn, FrameViolation, ReadOutcome};
 use crate::proto::{
-    decode_any_request, decode_response, encode_health_request, encode_request, encode_response,
-    frame_bytes, read_frame, write_frame, DecodedRequest, ProtoError, RequestFrame, ResponseFrame,
-    HEADER_LEN, MAX_FRAME,
+    decode_any_request, decode_hello_response, decode_response, encode_health_request,
+    encode_hello_request, encode_hello_response, encode_request, encode_response, frame_bytes,
+    read_frame, write_frame, DecodedRequest, HelloInfo, ProtoError, RequestFrame, ResponseFrame,
 };
-use crate::{FAULT_CORRUPT_METRIC, OBS_CATEGORY};
+use crate::{FAULT_CORRUPT_METRIC, OBS_CATEGORY, SHARD_CONNS_METRIC, SHARD_HELLO_METRIC};
 use roboshape_obs as obs;
-use std::io::{self, Read, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// How long a connection reader blocks in `read` before re-checking the
-/// shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(20);
+/// How long a loop sleeps in `wait` before re-checking shutdown flags.
+const TICK: Duration = Duration::from_millis(50);
+
+/// How long shutdown keeps flushing responses to clients that have
+/// stopped reading before force-closing their connections.
+const DRAIN_GRACE: Duration = Duration::from_secs(5);
+
+/// Poller token of the accept listener (loop 0 only).
+const LISTEN_TOKEN: u64 = u64::MAX - 1;
+
+/// Tuning knobs for [`Server::start_with`].
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Name announced in hello (handshake) responses; shards set their
+    /// operator-assigned name here.
+    pub shard_name: String,
+    /// Event-loop threads servicing connections. One loop comfortably
+    /// drives thousands of connections; more only help past one
+    /// saturated core.
+    pub loops: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            shard_name: "solo".to_string(),
+            loops: 1,
+        }
+    }
+}
+
+/// Shutdown phases shared by every loop thread.
+struct Shared {
+    /// Stop accepting connections and reading new request frames.
+    draining: AtomicBool,
+    /// Engine is drained: flush what remains and exit.
+    stopped: AtomicBool,
+    /// Drop everything immediately (crash simulation / `abort`).
+    aborted: AtomicBool,
+    /// Round-robin cursor assigning accepted connections to loops.
+    next_loop: AtomicUsize,
+}
+
+/// Cross-thread mailbox of one event loop.
+struct LoopHandle {
+    waker: Waker,
+    inbox: Arc<Mutex<VecDeque<LoopMsg>>>,
+}
+
+impl LoopHandle {
+    fn post(&self, msg: LoopMsg) {
+        self.inbox
+            .lock()
+            .expect("loop inbox poisoned")
+            .push_back(msg);
+        self.waker.wake();
+    }
+}
+
+enum LoopMsg {
+    /// A freshly-accepted connection assigned to this loop.
+    Adopt(TcpStream),
+    /// The ticket behind `(conn token, slot seq)` resolved.
+    Done(u64, u64),
+}
 
 /// A running TCP front-end. Dropping it does **not** stop the threads;
 /// call [`Server::shutdown`] for an orderly stop.
 pub struct Server {
     engine: Engine,
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<Shared>,
+    handles: Vec<Arc<LoopHandle>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts accepting connections against `engine`.
+    /// starts accepting connections against `engine` with default
+    /// options.
     ///
     /// # Errors
     ///
     /// Propagates bind/configuration I/O errors.
     pub fn start(engine: Engine, addr: impl ToSocketAddrs) -> io::Result<Server> {
+        Server::start_with(engine, addr, ServerOptions::default())
+    }
+
+    /// As [`Server::start`], with explicit [`ServerOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/configuration I/O errors.
+    pub fn start_with(
+        engine: Engine,
+        addr: impl ToSocketAddrs,
+        options: ServerOptions,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let conn_threads = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
-            let engine = engine.clone();
-            let stop = Arc::clone(&stop);
-            let conn_threads = Arc::clone(&conn_threads);
-            std::thread::spawn(move || accept_loop(listener, engine, stop, conn_threads))
-        };
+        let shared = Arc::new(Shared {
+            draining: AtomicBool::new(false),
+            stopped: AtomicBool::new(false),
+            aborted: AtomicBool::new(false),
+            next_loop: AtomicUsize::new(0),
+        });
+        let n_loops = options.loops.max(1);
+        let mut handles = Vec::with_capacity(n_loops);
+        let mut wake_rxs = Vec::with_capacity(n_loops);
+        for _ in 0..n_loops {
+            let (waker, rx) = Waker::new()?;
+            handles.push(Arc::new(LoopHandle {
+                waker,
+                inbox: Arc::new(Mutex::new(VecDeque::new())),
+            }));
+            wake_rxs.push(rx);
+        }
+        let handles_arc: Arc<Vec<Arc<LoopHandle>>> = Arc::new(handles.clone());
+        let mut threads = Vec::with_capacity(n_loops);
+        for (index, rx) in wake_rxs.into_iter().enumerate() {
+            let mut event_loop = EventLoop::new(
+                engine.clone(),
+                options.shard_name.clone(),
+                Arc::clone(&shared),
+                Arc::clone(&handles_arc),
+                index,
+                rx,
+                if index == 0 {
+                    Some(listener.try_clone()?)
+                } else {
+                    None
+                },
+            )?;
+            threads.push(std::thread::spawn(move || event_loop.run()));
+        }
         Ok(Server {
             engine,
             addr: local,
-            stop,
-            accept_thread: Some(accept_thread),
-            conn_threads,
+            shared,
+            handles,
+            threads,
         })
     }
 
@@ -96,235 +216,483 @@ impl Server {
 
     /// Orderly stop: close the accept loop, stop reading new requests,
     /// drain the engine (every accepted request still gets its response
-    /// frame), then join every thread.
+    /// frame), then join every loop thread.
     pub fn shutdown(mut self) {
         let _span = obs::span(OBS_CATEGORY, "server-shutdown");
-        self.stop.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_thread.take() {
-            let _ = handle.join();
+        self.shared.draining.store(true, Ordering::SeqCst);
+        for handle in &self.handles {
+            handle.waker.wake();
         }
-        // Engine drain resolves outstanding tickets, which lets each
-        // connection's writer flush its remaining responses and exit.
+        // Engine drain resolves every outstanding ticket; each watch
+        // callback lands in its loop's inbox, so responses keep
+        // flushing while this blocks.
         self.engine.shutdown();
-        let handles: Vec<JoinHandle<()>> = self
-            .conn_threads
-            .lock()
-            .expect("conn threads poisoned")
-            .drain(..)
-            .collect();
-        for handle in handles {
-            let _ = handle.join();
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        for handle in &self.handles {
+            handle.waker.wake();
         }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+
+    /// Crash-style stop: drop every connection and in-flight request on
+    /// the floor, no drain, no goodbye frames. Exists so cluster tests
+    /// can kill a shard mid-run and exercise the router's failover path
+    /// exactly as a SIGKILL would.
+    pub fn abort(mut self) {
+        self.shared.aborted.store(true, Ordering::SeqCst);
+        self.shared.stopped.store(true, Ordering::SeqCst);
+        self.shared.draining.store(true, Ordering::SeqCst);
+        for handle in &self.handles {
+            handle.waker.wake();
+        }
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+        // Reap worker threads; resolved results are discarded.
+        self.engine.shutdown();
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
+/// One reply slot in a connection's submission-order FIFO.
+struct Slot {
+    seq: u64,
+    state: SlotState,
+}
+
+enum SlotState {
+    /// Awaiting the engine; the watch callback will post `Done`.
+    Waiting(Ticket, u64),
+    /// Wire bytes ready to enter the out-buffer.
+    Ready(Vec<u8>),
+    /// Flushed into the out-buffer.
+    Sent,
+}
+
+struct ConnState {
+    conn: FrameConn,
+    pending: VecDeque<Slot>,
+    next_seq: u64,
+    /// Registered poller interest, tracked to avoid redundant syscalls.
+    interest: Interest,
+    /// Framing violated: stop reading, close once the FIFO flushes.
+    closing: bool,
+}
+
+struct EventLoop {
     engine: Engine,
-    stop: Arc<AtomicBool>,
-    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let engine = engine.clone();
-                let stop = Arc::clone(&stop);
-                let handle = std::thread::spawn(move || handle_conn(engine, stream, stop));
-                conn_threads
-                    .lock()
-                    .expect("conn threads poisoned")
-                    .push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(_) => break,
+    shard_name: String,
+    shared: Arc<Shared>,
+    handles: Arc<Vec<Arc<LoopHandle>>>,
+    index: usize,
+    poller: Poller,
+    wake_rx: WakeRx,
+    listener: Option<TcpListener>,
+    conns: HashMap<u64, ConnState>,
+    next_token: u64,
+}
+
+impl EventLoop {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        engine: Engine,
+        shard_name: String,
+        shared: Arc<Shared>,
+        handles: Arc<Vec<Arc<LoopHandle>>>,
+        index: usize,
+        wake_rx: WakeRx,
+        listener: Option<TcpListener>,
+    ) -> io::Result<EventLoop> {
+        let mut poller = Poller::new()?;
+        poller.register(wake_rx.fd(), WAKE_TOKEN, Interest::READABLE)?;
+        if let Some(l) = &listener {
+            use std::os::unix::io::AsRawFd;
+            poller.register(l.as_raw_fd(), LISTEN_TOKEN, Interest::READABLE)?;
         }
+        Ok(EventLoop {
+            engine,
+            shard_name,
+            shared,
+            handles,
+            index,
+            poller,
+            wake_rx,
+            listener,
+            conns: HashMap::new(),
+            next_token: 0,
+        })
     }
-}
 
-/// What the writer thread sends next, in submission order.
-enum WriterItem {
-    /// A kernel request's outcome (ticket to await, or an admission
-    /// error to relay).
-    Ticket(u64, Result<Ticket, ServeError>),
-    /// A health probe — answered inline from the engine, no queue.
-    Health(u64),
-}
-
-/// Per-connection reader: decodes frames, submits, and hands
-/// [`WriterItem`]s to the writer thread in order.
-fn handle_conn(engine: Engine, stream: TcpStream, stop: Arc<AtomicBool>) {
-    let _span = obs::span(OBS_CATEGORY, "connection");
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let mut write_half = match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    };
-    let (tx, rx) = mpsc::channel::<WriterItem>();
-    let writer_engine = engine.clone();
-    let plan = engine.fault_plan();
-    let writer = std::thread::spawn(move || {
-        for item in rx {
-            let (id, result): (u64, ServeResult) = match item {
-                WriterItem::Ticket(id, Ok(ticket)) => (id, ticket.wait()),
-                WriterItem::Ticket(id, Err(e)) => (id, Err(e)),
-                WriterItem::Health(id) => (id, Ok(ServePayload::Health(writer_engine.health()))),
-            };
-            let body = encode_response(&ResponseFrame { id, result });
-            let mut wire = frame_bytes(&body);
-            if let Some(plan) = plan {
-                // Corruption keys on the correlation id: stable across
-                // runs, independent of scheduling.
-                if plan.fires(FaultSite::FrameCorrupt, id) {
-                    plan.corrupt_wire(id, &mut wire);
-                    obs::metrics().counter(FAULT_CORRUPT_METRIC).add(1);
-                }
+    fn run(&mut self) {
+        let _span = obs::span(OBS_CATEGORY, "event-loop");
+        let mut events = Vec::new();
+        let mut drain_deadline: Option<Instant> = None;
+        loop {
+            if self.shared.aborted.load(Ordering::SeqCst) {
+                break;
             }
-            if write_half
-                .write_all(&wire)
-                .and_then(|()| write_half.flush())
-                .is_err()
-            {
-                // Client went away; keep draining so queued tickets are
-                // still awaited (they resolve regardless) and drop them.
-                continue;
-            }
-        }
-    });
-
-    let mut reader = FrameReader::new(stream);
-    loop {
-        match reader.next(&stop) {
-            FrameEvent::Frame(body) => {
-                let item = match decode_any_request(&body) {
-                    Ok(DecodedRequest::Kernel(RequestFrame { id, req })) => {
-                        WriterItem::Ticket(id, submit(&engine, req))
-                    }
-                    Ok(DecodedRequest::Health { id }) => WriterItem::Health(id),
-                    Err(e) => WriterItem::Ticket(0, Err(ServeError::BadRequest(e.to_string()))),
-                };
-                if tx.send(item).is_err() {
+            if self.shared.stopped.load(Ordering::SeqCst) {
+                let deadline = *drain_deadline.get_or_insert_with(|| Instant::now() + DRAIN_GRACE);
+                self.drain_inbox();
+                self.flush_all();
+                let unfinished = self
+                    .conns
+                    .values()
+                    .any(|c| !c.pending.is_empty() || c.conn.wants_write());
+                if !unfinished || Instant::now() >= deadline {
                     break;
                 }
+            } else if self.shared.draining.load(Ordering::SeqCst) {
+                // Stop taking on new work; completions still arrive.
+                if let Some(l) = self.listener.take() {
+                    use std::os::unix::io::AsRawFd;
+                    let _ = self.poller.deregister(l.as_raw_fd());
+                }
+                self.park_readers();
             }
-            // Framing violations get a typed response on id 0, then the
-            // connection closes: the stream position is unrecoverable,
-            // but the client learns *why* instead of seeing a bare EOF.
-            FrameEvent::TooLarge(len) => {
-                let _ = tx.send(WriterItem::Ticket(
-                    0,
-                    Err(ServeError::BadRequest(
-                        ProtoError::FrameTooLarge(len).to_string(),
-                    )),
-                ));
+            events.clear();
+            if self.poller.wait(&mut events, Some(TICK)).is_err() {
                 break;
             }
-            FrameEvent::BadChecksum => {
-                let _ = tx.send(WriterItem::Ticket(
-                    0,
-                    Err(ServeError::BadRequest(
-                        ProtoError::ChecksumMismatch.to_string(),
-                    )),
-                ));
-                break;
+            let drained = core::mem::take(&mut events);
+            for event in &drained {
+                match event.token {
+                    WAKE_TOKEN => self.wake_rx.drain(),
+                    LISTEN_TOKEN => self.accept_ready(),
+                    token => self.conn_ready(token, event.readable, event.writable, event.hangup),
+                }
             }
-            FrameEvent::Closed => break,
+            events = drained;
+            self.drain_inbox();
         }
-    }
-    drop(tx);
-    let _ = writer.join();
-}
-
-fn submit(engine: &Engine, req: ServeRequest) -> Result<Ticket, ServeError> {
-    engine.submit(req)
-}
-
-/// What the incremental reader produced.
-enum FrameEvent {
-    /// A complete, checksum-verified frame body.
-    Frame(Vec<u8>),
-    /// The header declared a body longer than the cap.
-    TooLarge(u64),
-    /// The body arrived but failed its checksum.
-    BadChecksum,
-    /// EOF, shutdown, or an unrecoverable read error.
-    Closed,
-}
-
-/// Incremental frame reader that survives read timeouts (used to poll
-/// the shutdown flag) without ever losing stream position, and reports
-/// framing violations as typed events instead of silently closing.
-struct FrameReader {
-    stream: TcpStream,
-    buf: Vec<u8>,
-    filled: usize,
-}
-
-impl FrameReader {
-    fn new(stream: TcpStream) -> FrameReader {
-        FrameReader {
-            stream,
-            buf: Vec::new(),
-            filled: 0,
+        let remaining = self.conns.len() as f64;
+        if remaining > 0.0 {
+            obs::metrics().gauge(SHARD_CONNS_METRIC).add(-remaining);
         }
+        self.conns.clear();
     }
 
-    /// Fills `self.buf[..target]`, returning `false` on EOF/stop/error.
-    fn fill(&mut self, target: usize, stop: &AtomicBool) -> bool {
-        self.buf.resize(target, 0);
-        while self.filled < target {
-            match self.stream.read(&mut self.buf[self.filled..target]) {
-                Ok(0) => return false,
-                Ok(n) => self.filled += n,
-                Err(e)
-                    if e.kind() == io::ErrorKind::WouldBlock
-                        || e.kind() == io::ErrorKind::TimedOut =>
-                {
-                    // Mid-frame bytes already read stay buffered; only
-                    // stop between retries, never lose position.
-                    if stop.load(Ordering::SeqCst) && self.filled == 0 {
-                        return false;
-                    }
-                    if stop.load(Ordering::SeqCst) && self.filled > 0 {
-                        // Half-received frame during shutdown: give the
-                        // peer one more poll interval, then give up.
-                        match self.stream.read(&mut self.buf[self.filled..target]) {
-                            Ok(n) if n > 0 => self.filled += n,
-                            _ => return false,
-                        }
+    /// Accepts until the listener would block, spreading connections
+    /// round-robin over the loop set.
+    fn accept_ready(&mut self) {
+        loop {
+            let accepted = match &self.listener {
+                Some(l) => l.accept(),
+                None => return,
+            };
+            match accepted {
+                Ok((stream, _peer)) => {
+                    let target =
+                        self.shared.next_loop.fetch_add(1, Ordering::Relaxed) % self.handles.len();
+                    if target == self.index {
+                        self.adopt(stream);
+                    } else {
+                        self.handles[target].post(LoopMsg::Adopt(stream));
                     }
                 }
-                Err(_) => return false,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
             }
         }
-        true
     }
 
-    /// The next frame event: a verified body, a typed framing violation,
-    /// or `Closed` on EOF / shutdown / error.
-    fn next(&mut self, stop: &AtomicBool) -> FrameEvent {
-        self.filled = 0;
-        if !self.fill(HEADER_LEN, stop) {
-            return FrameEvent::Closed;
+    fn adopt(&mut self, stream: TcpStream) {
+        let conn = match FrameConn::new(stream) {
+            Ok(c) => c,
+            Err(_) => return,
+        };
+        let token = self.next_token;
+        self.next_token += 1;
+        if self
+            .poller
+            .register(conn.fd(), token, Interest::READABLE)
+            .is_err()
+        {
+            return;
         }
-        let len = u32::from_le_bytes([self.buf[0], self.buf[1], self.buf[2], self.buf[3]]) as usize;
-        let expected = u32::from_le_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]);
-        if len > MAX_FRAME {
-            return FrameEvent::TooLarge(len as u64);
-        }
-        self.filled = 0;
-        self.buf.clear();
-        if !self.fill(len, stop) {
-            return FrameEvent::Closed;
-        }
-        let body = std::mem::take(&mut self.buf);
-        if crate::proto::checksum(&body) != expected {
-            return FrameEvent::BadChecksum;
-        }
-        FrameEvent::Frame(body)
+        obs::metrics().gauge(SHARD_CONNS_METRIC).add(1.0);
+        self.conns.insert(
+            token,
+            ConnState {
+                conn,
+                pending: VecDeque::new(),
+                next_seq: 0,
+                interest: Interest::READABLE,
+                closing: false,
+            },
+        );
     }
+
+    fn drain_inbox(&mut self) {
+        loop {
+            let msg = {
+                let mut inbox = self.handles[self.index]
+                    .inbox
+                    .lock()
+                    .expect("loop inbox poisoned");
+                inbox.pop_front()
+            };
+            match msg {
+                Some(LoopMsg::Adopt(stream)) => {
+                    if self.shared.draining.load(Ordering::SeqCst) {
+                        continue;
+                    }
+                    self.adopt(stream);
+                }
+                Some(LoopMsg::Done(token, seq)) => self.ticket_done(token, seq),
+                None => return,
+            }
+        }
+    }
+
+    /// During drain: stop reading request frames, keep write interest.
+    fn park_readers(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            let conn = self.conns.get_mut(&token).expect("token just listed");
+            let want = Interest {
+                readable: false,
+                writable: conn.conn.wants_write(),
+            };
+            if conn.interest != want {
+                let _ = self.poller.modify(conn.conn.fd(), token, want);
+                conn.interest = want;
+            }
+        }
+    }
+
+    fn flush_all(&mut self) {
+        let tokens: Vec<u64> = self.conns.keys().copied().collect();
+        for token in tokens {
+            self.advance_conn(token);
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, readable: bool, writable: bool, hangup: bool) {
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        if readable && !draining {
+            let state = match self.conns.get_mut(&token) {
+                Some(s) => s,
+                None => return,
+            };
+            if !state.closing {
+                let mut bodies = Vec::new();
+                let outcome = state.conn.read_frames(|body| bodies.push(body));
+                for body in bodies {
+                    self.handle_frame(token, body);
+                }
+                match outcome {
+                    ReadOutcome::Open => {}
+                    ReadOutcome::Closed => {
+                        self.drop_conn(token);
+                        return;
+                    }
+                    ReadOutcome::Violation(v) => self.handle_violation(token, v),
+                }
+            }
+        }
+        if hangup && !writable {
+            // Peer hung up and nothing more can be written to it.
+            if let Some(state) = self.conns.get(&token) {
+                if !state.conn.wants_write() {
+                    self.drop_conn(token);
+                    return;
+                }
+            }
+        }
+        self.advance_conn(token);
+    }
+
+    fn handle_frame(&mut self, token: u64, body: Vec<u8>) {
+        enum Action {
+            Submit(u64, ServeRequest),
+            Immediate(Vec<u8>),
+        }
+        let action = match decode_any_request(&body) {
+            Ok(DecodedRequest::Kernel(RequestFrame { id, req })) => Action::Submit(id, req),
+            Ok(DecodedRequest::Health { id }) => Action::Immediate(encode_response(
+                &ResponseFrame::direct(id, Ok(ServePayload::Health(self.engine.health()))),
+            )),
+            Ok(DecodedRequest::Hello { id }) => {
+                obs::metrics().counter(SHARD_HELLO_METRIC).add(1);
+                let robots = self
+                    .engine
+                    .health()
+                    .robots
+                    .into_iter()
+                    .map(|r| r.name)
+                    .collect();
+                Action::Immediate(encode_hello_response(
+                    id,
+                    &HelloInfo {
+                        shard: self.shard_name.clone(),
+                        robots,
+                    },
+                ))
+            }
+            Err(e) => Action::Immediate(encode_response(&ResponseFrame::direct(
+                0,
+                Err(ServeError::BadRequest(e.to_string())),
+            ))),
+        };
+        match action {
+            Action::Submit(id, req) => {
+                let state = match self.conns.get_mut(&token) {
+                    Some(s) => s,
+                    None => return,
+                };
+                let seq = state.next_seq;
+                state.next_seq += 1;
+                match self.engine.submit(req) {
+                    Ok(ticket) => {
+                        state.pending.push_back(Slot {
+                            seq,
+                            state: SlotState::Waiting(ticket.clone(), id),
+                        });
+                        let handle = Arc::clone(&self.handles[self.index]);
+                        ticket.watch(move || handle.post(LoopMsg::Done(token, seq)));
+                    }
+                    Err(e) => {
+                        let body = encode_response(&ResponseFrame::direct(id, Err(e)));
+                        let wire = wire_response(&self.engine, id, body);
+                        state.pending.push_back(Slot {
+                            seq,
+                            state: SlotState::Ready(wire),
+                        });
+                    }
+                }
+            }
+            Action::Immediate(resp_body) => {
+                let id = u64::from_le_bytes(resp_body[..8].try_into().expect("id bytes"));
+                let wire = wire_response(&self.engine, id, resp_body);
+                if let Some(state) = self.conns.get_mut(&token) {
+                    let seq = state.next_seq;
+                    state.next_seq += 1;
+                    state.pending.push_back(Slot {
+                        seq,
+                        state: SlotState::Ready(wire),
+                    });
+                }
+            }
+        }
+    }
+
+    fn handle_violation(&mut self, token: u64, violation: FrameViolation) {
+        let err = match violation {
+            FrameViolation::TooLarge(len) => ProtoError::FrameTooLarge(len),
+            FrameViolation::BadChecksum => ProtoError::ChecksumMismatch,
+        };
+        // Typed goodbye on id 0, then close once the FIFO flushes: the
+        // stream position is unrecoverable, but the client learns *why*
+        // instead of seeing a bare EOF.
+        let body = encode_response(&ResponseFrame::direct(
+            0,
+            Err(ServeError::BadRequest(err.to_string())),
+        ));
+        let wire = wire_response(&self.engine, 0, body);
+        if let Some(state) = self.conns.get_mut(&token) {
+            let seq = state.next_seq;
+            state.next_seq += 1;
+            state.pending.push_back(Slot {
+                seq,
+                state: SlotState::Ready(wire),
+            });
+            state.closing = true;
+        }
+    }
+
+    fn ticket_done(&mut self, token: u64, seq: u64) {
+        let state = match self.conns.get_mut(&token) {
+            Some(s) => s,
+            // Connection already gone; the result is simply dropped,
+            // matching the old writer's behaviour for vanished clients.
+            None => return,
+        };
+        let slot = match state.pending.iter_mut().find(|s| s.seq == seq) {
+            Some(s) => s,
+            None => return,
+        };
+        if let SlotState::Waiting(ticket, id) = &slot.state {
+            let id = *id;
+            let result: ServeResult = ticket.try_take().unwrap_or(Err(ServeError::WorkerCrashed));
+            let body = encode_response(&ResponseFrame::direct(id, result));
+            slot.state = SlotState::Ready(wire_response(&self.engine, id, body));
+        }
+        self.advance_conn(token);
+    }
+
+    /// Moves the completed prefix of the FIFO into the out-buffer,
+    /// flushes, and reconciles poller interest / close state.
+    fn advance_conn(&mut self, token: u64) {
+        let mut drop_after = false;
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        {
+            let state = match self.conns.get_mut(&token) {
+                Some(s) => s,
+                None => return,
+            };
+            while let Some(front) = state.pending.front_mut() {
+                match &mut front.state {
+                    SlotState::Ready(wire) => {
+                        let bytes = std::mem::take(wire);
+                        state.conn.queue_wire(&bytes);
+                        front.state = SlotState::Sent;
+                        state.pending.pop_front();
+                    }
+                    SlotState::Sent => {
+                        state.pending.pop_front();
+                    }
+                    SlotState::Waiting(..) => break,
+                }
+            }
+            match state.conn.flush() {
+                FlushOutcome::Closed => drop_after = true,
+                FlushOutcome::Drained | FlushOutcome::Blocked => {}
+            }
+            if !drop_after && state.closing && state.pending.is_empty() && !state.conn.wants_write()
+            {
+                drop_after = true;
+            }
+            if !drop_after {
+                let want = Interest {
+                    readable: !state.closing && !draining,
+                    writable: state.conn.wants_write(),
+                };
+                if want != state.interest {
+                    if self.poller.modify(state.conn.fd(), token, want).is_err() {
+                        drop_after = true;
+                    } else {
+                        state.interest = want;
+                    }
+                }
+            }
+        }
+        if drop_after {
+            self.drop_conn(token);
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(state) = self.conns.remove(&token) {
+            let _ = self.poller.deregister(state.conn.fd());
+            obs::metrics().gauge(SHARD_CONNS_METRIC).add(-1.0);
+        }
+    }
+}
+
+/// Frames a response body and applies deterministic chaos wire
+/// corruption, keyed by correlation id exactly as the old writer thread
+/// did.
+fn wire_response(engine: &Engine, id: u64, body: Vec<u8>) -> Vec<u8> {
+    let mut wire = frame_bytes(&body);
+    if let Some(plan) = engine.fault_plan() {
+        if plan.fires(FaultSite::FrameCorrupt, id) {
+            plan.corrupt_wire(id, &mut wire);
+            obs::metrics().counter(FAULT_CORRUPT_METRIC).add(1);
+        }
+    }
+    wire
 }
 
 /// A blocking client for the serve protocol. Not thread-safe; use one
@@ -335,7 +703,7 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running [`Server`].
+    /// Connects to a running [`Server`] (or router).
     ///
     /// # Errors
     ///
@@ -388,7 +756,10 @@ impl Client {
         Ok(id)
     }
 
-    /// Receives the next response frame (submission order).
+    /// Receives the next response frame. Against a single-engine
+    /// [`Server`] responses arrive in submission order; against a
+    /// router they arrive in *completion* order — correlate by
+    /// [`ResponseFrame::id`].
     ///
     /// # Errors
     ///
@@ -410,8 +781,21 @@ impl Client {
     pub fn call(&mut self, req: &ServeRequest) -> io::Result<ServeResult> {
         let id = self.send(req)?;
         let frame = self.recv()?;
-        debug_assert_eq!(frame.id, id, "responses arrive in submission order");
+        debug_assert_eq!(frame.id, id, "single outstanding request");
         Ok(frame.result)
+    }
+
+    /// As [`Client::call`], also reporting whether the router answered
+    /// from a fallback shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::send`] and [`Client::recv`].
+    pub fn call_tracked(&mut self, req: &ServeRequest) -> io::Result<ResponseFrame> {
+        let id = self.send(req)?;
+        let frame = self.recv()?;
+        debug_assert_eq!(frame.id, id, "single outstanding request");
+        Ok(frame)
     }
 
     /// Round-trips a health probe.
@@ -432,5 +816,26 @@ impl Client {
                 format!("expected a health payload, got {other:?}"),
             )),
         }
+    }
+
+    /// Round-trips a hello handshake: the peer's shard identity and
+    /// robot roster. A shard answers with its own name; a router answers
+    /// `"router"` with the fleet's merged roster.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors as [`Client::recv`]; `InvalidData` if the peer answers
+    /// with something other than a hello frame.
+    pub fn hello(&mut self) -> io::Result<crate::proto::HelloInfo> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, &encode_hello_request(id))?;
+        let body = read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(io::ErrorKind::UnexpectedEof, "server closed the connection")
+        })?;
+        let (got, info) = decode_hello_response(&body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        debug_assert_eq!(got, id, "single outstanding request");
+        Ok(info)
     }
 }

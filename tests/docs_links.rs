@@ -1,0 +1,152 @@
+//! Documentation link checker: every relative markdown link in the
+//! README and `docs/*.md` must point at a file (or a directory) that
+//! exists in the repository. Broken links are the docs equivalent of a
+//! dangling pointer — this test fails the build on them, and CI runs it
+//! as the docs-link gate.
+
+use std::path::{Path, PathBuf};
+
+/// The documents whose links are checked. Root-level project files plus
+/// everything in `docs/`.
+fn documents(repo: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = ["README.md", "ROADMAP.md", "DESIGN.md", "EXPERIMENTS.md"]
+        .iter()
+        .map(|name| repo.join(name))
+        .filter(|p| p.exists())
+        .collect();
+    if let Ok(entries) = std::fs::read_dir(repo.join("docs")) {
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "md") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Extracts `](target)` link targets from one markdown line, skipping
+/// fenced-code context handled by the caller.
+fn link_targets(line: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut end = start;
+            while end < bytes.len() && depth > 0 {
+                match bytes[end] {
+                    b'(' => depth += 1,
+                    b')' => depth -= 1,
+                    _ => {}
+                }
+                if depth > 0 {
+                    end += 1;
+                }
+            }
+            if end <= bytes.len() && depth == 0 {
+                out.push(line[start..end].to_string());
+                i = end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `true` for targets the checker should not resolve on disk.
+fn is_external(target: &str) -> bool {
+    target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+}
+
+#[test]
+fn relative_markdown_links_resolve() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let docs = documents(repo);
+    assert!(
+        docs.iter().any(|d| d.ends_with("README.md")),
+        "README.md must exist"
+    );
+    assert!(
+        docs.iter().any(|d| d.parent().unwrap().ends_with("docs")),
+        "docs/*.md must exist"
+    );
+
+    let mut broken = Vec::new();
+    for doc in &docs {
+        let text = std::fs::read_to_string(doc)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", doc.display()));
+        let base = doc.parent().expect("doc has a parent dir");
+        let mut in_fence = false;
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                continue;
+            }
+            if in_fence {
+                continue;
+            }
+            for target in link_targets(line) {
+                if is_external(&target) || target.is_empty() {
+                    continue;
+                }
+                // Strip a fragment: `docs/PROTOCOL.md#framing` checks
+                // the file part only.
+                let file_part = target.split('#').next().unwrap_or(&target);
+                if file_part.is_empty() {
+                    continue;
+                }
+                let resolved = base.join(file_part);
+                if !resolved.exists() {
+                    broken.push(format!(
+                        "{}:{}: broken link `{target}` (resolved {})",
+                        doc.display(),
+                        lineno + 1,
+                        resolved.display()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken relative links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn cluster_docs_are_cross_linked() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cluster = repo.join("docs/CLUSTER.md");
+    assert!(cluster.exists(), "docs/CLUSTER.md must exist");
+    let readme = std::fs::read_to_string(repo.join("README.md")).expect("README");
+    assert!(
+        readme.contains("docs/CLUSTER.md"),
+        "README must link the cluster runbook"
+    );
+    let operations = std::fs::read_to_string(repo.join("docs/OPERATIONS.md")).expect("OPERATIONS");
+    assert!(
+        operations.contains("CLUSTER.md"),
+        "docs/OPERATIONS.md must link the cluster runbook"
+    );
+}
+
+#[test]
+fn link_extraction_handles_fragments_and_nesting() {
+    assert_eq!(
+        link_targets("see [spec](docs/PROTOCOL.md#framing) and [x](a/b.md)"),
+        vec!["docs/PROTOCOL.md#framing".to_string(), "a/b.md".to_string()]
+    );
+    assert!(link_targets("no links here").is_empty());
+    assert!(is_external("https://example.com"));
+    assert!(is_external("#anchor"));
+    assert!(!is_external("docs/CLUSTER.md"));
+}
