@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use roboshape::KernelKind;
 use roboshape_robots::{zoo, Zoo};
 use roboshape_serve::loadgen::{
-    run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, RetryPolicy, TargetRobot,
+    run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, RetryPolicy, TargetRobot, Workload,
 };
 use roboshape_serve::{Engine, EngineConfig, Router, RouterConfig, Server, Shard, ShardSpec};
 use std::fs;
@@ -41,7 +41,7 @@ fn single_robot_config() -> LoadgenConfig {
             name: Zoo::Hyq.name().to_string(),
             links: zoo(Zoo::Hyq).num_links(),
         }],
-        kind: KernelKind::DynamicsGradient,
+        workload: Workload::Step(KernelKind::DynamicsGradient),
         deadline: None,
         seed: 2,
         retry: RetryPolicy::none(),
@@ -154,7 +154,7 @@ fn full_zoo_config() -> LoadgenConfig {
                 links: zoo(z).num_links(),
             })
             .collect(),
-        kind: KernelKind::DynamicsGradient,
+        workload: Workload::Step(KernelKind::DynamicsGradient),
         deadline: None,
         seed: 1,
         retry: RetryPolicy::none(),

@@ -1,0 +1,164 @@
+//! Generated-population benchmarks for the `roboshape-zoo` tier:
+//! population → compiled-program throughput (robots/sec through a
+//! warmed pipeline store) and trajectory serving throughput (one
+//! `Rollout { steps: N }` ticket per horizon versus N single-step
+//! requests) at horizons 1, 4 and 16. Besides the Criterion timings,
+//! one instrumented run writes a machine-readable summary to
+//! `BENCH_zoo.json` at the repository root.
+//!
+//! Set `SIM_BENCH_SMOKE=1` to shrink the population and request counts
+//! for CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use roboshape::{AcceleratorKnobs, BackendKind, KernelKind, Pipeline};
+use roboshape_serve::loadgen::{
+    run_loadgen, LoadMode, LoadgenConfig, LoadgenReport, RetryPolicy, TargetRobot, Workload,
+};
+use roboshape_serve::{Engine, EngineConfig, Server};
+use roboshape_zoo::{population, Family, GeneratedRobot};
+use std::fs;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 42;
+const HORIZONS: [u32; 3] = [1, 4, 16];
+
+fn smoke() -> bool {
+    std::env::var_os("SIM_BENCH_SMOKE").is_some()
+}
+
+/// Robots generated for the compile-throughput measurement.
+fn population_size() -> usize {
+    if smoke() {
+        8
+    } else {
+        64
+    }
+}
+
+/// Rollout tickets sent per horizon in the serving comparison.
+fn serve_requests() -> usize {
+    if smoke() {
+        8
+    } else {
+        32
+    }
+}
+
+fn members(n: usize) -> Vec<GeneratedRobot> {
+    population(SEED, n, &Family::ALL).expect("non-empty mix")
+}
+
+/// Compiles every member's ∇FD program against a fresh pipeline and
+/// returns robots/sec. The store starts cold, so this measures the
+/// full schedule → block plan → linearize path per distinct topology.
+fn compile_population(members: &[GeneratedRobot]) -> f64 {
+    let pipeline = Pipeline::new();
+    let knobs = AcceleratorKnobs::symmetric(2, 4);
+    let start = Instant::now();
+    for m in members {
+        let program = pipeline.compiled_program_for(
+            m.model.topology(),
+            knobs,
+            KernelKind::DynamicsGradient,
+            BackendKind::Lanes,
+        );
+        black_box(program.stats().cycles);
+    }
+    members.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+}
+
+/// Serves `serve_requests()` trajectory tickets at horizon `steps`
+/// against a loopback server hosting a generated sub-population, and
+/// returns the loadgen report (closed loop, no retries — every ticket
+/// must land).
+fn run_rollout_load(port: u16, robots: &[TargetRobot], steps: u32) -> LoadgenReport {
+    let cfg = LoadgenConfig {
+        mode: LoadMode::Closed,
+        clients: 2,
+        requests_per_client: serve_requests() / 2,
+        robots: robots.to_vec(),
+        workload: if steps == 1 {
+            // Horizon 1 doubles as the single-step baseline shape.
+            Workload::Rollout(1)
+        } else {
+            Workload::Rollout(steps)
+        },
+        deadline: None,
+        seed: 3,
+        retry: RetryPolicy::none(),
+        timeout: None,
+    };
+    let report = run_loadgen(("127.0.0.1", port), &cfg).expect("rollout load");
+    assert_eq!(report.lost(), 0, "rollout serving lost requests: {report}");
+    report
+}
+
+fn write_summary(compile_rps: f64, horizon_reports: &[(u32, LoadgenReport)]) {
+    let mut horizons = String::new();
+    for (i, (steps, report)) in horizon_reports.iter().enumerate() {
+        if i > 0 {
+            horizons.push_str(", ");
+        }
+        horizons.push_str(&format!(
+            "{{\"steps\": {steps}, \"tickets\": {ok}, \"ticket_rps\": {rps:.1}, \"step_rps\": {steps_rps:.1}, \"p50_us\": {p50}, \"p99_us\": {p99}}}",
+            ok = report.ok,
+            rps = report.throughput_rps,
+            steps_rps = report.throughput_rps * f64::from(*steps),
+            p50 = report.p50_us,
+            p99 = report.p99_us,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"zoo_population\",\n  \"seed\": {SEED},\n  \"population\": {pop},\n  \"families\": [\"serpentine\", \"humanoid\", \"multiarm\", \"random\"],\n  \"compile_robots_per_sec\": {compile_rps:.1},\n  \"rollout_serving\": [{horizons}]\n}}\n",
+        pop = population_size(),
+    );
+    roboshape::obs::json::validate(&json).expect("summary is well-formed JSON");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_zoo.json");
+    fs::write(path, json).expect("write BENCH_zoo.json");
+}
+
+fn bench_zoo_population(c: &mut Criterion) {
+    let members = members(population_size());
+
+    let mut g = c.benchmark_group("zoo_population");
+    g.sample_size(10);
+    g.bench_function("population_compile", |b| {
+        b.iter(|| black_box(compile_population(&members)))
+    });
+
+    // Serving: a loopback server hosting the first four generated
+    // robots (one per family), driven at each horizon.
+    let engine = Engine::new(EngineConfig::default());
+    let targets: Vec<TargetRobot> = members
+        .iter()
+        .take(4)
+        .map(|m| {
+            engine.register(m.model.name(), m.model.clone());
+            TargetRobot {
+                name: m.model.name().to_string(),
+                links: m.model.num_links(),
+            }
+        })
+        .collect();
+    let server = Server::start(engine, ("127.0.0.1", 0)).expect("bind loopback");
+    let port = server.port();
+    // Warm every worker's arenas before measuring.
+    run_rollout_load(port, &targets, 1);
+
+    g.bench_function("rollout_serve_h4", |b| {
+        b.iter(|| black_box(run_rollout_load(port, &targets, 4).throughput_rps))
+    });
+    g.finish();
+
+    let compile_rps = compile_population(&members);
+    let horizon_reports: Vec<(u32, LoadgenReport)> = HORIZONS
+        .iter()
+        .map(|&steps| (steps, run_rollout_load(port, &targets, steps)))
+        .collect();
+    server.shutdown();
+    write_summary(compile_rps, &horizon_reports);
+}
+
+criterion_group!(benches, bench_zoo_population);
+criterion_main!(benches);

@@ -77,7 +77,8 @@ pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
   router    route requests across shard servers by consistent hashing (no <spec>)
             (--shards NAME=ADDR,... --port P --port-file FILE --max-requests N)
   loadgen   drive a running server or router and print a latency/throughput report
-            (--port P --clients N --requests N --rate HZ --kind grad|id|fk --deadline-us N
+            (--port P --clients N --requests N --rate HZ --kind grad|id|fk
+             --workload step|rollout:N|mixed --deadline-us N
              --retries N --timeout-ms N --seed N --cluster)
   health    probe a running server's or router's readiness and circuit state (--port P)
 global options (any command):
@@ -190,8 +191,9 @@ pub enum Command {
         clients: usize,
         /// Requests per client.
         requests: usize,
-        /// Kernel to request.
-        kind: roboshape::KernelKind,
+        /// Workload shape: single kernel steps (`--workload step`, the
+        /// kernel from `--kind`), rollouts, or mixed chains.
+        workload: roboshape_serve::loadgen::Workload,
         /// Relative deadline (µs) attached to every request.
         deadline_us: Option<u64>,
         /// Attempts per request including the first (1 = no retry).
@@ -463,12 +465,33 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                     )))
                 }
             };
+            let workload = match get_opt("--workload")?.as_deref() {
+                None | Some("step") => roboshape_serve::loadgen::Workload::Step(kind),
+                Some("mixed") => roboshape_serve::loadgen::Workload::Mixed,
+                Some(spec) => match spec.strip_prefix("rollout:") {
+                    Some(steps) => match steps.parse::<u32>() {
+                        Ok(steps) if steps >= 1 => {
+                            roboshape_serve::loadgen::Workload::Rollout(steps)
+                        }
+                        _ => {
+                            return Err(CliError::new(format!(
+                                "option --workload rollout:N needs N >= 1, got `{steps}`"
+                            )))
+                        }
+                    },
+                    None => {
+                        return Err(CliError::new(format!(
+                            "option --workload must be step, rollout:N or mixed, got `{spec}`"
+                        )))
+                    }
+                },
+            };
             Command::Loadgen {
                 port: port as u16,
                 rate_hz,
                 clients: get_usize("--clients")?.unwrap_or(4).max(1),
                 requests: get_usize("--requests")?.unwrap_or(16).max(1),
-                kind,
+                workload,
                 deadline_us: get_usize("--deadline-us")?.map(|v| v as u64),
                 retries: get_usize("--retries")?.unwrap_or(3).max(1) as u32,
                 timeout_ms: get_usize("--timeout-ms")?.map(|v| v as u64),
@@ -728,7 +751,7 @@ fn run_loadgen_command(
     rate_hz: Option<f64>,
     clients: usize,
     requests: usize,
-    kind: roboshape::KernelKind,
+    workload: roboshape_serve::loadgen::Workload,
     deadline_us: Option<u64>,
     retries: u32,
     timeout_ms: Option<u64>,
@@ -753,7 +776,7 @@ fn run_loadgen_command(
         clients,
         requests_per_client: requests,
         robots,
-        kind,
+        workload,
         deadline: deadline_us.map(std::time::Duration::from_micros),
         seed,
         retry: RetryPolicy {
@@ -851,7 +874,7 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             rate_hz,
             clients,
             requests,
-            kind,
+            workload,
             deadline_us,
             retries,
             timeout_ms,
@@ -864,7 +887,7 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
                 *rate_hz,
                 *clients,
                 *requests,
-                *kind,
+                *workload,
                 *deadline_us,
                 *retries,
                 *timeout_ms,
@@ -1443,12 +1466,49 @@ mod tests {
             Command::Loadgen {
                 port,
                 rate_hz,
-                kind,
+                workload,
                 ..
             } => {
                 assert_eq!(port, 9000);
                 assert_eq!(rate_hz, Some(50.0));
-                assert_eq!(kind, roboshape::KernelKind::ForwardKinematics);
+                assert_eq!(
+                    workload,
+                    roboshape_serve::loadgen::Workload::Step(
+                        roboshape::KernelKind::ForwardKinematics
+                    )
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let c = parse_args(&args(&[
+            "loadgen",
+            "zoo:iiwa",
+            "--port",
+            "9000",
+            "--workload",
+            "rollout:4",
+        ]))
+        .unwrap();
+        match c.command {
+            Command::Loadgen { workload, .. } => {
+                assert_eq!(workload, roboshape_serve::loadgen::Workload::Rollout(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let c = parse_args(&args(&[
+            "loadgen",
+            "zoo:iiwa",
+            "--port",
+            "9000",
+            "--workload",
+            "mixed",
+        ]))
+        .unwrap();
+        match c.command {
+            Command::Loadgen { workload, .. } => {
+                assert_eq!(workload, roboshape_serve::loadgen::Workload::Mixed);
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -1460,6 +1520,24 @@ mod tests {
         assert!(parse_args(&args(&["loadgen", "zoo", "--port", "0"])).is_err());
         assert!(parse_args(&args(&["serve", "zoo", "--port", "70000"])).is_err());
         assert!(parse_args(&args(&["loadgen", "zoo", "--port", "9", "--kind", "x"])).is_err());
+        assert!(parse_args(&args(&[
+            "loadgen",
+            "zoo",
+            "--port",
+            "9",
+            "--workload",
+            "rollout:0"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "loadgen",
+            "zoo",
+            "--port",
+            "9",
+            "--workload",
+            "walk"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -1139,6 +1139,169 @@ pub fn ext_chaos() -> String {
     out
 }
 
+/// Extension: the `roboshape-zoo` parametric generator at population
+/// scale, with defaults matching the paper-style sweep (120 robots,
+/// master seed 42, all four morphology families). See [`ext_zoo_with`].
+pub fn ext_zoo() -> String {
+    ext_zoo_with(120, 42)
+}
+
+/// Extension: generates a seed-deterministic robot population across
+/// every `roboshape-zoo` family, designs one accelerator per robot at a
+/// fixed cheap knob setting, and reports speedup and resource-frontier
+/// statistics against the paper's Table 3 topology-pattern metrics.
+/// Ends with a machine-readable JSON block (no timestamps), so two runs
+/// with the same `(n, seed)` are byte-identical — CI diffs them.
+pub fn ext_zoo_with(n: usize, seed: u64) -> String {
+    use roboshape_zoo::{population, Family, GeneratedRobot};
+
+    // Surface the zoo.gen.* counters in `experiments all`'s metrics
+    // summary even for the families/paths this run never rejects.
+    roboshape_zoo::preregister_metrics();
+
+    struct Row<'a> {
+        member: &'a GeneratedRobot,
+        speedup: f64,
+        luts: f64,
+        cycles: u64,
+    }
+
+    let members = population(seed, n, &Family::ALL).expect("non-empty family mix");
+    // One cheap fixed design point per robot (no per-robot DSE): the
+    // sweep measures how morphology moves the latency/resource frontier,
+    // so the knobs must be held constant across the population.
+    let knobs = AcceleratorKnobs::symmetric(2, 4);
+    let rows: Vec<Row> = members
+        .iter()
+        .map(|m| {
+            let design = AcceleratorDesign::generate(m.model.topology(), knobs);
+            Row {
+                member: m,
+                speedup: single_computation(&design).speedup_vs_cpu(),
+                luts: design.full_resources().luts,
+                cycles: design.compute_cycles(),
+            }
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# Extension — parametric robot zoo ({n} generated robots, seed {seed})"
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>12} {:>11} {:>12} {:>12}",
+        "family", "count", "links μ", "depth μ", "speedup μ", "kLUT μ"
+    );
+
+    struct FamilyAgg {
+        count: usize,
+        links: f64,
+        depth: f64,
+        speedup: f64,
+        luts: f64,
+    }
+    let mut aggs: Vec<(Family, FamilyAgg)> = Vec::new();
+    for family in Family::ALL {
+        let fam_rows: Vec<&Row> = rows.iter().filter(|r| r.member.family == family).collect();
+        let count = fam_rows.len();
+        let mean = |f: &dyn Fn(&Row) -> f64| -> f64 {
+            fam_rows.iter().map(|r| f(r)).sum::<f64>() / count.max(1) as f64
+        };
+        let agg = FamilyAgg {
+            count,
+            links: mean(&|r| r.member.stats.metrics.total_links as f64),
+            depth: mean(&|r| r.member.stats.metrics.max_leaf_depth as f64),
+            speedup: mean(&|r| r.speedup),
+            luts: mean(&|r| r.luts / 1000.0),
+        };
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>12.1} {:>11.1} {:>12.2} {:>12.1}",
+            family.name(),
+            agg.count,
+            agg.links,
+            agg.depth,
+            agg.speedup,
+            agg.luts
+        );
+        aggs.push((family, agg));
+    }
+
+    // How the topology patterns predict the design's worth: Pearson
+    // correlation of per-robot speedup against Table 3 metrics.
+    let pearson = |x: &dyn Fn(&Row) -> f64, y: &dyn Fn(&Row) -> f64| -> f64 {
+        let n = rows.len() as f64;
+        let (mx, my) = (
+            rows.iter().map(x).sum::<f64>() / n,
+            rows.iter().map(y).sum::<f64>() / n,
+        );
+        let cov = rows.iter().map(|r| (x(r) - mx) * (y(r) - my)).sum::<f64>();
+        let (vx, vy) = (
+            rows.iter().map(|r| (x(r) - mx).powi(2)).sum::<f64>(),
+            rows.iter().map(|r| (y(r) - my).powi(2)).sum::<f64>(),
+        );
+        cov / (vx * vy).sqrt().max(1e-300)
+    };
+    let speedup = |r: &Row| r.speedup;
+    let corr_links = pearson(&|r| r.member.stats.metrics.total_links as f64, &speedup);
+    let corr_depth = pearson(&|r| r.member.stats.metrics.max_leaf_depth as f64, &speedup);
+    let corr_stdev = pearson(&|r| r.member.stats.metrics.leaf_depth_stdev, &speedup);
+    let _ = writeln!(
+        out,
+        "speedup correlation: links {corr_links:+.3}, max leaf depth {corr_depth:+.3}, leaf-depth σ {corr_stdev:+.3}"
+    );
+
+    // Resource frontier: robots whose (compute cycles, LUTs) point no
+    // other robot dominates — the morphology-induced Pareto front.
+    let pareto = rows
+        .iter()
+        .filter(|a| {
+            !rows.iter().any(|b| {
+                (b.cycles <= a.cycles && b.luts < a.luts)
+                    || (b.cycles < a.cycles && b.luts <= a.luts)
+            })
+        })
+        .count();
+    let _ = writeln!(
+        out,
+        "resource frontier: {pareto}/{} robots on the (cycles, LUTs) Pareto front at fixed knobs",
+        rows.len()
+    );
+    let _ = writeln!(
+        out,
+        "(all robots generated by roboshape-zoo from seed {seed}; same seed → same\npopulation, same URDF-round-trippable models, same numbers below)"
+    );
+
+    // Machine-readable block: deliberately timestamp-free so CI can
+    // byte-compare two same-seed runs.
+    let mut json = String::new();
+    json.push_str(&format!(
+        "{{\"report\":\"ext_zoo\",\"n\":{n},\"seed\":{seed},\"families\":["
+    ));
+    for (i, (family, agg)) in aggs.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"family\":\"{}\",\"count\":{},\"links_mean\":{:.3},\"max_leaf_depth_mean\":{:.3},\"speedup_mean\":{:.4},\"luts_mean\":{:.1}}}",
+            family.name(),
+            agg.count,
+            agg.links,
+            agg.depth,
+            agg.speedup,
+            agg.luts * 1000.0
+        ));
+    }
+    json.push_str(&format!(
+        "],\"pareto_points\":{pareto},\"correlation\":{{\"speedup_vs_links\":{corr_links:.4},\"speedup_vs_max_leaf_depth\":{corr_depth:.4},\"speedup_vs_leaf_depth_stdev\":{corr_stdev:.4}}}}}"
+    ));
+    roboshape::obs::json::validate(&json).expect("ext_zoo emits well-formed JSON");
+    let _ = writeln!(out, "{json}");
+    out
+}
+
 /// A named report generator: renders one table or figure to a string.
 pub type ReportGenerator = fn() -> String;
 
@@ -1175,6 +1338,7 @@ pub fn report_generators() -> Vec<(&'static str, ReportGenerator)> {
         ("ext_throughput", ext_throughput),
         ("ext_serve", ext_serve),
         ("ext_chaos", ext_chaos),
+        ("ext_zoo", ext_zoo),
         ("verify", verify),
     ]
 }
@@ -1196,6 +1360,22 @@ mod tests {
         for (name, body) in all_reports() {
             assert!(body.len() > 80, "{name} report too short");
         }
+    }
+
+    #[test]
+    fn ext_zoo_is_seed_deterministic_and_emits_valid_json() {
+        let a = ext_zoo_with(16, 7);
+        assert_eq!(a, ext_zoo_with(16, 7), "same (n, seed) → same bytes");
+        assert_ne!(a, ext_zoo_with(16, 8), "the seed actually matters");
+        for family in ["serpentine", "humanoid", "multiarm", "random"] {
+            assert!(a.contains(family), "missing {family} rows:\n{a}");
+        }
+        let json = a
+            .lines()
+            .rev()
+            .find(|l| l.starts_with('{'))
+            .expect("machine-readable block");
+        roboshape::obs::json::validate(json).expect("well-formed JSON");
     }
 
     #[test]

@@ -2,6 +2,9 @@
 //!
 //! ```text
 //! experiments <name>      print one report (table1..table3, fig4..fig16, verify)
+//! experiments ext_zoo [--n N] [--seed S]
+//!                         the generated-population report at an explicit
+//!                         population size / master seed (defaults 120 / 42)
 //! experiments all         print every report, with per-report wall time,
 //!                         compilation-pipeline statistics and a one-screen
 //!                         global metrics summary at the end
@@ -13,10 +16,51 @@ use roboshape_experiments::report_generators;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
+/// Parses `--n N` / `--seed S` from the arguments after the report name.
+/// Only `ext_zoo` takes them; anything else with flags is an error.
+fn parse_zoo_flags(rest: &[String]) -> Result<(usize, u64), String> {
+    let (mut n, mut seed) = (120usize, 42u64);
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag `{flag}` needs a value"))?;
+        match flag.as_str() {
+            "--n" => {
+                n = value
+                    .parse()
+                    .map_err(|_| format!("--n needs a positive integer, got `{value}`"))?;
+            }
+            "--seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("--seed needs an integer, got `{value}`"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok((n, seed))
+}
+
 fn main() -> ExitCode {
-    let arg = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "list".to_string());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let arg = args.first().cloned().unwrap_or_else(|| "list".to_string());
+    if args.len() > 1 {
+        if arg != "ext_zoo" {
+            eprintln!("only `ext_zoo` takes flags (--n, --seed); got `{arg}`");
+            return ExitCode::FAILURE;
+        }
+        match parse_zoo_flags(&args[1..]) {
+            Ok((n, seed)) => {
+                println!("{}", roboshape_experiments::ext_zoo_with(n, seed));
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("{e}; usage: experiments ext_zoo [--n N] [--seed S]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let generators = match arg.as_str() {
         "all" => report_generators(),
         "list" => {

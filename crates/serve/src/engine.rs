@@ -9,8 +9,9 @@ use crate::{
     BAD_REQUEST_METRIC, BATCHES_METRIC, BATCH_SIZE_BOUNDS, BATCH_SIZE_METRIC,
     CIRCUIT_CLOSES_METRIC, CIRCUIT_OPEN_METRIC, CIRCUIT_TRIPS_METRIC, CRASHED_METRIC,
     DEADLINE_METRIC, DEGRADED_METRIC, FAULT_CORRUPT_METRIC, FAULT_CRASH_METRIC,
-    FAULT_PRESSURE_METRIC, FAULT_STALL_METRIC, LATENCY_BOUNDS_US, LATENCY_METRIC, OBS_CATEGORY,
-    QUEUE_DEPTH_METRIC, REQUESTS_METRIC, RESPONSES_METRIC, SHED_METRIC, WORKER_RESTARTS_METRIC,
+    FAULT_PRESSURE_METRIC, FAULT_STALL_METRIC, LATENCY_BOUNDS_US, LATENCY_METRIC,
+    MIXED_REQUESTS_METRIC, OBS_CATEGORY, QUEUE_DEPTH_METRIC, REQUESTS_METRIC, RESPONSES_METRIC,
+    ROLLOUT_REQUESTS_METRIC, ROLLOUT_STEPS_METRIC, SHED_METRIC, WORKER_RESTARTS_METRIC,
 };
 use roboshape_arch::{AcceleratorDesign, AcceleratorKnobs, KernelKind, MatmulUnits};
 use roboshape_blocksparse::MatmulLatencyModel;
@@ -127,13 +128,63 @@ impl From<SimError> for ServeError {
     }
 }
 
+/// What a request asks the accelerator to run: a single kernel
+/// evaluation, or a trajectory-level workload chaining kernels
+/// worker-side so one ticket covers the whole horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkKind {
+    /// One evaluation of one generated kernel.
+    Kernel(KernelKind),
+    /// `steps` sequential ∇FD evaluations with the state fed forward
+    /// between steps ([`crate::workload::advance`]); MPC-style horizon.
+    /// The request's deadline covers the *whole* rollout.
+    Rollout {
+        /// Horizon length; must be ≥ 1.
+        steps: u32,
+    },
+    /// An ID→∇FD→FK chain on one state: torques from inverse dynamics
+    /// feed the gradient kernel, whose state feeds forward kinematics.
+    MixedPipeline,
+}
+
+impl WorkKind {
+    /// The kernel whose accelerator design sizes, schedules, and
+    /// (when degraded) prices this work. Trajectory workloads are
+    /// gradient-dominated, so they bind to the ∇FD design.
+    pub fn design_kernel(self) -> KernelKind {
+        match self {
+            WorkKind::Kernel(k) => k,
+            WorkKind::Rollout { .. } | WorkKind::MixedPipeline => KernelKind::DynamicsGradient,
+        }
+    }
+
+    /// Whether requests of this kind may coalesce into one batched
+    /// execution. Only independent single-step ∇FD evaluations qualify:
+    /// rollouts and mixed chains carry sequential dependence, so they
+    /// execute alone (and, popped one at a time, cannot starve the
+    /// coalescable batches queued around them).
+    pub fn is_coalescable(self) -> bool {
+        self == WorkKind::Kernel(KernelKind::DynamicsGradient)
+    }
+}
+
+impl fmt::Display for WorkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkKind::Kernel(k) => write!(f, "{k:?}"),
+            WorkKind::Rollout { steps } => write!(f, "Rollout({steps})"),
+            WorkKind::MixedPipeline => write!(f, "MixedPipeline"),
+        }
+    }
+}
+
 /// One kernel evaluation request against a registered robot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeRequest {
     /// Name the robot was registered under.
     pub robot: String,
-    /// Which generated kernel to run.
-    pub kind: KernelKind,
+    /// Which work to run.
+    pub kind: WorkKind,
     /// Joint positions (all kernels).
     pub q: Vec<f64>,
     /// Joint velocities (∇FD and inverse dynamics; empty for FK).
@@ -156,10 +207,48 @@ impl ServeRequest {
     ) -> ServeRequest {
         ServeRequest {
             robot: robot.into(),
-            kind: KernelKind::DynamicsGradient,
+            kind: WorkKind::Kernel(KernelKind::DynamicsGradient),
             q,
             qd,
             tau,
+            deadline: None,
+        }
+    }
+
+    /// A trajectory rollout: `steps` sequential ∇FD evaluations with
+    /// state fed forward worker-side (`tau` held constant across the
+    /// horizon). One ticket, one response carrying the final state.
+    pub fn rollout(
+        robot: impl Into<String>,
+        q: Vec<f64>,
+        qd: Vec<f64>,
+        tau: Vec<f64>,
+        steps: u32,
+    ) -> ServeRequest {
+        ServeRequest {
+            robot: robot.into(),
+            kind: WorkKind::Rollout { steps },
+            q,
+            qd,
+            tau,
+            deadline: None,
+        }
+    }
+
+    /// A mixed ID→∇FD→FK chain on one state (`qdd` rides in the third
+    /// input slot, as for [`ServeRequest::inverse_dynamics`]).
+    pub fn mixed(
+        robot: impl Into<String>,
+        q: Vec<f64>,
+        qd: Vec<f64>,
+        qdd: Vec<f64>,
+    ) -> ServeRequest {
+        ServeRequest {
+            robot: robot.into(),
+            kind: WorkKind::MixedPipeline,
+            q,
+            qd,
+            tau: qdd,
             deadline: None,
         }
     }
@@ -173,7 +262,7 @@ impl ServeRequest {
     ) -> ServeRequest {
         ServeRequest {
             robot: robot.into(),
-            kind: KernelKind::InverseDynamics,
+            kind: WorkKind::Kernel(KernelKind::InverseDynamics),
             q,
             qd,
             tau: qdd,
@@ -185,7 +274,7 @@ impl ServeRequest {
     pub fn kinematics(robot: impl Into<String>, q: Vec<f64>) -> ServeRequest {
         ServeRequest {
             robot: robot.into(),
-            kind: KernelKind::ForwardKinematics,
+            kind: WorkKind::Kernel(KernelKind::ForwardKinematics),
             q,
             qd: Vec::new(),
             tau: Vec::new(),
@@ -251,6 +340,38 @@ pub enum ServePayload {
         /// Simulated accelerator cycles.
         cycles: u64,
     },
+    /// Rollout output: the final state after `steps` integrations plus
+    /// the *last* step's ∇FD outputs (the ones an MPC loop consumes).
+    Rollout {
+        /// Horizon actually executed.
+        steps: u32,
+        /// Joint positions after the final step.
+        q_final: Vec<f64>,
+        /// Joint velocities after the final step.
+        qd_final: Vec<f64>,
+        /// Last step's RNEA-stage joint torques.
+        tau: Vec<f64>,
+        /// Last step's `∂q̈/∂q`, row-major.
+        dqdd_dq: Vec<f64>,
+        /// Last step's `∂q̈/∂q̇`, row-major.
+        dqdd_dqd: Vec<f64>,
+        /// Simulated accelerator cycles summed over the whole horizon.
+        cycles: u64,
+    },
+    /// Mixed-pipeline output: the ID-stage torques, the ∇FD gradients
+    /// they induced, and the FK poses of the input state.
+    Mixed {
+        /// Inverse-dynamics joint torques (fed to the gradient stage).
+        tau: Vec<f64>,
+        /// `∂q̈/∂q`, row-major.
+        dqdd_dq: Vec<f64>,
+        /// `∂q̈/∂q̇`, row-major.
+        dqdd_dqd: Vec<f64>,
+        /// Flattened base→link poses, 12 values per link.
+        poses: Vec<f64>,
+        /// Simulated accelerator cycles summed over the three kernels.
+        cycles: u64,
+    },
     /// Degraded answer from the analytical clock-period model, returned
     /// while the robot's circuit is open: the design's *static* latency
     /// estimate in place of simulated outputs. Clients treat this as a
@@ -277,6 +398,8 @@ impl ServePayload {
             ServePayload::Gradient { cycles, .. }
             | ServePayload::InverseDynamics { cycles, .. }
             | ServePayload::Kinematics { cycles, .. }
+            | ServePayload::Rollout { cycles, .. }
+            | ServePayload::Mixed { cycles, .. }
             | ServePayload::Degraded { cycles, .. } => *cycles,
             ServePayload::Health(_) => 0,
         }
@@ -947,6 +1070,9 @@ fn preregister_metrics() {
         FAULT_CORRUPT_METRIC,
         FAULT_PRESSURE_METRIC,
         WORKER_RESTARTS_METRIC,
+        ROLLOUT_REQUESTS_METRIC,
+        ROLLOUT_STEPS_METRIC,
+        MIXED_REQUESTS_METRIC,
     ] {
         m.counter(name).add(0);
     }
@@ -982,9 +1108,18 @@ fn validate(model: &RobotModel, req: &ServeRequest) -> Result<(), ServeError> {
         Ok(())
     };
     check("q", &req.q)?;
+    if let WorkKind::Rollout { steps } = req.kind {
+        if steps == 0 {
+            return Err(ServeError::BadRequest(
+                "rollout horizon must be at least 1 step".into(),
+            ));
+        }
+    }
     match req.kind {
-        KernelKind::ForwardKinematics => Ok(()),
-        KernelKind::DynamicsGradient | KernelKind::InverseDynamics => {
+        WorkKind::Kernel(KernelKind::ForwardKinematics) => Ok(()),
+        WorkKind::Kernel(KernelKind::DynamicsGradient | KernelKind::InverseDynamics)
+        | WorkKind::Rollout { .. }
+        | WorkKind::MixedPipeline => {
             check("qd", &req.qd)?;
             check("tau", &req.tau)
         }
@@ -1012,14 +1147,42 @@ fn default_knobs(pipeline: &Pipeline, topo: &Topology) -> AcceleratorKnobs {
 }
 
 /// The degraded answer: the design's analytical latency estimate (clock
-/// period × schedule makespan), no simulation involved.
+/// period × schedule makespan), no simulation involved. Trajectory
+/// workloads scale the estimate across their chain: a rollout multiplies
+/// the ∇FD estimate by its horizon, a mixed chain sums the three
+/// kernels' estimates.
 fn degraded_payload(slot: &RobotSlot, req: &ServeRequest) -> ServePayload {
-    let design = &slot.designs[&req.kind];
-    ServePayload::Degraded {
-        kind: req.kind,
-        cycles: design.compute_cycles(),
-        clock_ns: design.clock_ns(),
-        latency_us: design.compute_latency_us(),
+    match req.kind {
+        WorkKind::Kernel(kind) => {
+            let design = &slot.designs[&kind];
+            ServePayload::Degraded {
+                kind,
+                cycles: design.compute_cycles(),
+                clock_ns: design.clock_ns(),
+                latency_us: design.compute_latency_us(),
+            }
+        }
+        WorkKind::Rollout { steps } => {
+            let design = &slot.designs[&KernelKind::DynamicsGradient];
+            ServePayload::Degraded {
+                kind: KernelKind::DynamicsGradient,
+                cycles: design.compute_cycles() * u64::from(steps),
+                clock_ns: design.clock_ns(),
+                latency_us: design.compute_latency_us() * f64::from(steps),
+            }
+        }
+        WorkKind::MixedPipeline => {
+            let grad = &slot.designs[&KernelKind::DynamicsGradient];
+            let (cycles, latency_us) = slot.designs.values().fold((0u64, 0.0), |(c, l), design| {
+                (c + design.compute_cycles(), l + design.compute_latency_us())
+            });
+            ServePayload::Degraded {
+                kind: KernelKind::DynamicsGradient,
+                cycles,
+                clock_ns: grad.clock_ns(),
+                latency_us,
+            }
+        }
     }
 }
 
@@ -1242,10 +1405,14 @@ fn dispatch_batch(
     scratch: &mut WorkerScratch,
     live: &[Pending],
 ) {
-    let kind = live[0].req.kind;
-    let program = &slot.programs[&kind];
-    let arena = scratch.for_kernel(kind);
     let batched: Option<Result<Vec<ServePayload>, SimError>> = if live.len() > 1 {
+        // The queue only coalesces [`WorkKind::is_coalescable`] requests,
+        // so a multi-request batch is homogeneous single-step work.
+        let WorkKind::Kernel(kind) = live[0].req.kind else {
+            unreachable!("trajectory workloads pop alone");
+        };
+        let program = &slot.programs[&kind];
+        let arena = scratch.for_kernel(kind);
         let inputs = || -> Vec<(Vec<f64>, Vec<f64>, Vec<f64>)> {
             live.iter()
                 .map(|p| (p.req.q.clone(), p.req.qd.clone(), p.req.tau.clone()))
@@ -1281,10 +1448,10 @@ fn dispatch_batch(
         }
         // One bad input fails a whole batched call; fall back to singles
         // so its neighbours still succeed. Kernels without a batched
-        // path land here directly.
+        // path — and all trajectory workloads — land here directly.
         Some(Err(_)) | None => {
             for p in live {
-                let result = execute_single(program, slot, arena, p);
+                let result = execute_single(slot, scratch, p);
                 finish(inner, slot, p, result);
             }
         }
@@ -1292,27 +1459,126 @@ fn dispatch_batch(
 }
 
 /// Executes one request through the per-kernel scalar entry points and
-/// shapes its payload — the shared fallback of [`dispatch_batch`].
+/// shapes its payload — the shared fallback of [`dispatch_batch`] and
+/// the only path trajectory workloads take.
 fn execute_single(
-    program: &CompiledProgram,
     slot: &RobotSlot,
-    arena: &mut SimScratch,
+    scratch: &mut WorkerScratch,
     p: &Pending,
 ) -> Result<ServePayload, SimError> {
     match p.req.kind {
-        KernelKind::DynamicsGradient => program
-            .execute_gradient(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau)
-            .map(gradient_payload),
-        KernelKind::InverseDynamics => program
-            .execute_inverse_dynamics(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau)
-            .map(|(tau, stats)| ServePayload::InverseDynamics {
-                tau,
-                cycles: stats.cycles,
-            }),
-        KernelKind::ForwardKinematics => program
-            .execute_kinematics(&slot.model, arena, &p.req.q)
-            .map(|(poses, stats)| kinematics_payload(&poses, stats.cycles)),
+        WorkKind::Kernel(kind) => {
+            let program = &slot.programs[&kind];
+            let arena = scratch.for_kernel(kind);
+            match kind {
+                KernelKind::DynamicsGradient => program
+                    .execute_gradient(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau)
+                    .map(gradient_payload),
+                KernelKind::InverseDynamics => program
+                    .execute_inverse_dynamics(&slot.model, arena, &p.req.q, &p.req.qd, &p.req.tau)
+                    .map(|(tau, stats)| ServePayload::InverseDynamics {
+                        tau,
+                        cycles: stats.cycles,
+                    }),
+                KernelKind::ForwardKinematics => program
+                    .execute_kinematics(&slot.model, arena, &p.req.q)
+                    .map(|(poses, stats)| kinematics_payload(&poses, stats.cycles)),
+            }
+        }
+        WorkKind::Rollout { steps } => execute_rollout(slot, scratch, p, steps),
+        WorkKind::MixedPipeline => execute_mixed(slot, scratch, p),
     }
+}
+
+/// Runs a whole rollout horizon worker-side: `steps` sequential ∇FD
+/// evaluations through the robot's gradient program, feeding the state
+/// forward with [`crate::workload::advance`] between steps. The payload
+/// carries the final state plus the last step's gradients; cycles are
+/// summed across the horizon.
+fn execute_rollout(
+    slot: &RobotSlot,
+    scratch: &mut WorkerScratch,
+    p: &Pending,
+    steps: u32,
+) -> Result<ServePayload, SimError> {
+    let program = &slot.programs[&KernelKind::DynamicsGradient];
+    let arena = scratch.for_kernel(KernelKind::DynamicsGradient);
+    let mut q = p.req.q.clone();
+    let mut qd = p.req.qd.clone();
+    let mut cycles = 0u64;
+    let mut last: Option<Simulation> = None;
+    for _ in 0..steps {
+        let sim = program.execute_gradient(&slot.model, arena, &q, &qd, &p.req.tau)?;
+        cycles += sim.stats.cycles;
+        crate::workload::advance(&slot.model, &mut q, &mut qd, &p.req.tau);
+        last = Some(sim);
+    }
+    let sim = last.expect("steps >= 1 validated at admission");
+    obs::metrics().counter(ROLLOUT_REQUESTS_METRIC).add(1);
+    obs::metrics()
+        .counter(ROLLOUT_STEPS_METRIC)
+        .add(u64::from(steps));
+    Ok(ServePayload::Rollout {
+        steps,
+        q_final: q,
+        qd_final: qd,
+        tau: sim.tau.clone(),
+        dqdd_dq: flatten_mat(&sim.dqdd_dq),
+        dqdd_dqd: flatten_mat(&sim.dqdd_dqd),
+        cycles,
+    })
+}
+
+/// Runs the ID→∇FD→FK chain on one state: inverse dynamics turns the
+/// request's `q̈` into torques, those torques drive the gradient kernel,
+/// and forward kinematics poses the input configuration. Cycles are
+/// summed across the three kernels.
+fn execute_mixed(
+    slot: &RobotSlot,
+    scratch: &mut WorkerScratch,
+    p: &Pending,
+) -> Result<ServePayload, SimError> {
+    let id_program = &slot.programs[&KernelKind::InverseDynamics];
+    let id_arena = scratch.for_kernel(KernelKind::InverseDynamics);
+    let (tau, id_stats) = id_program.execute_inverse_dynamics(
+        &slot.model,
+        id_arena,
+        &p.req.q,
+        &p.req.qd,
+        &p.req.tau,
+    )?;
+
+    let grad_program = &slot.programs[&KernelKind::DynamicsGradient];
+    let grad_arena = scratch.for_kernel(KernelKind::DynamicsGradient);
+    let sim = grad_program.execute_gradient(&slot.model, grad_arena, &p.req.q, &p.req.qd, &tau)?;
+
+    let fk_program = &slot.programs[&KernelKind::ForwardKinematics];
+    let fk_arena = scratch.for_kernel(KernelKind::ForwardKinematics);
+    let (poses, fk_stats) = fk_program.execute_kinematics(&slot.model, fk_arena, &p.req.q)?;
+
+    obs::metrics().counter(MIXED_REQUESTS_METRIC).add(1);
+    let ServePayload::Kinematics { poses, .. } = kinematics_payload(&poses, fk_stats.cycles) else {
+        unreachable!("kinematics_payload shapes a Kinematics payload");
+    };
+    Ok(ServePayload::Mixed {
+        tau,
+        dqdd_dq: flatten_mat(&sim.dqdd_dq),
+        dqdd_dqd: flatten_mat(&sim.dqdd_dqd),
+        poses,
+        cycles: id_stats.cycles + sim.stats.cycles + fk_stats.cycles,
+    })
+}
+
+/// Row-major flattening of an `n × n` matrix.
+fn flatten_mat(m: &roboshape_linalg::DMat) -> Vec<f64> {
+    let n = m.rows();
+    let mut out = Vec::with_capacity(n * n);
+    for r in 0..n {
+        for c in 0..n {
+            out.push(m[(r, c)]);
+        }
+    }
+    out
 }
 
 fn kinematics_payload(poses: &[roboshape_spatial::Xform], cycles: u64) -> ServePayload {
@@ -1334,20 +1600,10 @@ fn kinematics_payload(poses: &[roboshape_spatial::Xform], cycles: u64) -> ServeP
 }
 
 fn gradient_payload(sim: Simulation) -> ServePayload {
-    let n = sim.dqdd_dq.rows();
-    let flatten = |m: &roboshape_linalg::DMat| -> Vec<f64> {
-        let mut out = Vec::with_capacity(n * n);
-        for r in 0..n {
-            for c in 0..n {
-                out.push(m[(r, c)]);
-            }
-        }
-        out
-    };
     ServePayload::Gradient {
         tau: sim.tau.clone(),
-        dqdd_dq: flatten(&sim.dqdd_dq),
-        dqdd_dqd: flatten(&sim.dqdd_dqd),
+        dqdd_dq: flatten_mat(&sim.dqdd_dq),
+        dqdd_dqd: flatten_mat(&sim.dqdd_dqd),
         cycles: sim.stats.cycles,
     }
 }
@@ -1736,6 +1992,156 @@ mod tests {
         let b = run(99);
         assert_eq!(a, b, "same seed, same fault schedule, same counters");
         assert!(a.injected_crashes > 0 && a.injected_pressure > 0, "{a:?}");
+    }
+
+    #[test]
+    fn rollout_matches_sequential_single_steps() {
+        let engine = engine_with(Zoo::Iiwa, EngineConfig::default());
+        let n = engine.num_links("iiwa").unwrap();
+        let q0 = vec![0.2; n];
+        let qd0 = vec![0.05; n];
+        let tau = vec![0.4; n];
+        let steps = 3u32;
+
+        let ticket = engine
+            .submit(ServeRequest::rollout(
+                "iiwa",
+                q0.clone(),
+                qd0.clone(),
+                tau.clone(),
+                steps,
+            ))
+            .unwrap();
+        let payload = ticket.wait().unwrap();
+
+        // Reference: N sequential single-step ∇FD calls with the state
+        // advanced by the shared integrator between steps.
+        let model = zoo(Zoo::Iiwa);
+        let (mut q, mut qd) = (q0, qd0);
+        let mut last = None;
+        let mut want_cycles = 0u64;
+        for _ in 0..steps {
+            let t = engine
+                .submit(ServeRequest::gradient(
+                    "iiwa",
+                    q.clone(),
+                    qd.clone(),
+                    tau.clone(),
+                ))
+                .unwrap();
+            let step = t.wait().unwrap();
+            crate::workload::advance(&model, &mut q, &mut qd, &tau);
+            want_cycles += step.cycles();
+            last = Some(step);
+        }
+
+        match (payload, last.unwrap()) {
+            (
+                ServePayload::Rollout {
+                    steps: got_steps,
+                    q_final,
+                    qd_final,
+                    tau: roll_tau,
+                    dqdd_dq,
+                    dqdd_dqd,
+                    cycles,
+                },
+                ServePayload::Gradient {
+                    tau: step_tau,
+                    dqdd_dq: step_dq,
+                    dqdd_dqd: step_dqd,
+                    ..
+                },
+            ) => {
+                assert_eq!(got_steps, steps);
+                assert_eq!(cycles, want_cycles, "cycles sum over the horizon");
+                for (a, b) in q_final.iter().zip(&q) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for (a, b) in qd_final.iter().zip(&qd) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                assert_eq!(roll_tau, step_tau, "final-step torques bit-equal");
+                assert_eq!(dqdd_dq, step_dq);
+                assert_eq!(dqdd_dqd, step_dqd);
+            }
+            other => panic!("wrong payloads: {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn zero_step_rollout_is_a_bad_request() {
+        let engine = engine_with(Zoo::Iiwa, EngineConfig::default());
+        let err = engine
+            .submit(ServeRequest::rollout(
+                "iiwa",
+                vec![0.1; 7],
+                vec![0.0; 7],
+                vec![0.0; 7],
+                0,
+            ))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::BadRequest(_)), "{err}");
+        engine.shutdown();
+    }
+
+    #[test]
+    fn mixed_pipeline_chains_id_gradient_and_fk() {
+        let engine = engine_with(Zoo::Iiwa, EngineConfig::default());
+        let n = engine.num_links("iiwa").unwrap();
+        let (q, qd, qdd) = (vec![0.3; n], vec![0.1; n], vec![0.2; n]);
+        let ticket = engine
+            .submit(ServeRequest::mixed("iiwa", q.clone(), qd.clone(), qdd))
+            .unwrap();
+        match ticket.wait().unwrap() {
+            ServePayload::Mixed {
+                tau,
+                dqdd_dq,
+                dqdd_dqd,
+                poses,
+                cycles,
+            } => {
+                assert_eq!(tau.len(), n, "ID stage: one torque per joint");
+                assert_eq!(dqdd_dq.len(), n * n);
+                assert_eq!(dqdd_dqd.len(), n * n);
+                assert!(!poses.is_empty() && poses.len() % n == 0, "FK poses");
+                assert!(tau.iter().all(|v| v.is_finite()));
+                // Three chained kernels must cost more than any one alone.
+                let fk_only = engine
+                    .submit(ServeRequest::kinematics("iiwa", q))
+                    .unwrap()
+                    .wait()
+                    .unwrap();
+                assert!(cycles > fk_only.cycles(), "chain sums stage cycles");
+            }
+            other => panic!("wrong payload: {other:?}"),
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn rollout_deadline_covers_the_whole_horizon() {
+        // A deadline that expires while the rollout is queued fails the
+        // whole trajectory, not a prefix of it.
+        let engine = engine_with(
+            Zoo::Iiwa,
+            EngineConfig {
+                workers_per_robot: 1,
+                start_paused: true,
+                ..EngineConfig::default()
+            },
+        );
+        let ticket = engine
+            .submit(
+                ServeRequest::rollout("iiwa", vec![0.1; 7], vec![0.0; 7], vec![0.2; 7], 8)
+                    .with_deadline(Duration::from_micros(1)),
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        engine.resume();
+        assert_eq!(ticket.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        engine.shutdown();
     }
 
     #[test]

@@ -60,6 +60,9 @@
 //! | `serve.fault.frame_corrupt` | counter | response frames damaged on wire |
 //! | `serve.fault.queue_pressure` | counter | injected admission sheds |
 //! | `serve.fault.worker_restarts` | counter | workers restarted by supervisor |
+//! | `serve.rollout.requests` | counter | rollout workloads executed |
+//! | `serve.rollout.steps` | counter | ∇FD steps executed inside rollouts |
+//! | `serve.mixed.requests` | counter | mixed ID→∇FD→FK chains executed |
 //! | `serve.retry.attempts` | counter | loadgen retries sent |
 //! | `serve.retry.exhausted` | counter | loadgen requests out of retries |
 //! | `serve.router.requests` | counter | kernel requests accepted by a router |
@@ -112,10 +115,11 @@ mod queue;
 mod router;
 mod server;
 mod shard;
+pub mod workload;
 
 pub use engine::{
     Engine, EngineConfig, EngineStats, HealthReport, RobotHealth, ServeError, ServePayload,
-    ServeRequest, ServeResult, Ticket,
+    ServeRequest, ServeResult, Ticket, WorkKind,
 };
 pub use fault::{
     Admission, CircuitBreaker, CircuitState, CorruptionMode, FailureOutcome, FaultConfig,
@@ -167,6 +171,12 @@ pub const FAULT_CORRUPT_METRIC: &str = "serve.fault.frame_corrupt";
 pub const FAULT_PRESSURE_METRIC: &str = "serve.fault.queue_pressure";
 /// Counter: crashed workers restarted by the supervisor.
 pub const WORKER_RESTARTS_METRIC: &str = "serve.fault.worker_restarts";
+/// Counter: rollout workloads executed worker-side.
+pub const ROLLOUT_REQUESTS_METRIC: &str = "serve.rollout.requests";
+/// Counter: ∇FD steps executed inside rollout workloads.
+pub const ROLLOUT_STEPS_METRIC: &str = "serve.rollout.steps";
+/// Counter: mixed ID→∇FD→FK chains executed worker-side.
+pub const MIXED_REQUESTS_METRIC: &str = "serve.mixed.requests";
 /// Counter: client-side retry attempts sent by the load generator.
 pub const RETRY_ATTEMPTS_METRIC: &str = "serve.retry.attempts";
 /// Counter: load-generator requests that exhausted their retry budget.

@@ -15,8 +15,9 @@
 //! Kernel request body:
 //!
 //! ```text
-//! u64 id | u8 kind (0 FK, 1 ID, 2 ∇FD) | u64 deadline_µs (MAX = none)
-//! | u32 name_len | name bytes | u32 n | q[n] | (ID, ∇FD only: qd[n], tau[n])
+//! u64 id | u8 kind (0 FK, 1 ID, 2 ∇FD, 5 rollout, 6 mixed)
+//! | u64 deadline_µs (MAX = none) | u32 name_len | name bytes
+//! | (rollout only: u32 steps) | u32 n | q[n] | (FK omits: qd[n], tau[n])
 //! ```
 //!
 //! A health probe request is just `u64 id | u8 3` — see
@@ -27,7 +28,7 @@
 //! — `id` is the correlation key.
 
 use crate::engine::{
-    HealthReport, RobotHealth, ServeError, ServePayload, ServeRequest, ServeResult,
+    HealthReport, RobotHealth, ServeError, ServePayload, ServeRequest, ServeResult, WorkKind,
 };
 use crate::fault::CircuitState;
 use bytes::{Buf, BufMut};
@@ -51,6 +52,11 @@ const KIND_HEALTH: u8 = 3;
 /// Request-kind tag for the router→shard handshake (cluster tier only;
 /// see `docs/PROTOCOL.md` §Hello).
 const KIND_HELLO: u8 = 4;
+/// Request-kind tag for a trajectory rollout (`u32 steps` follows the
+/// robot name).
+const KIND_ROLLOUT: u8 = 5;
+/// Request-kind tag for a mixed ID→∇FD→FK pipeline chain.
+const KIND_MIXED: u8 = 6;
 
 const STATUS_OK_FK: u8 = 0;
 const STATUS_OK_ID: u8 = 1;
@@ -64,6 +70,10 @@ const STATUS_DEGRADED: u8 = 8;
 const STATUS_HEALTH: u8 = 9;
 /// Status tag for the shard's handshake reply.
 const STATUS_HELLO: u8 = 10;
+/// Status tag for a successful rollout response.
+const STATUS_OK_ROLLOUT: u8 = 11;
+/// Status tag for a successful mixed-pipeline response.
+const STATUS_OK_MIXED: u8 = 12;
 
 /// High bit of the response status byte: set by the **router** when the
 /// answer came from a fallback shard rather than the robot's ring
@@ -226,6 +236,23 @@ fn kind_from_tag(tag: u8) -> Option<KernelKind> {
     }
 }
 
+/// The request tag of a work kind (rollout steps travel in the body,
+/// not the tag).
+fn work_tag(kind: WorkKind) -> u8 {
+    match kind {
+        WorkKind::Kernel(k) => kind_tag(k),
+        WorkKind::Rollout { .. } => KIND_ROLLOUT,
+        WorkKind::MixedPipeline => KIND_MIXED,
+    }
+}
+
+/// Whether a request tag denotes robot-addressed work (anything the
+/// engine executes: a kernel or a trajectory workload) as opposed to
+/// health/hello control frames or garbage.
+fn is_work_tag(tag: u8) -> bool {
+    kind_from_tag(tag).is_some() || tag == KIND_ROLLOUT || tag == KIND_MIXED
+}
+
 /// Bytes of the frame header (`u32` length + `u32` checksum).
 pub const HEADER_LEN: usize = 8;
 
@@ -257,16 +284,19 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
     let req = &frame.req;
     let mut out = Vec::with_capacity(64 + 8 * (req.q.len() + req.qd.len() + req.tau.len()));
     out.put_u64_le(frame.id);
-    out.put_u8(kind_tag(req.kind));
+    out.put_u8(work_tag(req.kind));
     let deadline_us = req.deadline.map_or(NO_DEADLINE, |d| {
         (d.as_micros().min(u128::from(NO_DEADLINE - 1))) as u64
     });
     out.put_u64_le(deadline_us);
     out.put_u32_le(req.robot.len() as u32);
     out.put_slice(req.robot.as_bytes());
+    if let WorkKind::Rollout { steps } = req.kind {
+        out.put_u32_le(steps);
+    }
     out.put_u32_le(req.q.len() as u32);
     put_f64s(&mut out, &req.q);
-    if req.kind != KernelKind::ForwardKinematics {
+    if req.kind != WorkKind::Kernel(KernelKind::ForwardKinematics) {
         put_f64s(&mut out, &req.qd);
         put_f64s(&mut out, &req.tau);
     }
@@ -282,17 +312,23 @@ pub fn encode_request(frame: &RequestFrame) -> Vec<u8> {
 pub fn decode_request(body: &[u8]) -> Result<RequestFrame, ProtoError> {
     let mut r = Reader { buf: body };
     let id = r.u64()?;
-    let kind = match r.u8()? {
-        KIND_FK => KernelKind::ForwardKinematics,
-        KIND_ID => KernelKind::InverseDynamics,
-        KIND_GRAD => KernelKind::DynamicsGradient,
-        tag => return Err(ProtoError::BadTag(tag)),
-    };
+    let tag = r.u8()?;
+    if !is_work_tag(tag) {
+        return Err(ProtoError::BadTag(tag));
+    }
     let deadline_us = r.u64()?;
     let robot = r.string()?;
+    let kind = match tag {
+        KIND_FK => WorkKind::Kernel(KernelKind::ForwardKinematics),
+        KIND_ID => WorkKind::Kernel(KernelKind::InverseDynamics),
+        KIND_GRAD => WorkKind::Kernel(KernelKind::DynamicsGradient),
+        KIND_ROLLOUT => WorkKind::Rollout { steps: r.u32()? },
+        KIND_MIXED => WorkKind::MixedPipeline,
+        tag => return Err(ProtoError::BadTag(tag)),
+    };
     let n = r.count(8)?;
     let q = r.f64s(n)?;
-    let (qd, tau) = if kind == KernelKind::ForwardKinematics {
+    let (qd, tau) = if kind == WorkKind::Kernel(KernelKind::ForwardKinematics) {
         (Vec::new(), Vec::new())
     } else {
         (r.f64s(n)?, r.f64s(n)?)
@@ -435,7 +471,7 @@ pub fn peek_request_route(body: &[u8]) -> Result<RequestRoute, ProtoError> {
             is_health: false,
         });
     }
-    if kind_from_tag(tag).is_none() {
+    if !is_work_tag(tag) {
         return Err(ProtoError::BadTag(tag));
     }
     let _deadline = r.u64()?;
@@ -501,7 +537,7 @@ pub fn decode_any_request(body: &[u8]) -> Result<DecodedRequest, ProtoError> {
     if tag == KIND_HELLO {
         return Ok(DecodedRequest::Hello { id });
     }
-    if kind_from_tag(tag).is_none() {
+    if !is_work_tag(tag) {
         return Err(ProtoError::BadTag(tag));
     }
     decode_request(body).map(DecodedRequest::Kernel)
@@ -539,6 +575,41 @@ pub fn encode_response(frame: &ResponseFrame) -> Vec<u8> {
             put_f64s(&mut out, tau);
             put_f64s(&mut out, dqdd_dq);
             put_f64s(&mut out, dqdd_dqd);
+            out.put_u64_le(*cycles);
+        }
+        Ok(ServePayload::Rollout {
+            steps,
+            q_final,
+            qd_final,
+            tau,
+            dqdd_dq,
+            dqdd_dqd,
+            cycles,
+        }) => {
+            out.put_u8(STATUS_OK_ROLLOUT);
+            out.put_u32_le(*steps);
+            out.put_u32_le(tau.len() as u32);
+            put_f64s(&mut out, q_final);
+            put_f64s(&mut out, qd_final);
+            put_f64s(&mut out, tau);
+            put_f64s(&mut out, dqdd_dq);
+            put_f64s(&mut out, dqdd_dqd);
+            out.put_u64_le(*cycles);
+        }
+        Ok(ServePayload::Mixed {
+            tau,
+            dqdd_dq,
+            dqdd_dqd,
+            poses,
+            cycles,
+        }) => {
+            out.put_u8(STATUS_OK_MIXED);
+            out.put_u32_le(tau.len() as u32);
+            out.put_u32_le(poses.len() as u32);
+            put_f64s(&mut out, tau);
+            put_f64s(&mut out, dqdd_dq);
+            put_f64s(&mut out, dqdd_dqd);
+            put_f64s(&mut out, poses);
             out.put_u64_le(*cycles);
         }
         Err(ServeError::Rejected { reason }) => {
@@ -627,6 +698,47 @@ pub fn decode_response(body: &[u8]) -> Result<ResponseFrame, ProtoError> {
                 tau,
                 dqdd_dq,
                 dqdd_dqd,
+                cycles,
+            })
+        }
+        STATUS_OK_ROLLOUT => {
+            let steps = r.u32()?;
+            let n = r.count(8)?;
+            if n.saturating_mul(n).saturating_mul(8) > MAX_FRAME {
+                return Err(ProtoError::BadLength(n as u64));
+            }
+            let q_final = r.f64s(n)?;
+            let qd_final = r.f64s(n)?;
+            let tau = r.f64s(n)?;
+            let dqdd_dq = r.f64s(n * n)?;
+            let dqdd_dqd = r.f64s(n * n)?;
+            let cycles = r.u64()?;
+            Ok(ServePayload::Rollout {
+                steps,
+                q_final,
+                qd_final,
+                tau,
+                dqdd_dq,
+                dqdd_dqd,
+                cycles,
+            })
+        }
+        STATUS_OK_MIXED => {
+            let n = r.count(8)?;
+            if n.saturating_mul(n).saturating_mul(8) > MAX_FRAME {
+                return Err(ProtoError::BadLength(n as u64));
+            }
+            let poses_len = r.count(8)?;
+            let tau = r.f64s(n)?;
+            let dqdd_dq = r.f64s(n * n)?;
+            let dqdd_dqd = r.f64s(n * n)?;
+            let poses = r.f64s(poses_len)?;
+            let cycles = r.u64()?;
+            Ok(ServePayload::Mixed {
+                tau,
+                dqdd_dq,
+                dqdd_dqd,
+                poses,
                 cycles,
             })
         }
@@ -786,6 +898,85 @@ mod tests {
         } else {
             panic!("expected gradient payload");
         }
+    }
+
+    #[test]
+    fn rollout_and_mixed_requests_round_trip() {
+        let rollout = RequestFrame {
+            id: 77,
+            req: ServeRequest::rollout("iiwa", vec![0.3; 7], vec![0.1; 7], vec![0.5; 7], 16)
+                .with_deadline(Duration::from_micros(40_000)),
+        };
+        let body = encode_request(&rollout);
+        assert_eq!(body[8], KIND_ROLLOUT);
+        assert_eq!(decode_request(&body).unwrap(), rollout);
+        // The router's peek still reads id/robot without knowing the
+        // steps field exists (it sits after the name).
+        let route = peek_request_route(&body).unwrap();
+        assert_eq!(route.id, 77);
+        assert_eq!(route.robot.as_deref(), Some("iiwa"));
+
+        let mixed = RequestFrame {
+            id: 78,
+            req: ServeRequest::mixed("HyQ", vec![0.2; 12], vec![-0.1; 12], vec![0.0; 12]),
+        };
+        let body = encode_request(&mixed);
+        assert_eq!(body[8], KIND_MIXED);
+        assert_eq!(decode_request(&body).unwrap(), mixed);
+        assert_eq!(
+            peek_request_route(&body).unwrap().robot.as_deref(),
+            Some("HyQ")
+        );
+    }
+
+    #[test]
+    fn rollout_and_mixed_responses_round_trip_bit_exactly() {
+        let frames = [
+            ResponseFrame::direct(
+                21,
+                Ok(ServePayload::Rollout {
+                    steps: 16,
+                    q_final: vec![0.25, -0.0],
+                    qd_final: vec![5e-300, f64::MAX],
+                    tau: vec![1.5, -2.5],
+                    dqdd_dq: vec![1.0, 2.0, 3.0, 4.0],
+                    dqdd_dqd: vec![-1.0, -2.0, -3.0, -4.0],
+                    cycles: 4096,
+                }),
+            ),
+            ResponseFrame::direct(
+                22,
+                Ok(ServePayload::Mixed {
+                    tau: vec![0.5, -0.5],
+                    dqdd_dq: vec![9.0, 8.0, 7.0, 6.0],
+                    dqdd_dqd: vec![0.0, -0.0, 1.0, 2.0],
+                    poses: vec![0.125; 24],
+                    cycles: 777,
+                }),
+            ),
+        ];
+        for frame in &frames {
+            let body = encode_response(frame);
+            assert_eq!(&decode_response(&body).unwrap(), frame);
+        }
+        // Pin -0.0's sign bit through the rollout arm.
+        let body = encode_response(&frames[0]);
+        if let Ok(ServePayload::Rollout { q_final, .. }) = decode_response(&body).unwrap().result {
+            assert_eq!(q_final[1].to_bits(), (-0.0f64).to_bits());
+        } else {
+            panic!("expected rollout payload");
+        }
+    }
+
+    #[test]
+    fn zero_step_rollout_survives_the_wire_for_server_side_rejection() {
+        // Validation lives in the engine, not the codec: a steps=0 frame
+        // decodes fine and is rejected as a BadRequest by `submit`.
+        let frame = RequestFrame {
+            id: 1,
+            req: ServeRequest::rollout("iiwa", vec![0.0; 7], vec![0.0; 7], vec![0.0; 7], 0),
+        };
+        assert_eq!(decode_request(&encode_request(&frame)).unwrap(), frame);
     }
 
     #[test]

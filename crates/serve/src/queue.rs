@@ -5,7 +5,6 @@
 //! condition variable) so workers can block until work arrives.
 
 use crate::engine::{ServeRequest, Ticket};
-use roboshape_arch::KernelKind;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
@@ -125,11 +124,15 @@ impl EdfQueue {
             heap = guard;
         }
         let first = heap.pop().expect("non-empty by loop invariant");
-        let coalesce = first.req.kind == KernelKind::DynamicsGradient;
+        // Only independent single-step ∇FD work coalesces; trajectory
+        // workloads (rollouts, mixed chains) pop alone, so one long
+        // rollout occupies exactly one worker dispatch and the
+        // coalescable batches queued behind it drain normally.
+        let coalesce = first.req.kind.is_coalescable();
         let mut batch = vec![first];
         while coalesce && batch.len() < max.max(1) {
             match heap.peek() {
-                Some(next) if next.req.kind == KernelKind::DynamicsGradient => {
+                Some(next) if next.req.kind.is_coalescable() => {
                     batch.push(heap.pop().expect("peeked"));
                 }
                 _ => break,
@@ -221,6 +224,66 @@ mod tests {
         let batch = q.next_batch(4, &paused, &closed).unwrap();
         let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
         assert_eq!(seqs, vec![0, 1], "queued requests untouched by the shed");
+    }
+
+    #[test]
+    fn trajectory_requests_pop_alone_and_never_join_gradient_batches() {
+        let q = EdfQueue::new(16);
+        let base = Instant::now();
+        let push = |seq: u64, req: ServeRequest| {
+            q.try_push(Pending {
+                deadline: Some(base + Duration::from_micros(100 + seq)),
+                seq,
+                req,
+                enqueued: base,
+                ticket: Ticket::new(),
+                probe: false,
+            })
+            .unwrap();
+        };
+        // A rollout lands between two coalescable ∇FD requests.
+        push(0, ServeRequest::rollout("r", vec![], vec![], vec![], 4));
+        push(1, ServeRequest::gradient("r", vec![], vec![], vec![]));
+        push(2, ServeRequest::gradient("r", vec![], vec![], vec![]));
+
+        let paused = AtomicBool::new(false);
+        let closed = AtomicBool::new(false);
+        // The rollout is most urgent and pops strictly alone …
+        let batch = q.next_batch(8, &paused, &closed).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].seq, 0);
+        // … while the ∇FD requests behind it still coalesce normally.
+        let batch = q.next_batch(8, &paused, &closed).unwrap();
+        let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn gradient_batch_stops_at_a_queued_trajectory_request() {
+        let q = EdfQueue::new(16);
+        let base = Instant::now();
+        let push = |seq: u64, req: ServeRequest| {
+            q.try_push(Pending {
+                deadline: Some(base + Duration::from_micros(100 + seq)),
+                seq,
+                req,
+                enqueued: base,
+                ticket: Ticket::new(),
+                probe: false,
+            })
+            .unwrap();
+        };
+        push(0, ServeRequest::gradient("r", vec![], vec![], vec![]));
+        push(1, ServeRequest::mixed("r", vec![], vec![], vec![]));
+        push(2, ServeRequest::gradient("r", vec![], vec![], vec![]));
+
+        let paused = AtomicBool::new(false);
+        let closed = AtomicBool::new(false);
+        let batch = q.next_batch(8, &paused, &closed).unwrap();
+        let seqs: Vec<u64> = batch.iter().map(|p| p.seq).collect();
+        assert_eq!(seqs, vec![0], "coalescing halts at the mixed request");
+        assert_eq!(q.next_batch(8, &paused, &closed).unwrap()[0].seq, 1);
+        assert_eq!(q.next_batch(8, &paused, &closed).unwrap()[0].seq, 2);
     }
 
     #[test]

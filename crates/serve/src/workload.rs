@@ -1,0 +1,61 @@
+//! Trajectory-workload state propagation, shared by the engine's
+//! worker-side rollout executor and its correctness pins.
+//!
+//! A `Rollout{steps}` request runs N sequential ∇FD evaluations with the
+//! state fed forward between steps. The *integration rule* connecting one
+//! step's accelerations to the next step's `(q, q̇)` lives here — in
+//! exactly one place — so the worker loop and the bit-exactness property
+//! test call the identical function and `==`-compare every f64.
+
+use roboshape_dynamics::Dynamics;
+use roboshape_urdf::RobotModel;
+
+/// Fixed integration timestep for rollout workloads, in seconds. One
+/// millisecond matches the control rates the paper's MPC workloads target
+/// (250 Hz–1 kHz).
+pub const ROLLOUT_DT: f64 = 1e-3;
+
+/// Advances `(q, q̇)` by one semi-implicit Euler step under constant
+/// torques `tau`: `q̈ = FD(q, q̇, τ)`, then `q̇ += dt·q̈`, then
+/// `q += dt·q̇` (with the already-updated velocity).
+///
+/// Deterministic: same inputs, bit-identical outputs — rollouts replayed
+/// step-by-step through single-step requests land on the same floats.
+///
+/// # Panics
+///
+/// Panics if `q`/`qd`/`tau` lengths disagree with the model's link count
+/// (callers validate dimensions at admission).
+pub fn advance(model: &RobotModel, q: &mut [f64], qd: &mut [f64], tau: &[f64]) {
+    let qdd = Dynamics::new(model).forward_dynamics(q, qd, tau);
+    for j in 0..qd.len() {
+        qd[j] += ROLLOUT_DT * qdd[j];
+        q[j] += ROLLOUT_DT * qd[j];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roboshape_robots::{zoo, Zoo};
+
+    #[test]
+    fn advance_is_deterministic_and_moves_state() {
+        let model = zoo(Zoo::Iiwa);
+        let n = model.num_links();
+        let q0: Vec<f64> = (0..n).map(|i| 0.1 * i as f64).collect();
+        let qd0 = vec![0.0; n];
+        let tau = vec![0.5; n];
+
+        let (mut q_a, mut qd_a) = (q0.clone(), qd0.clone());
+        let (mut q_b, mut qd_b) = (q0.clone(), qd0.clone());
+        advance(&model, &mut q_a, &mut qd_a, &tau);
+        advance(&model, &mut q_b, &mut qd_b, &tau);
+        for j in 0..n {
+            assert_eq!(q_a[j].to_bits(), q_b[j].to_bits());
+            assert_eq!(qd_a[j].to_bits(), qd_b[j].to_bits());
+        }
+        assert_ne!(q_a, q0, "constant torque moves the state");
+        assert!(q_a.iter().chain(&qd_a).all(|v| v.is_finite()));
+    }
+}

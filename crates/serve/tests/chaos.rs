@@ -18,7 +18,7 @@
 
 use roboshape_robots::{zoo, Zoo};
 use roboshape_serve::loadgen::{
-    request_inputs, run_loadgen, LoadMode, LoadgenConfig, RetryPolicy, TargetRobot,
+    request_inputs, run_loadgen, LoadMode, LoadgenConfig, RetryPolicy, TargetRobot, Workload,
 };
 use roboshape_serve::{
     Client, Engine, EngineConfig, FaultConfig, ServePayload, ServeRequest, Server,
@@ -81,7 +81,7 @@ fn chaos_soak_loses_nothing_duplicates_nothing_corrupts_nothing() {
                 links: zoo(w).num_links(),
             })
             .collect(),
-        kind: roboshape_arch::KernelKind::DynamicsGradient,
+        workload: Workload::Step(roboshape_arch::KernelKind::DynamicsGradient),
         deadline: None,
         seed: 5,
         retry: RetryPolicy {

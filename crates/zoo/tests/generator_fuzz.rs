@@ -1,0 +1,109 @@
+//! Generator validity fuzz: every morphology the zoo emits must be a
+//! first-class citizen of the rest of the framework — parseable, URDF
+//! round-trippable, and compilable to a `CompiledProgram` on both
+//! execution backends. Degenerate parameters must fail with typed
+//! errors, never panics: family parameters are untrusted input.
+
+use proptest::prelude::*;
+use roboshape_arch::{AcceleratorKnobs, KernelKind};
+use roboshape_pipeline::Pipeline;
+use roboshape_sim::BackendKind;
+use roboshape_zoo::{generate, population, Family, FamilyParams, ZooError};
+
+fn family_strategy() -> impl Strategy<Value = Family> {
+    (0usize..4).prop_map(|i| Family::ALL[i])
+}
+
+/// Bounded parameter ranges, kept modest so each case stays under the
+/// `MAX_LINKS` ceiling and compiles quickly in CI.
+fn params_strategy() -> impl Strategy<Value = FamilyParams> {
+    (1usize..4, 1usize..4, 1usize..8)
+        .prop_map(|(depth, branching, dof)| FamilyParams::new(depth, branching, dof))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every generated morphology round-trips through URDF export/import
+    /// with an identical topology, and its gradient kernel compiles to a
+    /// `CompiledProgram` on both the scalar and the lane backend.
+    #[test]
+    fn generated_robots_parse_compile_and_round_trip(
+        family in family_strategy(),
+        params in params_strategy(),
+        seed in 0u64..1_000_000,
+    ) {
+        let robot = generate(family, params, seed).expect("in-range params generate");
+        let model = &robot.model;
+        prop_assert!(model.num_links() >= 1);
+        prop_assert!(model.num_links() <= roboshape_zoo::MAX_LINKS);
+
+        // URDF round trip: the exported description re-parses to the
+        // same kinematic tree.
+        let urdf = roboshape_urdf::write_urdf(model);
+        let reparsed = roboshape_urdf::parse_urdf(&urdf).expect("generated URDF parses");
+        prop_assert_eq!(reparsed.topology(), model.topology());
+
+        // Both backends compile the sample through the shared pipeline
+        // store — the same path serving and the experiments use.
+        let pipeline = Pipeline::new();
+        let topo = model.topology();
+        let knobs = AcceleratorKnobs::new(2, 2, 4);
+        for backend in [BackendKind::Scalar, BackendKind::Lanes] {
+            let program = pipeline.compiled_program_for(
+                topo,
+                knobs,
+                KernelKind::DynamicsGradient,
+                backend,
+            );
+            prop_assert_eq!(program.backend(), backend);
+            prop_assert!(program.stats().cycles > 0);
+        }
+    }
+
+    /// Degenerate parameters are rejected with typed errors on every
+    /// family — no panics, no silently-empty robots.
+    #[test]
+    fn degenerate_parameters_yield_typed_errors(
+        family in family_strategy(),
+        seed in 0u64..1_000_000,
+        good_dof in 1usize..6,
+    ) {
+        for bad in [
+            FamilyParams::new(0, 1, good_dof), // depth 0
+            FamilyParams::new(1, 1, 0),        // DOF 0
+        ] {
+            match generate(family, bad, seed) {
+                Err(ZooError::InvalidParameter { .. }) => {}
+                other => prop_assert!(false, "expected InvalidParameter, got {other:?}"),
+            }
+        }
+        // branching 0 is invalid for the families that consume it.
+        if matches!(family, Family::MultiArm | Family::RandomBranching) {
+            match generate(family, FamilyParams::new(1, 0, good_dof), seed) {
+                Err(ZooError::InvalidParameter { .. }) => {}
+                other => prop_assert!(false, "expected InvalidParameter, got {other:?}"),
+            }
+        }
+    }
+
+    /// Population sampling is itself total over valid inputs: every
+    /// member compiles on the scalar backend and has coherent stats.
+    #[test]
+    fn population_members_all_compile(seed in 0u64..1_000_000) {
+        let robots = population(seed, 6, &Family::ALL).expect("valid mix");
+        prop_assert_eq!(robots.len(), 6);
+        let pipeline = Pipeline::new();
+        for r in &robots {
+            let n = r.model.num_links();
+            prop_assert_eq!(r.stats.chain_lengths.iter().sum::<usize>(), n);
+            let program = pipeline.compiled_program_for(
+                r.model.topology(),
+                AcceleratorKnobs::new(2, 2, 4),
+                KernelKind::DynamicsGradient,
+                BackendKind::Scalar,
+            );
+            prop_assert!(program.stats().cycles > 0);
+        }
+    }
+}
