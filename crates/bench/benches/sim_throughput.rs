@@ -12,9 +12,12 @@ use roboshape::{
     shared_program, shared_program_for, try_simulate_interpreted, AcceleratorDesign,
     AcceleratorKnobs, BackendKind, CompiledProgram, SimScratch,
 };
+use roboshape_benchrec::record::relative_spread;
+use roboshape_benchrec::{BenchRecord, MetricKind};
 use roboshape_robots::{zoo, Zoo};
 use std::fs;
 use std::hint::black_box;
+use std::path::Path;
 use std::time::Instant;
 
 fn smoke() -> bool {
@@ -75,13 +78,37 @@ fn selected_backend() -> BackendKind {
     }
 }
 
+/// Runs `total` iterations of `f` split into three timed chunks and
+/// returns `(µs per iteration, relative spread of the per-chunk
+/// rates)`. The spread is the noise estimate the BenchRecord carries:
+/// what this machine's scheduler did to three back-to-back passes of
+/// the identical workload.
+fn timed_chunks<F: FnMut()>(total: usize, mut f: F) -> (f64, f64) {
+    const CHUNKS: usize = 3;
+    let per = (total / CHUNKS).max(1);
+    let mut rates = [0.0; CHUNKS];
+    let start = Instant::now();
+    for rate in &mut rates {
+        let chunk_start = Instant::now();
+        for _ in 0..per {
+            f();
+        }
+        *rate = per as f64 / chunk_start.elapsed().as_secs_f64().max(1e-12);
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / (CHUNKS * per) as f64;
+    (us, relative_spread(&rates))
+}
+
 struct RobotRow {
     name: &'static str,
     links: usize,
     compile_us: f64,
     cold_first_eval_us: f64,
     warm_exec_us: f64,
+    /// Relative spread of the warm chunks' rates.
+    warm_noise: f64,
     interpreted_us: f64,
+    interp_noise: f64,
 }
 
 impl RobotRow {
@@ -128,23 +155,17 @@ fn measure(which: Zoo) -> RobotRow {
     let mut out = program
         .execute_gradient(&robot, &mut scratch, &q, &qd, &tau)
         .expect("warm-up evaluation");
-    let k = evals();
-    let start = Instant::now();
-    for _ in 0..k {
+    let (warm_exec_us, warm_noise) = timed_chunks(evals(), || {
         program
             .execute_gradient_into(&robot, &mut scratch, &q, &qd, &tau, &mut out)
             .expect("warm evaluation");
         black_box(&out.tau);
-    }
-    let warm_exec_us = start.elapsed().as_secs_f64() * 1e6 / k as f64;
+    });
 
     // Interpreter: the retired per-eval schedule walk, as a baseline.
-    let k = (evals() / 4).max(10);
-    let start = Instant::now();
-    for _ in 0..k {
+    let (interpreted_us, interp_noise) = timed_chunks((evals() / 4).max(10), || {
         black_box(try_simulate_interpreted(&robot, &design, &q, &qd, &tau).expect("interpreted"));
-    }
-    let interpreted_us = start.elapsed().as_secs_f64() * 1e6 / k as f64;
+    });
 
     RobotRow {
         name: which.name(),
@@ -152,7 +173,9 @@ fn measure(which: Zoo) -> RobotRow {
         compile_us,
         cold_first_eval_us,
         warm_exec_us,
+        warm_noise,
         interpreted_us,
+        interp_noise,
     }
 }
 
@@ -164,6 +187,11 @@ struct BatchRow {
     lanes_b4_us: f64,
     scalar_b8_us: f64,
     lanes_b8_us: f64,
+    /// Per-case chunk-rate spreads, same order as the `_us` fields.
+    scalar_b4_noise: f64,
+    lanes_b4_noise: f64,
+    scalar_b8_noise: f64,
+    lanes_b8_noise: f64,
 }
 
 impl BatchRow {
@@ -183,7 +211,7 @@ fn measure_batch_case(
     design: &AcceleratorDesign,
     backend: BackendKind,
     batch: usize,
-) -> f64 {
+) -> (f64, f64) {
     let program = shared_program_for(design, backend);
     let mut scratch = SimScratch::default();
     let steps = batch_inputs(robot.num_links(), batch);
@@ -192,14 +220,13 @@ fn measure_batch_case(
         .execute_batch_into(robot, &mut scratch, &steps, &mut outs)
         .expect("warm-up batch");
     let k = (evals() / batch).max(10);
-    let start = Instant::now();
-    for _ in 0..k {
+    let (batch_us, noise) = timed_chunks(k, || {
         program
             .execute_batch_into(robot, &mut scratch, &steps, &mut outs)
             .expect("warm batch");
         black_box(&outs[batch - 1].tau);
-    }
-    start.elapsed().as_secs_f64() * 1e6 / (k * batch) as f64
+    });
+    (batch_us / batch as f64, noise)
 }
 
 /// Scalar-loop vs lane backend at batch 4 and 8 for one robot.
@@ -207,13 +234,23 @@ fn measure_batch(which: Zoo) -> BatchRow {
     let robot = zoo(which);
     let n = robot.num_links();
     let design = AcceleratorDesign::generate(robot.topology(), knobs_for(n));
+    let (scalar_b4_us, scalar_b4_noise) =
+        measure_batch_case(&robot, &design, BackendKind::Scalar, 4);
+    let (lanes_b4_us, lanes_b4_noise) = measure_batch_case(&robot, &design, BackendKind::Lanes, 4);
+    let (scalar_b8_us, scalar_b8_noise) =
+        measure_batch_case(&robot, &design, BackendKind::Scalar, 8);
+    let (lanes_b8_us, lanes_b8_noise) = measure_batch_case(&robot, &design, BackendKind::Lanes, 8);
     BatchRow {
         name: which.name(),
         links: n,
-        scalar_b4_us: measure_batch_case(&robot, &design, BackendKind::Scalar, 4),
-        lanes_b4_us: measure_batch_case(&robot, &design, BackendKind::Lanes, 4),
-        scalar_b8_us: measure_batch_case(&robot, &design, BackendKind::Scalar, 8),
-        lanes_b8_us: measure_batch_case(&robot, &design, BackendKind::Lanes, 8),
+        scalar_b4_us,
+        lanes_b4_us,
+        scalar_b8_us,
+        lanes_b8_us,
+        scalar_b4_noise,
+        lanes_b4_noise,
+        scalar_b8_noise,
+        lanes_b8_noise,
     }
 }
 
@@ -268,6 +305,68 @@ fn write_summary(rows: &[RobotRow], batch_rows: &[BatchRow]) {
     roboshape::obs::json::validate(&json).expect("summary is well-formed JSON");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
     fs::write(path, json).expect("write BENCH_sim.json");
+}
+
+/// Emits the regression-gate record into `bench/current/` (see
+/// docs/BENCHMARKS.md): warm and batch throughputs gate with their
+/// measured chunk spreads; cold paths (compile, first eval) are
+/// recorded as informational context because µs-scale one-shot timings
+/// have more variance than any honest threshold.
+fn write_record(rows: &[RobotRow], batch_rows: &[BatchRow]) {
+    let mut rec = BenchRecord::new("sim_throughput", smoke(), cfg!(feature = "simd"));
+    for r in rows {
+        let name = r.name;
+        rec.push(
+            &format!("{name}.warm_evals_per_sec"),
+            r.warm_evals_per_sec(),
+            r.warm_noise,
+        );
+        rec.push(
+            &format!("{name}.speedup_vs_interpreted"),
+            r.speedup_vs_interpreted(),
+            r.warm_noise + r.interp_noise,
+        );
+        rec.push_kind(
+            &format!("{name}.compile_us"),
+            r.compile_us,
+            1.0,
+            MetricKind::Informational,
+        );
+        rec.push_kind(
+            &format!("{name}.cold_first_eval_us"),
+            r.cold_first_eval_us,
+            1.0,
+            MetricKind::Informational,
+        );
+    }
+    for r in batch_rows {
+        let name = r.name;
+        rec.push(
+            &format!("{name}.lanes_evals_per_sec_b4"),
+            1e6 / r.lanes_b4_us,
+            r.lanes_b4_noise,
+        );
+        rec.push(
+            &format!("{name}.lanes_evals_per_sec_b8"),
+            1e6 / r.lanes_b8_us,
+            r.lanes_b8_noise,
+        );
+        rec.push(
+            &format!("{name}.speedup_b4"),
+            r.speedup_b4(),
+            r.lanes_b4_noise + r.scalar_b4_noise,
+        );
+        rec.push(
+            &format!("{name}.speedup_b8"),
+            r.speedup_b8(),
+            r.lanes_b8_noise + r.scalar_b8_noise,
+        );
+    }
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../bench/current/sim_throughput.json"
+    );
+    rec.save(Path::new(path)).expect("write bench record");
 }
 
 fn bench_sim_throughput(c: &mut Criterion) {
@@ -331,6 +430,7 @@ fn bench_sim_throughput(c: &mut Criterion) {
     }
     let batch_rows: Vec<BatchRow> = Zoo::ALL.iter().map(|&z| measure_batch(z)).collect();
     write_summary(&rows, &batch_rows);
+    write_record(&rows, &batch_rows);
 }
 
 criterion_group!(benches, bench_sim_throughput);

@@ -1,0 +1,460 @@
+//! Noise-aware, direction-aware comparison of two [`BenchRecord`]s.
+//!
+//! The tolerance band for a metric is
+//!
+//! ```text
+//! band = min(base_tolerance                     (0.15 — the CI gate's 15%)
+//!          + noise_mult · max(noiseᵦ, noiseᵧ)   (repeated-run variance)
+//!          + smoke_widen,  (if either record ran smoke-sized iterations)
+//!        max_band)         (0.60 — even a hopelessly noisy metric still
+//!                           gates a halving of throughput)
+//! ```
+//!
+//! and a metric fails only when it moves past the band in its *bad*
+//! direction: throughput (`HigherIsBetter`) down by more than the band,
+//! or a latency quantile (`LowerIsBetter`) up by more than the band.
+//! Moves past the band the other way are reported as improvements;
+//! moves inside the band are noise. A gated metric present in the
+//! baseline but missing from the current record is a failure (a silent
+//! regression's favourite disguise is a deleted metric); a metric only
+//! the current record has is reported but never fails. Informational
+//! metrics never gate in either direction.
+
+use crate::record::{BenchRecord, MetricKind};
+use std::fmt::Write as _;
+
+/// Comparison policy. The defaults are the CI gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompareConfig {
+    /// Regression threshold before noise widening (relative). The CI
+    /// gate fails on >15%.
+    pub base_tolerance: f64,
+    /// How many units of measured repeated-run spread to add to the
+    /// band.
+    pub noise_mult: f64,
+    /// Extra band width when either side is a smoke-sized run (smoke
+    /// iteration counts are too small for the measured spread to be a
+    /// trustworthy variance estimate).
+    pub smoke_widen: f64,
+    /// Treat the comparison as smoke even if neither record says so
+    /// (the `--smoke` flag).
+    pub force_smoke: bool,
+    /// Hard ceiling on the widened band. Without it, a metric whose
+    /// measured spread exceeds ~20% gets a band past 100% — which a
+    /// `HigherIsBetter` metric can *never* leave downward, so the gate
+    /// would silently stop gating exactly the noisiest metrics.
+    pub max_band: f64,
+}
+
+impl Default for CompareConfig {
+    fn default() -> CompareConfig {
+        CompareConfig {
+            base_tolerance: 0.15,
+            noise_mult: 2.0,
+            smoke_widen: 0.35,
+            force_smoke: false,
+            max_band: 0.60,
+        }
+    }
+}
+
+/// What happened to one metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricOutcome {
+    /// Moved past the band in the good direction.
+    Improved,
+    /// Within the band.
+    Unchanged,
+    /// Moved past the band in the bad direction — fails the gate.
+    Regressed,
+    /// In the baseline, gated, and absent from the current record —
+    /// fails the gate.
+    Missing,
+    /// Only in the current record (new metric; informational).
+    Added,
+    /// Informational kind, or a non-gated missing key: never fails.
+    Ignored,
+}
+
+/// One metric's comparison row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric key.
+    pub key: String,
+    /// Gating direction (baseline's view wins on disagreement).
+    pub kind: MetricKind,
+    /// Baseline value (`None` for [`MetricOutcome::Added`]).
+    pub baseline: Option<f64>,
+    /// Current value (`None` for [`MetricOutcome::Missing`]).
+    pub current: Option<f64>,
+    /// Relative change `(current − baseline) / |baseline|`, when both
+    /// sides exist and the baseline is nonzero.
+    pub rel_change: Option<f64>,
+    /// The tolerance band applied.
+    pub band: f64,
+    /// Verdict.
+    pub outcome: MetricOutcome,
+}
+
+/// The full comparison of one bench's records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareReport {
+    /// Bench name.
+    pub bench: String,
+    /// Per-metric rows, baseline order (sorted keys) then additions.
+    pub deltas: Vec<MetricDelta>,
+    /// The records were measured on machines whose fingerprints are not
+    /// comparable — deltas are reported but suspect.
+    pub machine_mismatch: bool,
+    /// Whether smoke widening applied.
+    pub smoke: bool,
+}
+
+impl CompareReport {
+    /// Whether the gate should fail.
+    pub fn failed(&self) -> bool {
+        self.deltas
+            .iter()
+            .any(|d| matches!(d.outcome, MetricOutcome::Regressed | MetricOutcome::Missing))
+    }
+
+    /// Rows with the given outcome.
+    pub fn count(&self, outcome: MetricOutcome) -> usize {
+        self.deltas.iter().filter(|d| d.outcome == outcome).count()
+    }
+
+    /// Renders the human-readable table `bench compare` prints.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== {} ({}{})",
+            self.bench,
+            if self.smoke {
+                "smoke bands"
+            } else {
+                "full bands"
+            },
+            if self.machine_mismatch {
+                "; MACHINE MISMATCH — deltas are cross-machine and suspect"
+            } else {
+                ""
+            }
+        );
+        let _ = writeln!(
+            out,
+            "{:<44} {:>14} {:>14} {:>9} {:>7}  verdict",
+            "metric", "baseline", "current", "change", "band"
+        );
+        for d in &self.deltas {
+            let fmt_v = |v: Option<f64>| match v {
+                Some(v) if v.abs() >= 1000.0 => format!("{v:.0}"),
+                Some(v) => format!("{v:.2}"),
+                None => "—".to_string(),
+            };
+            let change = match d.rel_change {
+                Some(c) => format!("{:+.1}%", c * 100.0),
+                None => "—".to_string(),
+            };
+            let verdict = match d.outcome {
+                MetricOutcome::Improved => "improved",
+                MetricOutcome::Unchanged => "ok",
+                MetricOutcome::Regressed => "REGRESSED",
+                MetricOutcome::Missing => "MISSING",
+                MetricOutcome::Added => "added",
+                MetricOutcome::Ignored => "info",
+            };
+            let _ = writeln!(
+                out,
+                "{:<44} {:>14} {:>14} {:>9} {:>6.0}%  {verdict}",
+                d.key,
+                fmt_v(d.baseline),
+                fmt_v(d.current),
+                change,
+                d.band * 100.0,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} regressed, {} missing, {} improved, {} unchanged, {} added",
+            if self.failed() { "FAIL" } else { "PASS" },
+            self.count(MetricOutcome::Regressed),
+            self.count(MetricOutcome::Missing),
+            self.count(MetricOutcome::Improved),
+            self.count(MetricOutcome::Unchanged),
+            self.count(MetricOutcome::Added),
+        );
+        out
+    }
+}
+
+/// The band for one metric under `cfg`.
+fn band(cfg: &CompareConfig, noise: f64, smoke: bool) -> f64 {
+    (cfg.base_tolerance + cfg.noise_mult * noise + if smoke { cfg.smoke_widen } else { 0.0 })
+        .min(cfg.max_band)
+}
+
+/// Compares `current` against `baseline`.
+pub fn compare(
+    baseline: &BenchRecord,
+    current: &BenchRecord,
+    cfg: &CompareConfig,
+) -> CompareReport {
+    let smoke = cfg.force_smoke || baseline.smoke || current.smoke;
+    let mut deltas = Vec::new();
+    for (key, base) in &baseline.metrics {
+        let band = band(
+            cfg,
+            base.noise
+                .max(current.metrics.get(key).map_or(0.0, |m| m.noise)),
+            smoke,
+        );
+        let Some(cur) = current.metrics.get(key) else {
+            deltas.push(MetricDelta {
+                key: key.clone(),
+                kind: base.kind,
+                baseline: Some(base.value),
+                current: None,
+                rel_change: None,
+                band,
+                outcome: if base.kind == MetricKind::Informational {
+                    MetricOutcome::Ignored
+                } else {
+                    MetricOutcome::Missing
+                },
+            });
+            continue;
+        };
+        let rel = if base.value.abs() > 1e-12 {
+            Some((cur.value - base.value) / base.value.abs())
+        } else {
+            None
+        };
+        let outcome = match (base.kind, rel) {
+            (MetricKind::Informational, _) => MetricOutcome::Ignored,
+            // Zero baseline: gate only an appearance of latency where
+            // there was none is meaningless — treat as unchanged.
+            (_, None) => MetricOutcome::Unchanged,
+            (MetricKind::HigherIsBetter, Some(rel)) if rel < -band => MetricOutcome::Regressed,
+            (MetricKind::HigherIsBetter, Some(rel)) if rel > band => MetricOutcome::Improved,
+            (MetricKind::LowerIsBetter, Some(rel)) if rel > band => MetricOutcome::Regressed,
+            (MetricKind::LowerIsBetter, Some(rel)) if rel < -band => MetricOutcome::Improved,
+            _ => MetricOutcome::Unchanged,
+        };
+        deltas.push(MetricDelta {
+            key: key.clone(),
+            kind: base.kind,
+            baseline: Some(base.value),
+            current: Some(cur.value),
+            rel_change: rel,
+            band,
+            outcome,
+        });
+    }
+    for (key, cur) in &current.metrics {
+        if !baseline.metrics.contains_key(key) {
+            deltas.push(MetricDelta {
+                key: key.clone(),
+                kind: cur.kind,
+                baseline: None,
+                current: Some(cur.value),
+                rel_change: None,
+                band: band(cfg, cur.noise, smoke),
+                outcome: MetricOutcome::Added,
+            });
+        }
+    }
+    CompareReport {
+        bench: baseline.bench.clone(),
+        deltas,
+        machine_mismatch: !baseline.machine.comparable_to(&current.machine),
+        smoke,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{BenchRecord, MetricKind};
+
+    fn record(metrics: &[(&str, f64, f64)]) -> BenchRecord {
+        let mut r = BenchRecord::new("test_bench", false, false);
+        r.commit = "testcommit".to_string();
+        for &(key, value, noise) in metrics {
+            r.push(key, value, noise);
+        }
+        r
+    }
+
+    fn outcome_of(report: &CompareReport, key: &str) -> MetricOutcome {
+        report
+            .deltas
+            .iter()
+            .find(|d| d.key == key)
+            .unwrap_or_else(|| panic!("no delta for {key}"))
+            .outcome
+    }
+
+    #[test]
+    fn throughput_down_past_band_fails_up_passes() {
+        let base = record(&[("zoo.throughput_rps", 10000.0, 0.0)]);
+        // 15% base band, zero noise: −20% regresses, −10% is noise,
+        // +40% is an improvement.
+        let cfg = CompareConfig::default();
+        let down = compare(&base, &record(&[("zoo.throughput_rps", 8000.0, 0.0)]), &cfg);
+        assert_eq!(
+            outcome_of(&down, "zoo.throughput_rps"),
+            MetricOutcome::Regressed
+        );
+        assert!(down.failed());
+        let near = compare(&base, &record(&[("zoo.throughput_rps", 9000.0, 0.0)]), &cfg);
+        assert_eq!(
+            outcome_of(&near, "zoo.throughput_rps"),
+            MetricOutcome::Unchanged
+        );
+        assert!(!near.failed());
+        let up = compare(
+            &base,
+            &record(&[("zoo.throughput_rps", 14000.0, 0.0)]),
+            &cfg,
+        );
+        assert_eq!(
+            outcome_of(&up, "zoo.throughput_rps"),
+            MetricOutcome::Improved
+        );
+        assert!(!up.failed());
+    }
+
+    #[test]
+    fn latency_gates_the_opposite_direction() {
+        let base = record(&[("latency.p99_us", 500.0, 0.0)]);
+        let cfg = CompareConfig::default();
+        let worse = compare(&base, &record(&[("latency.p99_us", 600.0, 0.0)]), &cfg);
+        assert_eq!(
+            outcome_of(&worse, "latency.p99_us"),
+            MetricOutcome::Regressed
+        );
+        let better = compare(&base, &record(&[("latency.p99_us", 300.0, 0.0)]), &cfg);
+        assert_eq!(
+            outcome_of(&better, "latency.p99_us"),
+            MetricOutcome::Improved
+        );
+        assert!(!better.failed());
+    }
+
+    #[test]
+    fn noise_widens_the_band_per_metric() {
+        // 10% measured spread → band 15% + 2·10% = 35%: a −30% move
+        // that fails a quiet metric passes a noisy one.
+        let quiet = record(&[("a.throughput_rps", 1000.0, 0.0)]);
+        let noisy = record(&[("a.throughput_rps", 1000.0, 0.10)]);
+        let cur = record(&[("a.throughput_rps", 700.0, 0.0)]);
+        let cfg = CompareConfig::default();
+        assert!(compare(&quiet, &cur, &cfg).failed());
+        assert!(!compare(&noisy, &cur, &cfg).failed());
+        // The larger of the two sides' noise wins.
+        let noisy_cur = record(&[("a.throughput_rps", 700.0, 0.10)]);
+        assert!(!compare(&quiet, &noisy_cur, &cfg).failed());
+    }
+
+    #[test]
+    fn smoke_mode_widens_tolerance() {
+        let base = record(&[("a.throughput_rps", 1000.0, 0.0)]);
+        let cur = record(&[("a.throughput_rps", 600.0, 0.0)]);
+        // −40%: fails full bands (15%), passes smoke bands (15+35=50%).
+        assert!(compare(&base, &cur, &CompareConfig::default()).failed());
+        let smoke_cfg = CompareConfig {
+            force_smoke: true,
+            ..CompareConfig::default()
+        };
+        let report = compare(&base, &cur, &smoke_cfg);
+        assert!(report.smoke);
+        assert!(!report.failed());
+        // A smoke flag on either record widens too, without the flag.
+        let mut smoke_base = base.clone();
+        smoke_base.smoke = true;
+        assert!(!compare(&smoke_base, &cur, &CompareConfig::default()).failed());
+    }
+
+    #[test]
+    fn missing_gated_key_fails_added_key_does_not() {
+        let base = record(&[("a.throughput_rps", 1000.0, 0.0), ("b.p99_us", 200.0, 0.0)]);
+        let cur = record(&[
+            ("a.throughput_rps", 1000.0, 0.0),
+            ("c.new_metric_rps", 5.0, 0.0),
+        ]);
+        let report = compare(&base, &cur, &CompareConfig::default());
+        assert_eq!(outcome_of(&report, "b.p99_us"), MetricOutcome::Missing);
+        assert_eq!(
+            outcome_of(&report, "c.new_metric_rps"),
+            MetricOutcome::Added
+        );
+        assert!(report.failed());
+        // A missing *informational* key is ignored.
+        let mut base_info = record(&[("a.throughput_rps", 1000.0, 0.0)]);
+        base_info.push_kind("d.context", 3.0, 0.0, MetricKind::Informational);
+        let report = compare(&base_info, &cur, &CompareConfig::default());
+        assert_eq!(outcome_of(&report, "d.context"), MetricOutcome::Ignored);
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn informational_metrics_never_gate() {
+        let mut base = BenchRecord::new("b", false, false);
+        base.push_kind("compile_time", 10.0, 0.0, MetricKind::Informational);
+        let mut cur = BenchRecord::new("b", false, false);
+        cur.push_kind("compile_time", 1000.0, 0.0, MetricKind::Informational);
+        let report = compare(&base, &cur, &CompareConfig::default());
+        assert_eq!(outcome_of(&report, "compile_time"), MetricOutcome::Ignored);
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn machine_mismatch_is_flagged() {
+        let base = record(&[("a.throughput_rps", 1000.0, 0.0)]);
+        let mut cur = record(&[("a.throughput_rps", 1000.0, 0.0)]);
+        cur.machine.cpus = base.machine.cpus + 32;
+        let report = compare(&base, &cur, &CompareConfig::default());
+        assert!(report.machine_mismatch);
+        assert!(report.render().contains("MACHINE MISMATCH"));
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide() {
+        let base = record(&[("shed.throughput_rps", 0.0, 0.0)]);
+        let cur = record(&[("shed.throughput_rps", 5.0, 0.0)]);
+        let report = compare(&base, &cur, &CompareConfig::default());
+        assert_eq!(
+            outcome_of(&report, "shed.throughput_rps"),
+            MetricOutcome::Unchanged
+        );
+    }
+
+    #[test]
+    fn band_ceiling_keeps_noisy_metrics_gated() {
+        // 30% measured spread would give 15% + 60% + 35% = 110% — a
+        // band a throughput can never fall out of. The ceiling keeps a
+        // −70% collapse failing even under smoke widening.
+        let base = record(&[("a.throughput_rps", 10000.0, 0.30)]);
+        let cur = record(&[("a.throughput_rps", 3000.0, 0.30)]);
+        let cfg = CompareConfig {
+            force_smoke: true,
+            ..CompareConfig::default()
+        };
+        let report = compare(&base, &cur, &cfg);
+        assert_eq!(report.deltas[0].band, cfg.max_band);
+        assert!(report.failed());
+    }
+
+    #[test]
+    fn render_is_a_stable_table() {
+        let base = record(&[("a.throughput_rps", 10000.0, 0.02)]);
+        let cur = record(&[("a.throughput_rps", 7000.0, 0.02)]);
+        let text = compare(&base, &cur, &CompareConfig::default()).render();
+        assert!(text.contains("a.throughput_rps"), "{text}");
+        assert!(text.contains("-30.0%"), "{text}");
+        assert!(text.contains("REGRESSED"), "{text}");
+        assert!(text.starts_with("== test_bench"), "{text}");
+        assert!(text.contains("FAIL: 1 regressed"), "{text}");
+    }
+}

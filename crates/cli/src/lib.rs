@@ -81,6 +81,15 @@ pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
              --workload step|rollout:N|mixed --deadline-us N
              --retries N --timeout-ms N --seed N --cluster)
   health    probe a running server's or router's readiness and circuit state (--port P)
+  bench     benchmark-history tooling (an action instead of <robot.urdf>)
+            compare  diff bench/current records against a baseline directory,
+                     exit nonzero on any out-of-band regression
+                     (--baseline DIR --current DIR --smoke)
+            accept   copy bench/current records into bench/baselines
+  bundle    validation bundles for third-party blind reproduction
+            export   write a self-contained bundle (--out DIR --n N --seed S)
+            verify   re-run the generators against a bundle directory
+                     (positional DIR, default bench/baselines/example-bundle)
 global options (any command):
   --trace FILE    write a Chrome trace_event JSON capture of the run
   --metrics FILE  write a JSON metrics snapshot after the run";
@@ -212,6 +221,44 @@ pub enum Command {
         /// Server port on loopback.
         port: u16,
     },
+    /// `roboshape bench compare`: diff the current bench records
+    /// against a baseline directory with noise-aware direction-aware
+    /// bands; exits nonzero on any regression past its band.
+    BenchCompare {
+        /// Directory of baseline records.
+        baseline: PathBuf,
+        /// Directory of current records (written by `cargo bench`).
+        current: PathBuf,
+        /// Force the widened smoke-mode bands even when neither record
+        /// is marked smoke.
+        smoke: bool,
+    },
+    /// `roboshape bench accept`: copy the current bench records into
+    /// the baseline history directory.
+    BenchAccept {
+        /// Directory of baseline records.
+        baseline: PathBuf,
+        /// Directory of current records.
+        current: PathBuf,
+    },
+    /// `roboshape bundle export`: write a self-contained validation
+    /// bundle (manifest + expected report snapshots + serving-probe
+    /// context) for third-party blind reproduction.
+    BundleExport {
+        /// Output directory.
+        out: PathBuf,
+        /// Pinned `ext_zoo` population size.
+        zoo_n: usize,
+        /// Pinned `ext_zoo` master seed.
+        zoo_seed: u64,
+    },
+    /// `roboshape bundle verify`: re-run the generators and the probe
+    /// against a bundle and score the result; exits nonzero unless
+    /// every snapshot matches byte-exactly and every invariant holds.
+    BundleVerify {
+        /// The bundle directory.
+        dir: PathBuf,
+    },
 }
 
 impl Command {
@@ -230,6 +277,10 @@ impl Command {
             Command::Router { .. } => "router",
             Command::Loadgen { .. } => "loadgen",
             Command::Health { .. } => "health",
+            Command::BenchCompare { .. } => "bench_compare",
+            Command::BenchAccept { .. } => "bench_accept",
+            Command::BundleExport { .. } => "bundle_export",
+            Command::BundleVerify { .. } => "bundle_verify",
         }
     }
 }
@@ -278,6 +329,14 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
     let no_spec = String::from("-");
     let urdf = if matches!(cmd.as_str(), "health" | "router") {
         &no_spec
+    } else if matches!(cmd.as_str(), "bench" | "bundle") {
+        // These take an action token in the spec slot, not a robot.
+        it.next().ok_or_else(|| {
+            CliError::new(match cmd.as_str() {
+                "bench" => "bench needs an action: compare | accept",
+                _ => "bundle needs an action: export | verify",
+            })
+        })?
     } else {
         it.next()
             .ok_or_else(|| CliError::new("missing <robot.urdf> argument"))?
@@ -499,6 +558,52 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
                 cluster: rest.iter().any(|a| a.as_str() == "--cluster"),
             }
         }
+        "bench" => {
+            let baseline = get_opt("--baseline")?
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("bench/baselines"));
+            let current = get_opt("--current")?
+                .map(PathBuf::from)
+                .unwrap_or_else(|| PathBuf::from("bench/current"));
+            match urdf.as_str() {
+                "compare" => Command::BenchCompare {
+                    baseline,
+                    current,
+                    smoke: rest.iter().any(|a| a.as_str() == "--smoke"),
+                },
+                "accept" => Command::BenchAccept { baseline, current },
+                other => {
+                    return Err(CliError::new(format!(
+                        "unknown bench action `{other}` (known: compare, accept)"
+                    )))
+                }
+            }
+        }
+        "bundle" => match urdf.as_str() {
+            "export" => {
+                let zoo_n = get_usize("--n")?.unwrap_or(48).max(1);
+                let zoo_seed = get_usize("--seed")?.map_or(42, |v| v as u64);
+                Command::BundleExport {
+                    out: get_opt("--out")?
+                        .map(PathBuf::from)
+                        .unwrap_or_else(|| PathBuf::from("roboshape_bundle")),
+                    zoo_n,
+                    zoo_seed,
+                }
+            }
+            "verify" => Command::BundleVerify {
+                dir: rest
+                    .iter()
+                    .find(|a| !a.starts_with("--"))
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("bench/baselines/example-bundle")),
+            },
+            other => {
+                return Err(CliError::new(format!(
+                    "unknown bundle action `{other}` (known: export, verify)"
+                )))
+            }
+        },
         other => return Err(CliError::new(format!("unknown command `{other}`\n{USAGE}"))),
     };
     Ok(Cli {
@@ -831,6 +936,345 @@ fn run_health(port: u16) -> Result<String, CliError> {
     }
 }
 
+/// The benches whose records the compare gate covers, in the order the
+/// report prints them.
+const GATED_BENCHES: [&str; 3] = ["sim_throughput", "serve_throughput", "zoo_population"];
+
+/// `roboshape bench compare`: load every `<bench>.json` pair from the
+/// current and baseline directories, diff them with noise-aware bands,
+/// and fail (nonzero exit) when any gated metric regresses past its
+/// band or a gated metric disappeared. Benches with no record on
+/// either side are reported and skipped — but comparing *nothing* is
+/// an error, not a pass.
+fn run_bench_compare(
+    baseline_dir: &std::path::Path,
+    current_dir: &std::path::Path,
+    smoke: bool,
+) -> Result<String, CliError> {
+    use roboshape_benchrec::{compare::compare, BenchRecord, CompareConfig};
+    let cfg = CompareConfig {
+        force_smoke: smoke,
+        ..CompareConfig::default()
+    };
+    let mut out = String::new();
+    let mut compared = 0usize;
+    let mut failed = 0usize;
+    for bench in GATED_BENCHES {
+        let cur_path = current_dir.join(format!("{bench}.json"));
+        let base_path = baseline_dir.join(format!("{bench}.json"));
+        if !cur_path.exists() {
+            let _ = writeln!(
+                out,
+                "== {bench}: no current record at {} (run `cargo bench`) — skipped\n",
+                cur_path.display()
+            );
+            continue;
+        }
+        if !base_path.exists() {
+            let _ = writeln!(
+                out,
+                "== {bench}: no baseline at {} (accept one with `roboshape bench accept`) — skipped\n",
+                base_path.display()
+            );
+            continue;
+        }
+        // A malformed record on either side is a hard error, not a
+        // skip: a gate that shrugs at corrupt baselines gates nothing.
+        let baseline = BenchRecord::load(&base_path)
+            .map_err(|e| CliError::new(format!("{}: {e}", base_path.display())))?;
+        let current = BenchRecord::load(&cur_path)
+            .map_err(|e| CliError::new(format!("{}: {e}", cur_path.display())))?;
+        let report = compare(&baseline, &current, &cfg);
+        let _ = writeln!(
+            out,
+            "baseline {} → current {}",
+            baseline.commit, current.commit
+        );
+        let _ = writeln!(out, "{}", report.render());
+        compared += 1;
+        if report.failed() {
+            failed += 1;
+        }
+    }
+    if compared == 0 {
+        return Err(CliError::new(format!(
+            "{out}bench compare: nothing to compare"
+        )));
+    }
+    if failed > 0 {
+        return Err(CliError::new(format!(
+            "{out}bench compare: FAIL ({failed} of {compared} benches regressed)"
+        )));
+    }
+    let _ = writeln!(out, "bench compare: PASS ({compared} benches within bands)");
+    Ok(out)
+}
+
+/// `roboshape bench accept`: promote the current records to baselines.
+fn run_bench_accept(
+    baseline_dir: &std::path::Path,
+    current_dir: &std::path::Path,
+) -> Result<String, CliError> {
+    use roboshape_benchrec::BenchRecord;
+    let mut out = String::new();
+    let mut accepted = 0usize;
+    for bench in GATED_BENCHES {
+        let cur_path = current_dir.join(format!("{bench}.json"));
+        if !cur_path.exists() {
+            let _ = writeln!(out, "{bench}: no current record — skipped");
+            continue;
+        }
+        // Round-trip through the parser so a truncated file can never
+        // be promoted to a baseline.
+        let record = BenchRecord::load(&cur_path)
+            .map_err(|e| CliError::new(format!("{}: {e}", cur_path.display())))?;
+        let dest = baseline_dir.join(format!("{bench}.json"));
+        record
+            .save(&dest)
+            .map_err(|e| CliError::new(e.to_string()))?;
+        let _ = writeln!(
+            out,
+            "{bench}: accepted {} ({} metrics) → {}",
+            record.commit,
+            record.metrics.len(),
+            dest.display()
+        );
+        accepted += 1;
+    }
+    if accepted == 0 {
+        return Err(CliError::new(format!(
+            "{out}bench accept: no current records (run `cargo bench` first)"
+        )));
+    }
+    Ok(out)
+}
+
+/// The deterministic experiment reports a validation bundle snapshots,
+/// and the pinned load the serving probe drives. `ext_zoo` is rendered
+/// through [`roboshape_experiments::ext_zoo_with`] at the manifest's
+/// pinned `(zoo_n, zoo_seed)`; everything else comes from
+/// [`roboshape_experiments::report_generators`]. Two reports are
+/// excluded on principle: `ext_serve` prints wall-clock timings, and
+/// `ext_chaos` counters depend on how injected worker stalls race the
+/// queue (the fault *schedule* is seeded, the interleaving is not).
+/// Both are covered by the probe invariants instead.
+const BUNDLE_SNAPSHOTS: [&str; 10] = [
+    "table1",
+    "table2",
+    "table3",
+    "fig9",
+    "fig10",
+    "fig12",
+    "fig16",
+    "ext_kernels",
+    "ext_zoo",
+    "verify",
+];
+
+/// Clients driven by the validation probe.
+const PROBE_CLIENTS: usize = 4;
+/// Requests per probe client.
+const PROBE_REQUESTS: usize = 16;
+
+/// Renders one bundle snapshot by name at the pinned seeds.
+fn render_bundle_report(name: &str, zoo_n: usize, zoo_seed: u64) -> Option<String> {
+    if name == "ext_zoo" {
+        return Some(roboshape_experiments::ext_zoo_with(zoo_n, zoo_seed));
+    }
+    roboshape_experiments::report_generators()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .map(|(_, generate)| generate())
+}
+
+/// One closed-loop ∇FD pass over the full zoo against an in-process
+/// loopback server: the bundle's live serving probe. Latencies and the
+/// failure histogram go into the manifest as machine-dependent context;
+/// `lost == 0` / `errors == 0` are the invariants `bundle verify`
+/// re-checks.
+fn validation_probe(seed: u64) -> Result<roboshape_serve::loadgen::LoadgenReport, CliError> {
+    use roboshape_robots::{zoo, Zoo};
+    use roboshape_serve::loadgen::{
+        run_loadgen, LoadMode, LoadgenConfig, RetryPolicy, TargetRobot, Workload,
+    };
+    use roboshape_serve::{Engine, EngineConfig, Server};
+    let engine = Engine::new(EngineConfig::default());
+    let robots: Vec<TargetRobot> = Zoo::ALL
+        .into_iter()
+        .map(|which| {
+            let model = zoo(which);
+            let links = model.num_links();
+            engine.register(which.name(), model);
+            TargetRobot {
+                name: which.name().to_string(),
+                links,
+            }
+        })
+        .collect();
+    let server = Server::start(engine, ("127.0.0.1", 0))
+        .map_err(|e| CliError::new(format!("probe cannot bind loopback: {e}")))?;
+    let cfg = LoadgenConfig {
+        mode: LoadMode::Closed,
+        clients: PROBE_CLIENTS,
+        requests_per_client: PROBE_REQUESTS,
+        robots,
+        workload: Workload::Step(roboshape::KernelKind::DynamicsGradient),
+        deadline: None,
+        seed,
+        retry: RetryPolicy::none(),
+        timeout: None,
+    };
+    // One warm-up pass binds the worker arenas, then the measured pass.
+    run_loadgen(("127.0.0.1", server.port()), &cfg)
+        .map_err(|e| CliError::new(format!("probe warm-up failed: {e}")))?;
+    let report = run_loadgen(("127.0.0.1", server.port()), &cfg)
+        .map_err(|e| CliError::new(format!("probe run failed: {e}")))?;
+    server.shutdown();
+    Ok(report)
+}
+
+/// `roboshape bundle export`.
+fn run_bundle_export(
+    out_dir: &std::path::Path,
+    zoo_n: usize,
+    zoo_seed: u64,
+) -> Result<String, CliError> {
+    use roboshape_benchrec::{fnv1a64, record, Manifest, SnapshotEntry};
+    let expected = out_dir.join("expected");
+    std::fs::create_dir_all(&expected)
+        .map_err(|e| CliError::new(format!("cannot create {}: {e}", expected.display())))?;
+    let mut out = String::new();
+    let mut snapshots = Vec::new();
+    for name in BUNDLE_SNAPSHOTS {
+        let body = render_bundle_report(name, zoo_n, zoo_seed)
+            .ok_or_else(|| CliError::new(format!("unknown bundle report `{name}`")))?;
+        let file = format!("expected/{name}.txt");
+        std::fs::write(out_dir.join(&file), &body)
+            .map_err(|e| CliError::new(format!("cannot write {file}: {e}")))?;
+        let entry = SnapshotEntry {
+            name: name.to_string(),
+            file,
+            bytes: body.len() as u64,
+            fnv64: fnv1a64(body.as_bytes()),
+        };
+        let _ = writeln!(
+            out,
+            "snapshot {:<14} {:>7} bytes  fnv64 {:016x}",
+            entry.name, entry.bytes, entry.fnv64
+        );
+        snapshots.push(entry);
+    }
+    let probe_seed = 5u64;
+    let probe = validation_probe(probe_seed)?;
+    let mut context = std::collections::BTreeMap::new();
+    context.insert("latency.p50_us".to_string(), probe.p50_us as f64);
+    context.insert("latency.p90_us".to_string(), probe.p90_us as f64);
+    context.insert("latency.p99_us".to_string(), probe.p99_us as f64);
+    context.insert("throughput_rps".to_string(), probe.throughput_rps);
+    context.insert("histogram.ok".to_string(), probe.ok as f64);
+    context.insert("histogram.shed".to_string(), probe.shed as f64);
+    context.insert(
+        "histogram.deadline_exceeded".to_string(),
+        probe.deadline_exceeded as f64,
+    );
+    context.insert("histogram.errors".to_string(), probe.errors as f64);
+    context.insert("histogram.lost".to_string(), probe.lost() as f64);
+    let manifest = Manifest {
+        commit: record::current_commit(),
+        machine: record::MachineInfo::detect(false),
+        seeds: [
+            ("zoo_n".to_string(), zoo_n as u64),
+            ("zoo_seed".to_string(), zoo_seed),
+            ("probe_seed".to_string(), probe_seed),
+        ]
+        .into_iter()
+        .collect(),
+        snapshots,
+        context,
+    };
+    std::fs::write(out_dir.join("manifest.json"), manifest.to_json())
+        .map_err(|e| CliError::new(format!("cannot write manifest: {e}")))?;
+    let _ = writeln!(
+        out,
+        "probe: {} ok / {} sent, p50 {}us p90 {}us p99 {}us",
+        probe.ok, probe.sent, probe.p50_us, probe.p90_us, probe.p99_us
+    );
+    let _ = writeln!(
+        out,
+        "wrote bundle ({} snapshots, commit {}) to {}",
+        manifest.snapshots.len(),
+        manifest.commit,
+        out_dir.display()
+    );
+    Ok(out)
+}
+
+/// `roboshape bundle verify`.
+fn run_bundle_verify(dir: &std::path::Path) -> Result<String, CliError> {
+    use roboshape_benchrec::{record, Manifest, SnapshotStatus, VerifyOutcome};
+    let manifest = Manifest::load(dir).map_err(|e| CliError::new(e.to_string()))?;
+    let zoo_n = *manifest.seeds.get("zoo_n").unwrap_or(&48) as usize;
+    let zoo_seed = *manifest.seeds.get("zoo_seed").unwrap_or(&42);
+    let probe_seed = *manifest.seeds.get("probe_seed").unwrap_or(&5);
+    let mut outcome = VerifyOutcome::new();
+    for entry in &manifest.snapshots {
+        match render_bundle_report(&entry.name, zoo_n, zoo_seed) {
+            Some(regenerated) => outcome.check_snapshot(dir, entry, &regenerated),
+            None => outcome.snapshots.push((
+                entry.name.clone(),
+                SnapshotStatus::Corrupt(format!(
+                    "this build has no generator named `{}`",
+                    entry.name
+                )),
+            )),
+        }
+    }
+    let probe = validation_probe(probe_seed)?;
+    outcome
+        .invariants
+        .push(("probe.lost=0".to_string(), probe.lost() == 0));
+    outcome
+        .invariants
+        .push(("probe.errors=0".to_string(), probe.errors == 0));
+    // Machine-dependent context is reported, never gated: the whole
+    // point of the bundle is that a third party on different hardware
+    // can still score it.
+    let fmt_us = |key: &str| -> String {
+        manifest
+            .context
+            .get(key)
+            .map(|v| format!("{v:.0}"))
+            .unwrap_or_else(|| "?".to_string())
+    };
+    outcome.notes.push(format!(
+        "context: p50 {}us → {}us, p99 {}us → {}us (exporting machine → this machine, informational)",
+        fmt_us("latency.p50_us"),
+        probe.p50_us,
+        fmt_us("latency.p99_us"),
+        probe.p99_us
+    ));
+    let commit = record::current_commit();
+    if commit != manifest.commit {
+        outcome.notes.push(format!(
+            "note: bundle was exported at {} but this tree is {commit} (expected for a committed bundle)",
+            manifest.commit
+        ));
+    }
+    let machine = record::MachineInfo::detect(false);
+    if !machine.comparable_to(&manifest.machine) {
+        outcome.notes.push(
+            "note: different machine than the exporter — context latencies are not comparable"
+                .to_string(),
+        );
+    }
+    let text = outcome.render();
+    if outcome.passed() {
+        Ok(text)
+    } else {
+        Err(CliError::new(format!("{text}bundle verify: FAIL")))
+    }
+}
+
 fn run_command(cli: &Cli) -> Result<String, CliError> {
     // The serving commands interpret `cli.urdf` as a robot spec and do
     // their own loading; dispatch before the single-URDF read below.
@@ -896,6 +1340,18 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
             )
         }
         Command::Health { port } => return run_health(*port),
+        Command::BenchCompare {
+            baseline,
+            current,
+            smoke,
+        } => return run_bench_compare(baseline, current, *smoke),
+        Command::BenchAccept { baseline, current } => return run_bench_accept(baseline, current),
+        Command::BundleExport {
+            out,
+            zoo_n,
+            zoo_seed,
+        } => return run_bundle_export(out, *zoo_n, *zoo_seed),
+        Command::BundleVerify { dir } => return run_bundle_verify(dir),
         _ => {}
     }
 
@@ -1171,7 +1627,11 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
         Command::Serve { .. }
         | Command::Router { .. }
         | Command::Loadgen { .. }
-        | Command::Health { .. } => {
+        | Command::Health { .. }
+        | Command::BenchCompare { .. }
+        | Command::BenchAccept { .. }
+        | Command::BundleExport { .. }
+        | Command::BundleVerify { .. } => {
             unreachable!("dispatched before the URDF load")
         }
     }
@@ -1898,5 +2358,226 @@ mod tests {
         let cli = parse_args(&args(&["info", "/nonexistent/robot.urdf"])).unwrap();
         let err = run(&cli).unwrap_err();
         assert!(err.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn parses_bench_and_bundle_commands() {
+        let c = parse_args(&args(&["bench", "compare", "--smoke"])).unwrap();
+        match c.command {
+            Command::BenchCompare {
+                baseline,
+                current,
+                smoke,
+            } => {
+                assert_eq!(baseline, PathBuf::from("bench/baselines"));
+                assert_eq!(current, PathBuf::from("bench/current"));
+                assert!(smoke);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        let c = parse_args(&args(&[
+            "bench",
+            "accept",
+            "--baseline",
+            "hist",
+            "--current",
+            "now",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c.command,
+            Command::BenchAccept {
+                baseline: PathBuf::from("hist"),
+                current: PathBuf::from("now"),
+            }
+        );
+
+        let c = parse_args(&args(&[
+            "bundle", "export", "--out", "bdl", "--n", "12", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            c.command,
+            Command::BundleExport {
+                out: PathBuf::from("bdl"),
+                zoo_n: 12,
+                zoo_seed: 7,
+            }
+        );
+
+        let c = parse_args(&args(&["bundle", "verify", "some/dir"])).unwrap();
+        assert_eq!(
+            c.command,
+            Command::BundleVerify {
+                dir: PathBuf::from("some/dir"),
+            }
+        );
+        let c = parse_args(&args(&["bundle", "verify"])).unwrap();
+        assert_eq!(
+            c.command,
+            Command::BundleVerify {
+                dir: PathBuf::from("bench/baselines/example-bundle"),
+            }
+        );
+
+        assert!(parse_args(&args(&["bench"])).is_err(), "action required");
+        assert!(parse_args(&args(&["bundle"])).is_err(), "action required");
+        assert!(parse_args(&args(&["bench", "frobnicate"])).is_err());
+        assert!(parse_args(&args(&["bundle", "frobnicate"])).is_err());
+    }
+
+    /// Writes a `sim_throughput` record with one gated metric into
+    /// `dir`, for exercising the compare gate without running benches.
+    fn write_bench_record(dir: &std::path::Path, rps: f64) {
+        let mut rec = roboshape_benchrec::BenchRecord::new("sim_throughput", false, false);
+        rec.push("warm_evals_per_sec", rps, 0.0);
+        rec.save(&dir.join("sim_throughput.json")).unwrap();
+    }
+
+    fn compare_cli(baseline: &std::path::Path, current: &std::path::Path) -> Cli {
+        parse_args(&args(&[
+            "bench",
+            "compare",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--current",
+            current.to_str().unwrap(),
+        ]))
+        .unwrap()
+    }
+
+    #[test]
+    fn bench_compare_gates_a_degraded_run_via_cli() {
+        let root = std::env::temp_dir().join("roboshape_cli_tests/compare_gate");
+        let baseline = root.join("baselines");
+        let current = root.join("current");
+        let _ = std::fs::remove_dir_all(&root);
+
+        // Identical records: within every band → PASS.
+        write_bench_record(&baseline, 1000.0);
+        write_bench_record(&current, 1000.0);
+        let out = run(&compare_cli(&baseline, &current)).unwrap();
+        assert!(out.contains("bench compare: PASS"), "{out}");
+
+        // A −70% collapse of a higher-is-better metric: far outside the
+        // 15% full-run band → nonzero exit with a FAIL summary.
+        write_bench_record(&current, 300.0);
+        let err = run(&compare_cli(&baseline, &current)).unwrap_err();
+        assert!(
+            err.message.contains("bench compare: FAIL"),
+            "{}",
+            err.message
+        );
+        assert!(err.message.contains("REGRESSED"), "{}", err.message);
+
+        // The same collapse in the opposite direction is an improvement,
+        // not a regression.
+        write_bench_record(&current, 3000.0);
+        let out = run(&compare_cli(&baseline, &current)).unwrap();
+        assert!(out.contains("bench compare: PASS"), "{out}");
+    }
+
+    #[test]
+    fn bench_compare_rejects_malformed_and_missing_baselines() {
+        let root = std::env::temp_dir().join("roboshape_cli_tests/compare_malformed");
+        let baseline = root.join("baselines");
+        let current = root.join("current");
+        let _ = std::fs::remove_dir_all(&root);
+        write_bench_record(&current, 1000.0);
+
+        // No baseline at all: every bench is skipped, and comparing
+        // nothing is an error, not a pass.
+        let err = run(&compare_cli(&baseline, &current)).unwrap_err();
+        assert!(
+            err.message.contains("nothing to compare"),
+            "{}",
+            err.message
+        );
+
+        // A corrupt baseline is a hard error, not a skip.
+        std::fs::create_dir_all(&baseline).unwrap();
+        std::fs::write(baseline.join("sim_throughput.json"), "{not json").unwrap();
+        let err = run(&compare_cli(&baseline, &current)).unwrap_err();
+        assert!(
+            err.message.contains("sim_throughput.json"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn bench_accept_promotes_current_records() {
+        let root = std::env::temp_dir().join("roboshape_cli_tests/accept");
+        let baseline = root.join("baselines");
+        let current = root.join("current");
+        let _ = std::fs::remove_dir_all(&root);
+        write_bench_record(&current, 1234.5);
+
+        let cli = parse_args(&args(&[
+            "bench",
+            "accept",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--current",
+            current.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&cli).unwrap();
+        assert!(out.contains("sim_throughput: accepted"), "{out}");
+
+        // The promoted baseline round-trips and gates cleanly.
+        let out = run(&compare_cli(&baseline, &current)).unwrap();
+        assert!(out.contains("bench compare: PASS"), "{out}");
+
+        // Accepting from an empty directory is an error.
+        let _ = std::fs::remove_dir_all(&current);
+        let cli = parse_args(&args(&[
+            "bench",
+            "accept",
+            "--baseline",
+            baseline.to_str().unwrap(),
+            "--current",
+            current.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(run(&cli).is_err());
+    }
+
+    /// The full reproducibility loop in-process: export a validation
+    /// bundle at a small pinned population, then verify it on the same
+    /// machine. Every snapshot must match byte-exactly and both probe
+    /// invariants must hold; a tampered snapshot must flip the verdict.
+    #[test]
+    fn bundle_export_verify_round_trip_via_cli() {
+        let out_dir = std::env::temp_dir().join("roboshape_cli_tests/bundle");
+        let _ = std::fs::remove_dir_all(&out_dir);
+
+        let export = parse_args(&args(&[
+            "bundle",
+            "export",
+            "--out",
+            out_dir.to_str().unwrap(),
+            "--n",
+            "12",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        let out = run(&export).unwrap();
+        assert!(out.contains("wrote bundle (10 snapshots"), "{out}");
+
+        let verify = parse_args(&args(&["bundle", "verify", out_dir.to_str().unwrap()])).unwrap();
+        let report = run(&verify).unwrap();
+        assert!(report.contains("PASS"), "{report}");
+        assert!(report.contains("probe.lost=0"), "{report}");
+
+        // Tamper with one expected snapshot: verify must fail.
+        let victim = out_dir.join("expected/table1.txt");
+        let mut text = std::fs::read_to_string(&victim).unwrap();
+        text.push_str("tampered\n");
+        std::fs::write(&victim, text).unwrap();
+        let err = run(&verify).unwrap_err();
+        assert!(err.message.contains("FAIL"), "{}", err.message);
     }
 }
