@@ -56,5 +56,5 @@ mod tiling;
 pub use factor::{FactorError, TopologyCholesky};
 pub use io::{decode_sparse, encode_sparse, IoModel, SparseCodecError};
 pub use pattern::SparsityPattern;
-pub use plan::{BlockMatmulPlan, BlockOp, MatmulLatencyModel};
+pub use plan::{block_matmul_latency, BlockMatmulPlan, BlockOp, MatmulLatencyModel};
 pub use tiling::BlockTiling;

@@ -175,6 +175,37 @@ impl BlockMatmulPlan {
     }
 }
 
+/// The latency a full [`BlockMatmulPlan`] for `(pattern, b_cols, block,
+/// units)` would report under `model`, computed without materializing
+/// the op list.
+///
+/// [`BlockMatmulPlan::new`] deals surviving ops round-robin across the
+/// units, so the busiest unit runs `⌈total / units⌉` ops where
+/// `total = nonzero_tiles × ⌈b_cols / block⌉`. That closed form is all a
+/// latency consumer (the DSE sweep's per-block-size fragment) needs —
+/// building and discarding the op vector per probe is pure overhead.
+/// Pinned equal to the materialized plan's [`BlockMatmulPlan::latency`]
+/// in this module's tests.
+///
+/// # Panics
+///
+/// Panics if `block == 0`, `units == 0`, or `b_cols == 0` (the same
+/// contract as [`BlockMatmulPlan::new`]).
+pub fn block_matmul_latency(
+    pattern: &SparsityPattern,
+    b_cols: usize,
+    block: usize,
+    units: usize,
+    model: &MatmulLatencyModel,
+) -> u64 {
+    let _span = roboshape_obs::span("blocksparse", "block-latency");
+    assert!(units > 0, "need at least one mat-mul unit");
+    assert!(b_cols > 0, "B must have columns");
+    let tiling = BlockTiling::new(pattern, block);
+    let total = (tiling.nonzero_tiles() * b_cols.div_ceil(block)) as u64;
+    total.div_ceil(units as u64) * model.block_op_cycles(block)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +307,33 @@ mod tests {
     #[should_panic(expected = "at least one mat-mul unit")]
     fn zero_units_panics() {
         BlockMatmulPlan::new(&SparsityPattern::dense(3), 3, 1, 0);
+    }
+
+    #[test]
+    fn closed_form_latency_matches_materialized_plan() {
+        // The fragment-granular entry point must agree with the full
+        // plan everywhere: sparse and dense patterns, misaligned b_cols,
+        // unit counts that don't divide the op total.
+        let model = MatmulLatencyModel::default();
+        let patterns = [
+            SparsityPattern::mass_matrix(&hyq_like()),
+            SparsityPattern::inverse_mass_matrix(&hyq_like()),
+            SparsityPattern::dense(9),
+        ];
+        for p in &patterns {
+            let n = p.dim();
+            for b_cols in [1, n, 2 * n, 2 * n + 1] {
+                for block in 1..=n {
+                    for units in [1, 2, 3, 5, n] {
+                        assert_eq!(
+                            block_matmul_latency(p, b_cols, block, units, &model),
+                            BlockMatmulPlan::new(p, b_cols, block, units).latency(&model),
+                            "b_cols {b_cols} block {block} units {units}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     proptest! {

@@ -6,7 +6,7 @@
 //!     --pe-fwd N --pe-bwd N --block N              explicit knobs (default: hybrid heuristic)
 //!     --out DIR                                    output directory (default: roboshape_out)
 //!     --timings                                    append per-stage pipeline timings
-//! roboshape sweep <robot.urdf> [--pareto] [--timings]   design-space CSV on stdout
+//! roboshape sweep <robot.urdf> [--pareto] [--pruned] [--timings]   design-space CSV on stdout
 //! roboshape verify <robot.urdf>                    simulate the generated design vs reference
 //! roboshape serve <spec> [options]                 accelerator-as-a-service TCP front-end
 //! roboshape router --shards NAME=ADDR,... [options]  consistent-hash requests across shards
@@ -64,7 +64,7 @@ impl std::error::Error for CliError {}
 pub const USAGE: &str = "usage: roboshape <command> <robot.urdf> [options]
   info      print topology, metrics and pattern analysis
   generate  emit Verilog + design report (--pe-fwd N --pe-bwd N --block N --out DIR --timings)
-  sweep     print the design-space CSV (--pareto for the frontier only, --timings for stage stats)
+  sweep     print the design-space CSV (--pareto for the frontier only, --pruned for the dominance-pruned frontier sweep, --timings for stage stats)
   verify    simulate the generated design against the reference library
   gantt     draw the generated schedule as an ASCII timeline (--width N)
   kernels   compare FK / inverse-dynamics / gradient accelerators
@@ -126,6 +126,9 @@ pub enum Command {
     Sweep {
         /// Restrict output to the Pareto frontier.
         pareto_only: bool,
+        /// Use the dominance-pruned sweep: same frontier, provably
+        /// dominated grid rows never scheduled (implies `--pareto`).
+        pruned: bool,
         /// Append the per-stage pipeline timing report.
         timings: bool,
     },
@@ -386,6 +389,7 @@ pub fn parse_args(args: &[String]) -> Result<Cli, CliError> {
         },
         "sweep" => Command::Sweep {
             pareto_only: rest.iter().any(|a| a.as_str() == "--pareto"),
+            pruned: rest.iter().any(|a| a.as_str() == "--pruned"),
             timings: rest.iter().any(|a| a.as_str() == "--timings"),
         },
         "generate" => {
@@ -938,7 +942,12 @@ fn run_health(port: u16) -> Result<String, CliError> {
 
 /// The benches whose records the compare gate covers, in the order the
 /// report prints them.
-const GATED_BENCHES: [&str; 3] = ["sim_throughput", "serve_throughput", "zoo_population"];
+const GATED_BENCHES: [&str; 4] = [
+    "sim_throughput",
+    "serve_throughput",
+    "zoo_population",
+    "dse_sweep",
+];
 
 /// `roboshape bench compare`: load every `<bench>.json` pair from the
 /// current and baseline directories, diff them with noise-aware bands,
@@ -1435,13 +1444,25 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
         }
         Command::Sweep {
             pareto_only,
+            pruned,
             timings,
         } => {
-            let points = fw.design_space();
-            let selected = if *pareto_only {
-                pareto_frontier(&points)
+            let (selected, pruned_stats) = if *pruned {
+                let sweep =
+                    roboshape::sweep_design_space_pruned_with(fw.pipeline(), robot.topology());
+                let stats = format!(
+                    "# pruned: evaluated {} of {} grid points ({} rows never scheduled)",
+                    sweep.evaluated_points, sweep.grid_points, sweep.skipped_rows
+                );
+                (sweep.frontier, Some(stats))
             } else {
-                points
+                let points = fw.design_space();
+                let selected = if *pareto_only {
+                    pareto_frontier(&points)
+                } else {
+                    points
+                };
+                (selected, None)
             };
             let _ = writeln!(
                 out,
@@ -1459,6 +1480,9 @@ fn run_command(cli: &Cli) -> Result<String, CliError> {
                     p.resources.luts,
                     p.resources.dsps
                 );
+            }
+            if let Some(stats) = pruned_stats {
+                let _ = writeln!(out, "{stats}");
             }
             if *timings {
                 append_timings(&mut out, &fw);
@@ -1664,6 +1688,7 @@ mod tests {
             c.command,
             Command::Sweep {
                 pareto_only: true,
+                pruned: false,
                 timings: false
             }
         );
@@ -1672,7 +1697,17 @@ mod tests {
             c.command,
             Command::Sweep {
                 pareto_only: false,
+                pruned: false,
                 timings: true
+            }
+        );
+        let c = parse_args(&args(&["sweep", "r.urdf", "--pruned"])).unwrap();
+        assert_eq!(
+            c.command,
+            Command::Sweep {
+                pareto_only: false,
+                pruned: true,
+                timings: false
             }
         );
         let c = parse_args(&args(&["generate", "r.urdf", "--pe-fwd", "3", "--block=4"])).unwrap();
@@ -1741,6 +1776,24 @@ mod tests {
         let out = run(&cli).unwrap();
         assert!(out.starts_with("pe_fwd,pe_bwd,block"));
         assert!(out.lines().count() > 2);
+    }
+
+    #[test]
+    fn sweep_pruned_emits_the_same_frontier() {
+        let path = write_urdf("sweep_pruned");
+        let pareto = parse_args(&args(&["sweep", path.to_str().unwrap(), "--pareto"])).unwrap();
+        let pruned = parse_args(&args(&["sweep", path.to_str().unwrap(), "--pruned"])).unwrap();
+        let pareto_out = run(&pareto).unwrap();
+        let pruned_out = run(&pruned).unwrap();
+        // Same frontier rows, plus the pruning stats comment.
+        let rows = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with('#'))
+                .map(String::from)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&pareto_out), rows(&pruned_out));
+        assert!(pruned_out.contains("# pruned: evaluated "));
     }
 
     #[test]

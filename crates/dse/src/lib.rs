@@ -8,10 +8,19 @@
 //!
 //! * [`sweep_design_space`] — evaluates every knob setting (latency via
 //!   the real scheduler + blocked-mat-mul plan, resources via the DSE
-//!   model) over a worker pool bounded by the machine's parallelism, with
-//!   all intermediate artifacts cached in the shared compilation-pipeline
-//!   store (`roboshape-pipeline`); `_with` variants accept an explicit
+//!   model) over a worker pool bounded by the machine's parallelism.
+//!   Every point is a *join* of two content-addressed sub-artifact
+//!   fragments — a per-`(PEf, PEb)` makespan and a per-block latency —
+//!   cached in the shared compilation-pipeline store
+//!   (`roboshape-pipeline`), so warm re-sweeps and grid deltas
+//!   ([`SweepGrid`], [`sweep_design_space_grid`]) recompile only what
+//!   changed (the `dse.frag.{hits,misses}` counters prove it); `_with`
+//!   variants accept an explicit
 //!   [`Pipeline`](roboshape_pipeline::Pipeline);
+//! * [`sweep_design_space_pruned`] — the same frontier without the full
+//!   grid: a streaming Pareto skyline plus makespan monotonicity prune
+//!   provably dominated rows *before* scheduling them, bit-identical to
+//!   the exhaustive frontier by construction;
 //! * [`sweep_design_space_barrier`] — the same grid under stage-barrier
 //!   schedules, computed as two `N`-schedule half-sweeps (the barrier
 //!   makespan separates per PE class; pipelining couples them);
@@ -57,6 +66,9 @@ pub use strategies::{
 };
 pub use sweep::{
     pareto_frontier, sweep_design_space, sweep_design_space_barrier,
-    sweep_design_space_barrier_with, sweep_design_space_with, DesignPoint,
+    sweep_design_space_barrier_with, sweep_design_space_exhaustive_with, sweep_design_space_grid,
+    sweep_design_space_grid_with, sweep_design_space_pruned, sweep_design_space_pruned_with,
+    sweep_design_space_with, DesignPoint, PrunedSweep, SweepGrid, FRAG_HITS_METRIC,
+    FRAG_MISSES_METRIC, PRUNED_POINTS_METRIC, PRUNED_ROWS_METRIC,
 };
 pub use verify::{verify_frontier, FrontierVerification};

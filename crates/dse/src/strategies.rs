@@ -1,9 +1,10 @@
 //! Resource-allocation strategies (paper Fig. 13, Sec. 5.4 Insight #1).
 
-use roboshape_arch::{AcceleratorKnobs, DseModel, KernelKind, Resources};
+use roboshape_arch::{AcceleratorKnobs, DseModel, Resources};
 use roboshape_pipeline::Pipeline;
-use roboshape_taskgraph::SchedulerConfig;
 use roboshape_topology::Topology;
+
+use crate::sweep::traversal_makespan;
 
 /// The PE-allocation strategies the paper compares.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,20 +78,16 @@ pub fn evaluate_strategies(topo: &Topology) -> Vec<StrategyOutcome> {
     evaluate_strategies_with(Pipeline::global(), topo)
 }
 
-/// [`evaluate_strategies`] against an explicit pipeline. The exhaustive
-/// reference visits every `(PEf, PEb)` pair, so after a design-space
-/// sweep of the same robot all its schedules come from the store.
+/// [`evaluate_strategies`] against an explicit pipeline. Makespans go
+/// through the same content-addressed fragment store as the design-space
+/// sweeps, so after a sweep of the same robot the exhaustive reference
+/// here reads every `(PEf, PEb)` latency from cache (and vice versa: a
+/// strategy evaluation pre-warms the sweep).
 pub fn evaluate_strategies_with(pipeline: &Pipeline, topo: &Topology) -> Vec<StrategyOutcome> {
     let n = topo.len();
     let metrics = topo.metrics();
     let latency = |pe_fwd: usize, pe_bwd: usize| -> u64 {
-        pipeline
-            .schedule_for(
-                topo,
-                KernelKind::DynamicsGradient,
-                &SchedulerConfig::with_pes(pe_fwd, pe_bwd),
-            )
-            .makespan()
+        traversal_makespan(pipeline, topo, pe_fwd, pe_bwd)
     };
 
     // Exhaustive reference: minimum latency, then fewest resources.

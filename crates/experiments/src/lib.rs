@@ -529,11 +529,18 @@ pub fn fig16() -> String {
         out,
         "# Fig. 16 — max allocation vs tuned min latency (80% threshold)"
     );
+    // One incremental sweep per robot, shared by both platforms (the
+    // constrained selection needs the full point set, not just the
+    // frontier, so the platform loop reuses these).
+    let spaces: Vec<(Zoo, Vec<roboshape::DesignPoint>)> = Zoo::ALL
+        .into_iter()
+        .map(|which| (which, sweep_design_space(zoo(which).topology())))
+        .collect();
     for platform in Platform::all() {
         let _ = writeln!(out, "{}:", platform.name);
-        for which in Zoo::ALL {
-            let pts = sweep_design_space(zoo(which).topology());
-            let sel = constrained_selection(&pts, platform);
+        for (which, pts) in &spaces {
+            let which = *which;
+            let sel = constrained_selection(pts, platform);
             match (sel.max_allocated, sel.min_latency) {
                 (Some(max), Some(min)) => {
                     let _ = writeln!(

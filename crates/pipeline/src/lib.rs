@@ -25,6 +25,11 @@
 //!   (the `--timings` report);
 //! * [`Pipeline::global`] — the process-wide warmed instance the
 //!   framework, CLI, experiments and benches all default to.
+//! * content-addressed **fragments** — scalar sub-artifacts (a traversal
+//!   makespan, a block-plan latency) keyed by a [`FragmentId`] content
+//!   hash of their full input, so incremental consumers (the DSE sweeps)
+//!   can join thousands of cached fragments per point instead of
+//!   re-deriving whole-stage artifacts (see [`Pipeline::fragment_u64`]).
 //!
 //! All stages are deterministic, so a warm store returns bit-identical
 //! artifacts to a cold run — only faster.
@@ -179,6 +184,102 @@ pub enum PatternKind {
     /// The inverse mass matrix `M⁻¹` (fills in at mid-limb branches; the
     /// left operand of the blocked multiply).
     InverseMass,
+}
+
+/// A 128-bit content address of a fine-grained pipeline sub-artifact.
+///
+/// Fragment ids are produced by [`FragmentHasher`]: the hash covers a
+/// domain tag plus the *entire* input of the fragment (topology parent
+/// vector, kernel, every knob), so — as with the coarse store keys — the
+/// only invalidation rule is "never": a changed input is a different id,
+/// not a stale entry. Two 64-bit FNV-1a lanes with distinct offset bases
+/// make accidental collisions across a million-point sweep negligible
+/// (the store is not defending against adversarial inputs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FragmentId([u64; 2]);
+
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// Second-lane offset basis: the standard basis with its halves swapped,
+/// so the two lanes walk different hash streams over the same bytes.
+const FNV_OFFSET_ALT: u64 = FNV_OFFSET.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15;
+
+/// Incremental hasher building a [`FragmentId`] from a domain tag and a
+/// stream of integers/bytes.
+///
+/// # Examples
+///
+/// ```
+/// use roboshape_pipeline::FragmentHasher;
+///
+/// let a = FragmentHasher::new("dse.sched.makespan")
+///     .usize(3)
+///     .usize(4)
+///     .finish();
+/// let b = FragmentHasher::new("dse.sched.makespan")
+///     .usize(4)
+///     .usize(3)
+///     .finish();
+/// assert_ne!(a, b); // order is part of the content
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct FragmentHasher {
+    lanes: [u64; 2],
+}
+
+impl FragmentHasher {
+    /// Starts a hash over the given domain tag (the tag separates key
+    /// spaces: identical knob streams under different tags never collide).
+    pub fn new(domain: &str) -> FragmentHasher {
+        FragmentHasher {
+            lanes: [FNV_OFFSET, FNV_OFFSET_ALT],
+        }
+        .bytes(domain.as_bytes())
+        .byte(0xff) // terminator: "ab" + "c" ≠ "a" + "bc"
+    }
+
+    fn byte(mut self, b: u8) -> FragmentHasher {
+        for lane in &mut self.lanes {
+            *lane = (*lane ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feeds raw bytes.
+    pub fn bytes(mut self, bytes: &[u8]) -> FragmentHasher {
+        for &b in bytes {
+            self = self.byte(b);
+        }
+        self
+    }
+
+    /// Feeds one `u64` (little-endian).
+    pub fn u64(self, v: u64) -> FragmentHasher {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Feeds one `usize` (widened to 64 bits, so ids agree across targets).
+    pub fn usize(self, v: usize) -> FragmentHasher {
+        self.u64(v as u64)
+    }
+
+    /// Feeds a topology parent vector (`None` encoded distinctly from any
+    /// index, lengths separated by the leading count).
+    pub fn parents(mut self, parents: &[Option<usize>]) -> FragmentHasher {
+        self = self.usize(parents.len());
+        for p in parents {
+            self = match p {
+                None => self.u64(u64::MAX),
+                Some(i) => self.usize(*i),
+            };
+        }
+        self
+    }
+
+    /// The finished content address.
+    pub fn finish(self) -> FragmentId {
+        FragmentId(self.lanes)
+    }
 }
 
 /// Per-stage accumulators. All 64-bit (never `usize`): the nanosecond
@@ -470,6 +571,7 @@ pub struct ArtifactStore {
     schedules: RwLock<HashMap<ScheduleKey, Arc<Schedule>>>,
     plans: RwLock<HashMap<PlanKey, Arc<BlockMatmulPlan>>>,
     programs: RwLock<HashMap<ProgramKey, Arc<CompiledProgram>>>,
+    fragments: RwLock<HashMap<FragmentId, u64>>,
 }
 
 /// Entry counts per artifact kind.
@@ -485,12 +587,19 @@ pub struct StoreStats {
     pub block_plans: usize,
     /// Cached compiled simulation programs.
     pub programs: usize,
+    /// Cached content-addressed scalar fragments.
+    pub fragments: usize,
 }
 
 impl StoreStats {
     /// Total cached artifacts.
     pub fn total(&self) -> usize {
-        self.task_graphs + self.patterns + self.schedules + self.block_plans + self.programs
+        self.task_graphs
+            + self.patterns
+            + self.schedules
+            + self.block_plans
+            + self.programs
+            + self.fragments
     }
 }
 
@@ -498,8 +607,9 @@ impl std::fmt::Display for StoreStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "artifact store: {} task graphs, {} patterns, {} schedules, {} block plans, {} programs",
-            self.task_graphs, self.patterns, self.schedules, self.block_plans, self.programs
+            "artifact store: {} task graphs, {} patterns, {} schedules, {} block plans, {} programs, {} fragments",
+            self.task_graphs, self.patterns, self.schedules, self.block_plans, self.programs,
+            self.fragments
         )
     }
 }
@@ -526,6 +636,7 @@ impl ArtifactStore {
             schedules: self.schedules.read().len(),
             block_plans: self.plans.read().len(),
             programs: self.programs.read().len(),
+            fragments: self.fragments.read().len(),
         }
     }
 
@@ -536,6 +647,7 @@ impl ArtifactStore {
         self.schedules.write().clear();
         self.plans.write().clear();
         self.programs.write().clear();
+        self.fragments.write().clear();
     }
 }
 
@@ -751,6 +863,25 @@ impl Pipeline {
         kernel: KernelKind,
     ) -> Arc<CompiledProgram> {
         self.compiled_program_for(topo, knobs, kernel, BackendKind::Scalar)
+    }
+
+    /// Fragment store: the cached scalar addressed by `id`, or the result
+    /// of `compute`, stored under `id` for the next caller. Returns the
+    /// value and whether it was served from the store (`true` on a hit).
+    ///
+    /// Fragments carry no stage attribution of their own — the consumer
+    /// decides which [`PipelineStage`] a hit stands in for (the DSE sweep
+    /// credits a makespan-fragment hit to the Schedules stage, since
+    /// that's the computation the hit avoided) and keeps its own
+    /// domain-level counters (`dse.frag.{hits,misses}`). A miss runs
+    /// `compute` outside any store lock, so compute paths are free to
+    /// re-enter the pipeline's stage accessors.
+    pub fn fragment_u64(&self, id: FragmentId, compute: impl FnOnce() -> u64) -> (u64, bool) {
+        if let Some(&v) = self.store.fragments.read().get(&id) {
+            return (v, true);
+        }
+        let v = compute();
+        (*self.store.fragments.write().entry(id).or_insert(v), false)
     }
 
     /// [`Self::compiled_program`] for an explicit execution backend.
@@ -1032,6 +1163,59 @@ mod tests {
         let other = p.compiled_program(topo, AcceleratorKnobs::new(1, 1, 1), kernel);
         assert!(!Arc::ptr_eq(&first, &other));
         assert_eq!(p.store().stats().programs, 2);
+    }
+
+    #[test]
+    fn fragments_hit_on_second_access_and_clear() {
+        let p = Pipeline::new();
+        let id = FragmentHasher::new("test.frag").usize(7).u64(42).finish();
+        let mut computes = 0;
+        let (v, hit) = p.fragment_u64(id, || {
+            computes += 1;
+            99
+        });
+        assert_eq!((v, hit), (99, false));
+        let (v, hit) = p.fragment_u64(id, || {
+            computes += 1;
+            0 // never runs
+        });
+        assert_eq!((v, hit), (99, true));
+        assert_eq!(computes, 1);
+        assert_eq!(p.store().stats().fragments, 1);
+        p.store().clear();
+        assert_eq!(p.store().stats().fragments, 0);
+    }
+
+    #[test]
+    fn fragment_ids_separate_domains_and_content() {
+        let base = FragmentHasher::new("a").usize(1).usize(2).finish();
+        // Same stream under another domain tag.
+        assert_ne!(base, FragmentHasher::new("b").usize(1).usize(2).finish());
+        // Domain/content boundary: "ab" + nothing vs "a" + content "b".
+        assert_ne!(
+            FragmentHasher::new("ab").finish(),
+            FragmentHasher::new("a").bytes(b"b").finish()
+        );
+        // Parent vectors: None is distinct from any index, and length
+        // participates.
+        let chain = Topology::chain(4);
+        let star = Topology::new(vec![None, Some(0), Some(0), Some(0)]).unwrap();
+        assert_ne!(
+            FragmentHasher::new("t").parents(chain.parents()).finish(),
+            FragmentHasher::new("t").parents(star.parents()).finish()
+        );
+        // Deterministic across calls.
+        assert_eq!(base, FragmentHasher::new("a").usize(1).usize(2).finish());
+    }
+
+    #[test]
+    fn fragments_are_shared_through_store_handles() {
+        let warm = Pipeline::new();
+        let id = FragmentHasher::new("test.shared").finish();
+        warm.fragment_u64(id, || 5);
+        let reader = Pipeline::with_store(warm.store_handle());
+        let (v, hit) = reader.fragment_u64(id, || unreachable!("must hit"));
+        assert_eq!((v, hit), (5, true));
     }
 
     #[test]

@@ -40,5 +40,6 @@ mod scheduler;
 
 pub use graph::{Stage, Task, TaskGraph, TaskId, TaskKind};
 pub use scheduler::{
-    schedule, PeClass, Schedule, ScheduleEntry, ScheduleError, SchedulerConfig, TaskCosts,
+    schedule, schedule_makespan, PeClass, Schedule, ScheduleEntry, ScheduleError, SchedulerConfig,
+    TaskCosts,
 };

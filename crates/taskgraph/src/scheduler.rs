@@ -404,6 +404,44 @@ fn is_chain_successor(prev: TaskKind, next: TaskKind) -> bool {
 /// Panics if either PE count in `config` is zero.
 pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
     let _span = roboshape_obs::span("taskgraph", "schedule");
+    let mut entries: Vec<ScheduleEntry> = Vec::with_capacity(graph.len());
+    let makespan = schedule_core(graph, config, |e| entries.push(e));
+    entries.sort_by_key(|e| (e.start, e.task.0));
+    Schedule {
+        entries,
+        pe_fwd: config.pe_fwd,
+        pe_bwd: config.pe_bwd,
+        makespan,
+    }
+}
+
+/// The makespan [`schedule`] would report, without materializing the
+/// entry list.
+///
+/// This is the fragment-granular entry point for consumers that need
+/// only the scalar — a design-space sweep joins one makespan per
+/// `(PEs_fwd, PEs_bwd)` with per-block-size latencies, and pruned sweeps
+/// probe thousands of such points without ever reading an entry. The
+/// placement decisions are shared with [`schedule`] (one core, two
+/// sinks), so the value is identical by construction; the equality is
+/// additionally pinned in this module's tests.
+///
+/// # Panics
+///
+/// Panics if either PE count in `config` is zero.
+pub fn schedule_makespan(graph: &TaskGraph, config: &SchedulerConfig) -> u64 {
+    let _span = roboshape_obs::span("taskgraph", "schedule-makespan");
+    schedule_core(graph, config, |_| {})
+}
+
+/// The list-scheduling core shared by [`schedule`] and
+/// [`schedule_makespan`]: places every task, streams each placement into
+/// `emit` and returns the makespan.
+fn schedule_core(
+    graph: &TaskGraph,
+    config: &SchedulerConfig,
+    mut emit: impl FnMut(ScheduleEntry),
+) -> u64 {
     assert!(
         config.pe_fwd > 0 && config.pe_bwd > 0,
         "PE counts must be positive"
@@ -445,7 +483,8 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
     let mut pe_free: [Vec<u64>; 2] = [vec![0; config.pe_fwd], vec![0; config.pe_bwd]];
     let mut pe_last: [Vec<Option<usize>>; 2] =
         [vec![None; config.pe_fwd], vec![None; config.pe_bwd]];
-    let mut entries: Vec<ScheduleEntry> = Vec::with_capacity(n);
+    let mut scheduled = 0usize;
+    let mut makespan = 0u64;
     // Completion count per stage for barrier mode.
     let stage_totals: Vec<usize> = Stage::ALL
         .iter()
@@ -492,7 +531,7 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
         }
     }
 
-    while entries.len() < n {
+    while scheduled < n {
         // Candidate: the ready task whose earliest feasible start is
         // minimal; among those, the highest critical-path priority.
         let mut best: Option<(u64, u64, usize)> = None; // (start, -priority sentinel via tuple ordering, task)
@@ -580,7 +619,7 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
         pe_free[class][chosen] = end;
         pe_last[class][chosen] = Some(task);
         end_time[task] = end;
-        entries.push(ScheduleEntry {
+        emit(ScheduleEntry {
             task: TaskId(task),
             pe_class: if class == 0 {
                 PeClass::Forward
@@ -591,6 +630,8 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
             start,
             end,
         });
+        scheduled += 1;
+        makespan = makespan.max(end);
         ready_at.remove(&task);
 
         // Limb-frontier bookkeeping.
@@ -627,8 +668,6 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
         }
     }
 
-    entries.sort_by_key(|e| (e.start, e.task.0));
-    let makespan = entries.iter().map(|e| e.end).max().unwrap_or(0);
     let m = roboshape_obs::metrics();
     m.counter("taskgraph.schedules").add(1);
     m.histogram(
@@ -636,12 +675,7 @@ pub fn schedule(graph: &TaskGraph, config: &SchedulerConfig) -> Schedule {
         &[64, 128, 256, 512, 1024, 2048, 4096, 8192],
     )
     .record(makespan);
-    Schedule {
-        entries,
-        pe_fwd: config.pe_fwd,
-        pe_bwd: config.pe_bwd,
-        makespan,
-    }
+    makespan
 }
 
 #[cfg(test)]
@@ -668,6 +702,29 @@ mod tests {
         for pe in [1, 2, 3, 4, 7, 15] {
             let s = schedule(&graph, &SchedulerConfig::with_pes(pe, pe));
             s.validate(&graph).unwrap();
+        }
+    }
+
+    #[test]
+    fn makespan_only_entry_matches_full_schedule() {
+        // The fragment-granular entry point shares the placement core
+        // with schedule(); pin the scalar across modes and topologies.
+        for topo in [Topology::chain(6), baxter_like()] {
+            let graph = TaskGraph::dynamics_gradient(&topo);
+            for pe_fwd in [1, 2, 5] {
+                for pe_bwd in [1, 3] {
+                    for cfg in [
+                        SchedulerConfig::with_pes(pe_fwd, pe_bwd),
+                        SchedulerConfig::with_pes(pe_fwd, pe_bwd).without_pipelining(),
+                    ] {
+                        assert_eq!(
+                            schedule_makespan(&graph, &cfg),
+                            schedule(&graph, &cfg).makespan(),
+                            "PEs ({pe_fwd},{pe_bwd})"
+                        );
+                    }
+                }
+            }
         }
     }
 

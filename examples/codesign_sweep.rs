@@ -8,7 +8,10 @@
 //!
 //! Run with: `cargo run --release --example codesign_sweep`
 
-use roboshape::{constrained_selection, evaluate_strategies, pareto_frontier};
+use roboshape::{
+    constrained_selection, evaluate_strategies, pareto_frontier, sweep_design_space_pruned,
+    DSE_FRAG_HITS_METRIC, DSE_FRAG_MISSES_METRIC,
+};
 use roboshape_suite::prelude::*;
 
 fn main() {
@@ -20,13 +23,31 @@ fn main() {
         robot.num_links()
     );
 
-    // Fig. 12: the full sweep.
+    // Fig. 12: the full sweep. Every point is a join of content-addressed
+    // makespan + block-latency fragments, so the second sweep below is a
+    // pure cache read — the fragment counters prove it.
+    let m = roboshape::obs::metrics();
     let points = fw.design_space();
+    let cold_misses = m.counter(DSE_FRAG_MISSES_METRIC).get();
+    let warm_hits_before = m.counter(DSE_FRAG_HITS_METRIC).get();
+    let warm = fw.design_space();
+    assert_eq!(points, warm, "warm re-sweep must be bit-identical");
     println!(
-        "swept {} design points (PEs_fwd x PEs_bwd x block)",
-        points.len()
+        "swept {} design points (PEs_fwd x PEs_bwd x block); warm re-sweep: {} fragment hits, {} new compiles",
+        points.len(),
+        m.counter(DSE_FRAG_HITS_METRIC).get() - warm_hits_before,
+        m.counter(DSE_FRAG_MISSES_METRIC).get() - cold_misses,
+    );
+
+    // The dominance-pruned sweep reaches the same frontier while skipping
+    // provably dominated grid rows before scheduling them.
+    let pruned = sweep_design_space_pruned(robot.topology());
+    println!(
+        "pruned sweep: evaluated {} of {} grid points ({} pruned, {} rows never scheduled)",
+        pruned.evaluated_points, pruned.grid_points, pruned.pruned_points, pruned.skipped_rows
     );
     let frontier = pareto_frontier(&points);
+    assert_eq!(pruned.frontier, frontier, "pruned frontier must match");
     println!(
         "\nPareto frontier (latency vs LUTs), {} points:",
         frontier.len()
